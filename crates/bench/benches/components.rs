@@ -1,0 +1,230 @@
+//! Criterion micro-benchmarks for LSD's components: base-learner training
+//! and prediction, meta-learner training (cross-validation + regression),
+//! and the constraint handler's search algorithms.
+//!
+//! Run with `cargo bench -p lsd-bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsd_core::learners::{
+    BaseLearner, ContentMatcher, NaiveBayesLearner, NameMatcher, XmlLearner,
+};
+use lsd_core::{
+    extract_instances, Instance, LsdBuilder, LsdConfig, MetaLearner, SearchAlgorithm,
+    SearchConfig, Source, TrainedSource,
+};
+use lsd_datagen::{DomainId, GeneratedDomain};
+use lsd_learn::cross_validation_predictions;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+/// Labelled instances extracted from one generated source.
+fn labelled_instances(domain: &GeneratedDomain, source: usize) -> Vec<(Instance, usize)> {
+    let gs = &domain.sources[source];
+    let labels = lsd_learn::LabelSet::new(domain.mediated.element_names().map(str::to_string));
+    let tag_labels: HashMap<String, usize> = gs
+        .dtd
+        .element_names()
+        .map(|t| {
+            let l = gs
+                .mapping
+                .get(t)
+                .and_then(|m| labels.get(m))
+                .unwrap_or_else(|| labels.other());
+            (t.to_string(), l)
+        })
+        .collect();
+    let mut out = Vec::new();
+    for (tag, instances) in extract_instances(&gs.listings) {
+        let label = tag_labels[&tag];
+        for i in instances {
+            out.push((i.with_sub_labels(tag_labels.clone()), label));
+        }
+    }
+    out
+}
+
+fn bench_learners(c: &mut Criterion) {
+    let domain = DomainId::RealEstate1.generate(50, 1);
+    let examples = labelled_instances(&domain, 0);
+    let refs: Vec<(&Instance, usize)> = examples.iter().map(|(i, l)| (i, *l)).collect();
+    let n = domain.mediated.len() + 1;
+    let pairs: Vec<(&str, &str)> =
+        domain.synonyms.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+
+    let mut group = c.benchmark_group("learner_train");
+    group.bench_function("name_matcher", |b| {
+        b.iter(|| {
+            let mut l = NameMatcher::with_synonym_pairs(n, pairs.clone());
+            BaseLearner::train(&mut l, black_box(&refs));
+            l
+        })
+    });
+    group.bench_function("content_matcher", |b| {
+        b.iter(|| {
+            let mut l = ContentMatcher::new(n);
+            BaseLearner::train(&mut l, black_box(&refs));
+            l
+        })
+    });
+    group.bench_function("naive_bayes", |b| {
+        b.iter(|| {
+            let mut l = NaiveBayesLearner::new(n);
+            BaseLearner::train(&mut l, black_box(&refs));
+            l
+        })
+    });
+    group.bench_function("xml_learner", |b| {
+        b.iter(|| {
+            let mut l = XmlLearner::new(n);
+            BaseLearner::train(&mut l, black_box(&refs));
+            l
+        })
+    });
+    group.finish();
+
+    let mut trained_nb = NaiveBayesLearner::new(n);
+    BaseLearner::train(&mut trained_nb, &refs);
+    let mut trained_content = ContentMatcher::new(n);
+    BaseLearner::train(&mut trained_content, &refs);
+    let probe = &examples[examples.len() / 2].0;
+
+    let mut group = c.benchmark_group("learner_predict");
+    group.bench_function("naive_bayes", |b| {
+        b.iter(|| BaseLearner::predict(&trained_nb, black_box(probe)))
+    });
+    group.bench_function("content_matcher_whirl", |b| {
+        b.iter(|| BaseLearner::predict(&trained_content, black_box(probe)))
+    });
+    group.finish();
+}
+
+fn bench_meta(c: &mut Criterion) {
+    let domain = DomainId::RealEstate1.generate(40, 2);
+    let examples = labelled_instances(&domain, 0);
+    let refs: Vec<(&Instance, usize)> = examples.iter().map(|(i, l)| (i, *l)).collect();
+    let n = domain.mediated.len() + 1;
+    let truths: Vec<usize> = examples.iter().map(|(_, l)| *l).collect();
+
+    c.bench_function("meta_cv_plus_regression", |b| {
+        b.iter(|| {
+            let cv = cross_validation_predictions(black_box(&refs), 5, 0, || {
+                Box::new(NaiveBayesLearner::new(n)) as Box<dyn BaseLearner>
+            });
+            MetaLearner::train(&[cv], &truths, n)
+        })
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    // End-to-end match of the largest domain under the three search
+    // algorithms (includes prediction; the search dominates on RE2).
+    let domain = DomainId::RealEstate2.generate(60, 3);
+    let training: Vec<TrainedSource> = (0..3)
+        .map(|i| TrainedSource {
+            source: Source {
+                name: domain.sources[i].name.clone(),
+                dtd: domain.sources[i].dtd.clone(),
+                listings: domain.sources[i].listings.clone(),
+            },
+            mapping: domain.sources[i].mapping.clone(),
+        })
+        .collect();
+    let target = Source {
+        name: domain.sources[3].name.clone(),
+        dtd: domain.sources[3].dtd.clone(),
+        listings: domain.sources[3].listings.clone(),
+    };
+
+    let mut group = c.benchmark_group("match_real_estate2");
+    group.sample_size(10);
+    for (label, algorithm) in [
+        ("astar", SearchAlgorithm::AStar { max_expansions: 20_000 }),
+        ("beam10", SearchAlgorithm::Beam { width: 10 }),
+        ("greedy", SearchAlgorithm::Greedy),
+    ] {
+        let config = LsdConfig {
+            search: SearchConfig { algorithm, ..SearchConfig::default() },
+            ..LsdConfig::default()
+        };
+        let builder = LsdBuilder::new(&domain.mediated).with_config(config);
+        let n = builder.labels().len();
+        let pairs: Vec<(&str, &str)> =
+            domain.synonyms.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let mut lsd = builder
+            .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, pairs)))
+            .add_learner(Box::new(NaiveBayesLearner::new(n)))
+            .with_constraints(domain.constraints.clone())
+            .build();
+        lsd.train(&training);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &lsd, |b, lsd| {
+            b.iter(|| lsd.match_source(black_box(&target)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluators(c: &mut Criterion) {
+    // The compiled constraint evaluator vs the reference implementation —
+    // the optimization that makes A* affordable (DESIGN.md deviation 5).
+    use lsd_constraints::{evaluate_partial, Evaluator, MatchingContext};
+    use lsd_learn::{LabelSet, Prediction};
+    use lsd_xml::SchemaTree;
+
+    let domain = DomainId::RealEstate2.generate(40, 6);
+    let gs = &domain.sources[0];
+    let schema = SchemaTree::from_dtd(&gs.dtd).expect("valid schema");
+    let labels = LabelSet::new(domain.mediated.element_names().map(str::to_string));
+    let tags: Vec<String> = schema.tag_names().map(str::to_string).collect();
+    let data = lsd_core::build_source_data(tags.iter().map(String::as_str), &gs.listings);
+    let ctx = MatchingContext {
+        labels: &labels,
+        schema: &schema,
+        tags: tags.clone(),
+        predictions: vec![Prediction::uniform(labels.len()); tags.len()],
+        data: &data,
+        alpha: 1.0,
+    };
+    let assignment: Vec<Option<usize>> = (0..tags.len())
+        .map(|i| Some(i % labels.len()))
+        .collect();
+
+    let mut group = c.benchmark_group("constraint_evaluation");
+    group.bench_function("reference", |b| {
+        b.iter(|| evaluate_partial(black_box(&ctx), &domain.constraints, &assignment))
+    });
+    let evaluator = Evaluator::new(&ctx, &domain.constraints);
+    let mut scratch = evaluator.scratch();
+    group.bench_function("compiled", |b| {
+        b.iter(|| evaluator.evaluate(black_box(&assignment), &mut scratch))
+    });
+    group.finish();
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    // The substrates the pipeline leans on hardest.
+    let domain = DomainId::RealEstate2.generate(100, 4);
+    let listing_xml = lsd_xml::write_element(&domain.sources[0].listings[0]);
+
+    c.bench_function("xml_parse_listing", |b| {
+        b.iter(|| lsd_xml::parse_fragment(black_box(&listing_xml)).expect("parses"))
+    });
+    c.bench_function("extract_instances_100_listings", |b| {
+        b.iter(|| extract_instances(black_box(&domain.sources[0].listings)))
+    });
+    let stemmer = lsd_text::PorterStemmer::new();
+    c.bench_function("tokenize_and_stem_description", |b| {
+        let text = domain.sources[0].listings[0].deep_text();
+        b.iter(|| {
+            lsd_text::tokenize(black_box(&text))
+                .iter()
+                .map(|t| stemmer.stem(t))
+                .collect::<Vec<_>>()
+        })
+    });
+    c.bench_function("generate_domain_re1_50_listings", |b| {
+        b.iter(|| DomainId::RealEstate1.generate(black_box(50), 5))
+    });
+}
+
+criterion_group!(benches, bench_learners, bench_meta, bench_search, bench_evaluators, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! Runs the complete Section 6 evaluation — every table and figure — and
+//! writes both a human-readable report to stdout and machine-readable
+//! results to `experiment_results.json` in the current directory.
+//!
+//! This is the binary behind EXPERIMENTS.md. A full run with the paper's
+//! parameters (3 trials, 300 listings) takes tens of minutes; scale down
+//! with `LSD_TRIALS=1 LSD_LISTINGS=80` for a smoke pass.
+
+use lsd_bench::{run_matrix, Config, DomainAccuracy, ExperimentParams};
+use lsd_core::feedback::simulate_feedback_session;
+use lsd_core::TrainedSource;
+use lsd_datagen::DomainId;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::json;
+use std::time::Instant;
+
+fn main() {
+    let params = ExperimentParams::from_env();
+    let started = Instant::now();
+    let mut report = serde_json::Map::new();
+    report.insert(
+        "params".into(),
+        json!({
+            "trials": params.trials,
+            "listings": params.listings,
+            "seed": params.seed,
+        }),
+    );
+
+    println!("== LSD full experiment suite ==");
+    println!("trials={} listings={} seed={}\n", params.trials, params.listings, params.seed);
+
+    // ---- Figure 8a ----
+    println!("-- Figure 8a: average matching accuracy --");
+    let fig8a_configs = vec![
+        Config::Single("name-matcher"),
+        Config::Single("content-matcher"),
+        Config::Single("naive-bayes"),
+        Config::Meta,
+        Config::MetaConstraints,
+        Config::Full,
+    ];
+    let mut fig8a = serde_json::Map::new();
+    for id in DomainId::ALL {
+        let r = run_matrix(id, &fig8a_configs, &params);
+        let best_base = r[..3].iter().map(|d| d.mean).fold(f64::MIN, f64::max);
+        println!(
+            "{:<16} best-base={:>5.1} meta={:>5.1} constraints={:>5.1} full={:>5.1}",
+            id.name(),
+            best_base,
+            r[3].mean,
+            r[4].mean,
+            r[5].mean
+        );
+        fig8a.insert(
+            id.name().into(),
+            json!({
+                "best_base": best_base,
+                "singles": fig8a_configs[..3]
+                    .iter()
+                    .zip(&r[..3])
+                    .map(|(c, d)| json!({"config": c.label(), "mean": d.mean, "std": d.std_dev}))
+                    .collect::<Vec<_>>(),
+                "meta": acc_json(&r[3]),
+                "meta_constraints": acc_json(&r[4]),
+                "full": acc_json(&r[5]),
+            }),
+        );
+    }
+    report.insert("fig8a".into(), fig8a.into());
+
+    // ---- Figures 8b/8c ----
+    println!("\n-- Figures 8b/8c: accuracy vs listings per source --");
+    let sweep_configs =
+        vec![Config::Single("naive-bayes"), Config::Meta, Config::MetaConstraints, Config::Full];
+    let mut sweeps = serde_json::Map::new();
+    for (figure, id) in [("fig8b", DomainId::RealEstate1), ("fig8c", DomainId::TimeSchedule)] {
+        let mut series = Vec::new();
+        for listings in [5usize, 10, 20, 50, 100, 200, 300, 500] {
+            let mut p = params;
+            p.listings = listings;
+            let r = run_matrix(id, &sweep_configs, &p);
+            println!(
+                "{} {:>4} listings: base={:>5.1} meta={:>5.1} constraints={:>5.1} full={:>5.1}",
+                figure, listings, r[0].mean, r[1].mean, r[2].mean, r[3].mean
+            );
+            series.push(json!({
+                "listings": listings,
+                "base": r[0].mean,
+                "meta": r[1].mean,
+                "constraints": r[2].mean,
+                "full": r[3].mean,
+            }));
+        }
+        sweeps.insert(figure.into(), series.into());
+    }
+    report.insert("fig8bc".into(), sweeps.into());
+
+    // ---- Figure 9a ----
+    println!("\n-- Figure 9a: lesion studies --");
+    let lesion_configs = vec![
+        Config::Lesion("name-matcher"),
+        Config::Lesion("naive-bayes"),
+        Config::Lesion("content-matcher"),
+        Config::NoHandler,
+        Config::Full,
+    ];
+    let mut fig9a = serde_json::Map::new();
+    for id in DomainId::ALL {
+        let r = run_matrix(id, &lesion_configs, &params);
+        println!(
+            "{:<16} -name={:>5.1} -nb={:>5.1} -content={:>5.1} -handler={:>5.1} full={:>5.1}",
+            id.name(),
+            r[0].mean,
+            r[1].mean,
+            r[2].mean,
+            r[3].mean,
+            r[4].mean
+        );
+        fig9a.insert(
+            id.name().into(),
+            json!({
+                "without_name_matcher": acc_json(&r[0]),
+                "without_naive_bayes": acc_json(&r[1]),
+                "without_content_matcher": acc_json(&r[2]),
+                "without_constraint_handler": acc_json(&r[3]),
+                "complete": acc_json(&r[4]),
+            }),
+        );
+    }
+    report.insert("fig9a".into(), fig9a.into());
+
+    // ---- Figure 9b ----
+    println!("\n-- Figure 9b: schema vs data information --");
+    let split_configs = vec![Config::SchemaOnly, Config::DataOnly, Config::Full];
+    let mut fig9b = serde_json::Map::new();
+    for id in DomainId::ALL {
+        let r = run_matrix(id, &split_configs, &params);
+        println!(
+            "{:<16} schema-only={:>5.1} data-only={:>5.1} both={:>5.1}",
+            id.name(),
+            r[0].mean,
+            r[1].mean,
+            r[2].mean
+        );
+        fig9b.insert(
+            id.name().into(),
+            json!({
+                "schema_only": acc_json(&r[0]),
+                "data_only": acc_json(&r[1]),
+                "both": acc_json(&r[2]),
+            }),
+        );
+    }
+    report.insert("fig9b".into(), fig9b.into());
+
+    // ---- Section 6.3 feedback ----
+    println!("\n-- Section 6.3: user feedback --");
+    let mut feedback = serde_json::Map::new();
+    for id in [DomainId::TimeSchedule, DomainId::RealEstate2] {
+        let mut corrections = Vec::new();
+        let mut tags = Vec::new();
+        for run in 0..3u64 {
+            let seed = params.seed.wrapping_add(run).wrapping_mul(0x9E37_79B9);
+            let domain = id.generate(params.listings, seed);
+            let mut order: Vec<usize> = (0..5).collect();
+            order.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+            let (test, train) = (order[0], &order[1..4]);
+            let mut lsd =
+                lsd_bench::build_lsd(&domain, lsd_bench::Setup::FULL, params.lsd);
+            let training: Vec<TrainedSource> = train
+                .iter()
+                .map(|&i| TrainedSource {
+                    source: lsd_bench::to_sources(&domain.sources[i]),
+                    mapping: domain.sources[i].mapping.clone(),
+                })
+                .collect();
+            lsd.train(&training);
+            let gs = &domain.sources[test];
+            let outcome =
+                simulate_feedback_session(&lsd, &lsd_bench::to_sources(gs), &gs.mapping);
+            corrections.push(outcome.corrections as f64);
+            tags.push(gs.dtd.len() as f64);
+        }
+        let avg_c = corrections.iter().sum::<f64>() / 3.0;
+        let avg_t = tags.iter().sum::<f64>() / 3.0;
+        println!("{:<16} avg corrections={:.1} over avg {:.1} tags", id.name(), avg_c, avg_t);
+        feedback.insert(
+            id.name().into(),
+            json!({"avg_corrections": avg_c, "avg_tags": avg_t, "runs": corrections}),
+        );
+    }
+    report.insert("feedback".into(), feedback.into());
+
+    report.insert("elapsed_seconds".into(), json!(started.elapsed().as_secs_f64()));
+    let path = "experiment_results.json";
+    std::fs::write(path, serde_json::to_string_pretty(&report).expect("serializable"))
+        .expect("write results file");
+    println!("\nWrote {path} ({:.0}s total)", started.elapsed().as_secs_f64());
+}
+
+fn acc_json(d: &DomainAccuracy) -> serde_json::Value {
+    json!({"mean": d.mean, "std": d.std_dev, "samples": d.samples})
+}

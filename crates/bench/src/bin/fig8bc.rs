@@ -1,0 +1,47 @@
+//! Regenerates **Figures 8b and 8c**: average domain accuracy as a
+//! function of the number of data listings available per source, for Real
+//! Estate I (8b) and Time Schedule (8c), with the same four configurations
+//! as Figure 8a.
+//!
+//! Paper reference: accuracy "climbs steeply in the range 5–20, minimally
+//! from 20 to 200, and levels off after 200".
+//!
+//! Env overrides: `LSD_TRIALS` (default 3), `LSD_SEED`. The sweep sizes are
+//! fixed to the paper's x-axis.
+
+use lsd_bench::{run_matrix, Config, ExperimentParams};
+use lsd_datagen::DomainId;
+
+const SIZES: [usize; 8] = [5, 10, 20, 50, 100, 200, 300, 500];
+
+fn main() {
+    let mut params = ExperimentParams::from_env();
+    let configs = [
+        Config::Single("naive-bayes"),
+        Config::Meta,
+        Config::MetaConstraints,
+        Config::Full,
+    ];
+    for (figure, id) in [("8b", DomainId::RealEstate1), ("8c", DomainId::TimeSchedule)] {
+        println!(
+            "Figure {figure} — {} accuracy (%) vs listings per source ({} trials x 10 splits)\n",
+            id.name(),
+            params.trials
+        );
+        println!(
+            "{:>9} | {:>12} {:>9} {:>13} {:>12}",
+            "listings", "base(NB)", "+meta", "+constraints", "+XML(full)"
+        );
+        println!("{}", "-".repeat(62));
+        for listings in SIZES {
+            params.listings = listings;
+            let results = run_matrix(id, &configs, &params);
+            println!(
+                "{:>9} | {:>12.1} {:>9.1} {:>13.1} {:>12.1}",
+                listings, results[0].mean, results[1].mean, results[2].mean, results[3].mean
+            );
+        }
+        println!();
+    }
+    println!("Paper shape check: steep climb to ~20 listings, plateau beyond ~200.");
+}

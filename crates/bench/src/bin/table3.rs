@@ -1,0 +1,76 @@
+//! Regenerates **Table 3**: domains and data sources for the experiments.
+//!
+//! Prints, for each domain, the mediated-schema statistics (tags, non-leaf
+//! tags, depth) and per-source ranges (sources, listings, tags, non-leaf
+//! tags, depth, matchable %), in the layout of the paper's Table 3.
+//!
+//! Note on the depth convention: we report the number of *levels* of the
+//! DTD tree (root = 1). Flat sources therefore show depth 2 where the
+//! paper shows 1; the mediated-schema depths match the paper exactly.
+
+use lsd_datagen::DomainId;
+use lsd_xml::SchemaTree;
+
+fn main() {
+    let listings = std::env::var("LSD_LISTINGS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    println!(
+        "{:<16} | {:>4} {:>8} {:>5} | {:>7} {:>11} {:>7} {:>8} {:>5} {:>10}",
+        "Domain", "Tags", "Non-leaf", "Depth", "Sources", "Listings", "Tags", "Non-leaf", "Depth", "Matchable"
+    );
+    println!("{}", "-".repeat(106));
+    for id in DomainId::ALL {
+        let n = listings.unwrap_or_else(|| id.default_listings());
+        let domain = id.generate(n, 0);
+        let mediated = SchemaTree::from_dtd(&domain.mediated).expect("valid mediated DTD");
+
+        let mut tag_range = (usize::MAX, 0);
+        let mut nl_range = (usize::MAX, 0);
+        let mut depth_range = (usize::MAX, 0);
+        let mut listings_range = (usize::MAX, 0);
+        let mut match_range = (f64::MAX, 0.0f64);
+        for src in &domain.sources {
+            let tree = SchemaTree::from_dtd(&src.dtd).expect("valid source DTD");
+            let grow = |r: &mut (usize, usize), v: usize| {
+                r.0 = r.0.min(v);
+                r.1 = r.1.max(v);
+            };
+            grow(&mut tag_range, tree.len());
+            grow(&mut nl_range, tree.non_leaf_tags().count());
+            grow(&mut depth_range, tree.max_depth());
+            grow(&mut listings_range, src.listings.len());
+            let pct = src.matchable_percent();
+            match_range.0 = match_range.0.min(pct);
+            match_range.1 = match_range.1.max(pct);
+        }
+        let range = |r: (usize, usize)| {
+            if r.0 == r.1 { format!("{}", r.0) } else { format!("{}-{}", r.0, r.1) }
+        };
+        println!(
+            "{:<16} | {:>4} {:>8} {:>5} | {:>7} {:>11} {:>7} {:>8} {:>5} {:>9.0}%",
+            id.name(),
+            mediated.len(),
+            mediated.non_leaf_tags().count(),
+            mediated.max_depth(),
+            domain.sources.len(),
+            range(listings_range),
+            range(tag_range),
+            range(nl_range),
+            range(depth_range),
+            if (match_range.1 - match_range.0).abs() < 1e-9 {
+                match_range.1
+            } else {
+                // Show the low end; the range prints below.
+                match_range.0
+            },
+        );
+        if (match_range.1 - match_range.0).abs() >= 1e-9 {
+            println!(
+                "{:>104}",
+                format!("(matchable {:.0}-{:.0}%)", match_range.0, match_range.1)
+            );
+        }
+    }
+    println!("\nPaper reference (Table 3): mediated tags 20/23/14/66, non-leaf 4/6/4/13, depth 3/4/3/4.");
+}

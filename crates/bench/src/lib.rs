@@ -1,0 +1,29 @@
+//! # lsd-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (Section 6), plus Criterion micro-benchmarks.
+//!
+//! Binaries (run with `cargo run --release -p lsd-bench --bin <name>`):
+//!
+//! | binary      | paper artefact                                     |
+//! |-------------|-----------------------------------------------------|
+//! | `table3`    | Table 3 — domain and source characteristics         |
+//! | `fig8a`     | Figure 8a — average matching accuracy, 4 configs    |
+//! | `fig8bc`    | Figures 8b/8c — accuracy vs. listings per source    |
+//! | `fig9a`     | Figure 9a — lesion studies                          |
+//! | `fig9b`     | Figure 9b — schema info vs. data instances vs. both |
+//! | `feedback`  | Section 6.3 — corrections needed for perfect match  |
+//! | `experiments` | everything above, writing `experiment_results.json` |
+//! | `ablations` | design-choice ablations (meta weights, search, WHIRL, NB smoothing, XML tokens) |
+//!
+//! The methodology follows Section 6: per domain, all C(5,3) = 10
+//! train/test splits (train on 3 sources, test on the other 2), repeated
+//! over several trials with freshly sampled data; accuracy is the
+//! percentage of matchable source tags matched correctly, averaged.
+
+pub mod runner;
+
+pub use runner::{
+    accuracy_of, all_splits, build_lsd, constraints_for, run_matrix,
+    to_sources, Config, ConstraintMode, DomainAccuracy, ExperimentParams, LearnerSet, Setup,
+};

@@ -1,0 +1,452 @@
+//! Compiled constraint evaluation — the fast path used by the search.
+//!
+//! [`crate::evaluate_partial`] resolves label names and queries the schema
+//! and data on every call, which is fine for one-off scoring but dominates
+//! the A\* search (hundreds of thousands of evaluations on a Real Estate
+//! II-sized schema). [`Evaluator`] does all of that once up front:
+//!
+//! - label names → dense indices; constraints referencing unknown labels
+//!   or tags are dropped (they can never fire);
+//! - schema relations (nesting, between-tags, tree distance) → `q × q`
+//!   matrices;
+//! - data predicates (key duplicates, numeric fraction) → per-tag flags;
+//! - functional-dependency refutations → lazily cached per tag tuple.
+//!
+//! Evaluation then costs `O(q + #constraints)` per node with no hashing of
+//! strings, using a caller-provided [`Scratch`] to avoid allocation.
+
+use crate::constraint::{ConstraintKind, DomainConstraint, Predicate};
+use crate::evaluate::{MatchingContext, INFEASIBLE};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// A predicate with every name resolved to an index.
+#[derive(Debug, Clone)]
+enum CompiledPredicate {
+    AtMostOne { label: usize },
+    ExactlyOne { label: usize },
+    NestedIn { outer: usize, inner: usize },
+    NotNestedIn { outer: usize, inner: usize },
+    Contiguous { a: usize, b: usize },
+    MutuallyExclusive { a: usize, b: usize },
+    IsKey { label: usize },
+    FunctionalDependency { determinants: Vec<usize>, dependent: usize },
+    AtMostK { label: usize, k: usize },
+    Proximity { a: usize, b: usize },
+    IsNumeric { label: usize },
+    IsTextual { label: usize },
+    TagIs { tag: usize, label: usize },
+    TagIsNot { tag: usize, label: usize },
+}
+
+#[derive(Debug, Clone)]
+struct Compiled {
+    predicate: CompiledPredicate,
+    kind: ConstraintKind,
+}
+
+/// Reusable per-thread scratch space for [`Evaluator::evaluate`].
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// `tags_by_label[l]` — tags currently assigned label `l`.
+    tags_by_label: Vec<Vec<usize>>,
+}
+
+/// The compiled evaluator for one matching context + constraint set.
+pub struct Evaluator<'a> {
+    ctx: &'a MatchingContext<'a>,
+    constraints: Vec<Compiled>,
+    /// `nested[inner][outer]` — inner tag transitively below outer tag.
+    nested: Vec<Vec<bool>>,
+    /// `between[a][b]` — tag indices between siblings a and b, or None if
+    /// not siblings.
+    between: Vec<Vec<Option<Vec<usize>>>>,
+    /// `tree_dist[a][b]` — undirected schema-tree distance.
+    tree_dist: Vec<Vec<usize>>,
+    /// Per tag: extracted column has duplicate values.
+    has_duplicates: Vec<bool>,
+    /// Per tag: fraction of numeric values, if any data.
+    numeric_fraction: Vec<Option<f64>>,
+    /// `assignment_cost[t][l]` — the `−α·log s` term.
+    assignment_cost: Vec<Vec<f64>>,
+    /// Per tag: the cheapest assignment cost (heuristic building block).
+    best_cost: Vec<f64>,
+    /// Lazily cached FD refutations keyed by (determinant tags, dependent
+    /// tag).
+    fd_cache: RefCell<HashMap<(Vec<usize>, usize), bool>>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Compiles the constraints against a context.
+    pub fn new(ctx: &'a MatchingContext<'a>, constraints: &[DomainConstraint]) -> Self {
+        let q = ctx.tags.len();
+        let label_of = |name: &str| ctx.labels.get(name);
+        let tag_of = |name: &str| ctx.tag_index(name);
+
+        let compiled = constraints
+            .iter()
+            .filter_map(|c| {
+                let predicate = match &c.predicate {
+                    Predicate::AtMostOne { label } => {
+                        CompiledPredicate::AtMostOne { label: label_of(label)? }
+                    }
+                    Predicate::ExactlyOne { label } => {
+                        CompiledPredicate::ExactlyOne { label: label_of(label)? }
+                    }
+                    Predicate::NestedIn { outer, inner } => CompiledPredicate::NestedIn {
+                        outer: label_of(outer)?,
+                        inner: label_of(inner)?,
+                    },
+                    Predicate::NotNestedIn { outer, inner } => CompiledPredicate::NotNestedIn {
+                        outer: label_of(outer)?,
+                        inner: label_of(inner)?,
+                    },
+                    Predicate::Contiguous { a, b } => {
+                        CompiledPredicate::Contiguous { a: label_of(a)?, b: label_of(b)? }
+                    }
+                    Predicate::MutuallyExclusive { a, b } => CompiledPredicate::MutuallyExclusive {
+                        a: label_of(a)?,
+                        b: label_of(b)?,
+                    },
+                    Predicate::IsKey { label } => {
+                        CompiledPredicate::IsKey { label: label_of(label)? }
+                    }
+                    Predicate::FunctionalDependency { determinants, dependent } => {
+                        CompiledPredicate::FunctionalDependency {
+                            determinants: determinants
+                                .iter()
+                                .map(|d| label_of(d))
+                                .collect::<Option<Vec<_>>>()?,
+                            dependent: label_of(dependent)?,
+                        }
+                    }
+                    Predicate::AtMostK { label, k } => {
+                        CompiledPredicate::AtMostK { label: label_of(label)?, k: *k }
+                    }
+                    Predicate::Proximity { a, b } => {
+                        CompiledPredicate::Proximity { a: label_of(a)?, b: label_of(b)? }
+                    }
+                    Predicate::IsNumeric { label } => {
+                        CompiledPredicate::IsNumeric { label: label_of(label)? }
+                    }
+                    Predicate::IsTextual { label } => {
+                        CompiledPredicate::IsTextual { label: label_of(label)? }
+                    }
+                    Predicate::TagIs { tag, label } => {
+                        CompiledPredicate::TagIs { tag: tag_of(tag)?, label: label_of(label)? }
+                    }
+                    Predicate::TagIsNot { tag, label } => {
+                        CompiledPredicate::TagIsNot { tag: tag_of(tag)?, label: label_of(label)? }
+                    }
+                };
+                Some(Compiled { predicate, kind: c.kind })
+            })
+            .collect();
+
+        let nested: Vec<Vec<bool>> = (0..q)
+            .map(|inner| {
+                (0..q)
+                    .map(|outer| ctx.schema.is_nested_in(&ctx.tags[inner], &ctx.tags[outer]))
+                    .collect()
+            })
+            .collect();
+        let between: Vec<Vec<Option<Vec<usize>>>> = (0..q)
+            .map(|a| {
+                (0..q)
+                    .map(|b| {
+                        ctx.schema.tags_between(&ctx.tags[a], &ctx.tags[b]).map(|names| {
+                            names.iter().filter_map(|n| ctx.tag_index(n)).collect()
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        let tree_dist: Vec<Vec<usize>> = (0..q)
+            .map(|a| {
+                (0..q)
+                    .map(|b| ctx.schema.tree_distance(&ctx.tags[a], &ctx.tags[b]).unwrap_or(0))
+                    .collect()
+            })
+            .collect();
+        let has_duplicates: Vec<bool> =
+            ctx.tags.iter().map(|t| ctx.data.has_duplicates(t)).collect();
+        let numeric_fraction: Vec<Option<f64>> =
+            ctx.tags.iter().map(|t| ctx.data.numeric_fraction(t)).collect();
+        let n = ctx.labels.len();
+        let assignment_cost: Vec<Vec<f64>> =
+            (0..q).map(|t| (0..n).map(|l| ctx.assignment_cost(t, l)).collect()).collect();
+        let best_cost: Vec<f64> = (0..q).map(|t| ctx.best_assignment_cost(t)).collect();
+
+        Evaluator {
+            ctx,
+            constraints: compiled,
+            nested,
+            between,
+            tree_dist,
+            has_duplicates,
+            numeric_fraction,
+            assignment_cost,
+            best_cost,
+            fd_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// A fresh scratch sized for this evaluator.
+    pub fn scratch(&self) -> Scratch {
+        Scratch { tags_by_label: vec![Vec::new(); self.ctx.labels.len()] }
+    }
+
+    /// The admissible per-tag heuristic value (cheapest probability cost).
+    pub fn best_cost(&self, tag: usize) -> f64 {
+        self.best_cost[tag]
+    }
+
+    /// Fast equivalent of [`crate::evaluate_partial`].
+    pub fn evaluate(&self, assignment: &[Option<usize>], scratch: &mut Scratch) -> f64 {
+        for v in &mut scratch.tags_by_label {
+            v.clear();
+        }
+        let mut cost = 0.0;
+        let mut assigned = 0usize;
+        for (t, a) in assignment.iter().enumerate() {
+            if let Some(l) = a {
+                cost += self.assignment_cost[t][*l];
+                scratch.tags_by_label[*l].push(t);
+                assigned += 1;
+            }
+        }
+        let complete = assigned == assignment.len();
+        let by = &scratch.tags_by_label;
+        let other = self.ctx.labels.other();
+
+        for c in &self.constraints {
+            let violation: f64 = match &c.predicate {
+                CompiledPredicate::AtMostOne { label } => {
+                    let n = by[*label].len();
+                    if n > 1 { (n - 1) as f64 } else { 0.0 }
+                }
+                CompiledPredicate::ExactlyOne { label } => {
+                    let n = by[*label].len();
+                    if n > 1 {
+                        (n - 1) as f64
+                    } else if n == 0 && complete {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                CompiledPredicate::NestedIn { outer, inner } => pair_count(
+                    &by[*outer],
+                    &by[*inner],
+                    |a, b| !self.nested[b][a],
+                ),
+                CompiledPredicate::NotNestedIn { outer, inner } => pair_count(
+                    &by[*outer],
+                    &by[*inner],
+                    |a, b| self.nested[b][a],
+                ),
+                CompiledPredicate::Contiguous { a, b } => {
+                    let mut v = 0.0;
+                    for &ta in &by[*a] {
+                        for &tb in &by[*b] {
+                            match &self.between[ta][tb] {
+                                None => v += 1.0,
+                                Some(mid) => {
+                                    for &t in mid {
+                                        if matches!(assignment[t], Some(l) if l != other) {
+                                            v += 1.0;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    v
+                }
+                CompiledPredicate::MutuallyExclusive { a, b } => {
+                    if !by[*a].is_empty() && !by[*b].is_empty() {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                CompiledPredicate::IsKey { label } => {
+                    by[*label].iter().filter(|&&t| self.has_duplicates[t]).count() as f64
+                }
+                CompiledPredicate::FunctionalDependency { determinants, dependent } => {
+                    let dets: Option<Vec<usize>> =
+                        determinants.iter().map(|&d| by[d].first().copied()).collect();
+                    match (dets, by[*dependent].first().copied()) {
+                        (Some(dets), Some(dep)) => {
+                            let key = (dets.clone(), dep);
+                            let mut cache = self.fd_cache.borrow_mut();
+                            let refuted = *cache.entry(key).or_insert_with(|| {
+                                let det_names: Vec<&str> =
+                                    dets.iter().map(|&t| self.ctx.tags[t].as_str()).collect();
+                                self.ctx.data.fd_refuted(&det_names, &self.ctx.tags[dep])
+                            });
+                            if refuted {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                        _ => 0.0,
+                    }
+                }
+                CompiledPredicate::AtMostK { label, k } => {
+                    let n = by[*label].len();
+                    if n > *k { (n - k) as f64 } else { 0.0 }
+                }
+                CompiledPredicate::Proximity { a, b } => {
+                    let mut v = 0.0;
+                    for &ta in &by[*a] {
+                        for &tb in &by[*b] {
+                            v += self.tree_dist[ta][tb].saturating_sub(2) as f64;
+                        }
+                    }
+                    v
+                }
+                CompiledPredicate::IsNumeric { label } => by[*label]
+                    .iter()
+                    .filter(|&&t| self.numeric_fraction[t].is_some_and(|f| f < 0.5))
+                    .count() as f64,
+                CompiledPredicate::IsTextual { label } => by[*label]
+                    .iter()
+                    .filter(|&&t| self.numeric_fraction[t].is_some_and(|f| f > 0.5))
+                    .count() as f64,
+                CompiledPredicate::TagIs { tag, label } => {
+                    if matches!(assignment[*tag], Some(l) if l != *label) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                CompiledPredicate::TagIsNot { tag, label } => {
+                    if assignment[*tag] == Some(*label) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            if violation <= 0.0 {
+                continue;
+            }
+            match c.kind {
+                ConstraintKind::Hard => return INFEASIBLE,
+                ConstraintKind::SoftBinary { cost: unit } => cost += unit,
+                ConstraintKind::SoftNumeric { weight } => cost += weight * violation,
+            }
+        }
+        cost
+    }
+}
+
+/// Counts pairs `(a, b)` from the two tag lists satisfying `violates`.
+fn pair_count(outer: &[usize], inner: &[usize], violates: impl Fn(usize, usize) -> bool) -> f64 {
+    let mut v = 0usize;
+    for &a in outer {
+        for &b in inner {
+            if violates(a, b) {
+                v += 1;
+            }
+        }
+    }
+    v as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::evaluate_partial;
+    use crate::source_data::SourceData;
+    use lsd_learn::{LabelSet, Prediction};
+    use lsd_xml::{parse_dtd, SchemaTree};
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// The compiled evaluator must agree with the reference implementation
+    /// on random partial assignments across every constraint type.
+    #[test]
+    fn matches_reference_evaluator_on_random_assignments() {
+        let dtd = parse_dtd(
+            "<!ELEMENT l (contact, area, baths, extra, beds, price)>\n\
+             <!ELEMENT contact (name, phone)>\n\
+             <!ELEMENT name (#PCDATA)>\n<!ELEMENT phone (#PCDATA)>\n\
+             <!ELEMENT area (#PCDATA)>\n<!ELEMENT baths (#PCDATA)>\n\
+             <!ELEMENT extra (#PCDATA)>\n<!ELEMENT beds (#PCDATA)>\n\
+             <!ELEMENT price (#PCDATA)>",
+        )
+        .unwrap();
+        let schema = SchemaTree::from_dtd(&dtd).unwrap();
+        let labels = LabelSet::new([
+            "CONTACT-INFO", "AGENT-NAME", "AGENT-PHONE", "ADDRESS", "BATHS", "BEDS", "PRICE",
+        ]);
+        let tags: Vec<String> = schema.tag_names().map(str::to_string).collect();
+        let mut data = SourceData::new(tags.clone());
+        data.push_row([("name", "Kate"), ("phone", "(206) 111 2222"), ("area", "Seattle"), ("baths", "2"), ("beds", "3"), ("price", "$70,000")]);
+        data.push_row([("name", "Mike"), ("phone", "(305) 333 4444"), ("area", "Miami"), ("baths", "2"), ("beds", "4"), ("price", "$90,000")]);
+
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let n = labels.len();
+        let predictions: Vec<Prediction> = (0..tags.len())
+            .map(|_| {
+                Prediction::from_scores((0..n).map(|_| rng.gen_range(0.01..1.0)).collect())
+            })
+            .collect();
+        let ctx = MatchingContext {
+            labels: &labels,
+            schema: &schema,
+            tags,
+            predictions,
+            data: &data,
+            alpha: 1.0,
+        };
+
+        use crate::constraint::{DomainConstraint as DC, Predicate as P};
+        let constraints = vec![
+            DC::hard(P::AtMostOne { label: "ADDRESS".into() }),
+            DC::hard(P::ExactlyOne { label: "PRICE".into() }),
+            DC::hard(P::NestedIn { outer: "CONTACT-INFO".into(), inner: "AGENT-NAME".into() }),
+            DC::hard(P::NotNestedIn { outer: "CONTACT-INFO".into(), inner: "PRICE".into() }),
+            DC::hard(P::Contiguous { a: "BATHS".into(), b: "BEDS".into() }),
+            DC::hard(P::MutuallyExclusive { a: "BATHS".into(), b: "BEDS".into() }),
+            DC::hard(P::IsKey { label: "PRICE".into() }),
+            DC::hard(P::FunctionalDependency {
+                determinants: vec!["BEDS".into()],
+                dependent: "BATHS".into(),
+            }),
+            DC::soft(P::AtMostK { label: "ADDRESS".into(), k: 1 }),
+            DC::numeric(P::Proximity { a: "AGENT-NAME".into(), b: "AGENT-PHONE".into() }, 0.3),
+            DC::hard(P::IsNumeric { label: "BATHS".into() }),
+            DC::hard(P::IsTextual { label: "ADDRESS".into() }),
+            DC::hard(P::TagIs { tag: "area".into(), label: "ADDRESS".into() }),
+            DC::hard(P::TagIsNot { tag: "extra".into(), label: "PRICE".into() }),
+            // Constraints over unknown labels must be inert in both paths.
+            DC::hard(P::AtMostOne { label: "GHOST".into() }),
+        ];
+
+        let evaluator = Evaluator::new(&ctx, &constraints);
+        let mut scratch = evaluator.scratch();
+        let q = ctx.tags.len();
+        for _ in 0..500 {
+            let assignment: Vec<Option<usize>> = (0..q)
+                .map(|_| {
+                    if rng.gen_bool(0.3) {
+                        None
+                    } else {
+                        Some(rng.gen_range(0..n))
+                    }
+                })
+                .collect();
+            let fast = evaluator.evaluate(&assignment, &mut scratch);
+            let slow = evaluate_partial(&ctx, &constraints, &assignment);
+            if fast.is_infinite() || slow.is_infinite() {
+                assert_eq!(fast, slow, "assignment {assignment:?}");
+            } else {
+                assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow} for {assignment:?}");
+            }
+        }
+    }
+}

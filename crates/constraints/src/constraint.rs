@@ -1,0 +1,262 @@
+//! The domain-constraint language (paper Table 1).
+//!
+//! Constraints refer to *labels* (mediated-schema elements) and generic
+//! source-schema elements; they are written once per domain, independent of
+//! any particular source. User feedback (Section 4.3) enters the same
+//! language through the tag-level predicates [`Predicate::TagIs`] /
+//! [`Predicate::TagIsNot`], which name a concrete source tag.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a constraint asserts. Label parameters are mediated-schema tag
+/// names; `tag` parameters are source-schema tag names (feedback only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Frequency: at most one source element matches `label`.
+    AtMostOne {
+        /// The mediated-schema label.
+        label: String,
+    },
+    /// Frequency: exactly one source element matches `label`.
+    ExactlyOne {
+        /// The mediated-schema label.
+        label: String,
+    },
+    /// Nesting: if `a` matches `outer` and `b` matches `inner`, then `b`
+    /// must be nested in `a` in the source schema.
+    NestedIn {
+        /// Label whose source tag must contain the other.
+        outer: String,
+        /// Label whose source tag must be nested.
+        inner: String,
+    },
+    /// Nesting (negative): a source tag matching `inner` cannot be nested
+    /// in one matching `outer`.
+    NotNestedIn {
+        /// Label whose source tag must not contain the other.
+        outer: String,
+        /// Label whose source tag must not be nested.
+        inner: String,
+    },
+    /// Contiguity: source tags matching `a` and `b` must be siblings, and
+    /// any source tags declared between them may only match `OTHER`.
+    Contiguous {
+        /// First label.
+        a: String,
+        /// Second label.
+        b: String,
+    },
+    /// Exclusivity: no source may have one tag matching `a` and another
+    /// matching `b`.
+    MutuallyExclusive {
+        /// First label.
+        a: String,
+        /// Second label.
+        b: String,
+    },
+    /// Column: a source tag matching `label` must be a key (no duplicate
+    /// values in the extracted data).
+    IsKey {
+        /// The mediated-schema label.
+        label: String,
+    },
+    /// Column: source tags matching `determinants` functionally determine
+    /// the tag matching `dependent`.
+    FunctionalDependency {
+        /// Labels of the determinant columns.
+        determinants: Vec<String>,
+        /// Label of the determined column.
+        dependent: String,
+    },
+    /// Binary (soft): at most `k` source elements match `label`.
+    AtMostK {
+        /// The mediated-schema label.
+        label: String,
+        /// The cardinality bound.
+        k: usize,
+    },
+    /// Numeric (soft): source tags matching `a` and `b` should be as close
+    /// to each other in the schema tree as possible, all else being equal.
+    Proximity {
+        /// First label.
+        a: String,
+        /// Second label.
+        b: String,
+    },
+    /// Pre-processing: data of a tag matching `label` must be mostly
+    /// numeric (Section 7's "constraints on an element being textual or
+    /// numeric", used to prune candidates before search).
+    IsNumeric {
+        /// The mediated-schema label.
+        label: String,
+    },
+    /// Pre-processing: data of a tag matching `label` must be mostly
+    /// non-numeric text.
+    IsTextual {
+        /// The mediated-schema label.
+        label: String,
+    },
+    /// User feedback: source tag `tag` matches `label`.
+    TagIs {
+        /// The source-schema tag name.
+        tag: String,
+        /// The required label.
+        label: String,
+    },
+    /// User feedback: source tag `tag` does not match `label`
+    /// (e.g. "ad-id does not match HOUSE-ID").
+    TagIsNot {
+        /// The source-schema tag name.
+        tag: String,
+        /// The forbidden label.
+        label: String,
+    },
+}
+
+impl Predicate {
+    /// True if verifying the predicate needs the *data* of the target
+    /// source; false if the schema alone suffices (Table 1's "Can Be
+    /// Verified With" column). Used by the Figure 9b lesion that splits
+    /// LSD into schema-information-only and data-information-only halves.
+    pub fn uses_data(&self) -> bool {
+        matches!(
+            self,
+            Predicate::IsKey { .. }
+                | Predicate::FunctionalDependency { .. }
+                | Predicate::IsNumeric { .. }
+                | Predicate::IsTextual { .. }
+        )
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::AtMostOne { label } => write!(f, "at most one element matches {label}"),
+            Predicate::ExactlyOne { label } => write!(f, "exactly one element matches {label}"),
+            Predicate::NestedIn { outer, inner } => {
+                write!(f, "{inner} must be nested in {outer}")
+            }
+            Predicate::NotNestedIn { outer, inner } => {
+                write!(f, "{inner} cannot be nested in {outer}")
+            }
+            Predicate::Contiguous { a, b } => write!(f, "{a} and {b} are contiguous siblings"),
+            Predicate::MutuallyExclusive { a, b } => {
+                write!(f, "{a} and {b} are mutually exclusive")
+            }
+            Predicate::IsKey { label } => write!(f, "{label} is a key"),
+            Predicate::FunctionalDependency { determinants, dependent } => {
+                write!(f, "{} functionally determine {dependent}", determinants.join(", "))
+            }
+            Predicate::AtMostK { label, k } => {
+                write!(f, "at most {k} elements match {label}")
+            }
+            Predicate::Proximity { a, b } => {
+                write!(f, "{a} and {b} should be close in the schema tree")
+            }
+            Predicate::IsNumeric { label } => write!(f, "{label} data is numeric"),
+            Predicate::IsTextual { label } => write!(f, "{label} data is textual"),
+            Predicate::TagIs { tag, label } => write!(f, "tag '{tag}' matches {label}"),
+            Predicate::TagIsNot { tag, label } => {
+                write!(f, "tag '{tag}' does not match {label}")
+            }
+        }
+    }
+}
+
+/// How strictly a constraint applies (paper Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ConstraintKind {
+    /// Absolutely cannot be violated: any violating mapping has infinite
+    /// cost.
+    Hard,
+    /// Soft with a fixed violation cost (the paper's *binary* soft
+    /// constraints have cost 1).
+    SoftBinary {
+        /// Cost added per violation.
+        cost: f64,
+    },
+    /// Soft with a violation cost scaling in some measured quantity (the
+    /// paper's *numeric* soft constraints); `weight` multiplies the
+    /// measure (e.g. schema-tree distance for [`Predicate::Proximity`]).
+    SoftNumeric {
+        /// Scaling coefficient λ for this constraint.
+        weight: f64,
+    },
+}
+
+/// A predicate plus its enforcement kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainConstraint {
+    /// What is asserted.
+    pub predicate: Predicate,
+    /// How strictly it is enforced.
+    pub kind: ConstraintKind,
+}
+
+impl DomainConstraint {
+    /// A hard constraint.
+    pub fn hard(predicate: Predicate) -> Self {
+        DomainConstraint { predicate, kind: ConstraintKind::Hard }
+    }
+
+    /// A binary soft constraint with violation cost 1.
+    pub fn soft(predicate: Predicate) -> Self {
+        DomainConstraint { predicate, kind: ConstraintKind::SoftBinary { cost: 1.0 } }
+    }
+
+    /// A numeric soft constraint with the given weight.
+    pub fn numeric(predicate: Predicate, weight: f64) -> Self {
+        DomainConstraint { predicate, kind: ConstraintKind::SoftNumeric { weight } }
+    }
+}
+
+impl fmt::Display for DomainConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            ConstraintKind::Hard => "hard",
+            ConstraintKind::SoftBinary { .. } => "soft",
+            ConstraintKind::SoftNumeric { .. } => "numeric",
+        };
+        write!(f, "[{kind}] {}", self.predicate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let c = DomainConstraint::hard(Predicate::IsKey { label: "HOUSE-ID".into() });
+        assert_eq!(c.kind, ConstraintKind::Hard);
+        let c = DomainConstraint::soft(Predicate::AtMostK { label: "DESCRIPTION".into(), k: 3 });
+        assert_eq!(c.kind, ConstraintKind::SoftBinary { cost: 1.0 });
+        let c = DomainConstraint::numeric(
+            Predicate::Proximity { a: "AGENT-NAME".into(), b: "AGENT-PHONE".into() },
+            0.1,
+        );
+        assert_eq!(c.kind, ConstraintKind::SoftNumeric { weight: 0.1 });
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = DomainConstraint::hard(Predicate::NestedIn {
+            outer: "AGENT-INFO".into(),
+            inner: "AGENT-NAME".into(),
+        });
+        assert_eq!(c.to_string(), "[hard] AGENT-NAME must be nested in AGENT-INFO");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = DomainConstraint::soft(Predicate::FunctionalDependency {
+            determinants: vec!["CITY".into(), "FIRM-NAME".into()],
+            dependent: "FIRM-ADDRESS".into(),
+        });
+        let json = serde_json::to_string(&c).unwrap();
+        let back: DomainConstraint = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the constraint engine: random constraint sets
+//! and predictions must never panic, and the search must uphold its
+//! contracts (assignment shape, feasibility flag, greedy ≥ A\* cost).
+
+use lsd_constraints::{
+    evaluate_partial, ConstraintHandler, DomainConstraint, MatchingContext, Predicate,
+    SearchAlgorithm, SearchConfig, SourceData,
+};
+use lsd_learn::{LabelSet, Prediction};
+use lsd_xml::{parse_dtd, SchemaTree};
+use proptest::prelude::*;
+
+const LABELS: [&str; 5] = ["ALPHA", "BETA", "GAMMA", "DELTA", "EPSILON"];
+const TAGS: [&str; 6] = ["root", "grp", "t1", "t2", "t3", "t4"];
+
+fn schema() -> SchemaTree {
+    let dtd = parse_dtd(
+        "<!ELEMENT root (grp, t3, t4)>\n<!ELEMENT grp (t1, t2)>\n\
+         <!ELEMENT t1 (#PCDATA)>\n<!ELEMENT t2 (#PCDATA)>\n\
+         <!ELEMENT t3 (#PCDATA)>\n<!ELEMENT t4 (#PCDATA)>",
+    )
+    .expect("valid DTD");
+    SchemaTree::from_dtd(&dtd).expect("closed DTD")
+}
+
+fn data() -> SourceData {
+    let mut d = SourceData::new(TAGS.iter().map(|t| t.to_string()).collect::<Vec<_>>());
+    d.push_row([("t1", "1"), ("t2", "alpha"), ("t3", "7"), ("t4", "x")]);
+    d.push_row([("t1", "2"), ("t2", "beta"), ("t3", "7"), ("t4", "y")]);
+    d
+}
+
+/// An arbitrary label name — sometimes unknown, to exercise the inert path.
+fn arb_label() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0usize..LABELS.len()).prop_map(|i| LABELS[i].to_string()),
+        Just("NO-SUCH-LABEL".to_string()),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        arb_label().prop_map(|label| Predicate::AtMostOne { label }),
+        arb_label().prop_map(|label| Predicate::ExactlyOne { label }),
+        (arb_label(), arb_label()).prop_map(|(outer, inner)| Predicate::NestedIn { outer, inner }),
+        (arb_label(), arb_label())
+            .prop_map(|(outer, inner)| Predicate::NotNestedIn { outer, inner }),
+        (arb_label(), arb_label()).prop_map(|(a, b)| Predicate::Contiguous { a, b }),
+        (arb_label(), arb_label()).prop_map(|(a, b)| Predicate::MutuallyExclusive { a, b }),
+        arb_label().prop_map(|label| Predicate::IsKey { label }),
+        (arb_label(), arb_label()).prop_map(|(d, dep)| Predicate::FunctionalDependency {
+            determinants: vec![d],
+            dependent: dep,
+        }),
+        (arb_label(), 0usize..3).prop_map(|(label, k)| Predicate::AtMostK { label, k }),
+        (arb_label(), arb_label()).prop_map(|(a, b)| Predicate::Proximity { a, b }),
+        arb_label().prop_map(|label| Predicate::IsNumeric { label }),
+        arb_label().prop_map(|label| Predicate::IsTextual { label }),
+    ]
+}
+
+fn arb_constraint() -> impl Strategy<Value = DomainConstraint> {
+    (arb_predicate(), 0u8..3).prop_map(|(predicate, kind)| match kind {
+        0 => DomainConstraint::hard(predicate),
+        1 => DomainConstraint::soft(predicate),
+        _ => DomainConstraint::numeric(predicate, 0.5),
+    })
+}
+
+fn arb_predictions() -> impl Strategy<Value = Vec<Prediction>> {
+    prop::collection::vec(
+        prop::collection::vec(0.01f64..1.0, LABELS.len() + 1).prop_map(Prediction::from_scores),
+        TAGS.len(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The handler never panics and always returns one label per tag, for
+    /// any constraint set and any predictions.
+    #[test]
+    fn handler_total_and_well_shaped(
+        constraints in prop::collection::vec(arb_constraint(), 0..12),
+        predictions in arb_predictions(),
+        algorithm in prop_oneof![
+            Just(SearchAlgorithm::AStar { max_expansions: 2_000 }),
+            Just(SearchAlgorithm::Beam { width: 4 }),
+            Just(SearchAlgorithm::Greedy),
+        ],
+    ) {
+        let labels = LabelSet::new(LABELS);
+        let schema = schema();
+        let data = data();
+        let ctx = MatchingContext {
+            labels: &labels,
+            schema: &schema,
+            tags: TAGS.iter().map(|t| t.to_string()).collect(),
+            predictions,
+            data: &data,
+            alpha: 1.0,
+        };
+        let handler = ConstraintHandler::new(constraints.clone())
+            .with_config(SearchConfig { algorithm, heuristic_weight: 1.2 });
+        let result = handler.find_mapping(&ctx);
+        prop_assert_eq!(result.assignment.len(), TAGS.len());
+        prop_assert!(result.assignment.iter().all(|&l| l < labels.len()));
+        // If flagged feasible, the full evaluation agrees it is finite.
+        if result.feasible {
+            let opt: Vec<Option<usize>> = result.assignment.iter().map(|&l| Some(l)).collect();
+            let cost = evaluate_partial(&ctx, &constraints, &opt);
+            prop_assert!(cost.is_finite(), "feasible result evaluates to {cost}");
+        }
+    }
+
+    /// Admissible A* never returns a costlier mapping than greedy under the
+    /// same (finite) constraint set.
+    #[test]
+    fn astar_cost_at_most_greedy(
+        constraints in prop::collection::vec(arb_constraint(), 0..8),
+        predictions in arb_predictions(),
+    ) {
+        let labels = LabelSet::new(LABELS);
+        let schema = schema();
+        let data = data();
+        let ctx = MatchingContext {
+            labels: &labels,
+            schema: &schema,
+            tags: TAGS.iter().map(|t| t.to_string()).collect(),
+            predictions,
+            data: &data,
+            alpha: 1.0,
+        };
+        let run = |algorithm| {
+            ConstraintHandler::new(constraints.clone())
+                .with_config(SearchConfig { algorithm, heuristic_weight: 1.0 })
+                .find_mapping(&ctx)
+        };
+        let astar = run(SearchAlgorithm::AStar { max_expansions: 200_000 });
+        let greedy = run(SearchAlgorithm::Greedy);
+        prop_assume!(astar.feasible && astar.stats.optimal && greedy.feasible);
+        prop_assert!(
+            astar.cost <= greedy.cost + 1e-9,
+            "A* cost {} > greedy cost {}",
+            astar.cost,
+            greedy.cost
+        );
+    }
+
+    /// Partial-assignment evaluation is monotone for hard constraints:
+    /// extending an infeasible prefix can never make it feasible.
+    #[test]
+    fn infeasible_prefixes_stay_infeasible(
+        constraints in prop::collection::vec(arb_constraint(), 1..8),
+        predictions in arb_predictions(),
+        assignment in prop::collection::vec(prop::option::of(0usize..LABELS.len() + 1), TAGS.len()),
+        extend_at in 0usize..TAGS.len(),
+        extend_with in 0usize..LABELS.len() + 1,
+    ) {
+        let labels = LabelSet::new(LABELS);
+        let schema = schema();
+        let data = data();
+        let ctx = MatchingContext {
+            labels: &labels,
+            schema: &schema,
+            tags: TAGS.iter().map(|t| t.to_string()).collect(),
+            predictions,
+            data: &data,
+            alpha: 1.0,
+        };
+        // Only meaningful when there is an unassigned slot to extend:
+        // completing a partial assignment can trigger ExactlyOne's
+        // at-completion check, which is not a prefix violation.
+        prop_assume!(assignment[extend_at].is_none());
+        let mut extended = assignment.clone();
+        extended[extend_at] = Some(extend_with);
+        prop_assume!(extended.iter().any(Option::is_none));
+        let before = evaluate_partial(&ctx, &constraints, &assignment);
+        let after = evaluate_partial(&ctx, &constraints, &extended);
+        if before.is_infinite() {
+            prop_assert!(after.is_infinite(), "extension repaired an infeasible prefix");
+        }
+    }
+}

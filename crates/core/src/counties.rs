@@ -1,0 +1,71 @@
+//! An embedded database of U.S. county names.
+//!
+//! The paper's County-Name Recognizer "searches a database (extracted from
+//! the Web) to verify if an XML element is a county name" (Section 3.3).
+//! The original web-extracted database is not available; this embedded list
+//! of real U.S. county names is the substitution (see DESIGN.md) — it
+//! exercises the same code path: a narrow, high-precision membership test.
+
+/// Real U.S. county names (lowercase, without the word "county").
+pub const US_COUNTIES: &[&str] = &[
+    "king", "pierce", "snohomish", "spokane", "clark", "thurston", "kitsap", "yakima",
+    "whatcom", "benton", "skagit", "cowlitz", "grant", "franklin", "island", "lewis",
+    "chelan", "clallam", "grays harbor", "mason", "walla walla", "whitman", "stevens",
+    "okanogan", "jefferson", "douglas", "kittitas", "pacific", "klickitat", "asotin",
+    "adams", "lincoln", "pend oreille", "ferry", "wahkiakum", "san juan", "columbia",
+    "garfield", "miami-dade", "broward", "palm beach", "hillsborough", "orange",
+    "pinellas", "duval", "lee", "polk", "brevard", "volusia", "pasco", "seminole",
+    "sarasota", "manatee", "collier", "marion", "osceola", "lake", "escambia",
+    "leon", "alachua", "st. johns", "suffolk", "nassau", "westchester", "erie",
+    "monroe", "richmond", "oneida", "niagara", "oswego", "dutchess", "albany",
+    "cook", "dupage", "will", "kane", "mclean", "peoria", "sangamon", "champaign",
+    "madison", "st. clair", "winnebago", "rock island", "la salle", "knox",
+    "los angeles", "san diego", "riverside", "san bernardino", "santa clara",
+    "alameda", "sacramento", "contra costa", "fresno", "kern", "ventura",
+    "san francisco", "san mateo", "stanislaus", "sonoma", "tulare", "santa barbara",
+    "solano", "monterey", "placer", "san joaquin", "merced", "santa cruz", "marin",
+    "butte", "yolo", "el dorado", "imperial", "shasta", "harris", "dallas",
+    "tarrant", "bexar", "travis", "collin", "denton", "el paso", "fort bend",
+    "hidalgo", "montgomery", "williamson", "cameron", "nueces", "brazoria",
+    "galveston", "bell", "lubbock", "webb", "jefferson davis", "mclennan",
+    "middlesex", "worcester", "essex", "norfolk", "bristol", "plymouth",
+    "hampden", "barnstable", "hampshire", "berkshire", "multnomah", "washington",
+    "clackamas", "lane", "jackson", "deschutes", "linn", "yamhill", "benton hills",
+];
+
+/// True if `value` is a U.S. county name, optionally suffixed with the word
+/// "county" (case-insensitive, surrounding whitespace ignored).
+pub fn is_county_name(value: &str) -> bool {
+    let v = value.trim().to_lowercase();
+    let v = v.strip_suffix(" county").unwrap_or(&v);
+    US_COUNTIES.contains(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognizes_plain_and_suffixed_names() {
+        assert!(is_county_name("King"));
+        assert!(is_county_name("king county"));
+        assert!(is_county_name("  Santa Clara "));
+        assert!(is_county_name("Miami-Dade"));
+    }
+
+    #[test]
+    fn rejects_non_counties() {
+        assert!(!is_county_name("Seattle"));
+        assert!(!is_county_name(""));
+        assert!(!is_county_name("county"));
+    }
+
+    #[test]
+    fn list_is_lowercase_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in US_COUNTIES {
+            assert_eq!(*c, c.to_lowercase(), "{c} must be lowercase");
+            assert!(seen.insert(c), "{c} duplicated");
+        }
+    }
+}

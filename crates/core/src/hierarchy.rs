@@ -1,0 +1,191 @@
+//! Partial mappings through a label hierarchy (paper Section 7).
+//!
+//! "Some tags cannot be matched because they are simply ambiguous. … Here,
+//! the challenge is to provide the user with a possible partial mapping. If
+//! our mediated DTD contains a label hierarchy, in which each label (e.g.,
+//! `credit`) refers to a concept more general than those of its descendent
+//! labels (e.g., `course-credit` and `section-credit`) then we can match a
+//! tag with the most specific unambiguous label in the hierarchy … and
+//! leave it to the user to choose the appropriate child label."
+//!
+//! The mediated DTD *is* a label hierarchy: a non-leaf mediated tag is more
+//! general than the tags nested within it. [`most_specific_unambiguous`]
+//! walks it: when no single label is confident but the probability mass
+//! concentrates inside one subtree, it proposes that subtree's root as a
+//! partial match.
+
+use lsd_learn::{LabelSet, Prediction};
+use lsd_xml::SchemaTree;
+
+/// The outcome of hierarchy-aware matching for one tag.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartialMatch {
+    /// One label is confident on its own.
+    Exact {
+        /// The confident label index.
+        label: usize,
+        /// Its score.
+        score: f64,
+    },
+    /// No single label is confident, but this (non-leaf) mediated label's
+    /// subtree collectively is: the user should pick among its children.
+    Partial {
+        /// The most specific unambiguous ancestor label index.
+        ancestor: usize,
+        /// Total probability mass inside the ancestor's subtree.
+        mass: f64,
+    },
+    /// The mass is spread too thin even at the mediated root; no useful
+    /// proposal.
+    Unknown,
+}
+
+/// Finds the most specific unambiguous label for a tag-level prediction.
+///
+/// * `prediction` — the converter's output for the tag.
+/// * `labels` — the label set (mediated tags + OTHER).
+/// * `mediated` — the mediated schema tree (the label hierarchy).
+/// * `confidence` — the mass a proposal must reach (e.g. 0.6).
+pub fn most_specific_unambiguous(
+    prediction: &Prediction,
+    labels: &LabelSet,
+    mediated: &SchemaTree,
+    confidence: f64,
+) -> PartialMatch {
+    let best = prediction.best_label();
+    if prediction.score(best) >= confidence {
+        return PartialMatch::Exact { label: best, score: prediction.score(best) };
+    }
+
+    // Subtree mass per mediated tag: own score plus every descendant's.
+    let mut candidate: Option<(usize, usize, f64)> = None; // (depth, label, mass)
+    for tag in mediated.tags() {
+        if tag.is_leaf {
+            continue; // a leaf subtree is just the label itself: covered above
+        }
+        let Some(own) = labels.get(&tag.name) else { continue };
+        let mut mass = prediction.score(own);
+        for other in mediated.tags() {
+            if other.name != tag.name && mediated.is_nested_in(&other.name, &tag.name) {
+                if let Some(l) = labels.get(&other.name) {
+                    mass += prediction.score(l);
+                }
+            }
+        }
+        if mass >= confidence {
+            let deeper = match candidate {
+                None => true,
+                Some((depth, _, best_mass)) => {
+                    tag.depth > depth || (tag.depth == depth && mass > best_mass)
+                }
+            };
+            if deeper {
+                candidate = Some((tag.depth, own, mass));
+            }
+        }
+    }
+    match candidate {
+        Some((_, ancestor, mass)) => PartialMatch::Partial { ancestor, mass },
+        None => PartialMatch::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsd_xml::parse_dtd;
+
+    /// The paper's example: CREDIT generalizes COURSE-CREDIT and
+    /// SECTION-CREDIT.
+    fn fixture() -> (LabelSet, SchemaTree) {
+        let dtd = parse_dtd(
+            "<!ELEMENT COURSE (TITLE, CREDIT)>\n\
+             <!ELEMENT TITLE (#PCDATA)>\n\
+             <!ELEMENT CREDIT (COURSE-CREDIT, SECTION-CREDIT)>\n\
+             <!ELEMENT COURSE-CREDIT (#PCDATA)>\n\
+             <!ELEMENT SECTION-CREDIT (#PCDATA)>",
+        )
+        .expect("valid DTD");
+        let tree = SchemaTree::from_dtd(&dtd).expect("closed DTD");
+        let labels = LabelSet::new(dtd.element_names().map(str::to_string));
+        (labels, tree)
+    }
+
+    /// Builds a prediction over the fixture labels from (name, score)
+    /// pairs.
+    fn pred(labels: &LabelSet, pairs: &[(&str, f64)]) -> Prediction {
+        let mut scores = vec![0.001; labels.len()];
+        for (name, s) in pairs {
+            scores[labels.get(name).expect("known label")] = *s;
+        }
+        Prediction::from_scores(scores)
+    }
+
+    #[test]
+    fn confident_label_is_exact() {
+        let (labels, tree) = fixture();
+        let p = pred(&labels, &[("TITLE", 0.9)]);
+        match most_specific_unambiguous(&p, &labels, &tree, 0.6) {
+            PartialMatch::Exact { label, score } => {
+                assert_eq!(labels.name(label), "TITLE");
+                assert!(score > 0.8);
+            }
+            other => panic!("expected exact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn credit_ambiguity_resolves_to_credit_parent() {
+        // The Section 7 scenario: "credits" splits between course- and
+        // section-credit; neither is confident, their parent CREDIT is.
+        let (labels, tree) = fixture();
+        let p = pred(&labels, &[("COURSE-CREDIT", 0.45), ("SECTION-CREDIT", 0.45)]);
+        match most_specific_unambiguous(&p, &labels, &tree, 0.6) {
+            PartialMatch::Partial { ancestor, mass } => {
+                assert_eq!(labels.name(ancestor), "CREDIT");
+                assert!(mass > 0.85);
+            }
+            other => panic!("expected partial CREDIT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefers_most_specific_subtree() {
+        // Mass concentrated under CREDIT also lies under COURSE (the
+        // root); the deeper ancestor must win.
+        let (labels, tree) = fixture();
+        let p = pred(&labels, &[("COURSE-CREDIT", 0.35), ("SECTION-CREDIT", 0.35), ("CREDIT", 0.2)]);
+        match most_specific_unambiguous(&p, &labels, &tree, 0.6) {
+            PartialMatch::Partial { ancestor, .. } => {
+                assert_eq!(labels.name(ancestor), "CREDIT");
+            }
+            other => panic!("expected partial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scattered_mass_is_unknown() {
+        let (labels, tree) = fixture();
+        // Half the mass on OTHER, rest scattered: even the root subtree
+        // misses the bar.
+        let mut scores = vec![0.1; labels.len()];
+        scores[labels.other()] = 0.5;
+        let p = Prediction::from_scores(scores);
+        assert_eq!(
+            most_specific_unambiguous(&p, &labels, &tree, 0.8),
+            PartialMatch::Unknown
+        );
+    }
+
+    #[test]
+    fn cross_subtree_ambiguity_climbs_to_root() {
+        let (labels, tree) = fixture();
+        let p = pred(&labels, &[("TITLE", 0.45), ("COURSE-CREDIT", 0.45)]);
+        match most_specific_unambiguous(&p, &labels, &tree, 0.6) {
+            PartialMatch::Partial { ancestor, .. } => {
+                assert_eq!(labels.name(ancestor), "COURSE");
+            }
+            other => panic!("expected partial COURSE, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Instances: the XML element occurrences the learners classify.
+//!
+//! In the matching phase "LSD extracts data from the source, and creates for
+//! each source-schema element a column of XML elements that belong to it"
+//! (Section 3). An [`Instance`] is one such element occurrence plus the
+//! context the learners need: the tag path from the listing root and — for
+//! the XML learner — the (true or currently-predicted) labels of the tags
+//! below it.
+
+use lsd_constraints::SourceData;
+use lsd_xml::Element;
+use std::collections::HashMap;
+
+/// One occurrence of a source tag in a listing.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The element subtree (the element itself plus everything below it).
+    pub element: Element,
+    /// Tag names from the listing root down to this element, inclusive —
+    /// the name matcher learns from the whole path (Section 3.3: the tag
+    /// name is "expanded with … all tag names leading to this element from
+    /// the root element").
+    pub path: Vec<String>,
+    /// Per source tag, the label index of that tag — the true labels during
+    /// training, or LSD's first-pass predictions during matching. Consumed
+    /// by the XML learner (Section 5) to turn non-leaf descendants into
+    /// node/edge tokens. Empty when structure labels are unavailable.
+    pub sub_labels: HashMap<String, usize>,
+}
+
+impl Instance {
+    /// Creates an instance with no structure-label context.
+    pub fn new(element: Element, path: Vec<String>) -> Self {
+        Instance { element, path, sub_labels: HashMap::new() }
+    }
+
+    /// The tag name of the instance's element.
+    pub fn tag(&self) -> &str {
+        &self.element.name
+    }
+
+    /// All text in the instance's subtree.
+    pub fn text(&self) -> String {
+        self.element.deep_text()
+    }
+
+    /// Returns a copy with the given structure labels attached.
+    pub fn with_sub_labels(mut self, sub_labels: HashMap<String, usize>) -> Self {
+        self.sub_labels = sub_labels;
+        self
+    }
+}
+
+/// Extracts one [`Instance`] per element occurrence from a set of listings,
+/// grouped by tag name. The listing root elements themselves are included
+/// (their tag is a schema element too), each with a single-entry path.
+pub fn extract_instances(listings: &[Element]) -> HashMap<String, Vec<Instance>> {
+    let mut columns: HashMap<String, Vec<Instance>> = HashMap::new();
+    for listing in listings {
+        let mut stack: Vec<(Vec<String>, &Element)> =
+            vec![(vec![listing.name.clone()], listing)];
+        while let Some((path, element)) = stack.pop() {
+            columns
+                .entry(element.name.clone())
+                .or_default()
+                .push(Instance::new(element.clone(), path.clone()));
+            for child in element.child_elements() {
+                let mut child_path = path.clone();
+                child_path.push(child.name.clone());
+                stack.push((child_path, child));
+            }
+        }
+    }
+    columns
+}
+
+/// Builds the row-aligned [`SourceData`] used by column constraints: one
+/// row per listing, each tag's cell holding the concatenated text of that
+/// tag's occurrences in the listing.
+pub fn build_source_data<'a, I>(tags: I, listings: &[Element]) -> SourceData
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut data = SourceData::new(tags.into_iter().map(str::to_string).collect::<Vec<_>>());
+    for listing in listings {
+        let mut values: Vec<(String, String)> = Vec::new();
+        listing.visit(&mut |e| {
+            if e.is_leaf() {
+                values.push((e.name.clone(), e.direct_text()));
+            } else {
+                values.push((e.name.clone(), e.deep_text()));
+            }
+        });
+        data.push_row(values.iter().map(|(t, v)| (t.as_str(), v.as_str())));
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsd_xml::parse_fragment;
+
+    fn listings() -> Vec<Element> {
+        vec![
+            parse_fragment(
+                "<listing><area>Miami, FL</area>\
+                 <contact><name>Kate</name><phone>(305) 111 2222</phone></contact></listing>",
+            )
+            .unwrap(),
+            parse_fragment(
+                "<listing><area>Boston, MA</area>\
+                 <contact><name>Mike</name><phone>(617) 333 4444</phone></contact></listing>",
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn extracts_one_column_per_tag() {
+        let cols = extract_instances(&listings());
+        assert_eq!(cols.len(), 5);
+        assert_eq!(cols["area"].len(), 2);
+        assert_eq!(cols["contact"].len(), 2);
+        assert_eq!(cols["listing"].len(), 2);
+    }
+
+    #[test]
+    fn instance_paths_run_from_root() {
+        let cols = extract_instances(&listings());
+        let phone = &cols["phone"][0];
+        assert_eq!(phone.path, vec!["listing", "contact", "phone"]);
+        assert_eq!(cols["listing"][0].path, vec!["listing"]);
+    }
+
+    #[test]
+    fn instance_text_is_subtree_text() {
+        let cols = extract_instances(&listings());
+        let contact_texts: Vec<String> =
+            cols["contact"].iter().map(Instance::text).collect();
+        assert!(contact_texts.contains(&"Kate (305) 111 2222".to_string()));
+    }
+
+    #[test]
+    fn source_data_rows_align_with_listings() {
+        let data = build_source_data(
+            ["listing", "area", "contact", "name", "phone"],
+            &listings(),
+        );
+        assert_eq!(data.num_rows(), 2);
+        let areas = data.column("area");
+        assert_eq!(areas.len(), 2);
+        assert!(areas.contains(&"Miami, FL"));
+        // Non-leaf tag cells hold the subtree text.
+        assert!(data.column("contact")[0].contains("Kate"));
+    }
+
+    #[test]
+    fn sub_labels_attach() {
+        let cols = extract_instances(&listings());
+        let inst = cols["contact"][0]
+            .clone()
+            .with_sub_labels(HashMap::from([("name".to_string(), 3usize)]));
+        assert_eq!(inst.sub_labels.get("name"), Some(&3));
+    }
+
+    #[test]
+    fn empty_listings_give_empty_columns() {
+        assert!(extract_instances(&[]).is_empty());
+        let data = build_source_data(["a"], &[]);
+        assert_eq!(data.num_rows(), 0);
+    }
+}

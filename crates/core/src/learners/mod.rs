@@ -1,0 +1,63 @@
+//! The base learners (paper Sections 3.3 and 5).
+//!
+//! Each base learner exploits a different type of information in the source
+//! schema or data. The [`BaseLearner`] trait is the extension point the
+//! paper emphasizes: "our system is extensible since we can add new
+//! learners that have specific strengths in particular domains".
+
+mod content_matcher;
+mod format_learner;
+mod name_matcher;
+mod naive_bayes;
+mod recognizer;
+mod stats_learner;
+mod xml_learner;
+
+pub use content_matcher::ContentMatcher;
+pub use format_learner::FormatLearner;
+pub use name_matcher::NameMatcher;
+pub use naive_bayes::NaiveBayesLearner;
+pub use recognizer::{county_name_recognizer, state_abbrev_recognizer, zip_recognizer, Recognizer};
+pub use stats_learner::StatsLearner;
+pub use xml_learner::{XmlLearner, XmlTokenKinds};
+
+use crate::instance::Instance;
+use crate::persist::SavedLearner;
+use lsd_learn::{Classifier, Prediction};
+
+/// A base learner: trains on labelled [`Instance`]s and predicts
+/// confidence-score distributions for new ones.
+pub trait BaseLearner: Send {
+    /// Stable display name, used in lesion studies and experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Trains from scratch on the given examples.
+    fn train(&mut self, examples: &[(&Instance, usize)]);
+
+    /// Predicts the label distribution for one instance.
+    fn predict(&self, instance: &Instance) -> Prediction;
+
+    /// A fresh, untrained learner with the same configuration — used by the
+    /// meta-learner's cross-validation, which must train per-fold copies.
+    fn fresh(&self) -> Box<dyn BaseLearner>;
+
+    /// A serializable snapshot of the trained state, if this learner
+    /// supports persistence (all built-in learners do; custom learners may
+    /// return `None`, which makes [`crate::Lsd::to_saved`] fail loudly
+    /// rather than drop them silently).
+    fn snapshot(&self) -> Option<SavedLearner> {
+        None
+    }
+}
+
+/// Adapter so boxed base learners plug into `lsd-learn`'s generic
+/// cross-validation machinery.
+impl Classifier<Instance> for Box<dyn BaseLearner> {
+    fn train(&mut self, examples: &[(&Instance, usize)]) {
+        BaseLearner::train(self.as_mut(), examples);
+    }
+
+    fn predict(&self, example: &Instance) -> Prediction {
+        BaseLearner::predict(self.as_ref(), example)
+    }
+}

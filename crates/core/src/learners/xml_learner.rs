@@ -1,0 +1,258 @@
+//! The XML learner (paper Section 5, Table 2).
+//!
+//! Naive Bayes "flattens" instances into word bags, so it confuses classes
+//! like HOUSE, CONTACT-INFO, OFFICE-INFO and AGENT-INFO that share words.
+//! The XML learner keeps the hierarchy: it rebuilds the instance as a tree,
+//! replaces the root with a generic root `d` and every non-root element
+//! node with its *label* (true labels during training, LSD's first-pass
+//! predictions during matching — carried in [`Instance::sub_labels`]), and
+//! then tokenizes the tree into:
+//!
+//! - **text tokens** — the stemmed leaf words;
+//! - **node tokens** — one per labelled node (`AGENT-NAME` appearing inside
+//!   an instance is evidence about the instance's own class);
+//! - **edge tokens** — `parent→child` pairs, including `d→label`,
+//!   `label→label`, and `label→word` edges (the paper's
+//!   `WATERFRONT→"yes"` example), which discriminate where node tokens
+//!   fail (e.g. `d→AGENT-NAME` separates AGENT-INFO from HOUSE).
+//!
+//! The bag of all three token kinds feeds a multinomial Naive Bayes model.
+
+use crate::instance::Instance;
+use crate::learners::BaseLearner;
+use lsd_learn::{NaiveBayes, NaiveBayesConfig, Prediction};
+use lsd_text::{tokenize, PorterStemmer};
+use lsd_xml::Element;
+use std::collections::HashMap;
+
+/// Which structure-token kinds the learner generates; all on by default.
+/// Exposed for the `ablation_xml` bench (text-only degenerates to plain
+/// Naive Bayes).
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct XmlTokenKinds {
+    /// Stemmed leaf words.
+    pub text: bool,
+    /// Labels of non-root element nodes.
+    pub nodes: bool,
+    /// Parent→child label/word pairs.
+    pub edges: bool,
+}
+
+impl Default for XmlTokenKinds {
+    fn default() -> Self {
+        XmlTokenKinds { text: true, nodes: true, edges: true }
+    }
+}
+
+/// The structure-aware Naive Bayes classifier of Section 5.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct XmlLearner {
+    num_labels: usize,
+    kinds: XmlTokenKinds,
+    model: NaiveBayes,
+    stemmer: PorterStemmer,
+}
+
+impl XmlLearner {
+    /// Creates an untrained XML learner generating all token kinds.
+    pub fn new(num_labels: usize) -> Self {
+        Self::with_token_kinds(num_labels, XmlTokenKinds::default())
+    }
+
+    /// Creates an untrained XML learner with selected token kinds.
+    pub fn with_token_kinds(num_labels: usize, kinds: XmlTokenKinds) -> Self {
+        XmlLearner {
+            num_labels,
+            kinds,
+            model: NaiveBayes::new(num_labels, NaiveBayesConfig::default()),
+            stemmer: PorterStemmer::new(),
+        }
+    }
+
+    /// Generates the token bag for an element under a tag→label map.
+    fn tokens(&self, instance: &Instance) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&instance.element, "d", &instance.sub_labels, &mut out);
+        out
+    }
+
+    /// Recursive tree walk. `parent_id` is the token identity of the
+    /// current node seen as a parent: `"d"` for the instance root, the
+    /// label index for labelled descendants.
+    fn walk(
+        &self,
+        element: &Element,
+        parent_id: &str,
+        sub_labels: &HashMap<String, usize>,
+        out: &mut Vec<String>,
+    ) {
+        // Direct text words hang below this node.
+        for word in tokenize(&element.direct_text()) {
+            let w = self.stemmer.stem(&word);
+            if self.kinds.text {
+                out.push(format!("w:{w}"));
+            }
+            if self.kinds.edges {
+                out.push(format!("e:{parent_id}>w:{w}"));
+            }
+        }
+        for child in element.child_elements() {
+            // Unknown tags (no first-pass label yet) fall back to the
+            // OTHER slot, which is always index num_labels-1.
+            let label = sub_labels.get(&child.name).copied().unwrap_or(self.num_labels - 1);
+            let child_id = format!("L{label}");
+            if self.kinds.nodes {
+                out.push(format!("n:{child_id}"));
+            }
+            if self.kinds.edges {
+                out.push(format!("e:{parent_id}>{child_id}"));
+            }
+            self.walk(child, &child_id, sub_labels, out);
+        }
+    }
+}
+
+impl BaseLearner for XmlLearner {
+    fn snapshot(&self) -> Option<crate::persist::SavedLearner> {
+        Some(crate::persist::SavedLearner::Xml(self.clone()))
+    }
+
+    fn name(&self) -> &'static str {
+        "xml-learner"
+    }
+
+    fn train(&mut self, examples: &[(&Instance, usize)]) {
+        let mut model = NaiveBayes::new(self.num_labels, NaiveBayesConfig::default());
+        for (instance, label) in examples {
+            model.add_example(&self.tokens(instance), *label);
+        }
+        self.model = model;
+    }
+
+    fn predict(&self, instance: &Instance) -> Prediction {
+        self.model.predict_tokens(&self.tokens(instance))
+    }
+
+    fn fresh(&self) -> Box<dyn BaseLearner> {
+        Box::new(XmlLearner::with_token_kinds(self.num_labels, self.kinds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsd_xml::parse_fragment;
+
+    /// Labels: 0 CONTACT-INFO, 1 DESCRIPTION, 2 AGENT-NAME, 3 OFFICE-NAME,
+    /// 4 OTHER.
+    const N: usize = 5;
+
+    fn labels() -> HashMap<String, usize> {
+        HashMap::from([
+            ("name".to_string(), 2usize),
+            ("firm".to_string(), 3usize),
+            ("agent".to_string(), 2usize),
+            ("office".to_string(), 3usize),
+        ])
+    }
+
+    fn contact(name: &str, firm: &str) -> Instance {
+        let el = parse_fragment(&format!(
+            "<contact><name>{name}</name><firm>{firm}</firm></contact>"
+        ))
+        .unwrap();
+        Instance::new(el, vec!["contact".into()]).with_sub_labels(labels())
+    }
+
+    fn description(text: &str) -> Instance {
+        let el = parse_fragment(&format!("<description>{text}</description>")).unwrap();
+        Instance::new(el, vec!["description".into()]).with_sub_labels(labels())
+    }
+
+    /// The paper's Figure 7 pair: a CONTACT-INFO element and a DESCRIPTION
+    /// element that share all their words. Flat NB cannot separate them;
+    /// the XML learner must.
+    fn figure7_training() -> Vec<(Instance, usize)> {
+        vec![
+            (contact("Gail Murphy", "MAX Realtors"), 0),
+            (contact("Jane Kendall", "ACME Homes"), 0),
+            (contact("Mike Smith", "MAX Realtors"), 0),
+            (description("Victorian house with a view. Contact Gail Murphy at MAX Realtors"), 1),
+            (description("Name your price! call Jane Kendall of ACME Homes"), 1),
+            (description("Great house. Mike Smith will show it"), 1),
+        ]
+    }
+
+    fn trained(kinds: XmlTokenKinds) -> XmlLearner {
+        let mut m = XmlLearner::with_token_kinds(N, kinds);
+        let data = figure7_training();
+        let refs: Vec<(&Instance, usize)> = data.iter().map(|(i, l)| (i, *l)).collect();
+        m.train(&refs);
+        m
+    }
+
+    #[test]
+    fn structure_tokens_separate_shared_vocabulary() {
+        let m = trained(XmlTokenKinds::default());
+        let c = m.predict(&contact("Pat Doe", "MAX Realtors"));
+        let d = m.predict(&description("To see it, contact Pat Doe at MAX Realtors"));
+        assert_eq!(c.best_label(), 0, "{:?}", c.scores());
+        assert_eq!(d.best_label(), 1, "{:?}", d.scores());
+    }
+
+    #[test]
+    fn text_only_kinds_degenerate_to_flat_bag() {
+        // With only text tokens the two Figure-7 instances are nearly
+        // indistinguishable — structure is what separates them.
+        let m = trained(XmlTokenKinds { text: true, nodes: false, edges: false });
+        let c = m.predict(&contact("Gail Murphy", "MAX Realtors"));
+        let full = trained(XmlTokenKinds::default());
+        let c_full = full.predict(&contact("Gail Murphy", "MAX Realtors"));
+        assert!(
+            c_full.score(0) > c.score(0),
+            "structure tokens should sharpen the correct class: full={:.3} text-only={:.3}",
+            c_full.score(0),
+            c.score(0)
+        );
+    }
+
+    #[test]
+    fn token_generation_covers_all_kinds() {
+        let m = XmlLearner::new(N);
+        let inst = contact("Gail Murphy", "MAX Realtors");
+        let toks = m.tokens(&inst);
+        // Node tokens for the two labelled children.
+        assert!(toks.contains(&"n:L2".to_string()), "{toks:?}");
+        assert!(toks.contains(&"n:L3".to_string()));
+        // Root edges.
+        assert!(toks.contains(&"e:d>L2".to_string()));
+        // Label→word edge (the WATERFRONT→"yes" pattern).
+        assert!(toks.contains(&"e:L2>w:gail".to_string()));
+        // Text tokens.
+        assert!(toks.contains(&"w:gail".to_string()));
+    }
+
+    #[test]
+    fn unknown_child_tags_fall_back_to_other() {
+        let m = XmlLearner::new(N);
+        let el = parse_fragment("<x><mystery>v</mystery></x>").unwrap();
+        let inst = Instance::new(el, vec!["x".into()]); // no sub_labels
+        let toks = m.tokens(&inst);
+        assert!(toks.contains(&format!("n:L{}", N - 1)), "{toks:?}");
+    }
+
+    #[test]
+    fn root_text_gets_d_edges() {
+        let m = XmlLearner::new(N);
+        let inst = description("hello");
+        let toks = m.tokens(&inst);
+        assert!(toks.contains(&"e:d>w:hello".to_string()), "{toks:?}");
+    }
+
+    #[test]
+    fn fresh_is_untrained() {
+        let m = trained(XmlTokenKinds::default());
+        let p = m.fresh().predict(&contact("A B", "C D"));
+        assert!(p.scores().iter().all(|&x| (x - 1.0 / N as f64).abs() < 1e-9));
+    }
+}

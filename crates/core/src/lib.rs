@@ -1,0 +1,51 @@
+//! # lsd-core
+//!
+//! The LSD schema matcher (paper Sections 3–5): given a mediated DTD and a
+//! handful of user-mapped training sources, LSD learns to propose 1-1
+//! semantic mappings for new sources.
+//!
+//! The system has four major components (Figure 4):
+//!
+//! 1. **Base learners** ([`learners`]) — each exploits a different kind of
+//!    information: the [`learners::NameMatcher`] (WHIRL over tag names +
+//!    synonyms + root paths), the [`learners::ContentMatcher`] (WHIRL over
+//!    data content), the [`learners::NaiveBayesLearner`] (word frequencies),
+//!    the [`learners::XmlLearner`] (structure tokens, Section 5), dictionary
+//!    [`learners::Recognizer`]s such as the county-name recognizer, and the
+//!    [`learners::FormatLearner`] extension suggested in Section 7.
+//! 2. **Meta-learner** ([`MetaLearner`]) — stacking: per-(label, learner)
+//!    weights fit by least-squares regression on cross-validated base
+//!    learner predictions (Section 3.1 step 5).
+//! 3. **Prediction converter** ([`converter`]) — averages per-instance
+//!    predictions into one prediction per source tag (Section 3.2 step 2).
+//! 4. **Constraint handler** (re-exported from `lsd-constraints`) — A\*
+//!    search for the least-cost mapping under domain constraints and user
+//!    feedback (Section 4).
+//!
+//! [`Lsd`] ties them together with the two-phase train/match workflow, and
+//! [`feedback`] implements the Section 6.3 interactive-feedback protocol
+//! with a simulated oracle.
+
+pub mod converter;
+mod counties;
+pub mod feedback;
+pub mod hierarchy;
+mod instance;
+pub mod learners;
+mod meta;
+pub mod persist;
+mod system;
+
+pub use converter::{convert_column, convert_column_with, CombinationRule};
+pub use hierarchy::{most_specific_unambiguous, PartialMatch};
+pub use persist::{PersistError, SavedLearner, SavedModel};
+pub use instance::{build_source_data, extract_instances, Instance};
+pub use meta::MetaLearner;
+pub use system::{Lsd, LsdBuilder, LsdConfig, MatchOutcome, Source, TagExplanation, TrainedSource};
+
+// The constraint vocabulary is part of LSD's public face.
+pub use lsd_constraints::{
+    ConstraintHandler, ConstraintKind, DomainConstraint, MappingResult, Predicate,
+    SearchAlgorithm, SearchConfig, SourceData,
+};
+pub use lsd_learn::{LabelSet, Prediction};

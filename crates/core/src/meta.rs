@@ -1,0 +1,260 @@
+//! The stacking meta-learner (paper Sections 3.1 step 5 and 3.2).
+//!
+//! The meta-learner combines base-learner predictions using *stacking*: for
+//! each (label `cᵢ`, learner `Lⱼ`) pair it learns a weight `W(cᵢ,Lⱼ)`
+//! indicating how much it trusts `Lⱼ`'s predictions regarding `cᵢ`. The
+//! weights come from least-squares regression over cross-validated (and
+//! therefore unbiased) base-learner predictions: if a learner tends to give
+//! a high score when an instance truly matches `cᵢ` and low otherwise, it
+//! earns a high weight.
+//!
+//! At matching time the combined score for label `cᵢ` is the weight-summed
+//! base-learner score `Σⱼ W(cᵢ,Lⱼ)·s(cᵢ|x,Lⱼ)`, normalized across labels
+//! (Section 3.2's worked example: `0.3·0.5 + 0.8·0.7 = 0.71` for ADDRESS).
+
+use lsd_learn::{nonnegative_least_squares, Prediction};
+use serde::{Deserialize, Serialize};
+
+/// Ridge used in the regression; guards against degenerate CV score
+/// matrices (e.g. two learners emitting identical scores).
+const RIDGE: f64 = 1e-6;
+
+/// Shrinkage toward uniform weights. With only three training sources the
+/// per-label regressions see few independent tag groups, so the raw NNLS
+/// weights are high-variance; shrinking them toward equal trust
+/// (`w' = λ·w + (1−λ)/k`) trades a little fidelity on well-estimated
+/// labels for much better behaviour on sparsely observed ones.
+const SHRINKAGE: f64 = 0.55;
+
+/// Per-(label, learner) trust weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetaLearner {
+    /// `weights[label][learner]`.
+    weights: Vec<Vec<f64>>,
+}
+
+impl MetaLearner {
+    /// A meta-learner that trusts every base learner equally — the ablation
+    /// baseline for the `ablation_meta` bench and the fallback when no
+    /// training data exists.
+    pub fn uniform(num_labels: usize, num_learners: usize) -> Self {
+        assert!(num_learners > 0);
+        MetaLearner {
+            weights: vec![vec![1.0 / num_learners as f64; num_learners]; num_labels],
+        }
+    }
+
+    /// Trains the weights by per-label least-squares regression.
+    ///
+    /// * `cv[j][x]` — learner `j`'s cross-validated prediction for training
+    ///   example `x` (the `CV(Lⱼ)` sets of Section 3.1 step 5a).
+    /// * `truths[x]` — the true label of example `x`.
+    ///
+    /// For each label `cᵢ` the regression rows are
+    /// `⟨s(cᵢ|x,L₁), …, s(cᵢ|x,Lₖ)⟩` with target `l(cᵢ,x) ∈ {0,1}`
+    /// (the `T(ML,cᵢ)` sets of step 5b).
+    pub fn train(cv: &[Vec<Prediction>], truths: &[usize], num_labels: usize) -> Self {
+        let num_learners = cv.len();
+        assert!(num_learners > 0, "need at least one base learner");
+        for learner_cv in cv {
+            assert_eq!(learner_cv.len(), truths.len(), "CV set size mismatch");
+        }
+        if truths.is_empty() {
+            return Self::uniform(num_labels, num_learners);
+        }
+
+        let mut weights = Vec::with_capacity(num_labels);
+        for label in 0..num_labels {
+            let rows: Vec<Vec<f64>> = (0..truths.len())
+                .map(|x| (0..num_learners).map(|j| cv[j][x].score(label)).collect())
+                .collect();
+            let targets: Vec<f64> =
+                truths.iter().map(|&t| if t == label { 1.0 } else { 0.0 }).collect();
+            let row_refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+            let mut w = nonnegative_least_squares(&row_refs, &targets, RIDGE);
+            // If cross-validation found *no* learner informative for this
+            // label (common when only one training source exhibits it —
+            // the held-out fold then has no examples of it at all), being
+            // blind is worse than being undiscriminating: fall back to
+            // trusting every learner equally.
+            if w.iter().all(|&x| x <= 0.0) {
+                w = vec![1.0 / num_learners as f64; num_learners];
+            }
+            for x in &mut w {
+                *x = SHRINKAGE * *x + (1.0 - SHRINKAGE) / num_learners as f64;
+            }
+            weights.push(w);
+        }
+        MetaLearner { weights }
+    }
+
+    /// Number of labels.
+    pub fn num_labels(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of base learners.
+    pub fn num_learners(&self) -> usize {
+        self.weights.first().map_or(0, Vec::len)
+    }
+
+    /// The weight of learner `j` for label `i`.
+    pub fn weight(&self, label: usize, learner: usize) -> f64 {
+        self.weights[label][learner]
+    }
+
+    /// Combines one prediction per base learner into a single prediction:
+    /// per-label weighted sum, negative sums clamped to zero, normalized.
+    pub fn combine(&self, predictions: &[Prediction]) -> Prediction {
+        assert_eq!(predictions.len(), self.num_learners(), "one prediction per learner");
+        let n = self.num_labels();
+        let scores: Vec<f64> = (0..n)
+            .map(|label| {
+                let s: f64 = predictions
+                    .iter()
+                    .enumerate()
+                    .map(|(j, p)| self.weights[label][j] * p.score(label))
+                    .sum();
+                s.max(0.0)
+            })
+            .collect();
+        Prediction::from_scores(scores)
+    }
+
+    /// Combines predictions for a *subset* of the learners, given their
+    /// indices — used in lesion studies where a learner is removed at match
+    /// time without retraining the stack.
+    pub fn combine_subset(&self, predictions: &[Prediction], learners: &[usize]) -> Prediction {
+        assert_eq!(predictions.len(), learners.len());
+        let n = self.num_labels();
+        let scores: Vec<f64> = (0..n)
+            .map(|label| {
+                let s: f64 = predictions
+                    .iter()
+                    .zip(learners)
+                    .map(|(p, &j)| self.weights[label][j] * p.score(label))
+                    .sum();
+                s.max(0.0)
+            })
+            .collect();
+        Prediction::from_scores(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example_combination() {
+        // Section 3.2: W(ADDRESS, NameMatcher)=0.3, W(ADDRESS, NaiveBayes)=0.8.
+        // Name matcher: ⟨0.5,0.3,0.2⟩, Naive Bayes: ⟨0.7,0.3,0.0⟩.
+        // ADDRESS combined score = 0.3·0.5 + 0.8·0.7 = 0.71.
+        let ml = MetaLearner {
+            weights: vec![vec![0.3, 0.8], vec![0.3, 0.8], vec![0.3, 0.8]],
+        };
+        let preds = [
+            Prediction::from_scores(vec![0.5, 0.3, 0.2]),
+            Prediction::from_scores(vec![0.7, 0.3, 0.0]),
+        ];
+        let combined = ml.combine(&preds);
+        // Unnormalized: ADDRESS 0.71, DESCRIPTION 0.33, AGENT-PHONE 0.06.
+        let total = 0.71 + 0.33 + 0.06;
+        assert!((combined.score(0) - 0.71 / total).abs() < 1e-9);
+        assert_eq!(combined.best_label(), 0);
+    }
+
+    #[test]
+    fn training_trusts_the_informative_learner() {
+        // Learner 0 is perfect on label 0; learner 1 is uninformative.
+        let n = 2;
+        let mut cv0 = Vec::new();
+        let mut cv1 = Vec::new();
+        let mut truths = Vec::new();
+        for i in 0..40 {
+            let truth = i % 2;
+            truths.push(truth);
+            cv0.push(if truth == 0 {
+                Prediction::from_scores(vec![0.9, 0.1])
+            } else {
+                Prediction::from_scores(vec![0.1, 0.9])
+            });
+            cv1.push(Prediction::uniform(2));
+        }
+        let ml = MetaLearner::train(&[cv0, cv1], &truths, n);
+        assert!(
+            ml.weight(0, 0) > ml.weight(0, 1),
+            "informative learner must earn the higher weight: {:?}",
+            ml.weights
+        );
+        // Combination follows learner 0.
+        let combined = ml.combine(&[
+            Prediction::from_scores(vec![0.9, 0.1]),
+            Prediction::uniform(2),
+        ]);
+        assert_eq!(combined.best_label(), 0);
+    }
+
+    #[test]
+    fn per_label_weights_differ() {
+        // Learner 0 is good at label 0 only; learner 1 good at label 1 only.
+        let mut cv0 = Vec::new();
+        let mut cv1 = Vec::new();
+        let mut truths = Vec::new();
+        for i in 0..60 {
+            let truth = i % 3;
+            truths.push(truth);
+            cv0.push(if truth == 0 {
+                Prediction::from_scores(vec![0.8, 0.1, 0.1])
+            } else {
+                Prediction::from_scores(vec![0.2, 0.4, 0.4])
+            });
+            cv1.push(if truth == 1 {
+                Prediction::from_scores(vec![0.1, 0.8, 0.1])
+            } else {
+                Prediction::from_scores(vec![0.4, 0.2, 0.4])
+            });
+        }
+        let ml = MetaLearner::train(&[cv0, cv1], &truths, 3);
+        assert!(ml.weight(0, 0) > ml.weight(0, 1), "{:?}", ml.weights);
+        assert!(ml.weight(1, 1) > ml.weight(1, 0), "{:?}", ml.weights);
+    }
+
+    #[test]
+    fn uniform_fallback() {
+        let ml = MetaLearner::uniform(3, 2);
+        assert_eq!(ml.num_labels(), 3);
+        assert_eq!(ml.num_learners(), 2);
+        let combined = ml.combine(&[
+            Prediction::from_scores(vec![0.6, 0.2, 0.2]),
+            Prediction::from_scores(vec![0.2, 0.6, 0.2]),
+        ]);
+        // Equal trust: scores average out.
+        assert!((combined.score(0) - combined.score(1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_training_returns_uniform() {
+        let ml = MetaLearner::train(&[vec![], vec![]], &[], 4);
+        assert_eq!(ml, MetaLearner::uniform(4, 2));
+    }
+
+    #[test]
+    fn negative_weighted_sums_clamp_to_zero() {
+        let ml = MetaLearner { weights: vec![vec![-1.0], vec![1.0]] };
+        let combined = ml.combine(&[Prediction::from_scores(vec![0.5, 0.5])]);
+        assert_eq!(combined.score(0), 0.0);
+        assert_eq!(combined.score(1), 1.0);
+    }
+
+    #[test]
+    fn combine_subset_uses_selected_weights() {
+        let ml = MetaLearner { weights: vec![vec![0.1, 0.9], vec![0.9, 0.1]] };
+        let p = Prediction::from_scores(vec![0.5, 0.5]);
+        let full = ml.combine(&[p.clone(), p.clone()]);
+        let only_second = ml.combine_subset(std::slice::from_ref(&p), &[1]);
+        // With only learner 1: label 0 gets 0.9·0.5, label 1 gets 0.1·0.5.
+        assert_eq!(only_second.best_label(), 0);
+        assert!((full.score(0) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,320 @@
+//! Persistence of trained LSD systems.
+//!
+//! The paper's workflow separates an offline training phase from an
+//! interactive matching phase ("the training phase of LSD can be done
+//! offline", Section 7). [`SavedModel`] is the serializable snapshot that
+//! connects them: every built-in learner's trained state, the meta-learner
+//! weights, the domain constraints and the configuration, round-trippable
+//! through JSON.
+//!
+//! Custom [`BaseLearner`] implementations added by downstream users are not
+//! serializable through this path (they are trait objects with arbitrary
+//! state); [`Lsd::to_saved`] reports them by name instead of silently
+//! dropping them.
+
+use crate::learners::{
+    county_name_recognizer, BaseLearner, ContentMatcher, FormatLearner, NameMatcher,
+    NaiveBayesLearner, StatsLearner, XmlLearner,
+};
+use crate::meta::MetaLearner;
+use crate::system::{Lsd, LsdConfig};
+use lsd_constraints::{ConstraintHandler, DomainConstraint};
+use lsd_learn::LabelSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from saving or loading a model.
+#[derive(Debug)]
+pub enum PersistError {
+    /// A learner in the system has no serializable snapshot.
+    UnsupportedLearner {
+        /// The learner's display name.
+        name: String,
+    },
+    /// JSON (de)serialization failed.
+    Json(serde_json::Error),
+    /// File I/O failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::UnsupportedLearner { name } => {
+                write!(f, "learner '{name}' has no serializable snapshot")
+            }
+            PersistError::Json(e) => write!(f, "serialization failed: {e}"),
+            PersistError::Io(e) => write!(f, "file I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// The trained state of one built-in base learner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SavedLearner {
+    /// WHIRL name matcher.
+    Name(NameMatcher),
+    /// WHIRL content matcher.
+    Content(ContentMatcher),
+    /// Multinomial Naive Bayes.
+    NaiveBayes(NaiveBayesLearner),
+    /// Structure-token Naive Bayes (Section 5).
+    Xml(XmlLearner),
+    /// Character-class format learner (Section 7 extension).
+    Format(FormatLearner),
+    /// Value-statistics learner.
+    Stats(StatsLearner),
+    /// The county-name recognizer, reconstructed from its parameters (its
+    /// dictionary is compiled in).
+    CountyRecognizer {
+        /// Total label count.
+        num_labels: usize,
+        /// The COUNTY label index.
+        target: usize,
+    },
+}
+
+impl SavedLearner {
+    /// Restores the boxed learner, rebuilding any in-memory indexes.
+    pub fn restore(self) -> Box<dyn BaseLearner> {
+        match self {
+            SavedLearner::Name(mut l) => {
+                l.rehydrate();
+                Box::new(l)
+            }
+            SavedLearner::Content(mut l) => {
+                l.rehydrate();
+                Box::new(l)
+            }
+            SavedLearner::NaiveBayes(l) => Box::new(l),
+            SavedLearner::Xml(l) => Box::new(l),
+            SavedLearner::Format(l) => Box::new(l),
+            SavedLearner::Stats(l) => Box::new(l),
+            SavedLearner::CountyRecognizer { num_labels, target } => {
+                Box::new(county_name_recognizer(num_labels, target))
+            }
+        }
+    }
+}
+
+/// A complete serializable snapshot of a (usually trained) LSD system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedModel {
+    /// Format version, for forward compatibility.
+    pub version: u32,
+    /// The label set.
+    pub labels: LabelSet,
+    /// The learners, in combination order.
+    pub learners: Vec<SavedLearner>,
+    /// Index of the XML learner within `learners`, if present.
+    pub xml_index: Option<usize>,
+    /// The trained stacking weights.
+    pub meta: MetaLearner,
+    /// The domain constraints.
+    pub constraints: Vec<DomainConstraint>,
+    /// Pipeline configuration.
+    pub config: LsdConfig,
+    /// Whether [`Lsd::train`] had run.
+    pub trained: bool,
+}
+
+/// Current snapshot format version.
+pub const SAVED_MODEL_VERSION: u32 = 1;
+
+impl Lsd {
+    /// Snapshots the system (learners, meta weights, constraints, config).
+    ///
+    /// # Errors
+    /// [`PersistError::UnsupportedLearner`] if a custom learner without a
+    /// snapshot is present.
+    pub fn to_saved(&self) -> Result<SavedModel, PersistError> {
+        let learners = self
+            .learners
+            .iter()
+            .map(|l| {
+                l.snapshot().ok_or_else(|| PersistError::UnsupportedLearner {
+                    name: l.name().to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SavedModel {
+            version: SAVED_MODEL_VERSION,
+            labels: self.labels.clone(),
+            learners,
+            xml_index: self.xml_index,
+            meta: self.meta.clone(),
+            constraints: self.handler.constraints().to_vec(),
+            config: self.config,
+            trained: self.trained,
+        })
+    }
+
+    /// Reconstructs a system from a snapshot.
+    pub fn from_saved(saved: SavedModel) -> Lsd {
+        let learners: Vec<Box<dyn BaseLearner>> =
+            saved.learners.into_iter().map(SavedLearner::restore).collect();
+        let handler = ConstraintHandler::new(saved.constraints)
+            .with_config(saved.config.search)
+            .with_candidate_limit(saved.config.candidate_limit);
+        Lsd {
+            labels: saved.labels,
+            learners,
+            xml_index: saved.xml_index,
+            meta: saved.meta,
+            handler,
+            config: saved.config,
+            trained: saved.trained,
+        }
+    }
+
+    /// Saves the system as pretty-printed JSON at `path`.
+    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> Result<(), PersistError> {
+        let saved = self.to_saved()?;
+        std::fs::write(path, serde_json::to_string_pretty(&saved)?)?;
+        Ok(())
+    }
+
+    /// Loads a system from a JSON snapshot at `path`.
+    pub fn load_json(path: impl AsRef<std::path::Path>) -> Result<Lsd, PersistError> {
+        let text = std::fs::read_to_string(path)?;
+        let saved: SavedModel = serde_json::from_str(&text)?;
+        Ok(Lsd::from_saved(saved))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learners::Recognizer;
+    use crate::system::{LsdBuilder, Source, TrainedSource};
+    use lsd_xml::{parse_dtd, parse_fragment};
+    use std::collections::HashMap;
+
+    fn trained_system() -> (Lsd, Source) {
+        let mediated = parse_dtd(
+            "<!ELEMENT H (A, D, P)>\n<!ELEMENT A (#PCDATA)>\n\
+             <!ELEMENT D (#PCDATA)>\n<!ELEMENT P (#PCDATA)>",
+        )
+        .expect("valid DTD");
+        let dtd = parse_dtd(
+            "<!ELEMENT h (addr, descr, phone)>\n<!ELEMENT addr (#PCDATA)>\n\
+             <!ELEMENT descr (#PCDATA)>\n<!ELEMENT phone (#PCDATA)>",
+        )
+        .expect("valid DTD");
+        let listings = [
+            ("Miami, FL", "Great view", "(305) 111 2222"),
+            ("Boston, MA", "Fantastic yard", "(617) 333 4444"),
+            ("Austin, TX", "Nice area", "(512) 555 6666"),
+        ]
+        .iter()
+        .map(|(a, d, p)| {
+            parse_fragment(&format!(
+                "<h><addr>{a}</addr><descr>{d}</descr><phone>{p}</phone></h>"
+            ))
+            .expect("well-formed")
+        })
+        .collect::<Vec<_>>();
+        let train = TrainedSource {
+            source: Source { name: "t".into(), dtd: dtd.clone(), listings: listings.clone() },
+            mapping: HashMap::from([
+                ("h".to_string(), "H".to_string()),
+                ("addr".to_string(), "A".to_string()),
+                ("descr".to_string(), "D".to_string()),
+                ("phone".to_string(), "P".to_string()),
+            ]),
+        };
+        let builder = LsdBuilder::new(&mediated);
+        let n = builder.labels().len();
+        let mut lsd = builder
+            .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, [("addr", "address")])))
+            .add_learner(Box::new(ContentMatcher::new(n)))
+            .add_learner(Box::new(NaiveBayesLearner::new(n)))
+            .add_learner(Box::new(StatsLearner::new(n)))
+            .add_learner(Box::new(FormatLearner::new(n)))
+            .with_xml_learner()
+            .build();
+        lsd.train(std::slice::from_ref(&train));
+        let target = Source { name: "same".into(), dtd, listings };
+        (lsd, target)
+    }
+
+    #[test]
+    fn roundtrip_preserves_matching_behavior() {
+        let (lsd, target) = trained_system();
+        let before = lsd.match_source(&target);
+
+        let saved = lsd.to_saved().expect("all built-in learners snapshot");
+        let json = serde_json::to_string(&saved).expect("serializes");
+        let restored: SavedModel = serde_json::from_str(&json).expect("deserializes");
+        let lsd2 = Lsd::from_saved(restored);
+
+        assert!(lsd2.is_trained());
+        assert_eq!(lsd2.learner_names(), lsd.learner_names());
+        let after = lsd2.match_source(&target);
+        assert_eq!(before.labels, after.labels);
+        for (a, b) in before.predictions.iter().zip(&after.predictions) {
+            for l in 0..a.len() {
+                assert!((a.score(l) - b.score(l)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (lsd, target) = trained_system();
+        let dir = std::env::temp_dir().join("lsd-persist-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("model.json");
+        lsd.save_json(&path).expect("saves");
+        let lsd2 = Lsd::load_json(&path).expect("loads");
+        assert_eq!(
+            lsd.match_source(&target).labels,
+            lsd2.match_source(&target).labels
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn county_recognizer_roundtrips_via_parameters() {
+        let saved = SavedLearner::CountyRecognizer { num_labels: 4, target: 2 };
+        let learner = saved.restore();
+        let instance = crate::Instance::new(
+            lsd_xml::Element::text_leaf("c", "King County"),
+            vec!["c".into()],
+        );
+        assert_eq!(learner.predict(&instance).best_label(), 2);
+    }
+
+    #[test]
+    fn custom_recognizer_is_rejected_with_name() {
+        let mediated =
+            parse_dtd("<!ELEMENT A (#PCDATA)>").expect("valid DTD");
+        let builder = LsdBuilder::new(&mediated);
+        let n = builder.labels().len();
+        let lsd = builder
+            .add_learner(Box::new(Recognizer::new("zip-recognizer", n, 0, |v| {
+                v.len() == 5
+            })))
+            .build();
+        match lsd.to_saved() {
+            Err(PersistError::UnsupportedLearner { name }) => {
+                assert_eq!(name, "zip-recognizer");
+            }
+            other => panic!("expected UnsupportedLearner, got {other:?}"),
+        }
+    }
+}

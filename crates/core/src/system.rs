@@ -1,0 +1,842 @@
+//! The LSD system: two-phase train/match pipeline (paper Section 3,
+//! Figure 4).
+//!
+//! **Training** (Section 3.1): the user maps a few sources by hand; LSD
+//! extracts data, creates per-learner training examples, trains the base
+//! learners, and trains the stacking meta-learner on cross-validated
+//! base-learner predictions.
+//!
+//! **Matching** (Section 3.2): for a new source, LSD extracts a column of
+//! instances per source tag, applies the base learners to each instance,
+//! combines their predictions with the meta-learner, averages per column
+//! with the prediction converter, and hands the tag-level predictions to
+//! the constraint handler, which searches for the best global 1-1 mapping.
+//!
+//! The XML learner runs as a *second stage*: it needs labels for the
+//! sub-elements of each instance (Section 5, Table 2: "Use LSD (with other
+//! base learners) to predict for each non-leaf & non-root node in T a
+//! label"), so the pipeline first computes a preliminary per-tag labelling
+//! from the other learners, then lets the XML learner vote with that
+//! structural context.
+
+use crate::converter::{convert_column_with, CombinationRule};
+use crate::instance::{build_source_data, extract_instances, Instance};
+use crate::learners::{BaseLearner, XmlLearner};
+use crate::meta::MetaLearner;
+use lsd_constraints::{
+    ConstraintHandler, DomainConstraint, MappingResult, MatchingContext, SearchConfig,
+};
+use lsd_learn::{cross_validation_predictions_grouped, LabelSet, Prediction};
+use lsd_xml::{Dtd, Element, SchemaTree};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// A data source: its schema (DTD) and the listings extracted from it.
+#[derive(Debug, Clone)]
+pub struct Source {
+    /// Display name, e.g. `realestate.com`.
+    pub name: String,
+    /// The source DTD.
+    pub dtd: Dtd,
+    /// Extracted listings, each conforming to the DTD.
+    pub listings: Vec<Element>,
+}
+
+/// A training source: a source plus the user-specified 1-1 mappings from
+/// its tags to mediated-schema tag names. Tags absent from the map are
+/// unmatchable and train the `OTHER` label.
+#[derive(Debug, Clone)]
+pub struct TrainedSource {
+    /// The source.
+    pub source: Source,
+    /// `source tag → mediated tag` as provided by the user.
+    pub mapping: HashMap<String, String>,
+}
+
+/// Tunables for the pipeline.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct LsdConfig {
+    /// Cross-validation folds for meta-learner training (paper: d = 5).
+    pub cv_folds: usize,
+    /// RNG seed: fold assignment and instance subsampling are
+    /// deterministic given the seed.
+    pub seed: u64,
+    /// Weight α of the `−log prob(m)` term in the mapping cost.
+    pub alpha: f64,
+    /// Constraint-handler search configuration.
+    pub search: SearchConfig,
+    /// Per-tag candidate-label limit for the handler (0 = all labels).
+    pub candidate_limit: usize,
+    /// Cap on training instances per (source, tag); 0 = no cap. The paper
+    /// notes running time can be reduced "if we run it on fewer examples".
+    pub max_train_instances_per_tag: usize,
+    /// Cap on instances per tag examined when matching; 0 = no cap.
+    pub max_match_instances_per_tag: usize,
+    /// Train the stacking meta-learner (default). When false the
+    /// meta-learner stays uniform — used for the paper's "best single base
+    /// learner" baseline, where the learner's own prediction is the answer.
+    #[serde(default = "default_true")]
+    pub train_meta: bool,
+    /// How the prediction converter merges per-instance predictions into
+    /// the tag-level prediction (the paper averages).
+    #[serde(default)]
+    pub converter: CombinationRule,
+}
+
+/// Serde default for fields that are true unless stated otherwise.
+fn default_true() -> bool {
+    true
+}
+
+impl Default for LsdConfig {
+    fn default() -> Self {
+        LsdConfig {
+            cv_folds: 5,
+            seed: 0,
+            alpha: 1.0,
+            search: SearchConfig::default(),
+            candidate_limit: ConstraintHandler::DEFAULT_CANDIDATE_LIMIT,
+            max_train_instances_per_tag: 40,
+            max_match_instances_per_tag: 25,
+            train_meta: true,
+            converter: CombinationRule::default(),
+        }
+    }
+}
+
+/// Builder for an [`Lsd`] system.
+pub struct LsdBuilder {
+    labels: LabelSet,
+    learners: Vec<Box<dyn BaseLearner>>,
+    xml_learner: Option<XmlLearner>,
+    constraints: Vec<DomainConstraint>,
+    config: LsdConfig,
+}
+
+impl LsdBuilder {
+    /// Starts a builder for the given mediated schema: every mediated tag
+    /// becomes a label, plus the reserved `OTHER`.
+    pub fn new(mediated: &Dtd) -> Self {
+        LsdBuilder {
+            labels: LabelSet::new(mediated.element_names().map(str::to_string)),
+            learners: Vec::new(),
+            xml_learner: None,
+            constraints: Vec::new(),
+            config: LsdConfig::default(),
+        }
+    }
+
+    /// The label set (for constructing label-aware learners such as
+    /// recognizers before adding them).
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// Adds a first-stage base learner.
+    pub fn add_learner(mut self, learner: Box<dyn BaseLearner>) -> Self {
+        self.learners.push(learner);
+        self
+    }
+
+    /// Adds the second-stage XML learner (Section 5).
+    pub fn with_xml_learner(mut self) -> Self {
+        self.xml_learner = Some(XmlLearner::new(self.labels.len()));
+        self
+    }
+
+    /// Adds a custom-configured XML learner.
+    pub fn with_xml_learner_custom(mut self, learner: XmlLearner) -> Self {
+        self.xml_learner = Some(learner);
+        self
+    }
+
+    /// Sets the domain constraints.
+    pub fn with_constraints(mut self, constraints: Vec<DomainConstraint>) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: LsdConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds the (untrained) system.
+    ///
+    /// # Panics
+    /// If no base learner was added.
+    pub fn build(self) -> Lsd {
+        assert!(
+            !self.learners.is_empty() || self.xml_learner.is_some(),
+            "LSD needs at least one base learner"
+        );
+        let mut learners = self.learners;
+        let xml_index = self.xml_learner.map(|xl| {
+            learners.push(Box::new(xl) as Box<dyn BaseLearner>);
+            learners.len() - 1
+        });
+        let num = learners.len();
+        let handler = ConstraintHandler::new(self.constraints)
+            .with_config(self.config.search)
+            .with_candidate_limit(self.config.candidate_limit);
+        Lsd {
+            labels: self.labels,
+            learners,
+            xml_index,
+            meta: MetaLearner::uniform(0, num.max(1)),
+            handler,
+            config: self.config,
+            trained: false,
+        }
+    }
+}
+
+/// A trained (or trainable) LSD system.
+pub struct Lsd {
+    pub(crate) labels: LabelSet,
+    pub(crate) learners: Vec<Box<dyn BaseLearner>>,
+    /// Index of the XML learner within `learners`, if present.
+    pub(crate) xml_index: Option<usize>,
+    pub(crate) meta: MetaLearner,
+    pub(crate) handler: ConstraintHandler,
+    pub(crate) config: LsdConfig,
+    pub(crate) trained: bool,
+}
+
+/// The outcome of matching one source.
+#[derive(Debug, Clone)]
+pub struct MatchOutcome {
+    /// The source tags that were matched, in schema declaration order.
+    pub tags: Vec<String>,
+    /// Final tag-level predictions (post meta-learner and converter),
+    /// parallel to `tags`.
+    pub predictions: Vec<Prediction>,
+    /// The constraint handler's output, parallel to `tags`.
+    pub result: MappingResult,
+    /// Label names, parallel to `tags` (`OTHER` for unmatchable tags).
+    pub labels: Vec<String>,
+}
+
+impl MatchOutcome {
+    /// The produced 1-1 mapping as `source tag → mediated tag`, excluding
+    /// tags mapped to `OTHER`.
+    pub fn mapping(&self) -> HashMap<String, String> {
+        self.tags
+            .iter()
+            .zip(&self.labels)
+            .filter(|(_, l)| *l != LabelSet::OTHER)
+            .map(|(t, l)| (t.clone(), l.clone()))
+            .collect()
+    }
+
+    /// The predicted label for one tag.
+    pub fn label_of(&self, tag: &str) -> Option<&str> {
+        self.tags
+            .iter()
+            .position(|t| t == tag)
+            .map(|i| self.labels[i].as_str())
+    }
+}
+
+impl Lsd {
+    /// The label set (mediated tags + `OTHER`).
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// Names of the base learners, in combination order.
+    pub fn learner_names(&self) -> Vec<&'static str> {
+        self.learners.iter().map(|l| l.name()).collect()
+    }
+
+    /// The trained meta-learner weights.
+    pub fn meta_learner(&self) -> &MetaLearner {
+        &self.meta
+    }
+
+    /// The constraint handler (e.g. to add domain constraints post-build).
+    pub fn handler_mut(&mut self) -> &mut ConstraintHandler {
+        &mut self.handler
+    }
+
+    /// True once [`Self::train`] has run.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Trains the base learners and the meta-learner on user-mapped sources
+    /// (Section 3.1). Retrains from scratch on each call; to *add* a source
+    /// incrementally (the paper's "reuse past matchings" loop), call again
+    /// with the extended source list.
+    pub fn train(&mut self, sources: &[TrainedSource]) {
+        let (examples, groups) = self.training_examples(sources);
+        let refs: Vec<(&Instance, usize)> = examples.iter().map(|(i, l)| (i, *l)).collect();
+
+        // Train every base learner on its full example set.
+        for learner in &mut self.learners {
+            learner.train(&refs);
+        }
+
+        if !self.config.train_meta {
+            self.meta = MetaLearner::uniform(self.labels.len(), self.learners.len());
+            self.trained = true;
+            return;
+        }
+
+        // Meta-learner: cross-validated predictions per learner, then
+        // per-label non-negative least-squares regression. Folds are
+        // grouped by (source, tag): instances of one tag are
+        // near-duplicates for the name matcher, and example-level folds
+        // would leak them across the split, inflating its weight.
+        let truths: Vec<usize> = examples.iter().map(|(_, l)| *l).collect();
+        let cv_sets: Vec<Vec<Prediction>> = self
+            .learners
+            .iter()
+            .map(|learner| {
+                cross_validation_predictions_grouped(
+                    &refs,
+                    &groups,
+                    self.config.cv_folds,
+                    self.config.seed,
+                    || learner.fresh(),
+                )
+            })
+            .collect();
+        self.meta = MetaLearner::train(&cv_sets, &truths, self.labels.len());
+        self.trained = true;
+    }
+
+    /// Creates the labelled training instances for all sources: one example
+    /// per extracted element occurrence, labelled via the user mapping
+    /// (`OTHER` when unmapped), with true structure labels attached for the
+    /// XML learner. The second return value holds one CV group id per
+    /// example — examples of the same (source, tag) share a group.
+    fn training_examples(&self, sources: &[TrainedSource]) -> (Vec<(Instance, usize)>, Vec<usize>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut examples = Vec::new();
+        let mut groups = Vec::new();
+        let mut next_group = 0usize;
+        for ts in sources {
+            let tag_labels: HashMap<String, usize> = ts
+                .source
+                .dtd
+                .element_names()
+                .map(|tag| {
+                    let label = ts
+                        .mapping
+                        .get(tag)
+                        .and_then(|name| self.labels.get(name))
+                        .unwrap_or_else(|| self.labels.other());
+                    (tag.to_string(), label)
+                })
+                .collect();
+            // Sort columns by tag name: HashMap iteration order would make
+            // example order — and every downstream RNG draw — nondeterministic.
+            let mut columns: Vec<(String, Vec<Instance>)> =
+                extract_instances(&ts.source.listings).into_iter().collect();
+            columns.sort_by(|a, b| a.0.cmp(&b.0));
+            for (tag, instances) in columns.iter_mut() {
+                let Some(&label) = tag_labels.get(tag.as_str()) else { continue };
+                subsample(instances, self.config.max_train_instances_per_tag, &mut rng);
+                let group = next_group;
+                next_group += 1;
+                for instance in instances.drain(..) {
+                    examples.push((instance.with_sub_labels(tag_labels.clone()), label));
+                    groups.push(group);
+                }
+            }
+        }
+        (examples, groups)
+    }
+
+    /// Matches a new source (Section 3.2): returns the proposed 1-1 mapping
+    /// and the tag-level predictions behind it.
+    pub fn match_source(&self, source: &Source) -> MatchOutcome {
+        self.match_source_with_feedback(source, &[])
+    }
+
+    /// Matches a source under additional per-source feedback constraints
+    /// (Section 4.3).
+    pub fn match_source_with_feedback(
+        &self,
+        source: &Source,
+        feedback: &[DomainConstraint],
+    ) -> MatchOutcome {
+        let schema = SchemaTree::from_dtd(&source.dtd)
+            .expect("source DTD must be well-formed and closed");
+        let tags: Vec<String> = schema.tag_names().map(str::to_string).collect();
+
+        // Extract and (deterministically) subsample the instance columns.
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut columns = extract_instances(&source.listings);
+        for tag in &tags {
+            if let Some(instances) = columns.get_mut(tag) {
+                subsample(instances, self.config.max_match_instances_per_tag, &mut rng);
+            }
+        }
+        let empty: Vec<Instance> = Vec::new();
+
+        // Stage 1: first-pass predictions from everything but the XML
+        // learner.
+        let stage1_learners: Vec<usize> =
+            (0..self.learners.len()).filter(|i| Some(*i) != self.xml_index).collect();
+        let mut stage1_instance_preds: HashMap<&str, Vec<Vec<Prediction>>> = HashMap::new();
+        let mut tag_predictions: Vec<Prediction> = Vec::with_capacity(tags.len());
+        for tag in &tags {
+            let instances = columns.get(tag.as_str()).unwrap_or(&empty);
+            let per_instance: Vec<Vec<Prediction>> = instances
+                .iter()
+                .map(|inst| {
+                    stage1_learners
+                        .iter()
+                        .map(|&j| self.learners[j].predict(inst))
+                        .collect()
+                })
+                .collect();
+            let combined: Vec<Prediction> = per_instance
+                .iter()
+                .map(|preds| self.meta.combine_subset(preds, &stage1_learners))
+                .collect();
+            tag_predictions.push(convert_column_with(
+                &combined,
+                self.labels.len(),
+                self.config.converter,
+            ));
+            stage1_instance_preds.insert(tag.as_str(), per_instance);
+        }
+
+        // Stage 2: the XML learner votes with the stage-1 labelling as
+        // structural context, and the meta-learner re-combines everything.
+        if let Some(xml_idx) = self.xml_index {
+            let stage1_labels: HashMap<String, usize> = tags
+                .iter()
+                .zip(&tag_predictions)
+                .map(|(t, p)| (t.clone(), p.best_label()))
+                .collect();
+            for (ti, tag) in tags.iter().enumerate() {
+                let instances = columns.get(tag.as_str()).unwrap_or(&empty);
+                let stage1 = &stage1_instance_preds[tag.as_str()];
+                let combined: Vec<Prediction> = instances
+                    .iter()
+                    .zip(stage1)
+                    .map(|(inst, s1_preds)| {
+                        let ctx_inst = inst.clone().with_sub_labels(stage1_labels.clone());
+                        let xml_pred = self.learners[xml_idx].predict(&ctx_inst);
+                        // Reassemble the full prediction vector in learner
+                        // order (stage-1 learners + XML learner).
+                        let mut all: Vec<Prediction> = Vec::with_capacity(self.learners.len());
+                        let mut s1 = s1_preds.iter();
+                        for j in 0..self.learners.len() {
+                            if j == xml_idx {
+                                all.push(xml_pred.clone());
+                            } else {
+                                all.push(s1.next().expect("stage-1 prediction").clone());
+                            }
+                        }
+                        self.meta.combine(&all)
+                    })
+                    .collect();
+                tag_predictions[ti] =
+                    convert_column_with(&combined, self.labels.len(), self.config.converter);
+            }
+        }
+
+        // Constraint handling.
+        let data = build_source_data(tags.iter().map(String::as_str), &source.listings);
+        let ctx = MatchingContext {
+            labels: &self.labels,
+            schema: &schema,
+            tags: tags.clone(),
+            predictions: tag_predictions.clone(),
+            data: &data,
+            alpha: self.config.alpha,
+        };
+        let result = self.handler.find_mapping_with_feedback(&ctx, feedback);
+        let labels: Vec<String> = result
+            .assignment
+            .iter()
+            .map(|&l| self.labels.name(l).to_string())
+            .collect();
+        MatchOutcome { tags, predictions: tag_predictions, result, labels }
+    }
+
+    /// Explains how each base learner sees each tag of a source: one
+    /// tag-level (converted) prediction per learner, using the true
+    /// two-stage protocol for the XML learner. This is the diagnostic
+    /// behind "why did LSD map X to Y?" — the lesion studies of the paper
+    /// in miniature, per tag.
+    pub fn explain_source(&self, source: &Source) -> Vec<TagExplanation> {
+        let schema = SchemaTree::from_dtd(&source.dtd)
+            .expect("source DTD must be well-formed and closed");
+        let tags: Vec<String> = schema.tag_names().map(str::to_string).collect();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut columns = extract_instances(&source.listings);
+        for tag in &tags {
+            if let Some(instances) = columns.get_mut(tag) {
+                subsample(instances, self.config.max_match_instances_per_tag, &mut rng);
+            }
+        }
+        let empty: Vec<Instance> = Vec::new();
+        let stage1_learners: Vec<usize> =
+            (0..self.learners.len()).filter(|i| Some(*i) != self.xml_index).collect();
+
+        // Per-learner, per-tag converter outputs (stage-1 learners).
+        let mut explanations: Vec<TagExplanation> = tags
+            .iter()
+            .map(|tag| {
+                let instances = columns.get(tag.as_str()).unwrap_or(&empty);
+                let per_learner: Vec<(String, Prediction)> = stage1_learners
+                    .iter()
+                    .map(|&j| {
+                        let column: Vec<Prediction> =
+                            instances.iter().map(|i| self.learners[j].predict(i)).collect();
+                        (
+                            self.learners[j].name().to_string(),
+                            convert_column_with(&column, self.labels.len(), self.config.converter),
+                        )
+                    })
+                    .collect();
+                TagExplanation {
+                    tag: tag.clone(),
+                    per_learner,
+                    combined: Prediction::uniform(self.labels.len()),
+                    instances_examined: instances.len(),
+                }
+            })
+            .collect();
+
+        // The combined view and the XML learner's second-stage view come
+        // from the real pipeline, so the explanation matches what
+        // `match_source` actually does.
+        let outcome = self.match_source(source);
+        if let Some(xml_idx) = self.xml_index {
+            let stage1_labels: HashMap<String, usize> = outcome
+                .tags
+                .iter()
+                .zip(&outcome.predictions)
+                .map(|(t, p)| (t.clone(), p.best_label()))
+                .collect();
+            for (tag, explanation) in tags.iter().zip(&mut explanations) {
+                let instances = columns.get(tag.as_str()).unwrap_or(&empty);
+                let column: Vec<Prediction> = instances
+                    .iter()
+                    .map(|i| {
+                        let ctx = i.clone().with_sub_labels(stage1_labels.clone());
+                        self.learners[xml_idx].predict(&ctx)
+                    })
+                    .collect();
+                explanation.per_learner.push((
+                    self.learners[xml_idx].name().to_string(),
+                    convert_column_with(&column, self.labels.len(), self.config.converter),
+                ));
+            }
+        }
+        for (explanation, combined) in explanations.iter_mut().zip(&outcome.predictions) {
+            explanation.combined = combined.clone();
+        }
+        explanations
+    }
+}
+
+/// The per-learner view of one source tag (see [`Lsd::explain_source`]).
+#[derive(Debug, Clone)]
+pub struct TagExplanation {
+    /// The source tag.
+    pub tag: String,
+    /// `(learner name, tag-level prediction)` per base learner, in
+    /// combination order.
+    pub per_learner: Vec<(String, Prediction)>,
+    /// The meta-combined, converted prediction the constraint handler saw.
+    pub combined: Prediction,
+    /// How many instances of the tag were examined.
+    pub instances_examined: usize,
+}
+
+/// Truncates `instances` to at most `cap` elements chosen uniformly
+/// (deterministically under the caller's RNG). `cap == 0` keeps everything.
+fn subsample(instances: &mut Vec<Instance>, cap: usize, rng: &mut ChaCha8Rng) {
+    if cap == 0 || instances.len() <= cap {
+        return;
+    }
+    instances.shuffle(rng);
+    instances.truncate(cap);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learners::{ContentMatcher, NaiveBayesLearner, NameMatcher};
+    use lsd_constraints::Predicate;
+    use lsd_xml::{parse_dtd, parse_fragment};
+
+    /// The paper's running example (Figures 2, 5, 6): mediated schema with
+    /// ADDRESS / DESCRIPTION / AGENT-PHONE; train on realestate.com and
+    /// homeseekers.com, match greathomes.com.
+    fn mediated() -> Dtd {
+        parse_dtd(
+            "<!ELEMENT HOUSE (ADDRESS, DESCRIPTION, AGENT-PHONE)>\n\
+             <!ELEMENT ADDRESS (#PCDATA)>\n\
+             <!ELEMENT DESCRIPTION (#PCDATA)>\n\
+             <!ELEMENT AGENT-PHONE (#PCDATA)>",
+        )
+        .unwrap()
+    }
+
+    fn realestate() -> TrainedSource {
+        let dtd = parse_dtd(
+            "<!ELEMENT house (location, comments, contact)>\n\
+             <!ELEMENT location (#PCDATA)>\n<!ELEMENT comments (#PCDATA)>\n\
+             <!ELEMENT contact (#PCDATA)>",
+        )
+        .unwrap();
+        let rows = [
+            ("Miami, FL", "Nice area near downtown", "(305) 729 0831"),
+            ("Boston, MA", "Close to river, great views", "(617) 253 1429"),
+            ("Austin, TX", "Fantastic yard, beautiful trees", "(512) 441 8338"),
+            ("Denver, CO", "Great location close to park", "(303) 220 9154"),
+        ];
+        let listings = rows
+            .iter()
+            .map(|(a, d, p)| {
+                parse_fragment(&format!(
+                    "<house><location>{a}</location><comments>{d}</comments>\
+                     <contact>{p}</contact></house>"
+                ))
+                .unwrap()
+            })
+            .collect();
+        TrainedSource {
+            source: Source { name: "realestate.com".into(), dtd, listings },
+            mapping: HashMap::from([
+                ("location".to_string(), "ADDRESS".to_string()),
+                ("comments".to_string(), "DESCRIPTION".to_string()),
+                ("contact".to_string(), "AGENT-PHONE".to_string()),
+                ("house".to_string(), "HOUSE".to_string()),
+            ]),
+        }
+    }
+
+    fn homeseekers() -> TrainedSource {
+        let dtd = parse_dtd(
+            "<!ELEMENT listing (house-addr, detailed-desc, phone)>\n\
+             <!ELEMENT house-addr (#PCDATA)>\n<!ELEMENT detailed-desc (#PCDATA)>\n\
+             <!ELEMENT phone (#PCDATA)>",
+        )
+        .unwrap();
+        let rows = [
+            ("Seattle, WA", "Fantastic house, great schools", "(206) 753 2605"),
+            ("Portland, OR", "Great yard, close to highway", "(515) 273 4312"),
+            ("Spokane, WA", "Beautiful views of the river", "(509) 811 4200"),
+            ("Eugene, OR", "Nice neighborhood, fantastic deck", "(541) 688 2442"),
+        ];
+        let listings = rows
+            .iter()
+            .map(|(a, d, p)| {
+                parse_fragment(&format!(
+                    "<listing><house-addr>{a}</house-addr>\
+                     <detailed-desc>{d}</detailed-desc><phone>{p}</phone></listing>"
+                ))
+                .unwrap()
+            })
+            .collect();
+        TrainedSource {
+            source: Source { name: "homeseekers.com".into(), dtd, listings },
+            mapping: HashMap::from([
+                ("house-addr".to_string(), "ADDRESS".to_string()),
+                ("detailed-desc".to_string(), "DESCRIPTION".to_string()),
+                ("phone".to_string(), "AGENT-PHONE".to_string()),
+                ("listing".to_string(), "HOUSE".to_string()),
+            ]),
+        }
+    }
+
+    fn greathomes() -> Source {
+        let dtd = parse_dtd(
+            "<!ELEMENT home (area, extra-info, contact-phone)>\n\
+             <!ELEMENT area (#PCDATA)>\n<!ELEMENT extra-info (#PCDATA)>\n\
+             <!ELEMENT contact-phone (#PCDATA)>",
+        )
+        .unwrap();
+        let rows = [
+            ("Orlando, FL", "Spacious rooms with great light", "(315) 237 4379"),
+            ("Kent, WA", "Close to highway, nice yard", "(415) 273 1234"),
+            ("Portland, OR", "Great location near schools", "(515) 237 4244"),
+        ];
+        let listings = rows
+            .iter()
+            .map(|(a, d, p)| {
+                parse_fragment(&format!(
+                    "<home><area>{a}</area><extra-info>{d}</extra-info>\
+                     <contact-phone>{p}</contact-phone></home>"
+                ))
+                .unwrap()
+            })
+            .collect();
+        Source { name: "greathomes.com".into(), dtd, listings }
+    }
+
+    fn build_system() -> Lsd {
+        let mediated = mediated();
+        let builder = LsdBuilder::new(&mediated);
+        let n = builder.labels().len();
+        builder
+            .add_learner(Box::new(NameMatcher::with_synonym_pairs(
+                n,
+                [("location", "address"), ("comments", "description")],
+            )))
+            .add_learner(Box::new(ContentMatcher::new(n)))
+            .add_learner(Box::new(NaiveBayesLearner::new(n)))
+            .with_constraints(vec![
+                DomainConstraint::hard(Predicate::AtMostOne { label: "ADDRESS".into() }),
+                // Frequency + nesting constraints pin the root tag, exactly
+                // as a real domain specification would (Table 1).
+                DomainConstraint::hard(Predicate::ExactlyOne { label: "HOUSE".into() }),
+                DomainConstraint::hard(Predicate::NestedIn {
+                    outer: "HOUSE".into(),
+                    inner: "ADDRESS".into(),
+                }),
+            ])
+            .build()
+    }
+
+    #[test]
+    fn figure2_end_to_end() {
+        let mut lsd = build_system();
+        assert!(!lsd.is_trained());
+        lsd.train(&[realestate(), homeseekers()]);
+        assert!(lsd.is_trained());
+
+        let outcome = lsd.match_source(&greathomes());
+        assert!(outcome.result.feasible);
+        assert_eq!(outcome.label_of("area"), Some("ADDRESS"));
+        assert_eq!(outcome.label_of("extra-info"), Some("DESCRIPTION"));
+        assert_eq!(outcome.label_of("contact-phone"), Some("AGENT-PHONE"));
+        assert_eq!(outcome.label_of("home"), Some("HOUSE"));
+        let mapping = outcome.mapping();
+        assert_eq!(mapping.len(), 4);
+    }
+
+    #[test]
+    fn feedback_constrains_current_source_only() {
+        let mut lsd = build_system();
+        lsd.train(&[realestate(), homeseekers()]);
+        let fb = [DomainConstraint::hard(Predicate::TagIs {
+            tag: "extra-info".into(),
+            label: "ADDRESS".into(),
+        })];
+        let outcome = lsd.match_source_with_feedback(&greathomes(), &fb);
+        assert_eq!(outcome.label_of("extra-info"), Some("ADDRESS"));
+        // A later call without feedback is unaffected.
+        let outcome2 = lsd.match_source(&greathomes());
+        assert_eq!(outcome2.label_of("extra-info"), Some("DESCRIPTION"));
+    }
+
+    #[test]
+    fn learner_names_listed_in_order() {
+        let lsd = build_system();
+        assert_eq!(
+            lsd.learner_names(),
+            vec!["name-matcher", "content-matcher", "naive-bayes"]
+        );
+    }
+
+    #[test]
+    fn meta_weights_are_trained() {
+        let mut lsd = build_system();
+        lsd.train(&[realestate(), homeseekers()]);
+        let ml = lsd.meta_learner();
+        assert_eq!(ml.num_labels(), lsd.labels().len());
+        assert_eq!(ml.num_learners(), 3);
+        // Weights are non-uniform after training on real data.
+        let uniform = MetaLearner::uniform(lsd.labels().len(), 3);
+        assert_ne!(ml, &uniform);
+    }
+
+    #[test]
+    fn xml_learner_stage_runs() {
+        let mediated = mediated();
+        let builder = LsdBuilder::new(&mediated);
+        let n = builder.labels().len();
+        let mut lsd = builder
+            .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, [])))
+            .add_learner(Box::new(NaiveBayesLearner::new(n)))
+            .with_xml_learner()
+            .build();
+        lsd.train(&[realestate(), homeseekers()]);
+        assert_eq!(lsd.learner_names().last(), Some(&"xml-learner"));
+        let outcome = lsd.match_source(&greathomes());
+        assert_eq!(outcome.label_of("contact-phone"), Some("AGENT-PHONE"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one base learner")]
+    fn empty_builder_panics() {
+        let mediated = mediated();
+        let _ = LsdBuilder::new(&mediated).build();
+    }
+
+    #[test]
+    fn explain_source_reports_all_learners() {
+        let mut lsd = build_system();
+        lsd.train(&[realestate(), homeseekers()]);
+        let explanations = lsd.explain_source(&greathomes());
+        assert_eq!(explanations.len(), 4); // home, area, extra-info, contact-phone
+        let area = explanations.iter().find(|e| e.tag == "area").expect("area explained");
+        assert_eq!(area.per_learner.len(), 3);
+        assert!(area.instances_examined > 0);
+        // The combined view matches what match_source produced.
+        let outcome = lsd.match_source(&greathomes());
+        let i = outcome.tags.iter().position(|t| t == "area").expect("area matched");
+        assert_eq!(area.combined.best_label(), outcome.predictions[i].best_label());
+        // Learner names are reported in combination order.
+        let names: Vec<&str> = area.per_learner.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["name-matcher", "content-matcher", "naive-bayes"]);
+    }
+
+    #[test]
+    fn explain_includes_xml_learner_second_stage() {
+        let mediated = mediated();
+        let builder = LsdBuilder::new(&mediated);
+        let n = builder.labels().len();
+        let mut lsd = builder
+            .add_learner(Box::new(NaiveBayesLearner::new(n)))
+            .with_xml_learner()
+            .build();
+        lsd.train(&[realestate(), homeseekers()]);
+        let explanations = lsd.explain_source(&greathomes());
+        let names: Vec<&str> =
+            explanations[0].per_learner.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["naive-bayes", "xml-learner"]);
+    }
+
+    #[test]
+    fn subsample_caps_deterministically() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let make = || {
+            (0..10)
+                .map(|i| {
+                    Instance::new(
+                        lsd_xml::Element::text_leaf("t", i.to_string()),
+                        vec!["t".into()],
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut a = make();
+        subsample(&mut a, 3, &mut rng);
+        assert_eq!(a.len(), 3);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(1);
+        let mut b = make();
+        subsample(&mut b, 3, &mut rng2);
+        let texts = |v: &[Instance]| v.iter().map(Instance::text).collect::<Vec<_>>();
+        assert_eq!(texts(&a), texts(&b));
+        let mut c = make();
+        subsample(&mut c, 0, &mut rng);
+        assert_eq!(c.len(), 10);
+    }
+}
+

@@ -1,0 +1,94 @@
+//! Property-based tests for the core pipeline's building blocks:
+//! instance extraction, the meta-learner and the converter.
+
+use lsd_core::{convert_column_with, extract_instances, CombinationRule, MetaLearner};
+use lsd_learn::Prediction;
+use lsd_xml::Element;
+use proptest::prelude::*;
+
+/// An arbitrary listing tree (bounded), with distinct-ish tag names.
+fn arb_listing() -> impl Strategy<Value = Element> {
+    let leaf = ("[a-z]{1,6}", "[a-z0-9 ]{0,12}")
+        .prop_map(|(name, text)| Element::text_leaf(name, text));
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        ("[a-z]{1,6}", prop::collection::vec(inner, 1..4)).prop_map(|(name, children)| {
+            let mut e = Element::new(name);
+            for c in children {
+                e.push_child(c);
+            }
+            e
+        })
+    })
+}
+
+proptest! {
+    /// Extraction is exhaustive and faithful: each element occurrence of
+    /// each listing appears in exactly one column, paths start at the
+    /// listing root and end at the instance's own tag.
+    #[test]
+    fn extraction_covers_every_element(listings in prop::collection::vec(arb_listing(), 1..5)) {
+        let columns = extract_instances(&listings);
+        let extracted: usize = columns.values().map(Vec::len).sum();
+        let expected: usize = listings.iter().map(Element::subtree_size).sum();
+        prop_assert_eq!(extracted, expected);
+        let roots: std::collections::HashSet<&str> =
+            listings.iter().map(|l| l.name.as_str()).collect();
+        for (tag, instances) in &columns {
+            for instance in instances {
+                prop_assert_eq!(&instance.element.name, tag);
+                prop_assert_eq!(instance.path.last().map(String::as_str), Some(tag.as_str()));
+                prop_assert!(roots.contains(instance.path[0].as_str()));
+            }
+        }
+    }
+
+    /// Meta-learner training on arbitrary CV sets yields non-negative
+    /// weights, and its combinations are distributions for full learner
+    /// sets and subsets alike.
+    #[test]
+    fn meta_combination_is_distribution(
+        cv_scores in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0.01f64..1.0, 4), 10),
+            3,
+        ),
+        truths in prop::collection::vec(0usize..4, 10),
+        scores in prop::collection::vec(prop::collection::vec(0.01f64..1.0, 4), 3),
+    ) {
+        // 3 learners x 10 CV examples x 4 labels.
+        let cv: Vec<Vec<Prediction>> = cv_scores
+            .into_iter()
+            .map(|learner| learner.into_iter().map(Prediction::from_scores).collect())
+            .collect();
+        let ml = MetaLearner::train(&cv, &truths, 4);
+        for label in 0..4 {
+            for learner in 0..3 {
+                prop_assert!(ml.weight(label, learner) >= 0.0);
+            }
+        }
+        let preds: Vec<Prediction> =
+            scores.into_iter().map(Prediction::from_scores).collect();
+        let combined = ml.combine(&preds);
+        prop_assert!((combined.scores().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let subset = ml.combine_subset(&preds[..2], &[0, 2]);
+        prop_assert!((subset.scores().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// Every converter rule returns a distribution and agrees with the
+    /// single-instance identity.
+    #[test]
+    fn converter_rules_well_behaved(
+        column in prop::collection::vec(prop::collection::vec(0.01f64..1.0, 5), 1..8),
+    ) {
+        let preds: Vec<Prediction> =
+            column.into_iter().map(Prediction::from_scores).collect();
+        for rule in [CombinationRule::Average, CombinationRule::Max, CombinationRule::Median] {
+            let out = convert_column_with(&preds, 5, rule);
+            prop_assert!((out.scores().iter().sum::<f64>() - 1.0).abs() < 1e-9, "{rule:?}");
+            if preds.len() == 1 {
+                for l in 0..5 {
+                    prop_assert!((out.score(l) - preds[0].score(l)).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Faculty Listings (Table 3, row 3): CS faculty profiles.
+//!
+//! Mediated schema: 14 tags, 4 non-leaf (FACULTY, EDUCATION, CONTACT,
+//! RESEARCH), depth 3. Five sources with 13–14 tags, all with 4 non-leaf
+//! tags, depth 3, 100% matchable — the most homogeneous domain in the
+//! paper, but also the smallest data (32–73 profiles per department), so
+//! learners must work from few examples.
+
+use crate::domains::{group, leaf, with_blanket_frequency, with_blanket_nesting};
+use crate::spec::{DomainSpec, SourceStructure, TreeNode};
+use crate::values::ValueKind as V;
+use lsd_constraints::{DomainConstraint, Predicate};
+
+use TreeNode::{Group, Leaf};
+
+/// Builds the Faculty Listings specification.
+pub fn spec() -> DomainSpec {
+    let concepts = vec![
+        /* 0 */ group("FACULTY", ["faculty-member", "professor", "person", "faculty", "staff-member"]),
+        /* 1 */ leaf("NAME", V::PersonName, ["name", "full-name", "prof-name", "faculty-name", "who"], 0.0),
+        /* 2 */ leaf("RANK", V::FacultyRank, ["rank", "title", "position", "appointment", "job-title"], 0.0),
+        /* 3 */ group("EDUCATION", ["education", "degree-info", "phd-info", "credentials", "background"]),
+        /* 4 */ leaf("DEGREE", V::Degree, ["degree", "highest-degree", "deg", "degree-type", "diploma"], 0.0),
+        /* 5 */ leaf("UNIVERSITY", V::University, ["university", "alma-mater", "school", "institution", "from-univ"], 0.0),
+        /* 6 */ leaf("DEGREE-YEAR", V::DegreeYear, ["degree-year", "year", "grad-year", "yr", "class-of"], 0.1),
+        /* 7 */ group("CONTACT", ["contact", "contact-info", "reach", "office-info", "coordinates"]),
+        /* 8 */ leaf("OFFICE", V::OfficeLocation, ["office", "office-location", "room", "office-room", "location"], 0.05),
+        /* 9 */ leaf("PHONE", V::Phone, ["phone", "telephone", "office-phone", "phone-number", "tel"], 0.05),
+        /* 10 */ leaf("EMAIL", V::Email, ["email", "e-mail", "email-address", "mail", "electronic-mail"], 0.0),
+        /* 11 */ group("RESEARCH", ["research", "research-info", "work", "scholarship", "academic-work"]),
+        /* 12 */ leaf("INTERESTS", V::ResearchInterests, ["interests", "research-areas", "areas", "topics", "specialties"], 0.0),
+        /* 13 */ leaf("BIO", V::Bio, ["bio", "biography", "profile", "about", "summary"], 0.1),
+    ];
+
+    let full = |name: &'static str| SourceStructure {
+        name,
+        root: Group(
+            0,
+            vec![
+                Leaf(1),
+                Leaf(2),
+                Group(3, vec![Leaf(4), Leaf(5), Leaf(6)]),
+                Group(7, vec![Leaf(8), Leaf(9), Leaf(10)]),
+                Group(11, vec![Leaf(12), Leaf(13)]),
+            ],
+        ),
+    };
+    // A 13-tag variant: no DEGREE-YEAR.
+    let no_year = |name: &'static str| SourceStructure {
+        name,
+        root: Group(
+            0,
+            vec![
+                Leaf(1),
+                Leaf(2),
+                Group(3, vec![Leaf(4), Leaf(5)]),
+                Group(7, vec![Leaf(8), Leaf(9), Leaf(10)]),
+                Group(11, vec![Leaf(12), Leaf(13)]),
+            ],
+        ),
+    };
+    // A 13-tag variant: no BIO.
+    let no_bio = |name: &'static str| SourceStructure {
+        name,
+        root: Group(
+            0,
+            vec![
+                Leaf(1),
+                Leaf(2),
+                Group(3, vec![Leaf(4), Leaf(5), Leaf(6)]),
+                Group(7, vec![Leaf(8), Leaf(9), Leaf(10)]),
+                Group(11, vec![Leaf(12)]),
+            ],
+        ),
+    };
+
+    let sources = vec![
+        full("cs.washington.edu"),
+        no_year("cs.stanford.edu"),
+        full("cs.cmu.edu"),
+        no_bio("cs.wisc.edu"),
+        full("cs.utexas.edu"),
+    ];
+
+    let h = DomainConstraint::hard;
+    let constraints = vec![
+        h(Predicate::ExactlyOne { label: "FACULTY".into() }),
+        h(Predicate::ExactlyOne { label: "NAME".into() }),
+        h(Predicate::AtMostOne { label: "RANK".into() }),
+        h(Predicate::AtMostOne { label: "EMAIL".into() }),
+        h(Predicate::AtMostOne { label: "PHONE".into() }),
+        h(Predicate::AtMostOne { label: "DEGREE".into() }),
+        h(Predicate::AtMostOne { label: "UNIVERSITY".into() }),
+        h(Predicate::NestedIn { outer: "EDUCATION".into(), inner: "DEGREE".into() }),
+        h(Predicate::NestedIn { outer: "CONTACT".into(), inner: "PHONE".into() }),
+        h(Predicate::NestedIn { outer: "CONTACT".into(), inner: "EMAIL".into() }),
+        h(Predicate::NestedIn { outer: "RESEARCH".into(), inner: "INTERESTS".into() }),
+        h(Predicate::NotNestedIn { outer: "EDUCATION".into(), inner: "PHONE".into() }),
+        h(Predicate::NotNestedIn { outer: "CONTACT".into(), inner: "DEGREE".into() }),
+        h(Predicate::Contiguous { a: "DEGREE".into(), b: "UNIVERSITY".into() }),
+        h(Predicate::IsNumeric { label: "DEGREE-YEAR".into() }),
+        h(Predicate::IsTextual { label: "NAME".into() }),
+        h(Predicate::IsTextual { label: "INTERESTS".into() }),
+        h(Predicate::IsTextual { label: "BIO".into() }),
+        h(Predicate::IsTextual { label: "UNIVERSITY".into() }),
+        DomainConstraint::numeric(
+            Predicate::Proximity { a: "DEGREE".into(), b: "DEGREE-YEAR".into() },
+            0.2,
+        ),
+    ];
+
+    let synonyms = vec![
+        ("professor", "faculty"),
+        ("title", "rank"),
+        ("position", "rank"),
+        ("school", "university"),
+        ("institution", "university"),
+        ("areas", "interests"),
+        ("topics", "interests"),
+        ("specialties", "interests"),
+        ("biography", "bio"),
+        ("profile", "bio"),
+        ("telephone", "phone"),
+        ("tel", "phone"),
+        ("mail", "email"),
+        ("room", "office"),
+        ("deg", "degree"),
+    ];
+
+    with_blanket_nesting(with_blanket_frequency(DomainSpec {
+        name: "Faculty Listings",
+        concepts,
+        mediated_root: Group(
+            0,
+            vec![
+                Leaf(1),
+                Leaf(2),
+                Group(3, vec![Leaf(4), Leaf(5), Leaf(6)]),
+                Group(7, vec![Leaf(8), Leaf(9), Leaf(10)]),
+                Group(11, vec![Leaf(12), Leaf(13)]),
+            ],
+        ),
+        sources,
+        constraints,
+        synonyms,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsd_xml::SchemaTree;
+
+    #[test]
+    fn table3_mediated_statistics() {
+        let s = spec();
+        s.validate().unwrap();
+        let tree = SchemaTree::from_dtd(&s.mediated_dtd()).unwrap();
+        assert_eq!(tree.len(), 14, "Table 3: 14 mediated tags");
+        assert_eq!(tree.non_leaf_tags().count(), 4, "Table 3: 4 non-leaf tags");
+        assert_eq!(tree.max_depth(), 3, "Table 3: depth 3");
+    }
+
+    #[test]
+    fn table3_source_statistics() {
+        let s = spec();
+        for i in 0..5 {
+            let tree = SchemaTree::from_dtd(&s.source_dtd(i)).unwrap();
+            assert!(
+                (13..=14).contains(&tree.len()),
+                "{}: {} tags",
+                s.sources[i].name,
+                tree.len()
+            );
+            assert_eq!(tree.non_leaf_tags().count(), 4, "{}", s.sources[i].name);
+            assert_eq!(tree.max_depth(), 3);
+        }
+    }
+}

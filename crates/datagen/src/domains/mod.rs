@@ -1,0 +1,154 @@
+//! The four domain specifications (paper Table 3).
+//!
+//! Shared helpers: [`leaf`]/[`group`]/[`other`] build concept-table rows
+//! concisely; each domain module exposes a `spec()` function.
+
+pub mod faculty;
+pub mod real_estate1;
+pub mod real_estate2;
+pub mod time_schedule;
+
+use crate::spec::{ConceptDef, DomainSpec};
+use crate::values::ValueKind;
+use lsd_constraints::{ConstraintKind, DomainConstraint, Predicate};
+
+/// Appends a hard `NestedIn` constraint for every (ancestor group,
+/// descendant) pair of the mediated tree that also holds in every source
+/// exhibiting both labels. The paper specified "for each pair of
+/// mediated-schema tags … all applicable nesting constraints"; the
+/// per-source check keeps only the *applicable* ones (a source may flatten
+/// a group — the constraint is then vacuous there — or genuinely rearrange
+/// it, in which case the pair is not domain knowledge). These constraints
+/// are what make one user correction of a group tag cascade to its
+/// children during feedback (Section 6.3).
+pub(crate) fn with_blanket_nesting(mut spec: DomainSpec) -> DomainSpec {
+    use crate::spec::TreeNode;
+    use std::collections::HashSet;
+
+    /// All (ancestor label, descendant label) pairs of a tree, plus the set
+    /// of labels the tree mentions. OTHER concepts are skipped.
+    fn relations(
+        spec: &DomainSpec,
+        node: &TreeNode,
+        ancestors: &mut Vec<String>,
+        pairs: &mut HashSet<(String, String)>,
+        present: &mut HashSet<String>,
+    ) {
+        let label = spec.concepts[node.concept()].mediated.map(str::to_string);
+        if let Some(name) = &label {
+            present.insert(name.clone());
+            for a in ancestors.iter() {
+                pairs.insert((a.clone(), name.clone()));
+            }
+        }
+        if let TreeNode::Group(_, children) = node {
+            if let Some(name) = label {
+                ancestors.push(name);
+                for c in children {
+                    relations(spec, c, ancestors, pairs, present);
+                }
+                ancestors.pop();
+            } else {
+                for c in children {
+                    relations(spec, c, ancestors, pairs, present);
+                }
+            }
+        }
+    }
+
+    let existing: HashSet<(String, String)> = spec
+        .constraints
+        .iter()
+        .filter_map(|c| match &c.predicate {
+            Predicate::NestedIn { outer, inner } => Some((outer.clone(), inner.clone())),
+            _ => None,
+        })
+        .collect();
+
+    let mut mediated_pairs = HashSet::new();
+    let mut mediated_present = HashSet::new();
+    let root = spec.mediated_root.clone();
+    relations(&spec, &root, &mut Vec::new(), &mut mediated_pairs, &mut mediated_present);
+
+    // A pair is exact domain knowledge only if every source that exhibits
+    // both labels also nests them (sources may flatten groups — the
+    // constraint is then vacuous there — but may NOT rearrange them).
+    let sources = spec.sources.clone();
+    let source_views: Vec<(HashSet<(String, String)>, HashSet<String>)> = sources
+        .iter()
+        .map(|src| {
+            let mut pairs = HashSet::new();
+            let mut present = HashSet::new();
+            relations(&spec, &src.root, &mut Vec::new(), &mut pairs, &mut present);
+            (pairs, present)
+        })
+        .collect();
+
+    let mut ordered: Vec<(String, String)> = mediated_pairs.into_iter().collect();
+    ordered.sort();
+    for (outer, inner) in ordered {
+        let holds_everywhere = source_views.iter().all(|(pairs, present)| {
+            !(present.contains(&outer) && present.contains(&inner))
+                || pairs.contains(&(outer.clone(), inner.clone()))
+        });
+        if holds_everywhere && !existing.contains(&(outer.clone(), inner.clone())) {
+            spec.constraints.push(DomainConstraint {
+                predicate: Predicate::NestedIn { outer, inner },
+                kind: ConstraintKind::Hard,
+            });
+        }
+    }
+    spec
+}
+
+/// Appends a hard `AtMostOne` frequency constraint for every mediated tag
+/// not already covered by a frequency constraint. The paper specified "for
+/// each mediated-schema tag … all non-trivial column and frequency
+/// constraints", and in these domains every mediated tag matches at most
+/// one source tag, so the blanket constraint is exact domain knowledge.
+pub(crate) fn with_blanket_frequency(mut spec: DomainSpec) -> DomainSpec {
+    let covered: std::collections::HashSet<&str> = spec
+        .constraints
+        .iter()
+        .filter_map(|c| match &c.predicate {
+            Predicate::AtMostOne { label } | Predicate::ExactlyOne { label } => {
+                Some(label.as_str())
+            }
+            _ => None,
+        })
+        .collect();
+    let missing: Vec<String> = spec
+        .concepts
+        .iter()
+        .filter_map(|c| c.mediated)
+        .filter(|m| !covered.contains(m))
+        .map(str::to_string)
+        .collect();
+    for label in missing {
+        spec.constraints.push(DomainConstraint {
+            predicate: Predicate::AtMostOne { label },
+            kind: ConstraintKind::Hard,
+        });
+    }
+    spec
+}
+
+/// A matchable leaf concept.
+pub(crate) fn leaf(
+    mediated: &'static str,
+    kind: ValueKind,
+    names: [&'static str; 5],
+    optional: f64,
+) -> ConceptDef {
+    ConceptDef { mediated: Some(mediated), kind: Some(kind), names, optional }
+}
+
+/// A matchable group (non-leaf) concept.
+pub(crate) fn group(mediated: &'static str, names: [&'static str; 5]) -> ConceptDef {
+    ConceptDef { mediated: Some(mediated), kind: None, names, optional: 0.0 }
+}
+
+/// An unmatchable (OTHER) leaf concept.
+pub(crate) fn other(kind: ValueKind, names: [&'static str; 5], optional: f64) -> ConceptDef {
+    ConceptDef { mediated: None, kind: Some(kind), names, optional }
+}

@@ -1,0 +1,301 @@
+//! Real Estate I (Table 3, row 1): houses for sale, small mediated schema.
+//!
+//! Mediated schema: 20 tags, 4 non-leaf (HOUSE, ADDRESS, CONTACT-INFO,
+//! FEATURES), depth 3. Five sources with 18–21 tags, 0–4 non-leaf tags and
+//! matchable percentages in the paper's 84–100% band: two full nested
+//! mirrors, one flat source, one mostly-flat source with vacuous tag names,
+//! and one two-group source — the structural spread the paper describes.
+
+use crate::domains::{group, leaf, other, with_blanket_frequency, with_blanket_nesting};
+use crate::spec::{DomainSpec, SourceStructure, TreeNode};
+use crate::values::ValueKind as V;
+use lsd_constraints::{DomainConstraint, Predicate};
+
+use TreeNode::{Group, Leaf};
+
+/// Builds the Real Estate I specification.
+pub fn spec() -> DomainSpec {
+    // Concept table. Index comments are load-bearing: trees use them.
+    let concepts = vec![
+        /* 0 */ group("HOUSE", ["house-listing", "listing", "home", "item", "house"]),
+        /* 1 */ group("ADDRESS", ["address", "addr", "where", "loc-info", "location"]),
+        /* 2 */ leaf("STREET", V::StreetAddress, ["street", "street-address", "str", "address1", "street"], 0.05),
+        /* 3 */ leaf("CITY", V::City, ["city", "city", "town", "city", "city"], 0.0),
+        /* 4 */ leaf("STATE", V::State, ["state", "state", "st", "state", "state"], 0.0),
+        /* 5 */ leaf("ZIP", V::Zip, ["zip", "zipcode", "postal-code", "zip", "zip-code"], 0.1),
+        /* 6 */ leaf("PRICE", V::Price, ["price", "listed-price", "asking-price", "cost", "price"], 0.0),
+        /* 7 */ leaf("DESCRIPTION", V::Description, ["description", "comments", "extra-info", "details", "remarks"], 0.0),
+        /* 8 */ leaf("BEDS", V::Beds, ["beds", "num-bedrooms", "bedrooms", "br", "beds"], 0.0),
+        /* 9 */ leaf("BATHS", V::Baths, ["baths", "num-bathrooms", "bathrooms", "ba", "baths"], 0.0),
+        /* 10 */ leaf("SQFT", V::SqFt, ["sqft", "square-feet", "area-size", "size", "sq-ft"], 0.1),
+        /* 11 */ leaf("YEAR-BUILT", V::YearBuilt, ["year-built", "built", "yr-built", "year", "built-in"], 0.15),
+        /* 12 */ group("CONTACT-INFO", ["contact", "contact-info", "realtor", "agent-info", "contact-details"]),
+        /* 13 */ leaf("AGENT-NAME", V::PersonName, ["agent-name", "agent", "realtor-name", "name", "listing-agent"], 0.0),
+        /* 14 */ leaf("AGENT-PHONE", V::Phone, ["agent-phone", "phone", "realtor-phone", "telephone", "contact-phone"], 0.0),
+        /* 15 */ leaf("FIRM", V::FirmName, ["firm", "office", "brokerage", "company", "firm-name"], 0.1),
+        /* 16 */ group("FEATURES", ["features", "feature-list", "amenities", "props", "extras"]),
+        /* 17 */ leaf("STYLE", V::HouseStyle, ["style", "house-style", "type", "bldg-style", "home-style"], 0.1),
+        /* 18 */ leaf("HEATING", V::Heating, ["heating", "heat", "heating-type", "heat-sys", "heat-source"], 0.1),
+        /* 19 */ leaf("COOLING", V::Cooling, ["cooling", "cool", "cooling-type", "ac", "air-cond"], 0.15),
+        // Unmatchable (OTHER) concepts: present in some sources only.
+        /* 20 */ other(V::Url, ["virtual-tour", "link", "tour-url", "web", "tour-link"], 0.2),
+        /* 21 */ other(V::MlsNumber, ["mls", "mls-num", "mls-number", "mls-id", "mls-code"], 0.0),
+        /* 22 */ other(V::DateValue, ["date-listed", "listed-on", "post-date", "date", "listing-date"], 0.1),
+        /* 23 */ other(V::HoaFee, ["hoa", "hoa-fee", "assoc-fee", "hoa-dues", "hoa-monthly"], 0.3),
+    ];
+
+    let mediated_root = Group(
+        0,
+        vec![
+            Group(1, vec![Leaf(2), Leaf(3), Leaf(4), Leaf(5)]),
+            Leaf(6),
+            Leaf(7),
+            Leaf(8),
+            Leaf(9),
+            Leaf(10),
+            Leaf(11),
+            Group(12, vec![Leaf(13), Leaf(14), Leaf(15)]),
+            Group(16, vec![Leaf(17), Leaf(18), Leaf(19)]),
+        ],
+    );
+
+    let sources = vec![
+        // Full nested mirror, 20 tags, 100% matchable.
+        SourceStructure {
+            name: "homeseekers.com",
+            root: Group(
+                0,
+                vec![
+                    Group(1, vec![Leaf(2), Leaf(3), Leaf(4), Leaf(5)]),
+                    Leaf(6),
+                    Leaf(7),
+                    Leaf(8),
+                    Leaf(9),
+                    Leaf(10),
+                    Leaf(11),
+                    Group(12, vec![Leaf(13), Leaf(14), Leaf(15)]),
+                    Group(16, vec![Leaf(17), Leaf(18), Leaf(19)]),
+                ],
+            ),
+        },
+        // Completely flat source with three OTHER tags: 20 tags, 17
+        // matchable (85%).
+        SourceStructure {
+            name: "texashomes.com",
+            root: Group(
+                0,
+                vec![
+                    Leaf(6),
+                    Leaf(2),
+                    Leaf(3),
+                    Leaf(4),
+                    Leaf(5),
+                    Leaf(7),
+                    Leaf(8),
+                    Leaf(9),
+                    Leaf(10),
+                    Leaf(11),
+                    Leaf(13),
+                    Leaf(14),
+                    Leaf(15),
+                    Leaf(17),
+                    Leaf(18),
+                    Leaf(19),
+                    Leaf(20),
+                    Leaf(21),
+                    Leaf(22),
+                ],
+            ),
+        },
+        // Two groups, renamed vocabulary, one OTHER tag: 20 tags, 95%.
+        SourceStructure {
+            name: "greathomes.com",
+            root: Group(
+                0,
+                vec![
+                    Group(1, vec![Leaf(2), Leaf(3), Leaf(4), Leaf(5)]),
+                    Leaf(6),
+                    Leaf(7),
+                    Leaf(8),
+                    Leaf(9),
+                    Leaf(10),
+                    Leaf(11),
+                    Group(12, vec![Leaf(13), Leaf(14), Leaf(15)]),
+                    Leaf(17),
+                    Leaf(18),
+                    Leaf(20),
+                ],
+            ),
+        },
+        // Mostly flat, vacuous names ("item", "name", "year", "size"),
+        // three OTHER tags: 21 tags, 18 matchable (~86%).
+        SourceStructure {
+            name: "houses-r-us.com",
+            root: Group(
+                0,
+                vec![
+                    Leaf(2),
+                    Leaf(3),
+                    Leaf(4),
+                    Leaf(5),
+                    Leaf(6),
+                    Leaf(7),
+                    Leaf(8),
+                    Leaf(9),
+                    Leaf(10),
+                    Leaf(11),
+                    Group(12, vec![Leaf(13), Leaf(14), Leaf(15)]),
+                    Leaf(17),
+                    Leaf(18),
+                    Leaf(21),
+                    Leaf(22),
+                    Leaf(23),
+                ],
+            ),
+        },
+        // Nested mirror with abbreviated names: 20 tags, 100%.
+        SourceStructure {
+            name: "nwhomes.com",
+            root: Group(
+                0,
+                vec![
+                    Group(1, vec![Leaf(2), Leaf(3), Leaf(4), Leaf(5)]),
+                    Leaf(6),
+                    Leaf(7),
+                    Leaf(8),
+                    Leaf(9),
+                    Leaf(10),
+                    Leaf(11),
+                    Group(12, vec![Leaf(13), Leaf(14), Leaf(15)]),
+                    Group(16, vec![Leaf(17), Leaf(18), Leaf(19)]),
+                ],
+            ),
+        },
+    ];
+
+    let h = DomainConstraint::hard;
+    let constraints = vec![
+        h(Predicate::ExactlyOne { label: "HOUSE".into() }),
+        h(Predicate::AtMostOne { label: "PRICE".into() }),
+        h(Predicate::AtMostOne { label: "ADDRESS".into() }),
+        h(Predicate::AtMostOne { label: "DESCRIPTION".into() }),
+        h(Predicate::AtMostOne { label: "BEDS".into() }),
+        h(Predicate::AtMostOne { label: "BATHS".into() }),
+        h(Predicate::AtMostOne { label: "ZIP".into() }),
+        h(Predicate::AtMostOne { label: "CITY".into() }),
+        h(Predicate::AtMostOne { label: "STATE".into() }),
+        h(Predicate::AtMostOne { label: "AGENT-NAME".into() }),
+        h(Predicate::AtMostOne { label: "AGENT-PHONE".into() }),
+        h(Predicate::AtMostOne { label: "CONTACT-INFO".into() }),
+        h(Predicate::NestedIn { outer: "HOUSE".into(), inner: "PRICE".into() }),
+        h(Predicate::NestedIn { outer: "ADDRESS".into(), inner: "STREET".into() }),
+        h(Predicate::NestedIn { outer: "ADDRESS".into(), inner: "CITY".into() }),
+        h(Predicate::NestedIn { outer: "ADDRESS".into(), inner: "STATE".into() }),
+        h(Predicate::NestedIn { outer: "ADDRESS".into(), inner: "ZIP".into() }),
+        h(Predicate::NestedIn { outer: "FEATURES".into(), inner: "STYLE".into() }),
+        h(Predicate::NestedIn { outer: "FEATURES".into(), inner: "HEATING".into() }),
+        h(Predicate::NestedIn { outer: "FEATURES".into(), inner: "COOLING".into() }),
+        h(Predicate::NotNestedIn { outer: "ADDRESS".into(), inner: "PRICE".into() }),
+        h(Predicate::NotNestedIn { outer: "FEATURES".into(), inner: "AGENT-NAME".into() }),
+        h(Predicate::Contiguous { a: "CITY".into(), b: "STATE".into() }),
+        h(Predicate::NestedIn { outer: "CONTACT-INFO".into(), inner: "AGENT-NAME".into() }),
+        h(Predicate::NestedIn { outer: "CONTACT-INFO".into(), inner: "AGENT-PHONE".into() }),
+        h(Predicate::NotNestedIn { outer: "CONTACT-INFO".into(), inner: "PRICE".into() }),
+        h(Predicate::NotNestedIn { outer: "ADDRESS".into(), inner: "AGENT-PHONE".into() }),
+        h(Predicate::Contiguous { a: "BEDS".into(), b: "BATHS".into() }),
+        h(Predicate::IsNumeric { label: "BEDS".into() }),
+        h(Predicate::IsNumeric { label: "BATHS".into() }),
+        h(Predicate::IsNumeric { label: "SQFT".into() }),
+        h(Predicate::IsNumeric { label: "YEAR-BUILT".into() }),
+        h(Predicate::IsNumeric { label: "PRICE".into() }),
+        h(Predicate::IsNumeric { label: "ZIP".into() }),
+        h(Predicate::IsTextual { label: "DESCRIPTION".into() }),
+        h(Predicate::IsTextual { label: "CITY".into() }),
+        h(Predicate::IsTextual { label: "AGENT-NAME".into() }),
+        DomainConstraint::soft(Predicate::AtMostK { label: "DESCRIPTION".into(), k: 2 }),
+        DomainConstraint::numeric(
+            Predicate::Proximity { a: "AGENT-NAME".into(), b: "AGENT-PHONE".into() },
+            0.2,
+        ),
+    ];
+
+    let synonyms = vec![
+        ("location", "address"),
+        ("comments", "description"),
+        ("remarks", "description"),
+        ("details", "description"),
+        ("phone", "telephone"),
+        ("cost", "price"),
+        ("home", "house"),
+        ("listing", "house"),
+        ("town", "city"),
+        ("realtor", "agent"),
+        ("office", "firm"),
+        ("company", "firm"),
+        ("br", "bedrooms"),
+        ("ba", "bathrooms"),
+        ("yr", "year"),
+        ("size", "sqft"),
+        ("ac", "cooling"),
+        ("heat", "heating"),
+        ("zipcode", "zip"),
+        ("postal", "zip"),
+        ("cool", "cooling"),
+        ("cond", "cooling"),
+        ("air", "cooling"),
+        ("sq", "sqft"),
+        ("square", "sqft"),
+        ("feet", "sqft"),
+        ("extras", "features"),
+        ("amenities", "features"),
+        ("props", "features"),
+        ("built", "year"),
+        ("addr", "address"),
+        ("str", "street"),
+        ("brokerage", "firm"),
+        ("agent", "contact"),
+    ];
+
+    with_blanket_nesting(with_blanket_frequency(DomainSpec {
+        name: "Real Estate I",
+        concepts,
+        mediated_root,
+        sources,
+        constraints,
+        synonyms,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsd_xml::SchemaTree;
+
+    #[test]
+    fn table3_mediated_statistics() {
+        let s = spec();
+        s.validate().unwrap();
+        let dtd = s.mediated_dtd();
+        let tree = SchemaTree::from_dtd(&dtd).unwrap();
+        assert_eq!(tree.len(), 20, "Table 3: 20 mediated tags");
+        assert_eq!(tree.non_leaf_tags().count(), 4, "Table 3: 4 non-leaf tags");
+        assert_eq!(tree.max_depth(), 3, "Table 3: depth 3");
+    }
+
+    #[test]
+    fn table3_source_statistics() {
+        let s = spec();
+        for i in 0..5 {
+            let dtd = s.source_dtd(i);
+            let tree = SchemaTree::from_dtd(&dtd).unwrap();
+            assert!(
+                (19..=21).contains(&tree.len()),
+                "{}: {} tags",
+                s.sources[i].name,
+                tree.len()
+            );
+            assert!(tree.non_leaf_tags().count() <= 4);
+            assert!(tree.max_depth() <= 3);
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Real Estate II (Table 3, row 4): houses for sale, large mediated schema.
+//!
+//! Mediated schema: 66 tags, 13 non-leaf, depth 4 — the domain where the
+//! XML learner shows its largest gains ("sources in the last domain have
+//! many non-leaf tags (13), giving the XML learner more room"). Sources
+//! have 33–48 tags, 11–13 non-leaf, depth 4, 100% matchable. All five keep
+//! most of the group skeleton but carry different leaf subsets, so the
+//! deep agent/office/contact structure is exactly what must be told apart.
+
+use crate::domains::{group, leaf, with_blanket_frequency, with_blanket_nesting};
+use crate::spec::{ConceptDef, DomainSpec, SourceStructure, TreeNode};
+use crate::values::ValueKind as V;
+use lsd_constraints::{DomainConstraint, Predicate};
+
+use TreeNode::{Group, Leaf};
+
+/// Concept indices, named for readability of the tree builders.
+mod c {
+    pub const LISTING: usize = 0;
+    pub const HOUSE: usize = 1;
+    pub const BASIC: usize = 2;
+    // basic leaves 3..=10
+    pub const INTERIOR: usize = 11;
+    // interior leaves 12..=20
+    pub const EXTERIOR: usize = 21;
+    // exterior leaves 22..=30
+    pub const ADDRESS: usize = 31;
+    // address leaves 32..=38
+    pub const FINANCIAL: usize = 39;
+    pub const PRICING: usize = 40;
+    // pricing leaves 41..=45
+    pub const LISTING_INFO: usize = 46;
+    // listing-info leaves 47..=51
+    pub const CONTACT: usize = 52;
+    pub const AGENT: usize = 53;
+    // agent leaves 54..=56
+    pub const OFFICE: usize = 57;
+    // office leaves 58..=60
+    pub const REMARKS: usize = 61;
+    // remarks leaves 62..=65
+}
+
+fn concepts() -> Vec<ConceptDef> {
+    vec![
+        /* 0 */ group("LISTING", ["listing", "property", "home-for-sale", "re-listing", "house-record"]),
+        /* 1 */ group("HOUSE", ["house", "residence", "building-info", "structure", "dwelling"]),
+        /* 2 */ group("BASIC", ["basic", "basics", "main-facts", "key-facts", "general"]),
+        /* 3 */ leaf("BEDS", V::Beds, ["beds", "bedrooms", "num-beds", "br", "bed-count"], 0.0),
+        /* 4 */ leaf("BATHS", V::Baths, ["baths", "bathrooms", "num-baths", "ba", "bath-count"], 0.0),
+        /* 5 */ leaf("HALF-BATHS", V::GarageSpaces, ["half-baths", "powder-rooms", "half-bath-count", "hba", "partial-baths"], 0.2),
+        /* 6 */ leaf("SQFT", V::SqFt, ["sqft", "square-feet", "living-area", "size", "floor-area"], 0.05),
+        /* 7 */ leaf("YEAR-BUILT", V::YearBuilt, ["year-built", "built", "yr-built", "construction-year", "vintage"], 0.1),
+        /* 8 */ leaf("STYLE", V::HouseStyle, ["style", "house-style", "architecture", "bldg-style", "home-type"], 0.1),
+        /* 9 */ leaf("STORIES", V::GarageSpaces, ["stories", "levels", "floors", "num-stories", "story-count"], 0.1),
+        /* 10 */ leaf("GARAGE", V::GarageSpaces, ["garage", "garage-spaces", "parking", "car-spaces", "garage-size"], 0.1),
+        /* 11 */ group("INTERIOR", ["interior", "inside", "interior-features", "indoors", "interior-info"]),
+        /* 12 */ leaf("FLOORING", V::Flooring, ["flooring", "floors-type", "floor-covering", "floor-material", "floor-finish"], 0.1),
+        /* 13 */ leaf("FIREPLACE", V::YesNo, ["fireplace", "has-fireplace", "fireplaces", "frplc", "fire-place"], 0.1),
+        /* 14 */ leaf("BASEMENT", V::YesNo, ["basement", "has-basement", "bsmt", "lower-level", "cellar"], 0.1),
+        /* 15 */ leaf("APPLIANCES", V::ShortRemark, ["appliances", "included-appliances", "appl", "equipment", "kitchen-appliances"], 0.2),
+        /* 16 */ leaf("HEATING", V::Heating, ["heating", "heat", "heating-system", "heat-type", "heat-source"], 0.1),
+        /* 17 */ leaf("COOLING", V::Cooling, ["cooling", "air-conditioning", "cooling-system", "ac", "air-cond"], 0.15),
+        /* 18 */ leaf("ROOMS", V::Beds, ["rooms", "total-rooms", "room-count", "num-rooms", "rm-count"], 0.1),
+        /* 19 */ leaf("LAUNDRY", V::YesNo, ["laundry", "laundry-room", "utility-room", "washer-dryer", "laundry-hookups"], 0.2),
+        /* 20 */ leaf("CONDITION", V::ShortRemark, ["condition", "property-condition", "state-of-repair", "cond", "upkeep"], 0.2),
+        /* 21 */ group("EXTERIOR", ["exterior", "outside", "exterior-features", "outdoors", "exterior-info"]),
+        /* 22 */ leaf("ROOF", V::Roof, ["roof", "roof-type", "roofing", "roof-material", "roof-kind"], 0.1),
+        /* 23 */ leaf("SIDING", V::Flooring, ["siding", "exterior-finish", "cladding", "facade", "outer-finish"], 0.15),
+        /* 24 */ leaf("LOT-ACRES", V::LotAcres, ["lot-acres", "lot-size", "acreage", "lot", "land-area"], 0.1),
+        /* 25 */ leaf("POOL", V::YesNo, ["pool", "has-pool", "swimming-pool", "pool-yn", "pool-flag"], 0.1),
+        /* 26 */ leaf("WATERFRONT", V::YesNo, ["waterfront", "water-front", "on-water", "waterfront-yn", "water-access"], 0.1),
+        /* 27 */ leaf("VIEW", V::YesNo, ["view", "has-view", "scenic-view", "view-yn", "vista"], 0.1),
+        /* 28 */ leaf("FENCE", V::YesNo, ["fence", "fenced", "fenced-yard", "fence-yn", "fencing"], 0.2),
+        /* 29 */ leaf("DECK", V::YesNo, ["deck", "has-deck", "deck-yn", "decking", "deck-flag"], 0.2),
+        /* 30 */ leaf("PATIO", V::YesNo, ["patio", "has-patio", "patio-yn", "terrace", "patio-flag"], 0.2),
+        /* 31 */ group("ADDRESS", ["address", "location", "where", "property-address", "situs"]),
+        /* 32 */ leaf("STREET", V::StreetAddress, ["street", "street-address", "addr-line", "address1", "street-addr"], 0.0),
+        /* 33 */ leaf("CITY", V::City, ["city", "municipality", "town", "city-name", "locale"], 0.0),
+        /* 34 */ leaf("STATE", V::State, ["state", "st", "state-code", "province", "state-abbr"], 0.0),
+        /* 35 */ leaf("ZIP", V::Zip, ["zip", "zipcode", "postal-code", "zip5", "zip-code"], 0.05),
+        /* 36 */ leaf("COUNTY", V::County, ["county", "county-name", "parish", "cnty", "county-area"], 0.1),
+        /* 37 */ leaf("SCHOOL-DISTRICT", V::SchoolDistrict, ["school-district", "schools", "district", "school-dist", "sd"], 0.15),
+        /* 38 */ leaf("NEIGHBORHOOD", V::City, ["neighborhood", "area", "subdivision", "community", "district-name"], 0.15),
+        /* 39 */ group("FINANCIAL", ["financial", "money-matters", "financials", "cost-info", "economics"]),
+        /* 40 */ group("PRICING", ["pricing", "price-info", "cost-details", "price-data", "asking"]),
+        /* 41 */ leaf("PRICE", V::Price, ["price", "list-price", "asking-price", "current-price", "offered-at"], 0.0),
+        /* 42 */ leaf("TAXES", V::Taxes, ["taxes", "annual-taxes", "property-tax", "tax-amount", "yearly-taxes"], 0.1),
+        /* 43 */ leaf("HOA-FEE", V::HoaFee, ["hoa-fee", "hoa", "association-fee", "hoa-dues", "monthly-dues"], 0.3),
+        /* 44 */ leaf("PRICE-PER-SQFT", V::Taxes, ["price-per-sqft", "per-sqft", "unit-price", "psf", "sqft-price"], 0.2),
+        /* 45 */ leaf("ASSESSMENT", V::Taxes, ["assessment", "assessed-value", "tax-assessment", "assessed", "valuation"], 0.2),
+        /* 46 */ group("LISTING-INFO", ["listing-info", "listing-details", "listing-facts", "listing-data", "sale-info"]),
+        /* 47 */ leaf("LISTING-ID", V::ListingId, ["listing-id", "id", "property-id", "ref-no", "record-id"], 0.0),
+        /* 48 */ leaf("MLS", V::MlsNumber, ["mls", "mls-number", "mls-num", "mls-id", "mls-code"], 0.05),
+        /* 49 */ leaf("STATUS", V::ListingStatus, ["status", "listing-status", "sale-status", "market-status", "state-of-sale"], 0.05),
+        /* 50 */ leaf("DATE-LISTED", V::DateValue, ["date-listed", "listed-on", "list-date", "posted", "entry-date"], 0.1),
+        /* 51 */ leaf("DAYS-ON-MARKET", V::SmallCount, ["days-on-market", "dom", "market-days", "days-listed", "time-on-market"], 0.15),
+        /* 52 */ group("CONTACT", ["contact", "contact-info", "who-to-call", "contacts", "inquiry"]),
+        /* 53 */ group("AGENT", ["agent", "agent-info", "listing-agent", "realtor", "sales-agent"]),
+        /* 54 */ leaf("AGENT-NAME", V::PersonName, ["agent-name", "name", "realtor-name", "agent-full-name", "rep-name"], 0.0),
+        /* 55 */ leaf("AGENT-PHONE", V::Phone, ["agent-phone", "phone", "realtor-phone", "cell", "direct-line"], 0.0),
+        /* 56 */ leaf("AGENT-EMAIL", V::Email, ["agent-email", "email", "realtor-email", "e-mail", "contact-email"], 0.1),
+        /* 57 */ group("OFFICE", ["office", "office-info", "brokerage", "firm", "listing-office"]),
+        /* 58 */ leaf("OFFICE-NAME", V::FirmName, ["office-name", "brokerage-name", "firm-name", "company", "broker"], 0.0),
+        /* 59 */ leaf("OFFICE-PHONE", V::Phone, ["office-phone", "main-phone", "firm-phone", "office-tel", "front-desk"], 0.1),
+        /* 60 */ leaf("OFFICE-ADDRESS", V::StreetAddress, ["office-address", "office-addr", "firm-address", "office-street", "branch-address"], 0.15),
+        /* 61 */ group("REMARKS", ["remarks", "comments", "notes", "descriptions", "narrative"]),
+        /* 62 */ leaf("DESCRIPTION", V::Description, ["description", "public-remarks", "marketing-remarks", "desc", "property-description"], 0.0),
+        /* 63 */ leaf("DIRECTIONS", V::ShortRemark, ["directions", "driving-directions", "how-to-get-there", "dirs", "access-notes"], 0.2),
+        /* 64 */ leaf("SHOWING-NOTES", V::ShortRemark, ["showing-notes", "showing-instructions", "appointment-notes", "showing", "viewing-notes"], 0.2),
+        /* 65 */ leaf("OPEN-HOUSE", V::DateValue, ["open-house", "open-house-date", "oh-date", "open-on", "next-open-house"], 0.3),
+    ]
+}
+
+/// Leaf subsets per group for one source.
+struct Plan {
+    name: &'static str,
+    basic: &'static [usize],
+    interior: &'static [usize],
+    exterior: &'static [usize],
+    address: &'static [usize],
+    pricing: &'static [usize],
+    listing_info: &'static [usize],
+    agent: &'static [usize],
+    office: &'static [usize],
+    remarks: &'static [usize],
+    /// Flatten the HOUSE super-group: basic/interior/exterior attach to
+    /// the root (drops HOUSE, −1 non-leaf).
+    flatten_house: bool,
+    /// Flatten the FINANCIAL super-group (drops FINANCIAL, −1 non-leaf).
+    flatten_financial: bool,
+    /// Flatten the CONTACT super-group (drops CONTACT, −1 non-leaf).
+    flatten_contact: bool,
+}
+
+fn build_source(plan: &Plan) -> SourceStructure {
+    let leaves = |ids: &[usize]| ids.iter().map(|&i| Leaf(i)).collect::<Vec<_>>();
+    let house_parts = vec![
+        Group(c::BASIC, leaves(plan.basic)),
+        Group(c::INTERIOR, leaves(plan.interior)),
+        Group(c::EXTERIOR, leaves(plan.exterior)),
+    ];
+    let financial_parts = vec![
+        Group(c::PRICING, leaves(plan.pricing)),
+        Group(c::LISTING_INFO, leaves(plan.listing_info)),
+    ];
+    let contact_parts = vec![
+        Group(c::AGENT, leaves(plan.agent)),
+        Group(c::OFFICE, leaves(plan.office)),
+    ];
+    let mut children = Vec::new();
+    if plan.flatten_house {
+        children.extend(house_parts);
+    } else {
+        children.push(Group(c::HOUSE, house_parts));
+    }
+    children.push(Group(c::ADDRESS, leaves(plan.address)));
+    if plan.flatten_financial {
+        children.extend(financial_parts);
+    } else {
+        children.push(Group(c::FINANCIAL, financial_parts));
+    }
+    if plan.flatten_contact {
+        children.extend(contact_parts);
+    } else {
+        children.push(Group(c::CONTACT, contact_parts));
+    }
+    children.push(Group(c::REMARKS, leaves(plan.remarks)));
+    SourceStructure { name: plan.name, root: Group(c::LISTING, children) }
+}
+
+/// Builds the Real Estate II specification.
+pub fn spec() -> DomainSpec {
+    let mediated_root = build_source(&Plan {
+        name: "mediated",
+        basic: &[3, 4, 5, 6, 7, 8, 9, 10],
+        interior: &[12, 13, 14, 15, 16, 17, 18, 19, 20],
+        exterior: &[22, 23, 24, 25, 26, 27, 28, 29, 30],
+        address: &[32, 33, 34, 35, 36, 37, 38],
+        pricing: &[41, 42, 43, 44, 45],
+        listing_info: &[47, 48, 49, 50, 51],
+        agent: &[54, 55, 56],
+        office: &[58, 59, 60],
+        remarks: &[62, 63, 64, 65],
+        flatten_house: false,
+        flatten_financial: false,
+        flatten_contact: false,
+    })
+    .root;
+
+    let sources = vec![
+        // Rich mirror: 13 non-leaf + 35 leaves = 48 tags.
+        build_source(&Plan {
+            name: "homefinder.com",
+            basic: &[3, 4, 5, 6, 7, 8],
+            interior: &[12, 13, 16, 17],
+            exterior: &[22, 24, 26],
+            address: &[32, 33, 34, 35, 36, 37],
+            pricing: &[41, 42, 43],
+            listing_info: &[47, 48, 49, 50],
+            agent: &[54, 55, 56],
+            office: &[58, 59, 60],
+            remarks: &[62, 63, 65],
+            flatten_house: false,
+            flatten_financial: false,
+            flatten_contact: false,
+        }),
+        // Flattened house: 12 non-leaf + 28 leaves = 40 tags.
+        build_source(&Plan {
+            name: "usa-homes.com",
+            basic: &[3, 4, 6, 7, 8],
+            interior: &[12, 13, 16, 17],
+            exterior: &[22, 24, 25],
+            address: &[32, 33, 34, 35, 36],
+            pricing: &[41, 42, 43],
+            listing_info: &[47, 49],
+            agent: &[54, 55],
+            office: &[58, 59],
+            remarks: &[62, 63],
+            flatten_house: true,
+            flatten_financial: false,
+            flatten_contact: false,
+        }),
+        // Leanest: 11 non-leaf + 22 leaves = 33 tags.
+        build_source(&Plan {
+            name: "propertyline.com",
+            basic: &[3, 4, 6, 7],
+            interior: &[12, 16],
+            exterior: &[22, 24],
+            address: &[32, 33, 34, 35],
+            pricing: &[41, 42],
+            listing_info: &[47, 49],
+            agent: &[54, 55],
+            office: &[58, 59],
+            remarks: &[62, 64],
+            flatten_house: true,
+            flatten_financial: true,
+            flatten_contact: false,
+        }),
+        // Full skeleton, mid-size: 13 non-leaf + 25 leaves = 38 tags.
+        build_source(&Plan {
+            name: "realtyweb.com",
+            basic: &[3, 4, 6, 8],
+            interior: &[13, 16, 17],
+            exterior: &[24, 26, 27],
+            address: &[32, 33, 34, 35],
+            pricing: &[41, 43],
+            listing_info: &[47, 48, 50],
+            agent: &[54, 55],
+            office: &[58, 60],
+            remarks: &[62, 64],
+            flatten_house: false,
+            flatten_financial: false,
+            flatten_contact: false,
+        }),
+        // Flattened contact: 12 non-leaf + 30 leaves = 42 tags.
+        build_source(&Plan {
+            name: "houseweb.com",
+            basic: &[3, 4, 5, 6, 7],
+            interior: &[12, 13, 15, 16],
+            exterior: &[22, 23, 24],
+            address: &[32, 33, 34, 35, 37],
+            pricing: &[41, 42, 44],
+            listing_info: &[47, 48, 51],
+            agent: &[54, 55, 56],
+            office: &[58, 59],
+            remarks: &[62, 65],
+            flatten_house: false,
+            flatten_financial: false,
+            flatten_contact: true,
+        }),
+    ];
+
+    let h = DomainConstraint::hard;
+    let constraints = vec![
+        h(Predicate::ExactlyOne { label: "LISTING".into() }),
+        h(Predicate::ExactlyOne { label: "PRICE".into() }),
+        h(Predicate::AtMostOne { label: "BEDS".into() }),
+        h(Predicate::AtMostOne { label: "BATHS".into() }),
+        h(Predicate::AtMostOne { label: "SQFT".into() }),
+        h(Predicate::AtMostOne { label: "STREET".into() }),
+        h(Predicate::AtMostOne { label: "CITY".into() }),
+        h(Predicate::AtMostOne { label: "ZIP".into() }),
+        h(Predicate::AtMostOne { label: "AGENT-NAME".into() }),
+        h(Predicate::AtMostOne { label: "AGENT-PHONE".into() }),
+        h(Predicate::AtMostOne { label: "OFFICE-NAME".into() }),
+        h(Predicate::AtMostOne { label: "DESCRIPTION".into() }),
+        h(Predicate::AtMostOne { label: "LISTING-ID".into() }),
+        h(Predicate::AtMostOne { label: "AGENT".into() }),
+        h(Predicate::AtMostOne { label: "OFFICE".into() }),
+        h(Predicate::IsKey { label: "LISTING-ID".into() }),
+        h(Predicate::NestedIn { outer: "AGENT".into(), inner: "AGENT-NAME".into() }),
+        h(Predicate::NestedIn { outer: "AGENT".into(), inner: "AGENT-PHONE".into() }),
+        h(Predicate::NestedIn { outer: "OFFICE".into(), inner: "OFFICE-NAME".into() }),
+        h(Predicate::NestedIn { outer: "ADDRESS".into(), inner: "STREET".into() }),
+        h(Predicate::NestedIn { outer: "ADDRESS".into(), inner: "ZIP".into() }),
+        h(Predicate::NestedIn { outer: "PRICING".into(), inner: "PRICE".into() }),
+        h(Predicate::NotNestedIn { outer: "AGENT".into(), inner: "PRICE".into() }),
+        h(Predicate::NotNestedIn { outer: "OFFICE".into(), inner: "AGENT-NAME".into() }),
+        h(Predicate::NotNestedIn { outer: "ADDRESS".into(), inner: "AGENT-PHONE".into() }),
+        h(Predicate::Contiguous { a: "BEDS".into(), b: "BATHS".into() }),
+        h(Predicate::Contiguous { a: "CITY".into(), b: "STATE".into() }),
+        h(Predicate::IsNumeric { label: "BEDS".into() }),
+        h(Predicate::IsNumeric { label: "BATHS".into() }),
+        h(Predicate::IsNumeric { label: "SQFT".into() }),
+        h(Predicate::IsNumeric { label: "PRICE".into() }),
+        h(Predicate::IsNumeric { label: "ZIP".into() }),
+        h(Predicate::IsNumeric { label: "YEAR-BUILT".into() }),
+        h(Predicate::IsNumeric { label: "LISTING-ID".into() }),
+        h(Predicate::IsNumeric { label: "DAYS-ON-MARKET".into() }),
+        h(Predicate::IsTextual { label: "DESCRIPTION".into() }),
+        h(Predicate::IsTextual { label: "CITY".into() }),
+        h(Predicate::IsTextual { label: "AGENT-NAME".into() }),
+        h(Predicate::IsTextual { label: "OFFICE-NAME".into() }),
+        h(Predicate::IsTextual { label: "STATUS".into() }),
+        // Soft, not hard: wrapper segmentation noise can smear a fragment
+        // of a neighbouring field into a STATE cell, spuriously "refuting"
+        // the dependency for one listing. The FD is real domain knowledge,
+        // but data-verified constraints must tolerate extraction noise.
+        DomainConstraint::soft(Predicate::FunctionalDependency {
+            determinants: vec!["ZIP".into()],
+            dependent: "STATE".into(),
+        }),
+        DomainConstraint::soft(Predicate::AtMostK { label: "DESCRIPTION".into(), k: 2 }),
+        DomainConstraint::numeric(
+            Predicate::Proximity { a: "AGENT-NAME".into(), b: "AGENT-PHONE".into() },
+            0.2,
+        ),
+        DomainConstraint::numeric(
+            Predicate::Proximity { a: "CITY".into(), b: "STATE".into() },
+            0.1,
+        ),
+    ];
+
+    let synonyms = vec![
+        ("property", "listing"),
+        ("home", "house"),
+        ("residence", "house"),
+        ("bedrooms", "beds"),
+        ("br", "beds"),
+        ("bathrooms", "baths"),
+        ("ba", "baths"),
+        ("location", "address"),
+        ("town", "city"),
+        ("realtor", "agent"),
+        ("brokerage", "office"),
+        ("firm", "office"),
+        ("company", "office"),
+        ("comments", "remarks"),
+        ("notes", "remarks"),
+        ("desc", "description"),
+        ("acreage", "lot"),
+        ("dom", "days-on-market"),
+        ("cell", "phone"),
+        ("tel", "phone"),
+        ("levels", "stories"),
+        ("floors", "stories"),
+        ("parking", "garage"),
+        ("schools", "school-district"),
+        ("subdivision", "neighborhood"),
+        ("area", "neighborhood"),
+        ("valuation", "assessment"),
+        ("vintage", "year-built"),
+        ("ac", "cooling"),
+        ("conditioning", "cooling"),
+        ("heat", "heating"),
+        ("frplc", "fireplace"),
+        ("bsmt", "basement"),
+        ("water", "waterfront"),
+        ("municipality", "city"),
+        ("situs", "address"),
+        ("id", "listing-id"),
+        ("ref", "id"),
+        ("appl", "appliances"),
+        ("dues", "fee"),
+        ("facts", "basic"),
+        ("inside", "interior"),
+        ("indoors", "interior"),
+        ("outside", "exterior"),
+        ("outdoors", "exterior"),
+        ("narrative", "remarks"),
+        ("structure", "house"),
+        ("dwelling", "house"),
+    ];
+
+    with_blanket_nesting(with_blanket_frequency(DomainSpec {
+        name: "Real Estate II",
+        concepts: concepts(),
+        mediated_root,
+        sources,
+        constraints,
+        synonyms,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsd_xml::SchemaTree;
+
+    #[test]
+    fn table3_mediated_statistics() {
+        let s = spec();
+        s.validate().unwrap();
+        let tree = SchemaTree::from_dtd(&s.mediated_dtd()).unwrap();
+        assert_eq!(tree.len(), 66, "Table 3: 66 mediated tags");
+        assert_eq!(tree.non_leaf_tags().count(), 13, "Table 3: 13 non-leaf tags");
+        assert_eq!(tree.max_depth(), 4, "Table 3: depth 4");
+    }
+
+    #[test]
+    fn table3_source_statistics() {
+        let s = spec();
+        for i in 0..5 {
+            let tree = SchemaTree::from_dtd(&s.source_dtd(i)).unwrap();
+            assert!(
+                (33..=48).contains(&tree.len()),
+                "{}: {} tags",
+                s.sources[i].name,
+                tree.len()
+            );
+            assert!(
+                (11..=13).contains(&tree.non_leaf_tags().count()),
+                "{}: {} non-leaf",
+                s.sources[i].name,
+                tree.non_leaf_tags().count()
+            );
+            assert_eq!(tree.max_depth(), 4, "{}", s.sources[i].name);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Time Schedule (Table 3, row 2): university course offerings.
+//!
+//! Mediated schema: 23 tags, 6 non-leaf (COURSE-OFFERING, COURSE, SECTION,
+//! MEETING, LOCATION, INSTRUCTOR), depth 4. Five sources with 15–19 tags,
+//! 3–5 non-leaf tags, depths 2–4 and 95–100% matchable. The domain carries
+//! the Section 7 ambiguity the paper discusses: course-level versus
+//! section-level fields (credits next to section data), and course codes
+//! whose *format*, not vocabulary, is the signal.
+
+use crate::domains::{group, leaf, other, with_blanket_frequency, with_blanket_nesting};
+use crate::spec::{DomainSpec, SourceStructure, TreeNode};
+use crate::values::ValueKind as V;
+use lsd_constraints::{DomainConstraint, Predicate};
+
+use TreeNode::{Group, Leaf};
+
+/// Builds the Time Schedule specification.
+pub fn spec() -> DomainSpec {
+    let concepts = vec![
+        /* 0 */ group("COURSE-OFFERING", ["course-offering", "offering", "class", "course-entry", "course"]),
+        /* 1 */ group("COURSE", ["course-info", "course", "course-data", "subject-info", "course-details"]),
+        /* 2 */ leaf("CODE", V::CourseCode, ["code", "course-code", "course-num", "catalog-no", "course-id"], 0.0),
+        /* 3 */ leaf("TITLE", V::CourseTitle, ["title", "course-title", "name", "course-name", "class-title"], 0.0),
+        /* 4 */ leaf("CREDITS", V::Credits, ["credits", "credit-hours", "units", "cr", "num-credits"], 0.0),
+        /* 5 */ leaf("QUARTER", V::Quarter, ["quarter", "term", "semester", "session", "qtr"], 0.05),
+        /* 6 */ group("SECTION", ["section", "section-info", "sect", "sec-data", "section-details"]),
+        /* 7 */ leaf("SECTION-ID", V::Section, ["section-id", "sec", "section-letter", "sec-no", "sec-id"], 0.0),
+        /* 8 */ leaf("SLN", V::RegistrationCode, ["sln", "reg-code", "call-number", "crn", "schedule-line"], 0.0),
+        /* 9 */ leaf("ENROLLMENT", V::Enrollment, ["enrollment", "enrolled", "cur-enrolled", "taken", "num-students"], 0.1),
+        /* 10 */ leaf("LIMIT", V::EnrollLimit, ["limit", "enroll-limit", "max-enrollment", "capacity", "class-size"], 0.1),
+        /* 11 */ group("MEETING", ["meeting", "meeting-time", "when", "schedule", "times"]),
+        /* 12 */ leaf("DAYS", V::Days, ["days", "meeting-days", "day-pattern", "on-days", "week-days"], 0.0),
+        /* 13 */ leaf("TIME", V::TimeRange, ["time", "hours", "time-slot", "period", "class-time"], 0.0),
+        /* 14 */ group("LOCATION", ["location", "place", "where-at", "room-info", "venue"]),
+        /* 15 */ leaf("BUILDING", V::Building, ["building", "bldg", "hall", "building-name", "bldg-name"], 0.0),
+        /* 16 */ leaf("ROOM", V::Room, ["room", "room-no", "room-number", "rm", "room-num"], 0.0),
+        /* 17 */ group("INSTRUCTOR", ["instructor", "teacher", "taught-by", "prof-info", "staff"]),
+        /* 18 */ leaf("INSTRUCTOR-NAME", V::Instructor, ["instructor-name", "prof", "lecturer", "faculty-name", "instr"], 0.0),
+        /* 19 */ leaf("INSTRUCTOR-PHONE", V::Phone, ["instructor-phone", "office-phone", "tel", "phone-no", "contact"], 0.15),
+        /* 20 */ leaf("INSTRUCTOR-EMAIL", V::Email, ["instructor-email", "email", "e-mail", "mail", "email-addr"], 0.1),
+        /* 21 */ leaf("NOTES", V::ShortRemark, ["notes", "comment", "remark", "info", "special-notes"], 0.2),
+        /* 22 */ leaf("FEE", V::HoaFee, ["fee", "course-fee", "lab-fee", "extra-fee", "fees"], 0.3),
+        // OTHER concepts.
+        /* 23 */ other(V::Url, ["syllabus-url", "webpage", "link", "course-url", "www"], 0.2),
+        /* 24 */ other(V::DateValue, ["start-date", "begins", "first-day", "from-date", "start"], 0.1),
+    ];
+
+    let mediated_root = Group(
+        0,
+        vec![
+            Group(1, vec![Leaf(2), Leaf(3), Leaf(4), Leaf(5)]),
+            Group(
+                6,
+                vec![
+                    Leaf(7),
+                    Leaf(8),
+                    Leaf(9),
+                    Leaf(10),
+                    Group(11, vec![Leaf(12), Leaf(13)]),
+                    Group(14, vec![Leaf(15), Leaf(16)]),
+                ],
+            ),
+            Group(17, vec![Leaf(18), Leaf(19), Leaf(20)]),
+            Leaf(21),
+            Leaf(22),
+        ],
+    );
+
+    let sources = vec![
+        // Near mirror: 18 tags, 5 non-leaf, depth 4, 100% matchable.
+        SourceStructure {
+            name: "washington.edu",
+            root: Group(
+                0,
+                vec![
+                    Group(1, vec![Leaf(2), Leaf(3), Leaf(4), Leaf(5)]),
+                    Group(
+                        6,
+                        vec![
+                            Leaf(7),
+                            Leaf(8),
+                            Leaf(9),
+                            Leaf(10),
+                            Group(11, vec![Leaf(12), Leaf(13)]),
+                            Leaf(15),
+                            Leaf(16),
+                        ],
+                    ),
+                    Group(17, vec![Leaf(18)]),
+                ],
+            ),
+        },
+        // Flatter: 16 tags, 4 non-leaf, depth 3, 100% matchable.
+        SourceStructure {
+            name: "wisc.edu",
+            root: Group(
+                0,
+                vec![
+                    Group(1, vec![Leaf(2), Leaf(3), Leaf(4)]),
+                    Group(6, vec![Leaf(7), Leaf(8), Leaf(12), Leaf(13), Leaf(15), Leaf(16)]),
+                    Group(17, vec![Leaf(18), Leaf(20)]),
+                    Leaf(21),
+                ],
+            ),
+        },
+        // Mostly flat with meeting group, 16 tags, depth 3, 100%.
+        SourceStructure {
+            name: "gatech.edu",
+            root: Group(
+                0,
+                vec![
+                    Leaf(2),
+                    Leaf(3),
+                    Leaf(4),
+                    Leaf(5),
+                    Leaf(7),
+                    Leaf(8),
+                    Group(11, vec![Leaf(12), Leaf(13)]),
+                    Group(14, vec![Leaf(15), Leaf(16)]),
+                    Group(17, vec![Leaf(18), Leaf(19)]),
+                ],
+            ),
+        },
+        // Deep mirror with different vocabulary: 18 tags, 5 non-leaf,
+        // depth 4, 100% matchable.
+        SourceStructure {
+            name: "umich.edu",
+            root: Group(
+                0,
+                vec![
+                    Group(1, vec![Leaf(2), Leaf(3), Leaf(4)]),
+                    Group(
+                        6,
+                        vec![
+                            Leaf(7),
+                            Leaf(8),
+                            Leaf(10),
+                            Leaf(12),
+                            Leaf(13),
+                            Group(14, vec![Leaf(15), Leaf(16)]),
+                        ],
+                    ),
+                    Group(17, vec![Leaf(18), Leaf(20)]),
+                    Leaf(21),
+                ],
+            ),
+        },
+        // Section-centric layout: 19 tags, 5 non-leaf, depth 3, 100%.
+        SourceStructure {
+            name: "utexas.edu",
+            root: Group(
+                0,
+                vec![
+                    Leaf(2),
+                    Leaf(3),
+                    Leaf(4),
+                    Group(6, vec![Leaf(7), Leaf(8), Leaf(9), Leaf(10)]),
+                    Group(11, vec![Leaf(12), Leaf(13)]),
+                    Group(14, vec![Leaf(15), Leaf(16)]),
+                    Group(17, vec![Leaf(18), Leaf(19), Leaf(20)]),
+                ],
+            ),
+        },
+    ];
+
+    let h = DomainConstraint::hard;
+    let constraints = vec![
+        h(Predicate::ExactlyOne { label: "COURSE-OFFERING".into() }),
+        h(Predicate::ExactlyOne { label: "CODE".into() }),
+        h(Predicate::AtMostOne { label: "TITLE".into() }),
+        h(Predicate::AtMostOne { label: "CREDITS".into() }),
+        h(Predicate::AtMostOne { label: "DAYS".into() }),
+        h(Predicate::AtMostOne { label: "TIME".into() }),
+        h(Predicate::AtMostOne { label: "BUILDING".into() }),
+        h(Predicate::AtMostOne { label: "ROOM".into() }),
+        h(Predicate::AtMostOne { label: "SLN".into() }),
+        h(Predicate::AtMostOne { label: "INSTRUCTOR-NAME".into() }),
+        h(Predicate::NestedIn { outer: "COURSE".into(), inner: "CODE".into() }),
+        h(Predicate::NestedIn { outer: "COURSE".into(), inner: "TITLE".into() }),
+        h(Predicate::NestedIn { outer: "SECTION".into(), inner: "SLN".into() }),
+        h(Predicate::NestedIn { outer: "SECTION".into(), inner: "SECTION-ID".into() }),
+        h(Predicate::NestedIn { outer: "MEETING".into(), inner: "DAYS".into() }),
+        h(Predicate::NestedIn { outer: "MEETING".into(), inner: "TIME".into() }),
+        h(Predicate::NestedIn { outer: "LOCATION".into(), inner: "ROOM".into() }),
+        h(Predicate::NestedIn { outer: "INSTRUCTOR".into(), inner: "INSTRUCTOR-NAME".into() }),
+        h(Predicate::NotNestedIn { outer: "MEETING".into(), inner: "CODE".into() }),
+        h(Predicate::NotNestedIn { outer: "INSTRUCTOR".into(), inner: "TITLE".into() }),
+        h(Predicate::NotNestedIn { outer: "MEETING".into(), inner: "SLN".into() }),
+        h(Predicate::NotNestedIn { outer: "LOCATION".into(), inner: "DAYS".into() }),
+        h(Predicate::Contiguous { a: "DAYS".into(), b: "TIME".into() }),
+        h(Predicate::Contiguous { a: "BUILDING".into(), b: "ROOM".into() }),
+        h(Predicate::IsNumeric { label: "CREDITS".into() }),
+        h(Predicate::IsNumeric { label: "SLN".into() }),
+        h(Predicate::IsNumeric { label: "ENROLLMENT".into() }),
+        h(Predicate::IsNumeric { label: "LIMIT".into() }),
+        h(Predicate::IsNumeric { label: "ROOM".into() }),
+        h(Predicate::IsTextual { label: "TITLE".into() }),
+        h(Predicate::IsTextual { label: "INSTRUCTOR-NAME".into() }),
+        h(Predicate::IsTextual { label: "BUILDING".into() }),
+        // The paper's exclusivity example is course- vs section-credit; in
+        // our mediated schema that pair is CREDITS vs FEE mis-assignments.
+        h(Predicate::MutuallyExclusive { a: "CREDITS".into(), b: "FEE".into() }),
+        DomainConstraint::soft(Predicate::AtMostK { label: "NOTES".into(), k: 2 }),
+        DomainConstraint::numeric(
+            Predicate::Proximity { a: "DAYS".into(), b: "TIME".into() },
+            0.2,
+        ),
+    ];
+
+    let synonyms = vec![
+        ("class", "course"),
+        ("units", "credits"),
+        ("cr", "credits"),
+        ("term", "quarter"),
+        ("semester", "quarter"),
+        ("sec", "section"),
+        ("crn", "sln"),
+        ("prof", "instructor"),
+        ("teacher", "instructor"),
+        ("lecturer", "instructor"),
+        ("faculty", "instructor"),
+        ("bldg", "building"),
+        ("hall", "building"),
+        ("rm", "room"),
+        ("tel", "phone"),
+        ("mail", "email"),
+        ("name", "title"),
+        ("catalog", "code"),
+        ("sect", "section"),
+        ("sln", "registration"),
+        ("call", "sln"),
+        ("reg", "sln"),
+        ("instr", "instructor"),
+        ("staff", "instructor"),
+        ("venue", "location"),
+        ("place", "location"),
+        ("period", "time"),
+        ("hours", "time"),
+        ("slot", "time"),
+        ("capacity", "limit"),
+        ("enrolled", "enrollment"),
+        ("taken", "enrollment"),
+        ("students", "enrollment"),
+        ("qtr", "quarter"),
+        ("session", "quarter"),
+        ("subject", "course"),
+        ("offering", "course"),
+    ];
+
+    with_blanket_nesting(with_blanket_frequency(DomainSpec {
+        name: "Time Schedule",
+        concepts,
+        mediated_root,
+        sources,
+        constraints,
+        synonyms,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsd_xml::SchemaTree;
+
+    #[test]
+    fn table3_mediated_statistics() {
+        let s = spec();
+        s.validate().unwrap();
+        let tree = SchemaTree::from_dtd(&s.mediated_dtd()).unwrap();
+        assert_eq!(tree.len(), 23, "Table 3: 23 mediated tags");
+        assert_eq!(tree.non_leaf_tags().count(), 6, "Table 3: 6 non-leaf tags");
+        assert_eq!(tree.max_depth(), 4, "Table 3: depth 4");
+    }
+
+    #[test]
+    fn table3_source_statistics() {
+        let s = spec();
+        for i in 0..5 {
+            let tree = SchemaTree::from_dtd(&s.source_dtd(i)).unwrap();
+            assert!(
+                (15..=19).contains(&tree.len()),
+                "{}: {} tags",
+                s.sources[i].name,
+                tree.len()
+            );
+            assert!((3..=5).contains(&tree.non_leaf_tags().count()), "{}", s.sources[i].name);
+            assert!(tree.max_depth() <= 4);
+        }
+    }
+}

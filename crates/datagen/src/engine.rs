@@ -1,0 +1,236 @@
+//! The generation engine: spec → DTDs, listings, ground truth.
+
+use crate::spec::{DomainSpec, TreeNode};
+use crate::values::{generate_value, ListingContext};
+use lsd_constraints::DomainConstraint;
+use lsd_xml::{Dtd, Element};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// One generated source: schema, data, and the ground-truth mapping used
+/// for training and for scoring accuracy.
+#[derive(Debug, Clone)]
+pub struct GeneratedSource {
+    /// Display name.
+    pub name: String,
+    /// The source DTD.
+    pub dtd: Dtd,
+    /// Generated listings, each valid under `dtd`.
+    pub listings: Vec<Element>,
+    /// Ground truth: source tag → mediated tag, for matchable tags only.
+    pub mapping: HashMap<String, String>,
+    /// Tags with a 1-1 match in the mediated schema.
+    pub matchable_tags: usize,
+    /// Total tags in the source schema.
+    pub total_tags: usize,
+}
+
+impl GeneratedSource {
+    /// Table 3's "Matchable Tags" percentage.
+    pub fn matchable_percent(&self) -> f64 {
+        100.0 * self.matchable_tags as f64 / self.total_tags as f64
+    }
+}
+
+/// A fully generated domain.
+#[derive(Debug, Clone)]
+pub struct GeneratedDomain {
+    /// Display name (Table 3 row).
+    pub name: &'static str,
+    /// The mediated DTD.
+    pub mediated: Dtd,
+    /// Domain constraints over mediated tags.
+    pub constraints: Vec<DomainConstraint>,
+    /// Name-matcher synonym pairs.
+    pub synonyms: Vec<(String, String)>,
+    /// The five sources.
+    pub sources: Vec<GeneratedSource>,
+}
+
+/// Generates a domain from its spec. Deterministic for a given
+/// `(spec, listings_per_source, seed)` triple.
+pub fn generate(spec: &DomainSpec, listings_per_source: usize, seed: u64) -> GeneratedDomain {
+    spec.validate().unwrap_or_else(|e| panic!("invalid domain spec: {e}"));
+    let mediated = spec.mediated_dtd();
+    let sources = spec
+        .sources
+        .iter()
+        .enumerate()
+        .map(|(s, structure)| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (s as u64).wrapping_mul(0x9E37_79B9));
+            let dtd = spec.source_dtd(s);
+            let listings = (0..listings_per_source)
+                .map(|ordinal| {
+                    let ctx = ListingContext::sample(ordinal, &mut rng);
+                    build_listing(spec, &structure.root, s, &ctx, &mut rng)
+                })
+                .collect();
+            let mapping: HashMap<String, String> = structure
+                .root
+                .concepts()
+                .into_iter()
+                .filter_map(|c| {
+                    spec.concepts[c]
+                        .mediated
+                        .map(|m| (spec.concepts[c].name_in(s).to_string(), m.to_string()))
+                })
+                .collect();
+            let total_tags = dtd.len();
+            GeneratedSource {
+                name: structure.name.to_string(),
+                dtd,
+                listings,
+                matchable_tags: mapping.len(),
+                total_tags,
+                mapping,
+            }
+        })
+        .collect();
+    GeneratedDomain {
+        name: spec.name,
+        mediated,
+        constraints: spec.constraints.clone(),
+        synonyms: spec
+            .synonyms
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect(),
+        sources,
+    }
+}
+
+/// Probability that a leaf value absorbs a fragment of its following
+/// sibling — simulated wrapper segmentation noise. The paper's listings
+/// were extracted from HTML by wrappers with "only trivial data cleaning";
+/// mis-segmented field boundaries are the dominant noise of that pipeline
+/// and the reason its content-based learners top out well below 100%.
+const SEGMENTATION_NOISE: f64 = 0.08;
+
+/// Generates one listing element by walking the source tree.
+fn build_listing(
+    spec: &DomainSpec,
+    node: &TreeNode,
+    source: usize,
+    ctx: &ListingContext,
+    rng: &mut ChaCha8Rng,
+) -> Element {
+    match node {
+        TreeNode::Leaf(c) => {
+            let def = &spec.concepts[*c];
+            let kind = def.kind.expect("validated: leaves have generators");
+            Element::text_leaf(def.name_in(source), generate_value(kind, source, ctx, rng))
+        }
+        TreeNode::Group(c, children) => {
+            let def = &spec.concepts[*c];
+            let mut element = Element::new(def.name_in(source));
+            for child in children {
+                let child_def = &spec.concepts[child.concept()];
+                if child_def.optional > 0.0 && rng.gen_bool(child_def.optional) {
+                    continue;
+                }
+                element.push_child(build_listing(spec, child, source, ctx, rng));
+            }
+            smear_adjacent_leaves(&mut element, rng);
+            element
+        }
+    }
+}
+
+/// Wrapper segmentation noise: occasionally append the leading half of the
+/// next sibling leaf's text to the current leaf (both keep their values —
+/// boundaries in scraped HTML are fuzzy, not lossy).
+fn smear_adjacent_leaves(group: &mut Element, rng: &mut ChaCha8Rng) {
+    for i in 0..group.children.len().saturating_sub(1) {
+        if !rng.gen_bool(SEGMENTATION_NOISE) {
+            continue;
+        }
+        let (Some(next_text), true) = (
+            group.children[i + 1].as_element().filter(|e| e.is_leaf()).map(Element::direct_text),
+            group.children[i].as_element().is_some_and(Element::is_leaf),
+        ) else {
+            continue;
+        };
+        let words: Vec<&str> = next_text.split_whitespace().collect();
+        if words.is_empty() {
+            continue;
+        }
+        let take = (words.len() / 2).max(1);
+        let fragment = words[..take].join(" ");
+        if let Some(lsd_xml::Node::Element(e)) = group.children.get_mut(i) {
+            if let Some(lsd_xml::Node::Text(t)) = e.children.last_mut() {
+                t.push(' ');
+                t.push_str(&fragment);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::DomainId;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DomainId::RealEstate1.generate(5, 42);
+        let b = DomainId::RealEstate1.generate(5, 42);
+        for (sa, sb) in a.sources.iter().zip(&b.sources) {
+            assert_eq!(sa.listings, sb.listings);
+        }
+        let c = DomainId::RealEstate1.generate(5, 43);
+        assert_ne!(a.sources[0].listings, c.sources[0].listings);
+    }
+
+    #[test]
+    fn listings_validate_against_their_dtd() {
+        for id in DomainId::ALL {
+            let d = id.generate(8, 7);
+            for src in &d.sources {
+                for listing in &src.listings {
+                    src.dtd
+                        .validate(listing)
+                        .unwrap_or_else(|e| panic!("{} / {}: {e}", d.name, src.name));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mappings_target_mediated_tags() {
+        for id in DomainId::ALL {
+            let d = id.generate(2, 1);
+            let mediated_tags: std::collections::HashSet<&str> =
+                d.mediated.element_names().collect();
+            for src in &d.sources {
+                assert!(!src.mapping.is_empty());
+                for (tag, label) in &src.mapping {
+                    assert!(src.dtd.decl(tag).is_some(), "{tag} not in {}", src.name);
+                    assert!(mediated_tags.contains(label.as_str()), "{label} not mediated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matchable_percentages_in_table3_ranges() {
+        let expected: [(crate::DomainId, f64, f64); 4] = [
+            (DomainId::RealEstate1, 84.0, 100.0),
+            (DomainId::TimeSchedule, 95.0, 100.0),
+            (DomainId::FacultyListings, 100.0, 100.0),
+            (DomainId::RealEstate2, 100.0, 100.0),
+        ];
+        for (id, lo, hi) in expected {
+            let d = id.generate(2, 1);
+            for src in &d.sources {
+                let pct = src.matchable_percent();
+                assert!(
+                    (lo - 1e-9..=hi + 1e-9).contains(&pct),
+                    "{} / {}: {pct:.1}% outside [{lo}, {hi}]",
+                    d.name,
+                    src.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The domain-specification DSL.
+//!
+//! A domain is described once, declaratively: a table of *concepts* (one
+//! per semantic field, each with its mediated tag, its value generator and
+//! its per-source tag names), a mediated schema tree, and five source
+//! schema trees over those concepts. The [`crate::engine`] turns a spec
+//! into DTDs, listings and ground-truth mappings.
+
+use crate::values::ValueKind;
+use lsd_constraints::DomainConstraint;
+use lsd_xml::{ContentModel, Dtd, ElementDecl, Occurrence};
+
+/// Index into [`DomainSpec::concepts`].
+pub type ConceptId = usize;
+
+/// One semantic field (or group) of a domain.
+#[derive(Debug, Clone)]
+pub struct ConceptDef {
+    /// The mediated-schema tag this concept maps to; `None` for
+    /// unmatchable (OTHER) concepts that exist only in sources.
+    pub mediated: Option<&'static str>,
+    /// The value generator for leaf concepts; `None` for groups.
+    pub kind: Option<ValueKind>,
+    /// Tag name in each of the five sources. An empty string means "same
+    /// as source 0's name".
+    pub names: [&'static str; 5],
+    /// Per-listing probability that the field is absent (missing data).
+    pub optional: f64,
+}
+
+impl ConceptDef {
+    /// The tag name of this concept in source `s`.
+    pub fn name_in(&self, s: usize) -> &'static str {
+        let n = self.names[s];
+        if n.is_empty() {
+            self.names[0]
+        } else {
+            n
+        }
+    }
+}
+
+/// A node in a schema tree (mediated or per-source).
+#[derive(Debug, Clone)]
+pub enum TreeNode {
+    /// A leaf field.
+    Leaf(ConceptId),
+    /// A group element containing nested nodes.
+    Group(ConceptId, Vec<TreeNode>),
+}
+
+impl TreeNode {
+    /// The concept at this node.
+    pub fn concept(&self) -> ConceptId {
+        match self {
+            TreeNode::Leaf(c) | TreeNode::Group(c, _) => *c,
+        }
+    }
+
+    /// All concepts in the subtree, preorder.
+    pub fn concepts(&self) -> Vec<ConceptId> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<ConceptId>) {
+        out.push(self.concept());
+        if let TreeNode::Group(_, children) = self {
+            for c in children {
+                c.collect(out);
+            }
+        }
+    }
+}
+
+/// One source's schema: a display name plus its tree.
+#[derive(Debug, Clone)]
+pub struct SourceStructure {
+    /// Display name, e.g. `homeseekers.com`.
+    pub name: &'static str,
+    /// The schema tree; the root must be a [`TreeNode::Group`].
+    pub root: TreeNode,
+}
+
+/// A complete domain specification.
+#[derive(Debug, Clone)]
+pub struct DomainSpec {
+    /// Display name (Table 3 row).
+    pub name: &'static str,
+    /// The concept table.
+    pub concepts: Vec<ConceptDef>,
+    /// The mediated schema tree (over mediated tag names).
+    pub mediated_root: TreeNode,
+    /// The five sources.
+    pub sources: Vec<SourceStructure>,
+    /// The domain constraints, phrased over mediated tags (Table 1).
+    pub constraints: Vec<DomainConstraint>,
+    /// Symmetric synonym pairs for the name matcher.
+    pub synonyms: Vec<(&'static str, &'static str)>,
+}
+
+impl DomainSpec {
+    /// Builds the mediated DTD from the mediated tree.
+    pub fn mediated_dtd(&self) -> Dtd {
+        self.build_dtd(&self.mediated_root, |c| {
+            self.concepts[c].mediated.expect("mediated tree references an OTHER concept")
+        })
+    }
+
+    /// Builds one source's DTD from its tree.
+    pub fn source_dtd(&self, source: usize) -> Dtd {
+        self.build_dtd(&self.sources[source].root, |c| self.concepts[c].name_in(source))
+    }
+
+    /// Shared DTD construction: one declaration per tree node, groups as
+    /// ordered sequences with `?` for optional members.
+    fn build_dtd(&self, root: &TreeNode, name_of: impl Fn(ConceptId) -> &'static str) -> Dtd {
+        let mut decls = Vec::new();
+        self.declare(root, &name_of, &mut decls);
+        Dtd::new(decls).expect("domain spec produced duplicate tag names")
+    }
+
+    fn declare(
+        &self,
+        node: &TreeNode,
+        name_of: &impl Fn(ConceptId) -> &'static str,
+        decls: &mut Vec<ElementDecl>,
+    ) {
+        match node {
+            TreeNode::Leaf(c) => decls.push(ElementDecl {
+                name: name_of(*c).to_string(),
+                content: ContentModel::Pcdata,
+            }),
+            TreeNode::Group(c, children) => {
+                let parts: Vec<ContentModel> = children
+                    .iter()
+                    .map(|child| {
+                        let occ = if self.concepts[child.concept()].optional > 0.0 {
+                            Occurrence::Optional
+                        } else {
+                            Occurrence::One
+                        };
+                        ContentModel::Name(name_of(child.concept()).to_string(), occ)
+                    })
+                    .collect();
+                decls.push(ElementDecl {
+                    name: name_of(*c).to_string(),
+                    content: ContentModel::Seq(parts, Occurrence::One),
+                });
+                for child in children {
+                    self.declare(child, name_of, decls);
+                }
+            }
+        }
+    }
+
+    /// Sanity checks a spec: five sources, groups have children, leaves
+    /// have generators, groups don't, names are unique per schema.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sources.len() != 5 {
+            return Err(format!("{}: expected 5 sources, got {}", self.name, self.sources.len()));
+        }
+        let check_tree = |root: &TreeNode, label: &str| -> Result<(), String> {
+            let mut stack = vec![root];
+            while let Some(node) = stack.pop() {
+                let c = node.concept();
+                if c >= self.concepts.len() {
+                    return Err(format!("{label}: concept id {c} out of range"));
+                }
+                match node {
+                    TreeNode::Leaf(_) => {
+                        if self.concepts[c].kind.is_none() {
+                            return Err(format!(
+                                "{label}: leaf concept {c} has no value generator"
+                            ));
+                        }
+                    }
+                    TreeNode::Group(_, children) => {
+                        if children.is_empty() {
+                            return Err(format!("{label}: group concept {c} has no children"));
+                        }
+                        if self.concepts[c].kind.is_some() {
+                            return Err(format!("{label}: group concept {c} has a generator"));
+                        }
+                        stack.extend(children.iter());
+                    }
+                }
+            }
+            Ok(())
+        };
+        check_tree(&self.mediated_root, "mediated")?;
+        for c in self.mediated_root.concepts() {
+            if self.concepts[c].mediated.is_none() {
+                return Err(format!("mediated tree uses OTHER concept {c}"));
+            }
+        }
+        for (s, src) in self.sources.iter().enumerate() {
+            check_tree(&src.root, src.name)?;
+            let concepts = src.root.concepts();
+            let mut names: Vec<&str> = concepts.iter().map(|&c| self.concepts[c].name_in(s)).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            if names.len() != before {
+                return Err(format!("{}: duplicate tag names", src.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> DomainSpec {
+        let concepts = vec![
+            ConceptDef {
+                mediated: Some("HOUSE"),
+                kind: None,
+                names: ["house", "listing", "", "", ""],
+                optional: 0.0,
+            },
+            ConceptDef {
+                mediated: Some("PRICE"),
+                kind: Some(ValueKind::Price),
+                names: ["price", "listed-price", "", "", ""],
+                optional: 0.0,
+            },
+            ConceptDef {
+                mediated: Some("ADDRESS"),
+                kind: Some(ValueKind::CityState),
+                names: ["location", "house-addr", "", "", ""],
+                optional: 0.3,
+            },
+            ConceptDef {
+                mediated: None,
+                kind: Some(ValueKind::Url),
+                names: ["link", "url", "", "", ""],
+                optional: 0.0,
+            },
+        ];
+        let src = |name, root| SourceStructure { name, root };
+        DomainSpec {
+            name: "Tiny",
+            concepts,
+            mediated_root: TreeNode::Group(0, vec![TreeNode::Leaf(1), TreeNode::Leaf(2)]),
+            sources: vec![
+                src("s0", TreeNode::Group(0, vec![TreeNode::Leaf(1), TreeNode::Leaf(2), TreeNode::Leaf(3)])),
+                src("s1", TreeNode::Group(0, vec![TreeNode::Leaf(2), TreeNode::Leaf(1)])),
+                src("s2", TreeNode::Group(0, vec![TreeNode::Leaf(1)])),
+                src("s3", TreeNode::Group(0, vec![TreeNode::Leaf(1), TreeNode::Leaf(2)])),
+                src("s4", TreeNode::Group(0, vec![TreeNode::Leaf(1), TreeNode::Leaf(3)])),
+            ],
+            constraints: vec![],
+            synonyms: vec![("location", "address")],
+        }
+    }
+
+    #[test]
+    fn mediated_dtd_structure() {
+        let spec = tiny_spec();
+        spec.validate().unwrap();
+        let dtd = spec.mediated_dtd();
+        assert_eq!(dtd.len(), 3);
+        assert_eq!(dtd.root_name().unwrap(), "HOUSE");
+        // ADDRESS is optional (optional > 0).
+        let house = dtd.decl("HOUSE").unwrap();
+        assert_eq!(house.content.to_dtd_syntax(), "(PRICE, ADDRESS?)");
+    }
+
+    #[test]
+    fn source_dtd_uses_per_source_names() {
+        let spec = tiny_spec();
+        let s1 = spec.source_dtd(1);
+        assert_eq!(s1.root_name().unwrap(), "listing");
+        assert!(s1.decl("house-addr").is_some());
+        assert!(s1.decl("listed-price").is_some());
+        // Source 2 reuses source-0 names via the "" convention.
+        let s2 = spec.source_dtd(2);
+        assert_eq!(s2.root_name().unwrap(), "house");
+        assert!(s2.decl("price").is_some());
+    }
+
+    #[test]
+    fn validate_catches_bad_specs() {
+        let mut spec = tiny_spec();
+        spec.sources.pop();
+        assert!(spec.validate().is_err());
+
+        let mut spec = tiny_spec();
+        spec.mediated_root = TreeNode::Group(0, vec![TreeNode::Leaf(3)]); // OTHER in mediated
+        assert!(spec.validate().is_err());
+
+        let mut spec = tiny_spec();
+        spec.sources[0].root = TreeNode::Group(0, vec![TreeNode::Leaf(0)]); // group as leaf
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn tree_concepts_preorder() {
+        let spec = tiny_spec();
+        assert_eq!(spec.sources[0].root.concepts(), vec![0, 1, 2, 3]);
+    }
+}

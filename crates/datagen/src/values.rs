@@ -1,0 +1,594 @@
+//! Value generators for leaf fields.
+//!
+//! Each [`ValueKind`] produces realistic values for one semantic concept.
+//! Generators take a `style` (the source index, 0–4) so that formatting
+//! conventions vary *between* sources but stay consistent *within* one —
+//! exactly the situation LSD faces: the same concept, formatted differently
+//! by every site.
+
+use crate::vocab;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Per-listing coherence context. Real listings are internally consistent —
+/// the city, state and ZIP agree, and the listing id is unique — and the
+/// domain constraints (`FunctionalDependency ZIP → STATE`, `IsKey
+/// LISTING-ID`) rely on exactly that. Independent sampling would refute
+/// them spuriously (random ZIPs collide across different states).
+#[derive(Debug, Clone, Copy)]
+pub struct ListingContext {
+    /// Index into [`vocab::CITIES`] for this listing's location.
+    pub city: usize,
+    /// The listing's ordinal within its source (drives unique ids).
+    pub ordinal: usize,
+}
+
+impl ListingContext {
+    /// Samples a context for listing number `ordinal`.
+    pub fn sample(ordinal: usize, rng: &mut ChaCha8Rng) -> Self {
+        ListingContext { city: rng.gen_range(0..vocab::CITIES.len()), ordinal }
+    }
+
+    fn city_name(&self) -> &'static str {
+        vocab::CITIES[self.city].0
+    }
+
+    fn state(&self) -> &'static str {
+        vocab::CITIES[self.city].1
+    }
+
+    /// A ZIP whose 3-digit prefix is unique to the city, so equal ZIPs
+    /// always belong to the same city (and therefore state).
+    fn zip(&self, rng: &mut ChaCha8Rng) -> String {
+        format!("{:03}{:02}", 101 + self.city, rng.gen_range(0..100))
+    }
+
+    /// A listing id unique within the source.
+    fn listing_id(&self, style: usize) -> String {
+        format!("{}", 100_000 + style * 100_000 + self.ordinal)
+    }
+}
+
+/// The semantic kinds of leaf values the four domains use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    // ---- real estate ----
+    /// "Seattle, WA" (style varies the city/state separator).
+    CityState,
+    /// City name only.
+    City,
+    /// State abbreviation.
+    State,
+    /// "4512 Maple St".
+    StreetAddress,
+    /// Five-digit ZIP code.
+    Zip,
+    /// County name (recognizer target).
+    County,
+    /// Sale price, e.g. "$250,000".
+    Price,
+    /// Monthly rent, e.g. "$1,450/mo".
+    MonthlyRent,
+    /// Phone number (style varies the grouping).
+    Phone,
+    /// "Kate Richardson".
+    PersonName,
+    /// First name only.
+    FirstName,
+    /// Last name only.
+    LastName,
+    /// Realtor firm.
+    FirmName,
+    /// Long free-text house description (the word-frequency signal).
+    Description,
+    /// Short remark.
+    ShortRemark,
+    /// Bedroom count, 1–6.
+    Beds,
+    /// Bathroom count, may be fractional.
+    Baths,
+    /// Square footage.
+    SqFt,
+    /// Lot size in acres.
+    LotAcres,
+    /// Year built, 1900–2000.
+    YearBuilt,
+    /// Garage spaces, 0–3.
+    GarageSpaces,
+    /// Unique listing/house id (key column).
+    ListingId,
+    /// MLS number, e.g. "MLS#2241087".
+    MlsNumber,
+    /// Architectural style.
+    HouseStyle,
+    /// Heating system.
+    Heating,
+    /// Cooling system.
+    Cooling,
+    /// Roof material.
+    Roof,
+    /// Flooring material.
+    Flooring,
+    /// "yes"/"no" flag (waterfront, fireplace, …).
+    YesNo,
+    /// Annual taxes, e.g. "$3,420".
+    Taxes,
+    /// HOA fee, e.g. "$210/mo".
+    HoaFee,
+    /// School district name.
+    SchoolDistrict,
+    /// URL.
+    Url,
+    /// Email address.
+    Email,
+    /// Open-house date, e.g. "06/14/2001".
+    DateValue,
+    /// Listing status: "active", "pending", "sold", …
+    ListingStatus,
+    /// Small count (stories, days on market scaled down), 1–30.
+    SmallCount,
+    // ---- time schedule ----
+    /// "CSE142" (the Section 7 format-learner example).
+    CourseCode,
+    /// "Introduction to Data Structures".
+    CourseTitle,
+    /// Section letter/number, "A"/"2".
+    Section,
+    /// Credits, 1–5.
+    Credits,
+    /// Meeting days, "MWF".
+    Days,
+    /// "10:30-11:20".
+    TimeRange,
+    /// Campus building.
+    Building,
+    /// Room number.
+    Room,
+    /// Instructor name.
+    Instructor,
+    /// Current enrollment count.
+    Enrollment,
+    /// Enrollment limit.
+    EnrollLimit,
+    /// Academic term.
+    Quarter,
+    /// SLN / registration code, 4–5 digits.
+    RegistrationCode,
+    // ---- faculty ----
+    /// Faculty rank.
+    FacultyRank,
+    /// Degree, e.g. "Ph.D.".
+    Degree,
+    /// Degree-granting university.
+    University,
+    /// Degree year.
+    DegreeYear,
+    /// Comma-separated research interests.
+    ResearchInterests,
+    /// Office location, "Sieg Hall 226".
+    OfficeLocation,
+    /// Short biography text.
+    Bio,
+}
+
+/// Fraction of values replaced by a dirty placeholder, matching the paper's
+/// observation that sources contain "unknown"/"unk" noise.
+const DIRTY_RATE: f64 = 0.02;
+
+/// Generates one value of the given kind under a source's formatting style
+/// and the listing's coherence context.
+pub fn generate_value(
+    kind: ValueKind,
+    style: usize,
+    ctx: &ListingContext,
+    rng: &mut ChaCha8Rng,
+) -> String {
+    if matches!(
+        kind,
+        ValueKind::Description | ValueKind::ShortRemark | ValueKind::Bio
+    ) {
+        // Free-text fields don't go dirty; the others occasionally do.
+    } else if rng.gen_bool(DIRTY_RATE) {
+        return pick(vocab::DIRTY_VALUES, rng).to_string();
+    }
+    match kind {
+        ValueKind::CityState => {
+            let (city, state) = (ctx.city_name(), ctx.state());
+            match style % 3 {
+                0 => format!("{city}, {state}"),
+                1 => format!("{city} {state}"),
+                _ => city.to_string(),
+            }
+        }
+        ValueKind::City => ctx.city_name().to_string(),
+        ValueKind::State => ctx.state().to_string(),
+        ValueKind::StreetAddress => {
+            format!("{} {}", rng.gen_range(100..9900), pick(vocab::STREETS, rng))
+        }
+        ValueKind::Zip => ctx.zip(rng),
+        ValueKind::County => {
+            let county = pick(vocab::COUNTIES, rng);
+            if style.is_multiple_of(2) {
+                county.to_string()
+            } else {
+                format!("{county} County")
+            }
+        }
+        ValueKind::Price => {
+            let price = rng.gen_range(60..1200) * 1000;
+            match style % 3 {
+                0 => format!("${}", with_commas(price)),
+                1 => format!("$ {}", with_commas(price)),
+                _ => with_commas(price),
+            }
+        }
+        ValueKind::MonthlyRent => format!("${}/mo", with_commas(rng.gen_range(600..4500))),
+        ValueKind::Phone => {
+            let a = rng.gen_range(200..990);
+            let b = rng.gen_range(200..990);
+            let c = rng.gen_range(1000..9999);
+            match style % 3 {
+                0 => format!("({a}) {b} {c}"),
+                1 => format!("{a}-{b}-{c}"),
+                _ => format!("{a}.{b}.{c}"),
+            }
+        }
+        ValueKind::PersonName => {
+            format!("{} {}", pick(vocab::FIRST_NAMES, rng), pick(vocab::LAST_NAMES, rng))
+        }
+        ValueKind::FirstName => pick(vocab::FIRST_NAMES, rng).to_string(),
+        ValueKind::LastName => pick(vocab::LAST_NAMES, rng).to_string(),
+        ValueKind::FirmName => pick(vocab::FIRMS, rng).to_string(),
+        ValueKind::Description => {
+            let a1 = pick(vocab::DESC_ADJECTIVES, rng);
+            let f1 = pick(vocab::DESC_FEATURES, rng);
+            let a2 = pick(vocab::DESC_ADJECTIVES, rng);
+            let f2 = pick(vocab::DESC_FEATURES, rng);
+            let closer = pick(vocab::DESC_CLOSERS, rng);
+            let mut text = format!("{} {f1} with {a2} {f2}, {closer}", capitalize(a1));
+            // Real listing descriptions bleed other fields' vocabulary —
+            // the paper's own Figure 7 example is "…contact Gail Murphy at
+            // MAX Realtors". This cross-field contamination is what makes
+            // flat bags of words confuse DESCRIPTION with CONTACT-INFO.
+            if rng.gen_bool(0.4) {
+                let first = pick(vocab::FIRST_NAMES, rng);
+                let last = pick(vocab::LAST_NAMES, rng);
+                let firm = pick(vocab::FIRMS, rng);
+                text.push_str(&format!(". Contact {first} {last} at {firm}"));
+            }
+            if rng.gen_bool(0.3) {
+                let (city, _) = *pick(vocab::CITIES, rng);
+                text.push_str(&format!(". One of the best streets in {city}"));
+            }
+            if rng.gen_bool(0.2) {
+                text.push_str(&format!(
+                    ". {} {}, built {}",
+                    rng.gen_range(1..=5),
+                    if rng.gen_bool(0.5) { "bedrooms" } else { "baths" },
+                    rng.gen_range(1900..=2000)
+                ));
+            }
+            text
+        }
+        ValueKind::ShortRemark => {
+            let adjective = *pick(vocab::DESC_ADJECTIVES, rng);
+            format!("{} {}", capitalize(adjective), pick(vocab::DESC_FEATURES, rng))
+        }
+        ValueKind::Beds => rng.gen_range(1..=6).to_string(),
+        ValueKind::Baths => {
+            if rng.gen_bool(0.3) {
+                format!("{}.5", rng.gen_range(1..=3))
+            } else {
+                rng.gen_range(1..=4).to_string()
+            }
+        }
+        ValueKind::SqFt => with_commas(rng.gen_range(600..6000)),
+        ValueKind::LotAcres => format!("{:.2}", rng.gen_range(0.08..3.0)),
+        ValueKind::YearBuilt => rng.gen_range(1900..=2000).to_string(),
+        ValueKind::GarageSpaces => rng.gen_range(0..=3).to_string(),
+        ValueKind::ListingId => ctx.listing_id(style),
+        ValueKind::MlsNumber => format!("MLS#{}", rng.gen_range(1_000_000..9_999_999)),
+        ValueKind::HouseStyle => pick(vocab::HOUSE_STYLES, rng).to_string(),
+        ValueKind::Heating => pick(vocab::HEATING, rng).to_string(),
+        ValueKind::Cooling => pick(vocab::COOLING, rng).to_string(),
+        ValueKind::Roof => pick(vocab::ROOFS, rng).to_string(),
+        ValueKind::Flooring => pick(vocab::FLOORING, rng).to_string(),
+        ValueKind::YesNo => if rng.gen_bool(0.3) { "yes" } else { "no" }.to_string(),
+        ValueKind::Taxes => format!("${}", with_commas(rng.gen_range(800..12000))),
+        ValueKind::HoaFee => format!("${}/mo", rng.gen_range(50..600)),
+        ValueKind::SchoolDistrict => pick(vocab::SCHOOL_DISTRICTS, rng).to_string(),
+        ValueKind::Url => format!(
+            "http://www.{}homes{}.com/listing{}",
+            pick(vocab::CITIES, rng).0.to_lowercase().replace([' ', '.'], ""),
+            rng.gen_range(1..90),
+            rng.gen_range(100..9999)
+        ),
+        ValueKind::Email => format!(
+            "{}.{}@{}realty.com",
+            pick(vocab::FIRST_NAMES, rng).to_lowercase(),
+            pick(vocab::LAST_NAMES, rng).to_lowercase().replace('\'', ""),
+            pick(vocab::CITIES, rng).0.to_lowercase().replace([' ', '.'], "")
+        ),
+        ValueKind::DateValue => format!(
+            "{:02}/{:02}/200{}",
+            rng.gen_range(1..=12),
+            rng.gen_range(1..=28),
+            rng.gen_range(0..=1)
+        ),
+        ValueKind::ListingStatus => {
+            const STATUSES: &[&str] = &["active", "pending", "sold", "contingent", "new listing"];
+            STATUSES[rng.gen_range(0..STATUSES.len())].to_string()
+        }
+        ValueKind::SmallCount => rng.gen_range(1..=30).to_string(),
+        ValueKind::CourseCode => {
+            let subject = pick(vocab::COURSE_SUBJECTS, rng);
+            let number = rng.gen_range(100..600);
+            match style % 2 {
+                0 => format!("{subject}{number}"),
+                _ => format!("{subject} {number}"),
+            }
+        }
+        ValueKind::CourseTitle => {
+            let qual = pick(vocab::COURSE_QUALIFIERS, rng);
+            let topic = pick(vocab::COURSE_TOPICS, rng);
+            let title = if qual.is_empty() {
+                topic.to_string()
+            } else {
+                format!("{qual} {topic}")
+            };
+            // Some schedules prefix the catalog code to the title,
+            // bleeding CODE-shaped tokens into TITLE.
+            if rng.gen_bool(0.25) {
+                format!(
+                    "{} {} {title}",
+                    pick(vocab::COURSE_SUBJECTS, rng),
+                    rng.gen_range(100..600)
+                )
+            } else {
+                title
+            }
+        }
+        ValueKind::Section => {
+            if style.is_multiple_of(2) {
+                char::from(b'A' + rng.gen_range(0..6) as u8).to_string()
+            } else {
+                rng.gen_range(1..=6).to_string()
+            }
+        }
+        ValueKind::Credits => rng.gen_range(1..=5).to_string(),
+        ValueKind::Days => pick(vocab::DAY_PATTERNS, rng).to_string(),
+        ValueKind::TimeRange => {
+            let hour = rng.gen_range(8..17);
+            let min = [0, 30][rng.gen_range(0..2)];
+            let end_min = (min + 50) % 60;
+            let end_hour = hour + if min + 50 >= 60 { 1 } else { 0 };
+            match style % 2 {
+                0 => format!("{hour}:{min:02}-{end_hour}:{end_min:02}"),
+                _ => format!("{hour}:{min:02} - {end_hour}:{end_min:02}"),
+            }
+        }
+        ValueKind::Building => pick(vocab::BUILDINGS, rng).to_string(),
+        ValueKind::Room => rng.gen_range(100..450).to_string(),
+        ValueKind::Instructor => {
+            let last = pick(vocab::LAST_NAMES, rng);
+            match style % 3 {
+                0 => format!("{} {last}", pick(vocab::FIRST_NAMES, rng)),
+                1 => format!("{last}, {}.", &pick(vocab::FIRST_NAMES, rng)[..1]),
+                _ => last.to_string(),
+            }
+        }
+        ValueKind::Enrollment => rng.gen_range(5..200).to_string(),
+        ValueKind::EnrollLimit => rng.gen_range(20..300).to_string(),
+        ValueKind::Quarter => pick(vocab::QUARTERS, rng).to_string(),
+        ValueKind::RegistrationCode => rng.gen_range(10000..99999).to_string(),
+        ValueKind::FacultyRank => pick(vocab::FACULTY_RANKS, rng).to_string(),
+        ValueKind::Degree => pick(vocab::DEGREES, rng).to_string(),
+        ValueKind::University => pick(vocab::UNIVERSITIES, rng).to_string(),
+        ValueKind::DegreeYear => rng.gen_range(1965..=1999).to_string(),
+        ValueKind::ResearchInterests => {
+            let mut areas: Vec<&str> = Vec::new();
+            for _ in 0..rng.gen_range(1..=3) {
+                let a = pick(vocab::RESEARCH_AREAS, rng);
+                if !areas.contains(a) {
+                    areas.push(a);
+                }
+            }
+            areas.join(", ")
+        }
+        ValueKind::OfficeLocation => {
+            format!("{} {}", pick(vocab::BUILDINGS, rng), rng.gen_range(100..450))
+        }
+        ValueKind::Bio => {
+            let area = pick(vocab::RESEARCH_AREAS, rng);
+            let area2 = pick(vocab::RESEARCH_AREAS, rng);
+            let uni = pick(vocab::UNIVERSITIES, rng);
+            let mut text = format!(
+                "Works on {area} and {area2}. Received the Ph.D. from {uni} \
+                 and teaches courses on {}",
+                pick(vocab::COURSE_TOPICS, rng).to_lowercase()
+            );
+            // Bios name collaborators and years, bleeding NAME- and
+            // DEGREE-YEAR-flavoured tokens into free text.
+            if rng.gen_bool(0.4) {
+                text.push_str(&format!(
+                    ". Joint projects with {} {}",
+                    pick(vocab::FIRST_NAMES, rng),
+                    pick(vocab::LAST_NAMES, rng)
+                ));
+            }
+            if rng.gen_bool(0.3) {
+                text.push_str(&format!(". On the faculty since {}", rng.gen_range(1970..=2000)));
+            }
+            text
+        }
+    }
+}
+
+fn pick<'a, T>(pool: &'a [T], rng: &mut ChaCha8Rng) -> &'a T {
+    &pool[rng.gen_range(0..pool.len())]
+}
+
+fn capitalize(word: &str) -> String {
+    let mut chars = word.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Formats an integer with thousands separators: 250000 → "250,000".
+fn with_commas(n: u32) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// Generates many clean samples of a kind (retrying past dirty values).
+    fn samples(kind: ValueKind, style: usize, n: usize) -> Vec<String> {
+        let mut r = rng(kind as u64 + style as u64 * 1000);
+        let mut out = Vec::new();
+        while out.len() < n {
+            let ctx = ListingContext::sample(out.len(), &mut r);
+            let v = generate_value(kind, style, &ctx, &mut r);
+            if !vocab::DIRTY_VALUES.contains(&v.as_str()) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn commas() {
+        assert_eq!(with_commas(1), "1");
+        assert_eq!(with_commas(999), "999");
+        assert_eq!(with_commas(1000), "1,000");
+        assert_eq!(with_commas(250000), "250,000");
+        assert_eq!(with_commas(1100000), "1,100,000");
+    }
+
+    #[test]
+    fn price_formats_vary_by_style() {
+        assert!(samples(ValueKind::Price, 0, 5).iter().all(|v| v.starts_with('$')));
+        assert!(samples(ValueKind::Price, 2, 5).iter().all(|v| !v.contains('$')));
+    }
+
+    #[test]
+    fn phone_styles_are_consistent_within_source() {
+        assert!(samples(ValueKind::Phone, 0, 10).iter().all(|v| v.starts_with('(')));
+        assert!(samples(ValueKind::Phone, 1, 10).iter().all(|v| v.contains('-')));
+        assert!(samples(ValueKind::Phone, 2, 10).iter().all(|v| v.contains('.')));
+    }
+
+    #[test]
+    fn course_codes_match_section7_shape() {
+        for v in samples(ValueKind::CourseCode, 0, 10) {
+            assert!(
+                v.chars().take_while(char::is_ascii_uppercase).count() >= 2,
+                "{v}"
+            );
+            assert!(v.chars().any(|c| c.is_ascii_digit()), "{v}");
+        }
+    }
+
+    #[test]
+    fn descriptions_use_indicative_vocabulary() {
+        let all = samples(ValueKind::Description, 0, 30).join(" ").to_lowercase();
+        let hits = vocab::DESC_ADJECTIVES.iter().filter(|a| all.contains(**a)).count();
+        assert!(hits >= 5, "descriptions should reuse the adjective pool ({hits})");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut r1 = rng(7);
+        let mut r2 = rng(7);
+        let ctx = ListingContext { city: 3, ordinal: 5 };
+        for kind in [ValueKind::Price, ValueKind::Phone, ValueKind::Description] {
+            assert_eq!(
+                generate_value(kind, 0, &ctx, &mut r1),
+                generate_value(kind, 0, &ctx, &mut r2)
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_values_appear_at_low_rate() {
+        let mut r = rng(11);
+        let n = 2000;
+        let dirty = (0..n)
+            .filter(|i| {
+                let ctx = ListingContext::sample(*i, &mut r);
+                let v = generate_value(ValueKind::Zip, 0, &ctx, &mut r);
+                vocab::DIRTY_VALUES.contains(&v.as_str())
+            })
+            .count();
+        assert!(dirty > 0, "some dirt expected");
+        assert!((dirty as f64) < n as f64 * 0.06, "dirt rate too high: {dirty}/{n}");
+    }
+
+    #[test]
+    fn yes_no_flags() {
+        for v in samples(ValueKind::YesNo, 0, 20) {
+            assert!(v == "yes" || v == "no");
+        }
+    }
+
+    #[test]
+    fn listing_ids_are_unique_per_source() {
+        let ids = samples(ValueKind::ListingId, 0, 200);
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(distinct.len(), ids.len(), "listing ids must be a key");
+    }
+
+    #[test]
+    fn zip_determines_state() {
+        // The FD the Real Estate II constraints assert: equal ZIPs imply
+        // equal states.
+        let mut r = rng(13);
+        let mut zip_state: std::collections::HashMap<String, &str> =
+            std::collections::HashMap::new();
+        for i in 0..500 {
+            let ctx = ListingContext::sample(i, &mut r);
+            let zip = generate_value(ValueKind::Zip, 0, &ctx, &mut r);
+            if vocab::DIRTY_VALUES.contains(&zip.as_str()) {
+                continue;
+            }
+            let state = vocab::CITIES[ctx.city].1;
+            if let Some(prev) = zip_state.insert(zip.clone(), state) {
+                assert_eq!(prev, state, "zip {zip} maps to two states");
+            }
+        }
+    }
+
+    #[test]
+    fn city_state_and_zip_cohere_within_listing() {
+        let mut r = rng(17);
+        for i in 0..50 {
+            let ctx = ListingContext::sample(i, &mut r);
+            let city = generate_value(ValueKind::City, 0, &ctx, &mut r);
+            let state = generate_value(ValueKind::State, 0, &ctx, &mut r);
+            if vocab::DIRTY_VALUES.contains(&city.as_str())
+                || vocab::DIRTY_VALUES.contains(&state.as_str())
+            {
+                continue;
+            }
+            let expected = vocab::CITIES[ctx.city];
+            assert_eq!(city, expected.0);
+            assert_eq!(state, expected.1);
+        }
+    }
+}

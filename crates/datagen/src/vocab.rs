@@ -1,0 +1,217 @@
+//! Static vocabulary pools for the value generators.
+
+/// U.S. cities with their state abbreviations.
+pub const CITIES: &[(&str, &str)] = &[
+    ("Seattle", "WA"), ("Portland", "OR"), ("Miami", "FL"), ("Boston", "MA"),
+    ("Austin", "TX"), ("Denver", "CO"), ("Chicago", "IL"), ("Atlanta", "GA"),
+    ("Phoenix", "AZ"), ("Dallas", "TX"), ("Houston", "TX"), ("Orlando", "FL"),
+    ("Tampa", "FL"), ("Spokane", "WA"), ("Tacoma", "WA"), ("Eugene", "OR"),
+    ("Salem", "OR"), ("Bellevue", "WA"), ("Kent", "WA"), ("Everett", "WA"),
+    ("San Jose", "CA"), ("Oakland", "CA"), ("Fresno", "CA"), ("Sacramento", "CA"),
+    ("Tucson", "AZ"), ("Albuquerque", "NM"), ("Omaha", "NE"), ("Tulsa", "OK"),
+    ("Memphis", "TN"), ("Nashville", "TN"), ("Charlotte", "NC"), ("Raleigh", "NC"),
+    ("Columbus", "OH"), ("Cleveland", "OH"), ("Detroit", "MI"), ("Madison", "WI"),
+    ("Minneapolis", "MN"), ("St. Paul", "MN"), ("Kansas City", "MO"), ("St. Louis", "MO"),
+];
+
+/// County names (subset shared with `lsd-core`'s recognizer database so the
+/// recognizer actually fires on generated data).
+pub const COUNTIES: &[&str] = &[
+    "King", "Pierce", "Snohomish", "Spokane", "Clark", "Thurston", "Kitsap",
+    "Yakima", "Whatcom", "Benton", "Skagit", "Cowlitz", "Multnomah",
+    "Clackamas", "Lane", "Jackson", "Deschutes", "Cook", "DuPage", "Will",
+    "Orange", "Polk", "Brevard", "Monroe", "Madison", "Douglas", "Lincoln",
+];
+
+/// Street names (without the number).
+pub const STREETS: &[&str] = &[
+    "Maple St", "Oak Ave", "Pine St", "Cedar Ln", "Elm St", "Birch Rd",
+    "Lake View Dr", "Sunset Blvd", "Hillcrest Ave", "Ridge Rd", "Park Ave",
+    "Main St", "2nd Ave", "5th St", "Broadway", "University Way",
+    "Greenwood Ave", "Rainier Ave", "Aurora Ave", "Meridian St",
+    "Chestnut Ct", "Willow Way", "Juniper Dr", "Magnolia Blvd", "Alder St",
+];
+
+/// First names for agents, faculty, instructors.
+pub const FIRST_NAMES: &[&str] = &[
+    "Kate", "Mike", "Jane", "Matt", "Gail", "Sarah", "David", "Laura",
+    "James", "Emily", "Robert", "Anna", "Peter", "Susan", "Thomas", "Nancy",
+    "Brian", "Carol", "Kevin", "Diane", "Steven", "Linda", "Paul", "Maria",
+    "Alan", "Rachel", "George", "Helen", "Frank", "Julia", "Eric", "Wendy",
+];
+
+/// Last names for agents, faculty, instructors.
+pub const LAST_NAMES: &[&str] = &[
+    "Richardson", "Smith", "Kendall", "Murphy", "Johnson", "Williams",
+    "Brown", "Jones", "Garcia", "Miller", "Davis", "Wilson", "Anderson",
+    "Taylor", "Thomas", "Moore", "Martin", "Lee", "Thompson", "White",
+    "Harris", "Clark", "Lewis", "Walker", "Hall", "Young", "King", "Wright",
+    "Lopez", "Hill", "Scott", "Green", "Adams", "Baker", "Nelson", "Carter",
+];
+
+/// Realtor firm names.
+pub const FIRMS: &[&str] = &[
+    "MAX Realtors", "ACME Homes", "Windermere", "Coldwell Banker",
+    "Century 21", "RE/MAX Northwest", "John L. Scott", "Keller Williams",
+    "Redfin Realty", "Evergreen Properties", "Sound Realty", "Pacific Crest Homes",
+    "Lakeside Brokers", "Summit Real Estate", "Harbor View Realty",
+];
+
+/// Positive adjectives for house descriptions — the word-frequency signal
+/// the paper highlights ("fantastic", "great").
+pub const DESC_ADJECTIVES: &[&str] = &[
+    "fantastic", "great", "beautiful", "spacious", "charming", "stunning",
+    "cozy", "bright", "gorgeous", "lovely", "immaculate", "updated",
+    "remodeled", "sunny", "quiet", "modern", "classic", "elegant",
+];
+
+/// Nouns/phrases for house descriptions.
+pub const DESC_FEATURES: &[&str] = &[
+    "yard", "view", "kitchen", "garden", "deck", "fireplace", "basement",
+    "garage", "neighborhood", "location", "schools", "floor plan",
+    "hardwood floors", "master suite", "backyard", "patio", "bay windows",
+    "vaulted ceilings", "walk-in closet", "granite counters",
+];
+
+/// Trailing phrases for house descriptions.
+pub const DESC_CLOSERS: &[&str] = &[
+    "close to downtown", "near the park", "minutes from the beach",
+    "close to the river", "near great schools", "close to shopping",
+    "on a quiet street", "with easy freeway access", "near the university",
+    "walking distance to transit", "a must see", "priced to sell",
+    "move-in ready", "will not last",
+];
+
+/// Architectural styles.
+pub const HOUSE_STYLES: &[&str] = &[
+    "Victorian", "Craftsman", "Colonial", "Ranch", "Tudor", "Contemporary",
+    "Cape Cod", "Bungalow", "Split-Level", "Townhouse", "Mediterranean",
+];
+
+/// Heating systems.
+pub const HEATING: &[&str] =
+    &["forced air", "radiant", "heat pump", "baseboard", "gas furnace", "electric"];
+
+/// Cooling systems.
+pub const COOLING: &[&str] = &["central air", "window units", "none", "heat pump", "evaporative"];
+
+/// Roof materials.
+pub const ROOFS: &[&str] = &["composition", "tile", "metal", "cedar shake", "asphalt shingle"];
+
+/// Flooring materials.
+pub const FLOORING: &[&str] =
+    &["hardwood", "carpet", "tile", "laminate", "vinyl", "bamboo", "concrete"];
+
+/// School district names.
+pub const SCHOOL_DISTRICTS: &[&str] = &[
+    "Seattle Public Schools", "Lake Washington SD", "Bellevue SD",
+    "Northshore SD", "Portland Public Schools", "Beaverton SD",
+    "Miami-Dade Schools", "Boston Public Schools", "Austin ISD", "Denver PS",
+];
+
+/// Course subject codes.
+pub const COURSE_SUBJECTS: &[&str] = &[
+    "CSE", "MATH", "PHYS", "CHEM", "BIO", "ENGL", "HIST", "ECON", "PSYCH",
+    "PHIL", "MUSIC", "ART", "STAT", "LING", "ASTR", "GEOG", "POLS", "SOC",
+];
+
+/// Course title fragments: (topic, level qualifier).
+pub const COURSE_TOPICS: &[&str] = &[
+    "Data Structures", "Calculus", "Linear Algebra", "Organic Chemistry",
+    "World History", "Microeconomics", "Cognitive Psychology",
+    "Operating Systems", "Databases", "Machine Learning", "Genetics",
+    "Quantum Mechanics", "American Literature", "Music Theory",
+    "Statistics", "Discrete Mathematics", "Compilers", "Networks",
+    "Algorithms", "Artificial Intelligence", "Thermodynamics", "Ethics",
+    "Astronomy", "Human Geography", "Comparative Politics", "Social Theory",
+];
+
+/// Course title qualifiers.
+pub const COURSE_QUALIFIERS: &[&str] =
+    &["Introduction to", "Advanced", "Topics in", "Foundations of", "Seminar in", ""];
+
+/// Campus building names.
+pub const BUILDINGS: &[&str] = &[
+    "Sieg Hall", "Guggenheim Hall", "Kane Hall", "Smith Hall", "Loew Hall",
+    "Bagley Hall", "Johnson Hall", "Gowen Hall", "Savery Hall", "Mary Gates Hall",
+    "Thomson Hall", "Anderson Hall", "Mueller Hall", "Wilcox Hall",
+];
+
+/// Meeting-day patterns.
+pub const DAY_PATTERNS: &[&str] = &["MWF", "TTh", "MW", "Daily", "F", "TThF", "M", "W"];
+
+/// Academic quarters/semesters.
+pub const QUARTERS: &[&str] =
+    &["Autumn 2000", "Winter 2001", "Spring 2001", "Fall 2000", "Summer 2001"];
+
+/// Universities for degrees.
+pub const UNIVERSITIES: &[&str] = &[
+    "University of Washington", "Stanford University", "MIT", "UC Berkeley",
+    "Carnegie Mellon University", "University of Wisconsin", "Cornell University",
+    "Princeton University", "University of Texas", "Georgia Tech",
+    "University of Illinois", "Caltech", "University of Michigan", "Brown University",
+];
+
+/// Faculty ranks.
+pub const FACULTY_RANKS: &[&str] = &[
+    "Professor", "Associate Professor", "Assistant Professor",
+    "Senior Lecturer", "Lecturer", "Research Professor", "Professor Emeritus",
+];
+
+/// Research areas for faculty profiles.
+pub const RESEARCH_AREAS: &[&str] = &[
+    "databases", "machine learning", "computer architecture", "networking",
+    "operating systems", "programming languages", "computational biology",
+    "human-computer interaction", "computer graphics", "theory of computation",
+    "artificial intelligence", "computer vision", "distributed systems",
+    "natural language processing", "robotics", "security and privacy",
+    "data mining", "software engineering", "information retrieval",
+];
+
+/// Degrees.
+pub const DEGREES: &[&str] = &["Ph.D.", "M.S.", "B.S.", "M.Eng.", "Sc.D."];
+
+/// Dirty values occasionally injected (Section 6: data contains "unknown",
+/// "unk" and the like; only trivial cleaning is applied).
+pub const DIRTY_VALUES: &[&str] = &["unknown", "n/a", "unk", "-", "TBA"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_reasonably_sized() {
+        assert!(CITIES.len() >= 30);
+        assert!(FIRST_NAMES.len() >= 25);
+        assert!(LAST_NAMES.len() >= 25);
+        assert!(DESC_ADJECTIVES.len() >= 12);
+        assert!(COURSE_TOPICS.len() >= 20);
+        assert!(RESEARCH_AREAS.len() >= 15);
+    }
+
+    #[test]
+    fn counties_overlap_recognizer_database() {
+        // The county recognizer lowercases before lookup; every generated
+        // county must be recognizable.
+        for c in COUNTIES {
+            assert!(
+                lsd_core_counties_contains(&c.to_lowercase()),
+                "{c} not in recognizer database"
+            );
+        }
+    }
+
+    /// Mirror of the recognizer membership check, duplicated here to avoid
+    /// a dependency cycle (datagen must not depend on core).
+    fn lsd_core_counties_contains(name: &str) -> bool {
+        // Keep in sync with lsd-core/src/counties.rs.
+        const SAMPLE: &[&str] = &[
+            "king", "pierce", "snohomish", "spokane", "clark", "thurston",
+            "kitsap", "yakima", "whatcom", "benton", "skagit", "cowlitz",
+            "multnomah", "clackamas", "lane", "jackson", "deschutes", "cook",
+            "dupage", "will", "orange", "polk", "brevard", "monroe",
+            "madison", "douglas", "lincoln",
+        ];
+        SAMPLE.contains(&name)
+    }
+}

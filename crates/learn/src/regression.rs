@@ -1,0 +1,272 @@
+//! Least-squares linear regression for the stacking meta-learner.
+//!
+//! The meta-learner computes, for each label `cᵢ`, the learner weights
+//! `W(cᵢ,Lⱼ)` minimizing `Σₓ (l(cᵢ,x) − Σⱼ s(cᵢ|x,Lⱼ)·W(cᵢ,Lⱼ))²` (paper
+//! Section 3.1, step 5c). With only a handful of base learners the design
+//! matrix is tiny, so we solve the normal equations `(XᵀX + λI)·w = Xᵀy`
+//! directly by Gaussian elimination with partial pivoting; the small ridge
+//! term `λ` guards against singular systems (e.g. two base learners that
+//! produced identical CV scores).
+
+/// Solves the least-squares problem `min ‖X·w − y‖²` and returns `w`.
+///
+/// * `rows` — the design matrix, one slice per observation.
+/// * `targets` — `y`, one entry per observation.
+/// * `ridge` — Tikhonov regularization strength `λ ≥ 0`; pass a small value
+///   such as `1e-6` to guarantee a solution for rank-deficient systems.
+///
+/// # Panics
+/// If rows have inconsistent widths or `rows.len() != targets.len()`.
+#[allow(clippy::needless_range_loop)] // index loops mirror the matrix algebra
+pub fn linear_least_squares(rows: &[&[f64]], targets: &[f64], ridge: f64) -> Vec<f64> {
+    assert_eq!(rows.len(), targets.len(), "one target per row required");
+    let Some(first) = rows.first() else {
+        return Vec::new();
+    };
+    let k = first.len();
+    assert!(rows.iter().all(|r| r.len() == k), "inconsistent row widths");
+    if k == 0 {
+        return Vec::new();
+    }
+
+    // Normal equations: A = XᵀX + λI (k×k), b = Xᵀy.
+    let mut a = vec![vec![0.0f64; k]; k];
+    let mut b = vec![0.0f64; k];
+    for (row, &y) in rows.iter().zip(targets) {
+        for i in 0..k {
+            b[i] += row[i] * y;
+            for j in i..k {
+                a[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..k {
+        for j in 0..i {
+            a[i][j] = a[j][i];
+        }
+        a[i][i] += ridge;
+    }
+
+    solve_gaussian(a, b)
+}
+
+/// Least squares with the constraint `w ≥ 0` (Breiman's *stacked
+/// regressions* recommendation, which LSD's meta-learner follows: a base
+/// learner may be ignored, but never inverted).
+///
+/// Implemented by iterated elimination: solve the unconstrained problem,
+/// zero out and remove the most-negative coordinate, repeat on the reduced
+/// feature set until all remaining weights are non-negative. For the small
+/// systems the meta-learner builds (k = number of base learners), this
+/// matches full NNLS in practice and is trivially robust.
+pub fn nonnegative_least_squares(rows: &[&[f64]], targets: &[f64], ridge: f64) -> Vec<f64> {
+    let Some(first) = rows.first() else {
+        return Vec::new();
+    };
+    let k = first.len();
+    let mut active: Vec<usize> = (0..k).collect();
+    loop {
+        if active.is_empty() {
+            return vec![0.0; k];
+        }
+        let reduced: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| active.iter().map(|&j| r[j]).collect())
+            .collect();
+        let reduced_refs: Vec<&[f64]> = reduced.iter().map(Vec::as_slice).collect();
+        let w = linear_least_squares(&reduced_refs, targets, ridge);
+        // Most negative coordinate, if any.
+        let worst = w
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v < 0.0)
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i);
+        match worst {
+            Some(i) => {
+                active.remove(i);
+            }
+            None => {
+                let mut full = vec![0.0; k];
+                for (slot, &j) in active.iter().enumerate() {
+                    full[j] = w[slot];
+                }
+                return full;
+            }
+        }
+    }
+}
+
+/// Solves `A·x = b` by Gaussian elimination with partial pivoting. If the
+/// matrix is numerically singular the corresponding solution entries are 0
+/// (a learner whose scores carry no independent information gets no weight).
+#[allow(clippy::needless_range_loop)] // in-place elimination over a and b
+fn solve_gaussian(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot: the row with the largest magnitude in this column.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            continue; // singular column
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[row][j] -= factor * a[col][j];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for col in (0..n).rev() {
+        if a[col][col].abs() < 1e-12 {
+            x[col] = 0.0;
+            continue;
+        }
+        let mut sum = b[col];
+        for j in col + 1..n {
+            sum -= a[col][j] * x[j];
+        }
+        x[col] = sum / a[col][col];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit(rows: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        linear_least_squares(&refs, y, 0.0)
+    }
+
+    #[test]
+    fn exact_system_recovers_weights() {
+        // y = 2·x₀ + 3·x₁ exactly.
+        let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![2.0, 1.0]];
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 3.0 * r[1]).collect();
+        let w = fit(&rows, &y);
+        assert!((w[0] - 2.0).abs() < 1e-9);
+        assert!((w[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overdetermined_noisy_system_is_near_truth() {
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i as f64) / 50.0, ((i * 7 % 13) as f64) / 13.0])
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 0.3 * r[0] + 0.8 * r[1] + if i % 2 == 0 { 0.01 } else { -0.01 })
+            .collect();
+        let w = fit(&rows, &y);
+        assert!((w[0] - 0.3).abs() < 0.05, "{w:?}");
+        assert!((w[1] - 0.8).abs() < 0.05, "{w:?}");
+    }
+
+    #[test]
+    fn meta_learner_shape_good_learner_gets_high_weight() {
+        // Learner 0's score tracks the truth; learner 1 outputs noise ~0.5.
+        let truth = [1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let rows: Vec<Vec<f64>> = truth
+            .iter()
+            .map(|&t| vec![0.8 * t + 0.1, 0.5])
+            .collect();
+        let w = fit(&rows, &truth);
+        assert!(w[0] > 1.0, "informative learner should dominate: {w:?}");
+        assert!(w[0] * 0.5 > w[1].abs(), "noise learner should matter less: {w:?}");
+    }
+
+    #[test]
+    fn singular_system_with_ridge_is_finite() {
+        // Two identical columns: rank deficient.
+        let rows = [vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let y = vec![2.0, 4.0, 6.0];
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let w = linear_least_squares(&refs, &y, 1e-6);
+        assert!(w.iter().all(|x| x.is_finite()));
+        // Combined prediction still ≈ y.
+        let pred = rows[1][0] * w[0] + rows[1][1] * w[1];
+        assert!((pred - 4.0).abs() < 1e-3, "{w:?}");
+    }
+
+    #[test]
+    fn singular_without_ridge_does_not_panic() {
+        let rows = [vec![0.0, 0.0], vec![0.0, 0.0]];
+        let y = vec![1.0, 2.0];
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let w = linear_least_squares(&refs, &y, 0.0);
+        assert_eq!(w, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(linear_least_squares(&[], &[], 0.0).is_empty());
+    }
+
+    #[test]
+    fn single_feature_is_ratio() {
+        // w = Σxy / Σx².
+        let rows = [vec![2.0], vec![4.0]];
+        let y = vec![1.0, 2.0];
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let w = linear_least_squares(&refs, &y, 0.0);
+        assert!((w[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one target per row")]
+    fn mismatched_lengths_panic() {
+        linear_least_squares(&[&[1.0]], &[], 0.0);
+    }
+
+    #[test]
+    fn nnls_matches_ls_when_unconstrained_solution_is_positive() {
+        let rows = [vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 3.0 * r[1]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let w = nonnegative_least_squares(&refs, &y, 0.0);
+        assert!((w[0] - 2.0).abs() < 1e-9);
+        assert!((w[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nnls_zeroes_negative_coordinates() {
+        // Feature 1 is anti-correlated with the target: plain LS gives it a
+        // negative weight; NNLS must zero it.
+        let rows: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![(i % 2) as f64, 1.0 - (i % 2) as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let unconstrained = linear_least_squares(&refs, &y, 0.0);
+        assert!(unconstrained.iter().any(|&v| v < 1e-12));
+        let w = nonnegative_least_squares(&refs, &y, 0.0);
+        assert!(w.iter().all(|&v| v >= 0.0), "{w:?}");
+        assert!((w[0] - 1.0).abs() < 1e-9, "{w:?}");
+    }
+
+    #[test]
+    fn nnls_all_negative_returns_zeros() {
+        let rows = [vec![1.0], vec![2.0]];
+        let y = vec![-1.0, -2.0];
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        assert_eq!(nonnegative_least_squares(&refs, &y, 0.0), vec![0.0]);
+    }
+
+    #[test]
+    fn nnls_empty_input() {
+        assert!(nonnegative_least_squares(&[], &[], 0.0).is_empty());
+    }
+}

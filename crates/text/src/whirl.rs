@@ -1,0 +1,357 @@
+//! The WHIRL nearest-neighbour classifier (Cohen & Hirsh).
+//!
+//! The paper's Name matcher and Content matcher both use WHIRL (Section
+//! 3.3): all training examples `(text, label)` are stored; to classify a
+//! query, the classifier finds the stored examples within a similarity
+//! threshold of the query under TF/IDF cosine distance and combines their
+//! similarities into per-label confidence scores.
+//!
+//! The combination rule is configurable for ablation studies:
+//! [`NeighborCombination::NoisyOr`] (WHIRL's own rule —
+//! `score(c) = 1 − Π (1 − sim)` over neighbours with label `c`),
+//! `Max`, or `Mean`.
+
+use crate::tfidf::{SparseVector, TfIdfModel};
+use serde::{Deserialize, Serialize};
+
+/// How neighbour similarities are merged into one score per label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NeighborCombination {
+    /// `1 − Π (1 − sim)` — WHIRL's rule; multiple agreeing neighbours
+    /// reinforce each other.
+    NoisyOr,
+    /// The single best neighbour similarity per label.
+    Max,
+    /// The mean similarity over that label's neighbours.
+    Mean,
+}
+
+/// Configuration for a [`Whirl`] classifier.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WhirlConfig {
+    /// Only neighbours with cosine similarity strictly above this threshold
+    /// vote (the paper's "within a δ distance").
+    pub min_similarity: f64,
+    /// At most this many nearest neighbours vote.
+    pub max_neighbors: usize,
+    /// The score combination rule.
+    pub combination: NeighborCombination,
+    /// Tempering toward uniform: the returned distribution is
+    /// `(1−t)·scores + t·uniform`. Cosine similarities are not calibrated
+    /// probabilities — an exact-duplicate neighbour would otherwise yield
+    /// certainty 1.0, letting one confidently-wrong nearest-neighbour vote
+    /// overpower every other learner in the stack.
+    pub temper: f64,
+}
+
+impl Default for WhirlConfig {
+    fn default() -> Self {
+        WhirlConfig {
+            min_similarity: 0.0,
+            max_neighbors: 30,
+            combination: NeighborCombination::NoisyOr,
+            temper: 0.1,
+        }
+    }
+}
+
+/// A stored training example: its TF/IDF vector and label index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Example {
+    vector: SparseVector,
+    label: usize,
+}
+
+/// The WHIRL classifier over an arbitrary label set (labels are dense
+/// `usize` indices; the caller owns the mapping to label names).
+///
+/// ```
+/// use lsd_text::{tokenize, Whirl, WhirlConfig};
+///
+/// let mut whirl = Whirl::new(2, WhirlConfig::default());
+/// for (text, label) in [("Miami, FL", 0), ("Boston, MA", 0),
+///                       ("(305) 729 0831", 1), ("(617) 253 1429", 1)] {
+///     let tokens = tokenize(text);
+///     whirl.add_example(tokens.iter().map(String::as_str), label);
+/// }
+/// whirl.finalize();
+/// let tokens = tokenize("Orlando, FL");
+/// let scores = whirl.classify(tokens.iter().map(String::as_str));
+/// assert!(scores[0] > scores[1]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Whirl {
+    config: WhirlConfig,
+    model: TfIdfModel,
+    /// Raw token lists, kept until [`Self::finalize`] recomputes vectors
+    /// under the final corpus statistics.
+    pending: Vec<(Vec<String>, usize)>,
+    examples: Vec<Example>,
+    /// Inverted index: `postings[dim]` lists `(example, weight)` pairs, so
+    /// a query only touches examples it shares at least one token with.
+    #[serde(skip)]
+    postings: std::collections::HashMap<u32, Vec<(u32, f64)>>,
+    num_labels: usize,
+}
+
+impl Whirl {
+    /// Creates an empty classifier for `num_labels` labels.
+    pub fn new(num_labels: usize, config: WhirlConfig) -> Self {
+        Whirl {
+            config,
+            model: TfIdfModel::new(),
+            pending: Vec::new(),
+            examples: Vec::new(),
+            postings: std::collections::HashMap::new(),
+            num_labels,
+        }
+    }
+
+    /// Adds one training example. Call [`Self::finalize`] after the last
+    /// example and before classifying.
+    pub fn add_example<'a>(
+        &mut self,
+        tokens: impl IntoIterator<Item = &'a str>,
+        label: usize,
+    ) {
+        debug_assert!(label < self.num_labels, "label out of range");
+        let toks: Vec<String> = tokens.into_iter().map(str::to_string).collect();
+        self.model.add_document(toks.iter().map(String::as_str));
+        self.pending.push((toks, label));
+    }
+
+    /// Freezes corpus statistics, computes the stored vectors, and builds
+    /// the inverted index. Idempotent. Also call after deserializing a
+    /// trained classifier: the index is not serialized and is rebuilt here.
+    pub fn finalize(&mut self) {
+        if self.postings.is_empty() && !self.examples.is_empty() {
+            for (id, ex) in self.examples.iter().enumerate() {
+                for &(dim, weight) in ex.vector.entries() {
+                    self.postings.entry(dim).or_default().push((id as u32, weight));
+                }
+            }
+        }
+        for (tokens, label) in self.pending.drain(..) {
+            let vector = self.model.vector_for_tokens(tokens.iter().map(String::as_str));
+            let id = self.examples.len() as u32;
+            for &(dim, weight) in vector.entries() {
+                self.postings.entry(dim).or_default().push((id, weight));
+            }
+            self.examples.push(Example { vector, label });
+        }
+    }
+
+    /// Number of stored examples (after finalize).
+    pub fn num_examples(&self) -> usize {
+        self.examples.len() + self.pending.len()
+    }
+
+    /// Number of labels.
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// Classifies a token multiset: returns a confidence-score distribution
+    /// over labels that sums to 1 (uniform if no neighbour qualifies, e.g.
+    /// for an empty store or fully out-of-vocabulary query).
+    pub fn classify<'a>(&self, tokens: impl IntoIterator<Item = &'a str>) -> Vec<f64> {
+        debug_assert!(self.pending.is_empty(), "classify called before finalize");
+        let query = self.model.vector_for_tokens(tokens);
+        let mut scores = self.label_scores(&query);
+        let total: f64 = scores.iter().sum();
+        let n = self.num_labels.max(1) as f64;
+        if total > 0.0 {
+            let t = self.config.temper.clamp(0.0, 1.0);
+            for s in &mut scores {
+                *s = (1.0 - t) * (*s / total) + t / n;
+            }
+        } else if self.num_labels > 0 {
+            scores = vec![1.0 / n; self.num_labels];
+        }
+        scores
+    }
+
+    /// Raw (unnormalized) per-label neighbour scores for a query vector.
+    /// Both query and stored vectors are unit-normalized, so the cosine is
+    /// a plain dot product, accumulated through the inverted index.
+    fn label_scores(&self, query: &SparseVector) -> Vec<f64> {
+        let mut dots: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        for &(dim, qw) in query.entries() {
+            if let Some(posting) = self.postings.get(&dim) {
+                for &(id, w) in posting {
+                    *dots.entry(id).or_insert(0.0) += qw * w;
+                }
+            }
+        }
+        let mut sims: Vec<(f64, usize)> = dots
+            .into_iter()
+            .map(|(id, sim)| (sim.clamp(-1.0, 1.0), self.examples[id as usize].label))
+            .filter(|&(sim, _)| sim > self.config.min_similarity)
+            .collect();
+        sims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        sims.truncate(self.config.max_neighbors);
+
+        let mut scores = vec![0.0; self.num_labels];
+        match self.config.combination {
+            NeighborCombination::NoisyOr => {
+                let mut keep = vec![1.0; self.num_labels];
+                for (sim, label) in sims {
+                    // Cap a touch below 1 so several exact matches for
+                    // different labels cannot all saturate to certainty.
+                    keep[label] *= 1.0 - sim.min(0.999);
+                }
+                for (s, k) in scores.iter_mut().zip(keep) {
+                    *s = 1.0 - k;
+                }
+            }
+            NeighborCombination::Max => {
+                for (sim, label) in sims {
+                    if sim > scores[label] {
+                        scores[label] = sim;
+                    }
+                }
+            }
+            NeighborCombination::Mean => {
+                let mut counts = vec![0u32; self.num_labels];
+                for (sim, label) in sims {
+                    scores[label] += sim;
+                    counts[label] += 1;
+                }
+                for (s, c) in scores.iter_mut().zip(counts) {
+                    if c > 0 {
+                        *s /= f64::from(c);
+                    }
+                }
+            }
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize;
+
+    fn trained(combination: NeighborCombination) -> Whirl {
+        // Labels: 0 = ADDRESS, 1 = DESCRIPTION, 2 = AGENT-PHONE.
+        let mut w = Whirl::new(3, WhirlConfig { combination, ..Default::default() });
+        let data: &[(&str, usize)] = &[
+            ("Miami, FL", 0),
+            ("Boston, MA", 0),
+            ("Seattle, WA", 0),
+            ("Portland, OR", 0),
+            ("Nice area close to downtown", 1),
+            ("Great location fantastic house", 1),
+            ("Close to river great yard", 1),
+            ("Fantastic house near beach", 1),
+            ("(305) 729 0831", 2),
+            ("(617) 253 1429", 2),
+            ("(206) 753 2605", 2),
+            ("(515) 273 4312", 2),
+        ];
+        for (text, label) in data {
+            let toks = tokenize(text);
+            w.add_example(toks.iter().map(String::as_str), *label);
+        }
+        w.finalize();
+        w
+    }
+
+    fn classify(w: &Whirl, text: &str) -> Vec<f64> {
+        let toks = tokenize(text);
+        w.classify(toks.iter().map(String::as_str))
+    }
+
+    fn argmax(scores: &[f64]) -> usize {
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap()
+    }
+
+    #[test]
+    fn classifies_each_category() {
+        for comb in [
+            NeighborCombination::NoisyOr,
+            NeighborCombination::Max,
+            NeighborCombination::Mean,
+        ] {
+            let w = trained(comb);
+            assert_eq!(argmax(&classify(&w, "Orlando, FL")), 0, "{comb:?}");
+            assert_eq!(argmax(&classify(&w, "great house close to park")), 1, "{comb:?}");
+            assert_eq!(argmax(&classify(&w, "(415) 273 1234")), 2, "{comb:?}");
+        }
+    }
+
+    #[test]
+    fn scores_form_distribution() {
+        let w = trained(NeighborCombination::NoisyOr);
+        let s = classify(&w, "Kent, WA");
+        assert_eq!(s.len(), 3);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(s.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn out_of_vocabulary_query_is_uniform() {
+        let w = trained(NeighborCombination::NoisyOr);
+        let s = classify(&w, "zzz qqq");
+        assert!(s.iter().all(|&x| (x - 1.0 / 3.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn empty_classifier_is_uniform() {
+        let mut w = Whirl::new(4, WhirlConfig::default());
+        w.finalize();
+        let s = w.classify(["anything"].iter().copied());
+        assert!(s.iter().all(|&x| (x - 0.25).abs() < 1e-9));
+    }
+
+    #[test]
+    fn exact_duplicate_dominates() {
+        let w = trained(NeighborCombination::NoisyOr);
+        let s = classify(&w, "(305) 729 0831");
+        assert_eq!(argmax(&s), 2);
+        assert!(s[2] > 0.6, "exact match should be confident, got {s:?}");
+    }
+
+    #[test]
+    fn min_similarity_threshold_filters_neighbors() {
+        let mut w = Whirl::new(
+            2,
+            WhirlConfig { min_similarity: 0.99, ..Default::default() },
+        );
+        w.add_example(["alpha"].iter().copied(), 0);
+        w.add_example(["beta"].iter().copied(), 1);
+        w.finalize();
+        // A weakly-similar query has no neighbour above 0.99: uniform result.
+        let s = w.classify(["alpha", "beta", "gamma"].iter().copied());
+        assert!((s[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_or_rewards_multiple_agreeing_neighbors() {
+        let mut w = Whirl::new(2, WhirlConfig::default());
+        for _ in 0..3 {
+            w.add_example(["blue", "sky"].iter().copied(), 0);
+        }
+        w.add_example(["blue", "cheese"].iter().copied(), 1);
+        w.finalize();
+        let s = w.classify(["blue", "sky"].iter().copied());
+        assert!(s[0] > s[1]);
+    }
+
+    #[test]
+    fn finalize_is_required_before_vectors_exist() {
+        let mut w = Whirl::new(2, WhirlConfig::default());
+        w.add_example(["x"].iter().copied(), 0);
+        assert_eq!(w.num_examples(), 1);
+        w.finalize();
+        assert_eq!(w.num_examples(), 1);
+        w.finalize(); // idempotent
+        assert_eq!(w.num_examples(), 1);
+    }
+}

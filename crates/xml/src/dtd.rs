@@ -1,0 +1,813 @@
+//! DTD (document type descriptor) content-model grammar.
+//!
+//! A DTD is a BNF-style grammar that defines legal elements and the
+//! relationships between them (paper Section 2.1). We support the standard
+//! `<!ELEMENT name spec>` declaration syntax with `EMPTY`, `ANY`,
+//! `(#PCDATA)`, mixed content `(#PCDATA | a | b)*`, and element content
+//! built from sequences `(a, b)`, choices `(a | b)` and the `?`/`*`/`+`
+//! occurrence operators. `<!ATTLIST>` declarations are accepted and skipped
+//! (the paper treats attributes like sub-elements).
+
+use crate::error::XmlError;
+use crate::tree::Element;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// How many times a content particle may occur.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Occurrence {
+    /// Exactly once (no suffix).
+    One,
+    /// Zero or one time (`?`).
+    Optional,
+    /// Any number of times (`*`).
+    ZeroOrMore,
+    /// One or more times (`+`).
+    OneOrMore,
+}
+
+impl Occurrence {
+    fn suffix(self) -> &'static str {
+        match self {
+            Occurrence::One => "",
+            Occurrence::Optional => "?",
+            Occurrence::ZeroOrMore => "*",
+            Occurrence::OneOrMore => "+",
+        }
+    }
+}
+
+/// The content specification of one element declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContentModel {
+    /// `EMPTY` — no content allowed.
+    Empty,
+    /// `ANY` — any declared elements and text.
+    Any,
+    /// `(#PCDATA)` — text only.
+    Pcdata,
+    /// `(#PCDATA | a | b)*` — text interleaved with the named elements.
+    Mixed(Vec<String>),
+    /// A named child element with an occurrence suffix.
+    Name(String, Occurrence),
+    /// `(a, b, c)` — ordered sequence, with an occurrence suffix.
+    Seq(Vec<ContentModel>, Occurrence),
+    /// `(a | b | c)` — alternation, with an occurrence suffix.
+    Choice(Vec<ContentModel>, Occurrence),
+}
+
+impl ContentModel {
+    /// Collects every element name referenced by this model, in first-seen
+    /// declaration order.
+    pub fn referenced_names(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        self.collect_names(&mut seen, &mut out);
+        out
+    }
+
+    fn collect_names(&self, seen: &mut BTreeSet<String>, out: &mut Vec<String>) {
+        match self {
+            ContentModel::Empty | ContentModel::Any | ContentModel::Pcdata => {}
+            ContentModel::Mixed(names) => {
+                for n in names {
+                    if seen.insert(n.clone()) {
+                        out.push(n.clone());
+                    }
+                }
+            }
+            ContentModel::Name(n, _) => {
+                if seen.insert(n.clone()) {
+                    out.push(n.clone());
+                }
+            }
+            ContentModel::Seq(parts, _) | ContentModel::Choice(parts, _) => {
+                for p in parts {
+                    p.collect_names(seen, out);
+                }
+            }
+        }
+    }
+
+    /// True if the model permits text content.
+    pub fn allows_text(&self) -> bool {
+        matches!(self, ContentModel::Pcdata | ContentModel::Mixed(_) | ContentModel::Any)
+    }
+
+    /// Renders the model back to DTD syntax.
+    pub fn to_dtd_syntax(&self) -> String {
+        match self {
+            ContentModel::Empty => "EMPTY".to_string(),
+            ContentModel::Any => "ANY".to_string(),
+            ContentModel::Pcdata => "(#PCDATA)".to_string(),
+            ContentModel::Mixed(names) => {
+                let mut s = String::from("(#PCDATA");
+                for n in names {
+                    s.push_str(" | ");
+                    s.push_str(n);
+                }
+                s.push_str(")*");
+                s
+            }
+            ContentModel::Name(n, occ) => format!("{n}{}", occ.suffix()),
+            ContentModel::Seq(parts, occ) => {
+                let inner: Vec<String> = parts.iter().map(|p| p.to_dtd_syntax()).collect();
+                format!("({}){}", inner.join(", "), occ.suffix())
+            }
+            ContentModel::Choice(parts, occ) => {
+                let inner: Vec<String> = parts.iter().map(|p| p.to_dtd_syntax()).collect();
+                format!("({}){}", inner.join(" | "), occ.suffix())
+            }
+        }
+    }
+
+    /// Matches a sequence of child element names against the model, treating
+    /// the model as a regular expression over names. Implemented as a
+    /// position-set simulation (no backtracking blow-up).
+    fn matches_children(&self, names: &[&str]) -> bool {
+        let ends = self.advance(names, &BTreeSet::from([0usize]));
+        ends.contains(&names.len())
+    }
+
+    /// Given a set of start indices into `names`, returns the set of indices
+    /// reachable after this particle consumes some prefix from each start.
+    fn advance(&self, names: &[&str], starts: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let (base, occ): (BTreeSet<usize>, Occurrence) = match self {
+            ContentModel::Empty | ContentModel::Pcdata => return starts.clone(),
+            ContentModel::Any => {
+                // ANY consumes any suffix.
+                let min = match starts.iter().next() {
+                    Some(&m) => m,
+                    None => return BTreeSet::new(),
+                };
+                return (min..=names.len()).collect();
+            }
+            ContentModel::Mixed(allowed) => {
+                // Mixed is (a|b|...)* over the element children.
+                let mut current = starts.clone();
+                loop {
+                    let mut next = BTreeSet::new();
+                    for &i in &current {
+                        if i < names.len() && allowed.iter().any(|a| a == names[i]) {
+                            next.insert(i + 1);
+                        }
+                    }
+                    let before = current.len();
+                    current.extend(next);
+                    if current.len() == before {
+                        return current;
+                    }
+                }
+            }
+            ContentModel::Name(n, occ) => {
+                let mut out = BTreeSet::new();
+                for &i in starts {
+                    if i < names.len() && names[i] == n {
+                        out.insert(i + 1);
+                    }
+                }
+                (out, *occ)
+            }
+            ContentModel::Seq(parts, occ) => {
+                let mut current = starts.clone();
+                for p in parts {
+                    current = p.advance(names, &current);
+                    if current.is_empty() {
+                        break;
+                    }
+                }
+                (current, *occ)
+            }
+            ContentModel::Choice(parts, occ) => {
+                let mut out = BTreeSet::new();
+                for p in parts {
+                    out.extend(p.advance(names, starts));
+                }
+                (out, *occ)
+            }
+        };
+        apply_occurrence(self, names, starts, base, occ)
+    }
+}
+
+/// Applies `?`/`*`/`+` semantics on top of a single-iteration result.
+fn apply_occurrence(
+    model: &ContentModel,
+    names: &[&str],
+    starts: &BTreeSet<usize>,
+    once: BTreeSet<usize>,
+    occ: Occurrence,
+) -> BTreeSet<usize> {
+    match occ {
+        Occurrence::One => once,
+        Occurrence::Optional => once.union(starts).copied().collect(),
+        Occurrence::ZeroOrMore | Occurrence::OneOrMore => {
+            // Fixpoint of repeated application.
+            let mut all: BTreeSet<usize> = once.clone();
+            let mut frontier = once;
+            while !frontier.is_empty() {
+                let next = strip_occurrence(model).advance(names, &frontier);
+                frontier = next.difference(&all).copied().collect();
+                all.extend(frontier.iter().copied());
+            }
+            if occ == Occurrence::ZeroOrMore {
+                all.extend(starts.iter().copied());
+            }
+            all
+        }
+    }
+}
+
+/// Returns a copy of the particle with occurrence `One`, used to iterate the
+/// body of a `*`/`+` without re-applying the operator.
+fn strip_occurrence(model: &ContentModel) -> ContentModel {
+    match model {
+        ContentModel::Name(n, _) => ContentModel::Name(n.clone(), Occurrence::One),
+        ContentModel::Seq(p, _) => ContentModel::Seq(p.clone(), Occurrence::One),
+        ContentModel::Choice(p, _) => ContentModel::Choice(p.clone(), Occurrence::One),
+        other => other.clone(),
+    }
+}
+
+/// One `<!ELEMENT name spec>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElementDecl {
+    /// Declared element name.
+    pub name: String,
+    /// Its content specification.
+    pub content: ContentModel,
+}
+
+/// A parsed DTD: the ordered list of element declarations plus an index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dtd {
+    decls: Vec<ElementDecl>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+impl Dtd {
+    /// Builds a DTD from declarations, rejecting duplicates.
+    pub fn new(decls: Vec<ElementDecl>) -> Result<Self> {
+        let mut index = HashMap::with_capacity(decls.len());
+        for (i, d) in decls.iter().enumerate() {
+            if index.insert(d.name.clone(), i).is_some() {
+                return Err(XmlError::DuplicateElementDecl { name: d.name.clone() });
+            }
+        }
+        Ok(Dtd { decls, index })
+    }
+
+    /// The declarations in source order.
+    pub fn declarations(&self) -> &[ElementDecl] {
+        &self.decls
+    }
+
+    /// Looks up a declaration by element name.
+    pub fn decl(&self, name: &str) -> Option<&ElementDecl> {
+        self.index.get(name).map(|&i| &self.decls[i])
+    }
+
+    /// All declared element names in source order.
+    pub fn element_names(&self) -> impl Iterator<Item = &str> {
+        self.decls.iter().map(|d| d.name.as_str())
+    }
+
+    /// Number of declared elements.
+    pub fn len(&self) -> usize {
+        self.decls.len()
+    }
+
+    /// True if the DTD declares no elements.
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty()
+    }
+
+    /// Checks that every referenced element name is declared.
+    pub fn check_closed(&self) -> Result<()> {
+        for d in &self.decls {
+            for n in d.content.referenced_names() {
+                if !self.index.contains_key(&n) {
+                    return Err(XmlError::UndeclaredElement { name: n });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Determines the root element: the unique declared element that is not
+    /// referenced in any other element's content model. If several qualify
+    /// (or none, in a cyclic DTD) the first declared element wins, matching
+    /// the common convention of declaring the root first.
+    pub fn root_name(&self) -> Result<&str> {
+        if self.decls.is_empty() {
+            return Err(XmlError::NoUniqueRoot { candidates: vec![] });
+        }
+        let mut referenced: BTreeSet<&str> = BTreeSet::new();
+        for d in &self.decls {
+            for n in d.content.referenced_names() {
+                if let Some(&i) = self.index.get(&n) {
+                    referenced.insert(&self.decls[i].name);
+                }
+            }
+        }
+        let candidates: Vec<&str> = self
+            .decls
+            .iter()
+            .map(|d| d.name.as_str())
+            .filter(|n| !referenced.contains(n))
+            .collect();
+        match candidates.len() {
+            1 => Ok(candidates[0]),
+            _ => Ok(&self.decls[0].name),
+        }
+    }
+
+    /// Validates an element tree against this DTD: every element must be
+    /// declared and its children must match its content model; text content
+    /// is only allowed where the model permits it.
+    pub fn validate(&self, element: &Element) -> Result<()> {
+        let decl = self.decl(&element.name).ok_or_else(|| XmlError::UndeclaredElement {
+            name: element.name.clone(),
+        })?;
+        let child_names: Vec<&str> =
+            element.child_elements().map(|e| e.name.as_str()).collect();
+        match &decl.content {
+            ContentModel::Empty => {
+                if !element.children.is_empty() {
+                    return Err(XmlError::ValidationFailed {
+                        element: element.name.clone(),
+                        message: "declared EMPTY but has content".to_string(),
+                    });
+                }
+            }
+            ContentModel::Any => {}
+            ContentModel::Pcdata => {
+                if !child_names.is_empty() {
+                    return Err(XmlError::ValidationFailed {
+                        element: element.name.clone(),
+                        message: format!(
+                            "declared (#PCDATA) but contains child elements {child_names:?}"
+                        ),
+                    });
+                }
+            }
+            model => {
+                if !model.allows_text() && !element.direct_text().is_empty() {
+                    return Err(XmlError::ValidationFailed {
+                        element: element.name.clone(),
+                        message: "element content model does not allow text".to_string(),
+                    });
+                }
+                if !model.matches_children(&child_names) {
+                    return Err(XmlError::ValidationFailed {
+                        element: element.name.clone(),
+                        message: format!(
+                            "children {child_names:?} do not match {}",
+                            model.to_dtd_syntax()
+                        ),
+                    });
+                }
+            }
+        }
+        for child in element.child_elements() {
+            self.validate(child)?;
+        }
+        Ok(())
+    }
+
+    /// Renders the whole DTD back to `<!ELEMENT ...>` syntax. A bare name
+    /// content model is parenthesized — `<!ELEMENT r (a?)>` — since DTD
+    /// content specifications must be groups.
+    pub fn to_dtd_syntax(&self) -> String {
+        let mut out = String::new();
+        for d in &self.decls {
+            out.push_str("<!ELEMENT ");
+            out.push_str(&d.name);
+            out.push(' ');
+            match &d.content {
+                ContentModel::Name(..) => {
+                    out.push('(');
+                    out.push_str(&d.content.to_dtd_syntax());
+                    out.push(')');
+                }
+                other => out.push_str(&other.to_dtd_syntax()),
+            }
+            out.push_str(">\n");
+        }
+        out
+    }
+}
+
+/// Parses a sequence of `<!ELEMENT ...>` declarations (whitespace, comments
+/// and `<!ATTLIST ...>` declarations between them are skipped).
+pub fn parse_dtd(input: &str) -> Result<Dtd> {
+    let mut p = DtdParser { input, bytes: input.as_bytes(), pos: 0 };
+    let mut decls = Vec::new();
+    loop {
+        p.skip_trivia()?;
+        if p.at_end() {
+            break;
+        }
+        if p.starts_with("<!ELEMENT") {
+            p.pos += "<!ELEMENT".len();
+            decls.push(p.parse_element_decl()?);
+        } else if p.starts_with("<!ATTLIST") {
+            p.skip_to_gt()?;
+        } else {
+            return Err(XmlError::InvalidDtd {
+                message: format!(
+                    "expected <!ELEMENT or <!ATTLIST at offset {}, found {:?}",
+                    p.pos,
+                    p.input[p.pos..].chars().take(12).collect::<String>()
+                ),
+            });
+        }
+    }
+    Dtd::new(decls)
+}
+
+struct DtdParser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> DtdParser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match self.input[self.pos..].find("-->") {
+                    Some(rel) => self.pos += rel + 3,
+                    None => {
+                        return Err(XmlError::UnexpectedEof { context: "DTD comment" });
+                    }
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_to_gt(&mut self) -> Result<()> {
+        match self.input[self.pos..].find('>') {
+            Some(rel) => {
+                self.pos += rel + 1;
+                Ok(())
+            }
+            None => Err(XmlError::UnexpectedEof { context: "DTD declaration" }),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b':'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(XmlError::InvalidDtd {
+                message: format!("expected a name at offset {start}"),
+            });
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn parse_element_decl(&mut self) -> Result<ElementDecl> {
+        let name = self.parse_name()?;
+        self.skip_ws();
+        let content = if self.starts_with("EMPTY") {
+            self.pos += 5;
+            ContentModel::Empty
+        } else if self.starts_with("ANY") {
+            self.pos += 3;
+            ContentModel::Any
+        } else if self.peek() == Some(b'(') {
+            self.parse_group()?
+        } else {
+            return Err(XmlError::InvalidDtd {
+                message: format!("expected content spec for element {name}"),
+            });
+        };
+        self.skip_ws();
+        if self.peek() != Some(b'>') {
+            return Err(XmlError::InvalidDtd {
+                message: format!("expected '>' closing declaration of {name}"),
+            });
+        }
+        self.pos += 1;
+        Ok(ElementDecl { name, content })
+    }
+
+    /// Parses a parenthesized group: `(#PCDATA)`, `(#PCDATA | a | b)*`,
+    /// `(cp, cp, ...)` or `(cp | cp | ...)`, plus an occurrence suffix.
+    fn parse_group(&mut self) -> Result<ContentModel> {
+        debug_assert_eq!(self.peek(), Some(b'('));
+        self.pos += 1;
+        self.skip_ws();
+        if self.starts_with("#PCDATA") {
+            self.pos += "#PCDATA".len();
+            self.skip_ws();
+            if self.peek() == Some(b')') {
+                self.pos += 1;
+                // Allow an optional trailing '*' on plain (#PCDATA).
+                if self.peek() == Some(b'*') {
+                    self.pos += 1;
+                }
+                return Ok(ContentModel::Pcdata);
+            }
+            let mut names = Vec::new();
+            while self.peek() == Some(b'|') {
+                self.pos += 1;
+                names.push(self.parse_name()?);
+                self.skip_ws();
+            }
+            if self.peek() != Some(b')') {
+                return Err(XmlError::InvalidDtd {
+                    message: "expected ')' closing mixed content".to_string(),
+                });
+            }
+            self.pos += 1;
+            if self.peek() == Some(b'*') {
+                self.pos += 1;
+            } else if !names.is_empty() {
+                return Err(XmlError::InvalidDtd {
+                    message: "mixed content with names must end with ')*'".to_string(),
+                });
+            }
+            return Ok(ContentModel::Mixed(names));
+        }
+
+        let mut parts = vec![self.parse_cp()?];
+        self.skip_ws();
+        let separator = match self.peek() {
+            Some(b',') => Some(b','),
+            Some(b'|') => Some(b'|'),
+            Some(b')') => None,
+            other => {
+                return Err(XmlError::InvalidDtd {
+                    message: format!("expected ',', '|' or ')' in group, found {other:?}"),
+                })
+            }
+        };
+        if let Some(sep) = separator {
+            while self.peek() == Some(sep) {
+                self.pos += 1;
+                parts.push(self.parse_cp()?);
+                self.skip_ws();
+            }
+            if matches!(self.peek(), Some(b',') | Some(b'|')) {
+                return Err(XmlError::InvalidDtd {
+                    message: "cannot mix ',' and '|' at the same level".to_string(),
+                });
+            }
+        }
+        if self.peek() != Some(b')') {
+            return Err(XmlError::InvalidDtd { message: "expected ')' closing group".to_string() });
+        }
+        self.pos += 1;
+        let occ = self.parse_occurrence();
+        Ok(match separator {
+            Some(b'|') => ContentModel::Choice(parts, occ),
+            _ if parts.len() == 1 && occ == Occurrence::One => parts.pop().expect("one part"),
+            _ => ContentModel::Seq(parts, occ),
+        })
+    }
+
+    /// Parses a content particle: a name or nested group with a suffix.
+    fn parse_cp(&mut self) -> Result<ContentModel> {
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            self.parse_group()
+        } else {
+            let name = self.parse_name()?;
+            let occ = self.parse_occurrence();
+            Ok(ContentModel::Name(name, occ))
+        }
+    }
+
+    fn parse_occurrence(&mut self) -> Occurrence {
+        let occ = match self.peek() {
+            Some(b'?') => Occurrence::Optional,
+            Some(b'*') => Occurrence::ZeroOrMore,
+            Some(b'+') => Occurrence::OneOrMore,
+            _ => return Occurrence::One,
+        };
+        self.pos += 1;
+        occ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_fragment;
+
+    const MEDIATED: &str = "<!ELEMENT house-listing (location?, price, contact)>\n\
+         <!ELEMENT location (#PCDATA)>\n\
+         <!ELEMENT price (#PCDATA)>\n\
+         <!ELEMENT contact (name, phone)>\n\
+         <!ELEMENT name (#PCDATA)>\n\
+         <!ELEMENT phone (#PCDATA)>";
+
+    #[test]
+    fn parses_paper_mediated_schema() {
+        let dtd = parse_dtd(MEDIATED).unwrap();
+        assert_eq!(dtd.len(), 6);
+        assert_eq!(dtd.root_name().unwrap(), "house-listing");
+        dtd.check_closed().unwrap();
+        let hl = dtd.decl("house-listing").unwrap();
+        assert_eq!(hl.content.referenced_names(), vec!["location", "price", "contact"]);
+    }
+
+    #[test]
+    fn validates_conforming_document() {
+        let dtd = parse_dtd(MEDIATED).unwrap();
+        let doc = parse_fragment(
+            "<house-listing><location>Seattle, WA</location><price>$70,000</price>\
+             <contact><name>Kate</name><phone>(206) 523 4719</phone></contact></house-listing>",
+        )
+        .unwrap();
+        dtd.validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn optional_element_may_be_absent() {
+        let dtd = parse_dtd(MEDIATED).unwrap();
+        let doc = parse_fragment(
+            "<house-listing><price>$1</price>\
+             <contact><name>K</name><phone>5</phone></contact></house-listing>",
+        )
+        .unwrap();
+        dtd.validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn missing_required_element_fails() {
+        let dtd = parse_dtd(MEDIATED).unwrap();
+        let doc = parse_fragment("<house-listing><price>$1</price></house-listing>").unwrap();
+        let err = dtd.validate(&doc).unwrap_err();
+        assert!(matches!(err, XmlError::ValidationFailed { element, .. } if element == "house-listing"));
+    }
+
+    #[test]
+    fn wrong_order_fails() {
+        let dtd = parse_dtd(MEDIATED).unwrap();
+        let doc = parse_fragment(
+            "<house-listing><contact><name>K</name><phone>5</phone></contact>\
+             <price>$1</price></house-listing>",
+        )
+        .unwrap();
+        assert!(dtd.validate(&doc).is_err());
+    }
+
+    #[test]
+    fn pcdata_rejects_child_elements() {
+        let dtd = parse_dtd("<!ELEMENT a (#PCDATA)>").unwrap();
+        let doc = parse_fragment("<a><b/></a>").unwrap();
+        assert!(dtd.validate(&doc).is_err());
+    }
+
+    #[test]
+    fn star_and_plus() {
+        let dtd = parse_dtd("<!ELEMENT r (a*, b+)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>")
+            .unwrap();
+        assert!(dtd.validate(&parse_fragment("<r><b>1</b></r>").unwrap()).is_ok());
+        assert!(dtd
+            .validate(&parse_fragment("<r><a>1</a><a>2</a><b>3</b><b>4</b></r>").unwrap())
+            .is_ok());
+        assert!(dtd.validate(&parse_fragment("<r><a>1</a></r>").unwrap()).is_err());
+    }
+
+    #[test]
+    fn choice_groups() {
+        let dtd = parse_dtd(
+            "<!ELEMENT r ((a | b), c)>\n<!ELEMENT a (#PCDATA)>\n\
+             <!ELEMENT b (#PCDATA)>\n<!ELEMENT c (#PCDATA)>",
+        )
+        .unwrap();
+        assert!(dtd.validate(&parse_fragment("<r><a>1</a><c>2</c></r>").unwrap()).is_ok());
+        assert!(dtd.validate(&parse_fragment("<r><b>1</b><c>2</c></r>").unwrap()).is_ok());
+        assert!(dtd.validate(&parse_fragment("<r><a>1</a><b>1</b><c>2</c></r>").unwrap()).is_err());
+    }
+
+    #[test]
+    fn nested_group_with_occurrence() {
+        let dtd = parse_dtd(
+            "<!ELEMENT r ((a, b)*)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>",
+        )
+        .unwrap();
+        assert!(dtd.validate(&parse_fragment("<r/>").unwrap()).is_ok());
+        assert!(dtd
+            .validate(&parse_fragment("<r><a>1</a><b>2</b><a>3</a><b>4</b></r>").unwrap())
+            .is_ok());
+        assert!(dtd.validate(&parse_fragment("<r><a>1</a></r>").unwrap()).is_err());
+    }
+
+    #[test]
+    fn mixed_content() {
+        let dtd =
+            parse_dtd("<!ELEMENT d (#PCDATA | em)*>\n<!ELEMENT em (#PCDATA)>").unwrap();
+        let doc = parse_fragment("<d>hello <em>world</em> bye</d>").unwrap();
+        dtd.validate(&doc).unwrap();
+        let bad = parse_fragment("<d><other/></d>").unwrap();
+        assert!(matches!(
+            dtd.validate(&bad).unwrap_err(),
+            XmlError::ValidationFailed { element, .. } if element == "d"
+        ));
+    }
+
+    #[test]
+    fn empty_content_model() {
+        let dtd = parse_dtd("<!ELEMENT br EMPTY>").unwrap();
+        assert!(dtd.validate(&parse_fragment("<br/>").unwrap()).is_ok());
+        assert!(dtd.validate(&parse_fragment("<br>x</br>").unwrap()).is_err());
+    }
+
+    #[test]
+    fn any_content_model() {
+        let dtd = parse_dtd("<!ELEMENT r ANY>\n<!ELEMENT a (#PCDATA)>").unwrap();
+        assert!(dtd.validate(&parse_fragment("<r>text <a>1</a> more</r>").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let err = parse_dtd("<!ELEMENT a (#PCDATA)>\n<!ELEMENT a (#PCDATA)>").unwrap_err();
+        assert!(matches!(err, XmlError::DuplicateElementDecl { name } if name == "a"));
+    }
+
+    #[test]
+    fn undeclared_reference_detected() {
+        let dtd = parse_dtd("<!ELEMENT r (ghost)>").unwrap();
+        assert!(matches!(
+            dtd.check_closed().unwrap_err(),
+            XmlError::UndeclaredElement { name } if name == "ghost"
+        ));
+    }
+
+    #[test]
+    fn mixing_separators_rejected() {
+        assert!(parse_dtd("<!ELEMENT r (a, b | c)>").is_err());
+    }
+
+    #[test]
+    fn attlist_skipped() {
+        let dtd = parse_dtd(
+            "<!ELEMENT a (#PCDATA)>\n<!ATTLIST a id CDATA #REQUIRED>\n<!ELEMENT b (#PCDATA)>",
+        )
+        .unwrap();
+        assert_eq!(dtd.len(), 2);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let dtd = parse_dtd("<!-- mediated schema -->\n<!ELEMENT a (#PCDATA)>").unwrap();
+        assert_eq!(dtd.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_through_syntax() {
+        let dtd = parse_dtd(MEDIATED).unwrap();
+        let rendered = dtd.to_dtd_syntax();
+        let reparsed = parse_dtd(&rendered).unwrap();
+        assert_eq!(dtd, reparsed);
+    }
+
+    #[test]
+    fn root_detection_prefers_unreferenced() {
+        let dtd = parse_dtd(
+            "<!ELEMENT leaf (#PCDATA)>\n<!ELEMENT top (leaf)>",
+        )
+        .unwrap();
+        assert_eq!(dtd.root_name().unwrap(), "top");
+    }
+
+    #[test]
+    fn pcdata_star_accepted() {
+        let dtd = parse_dtd("<!ELEMENT a (#PCDATA)*>").unwrap();
+        assert_eq!(dtd.decl("a").unwrap().content, ContentModel::Pcdata);
+    }
+}

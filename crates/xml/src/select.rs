@@ -1,0 +1,162 @@
+//! A small path-selector over element trees — the subset of XPath that
+//! data-centric listings need: child steps, `*` wildcards, and a leading
+//! `//` for descendant-or-self search.
+//!
+//! ```
+//! use lsd_xml::parse_fragment;
+//!
+//! let e = parse_fragment(
+//!     "<listing><contact><phone>1</phone></contact>\
+//!      <office><phone>2</phone></office></listing>").unwrap();
+//! let direct: Vec<&str> = e.select("contact/phone").iter().map(|p| p.name.as_str()).collect();
+//! assert_eq!(direct.len(), 1);
+//! assert_eq!(e.select("*/phone").len(), 2);
+//! assert_eq!(e.select("//phone").len(), 2);
+//! ```
+
+use crate::tree::Element;
+
+impl Element {
+    /// Selects descendants by a slash-separated path of tag names relative
+    /// to this element (the element itself is not part of the path).
+    ///
+    /// - `a/b` — children named `b` of children named `a`;
+    /// - `*` — any child name at that step;
+    /// - a leading `//` — search at any depth, e.g. `//phone` finds every
+    ///   `phone` in the subtree, `//contact/phone` every `phone` directly
+    ///   under any `contact`.
+    ///
+    /// Returns matches in document order; an empty path selects nothing.
+    pub fn select(&self, path: &str) -> Vec<&Element> {
+        let (anchored, rest) = match path.strip_prefix("//") {
+            Some(rest) => (false, rest),
+            None => (true, path),
+        };
+        let steps: Vec<&str> = rest.split('/').filter(|s| !s.is_empty()).collect();
+        if steps.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        if anchored {
+            walk_steps(self, &steps, &mut out);
+        } else {
+            // Descendant search: an element matches when the tail of its
+            // tag path (below `self`) matches the steps. Collecting during
+            // one preorder traversal keeps true document order.
+            let mut path: Vec<&str> = Vec::new();
+            walk_suffix(self, &steps, &mut path, &mut out);
+        }
+        out
+    }
+
+    /// First match of [`Self::select`], if any.
+    pub fn select_first(&self, path: &str) -> Option<&Element> {
+        // Document order is preserved by select(), so first() is the
+        // earliest match.
+        self.select(path).into_iter().next()
+    }
+
+    /// Concatenated subtree text of every match, in document order.
+    pub fn select_text(&self, path: &str) -> Vec<String> {
+        self.select(path).into_iter().map(Element::deep_text).collect()
+    }
+}
+
+/// Preorder traversal collecting every element whose tag path below the
+/// selection root ends with `steps` (with `*` wildcards).
+fn walk_suffix<'a>(
+    root: &'a Element,
+    steps: &[&str],
+    path: &mut Vec<&'a str>,
+    out: &mut Vec<&'a Element>,
+) {
+    for child in root.child_elements() {
+        path.push(child.name.as_str());
+        let matches = path.len() >= steps.len()
+            && path[path.len() - steps.len()..]
+                .iter()
+                .zip(steps)
+                .all(|(name, step)| *step == "*" || name == step);
+        if matches {
+            out.push(child);
+        }
+        walk_suffix(child, steps, path, out);
+        path.pop();
+    }
+}
+
+/// Matches `steps` starting from the children of `root`.
+fn walk_steps<'a>(root: &'a Element, steps: &[&str], out: &mut Vec<&'a Element>) {
+    let (step, rest) = match steps.split_first() {
+        Some(split) => split,
+        None => return,
+    };
+    for child in root.child_elements() {
+        if *step == "*" || child.name == *step {
+            if rest.is_empty() {
+                out.push(child);
+            } else {
+                walk_steps(child, rest, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_fragment;
+
+    fn tree() -> crate::Element {
+        parse_fragment(
+            "<listing>\
+               <contact><name>Kate</name><phone>111</phone></contact>\
+               <office><name>MAX</name><phone>222</phone>\
+                 <branch><phone>333</phone></branch>\
+               </office>\
+               <phone>444</phone>\
+             </listing>",
+        )
+        .expect("well-formed")
+    }
+
+    #[test]
+    fn child_steps() {
+        let e = tree();
+        assert_eq!(e.select_text("contact/phone"), vec!["111"]);
+        assert_eq!(e.select_text("office/phone"), vec!["222"]);
+        assert_eq!(e.select_text("phone"), vec!["444"]);
+        assert!(e.select("contact/phone/digit").is_empty());
+    }
+
+    #[test]
+    fn wildcard_steps() {
+        let e = tree();
+        assert_eq!(e.select_text("*/phone"), vec!["111", "222"]);
+        assert_eq!(e.select("*").len(), 3);
+        assert_eq!(e.select_text("*/*/phone"), vec!["333"]);
+    }
+
+    #[test]
+    fn descendant_search() {
+        let e = tree();
+        assert_eq!(e.select_text("//phone"), vec!["111", "222", "333", "444"]);
+        assert_eq!(e.select_text("//branch/phone"), vec!["333"]);
+        assert_eq!(e.select_text("//office/*/phone"), vec!["333"]);
+    }
+
+    #[test]
+    fn first_and_empty() {
+        let e = tree();
+        assert_eq!(e.select_first("//phone").expect("match").deep_text(), "111");
+        assert!(e.select_first("ghost").is_none());
+        assert!(e.select("").is_empty());
+        assert!(e.select("//").is_empty());
+    }
+
+    #[test]
+    fn document_order_preserved() {
+        let e = tree();
+        let names: Vec<String> = e.select_text("//name");
+        assert_eq!(names, vec!["Kate", "MAX"]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Serialization of the document model back to XML text.
+
+use crate::tree::{Element, Node};
+use std::fmt::Write;
+
+/// Escapes the five XML special characters in text content.
+pub fn escape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes an element compactly (no inserted whitespace), suitable for
+/// re-parsing. Round-trips with [`crate::parse_fragment`] for documents
+/// whose text runs contain no leading/trailing whitespace.
+pub fn write_element(element: &Element) -> String {
+    let mut out = String::new();
+    write_compact(element, &mut out);
+    out
+}
+
+fn write_compact(e: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&e.name);
+    for (n, v) in &e.attributes {
+        let _ = write!(out, " {n}=\"{}\"", escape_text(v));
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for c in &e.children {
+        match c {
+            Node::Element(ch) => write_compact(ch, out),
+            Node::Text(t) => out.push_str(&escape_text(t)),
+        }
+    }
+    let _ = write!(out, "</{}>", e.name);
+}
+
+/// Serializes an element with two-space indentation. Text-only (leaf)
+/// elements stay on a single line.
+pub fn write_element_pretty(element: &Element) -> String {
+    let mut out = String::new();
+    write_pretty(element, 0, &mut out);
+    out
+}
+
+fn write_pretty(e: &Element, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    out.push_str(&pad);
+    out.push('<');
+    out.push_str(&e.name);
+    for (n, v) in &e.attributes {
+        let _ = write!(out, " {n}=\"{}\"", escape_text(v));
+    }
+    if e.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    if e.is_leaf() {
+        let _ = writeln!(out, ">{}</{}>", escape_text(&e.direct_text()), e.name);
+        return;
+    }
+    out.push_str(">\n");
+    for c in &e.children {
+        match c {
+            Node::Element(ch) => write_pretty(ch, indent + 1, out),
+            Node::Text(t) => {
+                let t = t.trim();
+                if !t.is_empty() {
+                    let _ = writeln!(out, "{pad}  {}", escape_text(t));
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "{pad}</{}>", e.name);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_fragment;
+
+    #[test]
+    fn escape_covers_all_specials() {
+        assert_eq!(escape_text(r#"a&b<c>d"e'f"#), "a&amp;b&lt;c&gt;d&quot;e&apos;f");
+    }
+
+    #[test]
+    fn compact_roundtrip() {
+        let src = r#"<listing id="7"><price>$70,000</price><desc>big &amp; bright</desc></listing>"#;
+        let e = parse_fragment(src).unwrap();
+        let written = write_element(&e);
+        let reparsed = parse_fragment(&written).unwrap();
+        assert_eq!(e, reparsed);
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let e = parse_fragment("<a/>").unwrap();
+        assert_eq!(write_element(&e), "<a/>");
+    }
+
+    #[test]
+    fn pretty_indents_nested_elements() {
+        let e = parse_fragment("<r><a>1</a><b><c>2</c></b></r>").unwrap();
+        let s = write_element_pretty(&e);
+        assert!(s.contains("  <a>1</a>\n"));
+        assert!(s.contains("    <c>2</c>\n"));
+        assert!(s.starts_with("<r>\n"));
+        assert!(s.ends_with("</r>\n"));
+    }
+
+    #[test]
+    fn pretty_output_reparses_equal_modulo_whitespace() {
+        let e = parse_fragment("<r><a>one two</a><b><c>3</c></b></r>").unwrap();
+        let reparsed = parse_fragment(&write_element_pretty(&e)).unwrap();
+        assert_eq!(e, reparsed);
+    }
+}

@@ -1,0 +1,91 @@
+//! The Section 4.3 / 6.3 user-feedback loop on the Time Schedule domain.
+//!
+//! Shows how feedback constraints ("tag X matches label Y", "tag X does
+//! not match label Y") steer the constraint handler without retraining any
+//! learner, and how few corrections a perfect matching needs. The "user"
+//! here is a simulated oracle that knows the ground truth.
+//!
+//! Run with: `cargo run --release --example interactive_feedback`
+
+use lsd::constraints::{DomainConstraint, Predicate};
+use lsd::core::feedback::simulate_feedback_session;
+use lsd::core::learners::{ContentMatcher, NaiveBayesLearner, NameMatcher};
+use lsd::core::{LsdBuilder, Source, TrainedSource};
+use lsd::datagen::DomainId;
+use lsd::xml::SchemaTree;
+
+fn main() {
+    let domain = DomainId::TimeSchedule.generate(150, 11);
+    let builder = LsdBuilder::new(&domain.mediated);
+    let n = builder.labels().len();
+    let synonym_pairs: Vec<(&str, &str)> =
+        domain.synonyms.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let mut lsd = builder
+        .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, synonym_pairs)))
+        .add_learner(Box::new(ContentMatcher::new(n)))
+        .add_learner(Box::new(NaiveBayesLearner::new(n)))
+        .with_xml_learner()
+        .with_constraints(domain.constraints.clone())
+        .build();
+
+    let training: Vec<TrainedSource> = domain.sources[..3]
+        .iter()
+        .map(|gs| TrainedSource {
+            source: Source {
+                name: gs.name.clone(),
+                dtd: gs.dtd.clone(),
+                listings: gs.listings.clone(),
+            },
+            mapping: gs.mapping.clone(),
+        })
+        .collect();
+    lsd.train(&training);
+
+    let gs = &domain.sources[4];
+    let source = Source {
+        name: gs.name.clone(),
+        dtd: gs.dtd.clone(),
+        listings: gs.listings.clone(),
+    };
+
+    // One manual round first, to show the mechanics of a single feedback
+    // constraint.
+    let before = lsd.match_source(&source);
+    let schema = SchemaTree::from_dtd(&source.dtd).expect("valid DTD");
+    println!("initial match of {} ({} tags):", source.name, schema.len());
+    let mut first_wrong: Option<(String, String)> = None;
+    for tag in schema.tags_by_structure_score() {
+        let predicted = before.label_of(tag).expect("every tag labelled");
+        let truth = gs.mapping.get(tag).map(String::as_str).unwrap_or("OTHER");
+        let mark = if predicted == truth { ' ' } else { '*' };
+        println!("  {mark} {tag:<16} => {predicted}");
+        if predicted != truth && first_wrong.is_none() {
+            first_wrong = Some((tag.to_string(), truth.to_string()));
+        }
+    }
+
+    if let Some((tag, truth)) = first_wrong {
+        println!("\nuser says: '{tag}' matches {truth}; re-running the constraint handler…");
+        let fb = [DomainConstraint::hard(Predicate::TagIs {
+            tag: tag.clone(),
+            label: truth.clone(),
+        })];
+        let after = lsd.match_source_with_feedback(&source, &fb);
+        println!("  {tag} now => {}", after.label_of(&tag).expect("tag present"));
+    } else {
+        println!("\nalready perfect — no feedback needed.");
+    }
+
+    // Full simulated session (Section 6.3 protocol).
+    let outcome = simulate_feedback_session(&lsd, &source, &gs.mapping);
+    println!(
+        "\nfull feedback session: {} corrections over {} tags, {} rounds, converged={}",
+        outcome.corrections,
+        schema.len(),
+        outcome.rounds,
+        outcome.converged
+    );
+    if !outcome.corrected_tags.is_empty() {
+        println!("corrected tags, in order: {:?}", outcome.corrected_tags);
+    }
+}

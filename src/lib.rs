@@ -1,0 +1,29 @@
+//! # lsd — multi-strategy machine learning for schema matching
+//!
+//! A Rust reproduction of the LSD system from *"Reconciling Schemas of
+//! Disparate Data Sources: A Machine-Learning Approach"* (Doan, Domingos,
+//! Halevy — SIGMOD 2001).
+//!
+//! This facade crate re-exports the public API of the workspace crates:
+//!
+//! - [`xml`] — XML parser, DTD grammar, schema trees ([`lsd_xml`]).
+//! - [`text`] — tokenizer, Porter stemmer, TF/IDF, WHIRL ([`lsd_text`]).
+//! - [`learn`] — learner traits, cross-validation, regression ([`lsd_learn`]).
+//! - [`constraints`] — domain constraints and the A\* constraint handler
+//!   ([`lsd_constraints`]).
+//! - [`core`] — the LSD system itself: base learners, meta-learner,
+//!   prediction converter, train/match pipeline ([`lsd_core`]).
+//! - [`datagen`] — synthetic versions of the paper's four evaluation domains
+//!   ([`lsd_datagen`]).
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use lsd_constraints as constraints;
+pub use lsd_core as core;
+pub use lsd_datagen as datagen;
+pub use lsd_learn as learn;
+pub use lsd_text as text;
+pub use lsd_xml as xml;
+
+/// The crate version, for experiment logs.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

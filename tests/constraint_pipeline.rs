@@ -1,0 +1,216 @@
+//! Integration tests driving each Table-1 constraint type through the full
+//! LSD pipeline: the constraint handler must visibly change the outcome.
+
+use lsd::constraints::{DomainConstraint, Predicate, SearchAlgorithm, SearchConfig};
+use lsd::core::learners::NaiveBayesLearner;
+use lsd::core::{Lsd, LsdBuilder, LsdConfig, Source, TrainedSource};
+use lsd::xml::{parse_dtd, parse_fragment, Dtd, Element};
+use std::collections::HashMap;
+
+/// A deliberately ambiguous setup: two source tags (`price-a`, `price-b`)
+/// whose data both look like prices, so without constraints both get
+/// PRICE; the mediated schema also has a TAX label whose values look the
+/// same.
+struct Fixture {
+    mediated: Dtd,
+    train: TrainedSource,
+    target: Source,
+}
+
+fn fixture() -> Fixture {
+    let mediated = parse_dtd(
+        "<!ELEMENT SALE (PRICE, TAX, NOTE)>\n\
+         <!ELEMENT PRICE (#PCDATA)>\n<!ELEMENT TAX (#PCDATA)>\n<!ELEMENT NOTE (#PCDATA)>",
+    )
+    .expect("valid DTD");
+    // Training source: price/tax distinguishable only weakly (overlapping
+    // dollar amounts; tax smaller).
+    let train_dtd = parse_dtd(
+        "<!ELEMENT sale (price, tax, note)>\n\
+         <!ELEMENT price (#PCDATA)>\n<!ELEMENT tax (#PCDATA)>\n<!ELEMENT note (#PCDATA)>",
+    )
+    .expect("valid DTD");
+    let mk = |p: &str, t: &str, n: &str| -> Element {
+        parse_fragment(&format!(
+            "<sale><price>{p}</price><tax>{t}</tax><note>{n}</note></sale>"
+        ))
+        .expect("well-formed")
+    };
+    let train = TrainedSource {
+        source: Source {
+            name: "train".into(),
+            dtd: train_dtd,
+            listings: vec![
+                mk("$250,000", "$3,400", "great deal"),
+                mk("$310,000", "$4,100", "nice terms"),
+                mk("$180,000", "$2,200", "fantastic offer"),
+                mk("$420,000", "$5,800", "great location"),
+            ],
+        },
+        mapping: HashMap::from([
+            ("sale".to_string(), "SALE".to_string()),
+            ("price".to_string(), "PRICE".to_string()),
+            ("tax".to_string(), "TAX".to_string()),
+            ("note".to_string(), "NOTE".to_string()),
+        ]),
+    };
+    // Target source: two price-like columns with misleadingly similar data.
+    let target_dtd = parse_dtd(
+        "<!ELEMENT record (amount-a, amount-b, remark)>\n\
+         <!ELEMENT amount-a (#PCDATA)>\n<!ELEMENT amount-b (#PCDATA)>\n\
+         <!ELEMENT remark (#PCDATA)>",
+    )
+    .expect("valid DTD");
+    let mkt = |a: &str, b: &str, r: &str| -> Element {
+        parse_fragment(&format!(
+            "<record><amount-a>{a}</amount-a><amount-b>{b}</amount-b>\
+             <remark>{r}</remark></record>"
+        ))
+        .expect("well-formed")
+    };
+    let target = Source {
+        name: "target".into(),
+        dtd: target_dtd,
+        listings: vec![
+            mkt("$275,000", "$275,000", "great schools"),
+            mkt("$330,000", "$330,000", "nice yard"),
+            mkt("$190,000", "$190,000", "fantastic view"),
+        ],
+    };
+    Fixture { mediated, train, target }
+}
+
+fn build(mediated: &Dtd, constraints: Vec<DomainConstraint>) -> Lsd {
+    let config = LsdConfig {
+        search: SearchConfig {
+            algorithm: SearchAlgorithm::AStar { max_expansions: 10_000 },
+            heuristic_weight: 1.0,
+        },
+        ..LsdConfig::default()
+    };
+    let builder = LsdBuilder::new(mediated).with_config(config);
+    let n = builder.labels().len();
+    builder
+        .add_learner(Box::new(NaiveBayesLearner::new(n)))
+        .with_constraints(constraints)
+        .build()
+}
+
+/// Without constraints, identical columns take identical labels; the
+/// frequency constraint forces them apart.
+#[test]
+fn frequency_constraint_separates_duplicate_claims() {
+    let f = fixture();
+    let mut without = build(&f.mediated, vec![]);
+    without.train(std::slice::from_ref(&f.train));
+    let o = without.match_source(&f.target);
+    assert_eq!(
+        o.label_of("amount-a"),
+        o.label_of("amount-b"),
+        "identical data must get identical labels without constraints"
+    );
+
+    let mut with = build(
+        &f.mediated,
+        vec![DomainConstraint::hard(Predicate::AtMostOne { label: "PRICE".into() })],
+    );
+    with.train(std::slice::from_ref(&f.train));
+    let o = with.match_source(&f.target);
+    assert!(o.result.feasible);
+    let price_count = o.labels.iter().filter(|l| l.as_str() == "PRICE").count();
+    assert!(price_count <= 1, "AtMostOne violated: {:?}", o.labels);
+}
+
+/// A feedback TagIs pins one column, and AtMostOne pushes the twin away.
+#[test]
+fn combined_frequency_and_feedback() {
+    let f = fixture();
+    let mut lsd = build(
+        &f.mediated,
+        vec![DomainConstraint::hard(Predicate::AtMostOne { label: "PRICE".into() })],
+    );
+    lsd.train(std::slice::from_ref(&f.train));
+    let fb = [DomainConstraint::hard(Predicate::TagIs {
+        tag: "amount-b".into(),
+        label: "PRICE".into(),
+    })];
+    let o = lsd.match_source_with_feedback(&f.target, &fb);
+    assert_eq!(o.label_of("amount-b"), Some("PRICE"));
+    assert_ne!(o.label_of("amount-a"), Some("PRICE"));
+}
+
+/// Key (column) constraints through the pipeline: a column with duplicate
+/// values cannot take the key label.
+#[test]
+fn key_constraint_rejects_duplicate_column() {
+    let mediated = parse_dtd(
+        "<!ELEMENT R (ID, N)>\n<!ELEMENT ID (#PCDATA)>\n<!ELEMENT N (#PCDATA)>",
+    )
+    .expect("valid DTD");
+    let train_dtd = parse_dtd(
+        "<!ELEMENT r (ident, cnt)>\n<!ELEMENT ident (#PCDATA)>\n<!ELEMENT cnt (#PCDATA)>",
+    )
+    .expect("valid DTD");
+    let mk = |i: &str, c: &str| {
+        parse_fragment(&format!("<r><ident>{i}</ident><cnt>{c}</cnt></r>")).expect("ok")
+    };
+    let train = TrainedSource {
+        source: Source {
+            name: "t".into(),
+            dtd: train_dtd,
+            listings: vec![mk("1001", "3"), mk("1002", "3"), mk("1003", "2")],
+        },
+        mapping: HashMap::from([
+            ("r".to_string(), "R".to_string()),
+            ("ident".to_string(), "ID".to_string()),
+            ("cnt".to_string(), "N".to_string()),
+        ]),
+    };
+    // Target where the "code" column has duplicates: cannot be the key ID.
+    let target_dtd = parse_dtd(
+        "<!ELEMENT x (code, serial)>\n<!ELEMENT code (#PCDATA)>\n<!ELEMENT serial (#PCDATA)>",
+    )
+    .expect("valid DTD");
+    let mkt = |c: &str, s: &str| {
+        parse_fragment(&format!("<x><code>{c}</code><serial>{s}</serial></x>")).expect("ok")
+    };
+    let target = Source {
+        name: "x".into(),
+        dtd: target_dtd,
+        listings: vec![mkt("7", "9001"), mkt("7", "9002"), mkt("4", "9003")],
+    };
+    let mut lsd = build(
+        &mediated,
+        vec![DomainConstraint::hard(Predicate::IsKey { label: "ID".into() })],
+    );
+    lsd.train(std::slice::from_ref(&train));
+    let o = lsd.match_source(&target);
+    assert!(o.result.feasible);
+    assert_ne!(o.label_of("code"), Some("ID"), "{:?}", o.labels);
+}
+
+/// Search algorithm choice is part of the public pipeline configuration:
+/// beam and greedy produce feasible mappings too.
+#[test]
+fn alternate_search_algorithms_work_end_to_end() {
+    let f = fixture();
+    for algorithm in [SearchAlgorithm::Beam { width: 4 }, SearchAlgorithm::Greedy] {
+        let config = LsdConfig {
+            search: SearchConfig { algorithm, heuristic_weight: 1.0 },
+            ..LsdConfig::default()
+        };
+        let builder = LsdBuilder::new(&f.mediated).with_config(config);
+        let n = builder.labels().len();
+        let mut lsd = builder
+            .add_learner(Box::new(NaiveBayesLearner::new(n)))
+            .with_constraints(vec![DomainConstraint::hard(Predicate::AtMostOne {
+                label: "PRICE".into(),
+            })])
+            .build();
+        lsd.train(std::slice::from_ref(&f.train));
+        let o = lsd.match_source(&f.target);
+        assert!(o.result.feasible, "{algorithm:?}");
+        let price_count = o.labels.iter().filter(|l| l.as_str() == "PRICE").count();
+        assert!(price_count <= 1, "{algorithm:?}: {:?}", o.labels);
+    }
+}

@@ -1,0 +1,180 @@
+//! Cross-crate integration tests: the full pipeline from generated domains
+//! through training, matching, constraints and feedback.
+
+use lsd::constraints::{DomainConstraint, Predicate};
+use lsd::core::learners::{ContentMatcher, NaiveBayesLearner, NameMatcher};
+use lsd::core::{Lsd, LsdBuilder, LsdConfig, Source, TrainedSource};
+use lsd::datagen::DomainId;
+use std::collections::HashMap;
+
+fn to_source(gs: &lsd::datagen::GeneratedSource) -> Source {
+    Source { name: gs.name.clone(), dtd: gs.dtd.clone(), listings: gs.listings.clone() }
+}
+
+fn build_full(domain: &lsd::datagen::GeneratedDomain) -> Lsd {
+    let builder = LsdBuilder::new(&domain.mediated).with_config(LsdConfig::default());
+    let n = builder.labels().len();
+    let pairs: Vec<(&str, &str)> =
+        domain.synonyms.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    builder
+        .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, pairs)))
+        .add_learner(Box::new(ContentMatcher::new(n)))
+        .add_learner(Box::new(NaiveBayesLearner::new(n)))
+        .with_xml_learner()
+        .with_constraints(domain.constraints.clone())
+        .build()
+}
+
+fn train_on(lsd: &mut Lsd, domain: &lsd::datagen::GeneratedDomain, sources: &[usize]) {
+    let training: Vec<TrainedSource> = sources
+        .iter()
+        .map(|&i| TrainedSource {
+            source: to_source(&domain.sources[i]),
+            mapping: domain.sources[i].mapping.clone(),
+        })
+        .collect();
+    lsd.train(&training);
+}
+
+fn accuracy(lsd: &Lsd, gs: &lsd::datagen::GeneratedSource) -> f64 {
+    let outcome = lsd.match_source(&to_source(gs));
+    let correct = gs
+        .mapping
+        .iter()
+        .filter(|(tag, truth)| outcome.label_of(tag) == Some(truth.as_str()))
+        .count();
+    correct as f64 / gs.mapping.len() as f64
+}
+
+/// Every domain end to end: train on three sources, match the other two,
+/// and clear a conservative accuracy floor (well above chance, below which
+/// something is broken rather than merely noisy).
+#[test]
+fn all_domains_match_above_floor() {
+    for (id, floor) in [
+        (DomainId::RealEstate1, 0.75),
+        (DomainId::TimeSchedule, 0.60),
+        (DomainId::FacultyListings, 0.80),
+        (DomainId::RealEstate2, 0.55),
+    ] {
+        let domain = id.generate(60, 13);
+        let mut lsd = build_full(&domain);
+        train_on(&mut lsd, &domain, &[0, 1, 2]);
+        for gs in &domain.sources[3..] {
+            let acc = accuracy(&lsd, gs);
+            assert!(
+                acc >= floor,
+                "{} / {}: accuracy {acc:.2} below floor {floor}",
+                id.name(),
+                gs.name
+            );
+        }
+    }
+}
+
+/// The "improve over time" loop the paper highlights: adding a confirmed
+/// source to the training set must not degrade (and normally improves)
+/// accuracy on the remaining source.
+#[test]
+fn incremental_training_reuses_past_matchings() {
+    let domain = DomainId::RealEstate1.generate(60, 5);
+    let mut lsd = build_full(&domain);
+    train_on(&mut lsd, &domain, &[0, 1]);
+    let before = accuracy(&lsd, &domain.sources[4]);
+    // Source 3 gets matched, confirmed by the user, and folded in.
+    train_on(&mut lsd, &domain, &[0, 1, 3]);
+    let after = accuracy(&lsd, &domain.sources[4]);
+    assert!(
+        after + 0.10 >= before,
+        "adding a training source should not collapse accuracy: {before:.2} -> {after:.2}"
+    );
+}
+
+/// Feedback constraints apply to the current source only and are honored
+/// exactly (Section 4.3).
+#[test]
+fn feedback_is_honored_and_scoped() {
+    let domain = DomainId::TimeSchedule.generate(40, 2);
+    let mut lsd = build_full(&domain);
+    train_on(&mut lsd, &domain, &[0, 1, 2]);
+    let source = to_source(&domain.sources[3]);
+    let tag = domain.sources[3].dtd.element_names().nth(2).expect("a tag").to_string();
+
+    let fb = [DomainConstraint::hard(Predicate::TagIs {
+        tag: tag.clone(),
+        label: "NOTES".to_string(),
+    })];
+    let with_fb = lsd.match_source_with_feedback(&source, &fb);
+    assert_eq!(with_fb.label_of(&tag), Some("NOTES"), "feedback must be honored");
+
+    let without = lsd.match_source(&source);
+    // The follow-up match without feedback is unaffected by the earlier one.
+    let again = lsd.match_source(&source);
+    assert_eq!(without.labels, again.labels, "matching must be stateless across calls");
+}
+
+/// Negative feedback ("tag X does not match Y") removes exactly that
+/// assignment.
+#[test]
+fn negative_feedback_excludes_label() {
+    let domain = DomainId::RealEstate1.generate(50, 3);
+    let mut lsd = build_full(&domain);
+    train_on(&mut lsd, &domain, &[0, 1, 2]);
+    let gs = &domain.sources[3];
+    let source = to_source(gs);
+    let outcome = lsd.match_source(&source);
+    // Pick any tag currently assigned a non-OTHER label and forbid it.
+    let (tag, label) = outcome
+        .tags
+        .iter()
+        .zip(&outcome.labels)
+        .find(|(_, l)| *l != "OTHER")
+        .map(|(t, l)| (t.clone(), l.clone()))
+        .expect("some tag matched");
+    let fb = [DomainConstraint::hard(Predicate::TagIsNot {
+        tag: tag.clone(),
+        label: label.clone(),
+    })];
+    let after = lsd.match_source_with_feedback(&source, &fb);
+    assert_ne!(after.label_of(&tag), Some(label.as_str()));
+}
+
+/// Determinism: two identical runs produce identical mappings.
+#[test]
+fn pipeline_is_deterministic() {
+    let run = || {
+        let domain = DomainId::FacultyListings.generate(30, 9);
+        let mut lsd = build_full(&domain);
+        train_on(&mut lsd, &domain, &[0, 1, 2]);
+        lsd.match_source(&to_source(&domain.sources[4])).labels
+    };
+    assert_eq!(run(), run());
+}
+
+/// Matching a training source itself should be near-perfect — the sanity
+/// check a user would run first.
+#[test]
+fn training_source_self_match() {
+    let domain = DomainId::RealEstate1.generate(60, 21);
+    let mut lsd = build_full(&domain);
+    train_on(&mut lsd, &domain, &[0, 1, 2]);
+    let acc = accuracy(&lsd, &domain.sources[0]);
+    assert!(acc >= 0.9, "self-match accuracy {acc:.2}");
+}
+
+/// The mediated schema tags and OTHER are the only labels ever produced.
+#[test]
+fn labels_come_from_mediated_schema() {
+    let domain = DomainId::TimeSchedule.generate(30, 4);
+    let mut lsd = build_full(&domain);
+    train_on(&mut lsd, &domain, &[0, 1, 2]);
+    let mediated: HashMap<&str, ()> =
+        domain.mediated.element_names().map(|n| (n, ())).collect();
+    let outcome = lsd.match_source(&to_source(&domain.sources[3]));
+    for label in &outcome.labels {
+        assert!(
+            label == "OTHER" || mediated.contains_key(label.as_str()),
+            "unexpected label {label}"
+        );
+    }
+}
