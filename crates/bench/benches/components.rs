@@ -5,12 +5,10 @@
 //! Run with `cargo bench -p lsd-bench`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lsd_core::learners::{
-    BaseLearner, ContentMatcher, NaiveBayesLearner, NameMatcher, XmlLearner,
-};
+use lsd_core::learners::{BaseLearner, ContentMatcher, NaiveBayesLearner, NameMatcher, XmlLearner};
 use lsd_core::{
-    extract_instances, Instance, LsdBuilder, LsdConfig, MetaLearner, SearchAlgorithm,
-    SearchConfig, Source, TrainedSource,
+    extract_instances, Instance, LsdBuilder, LsdConfig, MetaLearner, SearchAlgorithm, SearchConfig,
+    Source, TrainedSource,
 };
 use lsd_datagen::{DomainId, GeneratedDomain};
 use lsd_learn::cross_validation_predictions;
@@ -48,8 +46,11 @@ fn bench_learners(c: &mut Criterion) {
     let examples = labelled_instances(&domain, 0);
     let refs: Vec<(&Instance, usize)> = examples.iter().map(|(i, l)| (i, *l)).collect();
     let n = domain.mediated.len() + 1;
-    let pairs: Vec<(&str, &str)> =
-        domain.synonyms.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let pairs: Vec<(&str, &str)> = domain
+        .synonyms
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
 
     let mut group = c.benchmark_group("learner_train");
     group.bench_function("name_matcher", |b| {
@@ -138,27 +139,119 @@ fn bench_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("match_real_estate2");
     group.sample_size(10);
     for (label, algorithm) in [
-        ("astar", SearchAlgorithm::AStar { max_expansions: 20_000 }),
+        (
+            "astar",
+            SearchAlgorithm::AStar {
+                max_expansions: 20_000,
+            },
+        ),
         ("beam10", SearchAlgorithm::Beam { width: 10 }),
         ("greedy", SearchAlgorithm::Greedy),
     ] {
         let config = LsdConfig {
-            search: SearchConfig { algorithm, ..SearchConfig::default() },
+            search: SearchConfig {
+                algorithm,
+                ..SearchConfig::default()
+            },
             ..LsdConfig::default()
         };
         let builder = LsdBuilder::new(&domain.mediated).with_config(config);
         let n = builder.labels().len();
-        let pairs: Vec<(&str, &str)> =
-            domain.synonyms.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let pairs: Vec<(&str, &str)> = domain
+            .synonyms
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
         let mut lsd = builder
             .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, pairs)))
             .add_learner(Box::new(NaiveBayesLearner::new(n)))
             .with_constraints(domain.constraints.clone())
-            .build();
-        lsd.train(&training);
+            .build()
+            .expect("bench builder has learners");
+        lsd.train(&training)
+            .expect("training sources have listings");
         group.bench_with_input(BenchmarkId::from_parameter(label), &lsd, |b, lsd| {
-            b.iter(|| lsd.match_source(black_box(&target)))
+            b.iter(|| {
+                lsd.match_source(black_box(&target))
+                    .expect("well-formed source")
+            })
         });
+    }
+    group.finish();
+}
+
+fn bench_batch_engine(c: &mut Criterion) {
+    // The parallel batch-matching engine vs the serial loop it replaces:
+    // one trained system, a 4-domain x 5-source workload, outcomes
+    // byte-identical across thread counts (asserted in tests/batch_engine.rs).
+    use lsd_learn::ExecPolicy;
+
+    let workload: Vec<(lsd_datagen::GeneratedDomain, Vec<Source>)> = [
+        DomainId::RealEstate1,
+        DomainId::RealEstate2,
+        DomainId::TimeSchedule,
+        DomainId::FacultyListings,
+    ]
+    .iter()
+    .map(|&id| {
+        let domain = id.generate(40, 7);
+        let sources: Vec<Source> = domain
+            .sources
+            .iter()
+            .map(|gs| Source {
+                name: gs.name.clone(),
+                dtd: gs.dtd.clone(),
+                listings: gs.listings.clone(),
+            })
+            .collect();
+        (domain, sources)
+    })
+    .collect();
+
+    let systems: Vec<lsd_core::Lsd> = workload
+        .iter()
+        .map(|(domain, sources)| {
+            let builder = LsdBuilder::new(&domain.mediated).with_config(LsdConfig::default());
+            let n = builder.labels().len();
+            let pairs: Vec<(&str, &str)> = domain
+                .synonyms
+                .iter()
+                .map(|(a, b)| (a.as_str(), b.as_str()))
+                .collect();
+            let mut lsd = builder
+                .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, pairs)))
+                .add_learner(Box::new(NaiveBayesLearner::new(n)))
+                .with_constraints(domain.constraints.clone())
+                .build()
+                .expect("bench builder has learners");
+            let training: Vec<TrainedSource> = (0..3)
+                .map(|i| TrainedSource {
+                    source: sources[i].clone(),
+                    mapping: domain.sources[i].mapping.clone(),
+                })
+                .collect();
+            lsd.train(&training)
+                .expect("training sources have listings");
+            lsd
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("batch_engine_4x5");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let policy = ExecPolicy::with_threads(threads);
+                b.iter(|| {
+                    for (lsd, (_, sources)) in systems.iter().zip(&workload) {
+                        lsd.match_batch(black_box(sources), &policy)
+                            .expect("well-formed sources");
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -184,9 +277,7 @@ fn bench_evaluators(c: &mut Criterion) {
         data: &data,
         alpha: 1.0,
     };
-    let assignment: Vec<Option<usize>> = (0..tags.len())
-        .map(|i| Some(i % labels.len()))
-        .collect();
+    let assignment: Vec<Option<usize>> = (0..tags.len()).map(|i| Some(i % labels.len())).collect();
 
     let mut group = c.benchmark_group("constraint_evaluation");
     group.bench_function("reference", |b| {
@@ -226,5 +317,13 @@ fn bench_substrates(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_learners, bench_meta, bench_search, bench_evaluators, bench_substrates);
+criterion_group!(
+    benches,
+    bench_learners,
+    bench_meta,
+    bench_search,
+    bench_batch_engine,
+    bench_evaluators,
+    bench_substrates
+);
 criterion_main!(benches);

@@ -51,19 +51,26 @@ impl Variant {
         }
         let builder = LsdBuilder::new(&domain.mediated).with_config(config);
         let n = builder.labels().len();
-        let pairs: Vec<(&str, &str)> =
-            domain.synonyms.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let pairs: Vec<(&str, &str)> = domain
+            .synonyms
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
         let content: Box<dyn BaseLearner> = match self.whirl {
             Some(combination) => Box::new(ContentMatcher::with_config(
                 n,
-                WhirlConfig { combination, ..WhirlConfig::default() },
+                WhirlConfig {
+                    combination,
+                    ..WhirlConfig::default()
+                },
             )),
             None => Box::new(ContentMatcher::new(n)),
         };
         let nb: Box<dyn BaseLearner> = match self.nb_smoothing {
-            Some(smoothing) => {
-                Box::new(NaiveBayesLearner::with_config(n, NaiveBayesConfig { smoothing }))
-            }
+            Some(smoothing) => Box::new(NaiveBayesLearner::with_config(
+                n,
+                NaiveBayesConfig { smoothing },
+            )),
             None => Box::new(NaiveBayesLearner::new(n)),
         };
         let xml = XmlLearner::with_token_kinds(n, self.xml_tokens.unwrap_or_default());
@@ -71,9 +78,10 @@ impl Variant {
             .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, pairs)))
             .add_learner(content)
             .add_learner(nb)
-            .with_xml_learner_custom(xml)
+            .with_xml_learner(xml)
             .with_constraints(domain.constraints.clone())
             .build()
+            .expect("ablation setups include learners")
     }
 }
 
@@ -83,7 +91,10 @@ fn run(variant: &Variant, ids: &[DomainId], params: &ExperimentParams) -> (f64, 
     let mut match_seconds = Vec::new();
     for &id in ids {
         for trial in 0..params.trials {
-            let seed = params.seed.wrapping_add(trial as u64).wrapping_mul(0x100_0000_01B3);
+            let seed = params
+                .seed
+                .wrapping_add(trial as u64)
+                .wrapping_mul(0x100_0000_01B3);
             let domain = id.generate(params.listings, seed);
             for (train, test) in all_splits() {
                 let mut lsd = variant.build(&domain, params.lsd);
@@ -94,7 +105,8 @@ fn run(variant: &Variant, ids: &[DomainId], params: &ExperimentParams) -> (f64, 
                         mapping: domain.sources[i].mapping.clone(),
                     })
                     .collect();
-                lsd.train(&training);
+                lsd.train(&training)
+                    .expect("training sources have listings");
                 for &t in &test {
                     let started = Instant::now();
                     accs.push(100.0 * accuracy_of(&lsd, &domain.sources[t]));
@@ -138,7 +150,10 @@ fn main() {
         "meta-learner",
         vec![
             Variant::baseline("stacking regression (paper)"),
-            Variant { train_meta: false, ..Variant::baseline("uniform weights") },
+            Variant {
+                train_meta: false,
+                ..Variant::baseline("uniform weights")
+            },
         ],
     );
     section(
@@ -146,7 +161,9 @@ fn main() {
         vec![
             Variant {
                 search: Some(SearchConfig {
-                    algorithm: SearchAlgorithm::AStar { max_expansions: 20_000 },
+                    algorithm: SearchAlgorithm::AStar {
+                        max_expansions: 20_000,
+                    },
                     heuristic_weight: 1.0,
                 }),
                 ..Variant::baseline("A* admissible (e=1.0)")
@@ -175,31 +192,58 @@ fn main() {
                 whirl: Some(NeighborCombination::NoisyOr),
                 ..Variant::baseline("noisy-or (paper)")
             },
-            Variant { whirl: Some(NeighborCombination::Max), ..Variant::baseline("max") },
-            Variant { whirl: Some(NeighborCombination::Mean), ..Variant::baseline("mean") },
+            Variant {
+                whirl: Some(NeighborCombination::Max),
+                ..Variant::baseline("max")
+            },
+            Variant {
+                whirl: Some(NeighborCombination::Mean),
+                ..Variant::baseline("mean")
+            },
         ],
     );
     section(
         "Naive Bayes smoothing",
         vec![
-            Variant { nb_smoothing: Some(0.1), ..Variant::baseline("laplace 0.1") },
-            Variant { nb_smoothing: Some(1.0), ..Variant::baseline("laplace 1.0 (default)") },
-            Variant { nb_smoothing: Some(10.0), ..Variant::baseline("laplace 10") },
+            Variant {
+                nb_smoothing: Some(0.1),
+                ..Variant::baseline("laplace 0.1")
+            },
+            Variant {
+                nb_smoothing: Some(1.0),
+                ..Variant::baseline("laplace 1.0 (default)")
+            },
+            Variant {
+                nb_smoothing: Some(10.0),
+                ..Variant::baseline("laplace 10")
+            },
         ],
     );
     section(
         "XML-learner structure tokens",
         vec![
             Variant {
-                xml_tokens: Some(XmlTokenKinds { text: true, nodes: false, edges: false }),
+                xml_tokens: Some(XmlTokenKinds {
+                    text: true,
+                    nodes: false,
+                    edges: false,
+                }),
                 ..Variant::baseline("text only (flat NB)")
             },
             Variant {
-                xml_tokens: Some(XmlTokenKinds { text: true, nodes: true, edges: false }),
+                xml_tokens: Some(XmlTokenKinds {
+                    text: true,
+                    nodes: true,
+                    edges: false,
+                }),
                 ..Variant::baseline("text + node tokens")
             },
             Variant {
-                xml_tokens: Some(XmlTokenKinds { text: true, nodes: true, edges: true }),
+                xml_tokens: Some(XmlTokenKinds {
+                    text: true,
+                    nodes: true,
+                    edges: true,
+                }),
                 ..Variant::baseline("text + node + edge (paper)")
             },
         ],

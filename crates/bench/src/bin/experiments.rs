@@ -30,7 +30,10 @@ fn main() {
     );
 
     println!("== LSD full experiment suite ==");
-    println!("trials={} listings={} seed={}\n", params.trials, params.listings, params.seed);
+    println!(
+        "trials={} listings={} seed={}\n",
+        params.trials, params.listings, params.seed
+    );
 
     // ---- Figure 8a ----
     println!("-- Figure 8a: average matching accuracy --");
@@ -73,10 +76,17 @@ fn main() {
 
     // ---- Figures 8b/8c ----
     println!("\n-- Figures 8b/8c: accuracy vs listings per source --");
-    let sweep_configs =
-        vec![Config::Single("naive-bayes"), Config::Meta, Config::MetaConstraints, Config::Full];
+    let sweep_configs = vec![
+        Config::Single("naive-bayes"),
+        Config::Meta,
+        Config::MetaConstraints,
+        Config::Full,
+    ];
     let mut sweeps = serde_json::Map::new();
-    for (figure, id) in [("fig8b", DomainId::RealEstate1), ("fig8c", DomainId::TimeSchedule)] {
+    for (figure, id) in [
+        ("fig8b", DomainId::RealEstate1),
+        ("fig8c", DomainId::TimeSchedule),
+    ] {
         let mut series = Vec::new();
         for listings in [5usize, 10, 20, 50, 100, 200, 300, 500] {
             let mut p = params;
@@ -168,8 +178,7 @@ fn main() {
             let mut order: Vec<usize> = (0..5).collect();
             order.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
             let (test, train) = (order[0], &order[1..4]);
-            let mut lsd =
-                lsd_bench::build_lsd(&domain, lsd_bench::Setup::FULL, params.lsd);
+            let mut lsd = lsd_bench::build_lsd(&domain, lsd_bench::Setup::FULL, params.lsd);
             let training: Vec<TrainedSource> = train
                 .iter()
                 .map(|&i| TrainedSource {
@@ -177,16 +186,22 @@ fn main() {
                     mapping: domain.sources[i].mapping.clone(),
                 })
                 .collect();
-            lsd.train(&training);
+            lsd.train(&training)
+                .expect("training sources have listings");
             let gs = &domain.sources[test];
-            let outcome =
-                simulate_feedback_session(&lsd, &lsd_bench::to_sources(gs), &gs.mapping);
+            let outcome = simulate_feedback_session(&lsd, &lsd_bench::to_sources(gs), &gs.mapping)
+                .expect("bench sources are well-formed");
             corrections.push(outcome.corrections as f64);
             tags.push(gs.dtd.len() as f64);
         }
         let avg_c = corrections.iter().sum::<f64>() / 3.0;
         let avg_t = tags.iter().sum::<f64>() / 3.0;
-        println!("{:<16} avg corrections={:.1} over avg {:.1} tags", id.name(), avg_c, avg_t);
+        println!(
+            "{:<16} avg corrections={:.1} over avg {:.1} tags",
+            id.name(),
+            avg_c,
+            avg_t
+        );
         feedback.insert(
             id.name().into(),
             json!({"avg_corrections": avg_c, "avg_tags": avg_t, "runs": corrections}),
@@ -194,11 +209,20 @@ fn main() {
     }
     report.insert("feedback".into(), feedback.into());
 
-    report.insert("elapsed_seconds".into(), json!(started.elapsed().as_secs_f64()));
+    report.insert(
+        "elapsed_seconds".into(),
+        json!(started.elapsed().as_secs_f64()),
+    );
     let path = "experiment_results.json";
-    std::fs::write(path, serde_json::to_string_pretty(&report).expect("serializable"))
-        .expect("write results file");
-    println!("\nWrote {path} ({:.0}s total)", started.elapsed().as_secs_f64());
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serializable"),
+    )
+    .expect("write results file");
+    println!(
+        "\nWrote {path} ({:.0}s total)",
+        started.elapsed().as_secs_f64()
+    );
 }
 
 fn acc_json(d: &DomainAccuracy) -> serde_json::Value {

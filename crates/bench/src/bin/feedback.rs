@@ -49,10 +49,12 @@ fn main() {
                     mapping: domain.sources[i].mapping.clone(),
                 })
                 .collect();
-            lsd.train(&training);
+            lsd.train(&training)
+                .expect("training sources have listings");
 
             let gs = &domain.sources[test];
-            let outcome = simulate_feedback_session(&lsd, &to_sources(gs), &gs.mapping);
+            let outcome = simulate_feedback_session(&lsd, &to_sources(gs), &gs.mapping)
+                .expect("bench sources are well-formed");
             println!(
                 "{:<16} | {:>5} {:>10} {:>12} {:>10}",
                 id.name(),

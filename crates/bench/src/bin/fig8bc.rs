@@ -22,7 +22,10 @@ fn main() {
         Config::MetaConstraints,
         Config::Full,
     ];
-    for (figure, id) in [("8b", DomainId::RealEstate1), ("8c", DomainId::TimeSchedule)] {
+    for (figure, id) in [
+        ("8b", DomainId::RealEstate1),
+        ("8c", DomainId::TimeSchedule),
+    ] {
         println!(
             "Figure {figure} — {} accuracy (%) vs listings per source ({} trials x 10 splits)\n",
             id.name(),

@@ -17,7 +17,16 @@ fn main() {
         .and_then(|v| v.parse().ok());
     println!(
         "{:<16} | {:>4} {:>8} {:>5} | {:>7} {:>11} {:>7} {:>8} {:>5} {:>10}",
-        "Domain", "Tags", "Non-leaf", "Depth", "Sources", "Listings", "Tags", "Non-leaf", "Depth", "Matchable"
+        "Domain",
+        "Tags",
+        "Non-leaf",
+        "Depth",
+        "Sources",
+        "Listings",
+        "Tags",
+        "Non-leaf",
+        "Depth",
+        "Matchable"
     );
     println!("{}", "-".repeat(106));
     for id in DomainId::ALL {
@@ -45,7 +54,11 @@ fn main() {
             match_range.1 = match_range.1.max(pct);
         }
         let range = |r: (usize, usize)| {
-            if r.0 == r.1 { format!("{}", r.0) } else { format!("{}-{}", r.0, r.1) }
+            if r.0 == r.1 {
+                format!("{}", r.0)
+            } else {
+                format!("{}-{}", r.0, r.1)
+            }
         };
         println!(
             "{:<16} | {:>4} {:>8} {:>5} | {:>7} {:>11} {:>7} {:>8} {:>5} {:>9.0}%",
@@ -72,5 +85,7 @@ fn main() {
             );
         }
     }
-    println!("\nPaper reference (Table 3): mediated tags 20/23/14/66, non-leaf 4/6/4/13, depth 3/4/3/4.");
+    println!(
+        "\nPaper reference (Table 3): mediated tags 20/23/14/66, non-leaf 4/6/4/13, depth 3/4/3/4."
+    );
 }

@@ -24,6 +24,6 @@
 pub mod runner;
 
 pub use runner::{
-    accuracy_of, all_splits, build_lsd, constraints_for, run_matrix,
-    to_sources, Config, ConstraintMode, DomainAccuracy, ExperimentParams, LearnerSet, Setup,
+    accuracy_of, all_splits, build_lsd, constraints_for, run_matrix, to_sources, Config,
+    ConstraintMode, DomainAccuracy, ExperimentParams, LearnerSet, Setup,
 };

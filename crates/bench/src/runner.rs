@@ -3,9 +3,9 @@
 use lsd_core::learners::{
     county_name_recognizer, ContentMatcher, FormatLearner, NaiveBayesLearner, NameMatcher,
 };
-use lsd_core::{Lsd, LsdBuilder, LsdConfig, Source, TrainedSource};
+use lsd_core::{Lsd, LsdBuilder, LsdConfig, MatchOutcome, Source, TrainedSource};
 use lsd_datagen::{GeneratedDomain, GeneratedSource};
-use lsd_learn::metrics;
+use lsd_learn::{metrics, ExecPolicy};
 
 /// Which base learners a configuration uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -143,6 +143,8 @@ pub struct ExperimentParams {
     pub seed: u64,
     /// Pipeline tunables.
     pub lsd: LsdConfig,
+    /// How test sources are fanned out by the batch-matching engine.
+    pub exec: ExecPolicy,
 }
 
 impl Default for ExperimentParams {
@@ -152,14 +154,15 @@ impl Default for ExperimentParams {
             trials: 3,
             seed: 0,
             lsd: LsdConfig::default(),
+            exec: ExecPolicy::default(),
         }
     }
 }
 
 impl ExperimentParams {
     /// Reads overrides from the environment: `LSD_TRIALS`, `LSD_LISTINGS`,
-    /// `LSD_SEED` — so the harness binaries can be scaled down for smoke
-    /// runs without code changes.
+    /// `LSD_SEED`, `LSD_THREADS` (0 = one worker per CPU) — so the harness
+    /// binaries can be scaled down for smoke runs without code changes.
     pub fn from_env() -> Self {
         let mut p = ExperimentParams::default();
         if let Ok(v) = std::env::var("LSD_TRIALS") {
@@ -171,13 +174,20 @@ impl ExperimentParams {
         if let Ok(v) = std::env::var("LSD_SEED") {
             p.seed = v.parse().expect("LSD_SEED must be an integer");
         }
+        if let Ok(v) = std::env::var("LSD_THREADS") {
+            p.exec.threads = v.parse().expect("LSD_THREADS must be an integer");
+        }
         p
     }
 }
 
 /// Converts a generated source into the core crate's source type.
 pub fn to_sources(gs: &GeneratedSource) -> Source {
-    Source { name: gs.name.clone(), dtd: gs.dtd.clone(), listings: gs.listings.clone() }
+    Source {
+        name: gs.name.clone(),
+        dtd: gs.dtd.clone(),
+        listings: gs.listings.clone(),
+    }
 }
 
 /// Builds an LSD system for a configuration over a generated domain.
@@ -188,8 +198,11 @@ pub fn build_lsd(domain: &GeneratedDomain, setup: Setup, lsd_config: LsdConfig) 
     let n = builder.labels().len();
 
     if setup.learners.name_matcher {
-        let pairs: Vec<(&str, &str)> =
-            domain.synonyms.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let pairs: Vec<(&str, &str)> = domain
+            .synonyms
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
         builder = builder.add_learner(Box::new(NameMatcher::with_synonym_pairs(n, pairs)));
     }
     if setup.learners.content_matcher {
@@ -207,7 +220,7 @@ pub fn build_lsd(domain: &GeneratedDomain, setup: Setup, lsd_config: LsdConfig) 
         builder = builder.add_learner(Box::new(FormatLearner::new(n)));
     }
     if setup.xml_learner {
-        builder = builder.with_xml_learner();
+        builder = builder.with_xml_learner(None);
     }
 
     let constraints = match setup.constraints {
@@ -226,18 +239,31 @@ pub fn build_lsd(domain: &GeneratedDomain, setup: Setup, lsd_config: LsdConfig) 
             .collect(),
         ConstraintMode::All => domain.constraints.clone(),
     };
-    builder.with_constraints(constraints).build()
+    builder
+        .with_constraints(constraints)
+        .build()
+        .expect("bench setups include learners")
 }
 
 /// Matching accuracy for one source (Section 6): the fraction of
 /// *matchable* tags (those with a ground-truth mapping) that LSD labelled
 /// correctly.
 pub fn accuracy_of(lsd: &Lsd, gs: &GeneratedSource) -> f64 {
-    let outcome = lsd.match_source(&to_sources(gs));
+    let outcome = lsd
+        .match_source(&to_sources(gs))
+        .expect("bench sources are well-formed");
+    accuracy_of_outcome(&outcome, gs)
+}
+
+/// [`accuracy_of`] over an already-computed outcome (e.g. one slot of a
+/// [`Lsd::match_batch`] result).
+pub fn accuracy_of_outcome(outcome: &MatchOutcome, gs: &GeneratedSource) -> f64 {
     let mut predicted = Vec::new();
     let mut truth = Vec::new();
     for (tag, label) in &gs.mapping {
-        let Some(p) = outcome.label_of(tag) else { continue };
+        let Some(p) = outcome.label_of(tag) else {
+            continue;
+        };
         predicted.push(p.to_string());
         truth.push(label.clone());
     }
@@ -333,27 +359,51 @@ impl Config {
     fn plan(self) -> (TrainKey, ConstraintMode) {
         match self {
             Config::Single(l) => (
-                TrainKey { learners: LearnerSet::only(l), xml: false, meta: false },
+                TrainKey {
+                    learners: LearnerSet::only(l),
+                    xml: false,
+                    meta: false,
+                },
                 ConstraintMode::None,
             ),
             Config::Meta => (
-                TrainKey { learners: LearnerSet::PAPER, xml: false, meta: true },
+                TrainKey {
+                    learners: LearnerSet::PAPER,
+                    xml: false,
+                    meta: true,
+                },
                 ConstraintMode::None,
             ),
             Config::MetaConstraints => (
-                TrainKey { learners: LearnerSet::PAPER, xml: false, meta: true },
+                TrainKey {
+                    learners: LearnerSet::PAPER,
+                    xml: false,
+                    meta: true,
+                },
                 ConstraintMode::All,
             ),
             Config::Full => (
-                TrainKey { learners: LearnerSet::PAPER, xml: true, meta: true },
+                TrainKey {
+                    learners: LearnerSet::PAPER,
+                    xml: true,
+                    meta: true,
+                },
                 ConstraintMode::All,
             ),
             Config::NoHandler => (
-                TrainKey { learners: LearnerSet::PAPER, xml: true, meta: true },
+                TrainKey {
+                    learners: LearnerSet::PAPER,
+                    xml: true,
+                    meta: true,
+                },
                 ConstraintMode::None,
             ),
             Config::Lesion(l) => (
-                TrainKey { learners: LearnerSet::without(l), xml: true, meta: true },
+                TrainKey {
+                    learners: LearnerSet::without(l),
+                    xml: true,
+                    meta: true,
+                },
                 ConstraintMode::All,
             ),
             Config::SchemaOnly => (
@@ -406,7 +456,10 @@ pub fn run_matrix(
 ) -> Vec<DomainAccuracy> {
     let mut samples: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
     for trial in 0..params.trials {
-        let seed = params.seed.wrapping_add(trial as u64).wrapping_mul(0x0100_0000_01B3);
+        let seed = params
+            .seed
+            .wrapping_add(trial as u64)
+            .wrapping_mul(0x0100_0000_01B3);
         let domain = domain_id.generate(params.listings, seed);
         for (train, test) in all_splits() {
             let training: Vec<TrainedSource> = train
@@ -428,18 +481,31 @@ pub fn run_matrix(
                         train_meta: key.meta,
                     };
                     let mut lsd = build_lsd(&domain, setup, params.lsd);
-                    lsd.train(&training);
+                    lsd.train(&training)
+                        .expect("bench training sources have listings");
                     lsd
                 });
                 let lsd = cache.get_mut(&key).expect("just inserted");
-                lsd.handler_mut().set_constraints(constraints_for(&domain, mode));
-                for &t in &test {
-                    samples[ci].push(100.0 * accuracy_of(lsd, &domain.sources[t]));
+                lsd.handler_mut()
+                    .set_constraints(constraints_for(&domain, mode));
+                // Fan the split's test sources over the batch engine.
+                let batch: Vec<Source> = test
+                    .iter()
+                    .map(|&t| to_sources(&domain.sources[t]))
+                    .collect();
+                let outcomes = lsd
+                    .match_batch(&batch, &params.exec)
+                    .expect("bench sources are well-formed");
+                for (&t, outcome) in test.iter().zip(&outcomes) {
+                    samples[ci].push(100.0 * accuracy_of_outcome(outcome, &domain.sources[t]));
                 }
             }
         }
     }
-    samples.iter().map(|s| DomainAccuracy::from_samples(s)).collect()
+    samples
+        .iter()
+        .map(|s| DomainAccuracy::from_samples(s))
+        .collect()
 }
 
 /// The constraint subset for a mode.
@@ -502,7 +568,7 @@ mod tests {
                 mapping: domain.sources[i].mapping.clone(),
             })
             .collect();
-        lsd.train(&training);
+        lsd.train(&training).unwrap();
         let acc = accuracy_of(&lsd, &domain.sources[3]);
         // 14 labels + OTHER → chance ≈ 7%; the system must do far better.
         assert!(acc > 0.4, "accuracy {acc}");
@@ -511,8 +577,16 @@ mod tests {
     #[test]
     fn constraint_modes_partition() {
         let domain = DomainId::RealEstate2.generate(2, 1);
-        let schema_only = domain.constraints.iter().filter(|c| !c.predicate.uses_data()).count();
-        let data_only = domain.constraints.iter().filter(|c| c.predicate.uses_data()).count();
+        let schema_only = domain
+            .constraints
+            .iter()
+            .filter(|c| !c.predicate.uses_data())
+            .count();
+        let data_only = domain
+            .constraints
+            .iter()
+            .filter(|c| c.predicate.uses_data())
+            .count();
         assert_eq!(schema_only + data_only, domain.constraints.len());
         assert!(schema_only > 0);
         assert!(data_only > 0);

@@ -17,26 +17,247 @@
 
 use crate::constraint::{ConstraintKind, DomainConstraint, Predicate};
 use crate::evaluate::{MatchingContext, INFEASIBLE};
+use lsd_learn::LabelSet;
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-/// A predicate with every name resolved to an index.
+/// A predicate with *label* names resolved to dense indices. Tag names stay
+/// textual: labels are fixed per system, but tags differ per source, so
+/// this is the largest compilation step that can be shared across sources.
+#[derive(Debug, Clone)]
+enum HalfCompiled {
+    AtMostOne {
+        label: usize,
+    },
+    ExactlyOne {
+        label: usize,
+    },
+    NestedIn {
+        outer: usize,
+        inner: usize,
+    },
+    NotNestedIn {
+        outer: usize,
+        inner: usize,
+    },
+    Contiguous {
+        a: usize,
+        b: usize,
+    },
+    MutuallyExclusive {
+        a: usize,
+        b: usize,
+    },
+    IsKey {
+        label: usize,
+    },
+    FunctionalDependency {
+        determinants: Vec<usize>,
+        dependent: usize,
+    },
+    AtMostK {
+        label: usize,
+        k: usize,
+    },
+    Proximity {
+        a: usize,
+        b: usize,
+    },
+    IsNumeric {
+        label: usize,
+    },
+    IsTextual {
+        label: usize,
+    },
+    TagIs {
+        tag: String,
+        label: usize,
+    },
+    TagIsNot {
+        tag: String,
+        label: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct HalfEntry {
+    predicate: HalfCompiled,
+    kind: ConstraintKind,
+}
+
+/// Domain constraints compiled against a [`LabelSet`]: the read-only,
+/// source-independent half of [`Evaluator`] construction. The batch engine
+/// compiles once per system and shares the set (`&CompiledConstraintSet`)
+/// across per-source search workers; constraints naming unknown labels are
+/// dropped here (they can never fire).
+#[derive(Debug, Clone, Default)]
+pub struct CompiledConstraintSet {
+    entries: Vec<HalfEntry>,
+}
+
+impl CompiledConstraintSet {
+    /// Resolves label names once. Constraints referencing labels absent
+    /// from `labels` are dropped.
+    pub fn compile(labels: &LabelSet, constraints: &[DomainConstraint]) -> Self {
+        let label_of = |name: &str| labels.get(name);
+        let entries = constraints
+            .iter()
+            .filter_map(|c| {
+                let predicate = match &c.predicate {
+                    Predicate::AtMostOne { label } => HalfCompiled::AtMostOne {
+                        label: label_of(label)?,
+                    },
+                    Predicate::ExactlyOne { label } => HalfCompiled::ExactlyOne {
+                        label: label_of(label)?,
+                    },
+                    Predicate::NestedIn { outer, inner } => HalfCompiled::NestedIn {
+                        outer: label_of(outer)?,
+                        inner: label_of(inner)?,
+                    },
+                    Predicate::NotNestedIn { outer, inner } => HalfCompiled::NotNestedIn {
+                        outer: label_of(outer)?,
+                        inner: label_of(inner)?,
+                    },
+                    Predicate::Contiguous { a, b } => HalfCompiled::Contiguous {
+                        a: label_of(a)?,
+                        b: label_of(b)?,
+                    },
+                    Predicate::MutuallyExclusive { a, b } => HalfCompiled::MutuallyExclusive {
+                        a: label_of(a)?,
+                        b: label_of(b)?,
+                    },
+                    Predicate::IsKey { label } => HalfCompiled::IsKey {
+                        label: label_of(label)?,
+                    },
+                    Predicate::FunctionalDependency {
+                        determinants,
+                        dependent,
+                    } => HalfCompiled::FunctionalDependency {
+                        determinants: determinants
+                            .iter()
+                            .map(|d| label_of(d))
+                            .collect::<Option<Vec<_>>>()?,
+                        dependent: label_of(dependent)?,
+                    },
+                    Predicate::AtMostK { label, k } => HalfCompiled::AtMostK {
+                        label: label_of(label)?,
+                        k: *k,
+                    },
+                    Predicate::Proximity { a, b } => HalfCompiled::Proximity {
+                        a: label_of(a)?,
+                        b: label_of(b)?,
+                    },
+                    Predicate::IsNumeric { label } => HalfCompiled::IsNumeric {
+                        label: label_of(label)?,
+                    },
+                    Predicate::IsTextual { label } => HalfCompiled::IsTextual {
+                        label: label_of(label)?,
+                    },
+                    Predicate::TagIs { tag, label } => HalfCompiled::TagIs {
+                        tag: tag.clone(),
+                        label: label_of(label)?,
+                    },
+                    Predicate::TagIsNot { tag, label } => HalfCompiled::TagIsNot {
+                        tag: tag.clone(),
+                        label: label_of(label)?,
+                    },
+                };
+                Some(HalfEntry {
+                    predicate,
+                    kind: c.kind,
+                })
+            })
+            .collect();
+        CompiledConstraintSet { entries }
+    }
+
+    /// This set plus `extra` constraints (per-source user feedback) compiled
+    /// against the same labels. The base set is not modified.
+    pub fn with_extra(&self, labels: &LabelSet, extra: &[DomainConstraint]) -> Self {
+        let mut merged = self.clone();
+        merged
+            .entries
+            .extend(CompiledConstraintSet::compile(labels, extra).entries);
+        merged
+    }
+
+    /// Number of compiled (retained) constraints.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no constraint survived compilation.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Labels demanded by a hard `ExactlyOne` constraint (deadline
+    /// propagation in the search).
+    pub(crate) fn mandatory_labels(&self) -> Vec<usize> {
+        self.entries
+            .iter()
+            .filter_map(|e| match (&e.kind, &e.predicate) {
+                (ConstraintKind::Hard, HalfCompiled::ExactlyOne { label }) => Some(*label),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A predicate with every name — labels *and* tags — resolved to an index.
 #[derive(Debug, Clone)]
 enum CompiledPredicate {
-    AtMostOne { label: usize },
-    ExactlyOne { label: usize },
-    NestedIn { outer: usize, inner: usize },
-    NotNestedIn { outer: usize, inner: usize },
-    Contiguous { a: usize, b: usize },
-    MutuallyExclusive { a: usize, b: usize },
-    IsKey { label: usize },
-    FunctionalDependency { determinants: Vec<usize>, dependent: usize },
-    AtMostK { label: usize, k: usize },
-    Proximity { a: usize, b: usize },
-    IsNumeric { label: usize },
-    IsTextual { label: usize },
-    TagIs { tag: usize, label: usize },
-    TagIsNot { tag: usize, label: usize },
+    AtMostOne {
+        label: usize,
+    },
+    ExactlyOne {
+        label: usize,
+    },
+    NestedIn {
+        outer: usize,
+        inner: usize,
+    },
+    NotNestedIn {
+        outer: usize,
+        inner: usize,
+    },
+    Contiguous {
+        a: usize,
+        b: usize,
+    },
+    MutuallyExclusive {
+        a: usize,
+        b: usize,
+    },
+    IsKey {
+        label: usize,
+    },
+    FunctionalDependency {
+        determinants: Vec<usize>,
+        dependent: usize,
+    },
+    AtMostK {
+        label: usize,
+        k: usize,
+    },
+    Proximity {
+        a: usize,
+        b: usize,
+    },
+    IsNumeric {
+        label: usize,
+    },
+    IsTextual {
+        label: usize,
+    },
+    TagIs {
+        tag: usize,
+        label: usize,
+    },
+    TagIsNot {
+        tag: usize,
+        label: usize,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -77,69 +298,83 @@ pub struct Evaluator<'a> {
 }
 
 impl<'a> Evaluator<'a> {
-    /// Compiles the constraints against a context.
+    /// Compiles the constraints against a context (one-shot path: label
+    /// resolution and per-source finishing in one call).
     pub fn new(ctx: &'a MatchingContext<'a>, constraints: &[DomainConstraint]) -> Self {
+        Evaluator::with_compiled(
+            ctx,
+            &CompiledConstraintSet::compile(ctx.labels, constraints),
+        )
+    }
+
+    /// Finishes a pre-compiled constraint set for one source: resolves tag
+    /// names against `ctx.tags` (entries naming unknown tags are dropped)
+    /// and builds the per-source schema/data matrices. The set is only
+    /// borrowed during construction, so one `CompiledConstraintSet` can
+    /// serve many concurrent per-source evaluators.
+    pub fn with_compiled(ctx: &'a MatchingContext<'a>, set: &CompiledConstraintSet) -> Self {
         let q = ctx.tags.len();
-        let label_of = |name: &str| ctx.labels.get(name);
         let tag_of = |name: &str| ctx.tag_index(name);
 
-        let compiled = constraints
+        let compiled = set
+            .entries
             .iter()
-            .filter_map(|c| {
-                let predicate = match &c.predicate {
-                    Predicate::AtMostOne { label } => {
-                        CompiledPredicate::AtMostOne { label: label_of(label)? }
+            .filter_map(|e| {
+                let predicate = match &e.predicate {
+                    HalfCompiled::AtMostOne { label } => {
+                        CompiledPredicate::AtMostOne { label: *label }
                     }
-                    Predicate::ExactlyOne { label } => {
-                        CompiledPredicate::ExactlyOne { label: label_of(label)? }
+                    HalfCompiled::ExactlyOne { label } => {
+                        CompiledPredicate::ExactlyOne { label: *label }
                     }
-                    Predicate::NestedIn { outer, inner } => CompiledPredicate::NestedIn {
-                        outer: label_of(outer)?,
-                        inner: label_of(inner)?,
+                    HalfCompiled::NestedIn { outer, inner } => CompiledPredicate::NestedIn {
+                        outer: *outer,
+                        inner: *inner,
                     },
-                    Predicate::NotNestedIn { outer, inner } => CompiledPredicate::NotNestedIn {
-                        outer: label_of(outer)?,
-                        inner: label_of(inner)?,
+                    HalfCompiled::NotNestedIn { outer, inner } => CompiledPredicate::NotNestedIn {
+                        outer: *outer,
+                        inner: *inner,
                     },
-                    Predicate::Contiguous { a, b } => {
-                        CompiledPredicate::Contiguous { a: label_of(a)?, b: label_of(b)? }
+                    HalfCompiled::Contiguous { a, b } => {
+                        CompiledPredicate::Contiguous { a: *a, b: *b }
                     }
-                    Predicate::MutuallyExclusive { a, b } => CompiledPredicate::MutuallyExclusive {
-                        a: label_of(a)?,
-                        b: label_of(b)?,
+                    HalfCompiled::MutuallyExclusive { a, b } => {
+                        CompiledPredicate::MutuallyExclusive { a: *a, b: *b }
+                    }
+                    HalfCompiled::IsKey { label } => CompiledPredicate::IsKey { label: *label },
+                    HalfCompiled::FunctionalDependency {
+                        determinants,
+                        dependent,
+                    } => CompiledPredicate::FunctionalDependency {
+                        determinants: determinants.clone(),
+                        dependent: *dependent,
                     },
-                    Predicate::IsKey { label } => {
-                        CompiledPredicate::IsKey { label: label_of(label)? }
+                    HalfCompiled::AtMostK { label, k } => CompiledPredicate::AtMostK {
+                        label: *label,
+                        k: *k,
+                    },
+                    HalfCompiled::Proximity { a, b } => {
+                        CompiledPredicate::Proximity { a: *a, b: *b }
                     }
-                    Predicate::FunctionalDependency { determinants, dependent } => {
-                        CompiledPredicate::FunctionalDependency {
-                            determinants: determinants
-                                .iter()
-                                .map(|d| label_of(d))
-                                .collect::<Option<Vec<_>>>()?,
-                            dependent: label_of(dependent)?,
-                        }
+                    HalfCompiled::IsNumeric { label } => {
+                        CompiledPredicate::IsNumeric { label: *label }
                     }
-                    Predicate::AtMostK { label, k } => {
-                        CompiledPredicate::AtMostK { label: label_of(label)?, k: *k }
+                    HalfCompiled::IsTextual { label } => {
+                        CompiledPredicate::IsTextual { label: *label }
                     }
-                    Predicate::Proximity { a, b } => {
-                        CompiledPredicate::Proximity { a: label_of(a)?, b: label_of(b)? }
-                    }
-                    Predicate::IsNumeric { label } => {
-                        CompiledPredicate::IsNumeric { label: label_of(label)? }
-                    }
-                    Predicate::IsTextual { label } => {
-                        CompiledPredicate::IsTextual { label: label_of(label)? }
-                    }
-                    Predicate::TagIs { tag, label } => {
-                        CompiledPredicate::TagIs { tag: tag_of(tag)?, label: label_of(label)? }
-                    }
-                    Predicate::TagIsNot { tag, label } => {
-                        CompiledPredicate::TagIsNot { tag: tag_of(tag)?, label: label_of(label)? }
-                    }
+                    HalfCompiled::TagIs { tag, label } => CompiledPredicate::TagIs {
+                        tag: tag_of(tag)?,
+                        label: *label,
+                    },
+                    HalfCompiled::TagIsNot { tag, label } => CompiledPredicate::TagIsNot {
+                        tag: tag_of(tag)?,
+                        label: *label,
+                    },
                 };
-                Some(Compiled { predicate, kind: c.kind })
+                Some(Compiled {
+                    predicate,
+                    kind: e.kind,
+                })
             })
             .collect();
 
@@ -154,9 +389,9 @@ impl<'a> Evaluator<'a> {
             .map(|a| {
                 (0..q)
                     .map(|b| {
-                        ctx.schema.tags_between(&ctx.tags[a], &ctx.tags[b]).map(|names| {
-                            names.iter().filter_map(|n| ctx.tag_index(n)).collect()
-                        })
+                        ctx.schema
+                            .tags_between(&ctx.tags[a], &ctx.tags[b])
+                            .map(|names| names.iter().filter_map(|n| ctx.tag_index(n)).collect())
                     })
                     .collect()
             })
@@ -164,17 +399,28 @@ impl<'a> Evaluator<'a> {
         let tree_dist: Vec<Vec<usize>> = (0..q)
             .map(|a| {
                 (0..q)
-                    .map(|b| ctx.schema.tree_distance(&ctx.tags[a], &ctx.tags[b]).unwrap_or(0))
+                    .map(|b| {
+                        ctx.schema
+                            .tree_distance(&ctx.tags[a], &ctx.tags[b])
+                            .unwrap_or(0)
+                    })
                     .collect()
             })
             .collect();
-        let has_duplicates: Vec<bool> =
-            ctx.tags.iter().map(|t| ctx.data.has_duplicates(t)).collect();
-        let numeric_fraction: Vec<Option<f64>> =
-            ctx.tags.iter().map(|t| ctx.data.numeric_fraction(t)).collect();
+        let has_duplicates: Vec<bool> = ctx
+            .tags
+            .iter()
+            .map(|t| ctx.data.has_duplicates(t))
+            .collect();
+        let numeric_fraction: Vec<Option<f64>> = ctx
+            .tags
+            .iter()
+            .map(|t| ctx.data.numeric_fraction(t))
+            .collect();
         let n = ctx.labels.len();
-        let assignment_cost: Vec<Vec<f64>> =
-            (0..q).map(|t| (0..n).map(|l| ctx.assignment_cost(t, l)).collect()).collect();
+        let assignment_cost: Vec<Vec<f64>> = (0..q)
+            .map(|t| (0..n).map(|l| ctx.assignment_cost(t, l)).collect())
+            .collect();
         let best_cost: Vec<f64> = (0..q).map(|t| ctx.best_assignment_cost(t)).collect();
 
         Evaluator {
@@ -193,7 +439,9 @@ impl<'a> Evaluator<'a> {
 
     /// A fresh scratch sized for this evaluator.
     pub fn scratch(&self) -> Scratch {
-        Scratch { tags_by_label: vec![Vec::new(); self.ctx.labels.len()] }
+        Scratch {
+            tags_by_label: vec![Vec::new(); self.ctx.labels.len()],
+        }
     }
 
     /// The admissible per-tag heuristic value (cheapest probability cost).
@@ -223,7 +471,11 @@ impl<'a> Evaluator<'a> {
             let violation: f64 = match &c.predicate {
                 CompiledPredicate::AtMostOne { label } => {
                     let n = by[*label].len();
-                    if n > 1 { (n - 1) as f64 } else { 0.0 }
+                    if n > 1 {
+                        (n - 1) as f64
+                    } else {
+                        0.0
+                    }
                 }
                 CompiledPredicate::ExactlyOne { label } => {
                     let n = by[*label].len();
@@ -235,16 +487,12 @@ impl<'a> Evaluator<'a> {
                         0.0
                     }
                 }
-                CompiledPredicate::NestedIn { outer, inner } => pair_count(
-                    &by[*outer],
-                    &by[*inner],
-                    |a, b| !self.nested[b][a],
-                ),
-                CompiledPredicate::NotNestedIn { outer, inner } => pair_count(
-                    &by[*outer],
-                    &by[*inner],
-                    |a, b| self.nested[b][a],
-                ),
+                CompiledPredicate::NestedIn { outer, inner } => {
+                    pair_count(&by[*outer], &by[*inner], |a, b| !self.nested[b][a])
+                }
+                CompiledPredicate::NotNestedIn { outer, inner } => {
+                    pair_count(&by[*outer], &by[*inner], |a, b| self.nested[b][a])
+                }
                 CompiledPredicate::Contiguous { a, b } => {
                     let mut v = 0.0;
                     for &ta in &by[*a] {
@@ -270,12 +518,18 @@ impl<'a> Evaluator<'a> {
                         0.0
                     }
                 }
-                CompiledPredicate::IsKey { label } => {
-                    by[*label].iter().filter(|&&t| self.has_duplicates[t]).count() as f64
-                }
-                CompiledPredicate::FunctionalDependency { determinants, dependent } => {
-                    let dets: Option<Vec<usize>> =
-                        determinants.iter().map(|&d| by[d].first().copied()).collect();
+                CompiledPredicate::IsKey { label } => by[*label]
+                    .iter()
+                    .filter(|&&t| self.has_duplicates[t])
+                    .count() as f64,
+                CompiledPredicate::FunctionalDependency {
+                    determinants,
+                    dependent,
+                } => {
+                    let dets: Option<Vec<usize>> = determinants
+                        .iter()
+                        .map(|&d| by[d].first().copied())
+                        .collect();
                     match (dets, by[*dependent].first().copied()) {
                         (Some(dets), Some(dep)) => {
                             let key = (dets.clone(), dep);
@@ -296,7 +550,11 @@ impl<'a> Evaluator<'a> {
                 }
                 CompiledPredicate::AtMostK { label, k } => {
                     let n = by[*label].len();
-                    if n > *k { (n - k) as f64 } else { 0.0 }
+                    if n > *k {
+                        (n - k) as f64
+                    } else {
+                        0.0
+                    }
                 }
                 CompiledPredicate::Proximity { a, b } => {
                     let mut v = 0.0;
@@ -381,19 +639,37 @@ mod tests {
         .unwrap();
         let schema = SchemaTree::from_dtd(&dtd).unwrap();
         let labels = LabelSet::new([
-            "CONTACT-INFO", "AGENT-NAME", "AGENT-PHONE", "ADDRESS", "BATHS", "BEDS", "PRICE",
+            "CONTACT-INFO",
+            "AGENT-NAME",
+            "AGENT-PHONE",
+            "ADDRESS",
+            "BATHS",
+            "BEDS",
+            "PRICE",
         ]);
         let tags: Vec<String> = schema.tag_names().map(str::to_string).collect();
         let mut data = SourceData::new(tags.clone());
-        data.push_row([("name", "Kate"), ("phone", "(206) 111 2222"), ("area", "Seattle"), ("baths", "2"), ("beds", "3"), ("price", "$70,000")]);
-        data.push_row([("name", "Mike"), ("phone", "(305) 333 4444"), ("area", "Miami"), ("baths", "2"), ("beds", "4"), ("price", "$90,000")]);
+        data.push_row([
+            ("name", "Kate"),
+            ("phone", "(206) 111 2222"),
+            ("area", "Seattle"),
+            ("baths", "2"),
+            ("beds", "3"),
+            ("price", "$70,000"),
+        ]);
+        data.push_row([
+            ("name", "Mike"),
+            ("phone", "(305) 333 4444"),
+            ("area", "Miami"),
+            ("baths", "2"),
+            ("beds", "4"),
+            ("price", "$90,000"),
+        ]);
 
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
         let n = labels.len();
         let predictions: Vec<Prediction> = (0..tags.len())
-            .map(|_| {
-                Prediction::from_scores((0..n).map(|_| rng.gen_range(0.01..1.0)).collect())
-            })
+            .map(|_| Prediction::from_scores((0..n).map(|_| rng.gen_range(0.01..1.0)).collect()))
             .collect();
         let ctx = MatchingContext {
             labels: &labels,
@@ -406,25 +682,64 @@ mod tests {
 
         use crate::constraint::{DomainConstraint as DC, Predicate as P};
         let constraints = vec![
-            DC::hard(P::AtMostOne { label: "ADDRESS".into() }),
-            DC::hard(P::ExactlyOne { label: "PRICE".into() }),
-            DC::hard(P::NestedIn { outer: "CONTACT-INFO".into(), inner: "AGENT-NAME".into() }),
-            DC::hard(P::NotNestedIn { outer: "CONTACT-INFO".into(), inner: "PRICE".into() }),
-            DC::hard(P::Contiguous { a: "BATHS".into(), b: "BEDS".into() }),
-            DC::hard(P::MutuallyExclusive { a: "BATHS".into(), b: "BEDS".into() }),
-            DC::hard(P::IsKey { label: "PRICE".into() }),
+            DC::hard(P::AtMostOne {
+                label: "ADDRESS".into(),
+            }),
+            DC::hard(P::ExactlyOne {
+                label: "PRICE".into(),
+            }),
+            DC::hard(P::NestedIn {
+                outer: "CONTACT-INFO".into(),
+                inner: "AGENT-NAME".into(),
+            }),
+            DC::hard(P::NotNestedIn {
+                outer: "CONTACT-INFO".into(),
+                inner: "PRICE".into(),
+            }),
+            DC::hard(P::Contiguous {
+                a: "BATHS".into(),
+                b: "BEDS".into(),
+            }),
+            DC::hard(P::MutuallyExclusive {
+                a: "BATHS".into(),
+                b: "BEDS".into(),
+            }),
+            DC::hard(P::IsKey {
+                label: "PRICE".into(),
+            }),
             DC::hard(P::FunctionalDependency {
                 determinants: vec!["BEDS".into()],
                 dependent: "BATHS".into(),
             }),
-            DC::soft(P::AtMostK { label: "ADDRESS".into(), k: 1 }),
-            DC::numeric(P::Proximity { a: "AGENT-NAME".into(), b: "AGENT-PHONE".into() }, 0.3),
-            DC::hard(P::IsNumeric { label: "BATHS".into() }),
-            DC::hard(P::IsTextual { label: "ADDRESS".into() }),
-            DC::hard(P::TagIs { tag: "area".into(), label: "ADDRESS".into() }),
-            DC::hard(P::TagIsNot { tag: "extra".into(), label: "PRICE".into() }),
+            DC::soft(P::AtMostK {
+                label: "ADDRESS".into(),
+                k: 1,
+            }),
+            DC::numeric(
+                P::Proximity {
+                    a: "AGENT-NAME".into(),
+                    b: "AGENT-PHONE".into(),
+                },
+                0.3,
+            ),
+            DC::hard(P::IsNumeric {
+                label: "BATHS".into(),
+            }),
+            DC::hard(P::IsTextual {
+                label: "ADDRESS".into(),
+            }),
+            DC::hard(P::TagIs {
+                tag: "area".into(),
+                label: "ADDRESS".into(),
+            }),
+            DC::hard(P::TagIsNot {
+                tag: "extra".into(),
+                label: "PRICE".into(),
+            }),
             // Constraints over unknown labels must be inert in both paths.
-            DC::hard(P::AtMostOne { label: "GHOST".into() }),
+            DC::hard(P::AtMostOne {
+                label: "GHOST".into(),
+            }),
         ];
 
         let evaluator = Evaluator::new(&ctx, &constraints);
@@ -445,7 +760,10 @@ mod tests {
             if fast.is_infinite() || slow.is_infinite() {
                 assert_eq!(fast, slow, "assignment {assignment:?}");
             } else {
-                assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow} for {assignment:?}");
+                assert!(
+                    (fast - slow).abs() < 1e-9,
+                    "{fast} vs {slow} for {assignment:?}"
+                );
             }
         }
     }

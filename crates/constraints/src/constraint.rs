@@ -146,8 +146,15 @@ impl fmt::Display for Predicate {
                 write!(f, "{a} and {b} are mutually exclusive")
             }
             Predicate::IsKey { label } => write!(f, "{label} is a key"),
-            Predicate::FunctionalDependency { determinants, dependent } => {
-                write!(f, "{} functionally determine {dependent}", determinants.join(", "))
+            Predicate::FunctionalDependency {
+                determinants,
+                dependent,
+            } => {
+                write!(
+                    f,
+                    "{} functionally determine {dependent}",
+                    determinants.join(", ")
+                )
             }
             Predicate::AtMostK { label, k } => {
                 write!(f, "at most {k} elements match {label}")
@@ -198,17 +205,26 @@ pub struct DomainConstraint {
 impl DomainConstraint {
     /// A hard constraint.
     pub fn hard(predicate: Predicate) -> Self {
-        DomainConstraint { predicate, kind: ConstraintKind::Hard }
+        DomainConstraint {
+            predicate,
+            kind: ConstraintKind::Hard,
+        }
     }
 
     /// A binary soft constraint with violation cost 1.
     pub fn soft(predicate: Predicate) -> Self {
-        DomainConstraint { predicate, kind: ConstraintKind::SoftBinary { cost: 1.0 } }
+        DomainConstraint {
+            predicate,
+            kind: ConstraintKind::SoftBinary { cost: 1.0 },
+        }
     }
 
     /// A numeric soft constraint with the given weight.
     pub fn numeric(predicate: Predicate, weight: f64) -> Self {
-        DomainConstraint { predicate, kind: ConstraintKind::SoftNumeric { weight } }
+        DomainConstraint {
+            predicate,
+            kind: ConstraintKind::SoftNumeric { weight },
+        }
     }
 }
 
@@ -229,12 +245,20 @@ mod tests {
 
     #[test]
     fn constructors_set_kind() {
-        let c = DomainConstraint::hard(Predicate::IsKey { label: "HOUSE-ID".into() });
+        let c = DomainConstraint::hard(Predicate::IsKey {
+            label: "HOUSE-ID".into(),
+        });
         assert_eq!(c.kind, ConstraintKind::Hard);
-        let c = DomainConstraint::soft(Predicate::AtMostK { label: "DESCRIPTION".into(), k: 3 });
+        let c = DomainConstraint::soft(Predicate::AtMostK {
+            label: "DESCRIPTION".into(),
+            k: 3,
+        });
         assert_eq!(c.kind, ConstraintKind::SoftBinary { cost: 1.0 });
         let c = DomainConstraint::numeric(
-            Predicate::Proximity { a: "AGENT-NAME".into(), b: "AGENT-PHONE".into() },
+            Predicate::Proximity {
+                a: "AGENT-NAME".into(),
+                b: "AGENT-PHONE".into(),
+            },
             0.1,
         );
         assert_eq!(c.kind, ConstraintKind::SoftNumeric { weight: 0.1 });
@@ -246,7 +270,10 @@ mod tests {
             outer: "AGENT-INFO".into(),
             inner: "AGENT-NAME".into(),
         });
-        assert_eq!(c.to_string(), "[hard] AGENT-NAME must be nested in AGENT-INFO");
+        assert_eq!(
+            c.to_string(),
+            "[hard] AGENT-NAME must be nested in AGENT-INFO"
+        );
     }
 
     #[test]

@@ -121,7 +121,11 @@ fn violation_measure(
     match predicate {
         Predicate::AtMostOne { label } => {
             let n = tags_with(label).len();
-            if n > 1 { (n - 1) as f64 } else { 0.0 }
+            if n > 1 {
+                (n - 1) as f64
+            } else {
+                0.0
+            }
         }
         Predicate::ExactlyOne { label } => {
             if ctx.labels.get(label).is_none() {
@@ -190,16 +194,20 @@ fn violation_measure(
             .iter()
             .filter(|&&t| ctx.data.has_duplicates(&ctx.tags[t]))
             .count() as f64,
-        Predicate::FunctionalDependency { determinants, dependent } => {
+        Predicate::FunctionalDependency {
+            determinants,
+            dependent,
+        } => {
             // First assigned tag per determinant label; decidable only when
             // every determinant and the dependent are present.
-            let det_tags: Option<Vec<usize>> =
-                determinants.iter().map(|d| tags_with(d).first().copied()).collect();
+            let det_tags: Option<Vec<usize>> = determinants
+                .iter()
+                .map(|d| tags_with(d).first().copied())
+                .collect();
             let dep_tag = tags_with(dependent).first().copied();
             match (det_tags, dep_tag) {
                 (Some(dets), Some(dep)) => {
-                    let det_names: Vec<&str> =
-                        dets.iter().map(|&t| ctx.tags[t].as_str()).collect();
+                    let det_names: Vec<&str> = dets.iter().map(|&t| ctx.tags[t].as_str()).collect();
                     if ctx.data.fd_refuted(&det_names, &ctx.tags[dep]) {
                         1.0
                     } else {
@@ -211,7 +219,11 @@ fn violation_measure(
         }
         Predicate::AtMostK { label, k } => {
             let n = tags_with(label).len();
-            if n > *k { (n - k) as f64 } else { 0.0 }
+            if n > *k {
+                (n - k) as f64
+            } else {
+                0.0
+            }
         }
         Predicate::Proximity { a, b } => {
             let mut measure = 0.0;
@@ -229,13 +241,17 @@ fn violation_measure(
         Predicate::IsNumeric { label } => tags_with(label)
             .iter()
             .filter(|&&t| {
-                ctx.data.numeric_fraction(&ctx.tags[t]).is_some_and(|f| f < 0.5)
+                ctx.data
+                    .numeric_fraction(&ctx.tags[t])
+                    .is_some_and(|f| f < 0.5)
             })
             .count() as f64,
         Predicate::IsTextual { label } => tags_with(label)
             .iter()
             .filter(|&&t| {
-                ctx.data.numeric_fraction(&ctx.tags[t]).is_some_and(|f| f > 0.5)
+                ctx.data
+                    .numeric_fraction(&ctx.tags[t])
+                    .is_some_and(|f| f > 0.5)
             })
             .count() as f64,
         Predicate::TagIs { tag, label } => match (ctx.tag_index(tag), ctx.labels.get(label)) {
@@ -248,15 +264,10 @@ fn violation_measure(
             }
             _ => 0.0,
         },
-        Predicate::TagIsNot { tag, label } => {
-            match (ctx.tag_index(tag), ctx.labels.get(label)) {
-                (Some(t), Some(lid))
-                    if assignment[t] == Some(lid) => {
-                        1.0
-                    }
-                _ => 0.0,
-            }
-        }
+        Predicate::TagIsNot { tag, label } => match (ctx.tag_index(tag), ctx.labels.get(label)) {
+            (Some(t), Some(lid)) if assignment[t] == Some(lid) => 1.0,
+            _ => 0.0,
+        },
     }
 }
 
@@ -281,7 +292,14 @@ mod tests {
     }
 
     fn labels() -> LabelSet {
-        LabelSet::new(["ADDRESS", "BATHS", "BEDS", "AGENT-INFO", "AGENT-NAME", "AGENT-PHONE"])
+        LabelSet::new([
+            "ADDRESS",
+            "BATHS",
+            "BEDS",
+            "AGENT-INFO",
+            "AGENT-NAME",
+            "AGENT-PHONE",
+        ])
     }
 
     struct Fixture {
@@ -295,17 +313,30 @@ mod tests {
             let schema = schema();
             let mut data =
                 SourceData::new(schema.tag_names().map(str::to_string).collect::<Vec<_>>());
-            data.push_row([("area", "Miami, FL"), ("baths", "2"), ("beds", "3"), ("phone", "(305) 111 2222")]);
-            data.push_row([("area", "Boston, MA"), ("baths", "2"), ("beds", "4"), ("phone", "(617) 333 4444")]);
-            Fixture { labels: labels(), schema, data }
+            data.push_row([
+                ("area", "Miami, FL"),
+                ("baths", "2"),
+                ("beds", "3"),
+                ("phone", "(305) 111 2222"),
+            ]);
+            data.push_row([
+                ("area", "Boston, MA"),
+                ("baths", "2"),
+                ("beds", "4"),
+                ("phone", "(617) 333 4444"),
+            ]);
+            Fixture {
+                labels: labels(),
+                schema,
+                data,
+            }
         }
 
         fn ctx(&self) -> MatchingContext<'_> {
-            let tags: Vec<String> =
-                ["area", "baths", "extra", "beds", "agent", "name", "phone"]
-                    .iter()
-                    .map(|s| s.to_string())
-                    .collect();
+            let tags: Vec<String> = ["area", "baths", "extra", "beds", "agent", "name", "phone"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
             let n = self.labels.len();
             let predictions = vec![Prediction::uniform(n); tags.len()];
             MatchingContext {
@@ -349,7 +380,9 @@ mod tests {
     fn at_most_one_violated_by_two() {
         let f = Fixture::new();
         let ctx = f.ctx();
-        let cs = [DomainConstraint::hard(Predicate::AtMostOne { label: "ADDRESS".into() })];
+        let cs = [DomainConstraint::hard(Predicate::AtMostOne {
+            label: "ADDRESS".into(),
+        })];
         let ok = assign(&ctx, &[("area", "ADDRESS")]);
         assert!(evaluate_partial(&ctx, &cs, &ok).is_finite());
         let bad = assign(&ctx, &[("area", "ADDRESS"), ("extra", "ADDRESS")]);
@@ -360,7 +393,9 @@ mod tests {
     fn exactly_one_checked_only_on_completion() {
         let f = Fixture::new();
         let ctx = f.ctx();
-        let cs = [DomainConstraint::hard(Predicate::ExactlyOne { label: "BATHS".into() })];
+        let cs = [DomainConstraint::hard(Predicate::ExactlyOne {
+            label: "BATHS".into(),
+        })];
         // Partial assignment without BATHS: not yet a violation.
         let partial = assign(&ctx, &[("area", "ADDRESS")]);
         assert!(evaluate_partial(&ctx, &cs, &partial).is_finite());
@@ -412,7 +447,10 @@ mod tests {
         let ok = assign(&ctx, &[("baths", "BATHS"), ("beds", "BEDS")]);
         assert!(evaluate_partial(&ctx, &cs, &ok).is_finite());
         // The tag between them assigned non-OTHER: violation.
-        let bad = assign(&ctx, &[("baths", "BATHS"), ("beds", "BEDS"), ("extra", "ADDRESS")]);
+        let bad = assign(
+            &ctx,
+            &[("baths", "BATHS"), ("beds", "BEDS"), ("extra", "ADDRESS")],
+        );
         assert_eq!(evaluate_partial(&ctx, &cs, &bad), INFEASIBLE);
         // Between-tag explicitly OTHER: fine.
         let mut okay2 = assign(&ctx, &[("baths", "BATHS"), ("beds", "BEDS")]);
@@ -441,7 +479,9 @@ mod tests {
     fn key_constraint_uses_data() {
         let f = Fixture::new();
         let ctx = f.ctx();
-        let cs = [DomainConstraint::hard(Predicate::IsKey { label: "BATHS".into() })];
+        let cs = [DomainConstraint::hard(Predicate::IsKey {
+            label: "BATHS".into(),
+        })];
         // "baths" column is [2, 2]: duplicates → cannot be a key.
         let bad = assign(&ctx, &[("baths", "BATHS")]);
         assert_eq!(evaluate_partial(&ctx, &cs, &bad), INFEASIBLE);
@@ -473,7 +513,10 @@ mod tests {
     fn soft_binary_adds_finite_cost() {
         let f = Fixture::new();
         let ctx = f.ctx();
-        let cs = [DomainConstraint::soft(Predicate::AtMostK { label: "ADDRESS".into(), k: 1 })];
+        let cs = [DomainConstraint::soft(Predicate::AtMostK {
+            label: "ADDRESS".into(),
+            k: 1,
+        })];
         let one = assign(&ctx, &[("area", "ADDRESS")]);
         let two = assign(&ctx, &[("area", "ADDRESS"), ("extra", "ADDRESS")]);
         let c1 = evaluate_partial(&ctx, &cs, &one);
@@ -490,7 +533,10 @@ mod tests {
         let f = Fixture::new();
         let ctx = f.ctx();
         let cs = [DomainConstraint::numeric(
-            Predicate::Proximity { a: "AGENT-NAME".into(), b: "AGENT-PHONE".into() },
+            Predicate::Proximity {
+                a: "AGENT-NAME".into(),
+                b: "AGENT-PHONE".into(),
+            },
             1.0,
         )];
         // name & phone are siblings (distance 2 → excess 0).
@@ -507,14 +553,18 @@ mod tests {
     fn type_constraints_prune_by_data() {
         let f = Fixture::new();
         let ctx = f.ctx();
-        let numeric = [DomainConstraint::hard(Predicate::IsNumeric { label: "BATHS".into() })];
+        let numeric = [DomainConstraint::hard(Predicate::IsNumeric {
+            label: "BATHS".into(),
+        })];
         // "area" values are textual → IsNumeric violated.
         let bad = assign(&ctx, &[("area", "BATHS")]);
         assert_eq!(evaluate_partial(&ctx, &numeric, &bad), INFEASIBLE);
         let ok = assign(&ctx, &[("baths", "BATHS")]);
         assert!(evaluate_partial(&ctx, &numeric, &ok).is_finite());
 
-        let textual = [DomainConstraint::hard(Predicate::IsTextual { label: "ADDRESS".into() })];
+        let textual = [DomainConstraint::hard(Predicate::IsTextual {
+            label: "ADDRESS".into(),
+        })];
         let bad = assign(&ctx, &[("beds", "ADDRESS")]);
         assert_eq!(evaluate_partial(&ctx, &textual, &bad), INFEASIBLE);
     }
@@ -524,7 +574,10 @@ mod tests {
         let f = Fixture::new();
         let ctx = f.ctx();
         let cs = [
-            DomainConstraint::hard(Predicate::TagIs { tag: "area".into(), label: "ADDRESS".into() }),
+            DomainConstraint::hard(Predicate::TagIs {
+                tag: "area".into(),
+                label: "ADDRESS".into(),
+            }),
             DomainConstraint::hard(Predicate::TagIsNot {
                 tag: "extra".into(),
                 label: "ADDRESS".into(),
@@ -542,7 +595,9 @@ mod tests {
     fn unknown_labels_in_constraints_are_inert() {
         let f = Fixture::new();
         let ctx = f.ctx();
-        let cs = [DomainConstraint::hard(Predicate::AtMostOne { label: "NO-SUCH-LABEL".into() })];
+        let cs = [DomainConstraint::hard(Predicate::AtMostOne {
+            label: "NO-SUCH-LABEL".into(),
+        })];
         let a = assign(&ctx, &[("area", "ADDRESS")]);
         assert!(evaluate_partial(&ctx, &cs, &a).is_finite());
     }

@@ -14,9 +14,11 @@
 //! `ExactlyOne` constraints are re-inserted so pruning cannot make the
 //! problem artificially infeasible.
 
+use crate::compiled::CompiledConstraintSet;
 use crate::constraint::{ConstraintKind, DomainConstraint, Predicate};
 use crate::evaluate::MatchingContext;
-use crate::search::{search_mapping, MappingResult, SearchConfig};
+use crate::search::{search_mapping_compiled, MappingResult, SearchConfig};
+use lsd_learn::LabelSet;
 
 /// The constraint handler: domain constraints + search configuration.
 ///
@@ -119,13 +121,38 @@ impl ConstraintHandler {
         ctx: &MatchingContext<'_>,
         feedback: &[DomainConstraint],
     ) -> MappingResult {
+        let domain = self.compiled(ctx.labels);
+        self.find_mapping_precompiled(ctx, &domain, feedback)
+    }
+
+    /// Resolves the domain constraints against a label set once, so the
+    /// result can be shared (read-only) by many per-source searches. The
+    /// batch engine calls this before fanning sources out to workers.
+    pub fn compiled(&self, labels: &LabelSet) -> CompiledConstraintSet {
+        CompiledConstraintSet::compile(labels, &self.constraints)
+    }
+
+    /// [`Self::find_mapping_with_feedback`] over a constraint set already
+    /// compiled by [`Self::compiled`]. Feedback constraints (per-source by
+    /// definition) are compiled on the spot and layered on top.
+    pub fn find_mapping_precompiled(
+        &self,
+        ctx: &MatchingContext<'_>,
+        domain: &CompiledConstraintSet,
+        feedback: &[DomainConstraint],
+    ) -> MappingResult {
+        let order = refinement_order(ctx);
+        if feedback.is_empty() {
+            let candidates = self.prepare_candidates(ctx, &self.constraints);
+            return search_mapping_compiled(ctx, domain, &candidates, &order, self.config);
+        }
         let mut all: Vec<DomainConstraint> =
             Vec::with_capacity(self.constraints.len() + feedback.len());
         all.extend(self.constraints.iter().cloned());
         all.extend(feedback.iter().cloned());
         let candidates = self.prepare_candidates(ctx, &all);
-        let order = refinement_order(ctx);
-        search_mapping(ctx, &all, &candidates, &order, self.config)
+        let extended = domain.with_extra(ctx.labels, feedback);
+        search_mapping_compiled(ctx, &extended, &candidates, &order, self.config)
     }
 
     /// Builds the pruned candidate label sets per tag.
@@ -153,15 +180,21 @@ impl ConstraintHandler {
         // Hard type constraints prune labels whose data is incompatible
         // (cheap pre-processing, Section 7).
         for c in constraints {
-            let ConstraintKind::Hard = c.kind else { continue };
+            let ConstraintKind::Hard = c.kind else {
+                continue;
+            };
             let (label, want_numeric) = match &c.predicate {
                 Predicate::IsNumeric { label } => (label, true),
                 Predicate::IsTextual { label } => (label, false),
                 _ => continue,
             };
-            let Some(lid) = ctx.labels.get(label) else { continue };
+            let Some(lid) = ctx.labels.get(label) else {
+                continue;
+            };
             for (t, cands) in candidates.iter_mut().enumerate() {
-                let Some(frac) = ctx.data.numeric_fraction(&ctx.tags[t]) else { continue };
+                let Some(frac) = ctx.data.numeric_fraction(&ctx.tags[t]) else {
+                    continue;
+                };
                 let incompatible = if want_numeric { frac < 0.5 } else { frac > 0.5 };
                 if incompatible {
                     cands.retain(|&l| l != lid);
@@ -177,7 +210,9 @@ impl ConstraintHandler {
         // of the search degrades to greedy completion.
         let mut pinned: Vec<Option<usize>> = vec![None; ctx.tags.len()];
         for c in constraints {
-            let ConstraintKind::Hard = c.kind else { continue };
+            let ConstraintKind::Hard = c.kind else {
+                continue;
+            };
             match &c.predicate {
                 Predicate::TagIs { tag, label } => {
                     if let (Some(t), Some(lid)) = (ctx.tag_index(tag), ctx.labels.get(label)) {
@@ -209,7 +244,9 @@ impl ConstraintHandler {
             else {
                 continue;
             };
-            let Some(lid) = ctx.labels.get(label) else { continue };
+            let Some(lid) = ctx.labels.get(label) else {
+                continue;
+            };
             let placeable = (0..ctx.tags.len()).any(|t| match pinned[t] {
                 Some(p) => p == lid,
                 None => candidates[t].contains(&lid),
@@ -218,8 +255,9 @@ impl ConstraintHandler {
                 continue;
             }
             // Re-insert for the three unpinned tags that score it highest.
-            let mut by_score: Vec<usize> =
-                (0..ctx.tags.len()).filter(|&t| pinned[t].is_none()).collect();
+            let mut by_score: Vec<usize> = (0..ctx.tags.len())
+                .filter(|&t| pinned[t].is_none())
+                .collect();
             by_score.sort_by(|&a, &b| {
                 ctx.predictions[b]
                     .score(lid)
@@ -283,7 +321,13 @@ mod tests {
                 ("price", "$250,000"),
             ]);
             Fixture {
-                labels: LabelSet::new(["CONTACT-INFO", "AGENT-NAME", "AGENT-PHONE", "ADDRESS", "PRICE"]),
+                labels: LabelSet::new([
+                    "CONTACT-INFO",
+                    "AGENT-NAME",
+                    "AGENT-PHONE",
+                    "ADDRESS",
+                    "PRICE",
+                ]),
                 schema,
                 data,
             }
@@ -304,7 +348,13 @@ mod tests {
                 labels: &self.labels,
                 schema: &self.schema,
                 tags,
-                predictions: vec![peak(0, 0.6), peak(1, 0.7), peak(2, 0.8), peak(3, 0.7), peak(4, 0.9)],
+                predictions: vec![
+                    peak(0, 0.6),
+                    peak(1, 0.7),
+                    peak(2, 0.8),
+                    peak(3, 0.7),
+                    peak(4, 0.9),
+                ],
                 data: &self.data,
                 alpha: 1.0,
             }
@@ -361,7 +411,9 @@ mod tests {
     #[test]
     fn type_preprocessing_blocks_textual_tag_from_numeric_label() {
         let f = Fixture::new();
-        let cs = vec![DomainConstraint::hard(Predicate::IsNumeric { label: "PRICE".into() })];
+        let cs = vec![DomainConstraint::hard(Predicate::IsNumeric {
+            label: "PRICE".into(),
+        })];
         let h = ConstraintHandler::new(cs);
         let ctx = f.ctx();
         // Even if the learners preferred PRICE for `area`, the handler must
@@ -386,7 +438,9 @@ mod tests {
     #[test]
     fn exactly_one_reinserted_after_pruning() {
         let f = Fixture::new();
-        let cs = vec![DomainConstraint::hard(Predicate::ExactlyOne { label: "PRICE".into() })];
+        let cs = vec![DomainConstraint::hard(Predicate::ExactlyOne {
+            label: "PRICE".into(),
+        })];
         let h = ConstraintHandler::new(cs).with_candidate_limit(1);
         let ctx = f.ctx();
         let r = h.find_mapping(&ctx);
@@ -399,7 +453,9 @@ mod tests {
     fn add_constraint_mutates() {
         let mut h = ConstraintHandler::new(vec![]);
         assert!(h.constraints().is_empty());
-        h.add_constraint(DomainConstraint::hard(Predicate::AtMostOne { label: "X".into() }));
+        h.add_constraint(DomainConstraint::hard(Predicate::AtMostOne {
+            label: "X".into(),
+        }));
         assert_eq!(h.constraints().len(), 1);
     }
 }

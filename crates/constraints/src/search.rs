@@ -12,11 +12,11 @@
 //! completed greedily. Beam search and pure greedy are provided as the
 //! ablation baselines (`ablation_search` bench).
 
-use crate::compiled::{Evaluator, Scratch};
-use crate::constraint::{ConstraintKind, DomainConstraint, Predicate};
-use crate::evaluate::{MatchingContext, INFEASIBLE};
+use crate::compiled::{CompiledConstraintSet, Evaluator, Scratch};
+use crate::constraint::DomainConstraint;
 #[cfg(test)]
 use crate::evaluate::evaluate_partial;
+use crate::evaluate::{MatchingContext, INFEASIBLE};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -43,7 +43,9 @@ pub enum SearchAlgorithm {
 
 impl Default for SearchAlgorithm {
     fn default() -> Self {
-        SearchAlgorithm::AStar { max_expansions: 20_000 }
+        SearchAlgorithm::AStar {
+            max_expansions: 20_000,
+        }
     }
 }
 
@@ -63,7 +65,10 @@ pub struct SearchConfig {
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        SearchConfig { algorithm: SearchAlgorithm::default(), heuristic_weight: 1.2 }
+        SearchConfig {
+            algorithm: SearchAlgorithm::default(),
+            heuristic_weight: 1.2,
+        }
     }
 }
 
@@ -142,20 +147,12 @@ struct Deadlines {
 }
 
 impl Deadlines {
-    fn new(
-        ctx: &MatchingContext<'_>,
-        constraints: &[DomainConstraint],
-        candidates: &[Vec<usize>],
-        order: &[usize],
-    ) -> Self {
+    /// `mandatory` lists the label indices demanded by hard `ExactlyOne`
+    /// constraints (see [`CompiledConstraintSet::mandatory_labels`]).
+    fn new(mandatory: &[usize], candidates: &[Vec<usize>], order: &[usize]) -> Self {
         let mut due = vec![Vec::new(); order.len()];
         let mut unplaceable = false;
-        for c in constraints {
-            let (ConstraintKind::Hard, Predicate::ExactlyOne { label }) = (&c.kind, &c.predicate)
-            else {
-                continue;
-            };
-            let Some(lid) = ctx.labels.get(label) else { continue };
+        for &lid in mandatory {
             let last = order
                 .iter()
                 .enumerate()
@@ -173,9 +170,7 @@ impl Deadlines {
     /// True if the assignment may continue past position `pos` (every label
     /// due by `pos` has been placed).
     fn satisfied(&self, pos: usize, assignment: &[Option<usize>]) -> bool {
-        self.due[pos]
-            .iter()
-            .all(|&l| assignment.contains(&Some(l)))
+        self.due[pos].iter().all(|&l| assignment.contains(&Some(l)))
     }
 }
 
@@ -189,10 +184,24 @@ pub fn search_mapping(
     order: &[usize],
     config: SearchConfig,
 ) -> MappingResult {
+    let set = CompiledConstraintSet::compile(ctx.labels, constraints);
+    search_mapping_compiled(ctx, &set, candidates, order, config)
+}
+
+/// [`search_mapping`] over a pre-compiled constraint set. The batch engine
+/// compiles the domain constraints once and calls this per source, sharing
+/// one `&CompiledConstraintSet` across worker threads.
+pub fn search_mapping_compiled(
+    ctx: &MatchingContext<'_>,
+    set: &CompiledConstraintSet,
+    candidates: &[Vec<usize>],
+    order: &[usize],
+    config: SearchConfig,
+) -> MappingResult {
     debug_assert_eq!(candidates.len(), ctx.tags.len());
     debug_assert_eq!(order.len(), ctx.tags.len());
-    let evaluator = Evaluator::new(ctx, constraints);
-    let deadlines = Deadlines::new(ctx, constraints, candidates, order);
+    let evaluator = Evaluator::with_compiled(ctx, set);
+    let deadlines = Deadlines::new(&set.mandatory_labels(), candidates, order);
     let mut scratch = evaluator.scratch();
     let result = if deadlines.unplaceable {
         None
@@ -208,9 +217,15 @@ pub fn search_mapping(
                 max_expansions,
                 config.heuristic_weight,
             ),
-            SearchAlgorithm::Beam { width } => {
-                beam(ctx, &evaluator, &deadlines, &mut scratch, candidates, order, width)
-            }
+            SearchAlgorithm::Beam { width } => beam(
+                ctx,
+                &evaluator,
+                &deadlines,
+                &mut scratch,
+                candidates,
+                order,
+                width,
+            ),
             SearchAlgorithm::Greedy => {
                 greedy(ctx, &evaluator, &deadlines, &mut scratch, candidates, order)
             }
@@ -237,7 +252,10 @@ fn astar(
     heuristic_weight: f64,
 ) -> Option<MappingResult> {
     let q = ctx.tags.len();
-    let mut stats = SearchStats { optimal: heuristic_weight <= 1.0, ..Default::default() };
+    let mut stats = SearchStats {
+        optimal: heuristic_weight <= 1.0,
+        ..Default::default()
+    };
     let mut open = BinaryHeap::new();
     let root = Node {
         assignment: vec![None; q],
@@ -249,8 +267,11 @@ fn astar(
 
     while let Some(node) = open.pop() {
         if node.depth == q {
-            let assignment: Vec<usize> =
-                node.assignment.iter().map(|a| a.expect("complete")).collect();
+            let assignment: Vec<usize> = node
+                .assignment
+                .iter()
+                .map(|a| a.expect("complete"))
+                .collect();
             return Some(MappingResult {
                 assignment,
                 cost: node.g,
@@ -279,7 +300,12 @@ fn astar(
             }
             stats.generated += 1;
             let f = g + heuristic_weight * heuristic(evaluator, order, node.depth + 1);
-            open.push(Node { assignment, depth: node.depth + 1, g, f });
+            open.push(Node {
+                assignment,
+                depth: node.depth + 1,
+                g,
+                f,
+            });
         }
     }
     None // no feasible complete mapping under the candidate sets
@@ -320,7 +346,10 @@ fn complete_greedily(
         return None;
     }
     Some(MappingResult {
-        assignment: assignment.into_iter().map(|a| a.expect("complete")).collect(),
+        assignment: assignment
+            .into_iter()
+            .map(|a| a.expect("complete"))
+            .collect(),
         cost,
         feasible: true,
         stats,
@@ -360,7 +389,12 @@ fn beam(
                     continue;
                 }
                 stats.generated += 1;
-                next.push(Node { assignment, depth: node.depth + 1, g, f: g });
+                next.push(Node {
+                    assignment,
+                    depth: node.depth + 1,
+                    g,
+                    f: g,
+                });
             }
         }
         if next.is_empty() {
@@ -370,11 +404,15 @@ fn beam(
         next.truncate(width);
         level = next;
     }
-    let best = level.into_iter().min_by(|a, b| {
-        a.g.partial_cmp(&b.g).unwrap_or(Ordering::Equal)
-    })?;
+    let best = level
+        .into_iter()
+        .min_by(|a, b| a.g.partial_cmp(&b.g).unwrap_or(Ordering::Equal))?;
     Some(MappingResult {
-        assignment: best.assignment.into_iter().map(|a| a.expect("complete")).collect(),
+        assignment: best
+            .assignment
+            .into_iter()
+            .map(|a| a.expect("complete"))
+            .collect(),
         cost: best.g,
         feasible: true,
         stats,
@@ -396,7 +434,9 @@ fn greedy(
         g: 0.0,
         f: 0.0,
     };
-    complete_greedily(evaluator, deadlines, scratch, candidates, order, node, stats)
+    complete_greedily(
+        evaluator, deadlines, scratch, candidates, order, node, stats,
+    )
 }
 
 /// Last resort when no feasible mapping exists (e.g. contradictory hard
@@ -418,14 +458,21 @@ fn fallback_argmax(
                 .iter()
                 .copied()
                 .max_by(|&a, &b| {
-                    p.score(a).partial_cmp(&p.score(b)).unwrap_or(std::cmp::Ordering::Equal)
+                    p.score(a)
+                        .partial_cmp(&p.score(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .unwrap_or_else(|| p.best_label())
         })
         .collect();
     let opt: Vec<Option<usize>> = assignment.iter().map(|&l| Some(l)).collect();
     let cost = evaluator.evaluate(&opt, scratch);
-    MappingResult { assignment, cost, feasible: false, stats: SearchStats::default() }
+    MappingResult {
+        assignment,
+        cost,
+        feasible: false,
+        stats: SearchStats::default(),
+    }
 }
 
 #[cfg(test)]
@@ -456,7 +503,11 @@ mod tests {
                 SourceData::new(schema.tag_names().map(str::to_string).collect::<Vec<_>>());
             data.push_row([("area", "Miami"), ("price", "100"), ("extra", "nice")]);
             data.push_row([("area", "Boston"), ("price", "100"), ("extra", "nice")]);
-            Fixture { labels: LabelSet::new(["ADDRESS", "PRICE"]), schema, data }
+            Fixture {
+                labels: LabelSet::new(["ADDRESS", "PRICE"]),
+                schema,
+                data,
+            }
         }
 
         /// Context where `area` and `extra` both look like ADDRESS, with
@@ -490,7 +541,10 @@ mod tests {
             constraints,
             &candidates,
             &order,
-            SearchConfig { algorithm: alg, heuristic_weight: 1.0 },
+            SearchConfig {
+                algorithm: alg,
+                heuristic_weight: 1.0,
+            },
         )
     }
 
@@ -498,7 +552,9 @@ mod tests {
     fn unconstrained_search_is_argmax() {
         let f = Fixture::new();
         for alg in [
-            SearchAlgorithm::AStar { max_expansions: 10_000 },
+            SearchAlgorithm::AStar {
+                max_expansions: 10_000,
+            },
             SearchAlgorithm::Beam { width: 8 },
             SearchAlgorithm::Greedy,
         ] {
@@ -512,8 +568,16 @@ mod tests {
     #[test]
     fn at_most_one_forces_weaker_tag_elsewhere() {
         let f = Fixture::new();
-        let cs = [DomainConstraint::hard(Predicate::AtMostOne { label: "ADDRESS".into() })];
-        let r = run(&f, &cs, SearchAlgorithm::AStar { max_expansions: 10_000 });
+        let cs = [DomainConstraint::hard(Predicate::AtMostOne {
+            label: "ADDRESS".into(),
+        })];
+        let r = run(
+            &f,
+            &cs,
+            SearchAlgorithm::AStar {
+                max_expansions: 10_000,
+            },
+        );
         assert!(r.feasible);
         assert!(r.stats.optimal);
         // `area` keeps ADDRESS (stronger), `extra` must move to OTHER
@@ -526,8 +590,13 @@ mod tests {
     fn astar_result_is_optimal_vs_exhaustive() {
         let f = Fixture::new();
         let cs = [
-            DomainConstraint::hard(Predicate::AtMostOne { label: "ADDRESS".into() }),
-            DomainConstraint::soft(Predicate::AtMostK { label: "PRICE".into(), k: 1 }),
+            DomainConstraint::hard(Predicate::AtMostOne {
+                label: "ADDRESS".into(),
+            }),
+            DomainConstraint::soft(Predicate::AtMostK {
+                label: "PRICE".into(),
+                k: 1,
+            }),
         ];
         let ctx = f.ctx();
         let n = ctx.labels.len();
@@ -536,15 +605,20 @@ mod tests {
         for a in 0..n {
             for b in 0..n {
                 for c in 0..n {
-                    let cost =
-                        evaluate_partial(&ctx, &cs, &[Some(a), Some(b), Some(c)]);
+                    let cost = evaluate_partial(&ctx, &cs, &[Some(a), Some(b), Some(c)]);
                     if cost < best_cost {
                         best_cost = cost;
                     }
                 }
             }
         }
-        let r = run(&f, &cs, SearchAlgorithm::AStar { max_expansions: 10_000 });
+        let r = run(
+            &f,
+            &cs,
+            SearchAlgorithm::AStar {
+                max_expansions: 10_000,
+            },
+        );
         assert!((r.cost - best_cost).abs() < 1e-9);
     }
 
@@ -561,13 +635,22 @@ mod tests {
     fn contradictory_hard_constraints_fall_back_to_argmax() {
         let f = Fixture::new();
         let cs = [
-            DomainConstraint::hard(Predicate::TagIs { tag: "area".into(), label: "PRICE".into() }),
+            DomainConstraint::hard(Predicate::TagIs {
+                tag: "area".into(),
+                label: "PRICE".into(),
+            }),
             DomainConstraint::hard(Predicate::TagIsNot {
                 tag: "area".into(),
                 label: "PRICE".into(),
             }),
         ];
-        let r = run(&f, &cs, SearchAlgorithm::AStar { max_expansions: 10_000 });
+        let r = run(
+            &f,
+            &cs,
+            SearchAlgorithm::AStar {
+                max_expansions: 10_000,
+            },
+        );
         assert!(!r.feasible);
         assert_eq!(r.assignment, vec![0, 1, 0]);
     }
@@ -579,7 +662,13 @@ mod tests {
             tag: "extra".into(),
             label: "PRICE".into(),
         })];
-        let r = run(&f, &cs, SearchAlgorithm::AStar { max_expansions: 10_000 });
+        let r = run(
+            &f,
+            &cs,
+            SearchAlgorithm::AStar {
+                max_expansions: 10_000,
+            },
+        );
         assert!(r.feasible);
         assert_eq!(r.assignment[2], 1);
     }
@@ -587,7 +676,9 @@ mod tests {
     #[test]
     fn beam_width_one_equals_greedy() {
         let f = Fixture::new();
-        let cs = [DomainConstraint::hard(Predicate::AtMostOne { label: "ADDRESS".into() })];
+        let cs = [DomainConstraint::hard(Predicate::AtMostOne {
+            label: "ADDRESS".into(),
+        })];
         let beam = run(&f, &cs, SearchAlgorithm::Beam { width: 1 });
         let greedy = run(&f, &cs, SearchAlgorithm::Greedy);
         assert_eq!(beam.assignment, greedy.assignment);
@@ -596,7 +687,13 @@ mod tests {
     #[test]
     fn stats_are_populated() {
         let f = Fixture::new();
-        let r = run(&f, &[], SearchAlgorithm::AStar { max_expansions: 10_000 });
+        let r = run(
+            &f,
+            &[],
+            SearchAlgorithm::AStar {
+                max_expansions: 10_000,
+            },
+        );
         assert!(r.stats.expansions > 0);
         assert!(r.stats.generated >= r.stats.expansions);
     }

@@ -31,15 +31,26 @@ struct SourceDataParts {
 
 impl From<SourceDataParts> for SourceData {
     fn from(parts: SourceDataParts) -> Self {
-        let tag_index =
-            parts.tags.iter().enumerate().map(|(i, t)| (t.clone(), i)).collect();
-        SourceData { tags: parts.tags, tag_index, rows: parts.rows }
+        let tag_index = parts
+            .tags
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        SourceData {
+            tags: parts.tags,
+            tag_index,
+            rows: parts.rows,
+        }
     }
 }
 
 impl From<SourceData> for SourceDataParts {
     fn from(data: SourceData) -> Self {
-        SourceDataParts { tags: data.tags, rows: data.rows }
+        SourceDataParts {
+            tags: data.tags,
+            rows: data.rows,
+        }
     }
 }
 
@@ -51,8 +62,16 @@ impl SourceData {
         S: Into<String>,
     {
         let tags: Vec<String> = tags.into_iter().map(Into::into).collect();
-        let tag_index = tags.iter().enumerate().map(|(i, t)| (t.clone(), i)).collect();
-        SourceData { tags, tag_index, rows: Vec::new() }
+        let tag_index = tags
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        SourceData {
+            tags,
+            tag_index,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one listing given `(tag, value)` pairs; tags not present in
@@ -198,9 +217,27 @@ mod tests {
 
     fn sample() -> SourceData {
         let mut d = SourceData::new(["id", "beds", "price", "city", "zip"]);
-        d.push_row([("id", "1"), ("beds", "3"), ("price", "$250,000"), ("city", "Miami"), ("zip", "33101")]);
-        d.push_row([("id", "2"), ("beds", "3"), ("price", "$110,000"), ("city", "Boston"), ("zip", "02108")]);
-        d.push_row([("id", "3"), ("beds", "2"), ("price", "$90,000"), ("city", "Miami"), ("zip", "33101")]);
+        d.push_row([
+            ("id", "1"),
+            ("beds", "3"),
+            ("price", "$250,000"),
+            ("city", "Miami"),
+            ("zip", "33101"),
+        ]);
+        d.push_row([
+            ("id", "2"),
+            ("beds", "3"),
+            ("price", "$110,000"),
+            ("city", "Boston"),
+            ("zip", "02108"),
+        ]);
+        d.push_row([
+            ("id", "3"),
+            ("beds", "2"),
+            ("price", "$90,000"),
+            ("city", "Miami"),
+            ("zip", "33101"),
+        ]);
         d
     }
 
@@ -217,7 +254,10 @@ mod tests {
     fn key_refutation() {
         let d = sample();
         assert!(!d.has_duplicates("id"), "id is a key in the sample");
-        assert!(d.has_duplicates("beds"), "beds has duplicates → cannot be a key");
+        assert!(
+            d.has_duplicates("beds"),
+            "beds has duplicates → cannot be a key"
+        );
     }
 
     #[test]

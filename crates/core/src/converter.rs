@@ -97,17 +97,32 @@ mod tests {
 
     #[test]
     fn empty_column_is_uniform_under_every_rule() {
-        for rule in [CombinationRule::Average, CombinationRule::Max, CombinationRule::Median] {
+        for rule in [
+            CombinationRule::Average,
+            CombinationRule::Max,
+            CombinationRule::Median,
+        ] {
             let p = convert_column_with(&[], 4, rule);
-            assert!(p.scores().iter().all(|&s| (s - 0.25).abs() < 1e-12), "{rule:?}");
+            assert!(
+                p.scores().iter().all(|&s| (s - 0.25).abs() < 1e-12),
+                "{rule:?}"
+            );
         }
     }
 
     #[test]
     fn single_instance_passes_through() {
         let p = Prediction::from_scores(vec![0.6, 0.4]);
-        for rule in [CombinationRule::Average, CombinationRule::Max, CombinationRule::Median] {
-            assert_eq!(convert_column_with(std::slice::from_ref(&p), 2, rule), p, "{rule:?}");
+        for rule in [
+            CombinationRule::Average,
+            CombinationRule::Max,
+            CombinationRule::Median,
+        ] {
+            assert_eq!(
+                convert_column_with(std::slice::from_ref(&p), 2, rule),
+                p,
+                "{rule:?}"
+            );
         }
     }
 
@@ -143,9 +158,16 @@ mod tests {
 
     #[test]
     fn outputs_are_distributions() {
-        for rule in [CombinationRule::Average, CombinationRule::Max, CombinationRule::Median] {
+        for rule in [
+            CombinationRule::Average,
+            CombinationRule::Max,
+            CombinationRule::Median,
+        ] {
             let p = convert_column_with(&preds(), 3, rule);
-            assert!((p.scores().iter().sum::<f64>() - 1.0).abs() < 1e-9, "{rule:?}");
+            assert!(
+                (p.scores().iter().sum::<f64>() - 1.0).abs() < 1e-9,
+                "{rule:?}"
+            );
         }
     }
 }

@@ -8,29 +8,161 @@
 
 /// Real U.S. county names (lowercase, without the word "county").
 pub const US_COUNTIES: &[&str] = &[
-    "king", "pierce", "snohomish", "spokane", "clark", "thurston", "kitsap", "yakima",
-    "whatcom", "benton", "skagit", "cowlitz", "grant", "franklin", "island", "lewis",
-    "chelan", "clallam", "grays harbor", "mason", "walla walla", "whitman", "stevens",
-    "okanogan", "jefferson", "douglas", "kittitas", "pacific", "klickitat", "asotin",
-    "adams", "lincoln", "pend oreille", "ferry", "wahkiakum", "san juan", "columbia",
-    "garfield", "miami-dade", "broward", "palm beach", "hillsborough", "orange",
-    "pinellas", "duval", "lee", "polk", "brevard", "volusia", "pasco", "seminole",
-    "sarasota", "manatee", "collier", "marion", "osceola", "lake", "escambia",
-    "leon", "alachua", "st. johns", "suffolk", "nassau", "westchester", "erie",
-    "monroe", "richmond", "oneida", "niagara", "oswego", "dutchess", "albany",
-    "cook", "dupage", "will", "kane", "mclean", "peoria", "sangamon", "champaign",
-    "madison", "st. clair", "winnebago", "rock island", "la salle", "knox",
-    "los angeles", "san diego", "riverside", "san bernardino", "santa clara",
-    "alameda", "sacramento", "contra costa", "fresno", "kern", "ventura",
-    "san francisco", "san mateo", "stanislaus", "sonoma", "tulare", "santa barbara",
-    "solano", "monterey", "placer", "san joaquin", "merced", "santa cruz", "marin",
-    "butte", "yolo", "el dorado", "imperial", "shasta", "harris", "dallas",
-    "tarrant", "bexar", "travis", "collin", "denton", "el paso", "fort bend",
-    "hidalgo", "montgomery", "williamson", "cameron", "nueces", "brazoria",
-    "galveston", "bell", "lubbock", "webb", "jefferson davis", "mclennan",
-    "middlesex", "worcester", "essex", "norfolk", "bristol", "plymouth",
-    "hampden", "barnstable", "hampshire", "berkshire", "multnomah", "washington",
-    "clackamas", "lane", "jackson", "deschutes", "linn", "yamhill", "benton hills",
+    "king",
+    "pierce",
+    "snohomish",
+    "spokane",
+    "clark",
+    "thurston",
+    "kitsap",
+    "yakima",
+    "whatcom",
+    "benton",
+    "skagit",
+    "cowlitz",
+    "grant",
+    "franklin",
+    "island",
+    "lewis",
+    "chelan",
+    "clallam",
+    "grays harbor",
+    "mason",
+    "walla walla",
+    "whitman",
+    "stevens",
+    "okanogan",
+    "jefferson",
+    "douglas",
+    "kittitas",
+    "pacific",
+    "klickitat",
+    "asotin",
+    "adams",
+    "lincoln",
+    "pend oreille",
+    "ferry",
+    "wahkiakum",
+    "san juan",
+    "columbia",
+    "garfield",
+    "miami-dade",
+    "broward",
+    "palm beach",
+    "hillsborough",
+    "orange",
+    "pinellas",
+    "duval",
+    "lee",
+    "polk",
+    "brevard",
+    "volusia",
+    "pasco",
+    "seminole",
+    "sarasota",
+    "manatee",
+    "collier",
+    "marion",
+    "osceola",
+    "lake",
+    "escambia",
+    "leon",
+    "alachua",
+    "st. johns",
+    "suffolk",
+    "nassau",
+    "westchester",
+    "erie",
+    "monroe",
+    "richmond",
+    "oneida",
+    "niagara",
+    "oswego",
+    "dutchess",
+    "albany",
+    "cook",
+    "dupage",
+    "will",
+    "kane",
+    "mclean",
+    "peoria",
+    "sangamon",
+    "champaign",
+    "madison",
+    "st. clair",
+    "winnebago",
+    "rock island",
+    "la salle",
+    "knox",
+    "los angeles",
+    "san diego",
+    "riverside",
+    "san bernardino",
+    "santa clara",
+    "alameda",
+    "sacramento",
+    "contra costa",
+    "fresno",
+    "kern",
+    "ventura",
+    "san francisco",
+    "san mateo",
+    "stanislaus",
+    "sonoma",
+    "tulare",
+    "santa barbara",
+    "solano",
+    "monterey",
+    "placer",
+    "san joaquin",
+    "merced",
+    "santa cruz",
+    "marin",
+    "butte",
+    "yolo",
+    "el dorado",
+    "imperial",
+    "shasta",
+    "harris",
+    "dallas",
+    "tarrant",
+    "bexar",
+    "travis",
+    "collin",
+    "denton",
+    "el paso",
+    "fort bend",
+    "hidalgo",
+    "montgomery",
+    "williamson",
+    "cameron",
+    "nueces",
+    "brazoria",
+    "galveston",
+    "bell",
+    "lubbock",
+    "webb",
+    "jefferson davis",
+    "mclennan",
+    "middlesex",
+    "worcester",
+    "essex",
+    "norfolk",
+    "bristol",
+    "plymouth",
+    "hampden",
+    "barnstable",
+    "hampshire",
+    "berkshire",
+    "multnomah",
+    "washington",
+    "clackamas",
+    "lane",
+    "jackson",
+    "deschutes",
+    "linn",
+    "yamhill",
+    "benton hills",
 ];
 
 /// True if `value` is a U.S. county name, optionally suffixed with the word

@@ -1,0 +1,100 @@
+//! The error type of the public LSD pipeline API.
+//!
+//! Every fallible entry point on [`crate::Lsd`] and [`crate::LsdBuilder`]
+//! returns [`LsdError`] instead of panicking, so misuse (building without
+//! learners, matching before training, feeding a malformed source DTD) is
+//! reportable and recoverable — a requirement for the batch engine, where
+//! one bad source must not take down the other workers.
+
+use crate::persist::PersistError;
+use std::fmt;
+
+/// Errors from the LSD pipeline.
+#[derive(Debug)]
+pub enum LsdError {
+    /// [`crate::LsdBuilder::build`] was called without any base learner
+    /// (and without the XML learner).
+    NoLearners,
+    /// A matching entry point was called before [`crate::Lsd::train`].
+    NotTrained {
+        /// The operation that was attempted, e.g. `match_source`.
+        operation: &'static str,
+    },
+    /// [`crate::Lsd::train`] was given sources that produced no training
+    /// examples (empty source list, or no listings in any source).
+    NoTrainingData,
+    /// A source DTD could not be turned into a schema tree (unclosed or
+    /// rootless grammar).
+    InvalidSchema {
+        /// The source's display name.
+        source: String,
+        /// What the schema builder rejected.
+        detail: String,
+    },
+    /// Saving or loading a model failed.
+    Persist(PersistError),
+}
+
+impl fmt::Display for LsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LsdError::NoLearners => {
+                write!(f, "LSD needs at least one base learner before build()")
+            }
+            LsdError::NotTrained { operation } => {
+                write!(
+                    f,
+                    "{operation} requires a trained system; call train() first"
+                )
+            }
+            LsdError::NoTrainingData => {
+                write!(f, "training sources produced no examples")
+            }
+            LsdError::InvalidSchema { source, detail } => {
+                write!(f, "source '{source}' has an invalid schema: {detail}")
+            }
+            LsdError::Persist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LsdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LsdError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PersistError> for LsdError {
+    fn from(e: PersistError) -> Self {
+        LsdError::Persist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(LsdError::NoLearners.to_string().contains("base learner"));
+        let e = LsdError::NotTrained {
+            operation: "match_source",
+        };
+        assert!(e.to_string().contains("match_source"));
+        let e = LsdError::InvalidSchema {
+            source: "s.com".into(),
+            detail: "no root".into(),
+        };
+        assert!(e.to_string().contains("s.com"));
+        assert!(e.to_string().contains("no root"));
+    }
+
+    #[test]
+    fn persist_errors_chain_as_source() {
+        let e: LsdError = PersistError::UnsupportedLearner { name: "x".into() }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -12,6 +12,7 @@
 //! the matching is perfect (3 for Time Schedule, 6.3 for Real Estate II, on
 //! schemas of ~17 and ~38.6 tags).
 
+use crate::error::LsdError;
 use crate::system::{Lsd, Source};
 use lsd_constraints::{DomainConstraint, Predicate};
 use lsd_learn::LabelSet;
@@ -37,17 +38,29 @@ pub struct FeedbackOutcome {
 /// `TagIs` feedback constraint with the true label from `truth` (source tag
 /// → mediated tag; missing entries mean `OTHER`). Stops when the matching
 /// is perfect or every tag has been corrected.
+///
+/// # Errors
+/// As for [`Lsd::match_source`] (untrained system, malformed source DTD).
 pub fn simulate_feedback_session(
     lsd: &Lsd,
     source: &Source,
     truth: &HashMap<String, String>,
-) -> FeedbackOutcome {
-    let schema = SchemaTree::from_dtd(&source.dtd).expect("valid source DTD");
-    let order: Vec<String> =
-        schema.tags_by_structure_score().into_iter().map(str::to_string).collect();
+) -> Result<FeedbackOutcome, LsdError> {
+    let schema = SchemaTree::from_dtd(&source.dtd).map_err(|e| LsdError::InvalidSchema {
+        source: source.name.clone(),
+        detail: e.to_string(),
+    })?;
+    let order: Vec<String> = schema
+        .tags_by_structure_score()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
 
     let truth_label = |tag: &str| -> &str {
-        truth.get(tag).map(String::as_str).unwrap_or(LabelSet::OTHER)
+        truth
+            .get(tag)
+            .map(String::as_str)
+            .unwrap_or(LabelSet::OTHER)
     };
 
     let mut feedback: Vec<DomainConstraint> = Vec::new();
@@ -56,18 +69,20 @@ pub fn simulate_feedback_session(
     // Each round corrects at most one tag, so tags+1 rounds always suffice.
     for _ in 0..=order.len() {
         rounds += 1;
-        let outcome = lsd.match_source_with_feedback(source, &feedback);
+        let outcome = lsd.match_source_with_feedback(source, &feedback)?;
         let first_wrong = order.iter().find(|tag| {
-            outcome.label_of(tag).is_some_and(|predicted| predicted != truth_label(tag))
+            outcome
+                .label_of(tag)
+                .is_some_and(|predicted| predicted != truth_label(tag))
         });
         match first_wrong {
             None => {
-                return FeedbackOutcome {
+                return Ok(FeedbackOutcome {
                     corrections: corrected_tags.len(),
                     rounds,
                     converged: true,
                     corrected_tags,
-                }
+                })
             }
             Some(tag) if corrected_tags.contains(tag) => {
                 // The handler failed to honour an existing correction
@@ -83,12 +98,12 @@ pub fn simulate_feedback_session(
             }
         }
     }
-    FeedbackOutcome {
+    Ok(FeedbackOutcome {
         corrections: corrected_tags.len(),
         rounds,
         converged: false,
         corrected_tags,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -129,7 +144,11 @@ mod tests {
         })
         .collect();
         TrainedSource {
-            source: crate::system::Source { name: "train".into(), dtd, listings },
+            source: crate::system::Source {
+                name: "train".into(),
+                dtd,
+                listings,
+            },
             mapping: HashMap::from([
                 ("house".to_string(), "HOUSE".to_string()),
                 ("location".to_string(), "ADDRESS".to_string()),
@@ -165,7 +184,14 @@ mod tests {
             ("location".to_string(), "DESCRIPTION".to_string()),
             ("contact".to_string(), "AGENT-PHONE".to_string()),
         ]);
-        (Source { name: "hostile".into(), dtd, listings }, truth)
+        (
+            Source {
+                name: "hostile".into(),
+                dtd,
+                listings,
+            },
+            truth,
+        )
     }
 
     fn trained_lsd() -> Lsd {
@@ -176,8 +202,9 @@ mod tests {
             .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, [])))
             .add_learner(Box::new(ContentMatcher::new(n)))
             .add_learner(Box::new(NaiveBayesLearner::new(n)))
-            .build();
-        lsd.train(&[training_source()]);
+            .build()
+            .unwrap();
+        lsd.train(&[training_source()]).unwrap();
         lsd
     }
 
@@ -186,7 +213,7 @@ mod tests {
         let lsd = trained_lsd();
         let ts = training_source();
         let truth = ts.mapping.clone();
-        let outcome = simulate_feedback_session(&lsd, &ts.source, &truth);
+        let outcome = simulate_feedback_session(&lsd, &ts.source, &truth).unwrap();
         assert!(outcome.converged);
         assert_eq!(outcome.corrections, 0);
         assert_eq!(outcome.rounds, 1);
@@ -196,7 +223,7 @@ mod tests {
     fn hostile_source_converges_with_few_corrections() {
         let lsd = trained_lsd();
         let (source, truth) = hostile_source();
-        let outcome = simulate_feedback_session(&lsd, &source, &truth);
+        let outcome = simulate_feedback_session(&lsd, &source, &truth).unwrap();
         assert!(outcome.converged, "session must converge: {outcome:?}");
         assert!(outcome.corrections <= 3, "{outcome:?}");
         // Verify the final feedback set really yields a perfect matching.
@@ -210,7 +237,7 @@ mod tests {
                 })
             })
             .collect();
-        let m = lsd.match_source_with_feedback(&source, &feedback);
+        let m = lsd.match_source_with_feedback(&source, &feedback).unwrap();
         for (tag, label) in &truth {
             assert_eq!(m.label_of(tag), Some(label.as_str()));
         }
@@ -220,7 +247,7 @@ mod tests {
     fn corrections_bounded_by_tag_count() {
         let lsd = trained_lsd();
         let (source, truth) = hostile_source();
-        let outcome = simulate_feedback_session(&lsd, &source, &truth);
+        let outcome = simulate_feedback_session(&lsd, &source, &truth).unwrap();
         assert!(outcome.corrections <= 4);
         assert_eq!(outcome.corrected_tags.len(), outcome.corrections);
     }

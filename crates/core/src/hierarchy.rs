@@ -54,7 +54,10 @@ pub fn most_specific_unambiguous(
 ) -> PartialMatch {
     let best = prediction.best_label();
     if prediction.score(best) >= confidence {
-        return PartialMatch::Exact { label: best, score: prediction.score(best) };
+        return PartialMatch::Exact {
+            label: best,
+            score: prediction.score(best),
+        };
     }
 
     // Subtree mass per mediated tag: own score plus every descendant's.
@@ -63,7 +66,9 @@ pub fn most_specific_unambiguous(
         if tag.is_leaf {
             continue; // a leaf subtree is just the label itself: covered above
         }
-        let Some(own) = labels.get(&tag.name) else { continue };
+        let Some(own) = labels.get(&tag.name) else {
+            continue;
+        };
         let mut mass = prediction.score(own);
         for other in mediated.tags() {
             if other.name != tag.name && mediated.is_nested_in(&other.name, &tag.name) {
@@ -139,7 +144,10 @@ mod tests {
         // The Section 7 scenario: "credits" splits between course- and
         // section-credit; neither is confident, their parent CREDIT is.
         let (labels, tree) = fixture();
-        let p = pred(&labels, &[("COURSE-CREDIT", 0.45), ("SECTION-CREDIT", 0.45)]);
+        let p = pred(
+            &labels,
+            &[("COURSE-CREDIT", 0.45), ("SECTION-CREDIT", 0.45)],
+        );
         match most_specific_unambiguous(&p, &labels, &tree, 0.6) {
             PartialMatch::Partial { ancestor, mass } => {
                 assert_eq!(labels.name(ancestor), "CREDIT");
@@ -154,7 +162,14 @@ mod tests {
         // Mass concentrated under CREDIT also lies under COURSE (the
         // root); the deeper ancestor must win.
         let (labels, tree) = fixture();
-        let p = pred(&labels, &[("COURSE-CREDIT", 0.35), ("SECTION-CREDIT", 0.35), ("CREDIT", 0.2)]);
+        let p = pred(
+            &labels,
+            &[
+                ("COURSE-CREDIT", 0.35),
+                ("SECTION-CREDIT", 0.35),
+                ("CREDIT", 0.2),
+            ],
+        );
         match most_specific_unambiguous(&p, &labels, &tree, 0.6) {
             PartialMatch::Partial { ancestor, .. } => {
                 assert_eq!(labels.name(ancestor), "CREDIT");

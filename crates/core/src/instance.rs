@@ -31,7 +31,11 @@ pub struct Instance {
 impl Instance {
     /// Creates an instance with no structure-label context.
     pub fn new(element: Element, path: Vec<String>) -> Self {
-        Instance { element, path, sub_labels: HashMap::new() }
+        Instance {
+            element,
+            path,
+            sub_labels: HashMap::new(),
+        }
     }
 
     /// The tag name of the instance's element.
@@ -57,8 +61,7 @@ impl Instance {
 pub fn extract_instances(listings: &[Element]) -> HashMap<String, Vec<Instance>> {
     let mut columns: HashMap<String, Vec<Instance>> = HashMap::new();
     for listing in listings {
-        let mut stack: Vec<(Vec<String>, &Element)> =
-            vec![(vec![listing.name.clone()], listing)];
+        let mut stack: Vec<(Vec<String>, &Element)> = vec![(vec![listing.name.clone()], listing)];
         while let Some((path, element)) = stack.pop() {
             columns
                 .entry(element.name.clone())
@@ -136,17 +139,13 @@ mod tests {
     #[test]
     fn instance_text_is_subtree_text() {
         let cols = extract_instances(&listings());
-        let contact_texts: Vec<String> =
-            cols["contact"].iter().map(Instance::text).collect();
+        let contact_texts: Vec<String> = cols["contact"].iter().map(Instance::text).collect();
         assert!(contact_texts.contains(&"Kate (305) 111 2222".to_string()));
     }
 
     #[test]
     fn source_data_rows_align_with_listings() {
-        let data = build_source_data(
-            ["listing", "area", "contact", "name", "phone"],
-            &listings(),
-        );
+        let data = build_source_data(["listing", "area", "contact", "name", "phone"], &listings());
         assert_eq!(data.num_rows(), 2);
         let areas = data.column("area");
         assert_eq!(areas.len(), 2);

@@ -27,7 +27,11 @@ impl ContentMatcher {
     /// Creates an untrained content matcher with explicit WHIRL settings
     /// (exposed for the `ablation_whirl` bench).
     pub fn with_config(num_labels: usize, config: WhirlConfig) -> Self {
-        ContentMatcher { num_labels, config, whirl: Whirl::new(num_labels, config) }
+        ContentMatcher {
+            num_labels,
+            config,
+            whirl: Whirl::new(num_labels, config),
+        }
     }
 
     /// Rebuilds the WHIRL inverted index after deserialization (it is not

@@ -7,16 +7,16 @@
 
 mod content_matcher;
 mod format_learner;
-mod name_matcher;
 mod naive_bayes;
+mod name_matcher;
 mod recognizer;
 mod stats_learner;
 mod xml_learner;
 
 pub use content_matcher::ContentMatcher;
 pub use format_learner::FormatLearner;
-pub use name_matcher::NameMatcher;
 pub use naive_bayes::NaiveBayesLearner;
+pub use name_matcher::NameMatcher;
 pub use recognizer::{county_name_recognizer, state_abbrev_recognizer, zip_recognizer, Recognizer};
 pub use stats_learner::StatsLearner;
 pub use xml_learner::{XmlLearner, XmlTokenKinds};
@@ -27,7 +27,13 @@ use lsd_learn::{Classifier, Prediction};
 
 /// A base learner: trains on labelled [`Instance`]s and predicts
 /// confidence-score distributions for new ones.
-pub trait BaseLearner: Send {
+///
+/// `Send + Sync` is part of the contract: the batch-matching engine shares
+/// a trained system across scoped worker threads (`&Lsd` per worker), and
+/// the meta-learner's cross-validation calls [`BaseLearner::fresh`] from
+/// per-fold workers. All built-in learners are plain data; a custom learner
+/// with interior mutability must use thread-safe primitives.
+pub trait BaseLearner: Send + Sync {
     /// Stable display name, used in lesion studies and experiment reports.
     fn name(&self) -> &'static str;
 

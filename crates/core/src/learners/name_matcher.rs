@@ -49,8 +49,14 @@ impl NameMatcher {
     ) -> Self {
         let mut synonyms: HashMap<String, Vec<String>> = HashMap::new();
         for (a, b) in pairs {
-            synonyms.entry(a.to_string()).or_default().push(b.to_string());
-            synonyms.entry(b.to_string()).or_default().push(a.to_string());
+            synonyms
+                .entry(a.to_string())
+                .or_default()
+                .push(b.to_string());
+            synonyms
+                .entry(b.to_string())
+                .or_default()
+                .push(a.to_string());
         }
         Self::new(num_labels, synonyms)
     }

@@ -46,7 +46,13 @@ impl Recognizer {
         test: impl Fn(&str) -> bool + Send + Sync + 'static,
     ) -> Self {
         assert!(target < num_labels);
-        Recognizer { name, num_labels, target, hit_confidence: 0.9, test: Arc::new(test) }
+        Recognizer {
+            name,
+            num_labels,
+            target,
+            hit_confidence: 0.9,
+            test: Arc::new(test),
+        }
     }
 
     /// Overrides the hit confidence (default 0.9).
@@ -102,17 +108,22 @@ impl BaseLearner for Recognizer {
 /// The paper's county-name recognizer, targeting the given label index
 /// (typically the mediated schema's `COUNTY` tag).
 pub fn county_name_recognizer(num_labels: usize, county_label: usize) -> Recognizer {
-    Recognizer::new("county-recognizer", num_labels, county_label, is_county_name)
+    Recognizer::new(
+        "county-recognizer",
+        num_labels,
+        county_label,
+        is_county_name,
+    )
 }
 
 /// Recognizes two-letter U.S. state abbreviations ("WA", "fl", …) — another
 /// narrow-expertise module in the spirit of the county recognizer.
 pub fn state_abbrev_recognizer(num_labels: usize, state_label: usize) -> Recognizer {
     const STATES: [&str; 50] = [
-        "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN",
-        "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV",
-        "NH", "NJ", "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN",
-        "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+        "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA",
+        "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+        "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT",
+        "VA", "WA", "WV", "WI", "WY",
     ];
     Recognizer::new("state-recognizer", num_labels, state_label, |value| {
         let v = value.trim().to_ascii_uppercase();

@@ -106,8 +106,10 @@ impl StatsLearner {
         let magnitude = tokens
             .iter()
             .filter_map(|t| {
-                let cleaned: String =
-                    t.chars().filter(|c| c.is_ascii_digit() || *c == '.').collect();
+                let cleaned: String = t
+                    .chars()
+                    .filter(|c| c.is_ascii_digit() || *c == '.')
+                    .collect();
                 cleaned.parse::<f64>().ok()
             })
             .fold(0.0f64, f64::max);
@@ -117,7 +119,11 @@ impl StatsLearner {
             (chars as f64).min(200.0).ln(),
             digits as f64 / chars as f64,
             letters as f64 / chars as f64,
-            if tokens.is_empty() { 0.0 } else { numeric_tokens as f64 / tokens.len() as f64 },
+            if tokens.is_empty() {
+                0.0
+            } else {
+                numeric_tokens as f64 / tokens.len() as f64
+            },
         ]
     }
 }

@@ -40,7 +40,11 @@ pub struct XmlTokenKinds {
 
 impl Default for XmlTokenKinds {
     fn default() -> Self {
-        XmlTokenKinds { text: true, nodes: true, edges: true }
+        XmlTokenKinds {
+            text: true,
+            nodes: true,
+            edges: true,
+        }
     }
 }
 
@@ -99,7 +103,10 @@ impl XmlLearner {
         for child in element.child_elements() {
             // Unknown tags (no first-pass label yet) fall back to the
             // OTHER slot, which is always index num_labels-1.
-            let label = sub_labels.get(&child.name).copied().unwrap_or(self.num_labels - 1);
+            let label = sub_labels
+                .get(&child.name)
+                .copied()
+                .unwrap_or(self.num_labels - 1);
             let child_id = format!("L{label}");
             if self.kinds.nodes {
                 out.push(format!("n:{child_id}"));
@@ -177,8 +184,14 @@ mod tests {
             (contact("Gail Murphy", "MAX Realtors"), 0),
             (contact("Jane Kendall", "ACME Homes"), 0),
             (contact("Mike Smith", "MAX Realtors"), 0),
-            (description("Victorian house with a view. Contact Gail Murphy at MAX Realtors"), 1),
-            (description("Name your price! call Jane Kendall of ACME Homes"), 1),
+            (
+                description("Victorian house with a view. Contact Gail Murphy at MAX Realtors"),
+                1,
+            ),
+            (
+                description("Name your price! call Jane Kendall of ACME Homes"),
+                1,
+            ),
             (description("Great house. Mike Smith will show it"), 1),
         ]
     }
@@ -204,7 +217,11 @@ mod tests {
     fn text_only_kinds_degenerate_to_flat_bag() {
         // With only text tokens the two Figure-7 instances are nearly
         // indistinguishable — structure is what separates them.
-        let m = trained(XmlTokenKinds { text: true, nodes: false, edges: false });
+        let m = trained(XmlTokenKinds {
+            text: true,
+            nodes: false,
+            edges: false,
+        });
         let c = m.predict(&contact("Gail Murphy", "MAX Realtors"));
         let full = trained(XmlTokenKinds::default());
         let c_full = full.predict(&contact("Gail Murphy", "MAX Realtors"));
@@ -253,6 +270,9 @@ mod tests {
     fn fresh_is_untrained() {
         let m = trained(XmlTokenKinds::default());
         let p = m.fresh().predict(&contact("A B", "C D"));
-        assert!(p.scores().iter().all(|&x| (x - 1.0 / N as f64).abs() < 1e-9));
+        assert!(p
+            .scores()
+            .iter()
+            .all(|&x| (x - 1.0 / N as f64).abs() < 1e-9));
     }
 }

@@ -28,6 +28,7 @@
 
 pub mod converter;
 mod counties;
+mod error;
 pub mod feedback;
 pub mod hierarchy;
 mod instance;
@@ -37,15 +38,16 @@ pub mod persist;
 mod system;
 
 pub use converter::{convert_column, convert_column_with, CombinationRule};
+pub use error::LsdError;
 pub use hierarchy::{most_specific_unambiguous, PartialMatch};
-pub use persist::{PersistError, SavedLearner, SavedModel};
 pub use instance::{build_source_data, extract_instances, Instance};
 pub use meta::MetaLearner;
+pub use persist::{PersistError, SavedLearner, SavedModel};
 pub use system::{Lsd, LsdBuilder, LsdConfig, MatchOutcome, Source, TagExplanation, TrainedSource};
 
 // The constraint vocabulary is part of LSD's public face.
 pub use lsd_constraints::{
-    ConstraintHandler, ConstraintKind, DomainConstraint, MappingResult, Predicate,
-    SearchAlgorithm, SearchConfig, SourceData,
+    ConstraintHandler, ConstraintKind, DomainConstraint, MappingResult, Predicate, SearchAlgorithm,
+    SearchConfig, SourceData,
 };
-pub use lsd_learn::{LabelSet, Prediction};
+pub use lsd_learn::{ExecPolicy, LabelSet, Prediction};

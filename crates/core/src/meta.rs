@@ -68,8 +68,10 @@ impl MetaLearner {
             let rows: Vec<Vec<f64>> = (0..truths.len())
                 .map(|x| (0..num_learners).map(|j| cv[j][x].score(label)).collect())
                 .collect();
-            let targets: Vec<f64> =
-                truths.iter().map(|&t| if t == label { 1.0 } else { 0.0 }).collect();
+            let targets: Vec<f64> = truths
+                .iter()
+                .map(|&t| if t == label { 1.0 } else { 0.0 })
+                .collect();
             let row_refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
             let mut w = nonnegative_least_squares(&row_refs, &targets, RIDGE);
             // If cross-validation found *no* learner informative for this
@@ -106,7 +108,11 @@ impl MetaLearner {
     /// Combines one prediction per base learner into a single prediction:
     /// per-label weighted sum, negative sums clamped to zero, normalized.
     pub fn combine(&self, predictions: &[Prediction]) -> Prediction {
-        assert_eq!(predictions.len(), self.num_learners(), "one prediction per learner");
+        assert_eq!(
+            predictions.len(),
+            self.num_learners(),
+            "one prediction per learner"
+        );
         let n = self.num_labels();
         let scores: Vec<f64> = (0..n)
             .map(|label| {
@@ -241,7 +247,9 @@ mod tests {
 
     #[test]
     fn negative_weighted_sums_clamp_to_zero() {
-        let ml = MetaLearner { weights: vec![vec![-1.0], vec![1.0]] };
+        let ml = MetaLearner {
+            weights: vec![vec![-1.0], vec![1.0]],
+        };
         let combined = ml.combine(&[Prediction::from_scores(vec![0.5, 0.5])]);
         assert_eq!(combined.score(0), 0.0);
         assert_eq!(combined.score(1), 1.0);
@@ -249,7 +257,9 @@ mod tests {
 
     #[test]
     fn combine_subset_uses_selected_weights() {
-        let ml = MetaLearner { weights: vec![vec![0.1, 0.9], vec![0.9, 0.1]] };
+        let ml = MetaLearner {
+            weights: vec![vec![0.1, 0.9], vec![0.9, 0.1]],
+        };
         let p = Prediction::from_scores(vec![0.5, 0.5]);
         let full = ml.combine(&[p.clone(), p.clone()]);
         let only_second = ml.combine_subset(std::slice::from_ref(&p), &[1]);

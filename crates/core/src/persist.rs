@@ -13,8 +13,8 @@
 //! dropping them.
 
 use crate::learners::{
-    county_name_recognizer, BaseLearner, ContentMatcher, FormatLearner, NameMatcher,
-    NaiveBayesLearner, StatsLearner, XmlLearner,
+    county_name_recognizer, BaseLearner, ContentMatcher, FormatLearner, NaiveBayesLearner,
+    NameMatcher, StatsLearner, XmlLearner,
 };
 use crate::meta::MetaLearner;
 use crate::system::{Lsd, LsdConfig};
@@ -146,9 +146,10 @@ impl Lsd {
             .learners
             .iter()
             .map(|l| {
-                l.snapshot().ok_or_else(|| PersistError::UnsupportedLearner {
-                    name: l.name().to_string(),
-                })
+                l.snapshot()
+                    .ok_or_else(|| PersistError::UnsupportedLearner {
+                        name: l.name().to_string(),
+                    })
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(SavedModel {
@@ -165,8 +166,11 @@ impl Lsd {
 
     /// Reconstructs a system from a snapshot.
     pub fn from_saved(saved: SavedModel) -> Lsd {
-        let learners: Vec<Box<dyn BaseLearner>> =
-            saved.learners.into_iter().map(SavedLearner::restore).collect();
+        let learners: Vec<Box<dyn BaseLearner>> = saved
+            .learners
+            .into_iter()
+            .map(SavedLearner::restore)
+            .collect();
         let handler = ConstraintHandler::new(saved.constraints)
             .with_config(saved.config.search)
             .with_candidate_limit(saved.config.candidate_limit);
@@ -229,7 +233,11 @@ mod tests {
         })
         .collect::<Vec<_>>();
         let train = TrainedSource {
-            source: Source { name: "t".into(), dtd: dtd.clone(), listings: listings.clone() },
+            source: Source {
+                name: "t".into(),
+                dtd: dtd.clone(),
+                listings: listings.clone(),
+            },
             mapping: HashMap::from([
                 ("h".to_string(), "H".to_string()),
                 ("addr".to_string(), "A".to_string()),
@@ -240,22 +248,30 @@ mod tests {
         let builder = LsdBuilder::new(&mediated);
         let n = builder.labels().len();
         let mut lsd = builder
-            .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, [("addr", "address")])))
+            .add_learner(Box::new(NameMatcher::with_synonym_pairs(
+                n,
+                [("addr", "address")],
+            )))
             .add_learner(Box::new(ContentMatcher::new(n)))
             .add_learner(Box::new(NaiveBayesLearner::new(n)))
             .add_learner(Box::new(StatsLearner::new(n)))
             .add_learner(Box::new(FormatLearner::new(n)))
-            .with_xml_learner()
-            .build();
-        lsd.train(std::slice::from_ref(&train));
-        let target = Source { name: "same".into(), dtd, listings };
+            .with_xml_learner(None)
+            .build()
+            .unwrap();
+        lsd.train(std::slice::from_ref(&train)).unwrap();
+        let target = Source {
+            name: "same".into(),
+            dtd,
+            listings,
+        };
         (lsd, target)
     }
 
     #[test]
     fn roundtrip_preserves_matching_behavior() {
         let (lsd, target) = trained_system();
-        let before = lsd.match_source(&target);
+        let before = lsd.match_source(&target).unwrap();
 
         let saved = lsd.to_saved().expect("all built-in learners snapshot");
         let json = serde_json::to_string(&saved).expect("serializes");
@@ -264,7 +280,7 @@ mod tests {
 
         assert!(lsd2.is_trained());
         assert_eq!(lsd2.learner_names(), lsd.learner_names());
-        let after = lsd2.match_source(&target);
+        let after = lsd2.match_source(&target).unwrap();
         assert_eq!(before.labels, after.labels);
         for (a, b) in before.predictions.iter().zip(&after.predictions) {
             for l in 0..a.len() {
@@ -282,15 +298,18 @@ mod tests {
         lsd.save_json(&path).expect("saves");
         let lsd2 = Lsd::load_json(&path).expect("loads");
         assert_eq!(
-            lsd.match_source(&target).labels,
-            lsd2.match_source(&target).labels
+            lsd.match_source(&target).unwrap().labels,
+            lsd2.match_source(&target).unwrap().labels
         );
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn county_recognizer_roundtrips_via_parameters() {
-        let saved = SavedLearner::CountyRecognizer { num_labels: 4, target: 2 };
+        let saved = SavedLearner::CountyRecognizer {
+            num_labels: 4,
+            target: 2,
+        };
         let learner = saved.restore();
         let instance = crate::Instance::new(
             lsd_xml::Element::text_leaf("c", "King County"),
@@ -301,15 +320,15 @@ mod tests {
 
     #[test]
     fn custom_recognizer_is_rejected_with_name() {
-        let mediated =
-            parse_dtd("<!ELEMENT A (#PCDATA)>").expect("valid DTD");
+        let mediated = parse_dtd("<!ELEMENT A (#PCDATA)>").expect("valid DTD");
         let builder = LsdBuilder::new(&mediated);
         let n = builder.labels().len();
         let lsd = builder
             .add_learner(Box::new(Recognizer::new("zip-recognizer", n, 0, |v| {
                 v.len() == 5
             })))
-            .build();
+            .build()
+            .unwrap();
         match lsd.to_saved() {
             Err(PersistError::UnsupportedLearner { name }) => {
                 assert_eq!(name, "zip-recognizer");

@@ -20,13 +20,17 @@
 //! structural context.
 
 use crate::converter::{convert_column_with, CombinationRule};
+use crate::error::LsdError;
 use crate::instance::{build_source_data, extract_instances, Instance};
 use crate::learners::{BaseLearner, XmlLearner};
 use crate::meta::MetaLearner;
 use lsd_constraints::{
-    ConstraintHandler, DomainConstraint, MappingResult, MatchingContext, SearchConfig,
+    CompiledConstraintSet, ConstraintHandler, DomainConstraint, MappingResult, MatchingContext,
+    SearchConfig,
 };
-use lsd_learn::{cross_validation_predictions_grouped, LabelSet, Prediction};
+use lsd_learn::{
+    cross_validation_predictions_grouped_with, parallel_map, ExecPolicy, LabelSet, Prediction,
+};
 use lsd_xml::{Dtd, Element, SchemaTree};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -140,15 +144,19 @@ impl LsdBuilder {
         self
     }
 
-    /// Adds the second-stage XML learner (Section 5).
-    pub fn with_xml_learner(mut self) -> Self {
-        self.xml_learner = Some(XmlLearner::new(self.labels.len()));
-        self
-    }
-
-    /// Adds a custom-configured XML learner.
-    pub fn with_xml_learner_custom(mut self, learner: XmlLearner) -> Self {
-        self.xml_learner = Some(learner);
+    /// Adds the second-stage XML learner (Section 5). Pass `None` for the
+    /// default configuration, or a pre-configured [`XmlLearner`]:
+    ///
+    /// ```ignore
+    /// builder.with_xml_learner(None)              // default XML learner
+    /// builder.with_xml_learner(custom_learner)    // custom-configured
+    /// ```
+    pub fn with_xml_learner(mut self, learner: impl Into<Option<XmlLearner>>) -> Self {
+        self.xml_learner = Some(
+            learner
+                .into()
+                .unwrap_or_else(|| XmlLearner::new(self.labels.len())),
+        );
         self
     }
 
@@ -166,13 +174,12 @@ impl LsdBuilder {
 
     /// Builds the (untrained) system.
     ///
-    /// # Panics
-    /// If no base learner was added.
-    pub fn build(self) -> Lsd {
-        assert!(
-            !self.learners.is_empty() || self.xml_learner.is_some(),
-            "LSD needs at least one base learner"
-        );
+    /// # Errors
+    /// [`LsdError::NoLearners`] if no base learner was added.
+    pub fn build(self) -> Result<Lsd, LsdError> {
+        if self.learners.is_empty() && self.xml_learner.is_none() {
+            return Err(LsdError::NoLearners);
+        }
         let mut learners = self.learners;
         let xml_index = self.xml_learner.map(|xl| {
             learners.push(Box::new(xl) as Box<dyn BaseLearner>);
@@ -182,7 +189,7 @@ impl LsdBuilder {
         let handler = ConstraintHandler::new(self.constraints)
             .with_config(self.config.search)
             .with_candidate_limit(self.config.candidate_limit);
-        Lsd {
+        Ok(Lsd {
             labels: self.labels,
             learners,
             xml_index,
@@ -190,7 +197,7 @@ impl LsdBuilder {
             handler,
             config: self.config,
             trained: false,
-        }
+        })
     }
 }
 
@@ -271,19 +278,42 @@ impl Lsd {
     /// (Section 3.1). Retrains from scratch on each call; to *add* a source
     /// incrementally (the paper's "reuse past matchings" loop), call again
     /// with the extended source list.
-    pub fn train(&mut self, sources: &[TrainedSource]) {
+    ///
+    /// Training is internally parallel: base learners train concurrently
+    /// (one scoped thread each), and the meta-learner's cross-validation
+    /// runs learners and folds concurrently under the default
+    /// [`ExecPolicy`]. Results are identical to serial execution.
+    ///
+    /// # Errors
+    /// [`LsdError::NoTrainingData`] if the sources yield no instances.
+    pub fn train(&mut self, sources: &[TrainedSource]) -> Result<(), LsdError> {
         let (examples, groups) = self.training_examples(sources);
+        if examples.is_empty() {
+            return Err(LsdError::NoTrainingData);
+        }
         let refs: Vec<(&Instance, usize)> = examples.iter().map(|(i, l)| (i, *l)).collect();
 
-        // Train every base learner on its full example set.
-        for learner in &mut self.learners {
-            learner.train(&refs);
+        // Train every base learner on its full example set, one scoped
+        // thread per learner (they are independent and `train` needs
+        // `&mut`, so this fans out over `iter_mut` rather than
+        // `parallel_map`).
+        if self.learners.len() > 1 {
+            let refs = &refs;
+            std::thread::scope(|scope| {
+                for learner in &mut self.learners {
+                    scope.spawn(move || learner.train(refs));
+                }
+            });
+        } else {
+            for learner in &mut self.learners {
+                learner.train(&refs);
+            }
         }
 
         if !self.config.train_meta {
             self.meta = MetaLearner::uniform(self.labels.len(), self.learners.len());
             self.trained = true;
-            return;
+            return Ok(());
         }
 
         // Meta-learner: cross-validated predictions per learner, then
@@ -291,22 +321,30 @@ impl Lsd {
         // grouped by (source, tag): instances of one tag are
         // near-duplicates for the name matcher, and example-level folds
         // would leak them across the split, inflating its weight.
+        //
+        // Parallelism picks one level to avoid oversubscription: with
+        // several learners the learners run concurrently (folds serial
+        // within each); a single learner parallelizes its folds instead.
         let truths: Vec<usize> = examples.iter().map(|(_, l)| *l).collect();
-        let cv_sets: Vec<Vec<Prediction>> = self
-            .learners
-            .iter()
-            .map(|learner| {
-                cross_validation_predictions_grouped(
+        let (learner_policy, fold_policy) = if self.learners.len() > 1 {
+            (ExecPolicy::default(), ExecPolicy::serial())
+        } else {
+            (ExecPolicy::serial(), ExecPolicy::default())
+        };
+        let cv_sets: Vec<Vec<Prediction>> =
+            parallel_map(&self.learners, &learner_policy, |_, learner| {
+                cross_validation_predictions_grouped_with(
                     &refs,
                     &groups,
                     self.config.cv_folds,
                     self.config.seed,
+                    &fold_policy,
                     || learner.fresh(),
                 )
-            })
-            .collect();
+            });
         self.meta = MetaLearner::train(&cv_sets, &truths, self.labels.len());
         self.trained = true;
+        Ok(())
     }
 
     /// Creates the labelled training instances for all sources: one example
@@ -339,7 +377,9 @@ impl Lsd {
                 extract_instances(&ts.source.listings).into_iter().collect();
             columns.sort_by(|a, b| a.0.cmp(&b.0));
             for (tag, instances) in columns.iter_mut() {
-                let Some(&label) = tag_labels.get(tag.as_str()) else { continue };
+                let Some(&label) = tag_labels.get(tag.as_str()) else {
+                    continue;
+                };
                 subsample(instances, self.config.max_train_instances_per_tag, &mut rng);
                 let group = next_group;
                 next_group += 1;
@@ -352,21 +392,76 @@ impl Lsd {
         (examples, groups)
     }
 
+    /// `Err(NotTrained)` unless [`Self::train`] has completed.
+    fn ensure_trained(&self, operation: &'static str) -> Result<(), LsdError> {
+        if self.trained {
+            Ok(())
+        } else {
+            Err(LsdError::NotTrained { operation })
+        }
+    }
+
     /// Matches a new source (Section 3.2): returns the proposed 1-1 mapping
     /// and the tag-level predictions behind it.
-    pub fn match_source(&self, source: &Source) -> MatchOutcome {
+    ///
+    /// # Errors
+    /// [`LsdError::NotTrained`] before [`Self::train`];
+    /// [`LsdError::InvalidSchema`] if the source DTD is malformed.
+    pub fn match_source(&self, source: &Source) -> Result<MatchOutcome, LsdError> {
         self.match_source_with_feedback(source, &[])
     }
 
     /// Matches a source under additional per-source feedback constraints
     /// (Section 4.3).
+    ///
+    /// # Errors
+    /// As for [`Self::match_source`].
     pub fn match_source_with_feedback(
         &self,
         source: &Source,
         feedback: &[DomainConstraint],
-    ) -> MatchOutcome {
-        let schema = SchemaTree::from_dtd(&source.dtd)
-            .expect("source DTD must be well-formed and closed");
+    ) -> Result<MatchOutcome, LsdError> {
+        self.ensure_trained("match_source")?;
+        let domain = self.handler.compiled(&self.labels);
+        self.match_one(source, feedback, &domain)
+    }
+
+    /// Matches many sources concurrently under `policy`, sharing this
+    /// trained system (read-only) and one pre-compiled constraint set
+    /// across scoped worker threads. Outcomes are returned in input order
+    /// and are byte-identical to matching each source serially, regardless
+    /// of thread count; on error, the first failing source (in input
+    /// order) wins.
+    ///
+    /// # Errors
+    /// As for [`Self::match_source`], for the first offending source.
+    pub fn match_batch(
+        &self,
+        sources: &[Source],
+        policy: &ExecPolicy,
+    ) -> Result<Vec<MatchOutcome>, LsdError> {
+        self.ensure_trained("match_batch")?;
+        let domain = self.handler.compiled(&self.labels);
+        parallel_map(sources, policy, |_, source| {
+            self.match_one(source, &[], &domain)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// The per-source matching pipeline, over a constraint set the caller
+    /// has already compiled (shared read-only by [`Self::match_batch`]'s
+    /// workers).
+    fn match_one(
+        &self,
+        source: &Source,
+        feedback: &[DomainConstraint],
+        domain: &CompiledConstraintSet,
+    ) -> Result<MatchOutcome, LsdError> {
+        let schema = SchemaTree::from_dtd(&source.dtd).map_err(|e| LsdError::InvalidSchema {
+            source: source.name.clone(),
+            detail: e.to_string(),
+        })?;
         let tags: Vec<String> = schema.tag_names().map(str::to_string).collect();
 
         // Extract and (deterministically) subsample the instance columns.
@@ -381,8 +476,9 @@ impl Lsd {
 
         // Stage 1: first-pass predictions from everything but the XML
         // learner.
-        let stage1_learners: Vec<usize> =
-            (0..self.learners.len()).filter(|i| Some(*i) != self.xml_index).collect();
+        let stage1_learners: Vec<usize> = (0..self.learners.len())
+            .filter(|i| Some(*i) != self.xml_index)
+            .collect();
         let mut stage1_instance_preds: HashMap<&str, Vec<Vec<Prediction>>> = HashMap::new();
         let mut tag_predictions: Vec<Prediction> = Vec::with_capacity(tags.len());
         for tag in &tags {
@@ -454,13 +550,20 @@ impl Lsd {
             data: &data,
             alpha: self.config.alpha,
         };
-        let result = self.handler.find_mapping_with_feedback(&ctx, feedback);
+        let result = self
+            .handler
+            .find_mapping_precompiled(&ctx, domain, feedback);
         let labels: Vec<String> = result
             .assignment
             .iter()
             .map(|&l| self.labels.name(l).to_string())
             .collect();
-        MatchOutcome { tags, predictions: tag_predictions, result, labels }
+        Ok(MatchOutcome {
+            tags,
+            predictions: tag_predictions,
+            result,
+            labels,
+        })
     }
 
     /// Explains how each base learner sees each tag of a source: one
@@ -468,9 +571,15 @@ impl Lsd {
     /// two-stage protocol for the XML learner. This is the diagnostic
     /// behind "why did LSD map X to Y?" — the lesion studies of the paper
     /// in miniature, per tag.
-    pub fn explain_source(&self, source: &Source) -> Vec<TagExplanation> {
-        let schema = SchemaTree::from_dtd(&source.dtd)
-            .expect("source DTD must be well-formed and closed");
+    ///
+    /// # Errors
+    /// As for [`Self::match_source`].
+    pub fn explain_source(&self, source: &Source) -> Result<Vec<TagExplanation>, LsdError> {
+        self.ensure_trained("explain_source")?;
+        let schema = SchemaTree::from_dtd(&source.dtd).map_err(|e| LsdError::InvalidSchema {
+            source: source.name.clone(),
+            detail: e.to_string(),
+        })?;
         let tags: Vec<String> = schema.tag_names().map(str::to_string).collect();
 
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
@@ -481,8 +590,9 @@ impl Lsd {
             }
         }
         let empty: Vec<Instance> = Vec::new();
-        let stage1_learners: Vec<usize> =
-            (0..self.learners.len()).filter(|i| Some(*i) != self.xml_index).collect();
+        let stage1_learners: Vec<usize> = (0..self.learners.len())
+            .filter(|i| Some(*i) != self.xml_index)
+            .collect();
 
         // Per-learner, per-tag converter outputs (stage-1 learners).
         let mut explanations: Vec<TagExplanation> = tags
@@ -492,8 +602,10 @@ impl Lsd {
                 let per_learner: Vec<(String, Prediction)> = stage1_learners
                     .iter()
                     .map(|&j| {
-                        let column: Vec<Prediction> =
-                            instances.iter().map(|i| self.learners[j].predict(i)).collect();
+                        let column: Vec<Prediction> = instances
+                            .iter()
+                            .map(|i| self.learners[j].predict(i))
+                            .collect();
                         (
                             self.learners[j].name().to_string(),
                             convert_column_with(&column, self.labels.len(), self.config.converter),
@@ -512,7 +624,7 @@ impl Lsd {
         // The combined view and the XML learner's second-stage view come
         // from the real pipeline, so the explanation matches what
         // `match_source` actually does.
-        let outcome = self.match_source(source);
+        let outcome = self.match_source(source)?;
         if let Some(xml_idx) = self.xml_index {
             let stage1_labels: HashMap<String, usize> = outcome
                 .tags
@@ -538,7 +650,7 @@ impl Lsd {
         for (explanation, combined) in explanations.iter_mut().zip(&outcome.predictions) {
             explanation.combined = combined.clone();
         }
-        explanations
+        Ok(explanations)
     }
 }
 
@@ -595,9 +707,21 @@ mod tests {
         .unwrap();
         let rows = [
             ("Miami, FL", "Nice area near downtown", "(305) 729 0831"),
-            ("Boston, MA", "Close to river, great views", "(617) 253 1429"),
-            ("Austin, TX", "Fantastic yard, beautiful trees", "(512) 441 8338"),
-            ("Denver, CO", "Great location close to park", "(303) 220 9154"),
+            (
+                "Boston, MA",
+                "Close to river, great views",
+                "(617) 253 1429",
+            ),
+            (
+                "Austin, TX",
+                "Fantastic yard, beautiful trees",
+                "(512) 441 8338",
+            ),
+            (
+                "Denver, CO",
+                "Great location close to park",
+                "(303) 220 9154",
+            ),
         ];
         let listings = rows
             .iter()
@@ -610,7 +734,11 @@ mod tests {
             })
             .collect();
         TrainedSource {
-            source: Source { name: "realestate.com".into(), dtd, listings },
+            source: Source {
+                name: "realestate.com".into(),
+                dtd,
+                listings,
+            },
             mapping: HashMap::from([
                 ("location".to_string(), "ADDRESS".to_string()),
                 ("comments".to_string(), "DESCRIPTION".to_string()),
@@ -628,10 +756,26 @@ mod tests {
         )
         .unwrap();
         let rows = [
-            ("Seattle, WA", "Fantastic house, great schools", "(206) 753 2605"),
-            ("Portland, OR", "Great yard, close to highway", "(515) 273 4312"),
-            ("Spokane, WA", "Beautiful views of the river", "(509) 811 4200"),
-            ("Eugene, OR", "Nice neighborhood, fantastic deck", "(541) 688 2442"),
+            (
+                "Seattle, WA",
+                "Fantastic house, great schools",
+                "(206) 753 2605",
+            ),
+            (
+                "Portland, OR",
+                "Great yard, close to highway",
+                "(515) 273 4312",
+            ),
+            (
+                "Spokane, WA",
+                "Beautiful views of the river",
+                "(509) 811 4200",
+            ),
+            (
+                "Eugene, OR",
+                "Nice neighborhood, fantastic deck",
+                "(541) 688 2442",
+            ),
         ];
         let listings = rows
             .iter()
@@ -644,7 +788,11 @@ mod tests {
             })
             .collect();
         TrainedSource {
-            source: Source { name: "homeseekers.com".into(), dtd, listings },
+            source: Source {
+                name: "homeseekers.com".into(),
+                dtd,
+                listings,
+            },
             mapping: HashMap::from([
                 ("house-addr".to_string(), "ADDRESS".to_string()),
                 ("detailed-desc".to_string(), "DESCRIPTION".to_string()),
@@ -662,9 +810,17 @@ mod tests {
         )
         .unwrap();
         let rows = [
-            ("Orlando, FL", "Spacious rooms with great light", "(315) 237 4379"),
+            (
+                "Orlando, FL",
+                "Spacious rooms with great light",
+                "(315) 237 4379",
+            ),
             ("Kent, WA", "Close to highway, nice yard", "(415) 273 1234"),
-            ("Portland, OR", "Great location near schools", "(515) 237 4244"),
+            (
+                "Portland, OR",
+                "Great location near schools",
+                "(515) 237 4244",
+            ),
         ];
         let listings = rows
             .iter()
@@ -676,7 +832,11 @@ mod tests {
                 .unwrap()
             })
             .collect();
-        Source { name: "greathomes.com".into(), dtd, listings }
+        Source {
+            name: "greathomes.com".into(),
+            dtd,
+            listings,
+        }
     }
 
     fn build_system() -> Lsd {
@@ -691,26 +851,31 @@ mod tests {
             .add_learner(Box::new(ContentMatcher::new(n)))
             .add_learner(Box::new(NaiveBayesLearner::new(n)))
             .with_constraints(vec![
-                DomainConstraint::hard(Predicate::AtMostOne { label: "ADDRESS".into() }),
+                DomainConstraint::hard(Predicate::AtMostOne {
+                    label: "ADDRESS".into(),
+                }),
                 // Frequency + nesting constraints pin the root tag, exactly
                 // as a real domain specification would (Table 1).
-                DomainConstraint::hard(Predicate::ExactlyOne { label: "HOUSE".into() }),
+                DomainConstraint::hard(Predicate::ExactlyOne {
+                    label: "HOUSE".into(),
+                }),
                 DomainConstraint::hard(Predicate::NestedIn {
                     outer: "HOUSE".into(),
                     inner: "ADDRESS".into(),
                 }),
             ])
             .build()
+            .unwrap()
     }
 
     #[test]
     fn figure2_end_to_end() {
         let mut lsd = build_system();
         assert!(!lsd.is_trained());
-        lsd.train(&[realestate(), homeseekers()]);
+        lsd.train(&[realestate(), homeseekers()]).unwrap();
         assert!(lsd.is_trained());
 
-        let outcome = lsd.match_source(&greathomes());
+        let outcome = lsd.match_source(&greathomes()).unwrap();
         assert!(outcome.result.feasible);
         assert_eq!(outcome.label_of("area"), Some("ADDRESS"));
         assert_eq!(outcome.label_of("extra-info"), Some("DESCRIPTION"));
@@ -723,15 +888,15 @@ mod tests {
     #[test]
     fn feedback_constrains_current_source_only() {
         let mut lsd = build_system();
-        lsd.train(&[realestate(), homeseekers()]);
+        lsd.train(&[realestate(), homeseekers()]).unwrap();
         let fb = [DomainConstraint::hard(Predicate::TagIs {
             tag: "extra-info".into(),
             label: "ADDRESS".into(),
         })];
-        let outcome = lsd.match_source_with_feedback(&greathomes(), &fb);
+        let outcome = lsd.match_source_with_feedback(&greathomes(), &fb).unwrap();
         assert_eq!(outcome.label_of("extra-info"), Some("ADDRESS"));
         // A later call without feedback is unaffected.
-        let outcome2 = lsd.match_source(&greathomes());
+        let outcome2 = lsd.match_source(&greathomes()).unwrap();
         assert_eq!(outcome2.label_of("extra-info"), Some("DESCRIPTION"));
     }
 
@@ -747,7 +912,7 @@ mod tests {
     #[test]
     fn meta_weights_are_trained() {
         let mut lsd = build_system();
-        lsd.train(&[realestate(), homeseekers()]);
+        lsd.train(&[realestate(), homeseekers()]).unwrap();
         let ml = lsd.meta_learner();
         assert_eq!(ml.num_labels(), lsd.labels().len());
         assert_eq!(ml.num_learners(), 3);
@@ -764,37 +929,128 @@ mod tests {
         let mut lsd = builder
             .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, [])))
             .add_learner(Box::new(NaiveBayesLearner::new(n)))
-            .with_xml_learner()
-            .build();
-        lsd.train(&[realestate(), homeseekers()]);
+            .with_xml_learner(None)
+            .build()
+            .unwrap();
+        lsd.train(&[realestate(), homeseekers()]).unwrap();
         assert_eq!(lsd.learner_names().last(), Some(&"xml-learner"));
-        let outcome = lsd.match_source(&greathomes());
+        let outcome = lsd.match_source(&greathomes()).unwrap();
         assert_eq!(outcome.label_of("contact-phone"), Some("AGENT-PHONE"));
     }
 
     #[test]
-    #[should_panic(expected = "at least one base learner")]
-    fn empty_builder_panics() {
+    fn empty_builder_errors() {
         let mediated = mediated();
-        let _ = LsdBuilder::new(&mediated).build();
+        match LsdBuilder::new(&mediated).build() {
+            Err(LsdError::NoLearners) => {}
+            Err(other) => panic!("expected NoLearners, got {other:?}"),
+            Ok(_) => panic!("expected NoLearners, got a system"),
+        }
+    }
+
+    #[test]
+    fn matching_before_training_errors() {
+        let lsd = build_system();
+        assert!(matches!(
+            lsd.match_source(&greathomes()),
+            Err(LsdError::NotTrained {
+                operation: "match_source"
+            })
+        ));
+        assert!(matches!(
+            lsd.match_batch(&[greathomes()], &ExecPolicy::default()),
+            Err(LsdError::NotTrained {
+                operation: "match_batch"
+            })
+        ));
+        assert!(matches!(
+            lsd.explain_source(&greathomes()),
+            Err(LsdError::NotTrained {
+                operation: "explain_source"
+            })
+        ));
+    }
+
+    #[test]
+    fn training_on_nothing_errors() {
+        let mut lsd = build_system();
+        assert!(matches!(lsd.train(&[]), Err(LsdError::NoTrainingData)));
+        assert!(!lsd.is_trained());
+    }
+
+    #[test]
+    fn malformed_dtd_reports_invalid_schema() {
+        let mut lsd = build_system();
+        lsd.train(&[realestate(), homeseekers()]).unwrap();
+        let mut bad = greathomes();
+        // An element content model referring to an undeclared element makes
+        // the schema unbuildable.
+        bad.dtd = parse_dtd("<!ELEMENT home (ghost)>").unwrap();
+        let err = lsd.match_source(&bad).unwrap_err();
+        match err {
+            LsdError::InvalidSchema { source, .. } => assert_eq!(source, "greathomes.com"),
+            other => panic!("expected InvalidSchema, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn match_batch_agrees_with_serial_and_all_thread_counts() {
+        let mut lsd = build_system();
+        lsd.train(&[realestate(), homeseekers()]).unwrap();
+        let sources = vec![
+            greathomes(),
+            greathomes(),
+            greathomes(),
+            greathomes(),
+            greathomes(),
+        ];
+        let serial: Vec<MatchOutcome> = sources
+            .iter()
+            .map(|s| lsd.match_source(s).unwrap())
+            .collect();
+        for threads in [1, 2, 8] {
+            let batch = lsd
+                .match_batch(&sources, &ExecPolicy::with_threads(threads))
+                .unwrap();
+            assert_eq!(batch.len(), serial.len());
+            for (b, s) in batch.iter().zip(&serial) {
+                assert_eq!(b.tags, s.tags, "{threads} threads");
+                assert_eq!(b.labels, s.labels, "{threads} threads");
+                assert_eq!(b.result.assignment, s.result.assignment);
+                assert_eq!(b.result.cost.to_bits(), s.result.cost.to_bits());
+            }
+        }
     }
 
     #[test]
     fn explain_source_reports_all_learners() {
         let mut lsd = build_system();
-        lsd.train(&[realestate(), homeseekers()]);
-        let explanations = lsd.explain_source(&greathomes());
+        lsd.train(&[realestate(), homeseekers()]).unwrap();
+        let explanations = lsd.explain_source(&greathomes()).unwrap();
         assert_eq!(explanations.len(), 4); // home, area, extra-info, contact-phone
-        let area = explanations.iter().find(|e| e.tag == "area").expect("area explained");
+        let area = explanations
+            .iter()
+            .find(|e| e.tag == "area")
+            .expect("area explained");
         assert_eq!(area.per_learner.len(), 3);
         assert!(area.instances_examined > 0);
         // The combined view matches what match_source produced.
-        let outcome = lsd.match_source(&greathomes());
-        let i = outcome.tags.iter().position(|t| t == "area").expect("area matched");
-        assert_eq!(area.combined.best_label(), outcome.predictions[i].best_label());
+        let outcome = lsd.match_source(&greathomes()).unwrap();
+        let i = outcome
+            .tags
+            .iter()
+            .position(|t| t == "area")
+            .expect("area matched");
+        assert_eq!(
+            area.combined.best_label(),
+            outcome.predictions[i].best_label()
+        );
         // Learner names are reported in combination order.
         let names: Vec<&str> = area.per_learner.iter().map(|(n, _)| n.as_str()).collect();
-        assert_eq!(names, vec!["name-matcher", "content-matcher", "naive-bayes"]);
+        assert_eq!(
+            names,
+            vec!["name-matcher", "content-matcher", "naive-bayes"]
+        );
     }
 
     #[test]
@@ -804,12 +1060,16 @@ mod tests {
         let n = builder.labels().len();
         let mut lsd = builder
             .add_learner(Box::new(NaiveBayesLearner::new(n)))
-            .with_xml_learner()
-            .build();
-        lsd.train(&[realestate(), homeseekers()]);
-        let explanations = lsd.explain_source(&greathomes());
-        let names: Vec<&str> =
-            explanations[0].per_learner.iter().map(|(n, _)| n.as_str()).collect();
+            .with_xml_learner(None)
+            .build()
+            .unwrap();
+        lsd.train(&[realestate(), homeseekers()]).unwrap();
+        let explanations = lsd.explain_source(&greathomes()).unwrap();
+        let names: Vec<&str> = explanations[0]
+            .per_learner
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
         assert_eq!(names, vec!["naive-bayes", "xml-learner"]);
     }
 
@@ -839,4 +1099,3 @@ mod tests {
         assert_eq!(c.len(), 10);
     }
 }
-

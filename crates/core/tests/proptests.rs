@@ -8,8 +8,8 @@ use proptest::prelude::*;
 
 /// An arbitrary listing tree (bounded), with distinct-ish tag names.
 fn arb_listing() -> impl Strategy<Value = Element> {
-    let leaf = ("[a-z]{1,6}", "[a-z0-9 ]{0,12}")
-        .prop_map(|(name, text)| Element::text_leaf(name, text));
+    let leaf =
+        ("[a-z]{1,6}", "[a-z0-9 ]{0,12}").prop_map(|(name, text)| Element::text_leaf(name, text));
     leaf.prop_recursive(3, 20, 4, |inner| {
         ("[a-z]{1,6}", prop::collection::vec(inner, 1..4)).prop_map(|(name, children)| {
             let mut e = Element::new(name);

@@ -16,20 +16,144 @@ use TreeNode::{Group, Leaf};
 /// Builds the Faculty Listings specification.
 pub fn spec() -> DomainSpec {
     let concepts = vec![
-        /* 0 */ group("FACULTY", ["faculty-member", "professor", "person", "faculty", "staff-member"]),
-        /* 1 */ leaf("NAME", V::PersonName, ["name", "full-name", "prof-name", "faculty-name", "who"], 0.0),
-        /* 2 */ leaf("RANK", V::FacultyRank, ["rank", "title", "position", "appointment", "job-title"], 0.0),
-        /* 3 */ group("EDUCATION", ["education", "degree-info", "phd-info", "credentials", "background"]),
-        /* 4 */ leaf("DEGREE", V::Degree, ["degree", "highest-degree", "deg", "degree-type", "diploma"], 0.0),
-        /* 5 */ leaf("UNIVERSITY", V::University, ["university", "alma-mater", "school", "institution", "from-univ"], 0.0),
-        /* 6 */ leaf("DEGREE-YEAR", V::DegreeYear, ["degree-year", "year", "grad-year", "yr", "class-of"], 0.1),
-        /* 7 */ group("CONTACT", ["contact", "contact-info", "reach", "office-info", "coordinates"]),
-        /* 8 */ leaf("OFFICE", V::OfficeLocation, ["office", "office-location", "room", "office-room", "location"], 0.05),
-        /* 9 */ leaf("PHONE", V::Phone, ["phone", "telephone", "office-phone", "phone-number", "tel"], 0.05),
-        /* 10 */ leaf("EMAIL", V::Email, ["email", "e-mail", "email-address", "mail", "electronic-mail"], 0.0),
-        /* 11 */ group("RESEARCH", ["research", "research-info", "work", "scholarship", "academic-work"]),
-        /* 12 */ leaf("INTERESTS", V::ResearchInterests, ["interests", "research-areas", "areas", "topics", "specialties"], 0.0),
-        /* 13 */ leaf("BIO", V::Bio, ["bio", "biography", "profile", "about", "summary"], 0.1),
+        /* 0 */
+        group(
+            "FACULTY",
+            [
+                "faculty-member",
+                "professor",
+                "person",
+                "faculty",
+                "staff-member",
+            ],
+        ),
+        /* 1 */
+        leaf(
+            "NAME",
+            V::PersonName,
+            ["name", "full-name", "prof-name", "faculty-name", "who"],
+            0.0,
+        ),
+        /* 2 */
+        leaf(
+            "RANK",
+            V::FacultyRank,
+            ["rank", "title", "position", "appointment", "job-title"],
+            0.0,
+        ),
+        /* 3 */
+        group(
+            "EDUCATION",
+            [
+                "education",
+                "degree-info",
+                "phd-info",
+                "credentials",
+                "background",
+            ],
+        ),
+        /* 4 */
+        leaf(
+            "DEGREE",
+            V::Degree,
+            ["degree", "highest-degree", "deg", "degree-type", "diploma"],
+            0.0,
+        ),
+        /* 5 */
+        leaf(
+            "UNIVERSITY",
+            V::University,
+            [
+                "university",
+                "alma-mater",
+                "school",
+                "institution",
+                "from-univ",
+            ],
+            0.0,
+        ),
+        /* 6 */
+        leaf(
+            "DEGREE-YEAR",
+            V::DegreeYear,
+            ["degree-year", "year", "grad-year", "yr", "class-of"],
+            0.1,
+        ),
+        /* 7 */
+        group(
+            "CONTACT",
+            [
+                "contact",
+                "contact-info",
+                "reach",
+                "office-info",
+                "coordinates",
+            ],
+        ),
+        /* 8 */
+        leaf(
+            "OFFICE",
+            V::OfficeLocation,
+            [
+                "office",
+                "office-location",
+                "room",
+                "office-room",
+                "location",
+            ],
+            0.05,
+        ),
+        /* 9 */
+        leaf(
+            "PHONE",
+            V::Phone,
+            ["phone", "telephone", "office-phone", "phone-number", "tel"],
+            0.05,
+        ),
+        /* 10 */
+        leaf(
+            "EMAIL",
+            V::Email,
+            [
+                "email",
+                "e-mail",
+                "email-address",
+                "mail",
+                "electronic-mail",
+            ],
+            0.0,
+        ),
+        /* 11 */
+        group(
+            "RESEARCH",
+            [
+                "research",
+                "research-info",
+                "work",
+                "scholarship",
+                "academic-work",
+            ],
+        ),
+        /* 12 */
+        leaf(
+            "INTERESTS",
+            V::ResearchInterests,
+            [
+                "interests",
+                "research-areas",
+                "areas",
+                "topics",
+                "specialties",
+            ],
+            0.0,
+        ),
+        /* 13 */
+        leaf(
+            "BIO",
+            V::Bio,
+            ["bio", "biography", "profile", "about", "summary"],
+            0.1,
+        ),
     ];
 
     let full = |name: &'static str| SourceStructure {
@@ -84,27 +208,75 @@ pub fn spec() -> DomainSpec {
 
     let h = DomainConstraint::hard;
     let constraints = vec![
-        h(Predicate::ExactlyOne { label: "FACULTY".into() }),
-        h(Predicate::ExactlyOne { label: "NAME".into() }),
-        h(Predicate::AtMostOne { label: "RANK".into() }),
-        h(Predicate::AtMostOne { label: "EMAIL".into() }),
-        h(Predicate::AtMostOne { label: "PHONE".into() }),
-        h(Predicate::AtMostOne { label: "DEGREE".into() }),
-        h(Predicate::AtMostOne { label: "UNIVERSITY".into() }),
-        h(Predicate::NestedIn { outer: "EDUCATION".into(), inner: "DEGREE".into() }),
-        h(Predicate::NestedIn { outer: "CONTACT".into(), inner: "PHONE".into() }),
-        h(Predicate::NestedIn { outer: "CONTACT".into(), inner: "EMAIL".into() }),
-        h(Predicate::NestedIn { outer: "RESEARCH".into(), inner: "INTERESTS".into() }),
-        h(Predicate::NotNestedIn { outer: "EDUCATION".into(), inner: "PHONE".into() }),
-        h(Predicate::NotNestedIn { outer: "CONTACT".into(), inner: "DEGREE".into() }),
-        h(Predicate::Contiguous { a: "DEGREE".into(), b: "UNIVERSITY".into() }),
-        h(Predicate::IsNumeric { label: "DEGREE-YEAR".into() }),
-        h(Predicate::IsTextual { label: "NAME".into() }),
-        h(Predicate::IsTextual { label: "INTERESTS".into() }),
-        h(Predicate::IsTextual { label: "BIO".into() }),
-        h(Predicate::IsTextual { label: "UNIVERSITY".into() }),
+        h(Predicate::ExactlyOne {
+            label: "FACULTY".into(),
+        }),
+        h(Predicate::ExactlyOne {
+            label: "NAME".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "RANK".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "EMAIL".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "PHONE".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "DEGREE".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "UNIVERSITY".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "EDUCATION".into(),
+            inner: "DEGREE".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "CONTACT".into(),
+            inner: "PHONE".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "CONTACT".into(),
+            inner: "EMAIL".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "RESEARCH".into(),
+            inner: "INTERESTS".into(),
+        }),
+        h(Predicate::NotNestedIn {
+            outer: "EDUCATION".into(),
+            inner: "PHONE".into(),
+        }),
+        h(Predicate::NotNestedIn {
+            outer: "CONTACT".into(),
+            inner: "DEGREE".into(),
+        }),
+        h(Predicate::Contiguous {
+            a: "DEGREE".into(),
+            b: "UNIVERSITY".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "DEGREE-YEAR".into(),
+        }),
+        h(Predicate::IsTextual {
+            label: "NAME".into(),
+        }),
+        h(Predicate::IsTextual {
+            label: "INTERESTS".into(),
+        }),
+        h(Predicate::IsTextual {
+            label: "BIO".into(),
+        }),
+        h(Predicate::IsTextual {
+            label: "UNIVERSITY".into(),
+        }),
         DomainConstraint::numeric(
-            Predicate::Proximity { a: "DEGREE".into(), b: "DEGREE-YEAR".into() },
+            Predicate::Proximity {
+                a: "DEGREE".into(),
+                b: "DEGREE-YEAR".into(),
+            },
             0.2,
         ),
     ];

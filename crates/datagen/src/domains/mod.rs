@@ -68,13 +68,20 @@ pub(crate) fn with_blanket_nesting(mut spec: DomainSpec) -> DomainSpec {
     let mut mediated_pairs = HashSet::new();
     let mut mediated_present = HashSet::new();
     let root = spec.mediated_root.clone();
-    relations(&spec, &root, &mut Vec::new(), &mut mediated_pairs, &mut mediated_present);
+    relations(
+        &spec,
+        &root,
+        &mut Vec::new(),
+        &mut mediated_pairs,
+        &mut mediated_present,
+    );
 
     // A pair is exact domain knowledge only if every source that exhibits
     // both labels also nests them (sources may flatten groups — the
     // constraint is then vacuous there — but may NOT rearrange them).
     let sources = spec.sources.clone();
-    let source_views: Vec<(HashSet<(String, String)>, HashSet<String>)> = sources
+    type SourceView = (HashSet<(String, String)>, HashSet<String>);
+    let source_views: Vec<SourceView> = sources
         .iter()
         .map(|src| {
             let mut pairs = HashSet::new();
@@ -140,15 +147,30 @@ pub(crate) fn leaf(
     names: [&'static str; 5],
     optional: f64,
 ) -> ConceptDef {
-    ConceptDef { mediated: Some(mediated), kind: Some(kind), names, optional }
+    ConceptDef {
+        mediated: Some(mediated),
+        kind: Some(kind),
+        names,
+        optional,
+    }
 }
 
 /// A matchable group (non-leaf) concept.
 pub(crate) fn group(mediated: &'static str, names: [&'static str; 5]) -> ConceptDef {
-    ConceptDef { mediated: Some(mediated), kind: None, names, optional: 0.0 }
+    ConceptDef {
+        mediated: Some(mediated),
+        kind: None,
+        names,
+        optional: 0.0,
+    }
 }
 
 /// An unmatchable (OTHER) leaf concept.
 pub(crate) fn other(kind: ValueKind, names: [&'static str; 5], optional: f64) -> ConceptDef {
-    ConceptDef { mediated: None, kind: Some(kind), names, optional }
+    ConceptDef {
+        mediated: None,
+        kind: Some(kind),
+        names,
+        optional,
+    }
 }

@@ -17,31 +17,193 @@ use TreeNode::{Group, Leaf};
 pub fn spec() -> DomainSpec {
     // Concept table. Index comments are load-bearing: trees use them.
     let concepts = vec![
-        /* 0 */ group("HOUSE", ["house-listing", "listing", "home", "item", "house"]),
-        /* 1 */ group("ADDRESS", ["address", "addr", "where", "loc-info", "location"]),
-        /* 2 */ leaf("STREET", V::StreetAddress, ["street", "street-address", "str", "address1", "street"], 0.05),
-        /* 3 */ leaf("CITY", V::City, ["city", "city", "town", "city", "city"], 0.0),
-        /* 4 */ leaf("STATE", V::State, ["state", "state", "st", "state", "state"], 0.0),
-        /* 5 */ leaf("ZIP", V::Zip, ["zip", "zipcode", "postal-code", "zip", "zip-code"], 0.1),
-        /* 6 */ leaf("PRICE", V::Price, ["price", "listed-price", "asking-price", "cost", "price"], 0.0),
-        /* 7 */ leaf("DESCRIPTION", V::Description, ["description", "comments", "extra-info", "details", "remarks"], 0.0),
-        /* 8 */ leaf("BEDS", V::Beds, ["beds", "num-bedrooms", "bedrooms", "br", "beds"], 0.0),
-        /* 9 */ leaf("BATHS", V::Baths, ["baths", "num-bathrooms", "bathrooms", "ba", "baths"], 0.0),
-        /* 10 */ leaf("SQFT", V::SqFt, ["sqft", "square-feet", "area-size", "size", "sq-ft"], 0.1),
-        /* 11 */ leaf("YEAR-BUILT", V::YearBuilt, ["year-built", "built", "yr-built", "year", "built-in"], 0.15),
-        /* 12 */ group("CONTACT-INFO", ["contact", "contact-info", "realtor", "agent-info", "contact-details"]),
-        /* 13 */ leaf("AGENT-NAME", V::PersonName, ["agent-name", "agent", "realtor-name", "name", "listing-agent"], 0.0),
-        /* 14 */ leaf("AGENT-PHONE", V::Phone, ["agent-phone", "phone", "realtor-phone", "telephone", "contact-phone"], 0.0),
-        /* 15 */ leaf("FIRM", V::FirmName, ["firm", "office", "brokerage", "company", "firm-name"], 0.1),
-        /* 16 */ group("FEATURES", ["features", "feature-list", "amenities", "props", "extras"]),
-        /* 17 */ leaf("STYLE", V::HouseStyle, ["style", "house-style", "type", "bldg-style", "home-style"], 0.1),
-        /* 18 */ leaf("HEATING", V::Heating, ["heating", "heat", "heating-type", "heat-sys", "heat-source"], 0.1),
-        /* 19 */ leaf("COOLING", V::Cooling, ["cooling", "cool", "cooling-type", "ac", "air-cond"], 0.15),
+        /* 0 */
+        group(
+            "HOUSE",
+            ["house-listing", "listing", "home", "item", "house"],
+        ),
+        /* 1 */
+        group(
+            "ADDRESS",
+            ["address", "addr", "where", "loc-info", "location"],
+        ),
+        /* 2 */
+        leaf(
+            "STREET",
+            V::StreetAddress,
+            ["street", "street-address", "str", "address1", "street"],
+            0.05,
+        ),
+        /* 3 */
+        leaf(
+            "CITY",
+            V::City,
+            ["city", "city", "town", "city", "city"],
+            0.0,
+        ),
+        /* 4 */
+        leaf(
+            "STATE",
+            V::State,
+            ["state", "state", "st", "state", "state"],
+            0.0,
+        ),
+        /* 5 */
+        leaf(
+            "ZIP",
+            V::Zip,
+            ["zip", "zipcode", "postal-code", "zip", "zip-code"],
+            0.1,
+        ),
+        /* 6 */
+        leaf(
+            "PRICE",
+            V::Price,
+            ["price", "listed-price", "asking-price", "cost", "price"],
+            0.0,
+        ),
+        /* 7 */
+        leaf(
+            "DESCRIPTION",
+            V::Description,
+            [
+                "description",
+                "comments",
+                "extra-info",
+                "details",
+                "remarks",
+            ],
+            0.0,
+        ),
+        /* 8 */
+        leaf(
+            "BEDS",
+            V::Beds,
+            ["beds", "num-bedrooms", "bedrooms", "br", "beds"],
+            0.0,
+        ),
+        /* 9 */
+        leaf(
+            "BATHS",
+            V::Baths,
+            ["baths", "num-bathrooms", "bathrooms", "ba", "baths"],
+            0.0,
+        ),
+        /* 10 */
+        leaf(
+            "SQFT",
+            V::SqFt,
+            ["sqft", "square-feet", "area-size", "size", "sq-ft"],
+            0.1,
+        ),
+        /* 11 */
+        leaf(
+            "YEAR-BUILT",
+            V::YearBuilt,
+            ["year-built", "built", "yr-built", "year", "built-in"],
+            0.15,
+        ),
+        /* 12 */
+        group(
+            "CONTACT-INFO",
+            [
+                "contact",
+                "contact-info",
+                "realtor",
+                "agent-info",
+                "contact-details",
+            ],
+        ),
+        /* 13 */
+        leaf(
+            "AGENT-NAME",
+            V::PersonName,
+            [
+                "agent-name",
+                "agent",
+                "realtor-name",
+                "name",
+                "listing-agent",
+            ],
+            0.0,
+        ),
+        /* 14 */
+        leaf(
+            "AGENT-PHONE",
+            V::Phone,
+            [
+                "agent-phone",
+                "phone",
+                "realtor-phone",
+                "telephone",
+                "contact-phone",
+            ],
+            0.0,
+        ),
+        /* 15 */
+        leaf(
+            "FIRM",
+            V::FirmName,
+            ["firm", "office", "brokerage", "company", "firm-name"],
+            0.1,
+        ),
+        /* 16 */
+        group(
+            "FEATURES",
+            ["features", "feature-list", "amenities", "props", "extras"],
+        ),
+        /* 17 */
+        leaf(
+            "STYLE",
+            V::HouseStyle,
+            ["style", "house-style", "type", "bldg-style", "home-style"],
+            0.1,
+        ),
+        /* 18 */
+        leaf(
+            "HEATING",
+            V::Heating,
+            ["heating", "heat", "heating-type", "heat-sys", "heat-source"],
+            0.1,
+        ),
+        /* 19 */
+        leaf(
+            "COOLING",
+            V::Cooling,
+            ["cooling", "cool", "cooling-type", "ac", "air-cond"],
+            0.15,
+        ),
         // Unmatchable (OTHER) concepts: present in some sources only.
-        /* 20 */ other(V::Url, ["virtual-tour", "link", "tour-url", "web", "tour-link"], 0.2),
-        /* 21 */ other(V::MlsNumber, ["mls", "mls-num", "mls-number", "mls-id", "mls-code"], 0.0),
-        /* 22 */ other(V::DateValue, ["date-listed", "listed-on", "post-date", "date", "listing-date"], 0.1),
-        /* 23 */ other(V::HoaFee, ["hoa", "hoa-fee", "assoc-fee", "hoa-dues", "hoa-monthly"], 0.3),
+        /* 20 */
+        other(
+            V::Url,
+            ["virtual-tour", "link", "tour-url", "web", "tour-link"],
+            0.2,
+        ),
+        /* 21 */
+        other(
+            V::MlsNumber,
+            ["mls", "mls-num", "mls-number", "mls-id", "mls-code"],
+            0.0,
+        ),
+        /* 22 */
+        other(
+            V::DateValue,
+            [
+                "date-listed",
+                "listed-on",
+                "post-date",
+                "date",
+                "listing-date",
+            ],
+            0.1,
+        ),
+        /* 23 */
+        other(
+            V::HoaFee,
+            ["hoa", "hoa-fee", "assoc-fee", "hoa-dues", "hoa-monthly"],
+            0.3,
+        ),
     ];
 
     let mediated_root = Group(
@@ -175,46 +337,142 @@ pub fn spec() -> DomainSpec {
 
     let h = DomainConstraint::hard;
     let constraints = vec![
-        h(Predicate::ExactlyOne { label: "HOUSE".into() }),
-        h(Predicate::AtMostOne { label: "PRICE".into() }),
-        h(Predicate::AtMostOne { label: "ADDRESS".into() }),
-        h(Predicate::AtMostOne { label: "DESCRIPTION".into() }),
-        h(Predicate::AtMostOne { label: "BEDS".into() }),
-        h(Predicate::AtMostOne { label: "BATHS".into() }),
-        h(Predicate::AtMostOne { label: "ZIP".into() }),
-        h(Predicate::AtMostOne { label: "CITY".into() }),
-        h(Predicate::AtMostOne { label: "STATE".into() }),
-        h(Predicate::AtMostOne { label: "AGENT-NAME".into() }),
-        h(Predicate::AtMostOne { label: "AGENT-PHONE".into() }),
-        h(Predicate::AtMostOne { label: "CONTACT-INFO".into() }),
-        h(Predicate::NestedIn { outer: "HOUSE".into(), inner: "PRICE".into() }),
-        h(Predicate::NestedIn { outer: "ADDRESS".into(), inner: "STREET".into() }),
-        h(Predicate::NestedIn { outer: "ADDRESS".into(), inner: "CITY".into() }),
-        h(Predicate::NestedIn { outer: "ADDRESS".into(), inner: "STATE".into() }),
-        h(Predicate::NestedIn { outer: "ADDRESS".into(), inner: "ZIP".into() }),
-        h(Predicate::NestedIn { outer: "FEATURES".into(), inner: "STYLE".into() }),
-        h(Predicate::NestedIn { outer: "FEATURES".into(), inner: "HEATING".into() }),
-        h(Predicate::NestedIn { outer: "FEATURES".into(), inner: "COOLING".into() }),
-        h(Predicate::NotNestedIn { outer: "ADDRESS".into(), inner: "PRICE".into() }),
-        h(Predicate::NotNestedIn { outer: "FEATURES".into(), inner: "AGENT-NAME".into() }),
-        h(Predicate::Contiguous { a: "CITY".into(), b: "STATE".into() }),
-        h(Predicate::NestedIn { outer: "CONTACT-INFO".into(), inner: "AGENT-NAME".into() }),
-        h(Predicate::NestedIn { outer: "CONTACT-INFO".into(), inner: "AGENT-PHONE".into() }),
-        h(Predicate::NotNestedIn { outer: "CONTACT-INFO".into(), inner: "PRICE".into() }),
-        h(Predicate::NotNestedIn { outer: "ADDRESS".into(), inner: "AGENT-PHONE".into() }),
-        h(Predicate::Contiguous { a: "BEDS".into(), b: "BATHS".into() }),
-        h(Predicate::IsNumeric { label: "BEDS".into() }),
-        h(Predicate::IsNumeric { label: "BATHS".into() }),
-        h(Predicate::IsNumeric { label: "SQFT".into() }),
-        h(Predicate::IsNumeric { label: "YEAR-BUILT".into() }),
-        h(Predicate::IsNumeric { label: "PRICE".into() }),
-        h(Predicate::IsNumeric { label: "ZIP".into() }),
-        h(Predicate::IsTextual { label: "DESCRIPTION".into() }),
-        h(Predicate::IsTextual { label: "CITY".into() }),
-        h(Predicate::IsTextual { label: "AGENT-NAME".into() }),
-        DomainConstraint::soft(Predicate::AtMostK { label: "DESCRIPTION".into(), k: 2 }),
+        h(Predicate::ExactlyOne {
+            label: "HOUSE".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "PRICE".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "ADDRESS".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "DESCRIPTION".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "BEDS".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "BATHS".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "ZIP".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "CITY".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "STATE".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "AGENT-NAME".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "AGENT-PHONE".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "CONTACT-INFO".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "HOUSE".into(),
+            inner: "PRICE".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "ADDRESS".into(),
+            inner: "STREET".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "ADDRESS".into(),
+            inner: "CITY".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "ADDRESS".into(),
+            inner: "STATE".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "ADDRESS".into(),
+            inner: "ZIP".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "FEATURES".into(),
+            inner: "STYLE".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "FEATURES".into(),
+            inner: "HEATING".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "FEATURES".into(),
+            inner: "COOLING".into(),
+        }),
+        h(Predicate::NotNestedIn {
+            outer: "ADDRESS".into(),
+            inner: "PRICE".into(),
+        }),
+        h(Predicate::NotNestedIn {
+            outer: "FEATURES".into(),
+            inner: "AGENT-NAME".into(),
+        }),
+        h(Predicate::Contiguous {
+            a: "CITY".into(),
+            b: "STATE".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "CONTACT-INFO".into(),
+            inner: "AGENT-NAME".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "CONTACT-INFO".into(),
+            inner: "AGENT-PHONE".into(),
+        }),
+        h(Predicate::NotNestedIn {
+            outer: "CONTACT-INFO".into(),
+            inner: "PRICE".into(),
+        }),
+        h(Predicate::NotNestedIn {
+            outer: "ADDRESS".into(),
+            inner: "AGENT-PHONE".into(),
+        }),
+        h(Predicate::Contiguous {
+            a: "BEDS".into(),
+            b: "BATHS".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "BEDS".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "BATHS".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "SQFT".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "YEAR-BUILT".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "PRICE".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "ZIP".into(),
+        }),
+        h(Predicate::IsTextual {
+            label: "DESCRIPTION".into(),
+        }),
+        h(Predicate::IsTextual {
+            label: "CITY".into(),
+        }),
+        h(Predicate::IsTextual {
+            label: "AGENT-NAME".into(),
+        }),
+        DomainConstraint::soft(Predicate::AtMostK {
+            label: "DESCRIPTION".into(),
+            k: 2,
+        }),
         DomainConstraint::numeric(
-            Predicate::Proximity { a: "AGENT-NAME".into(), b: "AGENT-PHONE".into() },
+            Predicate::Proximity {
+                a: "AGENT-NAME".into(),
+                b: "AGENT-PHONE".into(),
+            },
             0.2,
         ),
     ];

@@ -42,72 +42,712 @@ mod c {
 
 fn concepts() -> Vec<ConceptDef> {
     vec![
-        /* 0 */ group("LISTING", ["listing", "property", "home-for-sale", "re-listing", "house-record"]),
-        /* 1 */ group("HOUSE", ["house", "residence", "building-info", "structure", "dwelling"]),
-        /* 2 */ group("BASIC", ["basic", "basics", "main-facts", "key-facts", "general"]),
-        /* 3 */ leaf("BEDS", V::Beds, ["beds", "bedrooms", "num-beds", "br", "bed-count"], 0.0),
-        /* 4 */ leaf("BATHS", V::Baths, ["baths", "bathrooms", "num-baths", "ba", "bath-count"], 0.0),
-        /* 5 */ leaf("HALF-BATHS", V::GarageSpaces, ["half-baths", "powder-rooms", "half-bath-count", "hba", "partial-baths"], 0.2),
-        /* 6 */ leaf("SQFT", V::SqFt, ["sqft", "square-feet", "living-area", "size", "floor-area"], 0.05),
-        /* 7 */ leaf("YEAR-BUILT", V::YearBuilt, ["year-built", "built", "yr-built", "construction-year", "vintage"], 0.1),
-        /* 8 */ leaf("STYLE", V::HouseStyle, ["style", "house-style", "architecture", "bldg-style", "home-type"], 0.1),
-        /* 9 */ leaf("STORIES", V::GarageSpaces, ["stories", "levels", "floors", "num-stories", "story-count"], 0.1),
-        /* 10 */ leaf("GARAGE", V::GarageSpaces, ["garage", "garage-spaces", "parking", "car-spaces", "garage-size"], 0.1),
-        /* 11 */ group("INTERIOR", ["interior", "inside", "interior-features", "indoors", "interior-info"]),
-        /* 12 */ leaf("FLOORING", V::Flooring, ["flooring", "floors-type", "floor-covering", "floor-material", "floor-finish"], 0.1),
-        /* 13 */ leaf("FIREPLACE", V::YesNo, ["fireplace", "has-fireplace", "fireplaces", "frplc", "fire-place"], 0.1),
-        /* 14 */ leaf("BASEMENT", V::YesNo, ["basement", "has-basement", "bsmt", "lower-level", "cellar"], 0.1),
-        /* 15 */ leaf("APPLIANCES", V::ShortRemark, ["appliances", "included-appliances", "appl", "equipment", "kitchen-appliances"], 0.2),
-        /* 16 */ leaf("HEATING", V::Heating, ["heating", "heat", "heating-system", "heat-type", "heat-source"], 0.1),
-        /* 17 */ leaf("COOLING", V::Cooling, ["cooling", "air-conditioning", "cooling-system", "ac", "air-cond"], 0.15),
-        /* 18 */ leaf("ROOMS", V::Beds, ["rooms", "total-rooms", "room-count", "num-rooms", "rm-count"], 0.1),
-        /* 19 */ leaf("LAUNDRY", V::YesNo, ["laundry", "laundry-room", "utility-room", "washer-dryer", "laundry-hookups"], 0.2),
-        /* 20 */ leaf("CONDITION", V::ShortRemark, ["condition", "property-condition", "state-of-repair", "cond", "upkeep"], 0.2),
-        /* 21 */ group("EXTERIOR", ["exterior", "outside", "exterior-features", "outdoors", "exterior-info"]),
-        /* 22 */ leaf("ROOF", V::Roof, ["roof", "roof-type", "roofing", "roof-material", "roof-kind"], 0.1),
-        /* 23 */ leaf("SIDING", V::Flooring, ["siding", "exterior-finish", "cladding", "facade", "outer-finish"], 0.15),
-        /* 24 */ leaf("LOT-ACRES", V::LotAcres, ["lot-acres", "lot-size", "acreage", "lot", "land-area"], 0.1),
-        /* 25 */ leaf("POOL", V::YesNo, ["pool", "has-pool", "swimming-pool", "pool-yn", "pool-flag"], 0.1),
-        /* 26 */ leaf("WATERFRONT", V::YesNo, ["waterfront", "water-front", "on-water", "waterfront-yn", "water-access"], 0.1),
-        /* 27 */ leaf("VIEW", V::YesNo, ["view", "has-view", "scenic-view", "view-yn", "vista"], 0.1),
-        /* 28 */ leaf("FENCE", V::YesNo, ["fence", "fenced", "fenced-yard", "fence-yn", "fencing"], 0.2),
-        /* 29 */ leaf("DECK", V::YesNo, ["deck", "has-deck", "deck-yn", "decking", "deck-flag"], 0.2),
-        /* 30 */ leaf("PATIO", V::YesNo, ["patio", "has-patio", "patio-yn", "terrace", "patio-flag"], 0.2),
-        /* 31 */ group("ADDRESS", ["address", "location", "where", "property-address", "situs"]),
-        /* 32 */ leaf("STREET", V::StreetAddress, ["street", "street-address", "addr-line", "address1", "street-addr"], 0.0),
-        /* 33 */ leaf("CITY", V::City, ["city", "municipality", "town", "city-name", "locale"], 0.0),
-        /* 34 */ leaf("STATE", V::State, ["state", "st", "state-code", "province", "state-abbr"], 0.0),
-        /* 35 */ leaf("ZIP", V::Zip, ["zip", "zipcode", "postal-code", "zip5", "zip-code"], 0.05),
-        /* 36 */ leaf("COUNTY", V::County, ["county", "county-name", "parish", "cnty", "county-area"], 0.1),
-        /* 37 */ leaf("SCHOOL-DISTRICT", V::SchoolDistrict, ["school-district", "schools", "district", "school-dist", "sd"], 0.15),
-        /* 38 */ leaf("NEIGHBORHOOD", V::City, ["neighborhood", "area", "subdivision", "community", "district-name"], 0.15),
-        /* 39 */ group("FINANCIAL", ["financial", "money-matters", "financials", "cost-info", "economics"]),
-        /* 40 */ group("PRICING", ["pricing", "price-info", "cost-details", "price-data", "asking"]),
-        /* 41 */ leaf("PRICE", V::Price, ["price", "list-price", "asking-price", "current-price", "offered-at"], 0.0),
-        /* 42 */ leaf("TAXES", V::Taxes, ["taxes", "annual-taxes", "property-tax", "tax-amount", "yearly-taxes"], 0.1),
-        /* 43 */ leaf("HOA-FEE", V::HoaFee, ["hoa-fee", "hoa", "association-fee", "hoa-dues", "monthly-dues"], 0.3),
-        /* 44 */ leaf("PRICE-PER-SQFT", V::Taxes, ["price-per-sqft", "per-sqft", "unit-price", "psf", "sqft-price"], 0.2),
-        /* 45 */ leaf("ASSESSMENT", V::Taxes, ["assessment", "assessed-value", "tax-assessment", "assessed", "valuation"], 0.2),
-        /* 46 */ group("LISTING-INFO", ["listing-info", "listing-details", "listing-facts", "listing-data", "sale-info"]),
-        /* 47 */ leaf("LISTING-ID", V::ListingId, ["listing-id", "id", "property-id", "ref-no", "record-id"], 0.0),
-        /* 48 */ leaf("MLS", V::MlsNumber, ["mls", "mls-number", "mls-num", "mls-id", "mls-code"], 0.05),
-        /* 49 */ leaf("STATUS", V::ListingStatus, ["status", "listing-status", "sale-status", "market-status", "state-of-sale"], 0.05),
-        /* 50 */ leaf("DATE-LISTED", V::DateValue, ["date-listed", "listed-on", "list-date", "posted", "entry-date"], 0.1),
-        /* 51 */ leaf("DAYS-ON-MARKET", V::SmallCount, ["days-on-market", "dom", "market-days", "days-listed", "time-on-market"], 0.15),
-        /* 52 */ group("CONTACT", ["contact", "contact-info", "who-to-call", "contacts", "inquiry"]),
-        /* 53 */ group("AGENT", ["agent", "agent-info", "listing-agent", "realtor", "sales-agent"]),
-        /* 54 */ leaf("AGENT-NAME", V::PersonName, ["agent-name", "name", "realtor-name", "agent-full-name", "rep-name"], 0.0),
-        /* 55 */ leaf("AGENT-PHONE", V::Phone, ["agent-phone", "phone", "realtor-phone", "cell", "direct-line"], 0.0),
-        /* 56 */ leaf("AGENT-EMAIL", V::Email, ["agent-email", "email", "realtor-email", "e-mail", "contact-email"], 0.1),
-        /* 57 */ group("OFFICE", ["office", "office-info", "brokerage", "firm", "listing-office"]),
-        /* 58 */ leaf("OFFICE-NAME", V::FirmName, ["office-name", "brokerage-name", "firm-name", "company", "broker"], 0.0),
-        /* 59 */ leaf("OFFICE-PHONE", V::Phone, ["office-phone", "main-phone", "firm-phone", "office-tel", "front-desk"], 0.1),
-        /* 60 */ leaf("OFFICE-ADDRESS", V::StreetAddress, ["office-address", "office-addr", "firm-address", "office-street", "branch-address"], 0.15),
-        /* 61 */ group("REMARKS", ["remarks", "comments", "notes", "descriptions", "narrative"]),
-        /* 62 */ leaf("DESCRIPTION", V::Description, ["description", "public-remarks", "marketing-remarks", "desc", "property-description"], 0.0),
-        /* 63 */ leaf("DIRECTIONS", V::ShortRemark, ["directions", "driving-directions", "how-to-get-there", "dirs", "access-notes"], 0.2),
-        /* 64 */ leaf("SHOWING-NOTES", V::ShortRemark, ["showing-notes", "showing-instructions", "appointment-notes", "showing", "viewing-notes"], 0.2),
-        /* 65 */ leaf("OPEN-HOUSE", V::DateValue, ["open-house", "open-house-date", "oh-date", "open-on", "next-open-house"], 0.3),
+        /* 0 */
+        group(
+            "LISTING",
+            [
+                "listing",
+                "property",
+                "home-for-sale",
+                "re-listing",
+                "house-record",
+            ],
+        ),
+        /* 1 */
+        group(
+            "HOUSE",
+            [
+                "house",
+                "residence",
+                "building-info",
+                "structure",
+                "dwelling",
+            ],
+        ),
+        /* 2 */
+        group(
+            "BASIC",
+            ["basic", "basics", "main-facts", "key-facts", "general"],
+        ),
+        /* 3 */
+        leaf(
+            "BEDS",
+            V::Beds,
+            ["beds", "bedrooms", "num-beds", "br", "bed-count"],
+            0.0,
+        ),
+        /* 4 */
+        leaf(
+            "BATHS",
+            V::Baths,
+            ["baths", "bathrooms", "num-baths", "ba", "bath-count"],
+            0.0,
+        ),
+        /* 5 */
+        leaf(
+            "HALF-BATHS",
+            V::GarageSpaces,
+            [
+                "half-baths",
+                "powder-rooms",
+                "half-bath-count",
+                "hba",
+                "partial-baths",
+            ],
+            0.2,
+        ),
+        /* 6 */
+        leaf(
+            "SQFT",
+            V::SqFt,
+            ["sqft", "square-feet", "living-area", "size", "floor-area"],
+            0.05,
+        ),
+        /* 7 */
+        leaf(
+            "YEAR-BUILT",
+            V::YearBuilt,
+            [
+                "year-built",
+                "built",
+                "yr-built",
+                "construction-year",
+                "vintage",
+            ],
+            0.1,
+        ),
+        /* 8 */
+        leaf(
+            "STYLE",
+            V::HouseStyle,
+            [
+                "style",
+                "house-style",
+                "architecture",
+                "bldg-style",
+                "home-type",
+            ],
+            0.1,
+        ),
+        /* 9 */
+        leaf(
+            "STORIES",
+            V::GarageSpaces,
+            ["stories", "levels", "floors", "num-stories", "story-count"],
+            0.1,
+        ),
+        /* 10 */
+        leaf(
+            "GARAGE",
+            V::GarageSpaces,
+            [
+                "garage",
+                "garage-spaces",
+                "parking",
+                "car-spaces",
+                "garage-size",
+            ],
+            0.1,
+        ),
+        /* 11 */
+        group(
+            "INTERIOR",
+            [
+                "interior",
+                "inside",
+                "interior-features",
+                "indoors",
+                "interior-info",
+            ],
+        ),
+        /* 12 */
+        leaf(
+            "FLOORING",
+            V::Flooring,
+            [
+                "flooring",
+                "floors-type",
+                "floor-covering",
+                "floor-material",
+                "floor-finish",
+            ],
+            0.1,
+        ),
+        /* 13 */
+        leaf(
+            "FIREPLACE",
+            V::YesNo,
+            [
+                "fireplace",
+                "has-fireplace",
+                "fireplaces",
+                "frplc",
+                "fire-place",
+            ],
+            0.1,
+        ),
+        /* 14 */
+        leaf(
+            "BASEMENT",
+            V::YesNo,
+            ["basement", "has-basement", "bsmt", "lower-level", "cellar"],
+            0.1,
+        ),
+        /* 15 */
+        leaf(
+            "APPLIANCES",
+            V::ShortRemark,
+            [
+                "appliances",
+                "included-appliances",
+                "appl",
+                "equipment",
+                "kitchen-appliances",
+            ],
+            0.2,
+        ),
+        /* 16 */
+        leaf(
+            "HEATING",
+            V::Heating,
+            [
+                "heating",
+                "heat",
+                "heating-system",
+                "heat-type",
+                "heat-source",
+            ],
+            0.1,
+        ),
+        /* 17 */
+        leaf(
+            "COOLING",
+            V::Cooling,
+            [
+                "cooling",
+                "air-conditioning",
+                "cooling-system",
+                "ac",
+                "air-cond",
+            ],
+            0.15,
+        ),
+        /* 18 */
+        leaf(
+            "ROOMS",
+            V::Beds,
+            [
+                "rooms",
+                "total-rooms",
+                "room-count",
+                "num-rooms",
+                "rm-count",
+            ],
+            0.1,
+        ),
+        /* 19 */
+        leaf(
+            "LAUNDRY",
+            V::YesNo,
+            [
+                "laundry",
+                "laundry-room",
+                "utility-room",
+                "washer-dryer",
+                "laundry-hookups",
+            ],
+            0.2,
+        ),
+        /* 20 */
+        leaf(
+            "CONDITION",
+            V::ShortRemark,
+            [
+                "condition",
+                "property-condition",
+                "state-of-repair",
+                "cond",
+                "upkeep",
+            ],
+            0.2,
+        ),
+        /* 21 */
+        group(
+            "EXTERIOR",
+            [
+                "exterior",
+                "outside",
+                "exterior-features",
+                "outdoors",
+                "exterior-info",
+            ],
+        ),
+        /* 22 */
+        leaf(
+            "ROOF",
+            V::Roof,
+            ["roof", "roof-type", "roofing", "roof-material", "roof-kind"],
+            0.1,
+        ),
+        /* 23 */
+        leaf(
+            "SIDING",
+            V::Flooring,
+            [
+                "siding",
+                "exterior-finish",
+                "cladding",
+                "facade",
+                "outer-finish",
+            ],
+            0.15,
+        ),
+        /* 24 */
+        leaf(
+            "LOT-ACRES",
+            V::LotAcres,
+            ["lot-acres", "lot-size", "acreage", "lot", "land-area"],
+            0.1,
+        ),
+        /* 25 */
+        leaf(
+            "POOL",
+            V::YesNo,
+            ["pool", "has-pool", "swimming-pool", "pool-yn", "pool-flag"],
+            0.1,
+        ),
+        /* 26 */
+        leaf(
+            "WATERFRONT",
+            V::YesNo,
+            [
+                "waterfront",
+                "water-front",
+                "on-water",
+                "waterfront-yn",
+                "water-access",
+            ],
+            0.1,
+        ),
+        /* 27 */
+        leaf(
+            "VIEW",
+            V::YesNo,
+            ["view", "has-view", "scenic-view", "view-yn", "vista"],
+            0.1,
+        ),
+        /* 28 */
+        leaf(
+            "FENCE",
+            V::YesNo,
+            ["fence", "fenced", "fenced-yard", "fence-yn", "fencing"],
+            0.2,
+        ),
+        /* 29 */
+        leaf(
+            "DECK",
+            V::YesNo,
+            ["deck", "has-deck", "deck-yn", "decking", "deck-flag"],
+            0.2,
+        ),
+        /* 30 */
+        leaf(
+            "PATIO",
+            V::YesNo,
+            ["patio", "has-patio", "patio-yn", "terrace", "patio-flag"],
+            0.2,
+        ),
+        /* 31 */
+        group(
+            "ADDRESS",
+            ["address", "location", "where", "property-address", "situs"],
+        ),
+        /* 32 */
+        leaf(
+            "STREET",
+            V::StreetAddress,
+            [
+                "street",
+                "street-address",
+                "addr-line",
+                "address1",
+                "street-addr",
+            ],
+            0.0,
+        ),
+        /* 33 */
+        leaf(
+            "CITY",
+            V::City,
+            ["city", "municipality", "town", "city-name", "locale"],
+            0.0,
+        ),
+        /* 34 */
+        leaf(
+            "STATE",
+            V::State,
+            ["state", "st", "state-code", "province", "state-abbr"],
+            0.0,
+        ),
+        /* 35 */
+        leaf(
+            "ZIP",
+            V::Zip,
+            ["zip", "zipcode", "postal-code", "zip5", "zip-code"],
+            0.05,
+        ),
+        /* 36 */
+        leaf(
+            "COUNTY",
+            V::County,
+            ["county", "county-name", "parish", "cnty", "county-area"],
+            0.1,
+        ),
+        /* 37 */
+        leaf(
+            "SCHOOL-DISTRICT",
+            V::SchoolDistrict,
+            [
+                "school-district",
+                "schools",
+                "district",
+                "school-dist",
+                "sd",
+            ],
+            0.15,
+        ),
+        /* 38 */
+        leaf(
+            "NEIGHBORHOOD",
+            V::City,
+            [
+                "neighborhood",
+                "area",
+                "subdivision",
+                "community",
+                "district-name",
+            ],
+            0.15,
+        ),
+        /* 39 */
+        group(
+            "FINANCIAL",
+            [
+                "financial",
+                "money-matters",
+                "financials",
+                "cost-info",
+                "economics",
+            ],
+        ),
+        /* 40 */
+        group(
+            "PRICING",
+            [
+                "pricing",
+                "price-info",
+                "cost-details",
+                "price-data",
+                "asking",
+            ],
+        ),
+        /* 41 */
+        leaf(
+            "PRICE",
+            V::Price,
+            [
+                "price",
+                "list-price",
+                "asking-price",
+                "current-price",
+                "offered-at",
+            ],
+            0.0,
+        ),
+        /* 42 */
+        leaf(
+            "TAXES",
+            V::Taxes,
+            [
+                "taxes",
+                "annual-taxes",
+                "property-tax",
+                "tax-amount",
+                "yearly-taxes",
+            ],
+            0.1,
+        ),
+        /* 43 */
+        leaf(
+            "HOA-FEE",
+            V::HoaFee,
+            [
+                "hoa-fee",
+                "hoa",
+                "association-fee",
+                "hoa-dues",
+                "monthly-dues",
+            ],
+            0.3,
+        ),
+        /* 44 */
+        leaf(
+            "PRICE-PER-SQFT",
+            V::Taxes,
+            [
+                "price-per-sqft",
+                "per-sqft",
+                "unit-price",
+                "psf",
+                "sqft-price",
+            ],
+            0.2,
+        ),
+        /* 45 */
+        leaf(
+            "ASSESSMENT",
+            V::Taxes,
+            [
+                "assessment",
+                "assessed-value",
+                "tax-assessment",
+                "assessed",
+                "valuation",
+            ],
+            0.2,
+        ),
+        /* 46 */
+        group(
+            "LISTING-INFO",
+            [
+                "listing-info",
+                "listing-details",
+                "listing-facts",
+                "listing-data",
+                "sale-info",
+            ],
+        ),
+        /* 47 */
+        leaf(
+            "LISTING-ID",
+            V::ListingId,
+            ["listing-id", "id", "property-id", "ref-no", "record-id"],
+            0.0,
+        ),
+        /* 48 */
+        leaf(
+            "MLS",
+            V::MlsNumber,
+            ["mls", "mls-number", "mls-num", "mls-id", "mls-code"],
+            0.05,
+        ),
+        /* 49 */
+        leaf(
+            "STATUS",
+            V::ListingStatus,
+            [
+                "status",
+                "listing-status",
+                "sale-status",
+                "market-status",
+                "state-of-sale",
+            ],
+            0.05,
+        ),
+        /* 50 */
+        leaf(
+            "DATE-LISTED",
+            V::DateValue,
+            [
+                "date-listed",
+                "listed-on",
+                "list-date",
+                "posted",
+                "entry-date",
+            ],
+            0.1,
+        ),
+        /* 51 */
+        leaf(
+            "DAYS-ON-MARKET",
+            V::SmallCount,
+            [
+                "days-on-market",
+                "dom",
+                "market-days",
+                "days-listed",
+                "time-on-market",
+            ],
+            0.15,
+        ),
+        /* 52 */
+        group(
+            "CONTACT",
+            [
+                "contact",
+                "contact-info",
+                "who-to-call",
+                "contacts",
+                "inquiry",
+            ],
+        ),
+        /* 53 */
+        group(
+            "AGENT",
+            [
+                "agent",
+                "agent-info",
+                "listing-agent",
+                "realtor",
+                "sales-agent",
+            ],
+        ),
+        /* 54 */
+        leaf(
+            "AGENT-NAME",
+            V::PersonName,
+            [
+                "agent-name",
+                "name",
+                "realtor-name",
+                "agent-full-name",
+                "rep-name",
+            ],
+            0.0,
+        ),
+        /* 55 */
+        leaf(
+            "AGENT-PHONE",
+            V::Phone,
+            [
+                "agent-phone",
+                "phone",
+                "realtor-phone",
+                "cell",
+                "direct-line",
+            ],
+            0.0,
+        ),
+        /* 56 */
+        leaf(
+            "AGENT-EMAIL",
+            V::Email,
+            [
+                "agent-email",
+                "email",
+                "realtor-email",
+                "e-mail",
+                "contact-email",
+            ],
+            0.1,
+        ),
+        /* 57 */
+        group(
+            "OFFICE",
+            [
+                "office",
+                "office-info",
+                "brokerage",
+                "firm",
+                "listing-office",
+            ],
+        ),
+        /* 58 */
+        leaf(
+            "OFFICE-NAME",
+            V::FirmName,
+            [
+                "office-name",
+                "brokerage-name",
+                "firm-name",
+                "company",
+                "broker",
+            ],
+            0.0,
+        ),
+        /* 59 */
+        leaf(
+            "OFFICE-PHONE",
+            V::Phone,
+            [
+                "office-phone",
+                "main-phone",
+                "firm-phone",
+                "office-tel",
+                "front-desk",
+            ],
+            0.1,
+        ),
+        /* 60 */
+        leaf(
+            "OFFICE-ADDRESS",
+            V::StreetAddress,
+            [
+                "office-address",
+                "office-addr",
+                "firm-address",
+                "office-street",
+                "branch-address",
+            ],
+            0.15,
+        ),
+        /* 61 */
+        group(
+            "REMARKS",
+            ["remarks", "comments", "notes", "descriptions", "narrative"],
+        ),
+        /* 62 */
+        leaf(
+            "DESCRIPTION",
+            V::Description,
+            [
+                "description",
+                "public-remarks",
+                "marketing-remarks",
+                "desc",
+                "property-description",
+            ],
+            0.0,
+        ),
+        /* 63 */
+        leaf(
+            "DIRECTIONS",
+            V::ShortRemark,
+            [
+                "directions",
+                "driving-directions",
+                "how-to-get-there",
+                "dirs",
+                "access-notes",
+            ],
+            0.2,
+        ),
+        /* 64 */
+        leaf(
+            "SHOWING-NOTES",
+            V::ShortRemark,
+            [
+                "showing-notes",
+                "showing-instructions",
+                "appointment-notes",
+                "showing",
+                "viewing-notes",
+            ],
+            0.2,
+        ),
+        /* 65 */
+        leaf(
+            "OPEN-HOUSE",
+            V::DateValue,
+            [
+                "open-house",
+                "open-house-date",
+                "oh-date",
+                "open-on",
+                "next-open-house",
+            ],
+            0.3,
+        ),
     ]
 }
 
@@ -165,7 +805,10 @@ fn build_source(plan: &Plan) -> SourceStructure {
         children.push(Group(c::CONTACT, contact_parts));
     }
     children.push(Group(c::REMARKS, leaves(plan.remarks)));
-    SourceStructure { name: plan.name, root: Group(c::LISTING, children) }
+    SourceStructure {
+        name: plan.name,
+        root: Group(c::LISTING, children),
+    }
 }
 
 /// Builds the Real Estate II specification.
@@ -272,46 +915,137 @@ pub fn spec() -> DomainSpec {
 
     let h = DomainConstraint::hard;
     let constraints = vec![
-        h(Predicate::ExactlyOne { label: "LISTING".into() }),
-        h(Predicate::ExactlyOne { label: "PRICE".into() }),
-        h(Predicate::AtMostOne { label: "BEDS".into() }),
-        h(Predicate::AtMostOne { label: "BATHS".into() }),
-        h(Predicate::AtMostOne { label: "SQFT".into() }),
-        h(Predicate::AtMostOne { label: "STREET".into() }),
-        h(Predicate::AtMostOne { label: "CITY".into() }),
-        h(Predicate::AtMostOne { label: "ZIP".into() }),
-        h(Predicate::AtMostOne { label: "AGENT-NAME".into() }),
-        h(Predicate::AtMostOne { label: "AGENT-PHONE".into() }),
-        h(Predicate::AtMostOne { label: "OFFICE-NAME".into() }),
-        h(Predicate::AtMostOne { label: "DESCRIPTION".into() }),
-        h(Predicate::AtMostOne { label: "LISTING-ID".into() }),
-        h(Predicate::AtMostOne { label: "AGENT".into() }),
-        h(Predicate::AtMostOne { label: "OFFICE".into() }),
-        h(Predicate::IsKey { label: "LISTING-ID".into() }),
-        h(Predicate::NestedIn { outer: "AGENT".into(), inner: "AGENT-NAME".into() }),
-        h(Predicate::NestedIn { outer: "AGENT".into(), inner: "AGENT-PHONE".into() }),
-        h(Predicate::NestedIn { outer: "OFFICE".into(), inner: "OFFICE-NAME".into() }),
-        h(Predicate::NestedIn { outer: "ADDRESS".into(), inner: "STREET".into() }),
-        h(Predicate::NestedIn { outer: "ADDRESS".into(), inner: "ZIP".into() }),
-        h(Predicate::NestedIn { outer: "PRICING".into(), inner: "PRICE".into() }),
-        h(Predicate::NotNestedIn { outer: "AGENT".into(), inner: "PRICE".into() }),
-        h(Predicate::NotNestedIn { outer: "OFFICE".into(), inner: "AGENT-NAME".into() }),
-        h(Predicate::NotNestedIn { outer: "ADDRESS".into(), inner: "AGENT-PHONE".into() }),
-        h(Predicate::Contiguous { a: "BEDS".into(), b: "BATHS".into() }),
-        h(Predicate::Contiguous { a: "CITY".into(), b: "STATE".into() }),
-        h(Predicate::IsNumeric { label: "BEDS".into() }),
-        h(Predicate::IsNumeric { label: "BATHS".into() }),
-        h(Predicate::IsNumeric { label: "SQFT".into() }),
-        h(Predicate::IsNumeric { label: "PRICE".into() }),
-        h(Predicate::IsNumeric { label: "ZIP".into() }),
-        h(Predicate::IsNumeric { label: "YEAR-BUILT".into() }),
-        h(Predicate::IsNumeric { label: "LISTING-ID".into() }),
-        h(Predicate::IsNumeric { label: "DAYS-ON-MARKET".into() }),
-        h(Predicate::IsTextual { label: "DESCRIPTION".into() }),
-        h(Predicate::IsTextual { label: "CITY".into() }),
-        h(Predicate::IsTextual { label: "AGENT-NAME".into() }),
-        h(Predicate::IsTextual { label: "OFFICE-NAME".into() }),
-        h(Predicate::IsTextual { label: "STATUS".into() }),
+        h(Predicate::ExactlyOne {
+            label: "LISTING".into(),
+        }),
+        h(Predicate::ExactlyOne {
+            label: "PRICE".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "BEDS".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "BATHS".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "SQFT".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "STREET".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "CITY".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "ZIP".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "AGENT-NAME".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "AGENT-PHONE".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "OFFICE-NAME".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "DESCRIPTION".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "LISTING-ID".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "AGENT".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "OFFICE".into(),
+        }),
+        h(Predicate::IsKey {
+            label: "LISTING-ID".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "AGENT".into(),
+            inner: "AGENT-NAME".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "AGENT".into(),
+            inner: "AGENT-PHONE".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "OFFICE".into(),
+            inner: "OFFICE-NAME".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "ADDRESS".into(),
+            inner: "STREET".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "ADDRESS".into(),
+            inner: "ZIP".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "PRICING".into(),
+            inner: "PRICE".into(),
+        }),
+        h(Predicate::NotNestedIn {
+            outer: "AGENT".into(),
+            inner: "PRICE".into(),
+        }),
+        h(Predicate::NotNestedIn {
+            outer: "OFFICE".into(),
+            inner: "AGENT-NAME".into(),
+        }),
+        h(Predicate::NotNestedIn {
+            outer: "ADDRESS".into(),
+            inner: "AGENT-PHONE".into(),
+        }),
+        h(Predicate::Contiguous {
+            a: "BEDS".into(),
+            b: "BATHS".into(),
+        }),
+        h(Predicate::Contiguous {
+            a: "CITY".into(),
+            b: "STATE".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "BEDS".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "BATHS".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "SQFT".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "PRICE".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "ZIP".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "YEAR-BUILT".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "LISTING-ID".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "DAYS-ON-MARKET".into(),
+        }),
+        h(Predicate::IsTextual {
+            label: "DESCRIPTION".into(),
+        }),
+        h(Predicate::IsTextual {
+            label: "CITY".into(),
+        }),
+        h(Predicate::IsTextual {
+            label: "AGENT-NAME".into(),
+        }),
+        h(Predicate::IsTextual {
+            label: "OFFICE-NAME".into(),
+        }),
+        h(Predicate::IsTextual {
+            label: "STATUS".into(),
+        }),
         // Soft, not hard: wrapper segmentation noise can smear a fragment
         // of a neighbouring field into a STATE cell, spuriously "refuting"
         // the dependency for one listing. The FD is real domain knowledge,
@@ -320,13 +1054,22 @@ pub fn spec() -> DomainSpec {
             determinants: vec!["ZIP".into()],
             dependent: "STATE".into(),
         }),
-        DomainConstraint::soft(Predicate::AtMostK { label: "DESCRIPTION".into(), k: 2 }),
+        DomainConstraint::soft(Predicate::AtMostK {
+            label: "DESCRIPTION".into(),
+            k: 2,
+        }),
         DomainConstraint::numeric(
-            Predicate::Proximity { a: "AGENT-NAME".into(), b: "AGENT-PHONE".into() },
+            Predicate::Proximity {
+                a: "AGENT-NAME".into(),
+                b: "AGENT-PHONE".into(),
+            },
             0.2,
         ),
         DomainConstraint::numeric(
-            Predicate::Proximity { a: "CITY".into(), b: "STATE".into() },
+            Predicate::Proximity {
+                a: "CITY".into(),
+                b: "STATE".into(),
+            },
             0.1,
         ),
     ];
@@ -403,7 +1146,11 @@ mod tests {
         s.validate().unwrap();
         let tree = SchemaTree::from_dtd(&s.mediated_dtd()).unwrap();
         assert_eq!(tree.len(), 66, "Table 3: 66 mediated tags");
-        assert_eq!(tree.non_leaf_tags().count(), 13, "Table 3: 13 non-leaf tags");
+        assert_eq!(
+            tree.non_leaf_tags().count(),
+            13,
+            "Table 3: 13 non-leaf tags"
+        );
         assert_eq!(tree.max_depth(), 4, "Table 3: depth 4");
     }
 

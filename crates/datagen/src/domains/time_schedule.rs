@@ -17,32 +17,228 @@ use TreeNode::{Group, Leaf};
 /// Builds the Time Schedule specification.
 pub fn spec() -> DomainSpec {
     let concepts = vec![
-        /* 0 */ group("COURSE-OFFERING", ["course-offering", "offering", "class", "course-entry", "course"]),
-        /* 1 */ group("COURSE", ["course-info", "course", "course-data", "subject-info", "course-details"]),
-        /* 2 */ leaf("CODE", V::CourseCode, ["code", "course-code", "course-num", "catalog-no", "course-id"], 0.0),
-        /* 3 */ leaf("TITLE", V::CourseTitle, ["title", "course-title", "name", "course-name", "class-title"], 0.0),
-        /* 4 */ leaf("CREDITS", V::Credits, ["credits", "credit-hours", "units", "cr", "num-credits"], 0.0),
-        /* 5 */ leaf("QUARTER", V::Quarter, ["quarter", "term", "semester", "session", "qtr"], 0.05),
-        /* 6 */ group("SECTION", ["section", "section-info", "sect", "sec-data", "section-details"]),
-        /* 7 */ leaf("SECTION-ID", V::Section, ["section-id", "sec", "section-letter", "sec-no", "sec-id"], 0.0),
-        /* 8 */ leaf("SLN", V::RegistrationCode, ["sln", "reg-code", "call-number", "crn", "schedule-line"], 0.0),
-        /* 9 */ leaf("ENROLLMENT", V::Enrollment, ["enrollment", "enrolled", "cur-enrolled", "taken", "num-students"], 0.1),
-        /* 10 */ leaf("LIMIT", V::EnrollLimit, ["limit", "enroll-limit", "max-enrollment", "capacity", "class-size"], 0.1),
-        /* 11 */ group("MEETING", ["meeting", "meeting-time", "when", "schedule", "times"]),
-        /* 12 */ leaf("DAYS", V::Days, ["days", "meeting-days", "day-pattern", "on-days", "week-days"], 0.0),
-        /* 13 */ leaf("TIME", V::TimeRange, ["time", "hours", "time-slot", "period", "class-time"], 0.0),
-        /* 14 */ group("LOCATION", ["location", "place", "where-at", "room-info", "venue"]),
-        /* 15 */ leaf("BUILDING", V::Building, ["building", "bldg", "hall", "building-name", "bldg-name"], 0.0),
-        /* 16 */ leaf("ROOM", V::Room, ["room", "room-no", "room-number", "rm", "room-num"], 0.0),
-        /* 17 */ group("INSTRUCTOR", ["instructor", "teacher", "taught-by", "prof-info", "staff"]),
-        /* 18 */ leaf("INSTRUCTOR-NAME", V::Instructor, ["instructor-name", "prof", "lecturer", "faculty-name", "instr"], 0.0),
-        /* 19 */ leaf("INSTRUCTOR-PHONE", V::Phone, ["instructor-phone", "office-phone", "tel", "phone-no", "contact"], 0.15),
-        /* 20 */ leaf("INSTRUCTOR-EMAIL", V::Email, ["instructor-email", "email", "e-mail", "mail", "email-addr"], 0.1),
-        /* 21 */ leaf("NOTES", V::ShortRemark, ["notes", "comment", "remark", "info", "special-notes"], 0.2),
-        /* 22 */ leaf("FEE", V::HoaFee, ["fee", "course-fee", "lab-fee", "extra-fee", "fees"], 0.3),
+        /* 0 */
+        group(
+            "COURSE-OFFERING",
+            [
+                "course-offering",
+                "offering",
+                "class",
+                "course-entry",
+                "course",
+            ],
+        ),
+        /* 1 */
+        group(
+            "COURSE",
+            [
+                "course-info",
+                "course",
+                "course-data",
+                "subject-info",
+                "course-details",
+            ],
+        ),
+        /* 2 */
+        leaf(
+            "CODE",
+            V::CourseCode,
+            [
+                "code",
+                "course-code",
+                "course-num",
+                "catalog-no",
+                "course-id",
+            ],
+            0.0,
+        ),
+        /* 3 */
+        leaf(
+            "TITLE",
+            V::CourseTitle,
+            [
+                "title",
+                "course-title",
+                "name",
+                "course-name",
+                "class-title",
+            ],
+            0.0,
+        ),
+        /* 4 */
+        leaf(
+            "CREDITS",
+            V::Credits,
+            ["credits", "credit-hours", "units", "cr", "num-credits"],
+            0.0,
+        ),
+        /* 5 */
+        leaf(
+            "QUARTER",
+            V::Quarter,
+            ["quarter", "term", "semester", "session", "qtr"],
+            0.05,
+        ),
+        /* 6 */
+        group(
+            "SECTION",
+            [
+                "section",
+                "section-info",
+                "sect",
+                "sec-data",
+                "section-details",
+            ],
+        ),
+        /* 7 */
+        leaf(
+            "SECTION-ID",
+            V::Section,
+            ["section-id", "sec", "section-letter", "sec-no", "sec-id"],
+            0.0,
+        ),
+        /* 8 */
+        leaf(
+            "SLN",
+            V::RegistrationCode,
+            ["sln", "reg-code", "call-number", "crn", "schedule-line"],
+            0.0,
+        ),
+        /* 9 */
+        leaf(
+            "ENROLLMENT",
+            V::Enrollment,
+            [
+                "enrollment",
+                "enrolled",
+                "cur-enrolled",
+                "taken",
+                "num-students",
+            ],
+            0.1,
+        ),
+        /* 10 */
+        leaf(
+            "LIMIT",
+            V::EnrollLimit,
+            [
+                "limit",
+                "enroll-limit",
+                "max-enrollment",
+                "capacity",
+                "class-size",
+            ],
+            0.1,
+        ),
+        /* 11 */
+        group(
+            "MEETING",
+            ["meeting", "meeting-time", "when", "schedule", "times"],
+        ),
+        /* 12 */
+        leaf(
+            "DAYS",
+            V::Days,
+            [
+                "days",
+                "meeting-days",
+                "day-pattern",
+                "on-days",
+                "week-days",
+            ],
+            0.0,
+        ),
+        /* 13 */
+        leaf(
+            "TIME",
+            V::TimeRange,
+            ["time", "hours", "time-slot", "period", "class-time"],
+            0.0,
+        ),
+        /* 14 */
+        group(
+            "LOCATION",
+            ["location", "place", "where-at", "room-info", "venue"],
+        ),
+        /* 15 */
+        leaf(
+            "BUILDING",
+            V::Building,
+            ["building", "bldg", "hall", "building-name", "bldg-name"],
+            0.0,
+        ),
+        /* 16 */
+        leaf(
+            "ROOM",
+            V::Room,
+            ["room", "room-no", "room-number", "rm", "room-num"],
+            0.0,
+        ),
+        /* 17 */
+        group(
+            "INSTRUCTOR",
+            ["instructor", "teacher", "taught-by", "prof-info", "staff"],
+        ),
+        /* 18 */
+        leaf(
+            "INSTRUCTOR-NAME",
+            V::Instructor,
+            [
+                "instructor-name",
+                "prof",
+                "lecturer",
+                "faculty-name",
+                "instr",
+            ],
+            0.0,
+        ),
+        /* 19 */
+        leaf(
+            "INSTRUCTOR-PHONE",
+            V::Phone,
+            [
+                "instructor-phone",
+                "office-phone",
+                "tel",
+                "phone-no",
+                "contact",
+            ],
+            0.15,
+        ),
+        /* 20 */
+        leaf(
+            "INSTRUCTOR-EMAIL",
+            V::Email,
+            ["instructor-email", "email", "e-mail", "mail", "email-addr"],
+            0.1,
+        ),
+        /* 21 */
+        leaf(
+            "NOTES",
+            V::ShortRemark,
+            ["notes", "comment", "remark", "info", "special-notes"],
+            0.2,
+        ),
+        /* 22 */
+        leaf(
+            "FEE",
+            V::HoaFee,
+            ["fee", "course-fee", "lab-fee", "extra-fee", "fees"],
+            0.3,
+        ),
         // OTHER concepts.
-        /* 23 */ other(V::Url, ["syllabus-url", "webpage", "link", "course-url", "www"], 0.2),
-        /* 24 */ other(V::DateValue, ["start-date", "begins", "first-day", "from-date", "start"], 0.1),
+        /* 23 */
+        other(
+            V::Url,
+            ["syllabus-url", "webpage", "link", "course-url", "www"],
+            0.2,
+        ),
+        /* 24 */
+        other(
+            V::DateValue,
+            ["start-date", "begins", "first-day", "from-date", "start"],
+            0.1,
+        ),
     ];
 
     let mediated_root = Group(
@@ -97,7 +293,10 @@ pub fn spec() -> DomainSpec {
                 0,
                 vec![
                     Group(1, vec![Leaf(2), Leaf(3), Leaf(4)]),
-                    Group(6, vec![Leaf(7), Leaf(8), Leaf(12), Leaf(13), Leaf(15), Leaf(16)]),
+                    Group(
+                        6,
+                        vec![Leaf(7), Leaf(8), Leaf(12), Leaf(13), Leaf(15), Leaf(16)],
+                    ),
                     Group(17, vec![Leaf(18), Leaf(20)]),
                     Leaf(21),
                 ],
@@ -165,44 +364,131 @@ pub fn spec() -> DomainSpec {
 
     let h = DomainConstraint::hard;
     let constraints = vec![
-        h(Predicate::ExactlyOne { label: "COURSE-OFFERING".into() }),
-        h(Predicate::ExactlyOne { label: "CODE".into() }),
-        h(Predicate::AtMostOne { label: "TITLE".into() }),
-        h(Predicate::AtMostOne { label: "CREDITS".into() }),
-        h(Predicate::AtMostOne { label: "DAYS".into() }),
-        h(Predicate::AtMostOne { label: "TIME".into() }),
-        h(Predicate::AtMostOne { label: "BUILDING".into() }),
-        h(Predicate::AtMostOne { label: "ROOM".into() }),
-        h(Predicate::AtMostOne { label: "SLN".into() }),
-        h(Predicate::AtMostOne { label: "INSTRUCTOR-NAME".into() }),
-        h(Predicate::NestedIn { outer: "COURSE".into(), inner: "CODE".into() }),
-        h(Predicate::NestedIn { outer: "COURSE".into(), inner: "TITLE".into() }),
-        h(Predicate::NestedIn { outer: "SECTION".into(), inner: "SLN".into() }),
-        h(Predicate::NestedIn { outer: "SECTION".into(), inner: "SECTION-ID".into() }),
-        h(Predicate::NestedIn { outer: "MEETING".into(), inner: "DAYS".into() }),
-        h(Predicate::NestedIn { outer: "MEETING".into(), inner: "TIME".into() }),
-        h(Predicate::NestedIn { outer: "LOCATION".into(), inner: "ROOM".into() }),
-        h(Predicate::NestedIn { outer: "INSTRUCTOR".into(), inner: "INSTRUCTOR-NAME".into() }),
-        h(Predicate::NotNestedIn { outer: "MEETING".into(), inner: "CODE".into() }),
-        h(Predicate::NotNestedIn { outer: "INSTRUCTOR".into(), inner: "TITLE".into() }),
-        h(Predicate::NotNestedIn { outer: "MEETING".into(), inner: "SLN".into() }),
-        h(Predicate::NotNestedIn { outer: "LOCATION".into(), inner: "DAYS".into() }),
-        h(Predicate::Contiguous { a: "DAYS".into(), b: "TIME".into() }),
-        h(Predicate::Contiguous { a: "BUILDING".into(), b: "ROOM".into() }),
-        h(Predicate::IsNumeric { label: "CREDITS".into() }),
-        h(Predicate::IsNumeric { label: "SLN".into() }),
-        h(Predicate::IsNumeric { label: "ENROLLMENT".into() }),
-        h(Predicate::IsNumeric { label: "LIMIT".into() }),
-        h(Predicate::IsNumeric { label: "ROOM".into() }),
-        h(Predicate::IsTextual { label: "TITLE".into() }),
-        h(Predicate::IsTextual { label: "INSTRUCTOR-NAME".into() }),
-        h(Predicate::IsTextual { label: "BUILDING".into() }),
+        h(Predicate::ExactlyOne {
+            label: "COURSE-OFFERING".into(),
+        }),
+        h(Predicate::ExactlyOne {
+            label: "CODE".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "TITLE".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "CREDITS".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "DAYS".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "TIME".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "BUILDING".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "ROOM".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "SLN".into(),
+        }),
+        h(Predicate::AtMostOne {
+            label: "INSTRUCTOR-NAME".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "COURSE".into(),
+            inner: "CODE".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "COURSE".into(),
+            inner: "TITLE".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "SECTION".into(),
+            inner: "SLN".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "SECTION".into(),
+            inner: "SECTION-ID".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "MEETING".into(),
+            inner: "DAYS".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "MEETING".into(),
+            inner: "TIME".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "LOCATION".into(),
+            inner: "ROOM".into(),
+        }),
+        h(Predicate::NestedIn {
+            outer: "INSTRUCTOR".into(),
+            inner: "INSTRUCTOR-NAME".into(),
+        }),
+        h(Predicate::NotNestedIn {
+            outer: "MEETING".into(),
+            inner: "CODE".into(),
+        }),
+        h(Predicate::NotNestedIn {
+            outer: "INSTRUCTOR".into(),
+            inner: "TITLE".into(),
+        }),
+        h(Predicate::NotNestedIn {
+            outer: "MEETING".into(),
+            inner: "SLN".into(),
+        }),
+        h(Predicate::NotNestedIn {
+            outer: "LOCATION".into(),
+            inner: "DAYS".into(),
+        }),
+        h(Predicate::Contiguous {
+            a: "DAYS".into(),
+            b: "TIME".into(),
+        }),
+        h(Predicate::Contiguous {
+            a: "BUILDING".into(),
+            b: "ROOM".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "CREDITS".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "SLN".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "ENROLLMENT".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "LIMIT".into(),
+        }),
+        h(Predicate::IsNumeric {
+            label: "ROOM".into(),
+        }),
+        h(Predicate::IsTextual {
+            label: "TITLE".into(),
+        }),
+        h(Predicate::IsTextual {
+            label: "INSTRUCTOR-NAME".into(),
+        }),
+        h(Predicate::IsTextual {
+            label: "BUILDING".into(),
+        }),
         // The paper's exclusivity example is course- vs section-credit; in
         // our mediated schema that pair is CREDITS vs FEE mis-assignments.
-        h(Predicate::MutuallyExclusive { a: "CREDITS".into(), b: "FEE".into() }),
-        DomainConstraint::soft(Predicate::AtMostK { label: "NOTES".into(), k: 2 }),
+        h(Predicate::MutuallyExclusive {
+            a: "CREDITS".into(),
+            b: "FEE".into(),
+        }),
+        DomainConstraint::soft(Predicate::AtMostK {
+            label: "NOTES".into(),
+            k: 2,
+        }),
         DomainConstraint::numeric(
-            Predicate::Proximity { a: "DAYS".into(), b: "TIME".into() },
+            Predicate::Proximity {
+                a: "DAYS".into(),
+                b: "TIME".into(),
+            },
             0.2,
         ),
     ];
@@ -283,7 +569,11 @@ mod tests {
                 s.sources[i].name,
                 tree.len()
             );
-            assert!((3..=5).contains(&tree.non_leaf_tags().count()), "{}", s.sources[i].name);
+            assert!(
+                (3..=5).contains(&tree.non_leaf_tags().count()),
+                "{}",
+                s.sources[i].name
+            );
             assert!(tree.max_depth() <= 4);
         }
     }

@@ -52,7 +52,8 @@ pub struct GeneratedDomain {
 /// Generates a domain from its spec. Deterministic for a given
 /// `(spec, listings_per_source, seed)` triple.
 pub fn generate(spec: &DomainSpec, listings_per_source: usize, seed: u64) -> GeneratedDomain {
-    spec.validate().unwrap_or_else(|e| panic!("invalid domain spec: {e}"));
+    spec.validate()
+        .unwrap_or_else(|e| panic!("invalid domain spec: {e}"));
     let mediated = spec.mediated_dtd();
     let sources = spec
         .sources
@@ -147,7 +148,10 @@ fn smear_adjacent_leaves(group: &mut Element, rng: &mut ChaCha8Rng) {
             continue;
         }
         let (Some(next_text), true) = (
-            group.children[i + 1].as_element().filter(|e| e.is_leaf()).map(Element::direct_text),
+            group.children[i + 1]
+                .as_element()
+                .filter(|e| e.is_leaf())
+                .map(Element::direct_text),
             group.children[i].as_element().is_some_and(Element::is_leaf),
         ) else {
             continue;
@@ -206,7 +210,10 @@ mod tests {
                 assert!(!src.mapping.is_empty());
                 for (tag, label) in &src.mapping {
                     assert!(src.dtd.decl(tag).is_some(), "{tag} not in {}", src.name);
-                    assert!(mediated_tags.contains(label.as_str()), "{label} not mediated");
+                    assert!(
+                        mediated_tags.contains(label.as_str()),
+                        "{label} not mediated"
+                    );
                 }
             }
         }

@@ -104,13 +104,17 @@ impl DomainSpec {
     /// Builds the mediated DTD from the mediated tree.
     pub fn mediated_dtd(&self) -> Dtd {
         self.build_dtd(&self.mediated_root, |c| {
-            self.concepts[c].mediated.expect("mediated tree references an OTHER concept")
+            self.concepts[c]
+                .mediated
+                .expect("mediated tree references an OTHER concept")
         })
     }
 
     /// Builds one source's DTD from its tree.
     pub fn source_dtd(&self, source: usize) -> Dtd {
-        self.build_dtd(&self.sources[source].root, |c| self.concepts[c].name_in(source))
+        self.build_dtd(&self.sources[source].root, |c| {
+            self.concepts[c].name_in(source)
+        })
     }
 
     /// Shared DTD construction: one declaration per tree node, groups as
@@ -159,7 +163,11 @@ impl DomainSpec {
     /// have generators, groups don't, names are unique per schema.
     pub fn validate(&self) -> Result<(), String> {
         if self.sources.len() != 5 {
-            return Err(format!("{}: expected 5 sources, got {}", self.name, self.sources.len()));
+            return Err(format!(
+                "{}: expected 5 sources, got {}",
+                self.name,
+                self.sources.len()
+            ));
         }
         let check_tree = |root: &TreeNode, label: &str| -> Result<(), String> {
             let mut stack = vec![root];
@@ -198,7 +206,10 @@ impl DomainSpec {
         for (s, src) in self.sources.iter().enumerate() {
             check_tree(&src.root, src.name)?;
             let concepts = src.root.concepts();
-            let mut names: Vec<&str> = concepts.iter().map(|&c| self.concepts[c].name_in(s)).collect();
+            let mut names: Vec<&str> = concepts
+                .iter()
+                .map(|&c| self.concepts[c].name_in(s))
+                .collect();
             names.sort_unstable();
             let before = names.len();
             names.dedup();
@@ -247,11 +258,26 @@ mod tests {
             concepts,
             mediated_root: TreeNode::Group(0, vec![TreeNode::Leaf(1), TreeNode::Leaf(2)]),
             sources: vec![
-                src("s0", TreeNode::Group(0, vec![TreeNode::Leaf(1), TreeNode::Leaf(2), TreeNode::Leaf(3)])),
-                src("s1", TreeNode::Group(0, vec![TreeNode::Leaf(2), TreeNode::Leaf(1)])),
+                src(
+                    "s0",
+                    TreeNode::Group(
+                        0,
+                        vec![TreeNode::Leaf(1), TreeNode::Leaf(2), TreeNode::Leaf(3)],
+                    ),
+                ),
+                src(
+                    "s1",
+                    TreeNode::Group(0, vec![TreeNode::Leaf(2), TreeNode::Leaf(1)]),
+                ),
                 src("s2", TreeNode::Group(0, vec![TreeNode::Leaf(1)])),
-                src("s3", TreeNode::Group(0, vec![TreeNode::Leaf(1), TreeNode::Leaf(2)])),
-                src("s4", TreeNode::Group(0, vec![TreeNode::Leaf(1), TreeNode::Leaf(3)])),
+                src(
+                    "s3",
+                    TreeNode::Group(0, vec![TreeNode::Leaf(1), TreeNode::Leaf(2)]),
+                ),
+                src(
+                    "s4",
+                    TreeNode::Group(0, vec![TreeNode::Leaf(1), TreeNode::Leaf(3)]),
+                ),
             ],
             constraints: vec![],
             synonyms: vec![("location", "address")],

@@ -26,7 +26,10 @@ pub struct ListingContext {
 impl ListingContext {
     /// Samples a context for listing number `ordinal`.
     pub fn sample(ordinal: usize, rng: &mut ChaCha8Rng) -> Self {
-        ListingContext { city: rng.gen_range(0..vocab::CITIES.len()), ordinal }
+        ListingContext {
+            city: rng.gen_range(0..vocab::CITIES.len()),
+            ordinal,
+        }
     }
 
     fn city_name(&self) -> &'static str {
@@ -234,7 +237,11 @@ pub fn generate_value(
             }
         }
         ValueKind::PersonName => {
-            format!("{} {}", pick(vocab::FIRST_NAMES, rng), pick(vocab::LAST_NAMES, rng))
+            format!(
+                "{} {}",
+                pick(vocab::FIRST_NAMES, rng),
+                pick(vocab::LAST_NAMES, rng)
+            )
         }
         ValueKind::FirstName => pick(vocab::FIRST_NAMES, rng).to_string(),
         ValueKind::LastName => pick(vocab::LAST_NAMES, rng).to_string(),
@@ -264,7 +271,11 @@ pub fn generate_value(
                 text.push_str(&format!(
                     ". {} {}, built {}",
                     rng.gen_range(1..=5),
-                    if rng.gen_bool(0.5) { "bedrooms" } else { "baths" },
+                    if rng.gen_bool(0.5) {
+                        "bedrooms"
+                    } else {
+                        "baths"
+                    },
                     rng.gen_range(1900..=2000)
                 ));
             }
@@ -272,7 +283,11 @@ pub fn generate_value(
         }
         ValueKind::ShortRemark => {
             let adjective = *pick(vocab::DESC_ADJECTIVES, rng);
-            format!("{} {}", capitalize(adjective), pick(vocab::DESC_FEATURES, rng))
+            format!(
+                "{} {}",
+                capitalize(adjective),
+                pick(vocab::DESC_FEATURES, rng)
+            )
         }
         ValueKind::Beds => rng.gen_range(1..=6).to_string(),
         ValueKind::Baths => {
@@ -299,15 +314,23 @@ pub fn generate_value(
         ValueKind::SchoolDistrict => pick(vocab::SCHOOL_DISTRICTS, rng).to_string(),
         ValueKind::Url => format!(
             "http://www.{}homes{}.com/listing{}",
-            pick(vocab::CITIES, rng).0.to_lowercase().replace([' ', '.'], ""),
+            pick(vocab::CITIES, rng)
+                .0
+                .to_lowercase()
+                .replace([' ', '.'], ""),
             rng.gen_range(1..90),
             rng.gen_range(100..9999)
         ),
         ValueKind::Email => format!(
             "{}.{}@{}realty.com",
             pick(vocab::FIRST_NAMES, rng).to_lowercase(),
-            pick(vocab::LAST_NAMES, rng).to_lowercase().replace('\'', ""),
-            pick(vocab::CITIES, rng).0.to_lowercase().replace([' ', '.'], "")
+            pick(vocab::LAST_NAMES, rng)
+                .to_lowercase()
+                .replace('\'', ""),
+            pick(vocab::CITIES, rng)
+                .0
+                .to_lowercase()
+                .replace([' ', '.'], "")
         ),
         ValueKind::DateValue => format!(
             "{:02}/{:02}/200{}",
@@ -396,7 +419,11 @@ pub fn generate_value(
             areas.join(", ")
         }
         ValueKind::OfficeLocation => {
-            format!("{} {}", pick(vocab::BUILDINGS, rng), rng.gen_range(100..450))
+            format!(
+                "{} {}",
+                pick(vocab::BUILDINGS, rng),
+                rng.gen_range(100..450)
+            )
         }
         ValueKind::Bio => {
             let area = pick(vocab::RESEARCH_AREAS, rng);
@@ -417,7 +444,10 @@ pub fn generate_value(
                 ));
             }
             if rng.gen_bool(0.3) {
-                text.push_str(&format!(". On the faculty since {}", rng.gen_range(1970..=2000)));
+                text.push_str(&format!(
+                    ". On the faculty since {}",
+                    rng.gen_range(1970..=2000)
+                ));
             }
             text
         }
@@ -483,15 +513,25 @@ mod tests {
 
     #[test]
     fn price_formats_vary_by_style() {
-        assert!(samples(ValueKind::Price, 0, 5).iter().all(|v| v.starts_with('$')));
-        assert!(samples(ValueKind::Price, 2, 5).iter().all(|v| !v.contains('$')));
+        assert!(samples(ValueKind::Price, 0, 5)
+            .iter()
+            .all(|v| v.starts_with('$')));
+        assert!(samples(ValueKind::Price, 2, 5)
+            .iter()
+            .all(|v| !v.contains('$')));
     }
 
     #[test]
     fn phone_styles_are_consistent_within_source() {
-        assert!(samples(ValueKind::Phone, 0, 10).iter().all(|v| v.starts_with('(')));
-        assert!(samples(ValueKind::Phone, 1, 10).iter().all(|v| v.contains('-')));
-        assert!(samples(ValueKind::Phone, 2, 10).iter().all(|v| v.contains('.')));
+        assert!(samples(ValueKind::Phone, 0, 10)
+            .iter()
+            .all(|v| v.starts_with('(')));
+        assert!(samples(ValueKind::Phone, 1, 10)
+            .iter()
+            .all(|v| v.contains('-')));
+        assert!(samples(ValueKind::Phone, 2, 10)
+            .iter()
+            .all(|v| v.contains('.')));
     }
 
     #[test]
@@ -507,16 +547,27 @@ mod tests {
 
     #[test]
     fn descriptions_use_indicative_vocabulary() {
-        let all = samples(ValueKind::Description, 0, 30).join(" ").to_lowercase();
-        let hits = vocab::DESC_ADJECTIVES.iter().filter(|a| all.contains(**a)).count();
-        assert!(hits >= 5, "descriptions should reuse the adjective pool ({hits})");
+        let all = samples(ValueKind::Description, 0, 30)
+            .join(" ")
+            .to_lowercase();
+        let hits = vocab::DESC_ADJECTIVES
+            .iter()
+            .filter(|a| all.contains(**a))
+            .count();
+        assert!(
+            hits >= 5,
+            "descriptions should reuse the adjective pool ({hits})"
+        );
     }
 
     #[test]
     fn determinism_per_seed() {
         let mut r1 = rng(7);
         let mut r2 = rng(7);
-        let ctx = ListingContext { city: 3, ordinal: 5 };
+        let ctx = ListingContext {
+            city: 3,
+            ordinal: 5,
+        };
         for kind in [ValueKind::Price, ValueKind::Phone, ValueKind::Description] {
             assert_eq!(
                 generate_value(kind, 0, &ctx, &mut r1),
@@ -537,7 +588,10 @@ mod tests {
             })
             .count();
         assert!(dirty > 0, "some dirt expected");
-        assert!((dirty as f64) < n as f64 * 0.06, "dirt rate too high: {dirty}/{n}");
+        assert!(
+            (dirty as f64) < n as f64 * 0.06,
+            "dirt rate too high: {dirty}/{n}"
+        );
     }
 
     #[test]

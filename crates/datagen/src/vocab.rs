@@ -2,170 +2,429 @@
 
 /// U.S. cities with their state abbreviations.
 pub const CITIES: &[(&str, &str)] = &[
-    ("Seattle", "WA"), ("Portland", "OR"), ("Miami", "FL"), ("Boston", "MA"),
-    ("Austin", "TX"), ("Denver", "CO"), ("Chicago", "IL"), ("Atlanta", "GA"),
-    ("Phoenix", "AZ"), ("Dallas", "TX"), ("Houston", "TX"), ("Orlando", "FL"),
-    ("Tampa", "FL"), ("Spokane", "WA"), ("Tacoma", "WA"), ("Eugene", "OR"),
-    ("Salem", "OR"), ("Bellevue", "WA"), ("Kent", "WA"), ("Everett", "WA"),
-    ("San Jose", "CA"), ("Oakland", "CA"), ("Fresno", "CA"), ("Sacramento", "CA"),
-    ("Tucson", "AZ"), ("Albuquerque", "NM"), ("Omaha", "NE"), ("Tulsa", "OK"),
-    ("Memphis", "TN"), ("Nashville", "TN"), ("Charlotte", "NC"), ("Raleigh", "NC"),
-    ("Columbus", "OH"), ("Cleveland", "OH"), ("Detroit", "MI"), ("Madison", "WI"),
-    ("Minneapolis", "MN"), ("St. Paul", "MN"), ("Kansas City", "MO"), ("St. Louis", "MO"),
+    ("Seattle", "WA"),
+    ("Portland", "OR"),
+    ("Miami", "FL"),
+    ("Boston", "MA"),
+    ("Austin", "TX"),
+    ("Denver", "CO"),
+    ("Chicago", "IL"),
+    ("Atlanta", "GA"),
+    ("Phoenix", "AZ"),
+    ("Dallas", "TX"),
+    ("Houston", "TX"),
+    ("Orlando", "FL"),
+    ("Tampa", "FL"),
+    ("Spokane", "WA"),
+    ("Tacoma", "WA"),
+    ("Eugene", "OR"),
+    ("Salem", "OR"),
+    ("Bellevue", "WA"),
+    ("Kent", "WA"),
+    ("Everett", "WA"),
+    ("San Jose", "CA"),
+    ("Oakland", "CA"),
+    ("Fresno", "CA"),
+    ("Sacramento", "CA"),
+    ("Tucson", "AZ"),
+    ("Albuquerque", "NM"),
+    ("Omaha", "NE"),
+    ("Tulsa", "OK"),
+    ("Memphis", "TN"),
+    ("Nashville", "TN"),
+    ("Charlotte", "NC"),
+    ("Raleigh", "NC"),
+    ("Columbus", "OH"),
+    ("Cleveland", "OH"),
+    ("Detroit", "MI"),
+    ("Madison", "WI"),
+    ("Minneapolis", "MN"),
+    ("St. Paul", "MN"),
+    ("Kansas City", "MO"),
+    ("St. Louis", "MO"),
 ];
 
 /// County names (subset shared with `lsd-core`'s recognizer database so the
 /// recognizer actually fires on generated data).
 pub const COUNTIES: &[&str] = &[
-    "King", "Pierce", "Snohomish", "Spokane", "Clark", "Thurston", "Kitsap",
-    "Yakima", "Whatcom", "Benton", "Skagit", "Cowlitz", "Multnomah",
-    "Clackamas", "Lane", "Jackson", "Deschutes", "Cook", "DuPage", "Will",
-    "Orange", "Polk", "Brevard", "Monroe", "Madison", "Douglas", "Lincoln",
+    "King",
+    "Pierce",
+    "Snohomish",
+    "Spokane",
+    "Clark",
+    "Thurston",
+    "Kitsap",
+    "Yakima",
+    "Whatcom",
+    "Benton",
+    "Skagit",
+    "Cowlitz",
+    "Multnomah",
+    "Clackamas",
+    "Lane",
+    "Jackson",
+    "Deschutes",
+    "Cook",
+    "DuPage",
+    "Will",
+    "Orange",
+    "Polk",
+    "Brevard",
+    "Monroe",
+    "Madison",
+    "Douglas",
+    "Lincoln",
 ];
 
 /// Street names (without the number).
 pub const STREETS: &[&str] = &[
-    "Maple St", "Oak Ave", "Pine St", "Cedar Ln", "Elm St", "Birch Rd",
-    "Lake View Dr", "Sunset Blvd", "Hillcrest Ave", "Ridge Rd", "Park Ave",
-    "Main St", "2nd Ave", "5th St", "Broadway", "University Way",
-    "Greenwood Ave", "Rainier Ave", "Aurora Ave", "Meridian St",
-    "Chestnut Ct", "Willow Way", "Juniper Dr", "Magnolia Blvd", "Alder St",
+    "Maple St",
+    "Oak Ave",
+    "Pine St",
+    "Cedar Ln",
+    "Elm St",
+    "Birch Rd",
+    "Lake View Dr",
+    "Sunset Blvd",
+    "Hillcrest Ave",
+    "Ridge Rd",
+    "Park Ave",
+    "Main St",
+    "2nd Ave",
+    "5th St",
+    "Broadway",
+    "University Way",
+    "Greenwood Ave",
+    "Rainier Ave",
+    "Aurora Ave",
+    "Meridian St",
+    "Chestnut Ct",
+    "Willow Way",
+    "Juniper Dr",
+    "Magnolia Blvd",
+    "Alder St",
 ];
 
 /// First names for agents, faculty, instructors.
 pub const FIRST_NAMES: &[&str] = &[
-    "Kate", "Mike", "Jane", "Matt", "Gail", "Sarah", "David", "Laura",
-    "James", "Emily", "Robert", "Anna", "Peter", "Susan", "Thomas", "Nancy",
-    "Brian", "Carol", "Kevin", "Diane", "Steven", "Linda", "Paul", "Maria",
-    "Alan", "Rachel", "George", "Helen", "Frank", "Julia", "Eric", "Wendy",
+    "Kate", "Mike", "Jane", "Matt", "Gail", "Sarah", "David", "Laura", "James", "Emily", "Robert",
+    "Anna", "Peter", "Susan", "Thomas", "Nancy", "Brian", "Carol", "Kevin", "Diane", "Steven",
+    "Linda", "Paul", "Maria", "Alan", "Rachel", "George", "Helen", "Frank", "Julia", "Eric",
+    "Wendy",
 ];
 
 /// Last names for agents, faculty, instructors.
 pub const LAST_NAMES: &[&str] = &[
-    "Richardson", "Smith", "Kendall", "Murphy", "Johnson", "Williams",
-    "Brown", "Jones", "Garcia", "Miller", "Davis", "Wilson", "Anderson",
-    "Taylor", "Thomas", "Moore", "Martin", "Lee", "Thompson", "White",
-    "Harris", "Clark", "Lewis", "Walker", "Hall", "Young", "King", "Wright",
-    "Lopez", "Hill", "Scott", "Green", "Adams", "Baker", "Nelson", "Carter",
+    "Richardson",
+    "Smith",
+    "Kendall",
+    "Murphy",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Wilson",
+    "Anderson",
+    "Taylor",
+    "Thomas",
+    "Moore",
+    "Martin",
+    "Lee",
+    "Thompson",
+    "White",
+    "Harris",
+    "Clark",
+    "Lewis",
+    "Walker",
+    "Hall",
+    "Young",
+    "King",
+    "Wright",
+    "Lopez",
+    "Hill",
+    "Scott",
+    "Green",
+    "Adams",
+    "Baker",
+    "Nelson",
+    "Carter",
 ];
 
 /// Realtor firm names.
 pub const FIRMS: &[&str] = &[
-    "MAX Realtors", "ACME Homes", "Windermere", "Coldwell Banker",
-    "Century 21", "RE/MAX Northwest", "John L. Scott", "Keller Williams",
-    "Redfin Realty", "Evergreen Properties", "Sound Realty", "Pacific Crest Homes",
-    "Lakeside Brokers", "Summit Real Estate", "Harbor View Realty",
+    "MAX Realtors",
+    "ACME Homes",
+    "Windermere",
+    "Coldwell Banker",
+    "Century 21",
+    "RE/MAX Northwest",
+    "John L. Scott",
+    "Keller Williams",
+    "Redfin Realty",
+    "Evergreen Properties",
+    "Sound Realty",
+    "Pacific Crest Homes",
+    "Lakeside Brokers",
+    "Summit Real Estate",
+    "Harbor View Realty",
 ];
 
 /// Positive adjectives for house descriptions — the word-frequency signal
 /// the paper highlights ("fantastic", "great").
 pub const DESC_ADJECTIVES: &[&str] = &[
-    "fantastic", "great", "beautiful", "spacious", "charming", "stunning",
-    "cozy", "bright", "gorgeous", "lovely", "immaculate", "updated",
-    "remodeled", "sunny", "quiet", "modern", "classic", "elegant",
+    "fantastic",
+    "great",
+    "beautiful",
+    "spacious",
+    "charming",
+    "stunning",
+    "cozy",
+    "bright",
+    "gorgeous",
+    "lovely",
+    "immaculate",
+    "updated",
+    "remodeled",
+    "sunny",
+    "quiet",
+    "modern",
+    "classic",
+    "elegant",
 ];
 
 /// Nouns/phrases for house descriptions.
 pub const DESC_FEATURES: &[&str] = &[
-    "yard", "view", "kitchen", "garden", "deck", "fireplace", "basement",
-    "garage", "neighborhood", "location", "schools", "floor plan",
-    "hardwood floors", "master suite", "backyard", "patio", "bay windows",
-    "vaulted ceilings", "walk-in closet", "granite counters",
+    "yard",
+    "view",
+    "kitchen",
+    "garden",
+    "deck",
+    "fireplace",
+    "basement",
+    "garage",
+    "neighborhood",
+    "location",
+    "schools",
+    "floor plan",
+    "hardwood floors",
+    "master suite",
+    "backyard",
+    "patio",
+    "bay windows",
+    "vaulted ceilings",
+    "walk-in closet",
+    "granite counters",
 ];
 
 /// Trailing phrases for house descriptions.
 pub const DESC_CLOSERS: &[&str] = &[
-    "close to downtown", "near the park", "minutes from the beach",
-    "close to the river", "near great schools", "close to shopping",
-    "on a quiet street", "with easy freeway access", "near the university",
-    "walking distance to transit", "a must see", "priced to sell",
-    "move-in ready", "will not last",
+    "close to downtown",
+    "near the park",
+    "minutes from the beach",
+    "close to the river",
+    "near great schools",
+    "close to shopping",
+    "on a quiet street",
+    "with easy freeway access",
+    "near the university",
+    "walking distance to transit",
+    "a must see",
+    "priced to sell",
+    "move-in ready",
+    "will not last",
 ];
 
 /// Architectural styles.
 pub const HOUSE_STYLES: &[&str] = &[
-    "Victorian", "Craftsman", "Colonial", "Ranch", "Tudor", "Contemporary",
-    "Cape Cod", "Bungalow", "Split-Level", "Townhouse", "Mediterranean",
+    "Victorian",
+    "Craftsman",
+    "Colonial",
+    "Ranch",
+    "Tudor",
+    "Contemporary",
+    "Cape Cod",
+    "Bungalow",
+    "Split-Level",
+    "Townhouse",
+    "Mediterranean",
 ];
 
 /// Heating systems.
-pub const HEATING: &[&str] =
-    &["forced air", "radiant", "heat pump", "baseboard", "gas furnace", "electric"];
+pub const HEATING: &[&str] = &[
+    "forced air",
+    "radiant",
+    "heat pump",
+    "baseboard",
+    "gas furnace",
+    "electric",
+];
 
 /// Cooling systems.
-pub const COOLING: &[&str] = &["central air", "window units", "none", "heat pump", "evaporative"];
+pub const COOLING: &[&str] = &[
+    "central air",
+    "window units",
+    "none",
+    "heat pump",
+    "evaporative",
+];
 
 /// Roof materials.
-pub const ROOFS: &[&str] = &["composition", "tile", "metal", "cedar shake", "asphalt shingle"];
+pub const ROOFS: &[&str] = &[
+    "composition",
+    "tile",
+    "metal",
+    "cedar shake",
+    "asphalt shingle",
+];
 
 /// Flooring materials.
-pub const FLOORING: &[&str] =
-    &["hardwood", "carpet", "tile", "laminate", "vinyl", "bamboo", "concrete"];
+pub const FLOORING: &[&str] = &[
+    "hardwood", "carpet", "tile", "laminate", "vinyl", "bamboo", "concrete",
+];
 
 /// School district names.
 pub const SCHOOL_DISTRICTS: &[&str] = &[
-    "Seattle Public Schools", "Lake Washington SD", "Bellevue SD",
-    "Northshore SD", "Portland Public Schools", "Beaverton SD",
-    "Miami-Dade Schools", "Boston Public Schools", "Austin ISD", "Denver PS",
+    "Seattle Public Schools",
+    "Lake Washington SD",
+    "Bellevue SD",
+    "Northshore SD",
+    "Portland Public Schools",
+    "Beaverton SD",
+    "Miami-Dade Schools",
+    "Boston Public Schools",
+    "Austin ISD",
+    "Denver PS",
 ];
 
 /// Course subject codes.
 pub const COURSE_SUBJECTS: &[&str] = &[
-    "CSE", "MATH", "PHYS", "CHEM", "BIO", "ENGL", "HIST", "ECON", "PSYCH",
-    "PHIL", "MUSIC", "ART", "STAT", "LING", "ASTR", "GEOG", "POLS", "SOC",
+    "CSE", "MATH", "PHYS", "CHEM", "BIO", "ENGL", "HIST", "ECON", "PSYCH", "PHIL", "MUSIC", "ART",
+    "STAT", "LING", "ASTR", "GEOG", "POLS", "SOC",
 ];
 
 /// Course title fragments: (topic, level qualifier).
 pub const COURSE_TOPICS: &[&str] = &[
-    "Data Structures", "Calculus", "Linear Algebra", "Organic Chemistry",
-    "World History", "Microeconomics", "Cognitive Psychology",
-    "Operating Systems", "Databases", "Machine Learning", "Genetics",
-    "Quantum Mechanics", "American Literature", "Music Theory",
-    "Statistics", "Discrete Mathematics", "Compilers", "Networks",
-    "Algorithms", "Artificial Intelligence", "Thermodynamics", "Ethics",
-    "Astronomy", "Human Geography", "Comparative Politics", "Social Theory",
+    "Data Structures",
+    "Calculus",
+    "Linear Algebra",
+    "Organic Chemistry",
+    "World History",
+    "Microeconomics",
+    "Cognitive Psychology",
+    "Operating Systems",
+    "Databases",
+    "Machine Learning",
+    "Genetics",
+    "Quantum Mechanics",
+    "American Literature",
+    "Music Theory",
+    "Statistics",
+    "Discrete Mathematics",
+    "Compilers",
+    "Networks",
+    "Algorithms",
+    "Artificial Intelligence",
+    "Thermodynamics",
+    "Ethics",
+    "Astronomy",
+    "Human Geography",
+    "Comparative Politics",
+    "Social Theory",
 ];
 
 /// Course title qualifiers.
-pub const COURSE_QUALIFIERS: &[&str] =
-    &["Introduction to", "Advanced", "Topics in", "Foundations of", "Seminar in", ""];
+pub const COURSE_QUALIFIERS: &[&str] = &[
+    "Introduction to",
+    "Advanced",
+    "Topics in",
+    "Foundations of",
+    "Seminar in",
+    "",
+];
 
 /// Campus building names.
 pub const BUILDINGS: &[&str] = &[
-    "Sieg Hall", "Guggenheim Hall", "Kane Hall", "Smith Hall", "Loew Hall",
-    "Bagley Hall", "Johnson Hall", "Gowen Hall", "Savery Hall", "Mary Gates Hall",
-    "Thomson Hall", "Anderson Hall", "Mueller Hall", "Wilcox Hall",
+    "Sieg Hall",
+    "Guggenheim Hall",
+    "Kane Hall",
+    "Smith Hall",
+    "Loew Hall",
+    "Bagley Hall",
+    "Johnson Hall",
+    "Gowen Hall",
+    "Savery Hall",
+    "Mary Gates Hall",
+    "Thomson Hall",
+    "Anderson Hall",
+    "Mueller Hall",
+    "Wilcox Hall",
 ];
 
 /// Meeting-day patterns.
 pub const DAY_PATTERNS: &[&str] = &["MWF", "TTh", "MW", "Daily", "F", "TThF", "M", "W"];
 
 /// Academic quarters/semesters.
-pub const QUARTERS: &[&str] =
-    &["Autumn 2000", "Winter 2001", "Spring 2001", "Fall 2000", "Summer 2001"];
+pub const QUARTERS: &[&str] = &[
+    "Autumn 2000",
+    "Winter 2001",
+    "Spring 2001",
+    "Fall 2000",
+    "Summer 2001",
+];
 
 /// Universities for degrees.
 pub const UNIVERSITIES: &[&str] = &[
-    "University of Washington", "Stanford University", "MIT", "UC Berkeley",
-    "Carnegie Mellon University", "University of Wisconsin", "Cornell University",
-    "Princeton University", "University of Texas", "Georgia Tech",
-    "University of Illinois", "Caltech", "University of Michigan", "Brown University",
+    "University of Washington",
+    "Stanford University",
+    "MIT",
+    "UC Berkeley",
+    "Carnegie Mellon University",
+    "University of Wisconsin",
+    "Cornell University",
+    "Princeton University",
+    "University of Texas",
+    "Georgia Tech",
+    "University of Illinois",
+    "Caltech",
+    "University of Michigan",
+    "Brown University",
 ];
 
 /// Faculty ranks.
 pub const FACULTY_RANKS: &[&str] = &[
-    "Professor", "Associate Professor", "Assistant Professor",
-    "Senior Lecturer", "Lecturer", "Research Professor", "Professor Emeritus",
+    "Professor",
+    "Associate Professor",
+    "Assistant Professor",
+    "Senior Lecturer",
+    "Lecturer",
+    "Research Professor",
+    "Professor Emeritus",
 ];
 
 /// Research areas for faculty profiles.
 pub const RESEARCH_AREAS: &[&str] = &[
-    "databases", "machine learning", "computer architecture", "networking",
-    "operating systems", "programming languages", "computational biology",
-    "human-computer interaction", "computer graphics", "theory of computation",
-    "artificial intelligence", "computer vision", "distributed systems",
-    "natural language processing", "robotics", "security and privacy",
-    "data mining", "software engineering", "information retrieval",
+    "databases",
+    "machine learning",
+    "computer architecture",
+    "networking",
+    "operating systems",
+    "programming languages",
+    "computational biology",
+    "human-computer interaction",
+    "computer graphics",
+    "theory of computation",
+    "artificial intelligence",
+    "computer vision",
+    "distributed systems",
+    "natural language processing",
+    "robotics",
+    "security and privacy",
+    "data mining",
+    "software engineering",
+    "information retrieval",
 ];
 
 /// Degrees.
@@ -206,11 +465,33 @@ mod tests {
     fn lsd_core_counties_contains(name: &str) -> bool {
         // Keep in sync with lsd-core/src/counties.rs.
         const SAMPLE: &[&str] = &[
-            "king", "pierce", "snohomish", "spokane", "clark", "thurston",
-            "kitsap", "yakima", "whatcom", "benton", "skagit", "cowlitz",
-            "multnomah", "clackamas", "lane", "jackson", "deschutes", "cook",
-            "dupage", "will", "orange", "polk", "brevard", "monroe",
-            "madison", "douglas", "lincoln",
+            "king",
+            "pierce",
+            "snohomish",
+            "spokane",
+            "clark",
+            "thurston",
+            "kitsap",
+            "yakima",
+            "whatcom",
+            "benton",
+            "skagit",
+            "cowlitz",
+            "multnomah",
+            "clackamas",
+            "lane",
+            "jackson",
+            "deschutes",
+            "cook",
+            "dupage",
+            "will",
+            "orange",
+            "polk",
+            "brevard",
+            "monroe",
+            "madison",
+            "douglas",
+            "lincoln",
         ];
         SAMPLE.contains(&name)
     }

@@ -7,6 +7,7 @@
 //! unbiased prediction per training example, which the meta-learner uses to
 //! judge each base learner.
 
+use crate::parallel::{parallel_map, ExecPolicy};
 use crate::prediction::Prediction;
 use crate::Classifier;
 use rand::seq::SliceRandom;
@@ -35,11 +36,11 @@ pub fn fold_assignments(n: usize, d: usize, seed: u64) -> Vec<usize> {
 /// state must not leak between folds). If `n < d` the fold count shrinks to
 /// `max(2, n)`; with fewer than 2 examples the learner is trained on
 /// everything and predictions are in-sample (there is nothing to hold out).
-pub fn cross_validation_predictions<X: ?Sized, C: Classifier<X>>(
+pub fn cross_validation_predictions<X: ?Sized + Sync, C: Classifier<X>>(
     examples: &[(&X, usize)],
     d: usize,
     seed: u64,
-    make_learner: impl FnMut() -> C,
+    make_learner: impl Fn() -> C + Sync,
 ) -> Vec<Prediction> {
     let n = examples.len();
     if n < 2 {
@@ -47,7 +48,7 @@ pub fn cross_validation_predictions<X: ?Sized, C: Classifier<X>>(
     }
     let d = d.min(n).max(2);
     let folds = fold_assignments(n, d, seed);
-    predictions_for_folds(examples, &folds, d, make_learner)
+    predictions_for_folds(examples, &folds, d, &ExecPolicy::default(), make_learner)
 }
 
 /// Group-aware cross-validation: all examples sharing a group id land in
@@ -61,12 +62,35 @@ pub fn cross_validation_predictions<X: ?Sized, C: Classifier<X>>(
 /// accuracy and starving the others of stacking weight. Grouped folds make
 /// the CV estimate match the real deployment condition — a new source's
 /// tag names were never seen in training.
-pub fn cross_validation_predictions_grouped<X: ?Sized, C: Classifier<X>>(
+pub fn cross_validation_predictions_grouped<X: ?Sized + Sync, C: Classifier<X>>(
     examples: &[(&X, usize)],
     groups: &[usize],
     d: usize,
     seed: u64,
-    make_learner: impl FnMut() -> C,
+    make_learner: impl Fn() -> C + Sync,
+) -> Vec<Prediction> {
+    cross_validation_predictions_grouped_with(
+        examples,
+        groups,
+        d,
+        seed,
+        &ExecPolicy::default(),
+        make_learner,
+    )
+}
+
+/// [`cross_validation_predictions_grouped`] under an explicit execution
+/// policy: the d per-fold train/predict passes are independent and run on
+/// scoped worker threads. Results are identical to the serial path for any
+/// thread count (each fold's learner sees exactly the same training set and
+/// predictions land in example order).
+pub fn cross_validation_predictions_grouped_with<X: ?Sized + Sync, C: Classifier<X>>(
+    examples: &[(&X, usize)],
+    groups: &[usize],
+    d: usize,
+    seed: u64,
+    policy: &ExecPolicy,
+    make_learner: impl Fn() -> C + Sync,
 ) -> Vec<Prediction> {
     assert_eq!(examples.len(), groups.len(), "one group per example");
     let mut distinct: Vec<usize> = groups.to_vec();
@@ -80,26 +104,32 @@ pub fn cross_validation_predictions_grouped<X: ?Sized, C: Classifier<X>>(
     let fold_of_group: std::collections::HashMap<usize, usize> =
         distinct.iter().copied().zip(group_folds).collect();
     let folds: Vec<usize> = groups.iter().map(|g| fold_of_group[g]).collect();
-    predictions_for_folds(examples, &folds, d, make_learner)
+    predictions_for_folds(examples, &folds, d, policy, make_learner)
 }
 
 fn in_sample_predictions<X: ?Sized, C: Classifier<X>>(
     examples: &[(&X, usize)],
-    mut make_learner: impl FnMut() -> C,
+    make_learner: impl Fn() -> C,
 ) -> Vec<Prediction> {
     let mut learner = make_learner();
     learner.train(examples);
     examples.iter().map(|(x, _)| learner.predict(x)).collect()
 }
 
-fn predictions_for_folds<X: ?Sized, C: Classifier<X>>(
+/// One fold per job: each worker trains a fresh learner on the other folds
+/// and predicts its own, returning `(example index, prediction)` pairs that
+/// are merged into example order. The per-fold learner never leaves its
+/// worker, so `C` needs no `Send` bound — only the factory must be callable
+/// from any worker.
+fn predictions_for_folds<X: ?Sized + Sync, C: Classifier<X>>(
     examples: &[(&X, usize)],
     folds: &[usize],
     d: usize,
-    mut make_learner: impl FnMut() -> C,
+    policy: &ExecPolicy,
+    make_learner: impl Fn() -> C + Sync,
 ) -> Vec<Prediction> {
-    let mut out: Vec<Option<Prediction>> = vec![None; examples.len()];
-    for fold in 0..d {
+    let fold_ids: Vec<usize> = (0..d).collect();
+    let per_fold: Vec<Vec<(usize, Prediction)>> = parallel_map(&fold_ids, policy, |_, &fold| {
         let train: Vec<(&X, usize)> = examples
             .iter()
             .zip(folds)
@@ -107,17 +137,25 @@ fn predictions_for_folds<X: ?Sized, C: Classifier<X>>(
             .map(|((x, l), _)| (*x, *l))
             .collect();
         if train.len() == examples.len() {
-            continue; // no example in this fold
+            return Vec::new(); // no example in this fold
         }
         let mut learner = make_learner();
         learner.train(&train);
-        for (i, ((x, _), &f)) in examples.iter().zip(folds).enumerate() {
-            if f == fold {
-                out[i] = Some(learner.predict(x));
-            }
-        }
+        examples
+            .iter()
+            .zip(folds)
+            .enumerate()
+            .filter(|(_, (_, &f))| f == fold)
+            .map(|(i, ((x, _), _))| (i, learner.predict(x)))
+            .collect()
+    });
+    let mut out: Vec<Option<Prediction>> = vec![None; examples.len()];
+    for (i, prediction) in per_fold.into_iter().flatten() {
+        out[i] = Some(prediction);
     }
-    out.into_iter().map(|p| p.expect("every fold predicted")).collect()
+    out.into_iter()
+        .map(|p| p.expect("every fold predicted"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -140,7 +178,9 @@ mod tests {
     #[test]
     fn uneven_sizes_differ_by_at_most_one() {
         let f = fold_assignments(23, 5, 7);
-        let counts: Vec<usize> = (0..5).map(|k| f.iter().filter(|&&x| x == k).count()).collect();
+        let counts: Vec<usize> = (0..5)
+            .map(|k| f.iter().filter(|&&x| x == k).count())
+            .collect();
         assert_eq!(counts.iter().sum::<usize>(), 23);
         assert!(counts.iter().all(|&c| c == 4 || c == 5), "{counts:?}");
     }
@@ -237,11 +277,15 @@ mod tests {
         let groups: Vec<usize> = (0..12).map(|i| i / 3).collect();
         let examples: Vec<(&[String], usize)> =
             data.iter().map(|(t, l)| (t.as_slice(), *l)).collect();
-        let cv = cross_validation_predictions_grouped(&examples, &groups, 4, 3, || {
-            Memorizer { seen: vec![] }
+        let cv = cross_validation_predictions_grouped(&examples, &groups, 4, 3, || Memorizer {
+            seen: vec![],
         });
         for p in &cv {
-            assert_eq!(p.scores(), &[0.5, 0.5], "duplicate leaked across grouped folds");
+            assert_eq!(
+                p.scores(),
+                &[0.5, 0.5],
+                "duplicate leaked across grouped folds"
+            );
         }
         // Plain example-level CV *does* leak duplicates: the memorizer gets
         // most of them right, proving the grouped variant changes behavior.

@@ -20,7 +20,11 @@ impl From<Vec<String>> for LabelSet {
     /// Rebuilds the index from a serialized name list (which already ends
     /// with `OTHER`).
     fn from(names: Vec<String>) -> Self {
-        let index = names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
+        let index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
         LabelSet { names, index }
     }
 }
@@ -49,9 +53,16 @@ impl LabelSet {
             "mediated schema must not declare a tag named OTHER"
         );
         names.push(Self::OTHER.to_string());
-        let index: HashMap<String, usize> =
-            names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
-        assert_eq!(index.len(), names.len(), "duplicate mediated-schema tag names");
+        let index: HashMap<String, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        assert_eq!(
+            index.len(),
+            names.len(),
+            "duplicate mediated-schema tag names"
+        );
         LabelSet { names, index }
     }
 
@@ -87,7 +98,9 @@ impl LabelSet {
 
     /// The mediated-tag names only, excluding `OTHER`.
     pub fn mediated_names(&self) -> impl Iterator<Item = &str> {
-        self.names[..self.names.len() - 1].iter().map(String::as_str)
+        self.names[..self.names.len() - 1]
+            .iter()
+            .map(String::as_str)
     }
 
     /// True if `label` is the `OTHER` index.

@@ -23,14 +23,17 @@ mod crossval;
 mod labelset;
 pub mod metrics;
 mod naive_bayes;
+pub mod parallel;
 mod prediction;
 mod regression;
 
 pub use crossval::{
-    cross_validation_predictions, cross_validation_predictions_grouped, fold_assignments,
+    cross_validation_predictions, cross_validation_predictions_grouped,
+    cross_validation_predictions_grouped_with, fold_assignments,
 };
 pub use labelset::LabelSet;
 pub use naive_bayes::{NaiveBayes, NaiveBayesConfig};
+pub use parallel::{parallel_map, ExecPolicy};
 pub use prediction::Prediction;
 pub use regression::{linear_least_squares, nonnegative_least_squares};
 

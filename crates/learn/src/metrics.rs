@@ -30,8 +30,7 @@ pub fn std_dev(values: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(values).expect("non-empty");
-    let var =
-        values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
     var.sqrt()
 }
 
@@ -44,7 +43,9 @@ pub struct ConfusionMatrix {
 impl ConfusionMatrix {
     /// An empty `n × n` matrix.
     pub fn new(n: usize) -> Self {
-        ConfusionMatrix { counts: vec![vec![0; n]; n] }
+        ConfusionMatrix {
+            counts: vec![vec![0; n]; n],
+        }
     }
 
     /// Records one observation.

@@ -69,8 +69,9 @@ impl NaiveBayes {
     pub fn add_example(&mut self, tokens: &[String], label: usize) {
         assert!(label < self.num_labels);
         for t in tokens {
-            self.token_counts.entry(t.clone()).or_insert_with(|| vec![0.0; self.num_labels])
-                [label] += 1.0;
+            self.token_counts
+                .entry(t.clone())
+                .or_insert_with(|| vec![0.0; self.num_labels])[label] += 1.0;
         }
         self.class_token_totals[label] += tokens.len() as f64;
         self.class_doc_counts[label] += 1.0;
@@ -104,10 +105,7 @@ impl NaiveBayes {
     /// `log P(w|c)` with Laplace smoothing over the vocabulary.
     fn log_token_prob(&self, token: &str, label: usize) -> f64 {
         let v = self.vocab_size() as f64 + 1.0; // +1 for the unseen-token bucket
-        let count = self
-            .token_counts
-            .get(token)
-            .map_or(0.0, |c| c[label]);
+        let count = self.token_counts.get(token).map_or(0.0, |c| c[label]);
         ((count + self.config.smoothing)
             / (self.class_token_totals[label] + self.config.smoothing * v))
             .ln()
@@ -121,7 +119,10 @@ impl NaiveBayes {
         let log_scores: Vec<f64> = (0..self.num_labels)
             .map(|c| {
                 self.log_prior(c)
-                    + tokens.iter().map(|t| self.log_token_prob(t, c)).sum::<f64>()
+                    + tokens
+                        .iter()
+                        .map(|t| self.log_token_prob(t, c))
+                        .sum::<f64>()
             })
             .collect();
         Prediction::from_log_scores(&log_scores)
@@ -164,7 +165,11 @@ mod tests {
     #[test]
     fn frequent_indicative_tokens_drive_prediction() {
         let nb = trained();
-        assert_eq!(nb.predict_tokens(&toks("great fantastic view")).best_label(), 0);
+        assert_eq!(
+            nb.predict_tokens(&toks("great fantastic view"))
+                .best_label(),
+            0
+        );
         assert_eq!(nb.predict_tokens(&toks("portland or")).best_label(), 1);
     }
 
@@ -211,7 +216,10 @@ mod tests {
         }
         let pw = weak.predict_tokens(&toks("alpha"));
         let ps = strong.predict_tokens(&toks("alpha"));
-        assert!(pw.score(0) > ps.score(0), "weaker smoothing → sharper posterior");
+        assert!(
+            pw.score(0) > ps.score(0),
+            "weaker smoothing → sharper posterior"
+        );
         assert_eq!(pw.best_label(), 0);
         assert_eq!(ps.best_label(), 0);
     }

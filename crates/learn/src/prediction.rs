@@ -16,7 +16,10 @@ impl Prediction {
     /// result is the uniform distribution.
     pub fn from_scores(scores: Vec<f64>) -> Self {
         assert!(!scores.is_empty(), "prediction over empty label set");
-        debug_assert!(scores.iter().all(|&s| s >= 0.0 && s.is_finite()), "scores: {scores:?}");
+        debug_assert!(
+            scores.iter().all(|&s| s >= 0.0 && s.is_finite()),
+            "scores: {scores:?}"
+        );
         let mut p = Prediction { scores };
         p.renormalize();
         p
@@ -26,7 +29,9 @@ impl Prediction {
     /// prediction.
     pub fn uniform(n: usize) -> Self {
         assert!(n > 0);
-        Prediction { scores: vec![1.0 / n as f64; n] }
+        Prediction {
+            scores: vec![1.0 / n as f64; n],
+        }
     }
 
     /// A point-mass prediction: probability 1 on `label`.
@@ -84,7 +89,9 @@ impl Prediction {
     pub fn ranked_labels(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.scores.len()).collect();
         order.sort_by(|&a, &b| {
-            self.scores[b].partial_cmp(&self.scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+            self.scores[b]
+                .partial_cmp(&self.scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         order
     }
@@ -92,7 +99,9 @@ impl Prediction {
     /// The element-wise average of several predictions — the paper's
     /// prediction converter rule (Section 3.2, step 2: "simply computes the
     /// average score of each label from the given predictions").
-    pub fn average<'a>(predictions: impl IntoIterator<Item = &'a Prediction>) -> Option<Prediction> {
+    pub fn average<'a>(
+        predictions: impl IntoIterator<Item = &'a Prediction>,
+    ) -> Option<Prediction> {
         let mut iter = predictions.into_iter();
         let first = iter.next()?;
         let mut sum = first.scores.clone();

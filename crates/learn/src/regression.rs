@@ -107,7 +107,10 @@ fn solve_gaussian(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         // Pivot: the row with the largest magnitude in this column.
         let pivot = (col..n)
             .max_by(|&i, &j| {
-                a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap_or(std::cmp::Ordering::Equal)
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
             })
             .expect("non-empty range");
         if a[pivot][col].abs() < 1e-12 {
@@ -154,7 +157,12 @@ mod tests {
     #[test]
     fn exact_system_recovers_weights() {
         // y = 2·x₀ + 3·x₁ exactly.
-        let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![2.0, 1.0]];
+        let rows = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+        ];
         let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 3.0 * r[1]).collect();
         let w = fit(&rows, &y);
         assert!((w[0] - 2.0).abs() < 1e-9);
@@ -180,13 +188,13 @@ mod tests {
     fn meta_learner_shape_good_learner_gets_high_weight() {
         // Learner 0's score tracks the truth; learner 1 outputs noise ~0.5.
         let truth = [1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
-        let rows: Vec<Vec<f64>> = truth
-            .iter()
-            .map(|&t| vec![0.8 * t + 0.1, 0.5])
-            .collect();
+        let rows: Vec<Vec<f64>> = truth.iter().map(|&t| vec![0.8 * t + 0.1, 0.5]).collect();
         let w = fit(&rows, &truth);
         assert!(w[0] > 1.0, "informative learner should dominate: {w:?}");
-        assert!(w[0] * 0.5 > w[1].abs(), "noise learner should matter less: {w:?}");
+        assert!(
+            w[0] * 0.5 > w[1].abs(),
+            "noise learner should matter less: {w:?}"
+        );
     }
 
     #[test]
@@ -246,8 +254,9 @@ mod tests {
     fn nnls_zeroes_negative_coordinates() {
         // Feature 1 is anti-correlated with the target: plain LS gives it a
         // negative weight; NNLS must zero it.
-        let rows: Vec<Vec<f64>> =
-            (0..20).map(|i| vec![(i % 2) as f64, 1.0 - (i % 2) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 2) as f64, 1.0 - (i % 2) as f64])
+            .collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0]).collect();
         let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
         let unconstrained = linear_least_squares(&refs, &y, 0.0);

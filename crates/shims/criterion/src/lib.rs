@@ -1,0 +1,229 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace benches use — `Criterion`,
+//! `Bencher::iter`, benchmark groups with `sample_size` /
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a plain wall-clock measurement loop.
+//! No statistical analysis, plots, or HTML reports: each benchmark prints
+//! `name  median ±spread  (n samples)` to stdout. Good enough to compare
+//! orders of magnitude, which is what the in-repo benches are for.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const DEFAULT_SAMPLE_SIZE: usize = 60;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId(name.to_string())
+    }
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping one duration per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate so one sample takes ~1ms, bounding total runtime while
+        // keeping per-sample timer error small for fast routines.
+        let start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while start.elapsed() < Duration::from_millis(1) {
+            std::hint::black_box(routine());
+            calibration_iters += 1;
+        }
+        self.iters_per_sample = calibration_iters.max(1);
+
+        let samples = self.samples.capacity();
+        for _ in 0..samples {
+            let sample_start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(sample_start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / bencher.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = per_iter[per_iter.len() / 2];
+    let spread = per_iter[per_iter.len() - 1] - per_iter[0];
+    println!(
+        "{name:<50} {:>12} ±{:<10} ({} samples)",
+        format_time(median),
+        format_time(spread),
+        per_iter.len()
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(2.5).ends_with(" s"));
+        assert!(format_time(2.5e-3).ends_with(" ms"));
+        assert!(format_time(2.5e-6).ends_with(" µs"));
+        assert!(format_time(2.5e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,834 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Reproduces the slice of proptest's API this workspace uses — the
+//! [`Strategy`] trait with `prop_map`/`prop_filter`/`prop_recursive`,
+//! regex-literal string strategies, `prop::collection`/`prop::option`,
+//! `any`, and the `proptest!`/`prop_assert*` macros — on top of the
+//! workspace `rand` shim. Two deliberate simplifications versus the real
+//! crate:
+//!
+//! - **No shrinking.** A failing case panics with the inputs embedded in
+//!   the assertion message instead of a minimized counterexample.
+//! - **Fixed seeding.** Every test function draws from a ChaCha8 stream
+//!   with a hard-coded seed, so runs are fully deterministic and
+//!   `.proptest-regressions` files are ignored.
+
+/// The RNG driving all generation.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::TestRng;
+    use rand::Rng;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects values failing `f`, retrying (bounded) until one passes.
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+
+        /// Builds recursive structures: `recurse` receives a strategy for
+        /// the previous depth level and embeds it. `_desired_size` and
+        /// `_expected_branch_size` are accepted for signature parity but
+        /// unused — depth alone bounds recursion here.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+            }
+            strat
+        }
+
+        /// Type-erases the strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_filter` adapter.
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let candidate = self.inner.generate(rng);
+                if (self.f)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!(
+                "prop_filter '{}' rejected 1000 candidates in a row",
+                self.reason
+            );
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Builds from at least one alternative.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union(options)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = rng.gen_range(0..self.0.len());
+            self.0[pick].generate(rng)
+        }
+    }
+
+    impl<T: Clone> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union(self.0.clone())
+        }
+    }
+
+    impl<T: Clone> Strategy for std::ops::Range<T>
+    where
+        std::ops::Range<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rand::SampleRange::sample(self.clone(), rng)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+            )
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! String generation from the regex subset used as strategy literals:
+    //! char classes (`[a-z0-9-]`, `[ -~]`), `\PC` (any non-control
+    //! character), literal characters, and the quantifiers `{m}`, `{m,n}`,
+    //! `?`, `*`, `+` (the unbounded ones capped at 8 repetitions).
+
+    use super::TestRng;
+    use rand::Rng;
+
+    enum CharSet {
+        /// Inclusive ranges; single chars are `(c, c)`.
+        Ranges(Vec<(char, char)>),
+        /// `\PC`: any unicode scalar that is not a control character.
+        NotControl,
+    }
+
+    struct Atom {
+        set: CharSet,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse(pattern);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = rng.gen_range(atom.min..atom.max + 1);
+            for _ in 0..count {
+                out.push(pick(&atom.set, rng));
+            }
+        }
+        out
+    }
+
+    fn pick(set: &CharSet, rng: &mut TestRng) -> char {
+        match set {
+            CharSet::Ranges(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                    .sum();
+                let mut index = rng.gen_range(0..total);
+                for (lo, hi) in ranges {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    if index < span {
+                        return char::from_u32(*lo as u32 + index)
+                            .expect("range endpoints are valid chars");
+                    }
+                    index -= span;
+                }
+                unreachable!("index within total span")
+            }
+            CharSet::NotControl => loop {
+                // Bias toward ASCII so generated text stays mostly readable
+                // while still exercising the full unicode space.
+                let candidate = if rng.gen_bool(0.8) {
+                    char::from_u32(rng.gen_range(0x20u32..0x7F))
+                } else {
+                    char::from_u32(rng.gen_range(0u32..0x11_0000))
+                };
+                if let Some(c) = candidate {
+                    if !c.is_control() {
+                        return c;
+                    }
+                }
+            },
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1, pattern);
+                    i = next;
+                    set
+                }
+                '\\' => {
+                    i += 1;
+                    match chars.get(i) {
+                        Some('P') if chars.get(i + 1) == Some(&'C') => {
+                            i += 2;
+                            CharSet::NotControl
+                        }
+                        Some('d') => {
+                            i += 1;
+                            CharSet::Ranges(vec![('0', '9')])
+                        }
+                        Some(&c) => {
+                            i += 1;
+                            CharSet::Ranges(vec![(c, c)])
+                        }
+                        None => panic!("dangling backslash in pattern {pattern:?}"),
+                    }
+                }
+                c => {
+                    i += 1;
+                    CharSet::Ranges(vec![(c, c)])
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, i, pattern);
+            i = next;
+            atoms.push(Atom { set, min, max });
+        }
+        atoms
+    }
+
+    fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (CharSet, usize) {
+        let mut ranges = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let lo = chars[i];
+            if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                let hi = chars[i + 2];
+                assert!(lo <= hi, "inverted range {lo}-{hi} in pattern {pattern:?}");
+                ranges.push((lo, hi));
+                i += 3;
+            } else {
+                ranges.push((lo, lo));
+                i += 1;
+            }
+        }
+        assert!(
+            i < chars.len(),
+            "unterminated char class in pattern {pattern:?}"
+        );
+        (CharSet::Ranges(ranges), i + 1)
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|off| i + off)
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("quantifier minimum"),
+                        n.trim().parse().expect("quantifier maximum"),
+                    ),
+                    None => {
+                        let exact = body.trim().parse().expect("quantifier count");
+                        (exact, exact)
+                    }
+                };
+                (min, max, close + 1)
+            }
+            Some('?') => (0, 1, i + 1),
+            Some('*') => (0, 8, i + 1),
+            Some('+') => (1, 8, i + 1),
+            _ => (1, 1, i),
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitive types the workspace draws.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::RngCore;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! `vec` and `hash_set` strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// A size requirement: an exact count or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive.
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            if self.min + 1 >= self.max {
+                self.min
+            } else {
+                rng.gen_range(self.min..self.max)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> SizeRange {
+            SizeRange {
+                min: exact,
+                max: exact + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(range: std::ops::Range<usize>) -> SizeRange {
+            assert!(range.start < range.end, "empty collection size range");
+            SizeRange {
+                min: range.start,
+                max: range.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let count = self.size.draw(rng);
+            (0..count).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>`.
+    #[derive(Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.draw(rng);
+            let mut out = HashSet::new();
+            // Collisions shrink the set below target; bound the retries so
+            // narrow element domains cannot loop forever.
+            let mut attempts = 0;
+            while out.len() < target && attempts < 10 * target + 100 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// A set of roughly `size` distinct elements drawn from `element`.
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S> {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! The `prop::option::of` strategy.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.5) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `None` or `Some` of the inner strategy, evenly.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+}
+
+pub mod test_runner {
+    //! Case execution for the `proptest!` macro.
+
+    use super::TestRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Run-time knobs (only the case count is honoured).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of passing cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config requiring `cases` passing cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// A genuine failure — the property is violated.
+        Fail(String),
+        /// A `prop_assume!` rejection — draw another case.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given explanation.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection (assumption not met).
+        pub fn reject(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+            }
+        }
+    }
+
+    /// Drives `case` until `config.cases` cases pass; panics on the first
+    /// failure (no shrinking) or when rejections swamp the budget.
+    pub fn run<F>(config: ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::seed_from_u64(0x5EED_CAFE_F00D_D00D);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > 10 * config.cases + 100 {
+                        panic!(
+                            "proptest: too many prop_assume! rejections \
+                             ({rejected} rejects, {passed}/{} passes)",
+                            config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!("proptest case failed after {passed} passes: {reason}")
+                }
+            }
+        }
+    }
+}
+
+/// Everything a test file needs from one glob import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// Namespace alias so `prop::collection::vec` etc. resolve after a
+    /// glob import, mirroring real proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+// Re-export at the root too, matching real proptest's layout.
+pub use strategy::Strategy;
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $config:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:pat_param in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            $crate::test_runner::run($config, |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::Strategy::boxed($option)),+
+        ])
+    };
+}
+
+/// Fails the current case if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case if the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) if the condition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_strategies_match_their_shape() {
+        let mut rng = rand::SeedableRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let name = crate::string::generate("[a-z][a-z0-9-]{0,8}", &mut rng);
+            assert!((1..=9).contains(&name.chars().count()), "{name:?}");
+            assert!(name.chars().next().expect("non-empty").is_ascii_lowercase());
+            assert!(name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+
+            let printable = crate::string::generate("[ -~]{1,30}", &mut rng);
+            assert!((1..=30).contains(&printable.len()));
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+
+            let free = crate::string::generate("\\PC{0,60}", &mut rng);
+            assert!(free.chars().count() <= 60);
+            assert!(free.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec(0usize..10, 1..5),
+            o in prop::option::of(Just(7u8)),
+            pick in prop_oneof![Just(1i32), Just(2), 10i32..20],
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert!(o.is_none() || o == Some(7));
+            prop_assert!(pick == 1 || pick == 2 || (10..20).contains(&pick));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Vec<Tree>),
+        }
+        impl Tree {
+            fn depth(&self) -> usize {
+                match self {
+                    Tree::Leaf(_) => 1,
+                    Tree::Node(kids) => 1 + kids.iter().map(Tree::depth).max().unwrap_or(0),
+                }
+            }
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
+        let mut rng = rand::SeedableRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let tree = strat.generate(&mut rng);
+            assert!(tree.depth() <= 4, "{tree:?}");
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha8 keystream
+//! implementing the workspace `rand` shim's [`RngCore`]/[`SeedableRng`].
+//!
+//! The stream is deterministic for a seed (the property every consumer in
+//! this workspace relies on) but is not bit-compatible with the real
+//! `rand_chacha` crate, whose seeding and word-consumption order differ.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, keyed from a 64-bit seed.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Keystream words of the current block.
+    block: [u32; 16],
+    /// Next unread index into `block`; 16 = exhausted.
+    cursor: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Produces the next keystream block and advances the counter.
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // One double round: four column rounds, four diagonal rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.block.iter_mut().zip(working.iter().zip(&self.state)) {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter in words 12/13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.cursor = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    /// Expands the 64-bit seed into a 256-bit key with SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for i in 0..4 {
+            let word = next();
+            state[4 + 2 * i] = word as u32;
+            state[5 + 2 * i] = (word >> 32) as u32;
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let first: Vec<u64> = (0..8)
+            .map(|_| ChaCha8Rng::seed_from_u64(42).next_u64())
+            .collect();
+        assert!(first.iter().all(|&w| w == first[0]));
+        assert_ne!(ChaCha8Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    /// RFC 8439 quarter-round test vector (the core we build on).
+    #[test]
+    fn quarter_round_vector() {
+        let mut s = [0u32; 16];
+        s[0] = 0x11111111;
+        s[1] = 0x01020304;
+        s[2] = 0x9b8d6f43;
+        s[3] = 0x01234567;
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0xea2a92f4);
+        assert_eq!(s[1], 0xcb1cf8ce);
+        assert_eq!(s[2], 0x4581472e);
+        assert_eq!(s[3], 0x5881c4bb);
+    }
+
+    #[test]
+    fn words_are_well_distributed() {
+        // A crude sanity check: bytes of the stream hit all 4 quartiles.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut buckets = [0usize; 4];
+        for _ in 0..4000 {
+            buckets[(rng.next_u32() >> 30) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&b| b > 800), "{buckets:?}");
+    }
+}

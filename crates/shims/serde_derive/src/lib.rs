@@ -1,0 +1,509 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates [`Serialize`]/[`Deserialize`] impls against the workspace
+//! `serde` shim's `Value` data model. The item is parsed directly from the
+//! `proc_macro` token stream (no `syn`/`quote` — the container has no
+//! crates.io access), which bounds the supported shapes to what this
+//! workspace uses:
+//!
+//! - unit structs and structs with named fields (no generics)
+//! - enums with unit, tuple, and struct variants, externally tagged
+//! - container attrs `#[serde(from = "T")]`, `#[serde(into = "T")]`
+//! - field attrs `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]`
+//!
+//! Field types are never parsed for meaning — the generated code leans on
+//! type inference (`__private::field::<T>` in struct-literal position), so
+//! any type implementing the traits works. Unsupported shapes produce a
+//! `compile_error!` rather than silently wrong code.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    /// `Some(None)` = `#[serde(default)]`; `Some(Some(path))` = explicit.
+    default: Option<Option<String>>,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum Body {
+    UnitStruct,
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    from: Option<String>,
+    into: Option<String>,
+    body: Body,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => generate(&item, mode),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse()
+        .expect("serde_derive: generated code failed to re-parse")
+}
+
+// ------------------------------------------------------------------ parse
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut from = None;
+    let mut into = None;
+
+    while is_punct(tokens.get(i), '#') {
+        let Some(TokenTree::Group(g)) = tokens.get(i + 1) else {
+            return Err("serde_derive: malformed attribute".to_string());
+        };
+        for (key, val) in serde_attr_entries(g) {
+            match key.as_str() {
+                "from" => from = val,
+                "into" => into = val,
+                _ => {}
+            }
+        }
+        i += 2;
+    }
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected type name".to_string()),
+    };
+    i += 1;
+    if is_punct(tokens.get(i), '<') {
+        return Err(format!(
+            "serde_derive: generic type `{name}` is not supported"
+        ));
+    }
+
+    let body = match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Body::UnitStruct,
+        ("struct", None) => Body::UnitStruct,
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Struct(parse_fields(g)?)
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Enum(parse_variants(g)?)
+        }
+        _ => {
+            return Err(format!(
+                "serde_derive: unsupported shape for `{name}` (tuple structs, unions, \
+                 and `where` clauses are not handled)"
+            ));
+        }
+    };
+    Ok(Item {
+        name,
+        from,
+        into,
+        body,
+    })
+}
+
+fn is_punct(token: Option<&TokenTree>, ch: char) -> bool {
+    matches!(token, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn is_ident(token: Option<&TokenTree>, word: &str) -> bool {
+    matches!(token, Some(TokenTree::Ident(id)) if id.to_string() == word)
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if is_ident(tokens.get(*i), "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Extracts `(key, value)` pairs from one `#[...]` attribute group if it is
+/// a `serde(...)` attribute; other attributes (doc comments, `#[default]`,
+/// ...) yield nothing.
+fn serde_attr_entries(attr: &Group) -> Vec<(String, Option<String>)> {
+    let tokens: Vec<TokenTree> = attr.stream().into_iter().collect();
+    if !is_ident(tokens.first(), "serde") {
+        return Vec::new();
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    let toks: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let TokenTree::Ident(key) = &toks[i] else {
+            i += 1;
+            continue;
+        };
+        let key = key.to_string();
+        i += 1;
+        let mut value = None;
+        if is_punct(toks.get(i), '=') {
+            if let Some(TokenTree::Literal(lit)) = toks.get(i + 1) {
+                value = Some(unquote(&lit.to_string()));
+            }
+            i += 2;
+        }
+        entries.push((key, value));
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+    }
+    entries
+}
+
+fn unquote(literal: &str) -> String {
+    literal.trim_matches('"').to_string()
+}
+
+fn parse_fields(body: &Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        let mut default = None;
+        while is_punct(tokens.get(i), '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                for (key, val) in serde_attr_entries(g) {
+                    match key.as_str() {
+                        "skip" => skip = true,
+                        "default" => default = Some(val),
+                        _ => {}
+                    }
+                }
+            }
+            i += 2;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            _ => return Err("serde_derive: expected field name".to_string()),
+        };
+        i += 1;
+        if !is_punct(tokens.get(i), ':') {
+            return Err(format!("serde_derive: expected `:` after field `{name}`"));
+        }
+        i += 1;
+        // Skip the type: groups are atomic token trees, but generic-argument
+        // commas (`HashMap<String, u32>`) sit at this level, so track angle
+        // depth and stop at a depth-0 comma.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or the end)
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: &Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while is_punct(tokens.get(i), '#') {
+            i += 2; // variant attrs (doc comments, #[default]) carry nothing we need
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            _ => return Err("serde_derive: expected variant name".to_string()),
+        };
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantBody::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantBody::Struct(parse_fields(g)?)
+            }
+            _ => VariantBody::Unit,
+        };
+        if !is_punct(tokens.get(i), ',') && tokens.get(i).is_some() {
+            return Err(format!(
+                "serde_derive: unsupported tokens after variant `{name}` \
+                 (explicit discriminants are not handled)"
+            ));
+        }
+        i += 1;
+        variants.push(Variant { name, body });
+    }
+    Ok(variants)
+}
+
+/// Counts comma-separated fields of a tuple variant, respecting angle depth.
+fn count_tuple_fields(args: &Group) -> usize {
+    let tokens: Vec<TokenTree> = args.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+// --------------------------------------------------------------- generate
+
+fn generate(item: &Item, mode: Mode) -> String {
+    match mode {
+        Mode::Serialize => generate_serialize(item),
+        Mode::Deserialize => generate_deserialize(item),
+    }
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let ty = &item.name;
+    let body = if let Some(proxy) = &item.into {
+        format!(
+            "let proxy: {proxy} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&proxy)"
+        )
+    } else {
+        match &item.body {
+            Body::UnitStruct => "::serde::Value::Null".to_string(),
+            Body::Struct(fields) => struct_to_value(fields, "&self."),
+            Body::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => {
+                            arms.push_str(&format!(
+                                "{ty}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),\n"
+                            ));
+                        }
+                        VariantBody::Tuple(1) => {
+                            arms.push_str(&format!(
+                                "{ty}::{vn}(f0) => ::serde::Value::Map(vec![\
+                                 (::std::string::String::from({vn:?}), ::serde::Serialize::to_value(f0))]),\n"
+                            ));
+                        }
+                        VariantBody::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "{ty}::{vn}({}) => ::serde::Value::Map(vec![\
+                                 (::std::string::String::from({vn:?}), ::serde::Value::Seq(vec![{}]))]),\n",
+                                binds.join(", "),
+                                elems.join(", ")
+                            ));
+                        }
+                        VariantBody::Struct(fields) => {
+                            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                            arms.push_str(&format!(
+                                "{ty}::{vn} {{ {} }} => ::serde::Value::Map(vec![\
+                                 (::std::string::String::from({vn:?}), {})]),\n",
+                                binds.join(", "),
+                                struct_to_value(fields, "")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+/// `Value::Map(...)` over named fields; `access` prefixes each field name
+/// (`&self.` for structs, empty for struct-variant bindings).
+fn struct_to_value(fields: &[Field], access: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            let n = &f.name;
+            format!(
+                "(::std::string::String::from({n:?}), ::serde::Serialize::to_value({access}{n}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let ty = &item.name;
+    let body = if let Some(proxy) = &item.from {
+        format!(
+            "let proxy = <{proxy} as ::serde::Deserialize>::from_value(value)?;\n\
+             ::core::result::Result::Ok(::core::convert::From::from(proxy))"
+        )
+    } else {
+        match &item.body {
+            Body::UnitStruct => format!("::core::result::Result::Ok({ty})"),
+            Body::Struct(fields) => format!(
+                "if !matches!(value, ::serde::Value::Map(_)) {{\n\
+                 return ::core::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"{ty}: expected object, found {{}}\", value.kind())));\n}}\n\
+                 ::core::result::Result::Ok({ty} {{ {} }})",
+                fields_from_value(fields, ty, "value")
+            ),
+            Body::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    let ctx = format!("{ty}::{vn}");
+                    match &v.body {
+                        VariantBody::Unit => {
+                            arms.push_str(&format!(
+                                "{vn:?} => ::core::result::Result::Ok({ty}::{vn}),\n"
+                            ));
+                        }
+                        VariantBody::Tuple(1) => {
+                            arms.push_str(&format!(
+                                "{vn:?} => {{\nlet payload = {};\n\
+                                 ::core::result::Result::Ok({ty}::{vn}(\
+                                 ::serde::Deserialize::from_value(payload)?))\n}}\n",
+                                require_payload(&ctx)
+                            ));
+                        }
+                        VariantBody::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "{vn:?} => {{\nlet payload = {};\n\
+                                 let items = ::serde::__private::tuple(payload, {n}, {ty:?}, {vn:?})?;\n\
+                                 ::core::result::Result::Ok({ty}::{vn}({}))\n}}\n",
+                                require_payload(&ctx),
+                                elems.join(", ")
+                            ));
+                        }
+                        VariantBody::Struct(fields) => {
+                            arms.push_str(&format!(
+                                "{vn:?} => {{\nlet payload = {};\n\
+                                 ::core::result::Result::Ok({ty}::{vn} {{ {} }})\n}}\n",
+                                require_payload(&ctx),
+                                fields_from_value(fields, &ctx, "payload")
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "let (variant, payload) = ::serde::__private::variant(value, {ty:?})?;\n\
+                     match variant {{\n{arms}\
+                     other => ::core::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"{ty}: unknown variant '{{other}}'\"))),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {ty} {{\n\
+         fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+}
+
+fn require_payload(ctx: &str) -> String {
+    format!(
+        "match payload {{\n\
+         ::core::option::Option::Some(p) => p,\n\
+         ::core::option::Option::None => return ::core::result::Result::Err(\
+         ::serde::Error::custom({:?})),\n}}",
+        format!("{ctx}: missing payload")
+    )
+}
+
+/// Struct-literal field initializers reading out of `src` (a `&Value`).
+fn fields_from_value(fields: &[Field], ctx: &str, src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            if f.skip {
+                format!("{n}: ::core::default::Default::default()")
+            } else {
+                match &f.default {
+                    None => format!("{n}: ::serde::__private::field({src}, {n:?}, {ctx:?})?"),
+                    Some(None) => format!(
+                        "{n}: ::serde::__private::field_or({src}, {n:?}, {ctx:?}, \
+                         ::core::default::Default::default)?"
+                    ),
+                    Some(Some(path)) => {
+                        format!("{n}: ::serde::__private::field_or({src}, {n:?}, {ctx:?}, {path})?")
+                    }
+                }
+            }
+        })
+        .collect();
+    inits.join(", ")
+}

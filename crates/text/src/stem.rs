@@ -35,7 +35,10 @@ impl PorterStemmer {
         if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
             return word.to_string();
         }
-        let mut state = Stem { b: word.as_bytes().to_vec(), k: word.len() - 1 };
+        let mut state = Stem {
+            b: word.as_bytes().to_vec(),
+            k: word.len() - 1,
+        };
         state.step1ab();
         state.step1c();
         state.step2();
@@ -148,7 +151,11 @@ impl Stem {
         let base = if j == usize::MAX { 0 } else { j + 1 };
         self.b.truncate(base);
         self.b.extend_from_slice(s.as_bytes());
-        self.k = if self.b.is_empty() { 0 } else { self.b.len() - 1 };
+        self.k = if self.b.is_empty() {
+            0
+        } else {
+            self.b.len() - 1
+        };
     }
 
     /// `ends` + measure>0 gate + replace: the workhorse of steps 2–4.
@@ -201,7 +208,9 @@ impl Stem {
                 false
             };
             if matched {
-                if self.ends("at").is_some() || self.ends("bl").is_some() || self.ends("iz").is_some()
+                if self.ends("at").is_some()
+                    || self.ends("bl").is_some()
+                    || self.ends("iz").is_some()
                 {
                     let k = self.k;
                     self.set_to(k, "e");
@@ -276,8 +285,8 @@ impl Stem {
 
     fn step4(&mut self) {
         let suffixes: &[&str] = &[
-            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-            "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ion",
+            "ou", "ism", "ate", "iti", "ous", "ive", "ize",
         ];
         for suffix in suffixes {
             if let Some(j) = self.ends(suffix) {
@@ -436,7 +445,13 @@ mod tests {
         let s = PorterStemmer::new();
         // Note: Porter is not idempotent in general ("universities" →
         // "univers" → "univ"); these common forms are.
-        for w in ["running", "description", "beautiful", "agencies", "locations"] {
+        for w in [
+            "running",
+            "description",
+            "beautiful",
+            "agencies",
+            "locations",
+        ] {
             let once = s.stem(w);
             assert_eq!(s.stem(&once), once, "stem({w}) not idempotent");
         }

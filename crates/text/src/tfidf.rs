@@ -209,8 +209,10 @@ impl TfIdfModel {
     /// Builds the vector for raw tokens; tokens outside the vocabulary are
     /// dropped (they carry no comparable weight).
     pub fn vector_for_tokens<'a>(&self, tokens: impl IntoIterator<Item = &'a str>) -> SparseVector {
-        let ids: Vec<u32> =
-            tokens.into_iter().filter_map(|t| self.vocab.get(t)).collect();
+        let ids: Vec<u32> = tokens
+            .into_iter()
+            .filter_map(|t| self.vocab.get(t))
+            .collect();
         self.vector_for_ids(&ids)
     }
 }

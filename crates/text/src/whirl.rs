@@ -109,11 +109,7 @@ impl Whirl {
 
     /// Adds one training example. Call [`Self::finalize`] after the last
     /// example and before classifying.
-    pub fn add_example<'a>(
-        &mut self,
-        tokens: impl IntoIterator<Item = &'a str>,
-        label: usize,
-    ) {
+    pub fn add_example<'a>(&mut self, tokens: impl IntoIterator<Item = &'a str>, label: usize) {
         debug_assert!(label < self.num_labels, "label out of range");
         let toks: Vec<String> = tokens.into_iter().map(str::to_string).collect();
         self.model.add_document(toks.iter().map(String::as_str));
@@ -127,12 +123,17 @@ impl Whirl {
         if self.postings.is_empty() && !self.examples.is_empty() {
             for (id, ex) in self.examples.iter().enumerate() {
                 for &(dim, weight) in ex.vector.entries() {
-                    self.postings.entry(dim).or_default().push((id as u32, weight));
+                    self.postings
+                        .entry(dim)
+                        .or_default()
+                        .push((id as u32, weight));
                 }
             }
         }
         for (tokens, label) in self.pending.drain(..) {
-            let vector = self.model.vector_for_tokens(tokens.iter().map(String::as_str));
+            let vector = self
+                .model
+                .vector_for_tokens(tokens.iter().map(String::as_str));
             let id = self.examples.len() as u32;
             for &(dim, weight) in vector.entries() {
                 self.postings.entry(dim).or_default().push((id, weight));
@@ -175,17 +176,23 @@ impl Whirl {
     /// Both query and stored vectors are unit-normalized, so the cosine is
     /// a plain dot product, accumulated through the inverted index.
     fn label_scores(&self, query: &SparseVector) -> Vec<f64> {
-        let mut dots: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        // Accumulate into a dense per-example array rather than a HashMap:
+        // hash iteration order varies between map instances, which would make
+        // neighbour tie-breaking (and hence scores) differ between otherwise
+        // identical queries. Example-id order is stable, and the stable sort
+        // below then breaks similarity ties by id.
+        let mut dots: Vec<f64> = vec![0.0; self.examples.len()];
         for &(dim, qw) in query.entries() {
             if let Some(posting) = self.postings.get(&dim) {
                 for &(id, w) in posting {
-                    *dots.entry(id).or_insert(0.0) += qw * w;
+                    dots[id as usize] += qw * w;
                 }
             }
         }
         let mut sims: Vec<(f64, usize)> = dots
             .into_iter()
-            .map(|(id, sim)| (sim.clamp(-1.0, 1.0), self.examples[id as usize].label))
+            .enumerate()
+            .map(|(id, sim)| (sim.clamp(-1.0, 1.0), self.examples[id].label))
             .filter(|&(sim, _)| sim > self.config.min_similarity)
             .collect();
         sims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -235,7 +242,13 @@ mod tests {
 
     fn trained(combination: NeighborCombination) -> Whirl {
         // Labels: 0 = ADDRESS, 1 = DESCRIPTION, 2 = AGENT-PHONE.
-        let mut w = Whirl::new(3, WhirlConfig { combination, ..Default::default() });
+        let mut w = Whirl::new(
+            3,
+            WhirlConfig {
+                combination,
+                ..Default::default()
+            },
+        );
         let data: &[(&str, usize)] = &[
             ("Miami, FL", 0),
             ("Boston, MA", 0),
@@ -281,7 +294,11 @@ mod tests {
         ] {
             let w = trained(comb);
             assert_eq!(argmax(&classify(&w, "Orlando, FL")), 0, "{comb:?}");
-            assert_eq!(argmax(&classify(&w, "great house close to park")), 1, "{comb:?}");
+            assert_eq!(
+                argmax(&classify(&w, "great house close to park")),
+                1,
+                "{comb:?}"
+            );
             assert_eq!(argmax(&classify(&w, "(415) 273 1234")), 2, "{comb:?}");
         }
     }
@@ -322,7 +339,10 @@ mod tests {
     fn min_similarity_threshold_filters_neighbors() {
         let mut w = Whirl::new(
             2,
-            WhirlConfig { min_similarity: 0.99, ..Default::default() },
+            WhirlConfig {
+                min_similarity: 0.99,
+                ..Default::default()
+            },
         );
         w.add_example(["alpha"].iter().copied(), 0);
         w.add_example(["beta"].iter().copied(), 1);

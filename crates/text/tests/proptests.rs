@@ -1,6 +1,8 @@
 //! Property-based tests for the text/IR toolkit.
 
-use lsd_text::{tokenize, tokenize_name, PorterStemmer, SparseVector, TfIdfModel, Whirl, WhirlConfig};
+use lsd_text::{
+    tokenize, tokenize_name, PorterStemmer, SparseVector, TfIdfModel, Whirl, WhirlConfig,
+};
 use proptest::prelude::*;
 
 proptest! {

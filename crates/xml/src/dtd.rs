@@ -92,7 +92,10 @@ impl ContentModel {
 
     /// True if the model permits text content.
     pub fn allows_text(&self) -> bool {
-        matches!(self, ContentModel::Pcdata | ContentModel::Mixed(_) | ContentModel::Any)
+        matches!(
+            self,
+            ContentModel::Pcdata | ContentModel::Mixed(_) | ContentModel::Any
+        )
     }
 
     /// Renders the model back to DTD syntax.
@@ -253,7 +256,9 @@ impl Dtd {
         let mut index = HashMap::with_capacity(decls.len());
         for (i, d) in decls.iter().enumerate() {
             if index.insert(d.name.clone(), i).is_some() {
-                return Err(XmlError::DuplicateElementDecl { name: d.name.clone() });
+                return Err(XmlError::DuplicateElementDecl {
+                    name: d.name.clone(),
+                });
             }
         }
         Ok(Dtd { decls, index })
@@ -328,11 +333,12 @@ impl Dtd {
     /// declared and its children must match its content model; text content
     /// is only allowed where the model permits it.
     pub fn validate(&self, element: &Element) -> Result<()> {
-        let decl = self.decl(&element.name).ok_or_else(|| XmlError::UndeclaredElement {
-            name: element.name.clone(),
-        })?;
-        let child_names: Vec<&str> =
-            element.child_elements().map(|e| e.name.as_str()).collect();
+        let decl = self
+            .decl(&element.name)
+            .ok_or_else(|| XmlError::UndeclaredElement {
+                name: element.name.clone(),
+            })?;
+        let child_names: Vec<&str> = element.child_elements().map(|e| e.name.as_str()).collect();
         match &decl.content {
             ContentModel::Empty => {
                 if !element.children.is_empty() {
@@ -403,7 +409,11 @@ impl Dtd {
 /// Parses a sequence of `<!ELEMENT ...>` declarations (whitespace, comments
 /// and `<!ATTLIST ...>` declarations between them are skipped).
 pub fn parse_dtd(input: &str) -> Result<Dtd> {
-    let mut p = DtdParser { input, bytes: input.as_bytes(), pos: 0 };
+    let mut p = DtdParser {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     let mut decls = Vec::new();
     loop {
         p.skip_trivia()?;
@@ -460,7 +470,9 @@ impl<'a> DtdParser<'a> {
                 match self.input[self.pos..].find("-->") {
                     Some(rel) => self.pos += rel + 3,
                     None => {
-                        return Err(XmlError::UnexpectedEof { context: "DTD comment" });
+                        return Err(XmlError::UnexpectedEof {
+                            context: "DTD comment",
+                        });
                     }
                 }
             } else {
@@ -475,7 +487,9 @@ impl<'a> DtdParser<'a> {
                 self.pos += rel + 1;
                 Ok(())
             }
-            None => Err(XmlError::UnexpectedEof { context: "DTD declaration" }),
+            None => Err(XmlError::UnexpectedEof {
+                context: "DTD declaration",
+            }),
         }
     }
 
@@ -586,7 +600,9 @@ impl<'a> DtdParser<'a> {
             }
         }
         if self.peek() != Some(b')') {
-            return Err(XmlError::InvalidDtd { message: "expected ')' closing group".to_string() });
+            return Err(XmlError::InvalidDtd {
+                message: "expected ')' closing group".to_string(),
+            });
         }
         self.pos += 1;
         let occ = self.parse_occurrence();
@@ -640,7 +656,10 @@ mod tests {
         assert_eq!(dtd.root_name().unwrap(), "house-listing");
         dtd.check_closed().unwrap();
         let hl = dtd.decl("house-listing").unwrap();
-        assert_eq!(hl.content.referenced_names(), vec!["location", "price", "contact"]);
+        assert_eq!(
+            hl.content.referenced_names(),
+            vec!["location", "price", "contact"]
+        );
     }
 
     #[test]
@@ -670,7 +689,9 @@ mod tests {
         let dtd = parse_dtd(MEDIATED).unwrap();
         let doc = parse_fragment("<house-listing><price>$1</price></house-listing>").unwrap();
         let err = dtd.validate(&doc).unwrap_err();
-        assert!(matches!(err, XmlError::ValidationFailed { element, .. } if element == "house-listing"));
+        assert!(
+            matches!(err, XmlError::ValidationFailed { element, .. } if element == "house-listing")
+        );
     }
 
     #[test]
@@ -693,13 +714,18 @@ mod tests {
 
     #[test]
     fn star_and_plus() {
-        let dtd = parse_dtd("<!ELEMENT r (a*, b+)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>")
-            .unwrap();
-        assert!(dtd.validate(&parse_fragment("<r><b>1</b></r>").unwrap()).is_ok());
+        let dtd =
+            parse_dtd("<!ELEMENT r (a*, b+)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>")
+                .unwrap();
+        assert!(dtd
+            .validate(&parse_fragment("<r><b>1</b></r>").unwrap())
+            .is_ok());
         assert!(dtd
             .validate(&parse_fragment("<r><a>1</a><a>2</a><b>3</b><b>4</b></r>").unwrap())
             .is_ok());
-        assert!(dtd.validate(&parse_fragment("<r><a>1</a></r>").unwrap()).is_err());
+        assert!(dtd
+            .validate(&parse_fragment("<r><a>1</a></r>").unwrap())
+            .is_err());
     }
 
     #[test]
@@ -709,28 +735,34 @@ mod tests {
              <!ELEMENT b (#PCDATA)>\n<!ELEMENT c (#PCDATA)>",
         )
         .unwrap();
-        assert!(dtd.validate(&parse_fragment("<r><a>1</a><c>2</c></r>").unwrap()).is_ok());
-        assert!(dtd.validate(&parse_fragment("<r><b>1</b><c>2</c></r>").unwrap()).is_ok());
-        assert!(dtd.validate(&parse_fragment("<r><a>1</a><b>1</b><c>2</c></r>").unwrap()).is_err());
+        assert!(dtd
+            .validate(&parse_fragment("<r><a>1</a><c>2</c></r>").unwrap())
+            .is_ok());
+        assert!(dtd
+            .validate(&parse_fragment("<r><b>1</b><c>2</c></r>").unwrap())
+            .is_ok());
+        assert!(dtd
+            .validate(&parse_fragment("<r><a>1</a><b>1</b><c>2</c></r>").unwrap())
+            .is_err());
     }
 
     #[test]
     fn nested_group_with_occurrence() {
-        let dtd = parse_dtd(
-            "<!ELEMENT r ((a, b)*)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>",
-        )
-        .unwrap();
+        let dtd =
+            parse_dtd("<!ELEMENT r ((a, b)*)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>")
+                .unwrap();
         assert!(dtd.validate(&parse_fragment("<r/>").unwrap()).is_ok());
         assert!(dtd
             .validate(&parse_fragment("<r><a>1</a><b>2</b><a>3</a><b>4</b></r>").unwrap())
             .is_ok());
-        assert!(dtd.validate(&parse_fragment("<r><a>1</a></r>").unwrap()).is_err());
+        assert!(dtd
+            .validate(&parse_fragment("<r><a>1</a></r>").unwrap())
+            .is_err());
     }
 
     #[test]
     fn mixed_content() {
-        let dtd =
-            parse_dtd("<!ELEMENT d (#PCDATA | em)*>\n<!ELEMENT em (#PCDATA)>").unwrap();
+        let dtd = parse_dtd("<!ELEMENT d (#PCDATA | em)*>\n<!ELEMENT em (#PCDATA)>").unwrap();
         let doc = parse_fragment("<d>hello <em>world</em> bye</d>").unwrap();
         dtd.validate(&doc).unwrap();
         let bad = parse_fragment("<d><other/></d>").unwrap();
@@ -744,13 +776,17 @@ mod tests {
     fn empty_content_model() {
         let dtd = parse_dtd("<!ELEMENT br EMPTY>").unwrap();
         assert!(dtd.validate(&parse_fragment("<br/>").unwrap()).is_ok());
-        assert!(dtd.validate(&parse_fragment("<br>x</br>").unwrap()).is_err());
+        assert!(dtd
+            .validate(&parse_fragment("<br>x</br>").unwrap())
+            .is_err());
     }
 
     #[test]
     fn any_content_model() {
         let dtd = parse_dtd("<!ELEMENT r ANY>\n<!ELEMENT a (#PCDATA)>").unwrap();
-        assert!(dtd.validate(&parse_fragment("<r>text <a>1</a> more</r>").unwrap()).is_ok());
+        assert!(dtd
+            .validate(&parse_fragment("<r>text <a>1</a> more</r>").unwrap())
+            .is_ok());
     }
 
     #[test]
@@ -798,10 +834,7 @@ mod tests {
 
     #[test]
     fn root_detection_prefers_unreferenced() {
-        let dtd = parse_dtd(
-            "<!ELEMENT leaf (#PCDATA)>\n<!ELEMENT top (leaf)>",
-        )
-        .unwrap();
+        let dtd = parse_dtd("<!ELEMENT leaf (#PCDATA)>\n<!ELEMENT top (leaf)>").unwrap();
         assert_eq!(dtd.root_name().unwrap(), "top");
     }
 

@@ -76,11 +76,25 @@ impl fmt::Display for XmlError {
             XmlError::UnexpectedEof { context } => {
                 write!(f, "unexpected end of input while reading {context}")
             }
-            XmlError::UnexpectedChar { offset, found, expected } => {
-                write!(f, "unexpected character {found:?} at offset {offset}, expected {expected}")
+            XmlError::UnexpectedChar {
+                offset,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "unexpected character {found:?} at offset {offset}, expected {expected}"
+                )
             }
-            XmlError::MismatchedTag { offset, open, close } => {
-                write!(f, "mismatched close tag </{close}> for <{open}> at offset {offset}")
+            XmlError::MismatchedTag {
+                offset,
+                open,
+                close,
+            } => {
+                write!(
+                    f,
+                    "mismatched close tag </{close}> for <{open}> at offset {offset}"
+                )
             }
             XmlError::UnknownEntity { offset, entity } => {
                 write!(f, "unknown entity &{entity}; at offset {offset}")
@@ -97,10 +111,16 @@ impl fmt::Display for XmlError {
                 write!(f, "element {name} is referenced but never declared")
             }
             XmlError::ValidationFailed { element, message } => {
-                write!(f, "element <{element}> does not match its content model: {message}")
+                write!(
+                    f,
+                    "element <{element}> does not match its content model: {message}"
+                )
             }
             XmlError::NoUniqueRoot { candidates } => {
-                write!(f, "DTD has no unique root element (candidates: {candidates:?})")
+                write!(
+                    f,
+                    "DTD has no unique root element (candidates: {candidates:?})"
+                )
             }
         }
     }

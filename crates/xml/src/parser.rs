@@ -48,7 +48,11 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser { input, bytes: input.as_bytes(), pos: 0 }
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn at_end(&self) -> bool {
@@ -110,7 +114,9 @@ impl<'a> Parser<'a> {
                 self.pos += rel + marker.len();
                 Ok(())
             }
-            None => Err(XmlError::UnexpectedEof { context: "comment or processing instruction" }),
+            None => Err(XmlError::UnexpectedEof {
+                context: "comment or processing instruction",
+            }),
         }
     }
 
@@ -129,7 +135,9 @@ impl<'a> Parser<'a> {
             }
             self.pos += 1;
         }
-        Err(XmlError::UnexpectedEof { context: "DOCTYPE declaration" })
+        Err(XmlError::UnexpectedEof {
+            context: "DOCTYPE declaration",
+        })
     }
 
     /// Parses one element starting at `<`. Returns `Ok(None)` if the input
@@ -166,7 +174,11 @@ impl<'a> Parser<'a> {
                     let (an, av) = self.parse_attribute()?;
                     element.attributes.push((an, av));
                 }
-                None => return Err(XmlError::UnexpectedEof { context: "open tag" }),
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        context: "open tag",
+                    })
+                }
             }
         }
 
@@ -202,7 +214,11 @@ impl<'a> Parser<'a> {
                         push_text(&mut element, self.input[start..start + rel].to_string());
                         self.pos = start + rel + 3;
                     }
-                    None => return Err(XmlError::UnexpectedEof { context: "CDATA section" }),
+                    None => {
+                        return Err(XmlError::UnexpectedEof {
+                            context: "CDATA section",
+                        })
+                    }
                 }
             } else if self.starts_with("<?") {
                 self.skip_until("?>")?;
@@ -210,7 +226,9 @@ impl<'a> Parser<'a> {
                 let child = self.parse_element()?.expect("peeked '<'");
                 element.children.push(Node::Element(child));
             } else if self.at_end() {
-                return Err(XmlError::UnexpectedEof { context: "element content" });
+                return Err(XmlError::UnexpectedEof {
+                    context: "element content",
+                });
             } else {
                 let text = self.parse_text()?;
                 if !text.trim().is_empty() {
@@ -244,7 +262,11 @@ impl<'a> Parser<'a> {
             });
         }
         let name = &self.input[start..self.pos];
-        if !name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+        if !name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        {
             return Err(XmlError::UnexpectedChar {
                 offset: start,
                 found: name.chars().next().unwrap(),
@@ -275,7 +297,11 @@ impl<'a> Parser<'a> {
                     expected: "a quote starting an attribute value",
                 })
             }
-            None => return Err(XmlError::UnexpectedEof { context: "attribute value" }),
+            None => {
+                return Err(XmlError::UnexpectedEof {
+                    context: "attribute value",
+                })
+            }
         };
         self.pos += 1;
         let mut value = String::new();
@@ -291,7 +317,11 @@ impl<'a> Parser<'a> {
                     value.push(c);
                     self.pos += c.len_utf8();
                 }
-                None => return Err(XmlError::UnexpectedEof { context: "attribute value" }),
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        context: "attribute value",
+                    })
+                }
             }
         }
     }
@@ -339,15 +369,24 @@ impl<'a> Parser<'a> {
                 u32::from_str_radix(&body[2..], 16)
                     .ok()
                     .and_then(char::from_u32)
-                    .ok_or(XmlError::UnknownEntity { offset: start, entity: body.to_string() })?
+                    .ok_or(XmlError::UnknownEntity {
+                        offset: start,
+                        entity: body.to_string(),
+                    })?
             }
             _ if body.starts_with('#') => body[1..]
                 .parse::<u32>()
                 .ok()
                 .and_then(char::from_u32)
-                .ok_or(XmlError::UnknownEntity { offset: start, entity: body.to_string() })?,
+                .ok_or(XmlError::UnknownEntity {
+                    offset: start,
+                    entity: body.to_string(),
+                })?,
             _ => {
-                return Err(XmlError::UnknownEntity { offset: start, entity: body.to_string() })
+                return Err(XmlError::UnknownEntity {
+                    offset: start,
+                    entity: body.to_string(),
+                })
             }
         };
         Ok(ch)
@@ -379,7 +418,10 @@ mod tests {
         assert_eq!(doc.root.name, "house-listing");
         assert_eq!(doc.root.child_elements().count(), 3);
         let contact = doc.root.child("contact").unwrap();
-        assert_eq!(contact.child("phone").unwrap().direct_text(), "(206) 523 4719");
+        assert_eq!(
+            contact.child("phone").unwrap().direct_text(),
+            "(206) 523 4719"
+        );
     }
 
     #[test]
@@ -458,7 +500,10 @@ mod tests {
 
     #[test]
     fn empty_input_is_no_root() {
-        assert!(matches!(parse_document("   "), Err(XmlError::NoRootElement)));
+        assert!(matches!(
+            parse_document("   "),
+            Err(XmlError::NoRootElement)
+        ));
     }
 
     #[test]

@@ -46,8 +46,11 @@ impl SchemaTree {
         let root = dtd.root_name()?.to_string();
 
         let names: Vec<String> = dtd.element_names().map(str::to_string).collect();
-        let index: HashMap<String, usize> =
-            names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
+        let index: HashMap<String, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
 
         let mut children: Vec<Vec<String>> = Vec::with_capacity(names.len());
         let mut parents: Vec<Vec<String>> = vec![Vec::new(); names.len()];
@@ -67,9 +70,9 @@ impl SchemaTree {
         // BFS from the root for depth and a canonical path per tag.
         let mut depth = vec![usize::MAX; names.len()];
         let mut path = vec![String::new(); names.len()];
-        let ri = *index.get(&root).ok_or_else(|| XmlError::UndeclaredElement {
-            name: root.clone(),
-        })?;
+        let ri = *index
+            .get(&root)
+            .ok_or_else(|| XmlError::UndeclaredElement { name: root.clone() })?;
         depth[ri] = 1;
         path[ri] = root.clone();
         let mut queue = VecDeque::from([ri]);
@@ -114,7 +117,12 @@ impl SchemaTree {
             })
             .collect();
 
-        Ok(SchemaTree { root, tags, index, descendants })
+        Ok(SchemaTree {
+            root,
+            tags,
+            index,
+            descendants,
+        })
     }
 
     /// The root tag name.
@@ -149,7 +157,10 @@ impl SchemaTree {
 
     /// Names of the non-leaf tags (tags with element content).
     pub fn non_leaf_tags(&self) -> impl Iterator<Item = &str> {
-        self.tags.iter().filter(|t| !t.is_leaf).map(|t| t.name.as_str())
+        self.tags
+            .iter()
+            .filter(|t| !t.is_leaf)
+            .map(|t| t.name.as_str())
     }
 
     /// Maximum tag depth (the paper's Table 3 "Depth" column).
@@ -167,7 +178,8 @@ impl SchemaTree {
 
     /// True if `inner` is a *direct* child of `outer`.
     pub fn is_child_of(&self, inner: &str, outer: &str) -> bool {
-        self.tag(outer).is_some_and(|t| t.children.iter().any(|c| c == inner))
+        self.tag(outer)
+            .is_some_and(|t| t.children.iter().any(|c| c == inner))
     }
 
     /// True if `a` and `b` share at least one direct parent.
@@ -201,7 +213,9 @@ impl SchemaTree {
     /// paper (Section 6.3) uses this as the constraint-participation score
     /// that orders tags for user feedback and for the A* refinement order.
     pub fn nestable_count(&self, tag: &str) -> usize {
-        self.index.get(tag).map_or(0, |&i| self.descendants[i].len())
+        self.index
+            .get(tag)
+            .map_or(0, |&i| self.descendants[i].len())
     }
 
     /// Tag names ordered by decreasing [`Self::nestable_count`], ties broken
@@ -209,7 +223,10 @@ impl SchemaTree {
     pub fn tags_by_structure_score(&self) -> Vec<&str> {
         let mut order: Vec<usize> = (0..self.tags.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(self.descendants[i].len()));
-        order.into_iter().map(|i| self.tags[i].name.as_str()).collect()
+        order
+            .into_iter()
+            .map(|i| self.tags[i].name.as_str())
+            .collect()
     }
 
     /// The slash-joined path from the root to `tag` (first found by BFS).
@@ -281,9 +298,18 @@ mod tests {
     #[test]
     fn tags_between_in_declaration_order() {
         let s = mediated();
-        assert_eq!(s.tags_between("baths", "beds").unwrap(), Vec::<String>::new());
-        assert_eq!(s.tags_between("location", "price").unwrap(), vec!["baths", "beds"]);
-        assert_eq!(s.tags_between("price", "location").unwrap(), vec!["baths", "beds"]);
+        assert_eq!(
+            s.tags_between("baths", "beds").unwrap(),
+            Vec::<String>::new()
+        );
+        assert_eq!(
+            s.tags_between("location", "price").unwrap(),
+            vec!["baths", "beds"]
+        );
+        assert_eq!(
+            s.tags_between("price", "location").unwrap(),
+            vec!["baths", "beds"]
+        );
         assert!(s.tags_between("name", "price").is_none());
     }
 

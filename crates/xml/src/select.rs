@@ -58,7 +58,10 @@ impl Element {
 
     /// Concatenated subtree text of every match, in document order.
     pub fn select_text(&self, path: &str) -> Vec<String> {
-        self.select(path).into_iter().map(Element::deep_text).collect()
+        self.select(path)
+            .into_iter()
+            .map(Element::deep_text)
+            .collect()
     }
 }
 

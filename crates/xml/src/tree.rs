@@ -55,7 +55,11 @@ pub struct Element {
 impl Element {
     /// Creates an element with no attributes or children.
     pub fn new(name: impl Into<String>) -> Self {
-        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Creates a leaf element wrapping a single text run.
@@ -141,7 +145,8 @@ impl Element {
     pub fn attributes_as_children(&self) -> Element {
         let mut out = Element::new(self.name.clone());
         for (n, v) in &self.attributes {
-            out.children.push(Node::Element(Element::text_leaf(n.clone(), v.clone())));
+            out.children
+                .push(Node::Element(Element::text_leaf(n.clone(), v.clone())));
         }
         for c in &self.children {
             match c {
@@ -154,7 +159,10 @@ impl Element {
 
     /// Number of elements in the subtree (including this one).
     pub fn subtree_size(&self) -> usize {
-        1 + self.child_elements().map(Element::subtree_size).sum::<usize>()
+        1 + self
+            .child_elements()
+            .map(Element::subtree_size)
+            .sum::<usize>()
     }
 
     /// Maximum nesting depth of the subtree; a leaf has depth 1.

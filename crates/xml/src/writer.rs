@@ -94,12 +94,16 @@ mod tests {
 
     #[test]
     fn escape_covers_all_specials() {
-        assert_eq!(escape_text(r#"a&b<c>d"e'f"#), "a&amp;b&lt;c&gt;d&quot;e&apos;f");
+        assert_eq!(
+            escape_text(r#"a&b<c>d"e'f"#),
+            "a&amp;b&lt;c&gt;d&quot;e&apos;f"
+        );
     }
 
     #[test]
     fn compact_roundtrip() {
-        let src = r#"<listing id="7"><price>$70,000</price><desc>big &amp; bright</desc></listing>"#;
+        let src =
+            r#"<listing id="7"><price>$70,000</price><desc>big &amp; bright</desc></listing>"#;
         let e = parse_fragment(src).unwrap();
         let written = write_element(&e);
         let reparsed = parse_fragment(&written).unwrap();

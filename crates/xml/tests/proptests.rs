@@ -1,8 +1,6 @@
 //! Property-based tests for the XML substrate.
 
-use lsd_xml::{
-    parse_fragment, write_element, ContentModel, Dtd, Element, ElementDecl, Occurrence,
-};
+use lsd_xml::{parse_fragment, write_element, ContentModel, Dtd, Element, ElementDecl, Occurrence};
 use proptest::prelude::*;
 
 /// A legal XML name.
@@ -13,21 +11,25 @@ fn arb_name() -> impl Strategy<Value = String> {
 /// Text content without leading/trailing whitespace (the parser trims
 /// whitespace-only runs, and pretty-printing normalizes edges).
 fn arb_text() -> impl Strategy<Value = String> {
-    "[ -~]{1,30}".prop_map(|s| s.trim().to_string()).prop_filter("non-empty", |s| !s.is_empty())
+    "[ -~]{1,30}"
+        .prop_map(|s| s.trim().to_string())
+        .prop_filter("non-empty", |s| !s.is_empty())
 }
 
 /// An arbitrary element tree of bounded depth and fanout. Children are
 /// either elements or non-whitespace text runs (no two adjacent text runs:
 /// the parser merges them, so round-tripping requires that normal form).
 fn arb_element() -> impl Strategy<Value = Element> {
-    let leaf = (arb_name(), prop::option::of(arb_text())).prop_map(|(name, text)| {
-        match text {
-            Some(t) => Element::text_leaf(name, t),
-            None => Element::new(name),
-        }
+    let leaf = (arb_name(), prop::option::of(arb_text())).prop_map(|(name, text)| match text {
+        Some(t) => Element::text_leaf(name, t),
+        None => Element::new(name),
     });
     leaf.prop_recursive(3, 24, 4, |inner| {
-        (arb_name(), prop::collection::vec(inner, 1..4), prop::collection::vec((arb_name(), arb_text()), 0..3))
+        (
+            arb_name(),
+            prop::collection::vec(inner, 1..4),
+            prop::collection::vec((arb_name(), arb_text()), 0..3),
+        )
             .prop_map(|(name, children, attrs)| {
                 let mut e = Element::new(name);
                 for (n, v) in attrs {
@@ -92,8 +94,7 @@ fn arb_occurrence() -> impl Strategy<Value = Occurrence> {
 }
 
 fn arb_model() -> impl Strategy<Value = ModelSpec> {
-    let leaf = (0usize..ALPHABET.len(), arb_occurrence())
-        .prop_map(|(i, o)| ModelSpec::Name(i, o));
+    let leaf = (0usize..ALPHABET.len(), arb_occurrence()).prop_map(|(i, o)| ModelSpec::Name(i, o));
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
             (prop::collection::vec(inner.clone(), 1..4), arb_occurrence())

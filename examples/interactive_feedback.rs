@@ -18,15 +18,19 @@ fn main() {
     let domain = DomainId::TimeSchedule.generate(150, 11);
     let builder = LsdBuilder::new(&domain.mediated);
     let n = builder.labels().len();
-    let synonym_pairs: Vec<(&str, &str)> =
-        domain.synonyms.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let synonym_pairs: Vec<(&str, &str)> = domain
+        .synonyms
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
     let mut lsd = builder
         .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, synonym_pairs)))
         .add_learner(Box::new(ContentMatcher::new(n)))
         .add_learner(Box::new(NaiveBayesLearner::new(n)))
-        .with_xml_learner()
+        .with_xml_learner(None)
         .with_constraints(domain.constraints.clone())
-        .build();
+        .build()
+        .expect("at least one learner added");
 
     let training: Vec<TrainedSource> = domain.sources[..3]
         .iter()
@@ -39,7 +43,8 @@ fn main() {
             mapping: gs.mapping.clone(),
         })
         .collect();
-    lsd.train(&training);
+    lsd.train(&training)
+        .expect("training sources have listings");
 
     let gs = &domain.sources[4];
     let source = Source {
@@ -50,7 +55,7 @@ fn main() {
 
     // One manual round first, to show the mechanics of a single feedback
     // constraint.
-    let before = lsd.match_source(&source);
+    let before = lsd.match_source(&source).expect("well-formed source");
     let schema = SchemaTree::from_dtd(&source.dtd).expect("valid DTD");
     println!("initial match of {} ({} tags):", source.name, schema.len());
     let mut first_wrong: Option<(String, String)> = None;
@@ -70,14 +75,20 @@ fn main() {
             tag: tag.clone(),
             label: truth.clone(),
         })];
-        let after = lsd.match_source_with_feedback(&source, &fb);
-        println!("  {tag} now => {}", after.label_of(&tag).expect("tag present"));
+        let after = lsd
+            .match_source_with_feedback(&source, &fb)
+            .expect("well-formed source");
+        println!(
+            "  {tag} now => {}",
+            after.label_of(&tag).expect("tag present")
+        );
     } else {
         println!("\nalready perfect — no feedback needed.");
     }
 
     // Full simulated session (Section 6.3 protocol).
-    let outcome = simulate_feedback_session(&lsd, &source, &gs.mapping);
+    let outcome =
+        simulate_feedback_session(&lsd, &source, &gs.mapping).expect("well-formed source");
     println!(
         "\nfull feedback session: {} corrections over {} tags, {} rounds, converged={}",
         outcome.corrections,

@@ -48,10 +48,15 @@ fn main() {
         .add_learner(Box::new(ContentMatcher::new(n)))
         .add_learner(Box::new(NaiveBayesLearner::new(n)))
         .with_constraints(vec![
-            DomainConstraint::hard(Predicate::ExactlyOne { label: "HOUSE".into() }),
-            DomainConstraint::hard(Predicate::AtMostOne { label: "ADDRESS".into() }),
+            DomainConstraint::hard(Predicate::ExactlyOne {
+                label: "HOUSE".into(),
+            }),
+            DomainConstraint::hard(Predicate::AtMostOne {
+                label: "ADDRESS".into(),
+            }),
         ])
-        .build();
+        .build()
+        .expect("at least one learner added");
 
     // Training phase (Section 3.1): the user maps two sources by hand.
     let realestate = TrainedSource {
@@ -66,8 +71,16 @@ fn main() {
             listings: listings(
                 &[
                     ("Miami, FL", "Fantastic house, nice area", "(305) 729 0831"),
-                    ("Boston, MA", "Great location close to the river", "(617) 253 1429"),
-                    ("Austin, TX", "Beautiful yard, great schools", "(512) 441 8338"),
+                    (
+                        "Boston, MA",
+                        "Great location close to the river",
+                        "(617) 253 1429",
+                    ),
+                    (
+                        "Austin, TX",
+                        "Beautiful yard, great schools",
+                        "(512) 441 8338",
+                    ),
                 ],
                 ["house", "location", "comments", "contact"],
             ),
@@ -90,9 +103,21 @@ fn main() {
             .expect("valid DTD"),
             listings: listings(
                 &[
-                    ("Seattle, WA", "Fantastic views, great neighborhood", "(206) 753 2605"),
-                    ("Portland, OR", "Nice deck and beautiful garden", "(515) 273 4312"),
-                    ("Spokane, WA", "Close to the park, great value", "(509) 811 4200"),
+                    (
+                        "Seattle, WA",
+                        "Fantastic views, great neighborhood",
+                        "(206) 753 2605",
+                    ),
+                    (
+                        "Portland, OR",
+                        "Nice deck and beautiful garden",
+                        "(515) 273 4312",
+                    ),
+                    (
+                        "Spokane, WA",
+                        "Close to the park, great value",
+                        "(509) 811 4200",
+                    ),
                 ],
                 ["listing", "house-addr", "detailed-desc", "phone"],
             ),
@@ -104,7 +129,8 @@ fn main() {
             ("phone".to_string(), "AGENT-PHONE".to_string()),
         ]),
     };
-    lsd.train(&[realestate, homeseekers]);
+    lsd.train(&[realestate, homeseekers])
+        .expect("training sources have listings");
     println!("trained on 2 sources; learners: {:?}", lsd.learner_names());
 
     // Matching phase (Section 3.2): an unseen source.
@@ -118,14 +144,26 @@ fn main() {
         .expect("valid DTD"),
         listings: listings(
             &[
-                ("Orlando, FL", "Spacious rooms with great light", "(315) 237 4379"),
-                ("Kent, WA", "Close to the highway, nice yard", "(415) 273 1234"),
-                ("Portland, OR", "Great location near the schools", "(515) 237 4244"),
+                (
+                    "Orlando, FL",
+                    "Spacious rooms with great light",
+                    "(315) 237 4379",
+                ),
+                (
+                    "Kent, WA",
+                    "Close to the highway, nice yard",
+                    "(415) 273 1234",
+                ),
+                (
+                    "Portland, OR",
+                    "Great location near the schools",
+                    "(515) 237 4244",
+                ),
             ],
             ["home", "area", "extra-info", "contact-phone"],
         ),
     };
-    let outcome = lsd.match_source(&greathomes);
+    let outcome = lsd.match_source(&greathomes).expect("well-formed source");
 
     println!("\nproposed 1-1 mappings for greathomes.com:");
     for (tag, label) in outcome.tags.iter().zip(&outcome.labels) {

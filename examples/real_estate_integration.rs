@@ -8,28 +8,36 @@
 //!
 //! Run with: `cargo run --release --example real_estate_integration`
 
+use lsd::core::learners::{ContentMatcher, NaiveBayesLearner, NameMatcher};
 use lsd::core::TrainedSource;
 use lsd::core::{Lsd, LsdBuilder, LsdConfig};
-use lsd::core::learners::{ContentMatcher, NaiveBayesLearner, NameMatcher};
 use lsd::datagen::DomainId;
 
 fn main() {
     // Generate the synthetic domain: 5 sources x 200 listings.
     let domain = DomainId::RealEstate2.generate(200, 7);
-    println!("domain: {} ({} mediated tags)\n", domain.name, domain.mediated.len());
+    println!(
+        "domain: {} ({} mediated tags)\n",
+        domain.name,
+        domain.mediated.len()
+    );
 
     // Build the full LSD stack for this domain.
     let builder = LsdBuilder::new(&domain.mediated).with_config(LsdConfig::default());
     let n = builder.labels().len();
-    let synonym_pairs: Vec<(&str, &str)> =
-        domain.synonyms.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let synonym_pairs: Vec<(&str, &str)> = domain
+        .synonyms
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
     let mut lsd: Lsd = builder
         .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, synonym_pairs)))
         .add_learner(Box::new(ContentMatcher::new(n)))
         .add_learner(Box::new(NaiveBayesLearner::new(n)))
-        .with_xml_learner()
+        .with_xml_learner(None)
         .with_constraints(domain.constraints.clone())
-        .build();
+        .build()
+        .expect("at least one learner added");
 
     // Train on the first three sources (mapped "by the user").
     let training: Vec<TrainedSource> = domain.sources[..3]
@@ -44,9 +52,14 @@ fn main() {
         })
         .collect();
     for t in &training {
-        println!("training source: {} ({} tags)", t.source.name, t.source.dtd.len());
+        println!(
+            "training source: {} ({} tags)",
+            t.source.name,
+            t.source.dtd.len()
+        );
     }
-    lsd.train(&training);
+    lsd.train(&training)
+        .expect("training sources have listings");
 
     // Match the two held-out sources.
     for gs in &domain.sources[3..] {
@@ -55,7 +68,7 @@ fn main() {
             dtd: gs.dtd.clone(),
             listings: gs.listings.clone(),
         };
-        let outcome = lsd.match_source(&source);
+        let outcome = lsd.match_source(&source).expect("well-formed source");
         let mut correct = 0;
         let mut wrong = Vec::new();
         for (tag, truth) in &gs.mapping {
@@ -71,7 +84,11 @@ fn main() {
             correct,
             gs.mapping.len(),
             100.0 * correct as f64 / gs.mapping.len() as f64,
-            if outcome.result.stats.optimal { "optimal" } else { "greedy-completed" },
+            if outcome.result.stats.optimal {
+                "optimal"
+            } else {
+                "greedy-completed"
+            },
         );
         if !wrong.is_empty() {
             println!("  tags needing review (tag: proposed, should be):");

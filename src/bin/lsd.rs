@@ -97,9 +97,13 @@ impl Flags {
             let name = flag
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, found '{flag}'"))?;
-            let value =
-                it.next().ok_or_else(|| format!("--{name} requires a value"))?;
-            values.entry(name.to_string()).or_default().push(value.clone());
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} requires a value"))?;
+            values
+                .entry(name.to_string())
+                .or_default()
+                .push(value.clone());
         }
         Ok(Flags { values })
     }
@@ -121,7 +125,10 @@ impl Flags {
     }
 
     fn many(&self, name: &str) -> Vec<&str> {
-        self.values.get(name).map(|v| v.iter().map(String::as_str).collect()).unwrap_or_default()
+        self.values
+            .get(name)
+            .map(|v| v.iter().map(String::as_str).collect())
+            .unwrap_or_default()
     }
 }
 
@@ -138,12 +145,18 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     };
     let listings: usize = flags
         .opt("listings")?
-        .map(|v| v.parse().map_err(|_| format!("--listings: '{v}' is not a number")))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("--listings: '{v}' is not a number"))
+        })
         .transpose()?
         .unwrap_or_else(|| domain_id.default_listings());
     let seed: u64 = flags
         .opt("seed")?
-        .map(|v| v.parse().map_err(|_| format!("--seed: '{v}' is not a number")))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("--seed: '{v}' is not a number"))
+        })
         .transpose()?
         .unwrap_or(0);
     let out = PathBuf::from(flags.one("out")?);
@@ -154,8 +167,11 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let constraints = serde_json::to_string_pretty(&domain.constraints)
         .map_err(|e| format!("serializing constraints: {e}"))?;
     write(&out.join("constraints.json"), &constraints)?;
-    let synonyms: String =
-        domain.synonyms.iter().map(|(a, b)| format!("{a}\t{b}\n")).collect();
+    let synonyms: String = domain
+        .synonyms
+        .iter()
+        .map(|(a, b)| format!("{a}\t{b}\n"))
+        .collect();
     write(&out.join("synonyms.tsv"), &synonyms)?;
 
     for source in &domain.sources {
@@ -225,19 +241,23 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 
     let builder = LsdBuilder::new(&mediated);
     let n = builder.labels().len();
-    let pairs: Vec<(&str, &str)> =
-        synonyms.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let pairs: Vec<(&str, &str)> = synonyms
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
     let mut lsd = builder
         .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, pairs)))
         .add_learner(Box::new(ContentMatcher::new(n)))
         .add_learner(Box::new(NaiveBayesLearner::new(n)))
         .add_learner(Box::new(StatsLearner::new(n)))
         .add_learner(Box::new(FormatLearner::new(n)))
-        .with_xml_learner()
+        .with_xml_learner(None)
         .with_constraints(constraints)
-        .build();
-    lsd.train(&training);
-    lsd.save_json(&model_path).map_err(|e| format!("{model_path}: {e}"))?;
+        .build()
+        .map_err(|e| e.to_string())?;
+    lsd.train(&training).map_err(|e| e.to_string())?;
+    lsd.save_json(&model_path)
+        .map_err(|e| format!("{model_path}: {e}"))?;
     out!(
         "trained on {} sources ({} learners), saved model to {model_path}",
         training.len(),
@@ -261,24 +281,39 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
                 .split_once('=')
                 .ok_or_else(|| format!("--{flag} wants tag=LABEL, got '{spec}'"))?;
             let predicate = if positive {
-                Predicate::TagIs { tag: tag.to_string(), label: label.to_string() }
+                Predicate::TagIs {
+                    tag: tag.to_string(),
+                    label: label.to_string(),
+                }
             } else {
-                Predicate::TagIsNot { tag: tag.to_string(), label: label.to_string() }
+                Predicate::TagIsNot {
+                    tag: tag.to_string(),
+                    label: label.to_string(),
+                }
             };
             feedback.push(DomainConstraint::hard(predicate));
         }
     }
 
-    let outcome = lsd.match_source_with_feedback(&source, &feedback);
+    let outcome = lsd
+        .match_source_with_feedback(&source, &feedback)
+        .map_err(|e| e.to_string())?;
     out!(
         "match of {} ({} tags, search {}):",
         source.name,
         outcome.tags.len(),
-        if outcome.result.stats.optimal { "optimal" } else { "heuristic" }
+        if outcome.result.stats.optimal {
+            "optimal"
+        } else {
+            "heuristic"
+        }
     );
     for (i, (tag, label)) in outcome.tags.iter().zip(&outcome.labels).enumerate() {
         let p = &outcome.predictions[i];
-        out!("  {tag:<24} => {label:<20} (score {:.2})", p.score(p.best_label()));
+        out!(
+            "  {tag:<24} => {label:<20} (score {:.2})",
+            p.score(p.best_label())
+        );
     }
     Ok(())
 }
@@ -292,7 +327,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     let source = read_source(Path::new(flags.one("source")?))?;
     let only_tag = flags.opt("tag")?;
 
-    let explanations = lsd.explain_source(&source);
+    let explanations = lsd.explain_source(&source).map_err(|e| e.to_string())?;
     for e in &explanations {
         if only_tag.is_some_and(|t| t != e.tag) {
             continue;
@@ -329,8 +364,7 @@ fn write(path: &Path, content: &str) -> Result<(), String> {
 }
 
 fn read_dtd(path: &Path) -> Result<Dtd, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     parse_dtd(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
@@ -343,13 +377,20 @@ fn read_source(dir: &Path) -> Result<Source, String> {
     let doc = parse_document(&text).map_err(|e| format!("{}: {e}", listings_path.display()))?;
     let listings: Vec<Element> = doc.root.child_elements().cloned().collect();
     if listings.is_empty() {
-        return Err(format!("{}: no listings under the root element", listings_path.display()));
+        return Err(format!(
+            "{}: no listings under the root element",
+            listings_path.display()
+        ));
     }
     let name = dir
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_else(|| dir.display().to_string());
-    Ok(Source { name, dtd, listings })
+    Ok(Source {
+        name,
+        dtd,
+        listings,
+    })
 }
 
 /// Reads a training source: [`read_source`] plus `mapping.tsv`.

@@ -25,5 +25,12 @@ pub use lsd_learn as learn;
 pub use lsd_text as text;
 pub use lsd_xml as xml;
 
+// The batch-matching pipeline types, re-exported at the root so callers can
+// write `lsd::Lsd` / `lsd::ExecPolicy` without spelling out the crate layout.
+pub use lsd_core::{
+    ExecPolicy, Lsd, LsdBuilder, LsdConfig, LsdError, MatchOutcome, Source, TagExplanation,
+    TrainedSource,
+};
+
 /// The crate version, for experiment logs.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,131 @@
+//! The parallel batch-matching engine: `match_batch` must be byte-identical
+//! to serial matching at every thread count, and a trained [`Lsd`] must be
+//! shareable across caller threads.
+
+use lsd::core::learners::{ContentMatcher, NaiveBayesLearner, NameMatcher};
+use lsd::datagen::DomainId;
+use lsd::{ExecPolicy, Lsd, LsdBuilder, LsdConfig, MatchOutcome, Source, TrainedSource};
+
+fn to_source(gs: &lsd::datagen::GeneratedSource) -> Source {
+    Source {
+        name: gs.name.clone(),
+        dtd: gs.dtd.clone(),
+        listings: gs.listings.clone(),
+    }
+}
+
+fn build_trained(id: DomainId) -> (Lsd, Vec<Source>) {
+    let domain = id.generate(6, 11);
+    let builder = LsdBuilder::new(&domain.mediated).with_config(LsdConfig::default());
+    let n = builder.labels().len();
+    let pairs: Vec<(&str, &str)> = domain
+        .synonyms
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
+    let mut lsd = builder
+        .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, pairs)))
+        .add_learner(Box::new(ContentMatcher::new(n)))
+        .add_learner(Box::new(NaiveBayesLearner::new(n)))
+        .with_xml_learner(None)
+        .with_constraints(domain.constraints.clone())
+        .build()
+        .unwrap();
+    let training: Vec<TrainedSource> = domain.sources[..3]
+        .iter()
+        .map(|gs| TrainedSource {
+            source: to_source(gs),
+            mapping: gs.mapping.clone(),
+        })
+        .collect();
+    lsd.train(&training).unwrap();
+    let targets: Vec<Source> = domain.sources.iter().map(to_source).collect();
+    (lsd, targets)
+}
+
+/// Outcomes must agree bit for bit, not merely approximately: same tags,
+/// labels, assignment, and prediction scores (compared via `f64::to_bits`).
+fn assert_bit_identical(a: &MatchOutcome, b: &MatchOutcome, what: &str) {
+    assert_eq!(a.tags, b.tags, "{what}: tags differ");
+    assert_eq!(a.labels, b.labels, "{what}: labels differ");
+    assert_eq!(
+        a.result.assignment, b.result.assignment,
+        "{what}: assignment differs"
+    );
+    assert_eq!(
+        a.result.feasible, b.result.feasible,
+        "{what}: feasibility differs"
+    );
+    assert_eq!(
+        a.result.cost.to_bits(),
+        b.result.cost.to_bits(),
+        "{what}: cost differs"
+    );
+    assert_eq!(
+        a.predictions.len(),
+        b.predictions.len(),
+        "{what}: prediction count differs"
+    );
+    for (pa, pb) in a.predictions.iter().zip(&b.predictions) {
+        assert_eq!(
+            pa.scores().len(),
+            pb.scores().len(),
+            "{what}: score width differs"
+        );
+        for (sa, sb) in pa.scores().iter().zip(pb.scores()) {
+            assert_eq!(sa.to_bits(), sb.to_bits(), "{what}: score bits differ");
+        }
+    }
+}
+
+/// Figure 8a-style workload: all four evaluation domains, five sources each.
+/// The batch engine must produce byte-identical outcomes at 1, 2 and 8
+/// threads, and each must equal matching the sources one at a time.
+#[test]
+fn match_batch_is_deterministic_across_thread_counts() {
+    for id in [
+        DomainId::RealEstate1,
+        DomainId::RealEstate2,
+        DomainId::TimeSchedule,
+        DomainId::FacultyListings,
+    ] {
+        let (lsd, targets) = build_trained(id);
+        let serial: Vec<MatchOutcome> = targets
+            .iter()
+            .map(|s| lsd.match_source(s).unwrap())
+            .collect();
+        for threads in [1, 2, 8] {
+            let batch = lsd
+                .match_batch(&targets, &ExecPolicy::with_threads(threads))
+                .unwrap();
+            assert_eq!(batch.len(), serial.len());
+            for (i, (b, s)) in batch.iter().zip(&serial).enumerate() {
+                let what = format!("{} source {i} at {threads} threads", id.name());
+                assert_bit_identical(b, s, &what);
+            }
+        }
+    }
+}
+
+/// A trained `Lsd` is `Sync`: two caller threads may run `match_batch`
+/// concurrently on the same instance and both get the serial answer.
+#[test]
+fn concurrent_match_batch_calls_share_one_system() {
+    let (lsd, targets) = build_trained(DomainId::RealEstate1);
+    let serial: Vec<MatchOutcome> = targets
+        .iter()
+        .map(|s| lsd.match_source(s).unwrap())
+        .collect();
+    let policy = ExecPolicy::with_threads(2);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| scope.spawn(|| lsd.match_batch(&targets, &policy).unwrap()))
+            .collect();
+        for handle in handles {
+            let batch = handle.join().expect("caller thread panicked");
+            for (i, (b, s)) in batch.iter().zip(&serial).enumerate() {
+                assert_bit_identical(b, s, &format!("concurrent caller, source {i}"));
+            }
+        }
+    });
+}

@@ -77,13 +77,19 @@ fn fixture() -> Fixture {
             mkt("$190,000", "$190,000", "fantastic view"),
         ],
     };
-    Fixture { mediated, train, target }
+    Fixture {
+        mediated,
+        train,
+        target,
+    }
 }
 
 fn build(mediated: &Dtd, constraints: Vec<DomainConstraint>) -> Lsd {
     let config = LsdConfig {
         search: SearchConfig {
-            algorithm: SearchAlgorithm::AStar { max_expansions: 10_000 },
+            algorithm: SearchAlgorithm::AStar {
+                max_expansions: 10_000,
+            },
             heuristic_weight: 1.0,
         },
         ..LsdConfig::default()
@@ -94,6 +100,7 @@ fn build(mediated: &Dtd, constraints: Vec<DomainConstraint>) -> Lsd {
         .add_learner(Box::new(NaiveBayesLearner::new(n)))
         .with_constraints(constraints)
         .build()
+        .unwrap()
 }
 
 /// Without constraints, identical columns take identical labels; the
@@ -102,8 +109,8 @@ fn build(mediated: &Dtd, constraints: Vec<DomainConstraint>) -> Lsd {
 fn frequency_constraint_separates_duplicate_claims() {
     let f = fixture();
     let mut without = build(&f.mediated, vec![]);
-    without.train(std::slice::from_ref(&f.train));
-    let o = without.match_source(&f.target);
+    without.train(std::slice::from_ref(&f.train)).unwrap();
+    let o = without.match_source(&f.target).unwrap();
     assert_eq!(
         o.label_of("amount-a"),
         o.label_of("amount-b"),
@@ -112,10 +119,12 @@ fn frequency_constraint_separates_duplicate_claims() {
 
     let mut with = build(
         &f.mediated,
-        vec![DomainConstraint::hard(Predicate::AtMostOne { label: "PRICE".into() })],
+        vec![DomainConstraint::hard(Predicate::AtMostOne {
+            label: "PRICE".into(),
+        })],
     );
-    with.train(std::slice::from_ref(&f.train));
-    let o = with.match_source(&f.target);
+    with.train(std::slice::from_ref(&f.train)).unwrap();
+    let o = with.match_source(&f.target).unwrap();
     assert!(o.result.feasible);
     let price_count = o.labels.iter().filter(|l| l.as_str() == "PRICE").count();
     assert!(price_count <= 1, "AtMostOne violated: {:?}", o.labels);
@@ -127,14 +136,16 @@ fn combined_frequency_and_feedback() {
     let f = fixture();
     let mut lsd = build(
         &f.mediated,
-        vec![DomainConstraint::hard(Predicate::AtMostOne { label: "PRICE".into() })],
+        vec![DomainConstraint::hard(Predicate::AtMostOne {
+            label: "PRICE".into(),
+        })],
     );
-    lsd.train(std::slice::from_ref(&f.train));
+    lsd.train(std::slice::from_ref(&f.train)).unwrap();
     let fb = [DomainConstraint::hard(Predicate::TagIs {
         tag: "amount-b".into(),
         label: "PRICE".into(),
     })];
-    let o = lsd.match_source_with_feedback(&f.target, &fb);
+    let o = lsd.match_source_with_feedback(&f.target, &fb).unwrap();
     assert_eq!(o.label_of("amount-b"), Some("PRICE"));
     assert_ne!(o.label_of("amount-a"), Some("PRICE"));
 }
@@ -143,10 +154,9 @@ fn combined_frequency_and_feedback() {
 /// values cannot take the key label.
 #[test]
 fn key_constraint_rejects_duplicate_column() {
-    let mediated = parse_dtd(
-        "<!ELEMENT R (ID, N)>\n<!ELEMENT ID (#PCDATA)>\n<!ELEMENT N (#PCDATA)>",
-    )
-    .expect("valid DTD");
+    let mediated =
+        parse_dtd("<!ELEMENT R (ID, N)>\n<!ELEMENT ID (#PCDATA)>\n<!ELEMENT N (#PCDATA)>")
+            .expect("valid DTD");
     let train_dtd = parse_dtd(
         "<!ELEMENT r (ident, cnt)>\n<!ELEMENT ident (#PCDATA)>\n<!ELEMENT cnt (#PCDATA)>",
     )
@@ -181,10 +191,12 @@ fn key_constraint_rejects_duplicate_column() {
     };
     let mut lsd = build(
         &mediated,
-        vec![DomainConstraint::hard(Predicate::IsKey { label: "ID".into() })],
+        vec![DomainConstraint::hard(Predicate::IsKey {
+            label: "ID".into(),
+        })],
     );
-    lsd.train(std::slice::from_ref(&train));
-    let o = lsd.match_source(&target);
+    lsd.train(std::slice::from_ref(&train)).unwrap();
+    let o = lsd.match_source(&target).unwrap();
     assert!(o.result.feasible);
     assert_ne!(o.label_of("code"), Some("ID"), "{:?}", o.labels);
 }
@@ -196,7 +208,10 @@ fn alternate_search_algorithms_work_end_to_end() {
     let f = fixture();
     for algorithm in [SearchAlgorithm::Beam { width: 4 }, SearchAlgorithm::Greedy] {
         let config = LsdConfig {
-            search: SearchConfig { algorithm, heuristic_weight: 1.0 },
+            search: SearchConfig {
+                algorithm,
+                heuristic_weight: 1.0,
+            },
             ..LsdConfig::default()
         };
         let builder = LsdBuilder::new(&f.mediated).with_config(config);
@@ -206,9 +221,10 @@ fn alternate_search_algorithms_work_end_to_end() {
             .with_constraints(vec![DomainConstraint::hard(Predicate::AtMostOne {
                 label: "PRICE".into(),
             })])
-            .build();
-        lsd.train(std::slice::from_ref(&f.train));
-        let o = lsd.match_source(&f.target);
+            .build()
+            .unwrap();
+        lsd.train(std::slice::from_ref(&f.train)).unwrap();
+        let o = lsd.match_source(&f.target).unwrap();
         assert!(o.result.feasible, "{algorithm:?}");
         let price_count = o.labels.iter().filter(|l| l.as_str() == "PRICE").count();
         assert!(price_count <= 1, "{algorithm:?}: {:?}", o.labels);

@@ -8,21 +8,29 @@ use lsd::datagen::DomainId;
 use std::collections::HashMap;
 
 fn to_source(gs: &lsd::datagen::GeneratedSource) -> Source {
-    Source { name: gs.name.clone(), dtd: gs.dtd.clone(), listings: gs.listings.clone() }
+    Source {
+        name: gs.name.clone(),
+        dtd: gs.dtd.clone(),
+        listings: gs.listings.clone(),
+    }
 }
 
 fn build_full(domain: &lsd::datagen::GeneratedDomain) -> Lsd {
     let builder = LsdBuilder::new(&domain.mediated).with_config(LsdConfig::default());
     let n = builder.labels().len();
-    let pairs: Vec<(&str, &str)> =
-        domain.synonyms.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let pairs: Vec<(&str, &str)> = domain
+        .synonyms
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
     builder
         .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, pairs)))
         .add_learner(Box::new(ContentMatcher::new(n)))
         .add_learner(Box::new(NaiveBayesLearner::new(n)))
-        .with_xml_learner()
+        .with_xml_learner(None)
         .with_constraints(domain.constraints.clone())
         .build()
+        .unwrap()
 }
 
 fn train_on(lsd: &mut Lsd, domain: &lsd::datagen::GeneratedDomain, sources: &[usize]) {
@@ -33,11 +41,11 @@ fn train_on(lsd: &mut Lsd, domain: &lsd::datagen::GeneratedDomain, sources: &[us
             mapping: domain.sources[i].mapping.clone(),
         })
         .collect();
-    lsd.train(&training);
+    lsd.train(&training).unwrap();
 }
 
 fn accuracy(lsd: &Lsd, gs: &lsd::datagen::GeneratedSource) -> f64 {
-    let outcome = lsd.match_source(&to_source(gs));
+    let outcome = lsd.match_source(&to_source(gs)).unwrap();
     let correct = gs
         .mapping
         .iter()
@@ -98,19 +106,31 @@ fn feedback_is_honored_and_scoped() {
     let mut lsd = build_full(&domain);
     train_on(&mut lsd, &domain, &[0, 1, 2]);
     let source = to_source(&domain.sources[3]);
-    let tag = domain.sources[3].dtd.element_names().nth(2).expect("a tag").to_string();
+    let tag = domain.sources[3]
+        .dtd
+        .element_names()
+        .nth(2)
+        .expect("a tag")
+        .to_string();
 
     let fb = [DomainConstraint::hard(Predicate::TagIs {
         tag: tag.clone(),
         label: "NOTES".to_string(),
     })];
-    let with_fb = lsd.match_source_with_feedback(&source, &fb);
-    assert_eq!(with_fb.label_of(&tag), Some("NOTES"), "feedback must be honored");
+    let with_fb = lsd.match_source_with_feedback(&source, &fb).unwrap();
+    assert_eq!(
+        with_fb.label_of(&tag),
+        Some("NOTES"),
+        "feedback must be honored"
+    );
 
-    let without = lsd.match_source(&source);
+    let without = lsd.match_source(&source).unwrap();
     // The follow-up match without feedback is unaffected by the earlier one.
-    let again = lsd.match_source(&source);
-    assert_eq!(without.labels, again.labels, "matching must be stateless across calls");
+    let again = lsd.match_source(&source).unwrap();
+    assert_eq!(
+        without.labels, again.labels,
+        "matching must be stateless across calls"
+    );
 }
 
 /// Negative feedback ("tag X does not match Y") removes exactly that
@@ -122,7 +142,7 @@ fn negative_feedback_excludes_label() {
     train_on(&mut lsd, &domain, &[0, 1, 2]);
     let gs = &domain.sources[3];
     let source = to_source(gs);
-    let outcome = lsd.match_source(&source);
+    let outcome = lsd.match_source(&source).unwrap();
     // Pick any tag currently assigned a non-OTHER label and forbid it.
     let (tag, label) = outcome
         .tags
@@ -135,7 +155,7 @@ fn negative_feedback_excludes_label() {
         tag: tag.clone(),
         label: label.clone(),
     })];
-    let after = lsd.match_source_with_feedback(&source, &fb);
+    let after = lsd.match_source_with_feedback(&source, &fb).unwrap();
     assert_ne!(after.label_of(&tag), Some(label.as_str()));
 }
 
@@ -146,7 +166,9 @@ fn pipeline_is_deterministic() {
         let domain = DomainId::FacultyListings.generate(30, 9);
         let mut lsd = build_full(&domain);
         train_on(&mut lsd, &domain, &[0, 1, 2]);
-        lsd.match_source(&to_source(&domain.sources[4])).labels
+        lsd.match_source(&to_source(&domain.sources[4]))
+            .unwrap()
+            .labels
     };
     assert_eq!(run(), run());
 }
@@ -168,9 +190,8 @@ fn labels_come_from_mediated_schema() {
     let domain = DomainId::TimeSchedule.generate(30, 4);
     let mut lsd = build_full(&domain);
     train_on(&mut lsd, &domain, &[0, 1, 2]);
-    let mediated: HashMap<&str, ()> =
-        domain.mediated.element_names().map(|n| (n, ())).collect();
-    let outcome = lsd.match_source(&to_source(&domain.sources[3]));
+    let mediated: HashMap<&str, ()> = domain.mediated.element_names().map(|n| (n, ())).collect();
+    let outcome = lsd.match_source(&to_source(&domain.sources[3])).unwrap();
     for label in &outcome.labels {
         assert!(
             label == "OTHER" || mediated.contains_key(label.as_str()),

@@ -1,7 +1,9 @@
 //! Integration tests reproducing the paper's worked examples in miniature:
 //! the Figure 5 training walkthrough and the Figure 7 XML-learner scenario.
 
-use lsd::core::learners::{BaseLearner, ContentMatcher, NameMatcher, NaiveBayesLearner, XmlLearner};
+use lsd::core::learners::{
+    BaseLearner, ContentMatcher, NaiveBayesLearner, NameMatcher, XmlLearner,
+};
 use lsd::core::{extract_instances, Instance, LsdBuilder, MetaLearner, Source, TrainedSource};
 use lsd::learn::{cross_validation_predictions, LabelSet, Prediction};
 use lsd::xml::{parse_dtd, parse_fragment};
@@ -129,7 +131,11 @@ fn figure7_xml_learner_pipeline() {
         })
         .collect();
     let train = TrainedSource {
-        source: Source { name: "train".into(), dtd: train_dtd, listings },
+        source: Source {
+            name: "train".into(),
+            dtd: train_dtd,
+            listings,
+        },
         mapping: HashMap::from([
             ("entry".to_string(), "LISTING".to_string()),
             ("contact".to_string(), "CONTACT-INFO".to_string()),
@@ -157,20 +163,35 @@ fn figure7_xml_learner_pipeline() {
             .expect("well-formed")
         })
         .collect();
-    let target = Source { name: "target".into(), dtd: target_dtd, listings: target_listings };
+    let target = Source {
+        name: "target".into(),
+        dtd: target_dtd,
+        listings: target_listings,
+    };
 
     let builder = LsdBuilder::new(&mediated);
     let n = builder.labels().len();
     let mut lsd = builder
         .add_learner(Box::new(ContentMatcher::new(n)))
         .add_learner(Box::new(NaiveBayesLearner::new(n)))
-        .with_xml_learner()
-        .build();
-    lsd.train(std::slice::from_ref(&train));
+        .with_xml_learner(None)
+        .build()
+        .unwrap();
+    lsd.train(std::slice::from_ref(&train)).unwrap();
 
-    let outcome = lsd.match_source(&target);
-    assert_eq!(outcome.label_of("who"), Some("CONTACT-INFO"), "{:?}", outcome.labels);
-    assert_eq!(outcome.label_of("blurb"), Some("DESCRIPTION"), "{:?}", outcome.labels);
+    let outcome = lsd.match_source(&target).unwrap();
+    assert_eq!(
+        outcome.label_of("who"),
+        Some("CONTACT-INFO"),
+        "{:?}",
+        outcome.labels
+    );
+    assert_eq!(
+        outcome.label_of("blurb"),
+        Some("DESCRIPTION"),
+        "{:?}",
+        outcome.labels
+    );
 }
 
 /// The XML learner's isolated superiority on the Figure 7 pair (the
@@ -179,8 +200,10 @@ fn figure7_xml_learner_pipeline() {
 fn figure7_xml_beats_flat_naive_bayes() {
     let labels = ["CONTACT-INFO", "DESCRIPTION"];
     let n = labels.len() + 1; // + OTHER
-    let sub_labels =
-        HashMap::from([("name".to_string(), 5usize.min(n - 1)), ("firm".to_string(), n - 1)]);
+    let sub_labels = HashMap::from([
+        ("name".to_string(), 5usize.min(n - 1)),
+        ("firm".to_string(), n - 1),
+    ]);
     let mk_contact = |person: &str, firm: &str| {
         Instance::new(
             parse_fragment(&format!(
@@ -227,7 +250,10 @@ fn figure7_xml_beats_flat_naive_bayes() {
     let test_desc = mk_desc(person, firm);
     let xml_correct = usize::from(BaseLearner::predict(&xml, &test_contact).best_label() == 0)
         + usize::from(BaseLearner::predict(&xml, &test_desc).best_label() == 1);
-    assert_eq!(xml_correct, 2, "the XML learner must separate the Figure 7 pair");
+    assert_eq!(
+        xml_correct, 2,
+        "the XML learner must separate the Figure 7 pair"
+    );
 }
 
 fn _assert_prediction_shape(p: &Prediction) {
