@@ -209,6 +209,40 @@ fn main() {
     }
     report.insert("feedback".into(), feedback.into());
 
+    // ---- Observability export ----
+    // One instrumented FULL-configuration pass per domain: every C(5,3)
+    // split trains and batch-matches inside an lsd_obs collection, and the
+    // per-stage timings / A* counters land in metrics.json next to
+    // experiment_results.json.
+    println!("\n-- observability: per-split pipeline metrics --");
+    let mut all_metrics = Vec::new();
+    for id in DomainId::ALL {
+        let records = lsd_bench::collect_split_metrics(id, &params);
+        let expanded: u64 = records
+            .iter()
+            .map(|r| r.match_report.nodes_expanded())
+            .sum();
+        let evals: u64 = records
+            .iter()
+            .map(|r| r.match_report.constraint_evaluations())
+            .sum();
+        println!(
+            "{:<16} splits={} astar-expanded={} constraint-evals={}",
+            id.name(),
+            records.len(),
+            expanded,
+            evals
+        );
+        all_metrics.extend(records);
+    }
+    let metrics_path = "metrics.json";
+    std::fs::write(
+        metrics_path,
+        serde_json::to_string_pretty(&all_metrics).expect("serializable"),
+    )
+    .expect("write metrics file");
+    println!("Wrote {metrics_path} ({} split records)", all_metrics.len());
+
     report.insert(
         "elapsed_seconds".into(),
         json!(started.elapsed().as_secs_f64()),

@@ -1,0 +1,74 @@
+//! CI smoke pass: one tiny instrumented train + `match_batch` over a single
+//! generated domain, writing `metrics.json` to the current directory.
+//!
+//! This is the minimal end-to-end proof that the observability layer works
+//! in a release build: the written file must contain A\* counters and
+//! per-stage span timings, which CI uploads as an artifact. Scale with
+//! `LSD_LISTINGS` / `LSD_SEED` / `LSD_THREADS` like the other binaries.
+
+use lsd_bench::{accuracy_of_outcome, build_lsd, to_sources, ExperimentParams, Setup};
+use lsd_core::TrainedSource;
+use lsd_datagen::DomainId;
+
+fn main() {
+    let mut params = ExperimentParams::from_env();
+    if std::env::var("LSD_LISTINGS").is_err() {
+        params.listings = 30; // tiny by default: this is a smoke test
+    }
+    let domain = DomainId::RealEstate1.generate(params.listings, params.seed);
+
+    let training: Vec<TrainedSource> = (0..3)
+        .map(|i| TrainedSource {
+            source: to_sources(&domain.sources[i]),
+            mapping: domain.sources[i].mapping.clone(),
+        })
+        .collect();
+    let mut lsd = build_lsd(&domain, Setup::FULL, params.lsd);
+    let train_report = lsd
+        .train_with_report(&training)
+        .expect("generated sources have listings");
+
+    let batch = vec![
+        to_sources(&domain.sources[3]),
+        to_sources(&domain.sources[4]),
+    ];
+    let (outcomes, match_report) = lsd
+        .match_batch_with_report(&batch, &params.exec)
+        .expect("generated sources are well-formed");
+
+    for (outcome, gs) in outcomes.iter().zip(&domain.sources[3..]) {
+        println!(
+            "{:<24} accuracy={:>5.1}%",
+            gs.name,
+            100.0 * accuracy_of_outcome(outcome, gs)
+        );
+    }
+    println!(
+        "train: examples={} cv_folds={}",
+        train_report.examples(),
+        train_report.cv_folds()
+    );
+    println!(
+        "match: sources={} astar-expanded={} pruned={} constraint-evals={}",
+        match_report.sources_matched(),
+        match_report.nodes_expanded(),
+        match_report.nodes_pruned(),
+        match_report.constraint_evaluations()
+    );
+
+    assert!(
+        match_report.nodes_expanded() >= 1,
+        "instrumented search must expand at least one node"
+    );
+
+    let json = serde_json::json!({
+        "train_report": train_report,
+        "match_report": match_report,
+    });
+    std::fs::write(
+        "metrics.json",
+        serde_json::to_string_pretty(&json).expect("serializable"),
+    )
+    .expect("write metrics.json");
+    println!("Wrote metrics.json");
+}

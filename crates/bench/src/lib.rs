@@ -24,6 +24,7 @@
 pub mod runner;
 
 pub use runner::{
-    accuracy_of, all_splits, build_lsd, constraints_for, run_matrix, to_sources, Config,
-    ConstraintMode, DomainAccuracy, ExperimentParams, LearnerSet, Setup,
+    accuracy_of, accuracy_of_outcome, all_splits, build_lsd, collect_split_metrics,
+    constraints_for, run_matrix, to_sources, Config, ConstraintMode, DomainAccuracy,
+    ExperimentParams, LearnerSet, Setup, SplitMetrics,
 };

@@ -4,7 +4,7 @@ use lsd_core::learners::{
     county_name_recognizer, ContentMatcher, FormatLearner, NaiveBayesLearner, NameMatcher,
 };
 use lsd_core::{Lsd, LsdBuilder, LsdConfig, MatchOutcome, Source, TrainedSource};
-use lsd_datagen::{GeneratedDomain, GeneratedSource};
+use lsd_datagen::{DomainId, GeneratedDomain, GeneratedSource};
 use lsd_learn::{metrics, ExecPolicy};
 
 /// Which base learners a configuration uses.
@@ -258,22 +258,80 @@ pub fn accuracy_of(lsd: &Lsd, gs: &GeneratedSource) -> f64 {
 /// [`accuracy_of`] over an already-computed outcome (e.g. one slot of a
 /// [`Lsd::match_batch`] result).
 pub fn accuracy_of_outcome(outcome: &MatchOutcome, gs: &GeneratedSource) -> f64 {
-    let mut predicted = Vec::new();
-    let mut truth = Vec::new();
-    for (tag, label) in &gs.mapping {
-        let Some(p) = outcome.label_of(tag) else {
-            continue;
-        };
-        predicted.push(p.to_string());
-        truth.push(label.clone());
-    }
-    let pairs: Vec<usize> = predicted
+    let pairs: Vec<usize> = gs
+        .mapping
         .iter()
-        .zip(&truth)
-        .map(|(p, t)| usize::from(p == t))
+        .filter_map(|(tag, label)| {
+            outcome
+                .label_of(tag)
+                .map(|p| usize::from(p == label.as_str()))
+        })
         .collect();
     let truth_ones = vec![1usize; pairs.len()];
     metrics::matching_accuracy(&pairs, &truth_ones).unwrap_or(0.0)
+}
+
+/// One split's observability record for the `metrics.json` exporter.
+#[derive(Debug, serde::Serialize)]
+pub struct SplitMetrics {
+    /// Domain name.
+    pub domain: String,
+    /// Training source indices.
+    pub train: Vec<usize>,
+    /// Test source indices.
+    pub test: Vec<usize>,
+    /// Matching accuracy over the split's test sources (percent).
+    pub accuracy: f64,
+    /// Everything the training run recorded.
+    pub train_report: lsd_core::TrainReport,
+    /// Everything the batch match recorded: per-stage span timings, A\*
+    /// counters, constraint evaluations, per-learner predict wall time.
+    pub match_report: lsd_core::MatchReport,
+}
+
+/// Runs the FULL configuration over every C(5,3) = 10 split of `id`'s
+/// domain with observability on: one trial, train + batch-match per split,
+/// each wrapped in an `lsd_obs` collection. This is the data source for the
+/// per-run `metrics.json` written next to `experiment_results.json`.
+pub fn collect_split_metrics(id: DomainId, params: &ExperimentParams) -> Vec<SplitMetrics> {
+    let domain = id.generate(params.listings, params.seed);
+    let mut records = Vec::new();
+    for (train, test) in all_splits() {
+        let training: Vec<TrainedSource> = train
+            .iter()
+            .map(|&i| TrainedSource {
+                source: to_sources(&domain.sources[i]),
+                mapping: domain.sources[i].mapping.clone(),
+            })
+            .collect();
+        let mut lsd = build_lsd(&domain, Setup::FULL, params.lsd);
+        let train_report = lsd
+            .train_with_report(&training)
+            .expect("bench training sources have listings");
+        let batch: Vec<Source> = test
+            .iter()
+            .map(|&t| to_sources(&domain.sources[t]))
+            .collect();
+        let (outcomes, match_report) = lsd
+            .match_batch_with_report(&batch, &params.exec)
+            .expect("bench sources are well-formed");
+        let accuracy = 100.0
+            * test
+                .iter()
+                .zip(&outcomes)
+                .map(|(&t, o)| accuracy_of_outcome(o, &domain.sources[t]))
+                .sum::<f64>()
+            / test.len() as f64;
+        records.push(SplitMetrics {
+            domain: id.name().to_string(),
+            train,
+            test,
+            accuracy,
+            train_report,
+            match_report,
+        });
+    }
+    records
 }
 
 /// All C(5,3) = 10 train/test splits over five sources, as
@@ -486,8 +544,8 @@ pub fn run_matrix(
                     lsd
                 });
                 let lsd = cache.get_mut(&key).expect("just inserted");
-                lsd.handler_mut()
-                    .set_constraints(constraints_for(&domain, mode));
+                lsd.set_constraints(constraints_for(&domain, mode))
+                    .expect("generated constraints name mediated labels");
                 // Fan the split's test sources over the batch engine.
                 let batch: Vec<Source> = test
                     .iter()

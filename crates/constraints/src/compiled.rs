@@ -18,7 +18,7 @@
 use crate::constraint::{ConstraintKind, DomainConstraint, Predicate};
 use crate::evaluate::{MatchingContext, INFEASIBLE};
 use lsd_learn::LabelSet;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
 /// A predicate with *label* names resolved to dense indices. Tag names stay
@@ -295,6 +295,10 @@ pub struct Evaluator<'a> {
     /// Lazily cached FD refutations keyed by (determinant tags, dependent
     /// tag).
     fd_cache: RefCell<HashMap<(Vec<usize>, usize), bool>>,
+    /// Calls to [`Evaluator::evaluate`] — a plain cell so the hot loop pays
+    /// one non-atomic add; the search flushes it into the metrics registry
+    /// once per run.
+    evaluations: Cell<u64>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -434,7 +438,18 @@ impl<'a> Evaluator<'a> {
             assignment_cost,
             best_cost,
             fd_cache: RefCell::new(HashMap::new()),
+            evaluations: Cell::new(0),
         }
+    }
+
+    /// Number of [`Evaluator::evaluate`] calls so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations.get()
+    }
+
+    /// Number of cached functional-dependency refutation entries.
+    pub fn fd_cache_entries(&self) -> usize {
+        self.fd_cache.borrow().len()
     }
 
     /// A fresh scratch sized for this evaluator.
@@ -451,6 +466,7 @@ impl<'a> Evaluator<'a> {
 
     /// Fast equivalent of [`crate::evaluate_partial`].
     pub fn evaluate(&self, assignment: &[Option<usize>], scratch: &mut Scratch) -> f64 {
+        self.evaluations.set(self.evaluations.get() + 1);
         for v in &mut scratch.tags_by_label {
             v.clear();
         }

@@ -128,6 +128,37 @@ impl Predicate {
                 | Predicate::IsTextual { .. }
         )
     }
+
+    /// The mediated-schema label names this predicate references, in
+    /// declaration order. Used to validate constraints against a label set
+    /// up front (`Lsd::set_constraints`) instead of silently dropping
+    /// entries naming unknown labels at compile time.
+    pub fn label_names(&self) -> Vec<&str> {
+        match self {
+            Predicate::AtMostOne { label }
+            | Predicate::ExactlyOne { label }
+            | Predicate::IsKey { label }
+            | Predicate::AtMostK { label, .. }
+            | Predicate::IsNumeric { label }
+            | Predicate::IsTextual { label }
+            | Predicate::TagIs { label, .. }
+            | Predicate::TagIsNot { label, .. } => vec![label],
+            Predicate::NestedIn { outer, inner } | Predicate::NotNestedIn { outer, inner } => {
+                vec![outer, inner]
+            }
+            Predicate::Contiguous { a, b }
+            | Predicate::MutuallyExclusive { a, b }
+            | Predicate::Proximity { a, b } => vec![a, b],
+            Predicate::FunctionalDependency {
+                determinants,
+                dependent,
+            } => {
+                let mut names: Vec<&str> = determinants.iter().map(String::as_str).collect();
+                names.push(dependent);
+                names
+            }
+        }
+    }
 }
 
 impl fmt::Display for Predicate {

@@ -79,6 +79,10 @@ pub struct SearchStats {
     pub expansions: usize,
     /// Child nodes generated (after feasibility pruning).
     pub generated: usize,
+    /// Child nodes rejected before entering the frontier (hard-constraint
+    /// infeasibility or a missed mandatory-label deadline).
+    #[serde(default)]
+    pub pruned: usize,
     /// True if the result is provably the least-cost mapping (A\* completed
     /// within its expansion budget).
     pub optimal: bool,
@@ -200,6 +204,7 @@ pub fn search_mapping_compiled(
 ) -> MappingResult {
     debug_assert_eq!(candidates.len(), ctx.tags.len());
     debug_assert_eq!(order.len(), ctx.tags.len());
+    let _span = lsd_obs::span!("constraints.search");
     let evaluator = Evaluator::with_compiled(ctx, set);
     let deadlines = Deadlines::new(&set.mandatory_labels(), candidates, order);
     let mut scratch = evaluator.scratch();
@@ -231,7 +236,24 @@ pub fn search_mapping_compiled(
             }
         }
     };
-    result.unwrap_or_else(|| fallback_argmax(ctx, &evaluator, &mut scratch, candidates))
+    let result =
+        result.unwrap_or_else(|| fallback_argmax(ctx, &evaluator, &mut scratch, candidates));
+    // One flush per search call: counters were accumulated in the local
+    // `SearchStats` / evaluator cell, so the hot loop never touches the
+    // metrics registry.
+    if lsd_obs::enabled() {
+        lsd_obs::counter_add("search.runs", "", 1);
+        lsd_obs::counter_add("search.nodes_expanded", "", result.stats.expansions as u64);
+        lsd_obs::counter_add("search.nodes_generated", "", result.stats.generated as u64);
+        lsd_obs::counter_add("search.nodes_pruned", "", result.stats.pruned as u64);
+        lsd_obs::counter_add("search.evaluations", "", evaluator.evaluations());
+        lsd_obs::gauge_max(
+            "search.fd_cache_entries",
+            "",
+            evaluator.fd_cache_entries() as u64,
+        );
+    }
+    result
 }
 
 /// Remaining-cost lower bound: cheapest per-tag probability cost of the
@@ -292,10 +314,12 @@ fn astar(
             let mut assignment = node.assignment.clone();
             assignment[tag] = Some(label);
             if !deadlines.satisfied(node.depth, &assignment) {
+                stats.pruned += 1;
                 continue;
             }
             let g = evaluator.evaluate(&assignment, scratch);
             if g == INFEASIBLE {
+                stats.pruned += 1;
                 continue;
             }
             stats.generated += 1;
@@ -328,9 +352,14 @@ fn complete_greedily(
         for &label in &candidates[tag] {
             assignment[tag] = Some(label);
             if !deadlines.satisfied(pos, &assignment) {
+                stats.pruned += 1;
                 continue;
             }
             let g = evaluator.evaluate(&assignment, scratch);
+            if g == INFEASIBLE {
+                stats.pruned += 1;
+                continue;
+            }
             stats.generated += 1;
             if g < best.map_or(INFEASIBLE, |(_, c)| c) {
                 best = Some((label, g));
@@ -382,10 +411,12 @@ fn beam(
                 let mut assignment = node.assignment.clone();
                 assignment[tag] = Some(label);
                 if !deadlines.satisfied(pos, &assignment) {
+                    stats.pruned += 1;
                     continue;
                 }
                 let g = evaluator.evaluate(&assignment, scratch);
                 if g == INFEASIBLE {
+                    stats.pruned += 1;
                     continue;
                 }
                 stats.generated += 1;

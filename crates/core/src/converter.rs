@@ -37,6 +37,7 @@ pub fn convert_column_with(
     num_labels: usize,
     rule: CombinationRule,
 ) -> Prediction {
+    lsd_obs::counter_add("converter.conversions", "", 1);
     if instance_predictions.is_empty() {
         return Prediction::uniform(num_labels);
     }

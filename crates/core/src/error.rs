@@ -31,6 +31,14 @@ pub enum LsdError {
         /// What the schema builder rejected.
         detail: String,
     },
+    /// [`crate::Lsd::set_constraints`] was given a constraint referencing
+    /// a label that is not part of the mediated schema. Accepting it would
+    /// compile to a constraint that can never fire — almost always a typo
+    /// the caller wants to hear about.
+    UnknownLabel {
+        /// The unresolvable label name.
+        label: String,
+    },
     /// Saving or loading a model failed.
     Persist(PersistError),
 }
@@ -52,6 +60,12 @@ impl fmt::Display for LsdError {
             }
             LsdError::InvalidSchema { source, detail } => {
                 write!(f, "source '{source}' has an invalid schema: {detail}")
+            }
+            LsdError::UnknownLabel { label } => {
+                write!(
+                    f,
+                    "constraint references label '{label}', which is not in the mediated schema"
+                )
             }
             LsdError::Persist(e) => write!(f, "{e}"),
         }

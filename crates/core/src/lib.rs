@@ -35,6 +35,7 @@ mod instance;
 pub mod learners;
 mod meta;
 pub mod persist;
+pub mod report;
 mod system;
 
 pub use converter::{convert_column, convert_column_with, CombinationRule};
@@ -43,7 +44,10 @@ pub use hierarchy::{most_specific_unambiguous, PartialMatch};
 pub use instance::{build_source_data, extract_instances, Instance};
 pub use meta::MetaLearner;
 pub use persist::{PersistError, SavedLearner, SavedModel};
-pub use system::{Lsd, LsdBuilder, LsdConfig, MatchOutcome, Source, TagExplanation, TrainedSource};
+pub use report::{MatchReport, TrainReport};
+pub use system::{
+    LabelCandidate, Lsd, LsdBuilder, LsdConfig, MatchOutcome, Source, TagExplanation, TrainedSource,
+};
 
 // The constraint vocabulary is part of LSD's public face.
 pub use lsd_constraints::{

@@ -113,6 +113,7 @@ impl MetaLearner {
             self.num_learners(),
             "one prediction per learner"
         );
+        lsd_obs::counter_add("meta.combines", "", 1);
         let n = self.num_labels();
         let scores: Vec<f64> = (0..n)
             .map(|label| {
@@ -132,6 +133,7 @@ impl MetaLearner {
     /// time without retraining the stack.
     pub fn combine_subset(&self, predictions: &[Prediction], learners: &[usize]) -> Prediction {
         assert_eq!(predictions.len(), learners.len());
+        lsd_obs::counter_add("meta.combines", "", 1);
         let n = self.num_labels();
         let scores: Vec<f64> = (0..n)
             .map(|label| {

@@ -174,12 +174,14 @@ impl Lsd {
         let handler = ConstraintHandler::new(saved.constraints)
             .with_config(saved.config.search)
             .with_candidate_limit(saved.config.candidate_limit);
+        let compiled = handler.compiled(&saved.labels);
         Lsd {
             labels: saved.labels,
             learners,
             xml_index: saved.xml_index,
             meta: saved.meta,
             handler,
+            compiled,
             config: saved.config,
             trained: saved.trained,
         }

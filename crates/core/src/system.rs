@@ -24,6 +24,7 @@ use crate::error::LsdError;
 use crate::instance::{build_source_data, extract_instances, Instance};
 use crate::learners::{BaseLearner, XmlLearner};
 use crate::meta::MetaLearner;
+use crate::report::{MatchReport, TrainReport};
 use lsd_constraints::{
     CompiledConstraintSet, ConstraintHandler, DomainConstraint, MappingResult, MatchingContext,
     SearchConfig,
@@ -36,6 +37,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// A data source: its schema (DTD) and the listings extracted from it.
 #[derive(Debug, Clone)]
@@ -189,12 +191,14 @@ impl LsdBuilder {
         let handler = ConstraintHandler::new(self.constraints)
             .with_config(self.config.search)
             .with_candidate_limit(self.config.candidate_limit);
+        let compiled = handler.compiled(&self.labels);
         Ok(Lsd {
             labels: self.labels,
             learners,
             xml_index,
             meta: MetaLearner::uniform(0, num.max(1)),
             handler,
+            compiled,
             config: self.config,
             trained: false,
         })
@@ -209,8 +213,26 @@ pub struct Lsd {
     pub(crate) xml_index: Option<usize>,
     pub(crate) meta: MetaLearner,
     pub(crate) handler: ConstraintHandler,
+    /// The domain constraints compiled against `labels`, kept in lockstep
+    /// with `handler` by [`Lsd::set_constraints`] — every match path shares
+    /// this set, so it must never go stale.
+    pub(crate) compiled: CompiledConstraintSet,
     pub(crate) config: LsdConfig,
     pub(crate) trained: bool,
+}
+
+/// One ranked mediated-schema label for a source tag (see
+/// [`MatchOutcome::candidates`]).
+#[derive(Debug, Clone)]
+pub struct LabelCandidate {
+    /// The mediated-schema label name.
+    pub label: String,
+    /// The combined tag-level score (post meta-learner and converter) —
+    /// the value the constraint handler ranked this label by.
+    pub score: f64,
+    /// Per-learner tag-level scores for this label, parallel to
+    /// [`MatchOutcome::learner_names`].
+    pub per_learner: Vec<f64>,
 }
 
 /// The outcome of matching one source.
@@ -225,18 +247,26 @@ pub struct MatchOutcome {
     pub result: MappingResult,
     /// Label names, parallel to `tags` (`OTHER` for unmatchable tags).
     pub labels: Vec<String>,
+    /// `source tag → mediated tag`, computed once at match time.
+    pub(crate) mapping: HashMap<String, String>,
+    /// Base learner names, in combination order.
+    pub(crate) learner_names: Vec<&'static str>,
+    /// `per_learner[t][j]` — learner `j`'s converted tag-level prediction
+    /// for tag `t` (the `explain_source` plumbing, captured during the
+    /// match pass instead of re-predicting).
+    pub(crate) per_learner: Vec<Vec<Prediction>>,
+    /// `candidates[t]` — every label ranked by combined score for tag `t`.
+    pub(crate) candidates: Vec<Vec<LabelCandidate>>,
+    /// Instances examined per tag, parallel to `tags`.
+    pub(crate) instances_examined: Vec<usize>,
 }
 
 impl MatchOutcome {
     /// The produced 1-1 mapping as `source tag → mediated tag`, excluding
-    /// tags mapped to `OTHER`.
-    pub fn mapping(&self) -> HashMap<String, String> {
-        self.tags
-            .iter()
-            .zip(&self.labels)
-            .filter(|(_, l)| *l != LabelSet::OTHER)
-            .map(|(t, l)| (t.clone(), l.clone()))
-            .collect()
+    /// tags mapped to `OTHER`. Computed once when the outcome is built;
+    /// repeated calls return the same cached map.
+    pub fn mapping(&self) -> &HashMap<String, String> {
+        &self.mapping
     }
 
     /// The predicted label for one tag.
@@ -245,6 +275,32 @@ impl MatchOutcome {
             .iter()
             .position(|t| t == tag)
             .map(|i| self.labels[i].as_str())
+    }
+
+    /// Base learner names, in combination order (the order of
+    /// [`LabelCandidate::per_learner`]).
+    pub fn learner_names(&self) -> &[&'static str] {
+        &self.learner_names
+    }
+
+    /// The ranked label candidates for one tag: every label with its
+    /// combined converter score and per-learner breakdown, best first.
+    /// Empty for a tag the source does not have. No second explain pass is
+    /// needed — the evidence is captured while matching.
+    pub fn candidates(&self, tag: &str) -> &[LabelCandidate] {
+        self.tags
+            .iter()
+            .position(|t| t == tag)
+            .map(|i| self.candidates[i].as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// How many instances of `tag` the pipeline examined.
+    pub fn instances_examined(&self, tag: &str) -> Option<usize> {
+        self.tags
+            .iter()
+            .position(|t| t == tag)
+            .map(|i| self.instances_examined[i])
     }
 }
 
@@ -264,9 +320,31 @@ impl Lsd {
         &self.meta
     }
 
-    /// The constraint handler (e.g. to add domain constraints post-build).
-    pub fn handler_mut(&mut self) -> &mut ConstraintHandler {
-        &mut self.handler
+    /// Replaces the domain constraints, re-running the two-stage
+    /// compilation so every match path sees the new set immediately. This
+    /// supersedes the old `handler_mut()` escape hatch, which let callers
+    /// swap constraints behind the pre-compiled set's back and match
+    /// against a stale compilation.
+    ///
+    /// # Errors
+    /// [`LsdError::UnknownLabel`] if a constraint names a label outside the
+    /// mediated schema; the previous constraints stay in force.
+    pub fn set_constraints(&mut self, constraints: Vec<DomainConstraint>) -> Result<(), LsdError> {
+        for c in &constraints {
+            for name in c.predicate.label_names() {
+                if self.labels.get(name).is_none() {
+                    return Err(LsdError::UnknownLabel { label: name.into() });
+                }
+            }
+        }
+        self.handler.set_constraints(constraints);
+        self.compiled = self.handler.compiled(&self.labels);
+        Ok(())
+    }
+
+    /// The domain constraints currently in force.
+    pub fn constraints(&self) -> &[DomainConstraint] {
+        self.handler.constraints()
     }
 
     /// True once [`Self::train`] has run.
@@ -287,9 +365,14 @@ impl Lsd {
     /// # Errors
     /// [`LsdError::NoTrainingData`] if the sources yield no instances.
     pub fn train(&mut self, sources: &[TrainedSource]) -> Result<(), LsdError> {
+        let _span = lsd_obs::span!("train");
         let (examples, groups) = self.training_examples(sources);
         if examples.is_empty() {
             return Err(LsdError::NoTrainingData);
+        }
+        if lsd_obs::enabled() {
+            lsd_obs::counter_add("train.sources", "", sources.len() as u64);
+            lsd_obs::counter_add("train.examples", "", examples.len() as u64);
         }
         let refs: Vec<(&Instance, usize)> = examples.iter().map(|(i, l)| (i, *l)).collect();
 
@@ -297,16 +380,28 @@ impl Lsd {
         // thread per learner (they are independent and `train` needs
         // `&mut`, so this fans out over `iter_mut` rather than
         // `parallel_map`).
-        if self.learners.len() > 1 {
-            let refs = &refs;
-            std::thread::scope(|scope| {
+        let train_timed = |learner: &mut Box<dyn BaseLearner>, refs: &[(&Instance, usize)]| {
+            let name = learner.name();
+            let _span = lsd_obs::span!("learner.train", name);
+            let t0 = lsd_obs::enabled().then(Instant::now);
+            learner.train(refs);
+            if let Some(t0) = t0 {
+                lsd_obs::record_duration("learner.train_ns", name, t0.elapsed());
+            }
+        };
+        {
+            let _stage = lsd_obs::span!("train.base_learners");
+            if self.learners.len() > 1 {
+                let refs = &refs;
+                std::thread::scope(|scope| {
+                    for learner in &mut self.learners {
+                        scope.spawn(move || train_timed(learner, refs));
+                    }
+                });
+            } else {
                 for learner in &mut self.learners {
-                    scope.spawn(move || learner.train(refs));
+                    train_timed(learner, &refs);
                 }
-            });
-        } else {
-            for learner in &mut self.learners {
-                learner.train(&refs);
             }
         }
 
@@ -325,6 +420,7 @@ impl Lsd {
         // Parallelism picks one level to avoid oversubscription: with
         // several learners the learners run concurrently (folds serial
         // within each); a single learner parallelizes its folds instead.
+        let _meta_span = lsd_obs::span!("train.meta");
         let truths: Vec<usize> = examples.iter().map(|(_, l)| *l).collect();
         let (learner_policy, fold_policy) = if self.learners.len() > 1 {
             (ExecPolicy::default(), ExecPolicy::serial())
@@ -422,8 +518,7 @@ impl Lsd {
         feedback: &[DomainConstraint],
     ) -> Result<MatchOutcome, LsdError> {
         self.ensure_trained("match_source")?;
-        let domain = self.handler.compiled(&self.labels);
-        self.match_one(source, feedback, &domain)
+        self.match_one(source, feedback, &self.compiled)
     }
 
     /// Matches many sources concurrently under `policy`, sharing this
@@ -441,12 +536,54 @@ impl Lsd {
         policy: &ExecPolicy,
     ) -> Result<Vec<MatchOutcome>, LsdError> {
         self.ensure_trained("match_batch")?;
-        let domain = self.handler.compiled(&self.labels);
         parallel_map(sources, policy, |_, source| {
-            self.match_one(source, &[], &domain)
+            self.match_one(source, &[], &self.compiled)
         })
         .into_iter()
         .collect()
+    }
+
+    /// [`Self::train`] wrapped in an observability collection: returns a
+    /// [`TrainReport`] with per-learner train wall time, fold counts and
+    /// the full metrics snapshot. Observability is enabled only for the
+    /// duration of the call.
+    ///
+    /// # Errors
+    /// As for [`Self::train`].
+    pub fn train_with_report(
+        &mut self,
+        sources: &[TrainedSource],
+    ) -> Result<TrainReport, LsdError> {
+        let (result, metrics) = lsd_obs::collect(|| self.train(sources));
+        result.map(|()| TrainReport { metrics })
+    }
+
+    /// [`Self::match_source`] wrapped in an observability collection:
+    /// returns the outcome plus a [`MatchReport`] with A\* search counters,
+    /// constraint evaluations and per-learner predict wall time.
+    ///
+    /// # Errors
+    /// As for [`Self::match_source`].
+    pub fn match_source_with_report(
+        &self,
+        source: &Source,
+    ) -> Result<(MatchOutcome, MatchReport), LsdError> {
+        let (result, metrics) = lsd_obs::collect(|| self.match_source(source));
+        result.map(|outcome| (outcome, MatchReport { metrics }))
+    }
+
+    /// [`Self::match_batch`] wrapped in an observability collection: one
+    /// [`MatchReport`] aggregated across every source and worker thread.
+    ///
+    /// # Errors
+    /// As for [`Self::match_batch`].
+    pub fn match_batch_with_report(
+        &self,
+        sources: &[Source],
+        policy: &ExecPolicy,
+    ) -> Result<(Vec<MatchOutcome>, MatchReport), LsdError> {
+        let (result, metrics) = lsd_obs::collect(|| self.match_batch(sources, policy));
+        result.map(|outcomes| (outcomes, MatchReport { metrics }))
     }
 
     /// The per-source matching pipeline, over a constraint set the caller
@@ -458,6 +595,7 @@ impl Lsd {
         feedback: &[DomainConstraint],
         domain: &CompiledConstraintSet,
     ) -> Result<MatchOutcome, LsdError> {
+        let _span = lsd_obs::span!("match.source");
         let schema = SchemaTree::from_dtd(&source.dtd).map_err(|e| LsdError::InvalidSchema {
             source: source.name.clone(),
             detail: e.to_string(),
@@ -474,39 +612,66 @@ impl Lsd {
         }
         let empty: Vec<Instance> = Vec::new();
 
+        // Per-learner wall-time accumulators, flushed once per source so
+        // the per-instance loop never touches the metrics registry.
+        let obs_on = lsd_obs::enabled();
+        let num_learners = self.learners.len();
+        let mut predict_ns = vec![0u64; num_learners];
+        let mut predict_calls = vec![0u64; num_learners];
+        let mut timed_predict = |j: usize, inst: &Instance| {
+            if obs_on {
+                let t0 = Instant::now();
+                let pred = self.learners[j].predict(inst);
+                predict_ns[j] += t0.elapsed().as_nanos() as u64;
+                predict_calls[j] += 1;
+                pred
+            } else {
+                self.learners[j].predict(inst)
+            }
+        };
+
         // Stage 1: first-pass predictions from everything but the XML
         // learner.
-        let stage1_learners: Vec<usize> = (0..self.learners.len())
+        let stage1_learners: Vec<usize> = (0..num_learners)
             .filter(|i| Some(*i) != self.xml_index)
             .collect();
         let mut stage1_instance_preds: HashMap<&str, Vec<Vec<Prediction>>> = HashMap::new();
         let mut tag_predictions: Vec<Prediction> = Vec::with_capacity(tags.len());
-        for tag in &tags {
-            let instances = columns.get(tag.as_str()).unwrap_or(&empty);
-            let per_instance: Vec<Vec<Prediction>> = instances
-                .iter()
-                .map(|inst| {
-                    stage1_learners
-                        .iter()
-                        .map(|&j| self.learners[j].predict(inst))
-                        .collect()
-                })
-                .collect();
-            let combined: Vec<Prediction> = per_instance
-                .iter()
-                .map(|preds| self.meta.combine_subset(preds, &stage1_learners))
-                .collect();
-            tag_predictions.push(convert_column_with(
-                &combined,
-                self.labels.len(),
-                self.config.converter,
-            ));
-            stage1_instance_preds.insert(tag.as_str(), per_instance);
+        let mut instances_examined: Vec<usize> = Vec::with_capacity(tags.len());
+        {
+            let _stage = lsd_obs::span!("match.stage1");
+            for tag in &tags {
+                let instances = columns.get(tag.as_str()).unwrap_or(&empty);
+                instances_examined.push(instances.len());
+                let per_instance: Vec<Vec<Prediction>> = instances
+                    .iter()
+                    .map(|inst| {
+                        stage1_learners
+                            .iter()
+                            .map(|&j| timed_predict(j, inst))
+                            .collect()
+                    })
+                    .collect();
+                let combined: Vec<Prediction> = per_instance
+                    .iter()
+                    .map(|preds| self.meta.combine_subset(preds, &stage1_learners))
+                    .collect();
+                tag_predictions.push(convert_column_with(
+                    &combined,
+                    self.labels.len(),
+                    self.config.converter,
+                ));
+                stage1_instance_preds.insert(tag.as_str(), per_instance);
+            }
         }
 
         // Stage 2: the XML learner votes with the stage-1 labelling as
         // structural context, and the meta-learner re-combines everything.
+        // Its per-instance predictions are kept so the per-learner views
+        // below need no second predict pass.
+        let mut xml_instance_preds: HashMap<&str, Vec<Prediction>> = HashMap::new();
         if let Some(xml_idx) = self.xml_index {
+            let _stage = lsd_obs::span!("match.stage2");
             let stage1_labels: HashMap<String, usize> = tags
                 .iter()
                 .zip(&tag_predictions)
@@ -515,54 +680,130 @@ impl Lsd {
             for (ti, tag) in tags.iter().enumerate() {
                 let instances = columns.get(tag.as_str()).unwrap_or(&empty);
                 let stage1 = &stage1_instance_preds[tag.as_str()];
+                let mut xml_preds: Vec<Prediction> = Vec::with_capacity(instances.len());
                 let combined: Vec<Prediction> = instances
                     .iter()
                     .zip(stage1)
                     .map(|(inst, s1_preds)| {
                         let ctx_inst = inst.clone().with_sub_labels(stage1_labels.clone());
-                        let xml_pred = self.learners[xml_idx].predict(&ctx_inst);
+                        let xml_pred = timed_predict(xml_idx, &ctx_inst);
                         // Reassemble the full prediction vector in learner
                         // order (stage-1 learners + XML learner).
-                        let mut all: Vec<Prediction> = Vec::with_capacity(self.learners.len());
+                        let mut all: Vec<Prediction> = Vec::with_capacity(num_learners);
                         let mut s1 = s1_preds.iter();
-                        for j in 0..self.learners.len() {
+                        for j in 0..num_learners {
                             if j == xml_idx {
                                 all.push(xml_pred.clone());
                             } else {
                                 all.push(s1.next().expect("stage-1 prediction").clone());
                             }
                         }
+                        xml_preds.push(xml_pred);
                         self.meta.combine(&all)
                     })
                     .collect();
                 tag_predictions[ti] =
                     convert_column_with(&combined, self.labels.len(), self.config.converter);
+                xml_instance_preds.insert(tag.as_str(), xml_preds);
+            }
+        }
+
+        // Per-learner tag-level views: each learner's instance column run
+        // through the same converter as the combined pipeline. This is the
+        // evidence behind `candidates()` and `explain_source`, captured from
+        // the predictions already made above.
+        let per_learner: Vec<Vec<Prediction>> = tags
+            .iter()
+            .map(|tag| {
+                let stage1 = &stage1_instance_preds[tag.as_str()];
+                (0..num_learners)
+                    .map(|j| {
+                        let column: Vec<Prediction> = if Some(j) == self.xml_index {
+                            xml_instance_preds
+                                .get(tag.as_str())
+                                .cloned()
+                                .unwrap_or_default()
+                        } else {
+                            let pos = stage1_learners
+                                .iter()
+                                .position(|&s| s == j)
+                                .expect("stage-1 learner index");
+                            stage1.iter().map(|preds| preds[pos].clone()).collect()
+                        };
+                        convert_column_with(&column, self.labels.len(), self.config.converter)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        if obs_on {
+            lsd_obs::counter_add("match.sources", "", 1);
+            lsd_obs::counter_add("match.tags", "", tags.len() as u64);
+            lsd_obs::counter_add(
+                "match.instances",
+                "",
+                instances_examined.iter().map(|&n| n as u64).sum(),
+            );
+            for (j, learner) in self.learners.iter().enumerate() {
+                if predict_calls[j] > 0 {
+                    // Wall time goes into histograms: counters must stay
+                    // deterministic across thread counts.
+                    lsd_obs::record_value("learner.predict_ns", learner.name(), predict_ns[j]);
+                    lsd_obs::counter_add("learner.predict_calls", learner.name(), predict_calls[j]);
+                }
             }
         }
 
         // Constraint handling.
-        let data = build_source_data(tags.iter().map(String::as_str), &source.listings);
-        let ctx = MatchingContext {
-            labels: &self.labels,
-            schema: &schema,
-            tags: tags.clone(),
-            predictions: tag_predictions.clone(),
-            data: &data,
-            alpha: self.config.alpha,
+        let result = {
+            let _search = lsd_obs::span!("match.constraints");
+            let data = build_source_data(tags.iter().map(String::as_str), &source.listings);
+            let ctx = MatchingContext {
+                labels: &self.labels,
+                schema: &schema,
+                tags: tags.clone(),
+                predictions: tag_predictions.clone(),
+                data: &data,
+                alpha: self.config.alpha,
+            };
+            self.handler
+                .find_mapping_precompiled(&ctx, domain, feedback)
         };
-        let result = self
-            .handler
-            .find_mapping_precompiled(&ctx, domain, feedback);
         let labels: Vec<String> = result
             .assignment
             .iter()
             .map(|&l| self.labels.name(l).to_string())
+            .collect();
+        let mapping: HashMap<String, String> = tags
+            .iter()
+            .zip(&labels)
+            .filter(|(_, l)| *l != LabelSet::OTHER)
+            .map(|(t, l)| (t.clone(), l.clone()))
+            .collect();
+        let candidates: Vec<Vec<LabelCandidate>> = tag_predictions
+            .iter()
+            .enumerate()
+            .map(|(ti, pred)| {
+                pred.ranked_labels()
+                    .into_iter()
+                    .map(|l| LabelCandidate {
+                        label: self.labels.name(l).to_string(),
+                        score: pred.score(l),
+                        per_learner: per_learner[ti].iter().map(|v| v.score(l)).collect(),
+                    })
+                    .collect()
+            })
             .collect();
         Ok(MatchOutcome {
             tags,
             predictions: tag_predictions,
             result,
             labels,
+            mapping,
+            learner_names: self.learners.iter().map(|l| l.name()).collect(),
+            per_learner,
+            candidates,
+            instances_examined,
         })
     }
 
@@ -576,81 +817,26 @@ impl Lsd {
     /// As for [`Self::match_source`].
     pub fn explain_source(&self, source: &Source) -> Result<Vec<TagExplanation>, LsdError> {
         self.ensure_trained("explain_source")?;
-        let schema = SchemaTree::from_dtd(&source.dtd).map_err(|e| LsdError::InvalidSchema {
-            source: source.name.clone(),
-            detail: e.to_string(),
-        })?;
-        let tags: Vec<String> = schema.tag_names().map(str::to_string).collect();
-
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let mut columns = extract_instances(&source.listings);
-        for tag in &tags {
-            if let Some(instances) = columns.get_mut(tag) {
-                subsample(instances, self.config.max_match_instances_per_tag, &mut rng);
-            }
-        }
-        let empty: Vec<Instance> = Vec::new();
-        let stage1_learners: Vec<usize> = (0..self.learners.len())
-            .filter(|i| Some(*i) != self.xml_index)
-            .collect();
-
-        // Per-learner, per-tag converter outputs (stage-1 learners).
-        let mut explanations: Vec<TagExplanation> = tags
-            .iter()
-            .map(|tag| {
-                let instances = columns.get(tag.as_str()).unwrap_or(&empty);
-                let per_learner: Vec<(String, Prediction)> = stage1_learners
-                    .iter()
-                    .map(|&j| {
-                        let column: Vec<Prediction> = instances
-                            .iter()
-                            .map(|i| self.learners[j].predict(i))
-                            .collect();
-                        (
-                            self.learners[j].name().to_string(),
-                            convert_column_with(&column, self.labels.len(), self.config.converter),
-                        )
-                    })
-                    .collect();
-                TagExplanation {
-                    tag: tag.clone(),
-                    per_learner,
-                    combined: Prediction::uniform(self.labels.len()),
-                    instances_examined: instances.len(),
-                }
-            })
-            .collect();
-
-        // The combined view and the XML learner's second-stage view come
-        // from the real pipeline, so the explanation matches what
-        // `match_source` actually does.
+        // The per-learner views are captured during the match pass itself
+        // (see `match_one`), so explaining costs one pipeline run instead of
+        // the former run-then-re-predict-everything double pass.
         let outcome = self.match_source(source)?;
-        if let Some(xml_idx) = self.xml_index {
-            let stage1_labels: HashMap<String, usize> = outcome
-                .tags
-                .iter()
-                .zip(&outcome.predictions)
-                .map(|(t, p)| (t.clone(), p.best_label()))
-                .collect();
-            for (tag, explanation) in tags.iter().zip(&mut explanations) {
-                let instances = columns.get(tag.as_str()).unwrap_or(&empty);
-                let column: Vec<Prediction> = instances
+        Ok(outcome
+            .tags
+            .iter()
+            .enumerate()
+            .map(|(ti, tag)| TagExplanation {
+                tag: tag.clone(),
+                per_learner: outcome
+                    .learner_names
                     .iter()
-                    .map(|i| {
-                        let ctx = i.clone().with_sub_labels(stage1_labels.clone());
-                        self.learners[xml_idx].predict(&ctx)
-                    })
-                    .collect();
-                explanation.per_learner.push((
-                    self.learners[xml_idx].name().to_string(),
-                    convert_column_with(&column, self.labels.len(), self.config.converter),
-                ));
-            }
-        }
-        for (explanation, combined) in explanations.iter_mut().zip(&outcome.predictions) {
-            explanation.combined = combined.clone();
-        }
-        Ok(explanations)
+                    .zip(&outcome.per_learner[ti])
+                    .map(|(name, pred)| (name.to_string(), pred.clone()))
+                    .collect(),
+                combined: outcome.predictions[ti].clone(),
+                instances_examined: outcome.instances_examined[ti],
+            })
+            .collect())
     }
 }
 

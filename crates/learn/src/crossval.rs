@@ -130,6 +130,8 @@ fn predictions_for_folds<X: ?Sized + Sync, C: Classifier<X>>(
 ) -> Vec<Prediction> {
     let fold_ids: Vec<usize> = (0..d).collect();
     let per_fold: Vec<Vec<(usize, Prediction)>> = parallel_map(&fold_ids, policy, |_, &fold| {
+        let _span = lsd_obs::span!("train.cv_fold");
+        lsd_obs::counter_add("crossval.folds", "", 1);
         let train: Vec<(&X, usize)> = examples
             .iter()
             .zip(folds)

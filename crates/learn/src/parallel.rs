@@ -82,6 +82,14 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let workers = policy.effective_threads(items.len());
+    if lsd_obs::enabled() && !items.is_empty() {
+        lsd_obs::counter_add("parallel.batches", "", 1);
+        lsd_obs::counter_add("parallel.jobs", "", items.len() as u64);
+        // A histogram, not a gauge: worker count varies with ExecPolicy,
+        // and gauges are part of the deterministic (thread-count-invariant)
+        // snapshot subset.
+        lsd_obs::record_value("parallel.workers", "", workers as u64);
+    }
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -100,6 +108,8 @@ where
             handles.push(scope.spawn(move || {
                 if policy.deterministic_order {
                     // Static striding: worker w owns jobs w, w+T, w+2T, …
+                    let owned = (worker..items.len()).step_by(workers).count();
+                    lsd_obs::record_value("parallel.jobs_per_worker", "", owned as u64);
                     let mut i = worker;
                     while i < items.len() {
                         let r = f(i, &items[i]);
@@ -113,6 +123,12 @@ where
                         if i >= items.len() {
                             break;
                         }
+                        // Queue occupancy at claim time: jobs not yet started.
+                        lsd_obs::record_value(
+                            "parallel.queue_occupancy",
+                            "",
+                            (items.len() - i) as u64,
+                        );
                         let r = f(i, &items[i]);
                         out.lock().expect("no poisoned worker")[i] = Some(r);
                     }

@@ -1,0 +1,624 @@
+//! Zero-dependency observability for the LSD pipeline.
+//!
+//! Two instruments, one aggregation strategy:
+//!
+//! * **Spans** — [`span!`] opens a lightweight tracing span with monotonic
+//!   timing, a thread ordinal, and parent nesting (tracked per thread via a
+//!   span stack). Every closed span is also folded into a duration histogram
+//!   keyed `span.<name>`, so coarse wall-time summaries survive even when
+//!   callers only look at the metric tables.
+//! * **Metrics** — [`counter_add`], [`gauge_max`] and [`record_value`] feed a
+//!   registry of counters, high-watermark gauges and `{count, sum, min, max}`
+//!   histograms keyed by `(name, label)` pairs of `&'static str`.
+//!
+//! # Shard-and-merge aggregation
+//!
+//! Probes write to a **thread-local shard** — no locks, no shared cache lines
+//! in the hot loop. Shards drain into a process-wide aggregate at two points:
+//! when a thread exits (the shard's TLS destructor fires, which for
+//! `std::thread::scope` workers happens before the scope returns) and when the
+//! owning thread calls [`flush`] explicitly. [`collect`] wraps a closure with
+//! the full lifecycle: bump the epoch (invalidating any stale shard contents
+//! left over from a previous collection), enable recording, run the closure,
+//! flush the calling thread, and return a [`MetricsSnapshot`] of everything
+//! the closure's thread tree recorded.
+//!
+//! # Disabled-mode cost
+//!
+//! Every probe starts with one `Relaxed` load of a global `AtomicBool` and
+//! returns immediately when observability is off — no TLS access, no
+//! allocation, no time reads. [`span!`] yields a guard wrapping `None`, whose
+//! drop is a single branch.
+
+use serde::Serialize;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Global on/off switch. Off by default; [`collect`] turns it on for the
+/// duration of the wrapped closure.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Collection epoch. Shards stamped with an older epoch are cleared on next
+/// use instead of leaking data from a previous [`collect`] call.
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// Dense thread ordinals for span records (thread names are not guaranteed
+/// and `ThreadId` has no stable integer form on older toolchains).
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+/// Globally unique span ids, so parent links survive the shard merge.
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+/// The instant all span start offsets are measured from.
+fn process_epoch() -> Instant {
+    static T: OnceLock<Instant> = OnceLock::new();
+    *T.get_or_init(Instant::now)
+}
+
+type Key = (&'static str, &'static str);
+
+/// A closed span: timing, thread ordinal and parent link.
+///
+/// `parent` is the [`SpanRecord::id`] of the span that was open on the same
+/// thread when this one was entered, or `None` for a root span.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanRecord {
+    /// Static span name, e.g. `"train.cv_fold"`.
+    pub name: &'static str,
+    /// Optional static label, e.g. a learner name. Empty when unused.
+    pub label: &'static str,
+    /// Globally unique id (unique within one process run).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Dense ordinal of the recording thread.
+    pub thread: u64,
+    /// Start offset in nanoseconds from the process-wide timing epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// `{count, sum, min, max}` summary of recorded `u64` samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn merge(&mut self, other: &HistogramSummary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    fn new(v: u64) -> Self {
+        HistogramSummary {
+            count: 1,
+            sum: v,
+            min: v,
+            max: v,
+        }
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Tables {
+    counters: HashMap<Key, u64>,
+    gauges: HashMap<Key, u64>,
+    histograms: HashMap<Key, HistogramSummary>,
+    spans: Vec<SpanRecord>,
+}
+
+impl Tables {
+    fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+}
+
+struct Shard {
+    epoch: u64,
+    thread: u64,
+    tables: Tables,
+    /// Ids of spans currently open on this thread, innermost last.
+    open_spans: Vec<u64>,
+}
+
+impl Shard {
+    fn reset(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.tables = Tables::default();
+        self.open_spans.clear();
+    }
+}
+
+/// Merges the shard into the global aggregate on thread exit.
+struct ShardHolder(Shard);
+
+impl Drop for ShardHolder {
+    fn drop(&mut self) {
+        merge_into_global(&mut self.0);
+    }
+}
+
+thread_local! {
+    static SHARD: RefCell<ShardHolder> = RefCell::new(ShardHolder(Shard {
+        epoch: 0,
+        thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+        tables: Tables::default(),
+        open_spans: Vec::new(),
+    }));
+}
+
+fn global() -> &'static Mutex<Tables> {
+    static GLOBAL: OnceLock<Mutex<Tables>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(Tables::default()))
+}
+
+fn merge_into_global(shard: &mut Shard) {
+    if shard.tables.is_empty() || shard.epoch != EPOCH.load(Ordering::Relaxed) {
+        shard.tables = Tables::default();
+        return;
+    }
+    let mut tables = Tables::default();
+    std::mem::swap(&mut tables, &mut shard.tables);
+    let mut agg = global().lock().unwrap_or_else(|e| e.into_inner());
+    for (k, v) in tables.counters {
+        *agg.counters.entry(k).or_insert(0) += v;
+    }
+    for (k, v) in tables.gauges {
+        let slot = agg.gauges.entry(k).or_insert(0);
+        *slot = (*slot).max(v);
+    }
+    for (k, v) in tables.histograms {
+        agg.histograms
+            .entry(k)
+            .and_modify(|h| h.merge(&v))
+            .or_insert(v);
+    }
+    agg.spans.extend(tables.spans);
+}
+
+/// Runs `f` on this thread's shard, resetting it first if it belongs to a
+/// previous collection epoch. Returns `None` during TLS teardown.
+fn with_shard<R>(f: impl FnOnce(&mut Shard) -> R) -> Option<R> {
+    SHARD
+        .try_with(|cell| {
+            let mut holder = cell.borrow_mut();
+            let epoch = EPOCH.load(Ordering::Relaxed);
+            if holder.0.epoch != epoch {
+                holder.0.reset(epoch);
+            }
+            f(&mut holder.0)
+        })
+        .ok()
+}
+
+/// True when probes are recording. One `Relaxed` atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off globally. Prefer [`collect`], which also
+/// isolates the data of one run; this is the escape hatch for long-lived
+/// recording (e.g. a server exporting metrics periodically).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Adds `n` to the counter `(name, label)`. No-op when disabled.
+#[inline]
+pub fn counter_add(name: &'static str, label: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|s| *s.tables.counters.entry((name, label)).or_insert(0) += n);
+}
+
+/// Raises the high-watermark gauge `(name, label)` to at least `v`.
+/// Gauges merge by maximum so the snapshot reports the peak across all
+/// threads. No-op when disabled.
+#[inline]
+pub fn gauge_max(name: &'static str, label: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|s| {
+        let slot = s.tables.gauges.entry((name, label)).or_insert(0);
+        *slot = (*slot).max(v);
+    });
+}
+
+/// Records one sample into the histogram `(name, label)`. No-op when
+/// disabled.
+#[inline]
+pub fn record_value(name: &'static str, label: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|s| {
+        s.tables
+            .histograms
+            .entry((name, label))
+            .and_modify(|h| h.record(v))
+            .or_insert_with(|| HistogramSummary::new(v));
+    });
+}
+
+/// Records an elapsed duration (nanoseconds) into the histogram
+/// `(name, label)`. No-op when disabled.
+#[inline]
+pub fn record_duration(name: &'static str, label: &'static str, elapsed: std::time::Duration) {
+    record_value(name, label, elapsed.as_nanos() as u64);
+}
+
+/// Opens a tracing span; prefer the [`span!`] macro.
+///
+/// The guard records the span when dropped. When observability is disabled
+/// the guard is inert and costs one branch on drop.
+pub struct SpanGuard {
+    data: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    name: &'static str,
+    label: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    epoch: u64,
+    start: Instant,
+    start_ns: u64,
+}
+
+impl SpanGuard {
+    /// Enters a span named `name` with an optional static `label`.
+    pub fn enter(name: &'static str, label: &'static str) -> SpanGuard {
+        if !enabled() {
+            return SpanGuard { data: None };
+        }
+        let start = Instant::now();
+        let start_ns = start.duration_since(process_epoch()).as_nanos() as u64;
+        let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+        let info = with_shard(|s| {
+            let parent = s.open_spans.last().copied();
+            s.open_spans.push(id);
+            (parent, s.epoch)
+        });
+        let Some((parent, epoch)) = info else {
+            return SpanGuard { data: None };
+        };
+        SpanGuard {
+            data: Some(OpenSpan {
+                name,
+                label,
+                id,
+                parent,
+                epoch,
+                start,
+                start_ns,
+            }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.data.take() else {
+            return;
+        };
+        let duration_ns = open.start.elapsed().as_nanos() as u64;
+        with_shard(|s| {
+            // If the epoch rolled over mid-span (a new `collect` started),
+            // the shard was cleared; drop the record rather than emit a span
+            // whose parent no longer exists.
+            if s.epoch != open.epoch {
+                return;
+            }
+            if let Some(pos) = s.open_spans.iter().rposition(|&id| id == open.id) {
+                s.open_spans.truncate(pos);
+            }
+            s.tables.spans.push(SpanRecord {
+                name: open.name,
+                label: open.label,
+                id: open.id,
+                parent: open.parent,
+                thread: s.thread,
+                start_ns: open.start_ns,
+                duration_ns,
+            });
+            s.tables
+                .histograms
+                .entry(("span", open.name))
+                .and_modify(|h| h.record(duration_ns))
+                .or_insert_with(|| HistogramSummary::new(duration_ns));
+        });
+    }
+}
+
+/// Opens a tracing span for the enclosing scope.
+///
+/// ```
+/// let _span = lsd_obs::span!("train.cv_fold");
+/// let _labeled = lsd_obs::span!("learner.train", "naive_bayes");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name, "")
+    };
+    ($name:expr, $label:expr) => {
+        $crate::SpanGuard::enter($name, $label)
+    };
+}
+
+/// Merges this thread's shard into the global aggregate immediately.
+///
+/// Worker threads merge automatically on exit; the thread driving a
+/// collection calls this (via [`collect`]) before snapshotting.
+pub fn flush() {
+    with_shard(merge_into_global_entry);
+}
+
+fn merge_into_global_entry(shard: &mut Shard) {
+    merge_into_global(shard);
+}
+
+/// Everything one [`collect`] run recorded, with keys flattened to
+/// `name` / `name/label` strings (deterministically ordered).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic event counts, summed across threads.
+    pub counters: BTreeMap<String, u64>,
+    /// High-watermark gauges, max-merged across threads.
+    pub gauges: BTreeMap<String, u64>,
+    /// Sample summaries (durations in nanoseconds unless noted).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Closed spans in merge order. Ids and timings vary run to run.
+    pub spans: Vec<SpanRecord>,
+}
+
+fn flat_key(key: &Key) -> String {
+    if key.1.is_empty() {
+        key.0.to_string()
+    } else {
+        format!("{}/{}", key.0, key.1)
+    }
+}
+
+impl MetricsSnapshot {
+    /// Counter value for a flattened key (`"astar.nodes_expanded"` or
+    /// `"learner.predict_calls/naive_bayes"`); 0 when absent.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Gauge value for a flattened key, if recorded.
+    pub fn gauge(&self, key: &str) -> Option<u64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Histogram summary for a flattened key, if recorded. Span durations
+    /// appear under `"span/<name>"`.
+    pub fn histogram(&self, key: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(key)
+    }
+
+    /// `(suffix, value)` pairs of all counters whose key starts with
+    /// `prefix + "/"` — e.g. `counters_labelled("learner.predict_ns")`
+    /// yields one entry per learner.
+    pub fn counters_labelled(&self, prefix: &str) -> Vec<(&str, u64)> {
+        let want = format!("{prefix}/");
+        self.counters
+            .iter()
+            .filter_map(|(k, &v)| k.strip_prefix(&want).map(|s| (s, v)))
+            .collect()
+    }
+
+    /// `(suffix, summary)` pairs of all histograms whose key starts with
+    /// `prefix + "/"` — e.g. `histograms_labelled("learner.train_ns")`
+    /// yields one summary per learner.
+    pub fn histograms_labelled(&self, prefix: &str) -> Vec<(&str, &HistogramSummary)> {
+        let want = format!("{prefix}/");
+        self.histograms
+            .iter()
+            .filter_map(|(k, h)| k.strip_prefix(&want).map(|s| (s, h)))
+            .collect()
+    }
+
+    /// The deterministic subset (counters and gauges only — histograms and
+    /// spans carry wall-clock measurements that vary run to run). Two runs
+    /// of the same deterministic pipeline must produce equal values here
+    /// regardless of thread count.
+    pub fn deterministic_view(&self) -> (&BTreeMap<String, u64>, &BTreeMap<String, u64>) {
+        (&self.counters, &self.gauges)
+    }
+
+    fn from_tables(tables: &Tables) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: tables
+                .counters
+                .iter()
+                .map(|(k, &v)| (flat_key(k), v))
+                .collect(),
+            gauges: tables
+                .gauges
+                .iter()
+                .map(|(k, &v)| (flat_key(k), v))
+                .collect(),
+            histograms: tables
+                .histograms
+                .iter()
+                .map(|(k, &v)| (flat_key(k), v))
+                .collect(),
+            spans: tables.spans.clone(),
+        }
+    }
+}
+
+/// Records everything `f` (and the threads it spawns and joins) does, and
+/// returns `f`'s result with the snapshot.
+///
+/// Collections are serialized process-wide: concurrent `collect` calls run
+/// one after another so their data cannot interleave. Worker threads created
+/// inside `f` with `std::thread::scope` merge their shards when they exit,
+/// i.e. before `f` returns; threads that outlive `f` contribute whatever
+/// they flushed in time.
+pub fn collect<R>(f: impl FnOnce() -> R) -> (R, MetricsSnapshot) {
+    static COLLECT_LOCK: Mutex<()> = Mutex::new(());
+    let _guard = COLLECT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    EPOCH.fetch_add(1, Ordering::SeqCst);
+    {
+        let mut agg = global().lock().unwrap_or_else(|e| e.into_inner());
+        *agg = Tables::default();
+    }
+    let was_enabled = ENABLED.swap(true, Ordering::SeqCst);
+    let result = f();
+    flush();
+    ENABLED.store(was_enabled, Ordering::SeqCst);
+    let snapshot = {
+        let agg = global().lock().unwrap_or_else(|e| e.into_inner());
+        MetricsSnapshot::from_tables(&agg)
+    };
+    (result, snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probes_record_nothing() {
+        let (_, snap) = collect(|| ());
+        assert!(snap.counters.is_empty());
+        counter_add("ghost", "", 7);
+        let (_, snap) = collect(|| ());
+        assert_eq!(snap.counter("ghost"), 0, "pre-collect data must not leak");
+    }
+
+    #[test]
+    fn counters_sum_across_scoped_threads() {
+        let (_, snap) = collect(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|| counter_add("work.items", "", 10));
+                }
+            });
+            counter_add("work.items", "", 2);
+        });
+        assert_eq!(snap.counter("work.items"), 42);
+    }
+
+    #[test]
+    fn gauges_take_the_maximum() {
+        let (_, snap) = collect(|| {
+            gauge_max("cache.size", "", 5);
+            gauge_max("cache.size", "", 3);
+            std::thread::scope(|scope| {
+                scope.spawn(|| gauge_max("cache.size", "", 9));
+            });
+        });
+        assert_eq!(snap.gauge("cache.size"), Some(9));
+    }
+
+    #[test]
+    fn histograms_summarize_samples() {
+        let (_, snap) = collect(|| {
+            for v in [4, 2, 9] {
+                record_value("queue.depth", "", v);
+            }
+        });
+        let h = snap.histogram("queue.depth").expect("recorded");
+        assert_eq!(
+            *h,
+            HistogramSummary {
+                count: 3,
+                sum: 15,
+                min: 2,
+                max: 9
+            }
+        );
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spans_nest_and_feed_duration_histograms() {
+        let (_, snap) = collect(|| {
+            let _outer = span!("outer");
+            {
+                let _inner = span!("inner", "lbl");
+            }
+        });
+        assert_eq!(snap.spans.len(), 2);
+        let inner = snap.spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = snap.spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.label, "lbl");
+        assert_eq!(inner.thread, outer.thread);
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(snap.histogram("span/outer").is_some());
+        assert!(snap.histogram("span/inner").is_some());
+    }
+
+    #[test]
+    fn labelled_counters_flatten_with_slash() {
+        let (_, snap) = collect(|| {
+            counter_add("learner.predict_calls", "naive_bayes", 3);
+            counter_add("learner.predict_calls", "whirl_name", 1);
+        });
+        assert_eq!(snap.counter("learner.predict_calls/naive_bayes"), 3);
+        let mut labelled = snap.counters_labelled("learner.predict_calls");
+        labelled.sort();
+        assert_eq!(labelled, vec![("naive_bayes", 3), ("whirl_name", 1)]);
+    }
+
+    #[test]
+    fn collect_restores_prior_enabled_state() {
+        assert!(!enabled());
+        let ((), _snap) = collect(|| assert!(enabled()));
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let (_, snap) = collect(|| {
+            counter_add("a", "", 1);
+            record_value("h", "", 2);
+            let _s = span!("root");
+        });
+        let json = serde_json::to_string(&snap).expect("serializable");
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"spans\""));
+    }
+}

@@ -140,6 +140,11 @@ impl Whirl {
             }
             self.examples.push(Example { vector, label });
         }
+        if lsd_obs::enabled() {
+            lsd_obs::gauge_max("tfidf.vocab_size", "", self.model.vocabulary().len() as u64);
+            lsd_obs::gauge_max("tfidf.index_dims", "", self.postings.len() as u64);
+            lsd_obs::gauge_max("whirl.examples", "", self.examples.len() as u64);
+        }
     }
 
     /// Number of stored examples (after finalize).
@@ -195,6 +200,18 @@ impl Whirl {
             .map(|(id, sim)| (sim.clamp(-1.0, 1.0), self.examples[id].label))
             .filter(|&(sim, _)| sim > self.config.min_similarity)
             .collect();
+        if lsd_obs::enabled() {
+            // One flush per query: every stored example was compared (via the
+            // inverted index), and `sims` survived the similarity threshold.
+            lsd_obs::counter_add("whirl.queries", "", 1);
+            lsd_obs::counter_add(
+                "whirl.neighbour_comparisons",
+                "",
+                self.examples.len() as u64,
+            );
+            lsd_obs::counter_add("whirl.neighbours_above_threshold", "", sims.len() as u64);
+            lsd_obs::gauge_max("whirl.vocab_size", "", self.model.vocabulary().len() as u64);
+        }
         sims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         sims.truncate(self.config.max_neighbors);
 

@@ -15,6 +15,10 @@
 //!   prediction converter, train/match pipeline ([`lsd_core`]).
 //! - [`datagen`] — synthetic versions of the paper's four evaluation domains
 //!   ([`lsd_datagen`]).
+//! - [`obs`] — zero-dependency tracing spans and metrics registry
+//!   ([`lsd_obs`]); the `*_with_report` methods on [`Lsd`] wrap the
+//!   pipeline in a collection and return [`MatchReport`] / [`TrainReport`]
+//!   snapshots.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -22,14 +26,15 @@ pub use lsd_constraints as constraints;
 pub use lsd_core as core;
 pub use lsd_datagen as datagen;
 pub use lsd_learn as learn;
+pub use lsd_obs as obs;
 pub use lsd_text as text;
 pub use lsd_xml as xml;
 
 // The batch-matching pipeline types, re-exported at the root so callers can
 // write `lsd::Lsd` / `lsd::ExecPolicy` without spelling out the crate layout.
 pub use lsd_core::{
-    ExecPolicy, Lsd, LsdBuilder, LsdConfig, LsdError, MatchOutcome, Source, TagExplanation,
-    TrainedSource,
+    ExecPolicy, LabelCandidate, Lsd, LsdBuilder, LsdConfig, LsdError, MatchOutcome, MatchReport,
+    Source, TagExplanation, TrainReport, TrainedSource,
 };
 
 /// The crate version, for experiment logs.
