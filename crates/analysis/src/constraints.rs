@@ -1,0 +1,459 @@
+//! Constraint lints (`LSD101`–`LSD106`): static checks over a
+//! domain-constraint set, before any source is matched.
+//!
+//! The raw constraint list is linted first ([`CompiledConstraintSet`] drops
+//! entries naming unknown labels, so unknown-label and duplicate findings
+//! must look at the originals), then the compiled set is introspected for
+//! contradictions among the *hard* constraints — the ones that make the A\*
+//! search return no feasible mapping at all.
+
+use crate::diagnostic::{Code, Diagnostic};
+use lsd_constraints::{CompiledConstraintSet, ConstraintKind, DomainConstraint, Predicate};
+use lsd_learn::LabelSet;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runs every constraint lint against a label set.
+pub fn analyze_constraints(labels: &LabelSet, constraints: &[DomainConstraint]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    lint_unknown_labels(labels, constraints, &mut out);
+    lint_duplicates(constraints, &mut out);
+    lint_degenerate(constraints, &mut out);
+    let compiled = CompiledConstraintSet::compile(labels, constraints);
+    lint_required_and_excluded(labels, &compiled, &mut out);
+    lint_conflicting_tag_feedback(labels, &compiled, &mut out);
+    lint_unsatisfiable(labels, &compiled, &mut out);
+    out
+}
+
+/// LSD101 — constraints naming labels absent from the mediated schema.
+/// Compilation silently drops such constraints, so without this lint a
+/// typo in a label name simply disables the constraint.
+fn lint_unknown_labels(
+    labels: &LabelSet,
+    constraints: &[DomainConstraint],
+    out: &mut Vec<Diagnostic>,
+) {
+    for c in constraints {
+        for name in c.predicate.label_names() {
+            if labels.get(name).is_none() {
+                out.push(
+                    Diagnostic::new(
+                        Code::UnknownLabel,
+                        format!("constraint references unknown label `{name}`"),
+                    )
+                    .with_note(format!("in: {c}"))
+                    .with_help(
+                        "label names must match mediated-schema tags exactly \
+                         (check spelling and case)",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// LSD105 — the same constraint listed twice. Harmless for hard
+/// constraints, but soft duplicates double-count their violation cost.
+fn lint_duplicates(constraints: &[DomainConstraint], out: &mut Vec<Diagnostic>) {
+    for (i, c) in constraints.iter().enumerate() {
+        if constraints[..i].contains(c) {
+            out.push(
+                Diagnostic::new(
+                    Code::DuplicateConstraint,
+                    format!("duplicate constraint: {c}"),
+                )
+                .with_note(if matches!(c.kind, ConstraintKind::Hard) {
+                    "hard duplicates are redundant".to_string()
+                } else {
+                    "soft duplicates double-count their violation cost".to_string()
+                }),
+            );
+        }
+    }
+}
+
+/// LSD106 — constraints that cannot mean what they say: soft constraints
+/// with non-positive cost or weight (they never change a ranking), and
+/// pair predicates relating a label to itself.
+fn lint_degenerate(constraints: &[DomainConstraint], out: &mut Vec<Diagnostic>) {
+    for c in constraints {
+        match c.kind {
+            ConstraintKind::SoftBinary { cost } if cost <= 0.0 => {
+                out.push(
+                    Diagnostic::new(
+                        Code::DegenerateConstraint,
+                        format!("soft constraint has non-positive cost {cost}: {c}"),
+                    )
+                    .with_help("use a positive cost, or drop the constraint"),
+                );
+            }
+            ConstraintKind::SoftNumeric { weight } if weight <= 0.0 => {
+                out.push(
+                    Diagnostic::new(
+                        Code::DegenerateConstraint,
+                        format!("numeric constraint has non-positive weight {weight}: {c}"),
+                    )
+                    .with_help("use a positive weight, or drop the constraint"),
+                );
+            }
+            _ => {}
+        }
+        let self_pair = match &c.predicate {
+            Predicate::NestedIn { outer, inner } | Predicate::NotNestedIn { outer, inner } => {
+                outer == inner
+            }
+            Predicate::Contiguous { a, b }
+            | Predicate::MutuallyExclusive { a, b }
+            | Predicate::Proximity { a, b } => a == b,
+            _ => false,
+        };
+        if self_pair {
+            let mut d = Diagnostic::new(
+                Code::DegenerateConstraint,
+                format!("pair constraint relates a label to itself: {c}"),
+            );
+            if matches!(
+                (&c.kind, &c.predicate),
+                (ConstraintKind::Hard, Predicate::NestedIn { .. })
+            ) {
+                d = d.with_note(
+                    "no element is nested in itself, so this hard constraint excludes the \
+                     label from every mapping",
+                );
+            }
+            out.push(d);
+        }
+    }
+}
+
+/// Labels that some hard constraint *requires* to appear: hard `ExactlyOne`
+/// demands an assignment, and hard `TagIs` pins a tag to the label.
+fn required_labels(set: &CompiledConstraintSet) -> BTreeMap<usize, &'static str> {
+    let mut required = BTreeMap::new();
+    for l in set.mandatory_labels() {
+        required.insert(l, "hard `exactly one` constraint");
+    }
+    for (_, l) in set.forced_tag_labels() {
+        required.entry(l).or_insert("hard `tag is` feedback");
+    }
+    required
+}
+
+/// Labels that some hard constraint *excludes* from every mapping.
+fn excluded_labels(set: &CompiledConstraintSet) -> BTreeMap<usize, &'static str> {
+    let mut excluded = BTreeMap::new();
+    for l in set.hard_excluded_labels() {
+        excluded.insert(l, "hard `at most 0` constraint");
+    }
+    for l in set.hard_self_nested_labels() {
+        excluded
+            .entry(l)
+            .or_insert("hard self-referential `nested in` constraint");
+    }
+    excluded
+}
+
+/// LSD102 — a label both required and excluded by hard constraints.
+fn lint_required_and_excluded(
+    labels: &LabelSet,
+    set: &CompiledConstraintSet,
+    out: &mut Vec<Diagnostic>,
+) {
+    let excluded = excluded_labels(set);
+    for (label, why_required) in required_labels(set) {
+        if let Some(why_excluded) = excluded.get(&label) {
+            out.push(
+                Diagnostic::new(
+                    Code::LabelRequiredAndExcluded,
+                    format!(
+                        "label `{}` is both required and excluded by hard constraints",
+                        labels.name(label)
+                    ),
+                )
+                .with_note(format!("required by a {why_required}"))
+                .with_note(format!("excluded by a {why_excluded}"))
+                .with_help("drop one of the two constraints; together they reject every mapping"),
+            );
+        }
+    }
+}
+
+/// LSD103 — contradictory tag-level feedback: `TagIs` and `TagIsNot` on
+/// the same (tag, label) pair, or two `TagIs` pinning one tag to different
+/// labels.
+fn lint_conflicting_tag_feedback(
+    labels: &LabelSet,
+    set: &CompiledConstraintSet,
+    out: &mut Vec<Diagnostic>,
+) {
+    let forced = set.forced_tag_labels();
+    let forbidden: BTreeSet<(&str, usize)> = set.forbidden_tag_labels().into_iter().collect();
+    for &(tag, label) in &forced {
+        if forbidden.contains(&(tag, label)) {
+            out.push(
+                Diagnostic::new(
+                    Code::ConflictingTagFeedback,
+                    format!(
+                        "tag `{tag}` is both pinned to and vetoed from label `{}`",
+                        labels.name(label)
+                    ),
+                )
+                .with_note("hard `tag is` and hard `tag is not` feedback disagree")
+                .with_help("remove the stale feedback entry"),
+            );
+        }
+    }
+    let mut pinned: BTreeMap<&str, usize> = BTreeMap::new();
+    for &(tag, label) in &forced {
+        match pinned.get(tag) {
+            None => {
+                pinned.insert(tag, label);
+            }
+            Some(&prev) if prev != label => {
+                out.push(
+                    Diagnostic::new(
+                        Code::ConflictingTagFeedback,
+                        format!(
+                            "tag `{tag}` is pinned to two different labels: `{}` and `{}`",
+                            labels.name(prev),
+                            labels.name(label)
+                        ),
+                    )
+                    .with_note("a tag matches exactly one label in a 1-1 mapping"),
+                );
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// LSD104 — the hard-constraint set prunes every complete mapping. Two
+/// statically decidable cases: (a) two labels that must both appear are
+/// hard mutually exclusive; (b) one tag is pinned (`TagIs`) to two
+/// mutually exclusive labels... which is impossible for a single tag, so
+/// the decidable tag case is a required label pinned onto a tag that a
+/// hard `TagIsNot` vetoes — covered by LSD103. Case (a) is checked here.
+fn lint_unsatisfiable(labels: &LabelSet, set: &CompiledConstraintSet, out: &mut Vec<Diagnostic>) {
+    let required = required_labels(set);
+    for (a, b) in set.hard_exclusive_pairs() {
+        if a == b {
+            continue; // LSD106's business
+        }
+        if required.contains_key(&a) && required.contains_key(&b) {
+            out.push(
+                Diagnostic::new(
+                    Code::UnsatisfiableConstraintSet,
+                    format!(
+                        "hard constraints are unsatisfiable: `{}` and `{}` are mutually \
+                         exclusive but both must appear",
+                        labels.name(a),
+                        labels.name(b)
+                    ),
+                )
+                .with_note("every complete mapping violates a hard constraint")
+                .with_help(
+                    "relax the exclusivity to a soft constraint, or drop one of the \
+                     requirements",
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::has_errors;
+    use lsd_constraints::DomainConstraint as DC;
+    use lsd_constraints::Predicate as P;
+
+    fn labels() -> LabelSet {
+        LabelSet::new(["PRICE", "ADDRESS", "AGENT-NAME"])
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_set_has_no_diagnostics() {
+        let cs = vec![
+            DC::hard(P::ExactlyOne {
+                label: "PRICE".into(),
+            }),
+            DC::hard(P::AtMostOne {
+                label: "ADDRESS".into(),
+            }),
+            DC::soft(P::AtMostK {
+                label: "AGENT-NAME".into(),
+                k: 2,
+            }),
+            DC::numeric(
+                P::Proximity {
+                    a: "PRICE".into(),
+                    b: "ADDRESS".into(),
+                },
+                0.3,
+            ),
+        ];
+        assert_eq!(analyze_constraints(&labels(), &cs), Vec::new());
+    }
+
+    #[test]
+    fn unknown_label_is_lsd101_error() {
+        let cs = vec![DC::hard(P::ExactlyOne {
+            label: "PRYCE".into(),
+        })];
+        let diags = analyze_constraints(&labels(), &cs);
+        assert_eq!(codes(&diags), ["LSD101"]);
+        assert!(has_errors(&diags));
+        assert!(diags[0].message.contains("PRYCE"));
+    }
+
+    #[test]
+    fn required_and_excluded_is_lsd102() {
+        let cs = vec![
+            DC::hard(P::ExactlyOne {
+                label: "PRICE".into(),
+            }),
+            DC::hard(P::AtMostK {
+                label: "PRICE".into(),
+                k: 0,
+            }),
+        ];
+        let diags = analyze_constraints(&labels(), &cs);
+        assert_eq!(codes(&diags), ["LSD102"]);
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn self_nested_required_label_is_lsd102_and_lsd106() {
+        let cs = vec![
+            DC::hard(P::ExactlyOne {
+                label: "PRICE".into(),
+            }),
+            DC::hard(P::NestedIn {
+                outer: "PRICE".into(),
+                inner: "PRICE".into(),
+            }),
+        ];
+        let got = codes(&analyze_constraints(&labels(), &cs));
+        assert!(got.contains(&"LSD102"), "{got:?}");
+        assert!(got.contains(&"LSD106"), "{got:?}");
+    }
+
+    #[test]
+    fn tag_is_and_is_not_conflict_is_lsd103() {
+        let cs = vec![
+            DC::hard(P::TagIs {
+                tag: "cost".into(),
+                label: "PRICE".into(),
+            }),
+            DC::hard(P::TagIsNot {
+                tag: "cost".into(),
+                label: "PRICE".into(),
+            }),
+        ];
+        let diags = analyze_constraints(&labels(), &cs);
+        assert_eq!(codes(&diags), ["LSD103"]);
+    }
+
+    #[test]
+    fn tag_pinned_to_two_labels_is_lsd103() {
+        let cs = vec![
+            DC::hard(P::TagIs {
+                tag: "cost".into(),
+                label: "PRICE".into(),
+            }),
+            DC::hard(P::TagIs {
+                tag: "cost".into(),
+                label: "ADDRESS".into(),
+            }),
+        ];
+        let diags = analyze_constraints(&labels(), &cs);
+        assert_eq!(codes(&diags), ["LSD103"]);
+    }
+
+    #[test]
+    fn exclusive_mandatory_pair_is_lsd104() {
+        let cs = vec![
+            DC::hard(P::ExactlyOne {
+                label: "PRICE".into(),
+            }),
+            DC::hard(P::ExactlyOne {
+                label: "ADDRESS".into(),
+            }),
+            DC::hard(P::MutuallyExclusive {
+                a: "PRICE".into(),
+                b: "ADDRESS".into(),
+            }),
+        ];
+        let diags = analyze_constraints(&labels(), &cs);
+        assert_eq!(codes(&diags), ["LSD104"]);
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn soft_exclusivity_of_mandatory_pair_is_fine() {
+        let cs = vec![
+            DC::hard(P::ExactlyOne {
+                label: "PRICE".into(),
+            }),
+            DC::hard(P::ExactlyOne {
+                label: "ADDRESS".into(),
+            }),
+            DC::soft(P::MutuallyExclusive {
+                a: "PRICE".into(),
+                b: "ADDRESS".into(),
+            }),
+        ];
+        assert_eq!(analyze_constraints(&labels(), &cs), Vec::new());
+    }
+
+    #[test]
+    fn duplicate_constraint_is_lsd105_warning() {
+        let one = DC::soft(P::AtMostK {
+            label: "PRICE".into(),
+            k: 1,
+        });
+        let diags = analyze_constraints(&labels(), &[one.clone(), one]);
+        assert_eq!(codes(&diags), ["LSD105"]);
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn non_positive_cost_is_lsd106_warning() {
+        let cs = vec![
+            DomainConstraint {
+                predicate: P::AtMostOne {
+                    label: "PRICE".into(),
+                },
+                kind: ConstraintKind::SoftBinary { cost: 0.0 },
+            },
+            DomainConstraint {
+                predicate: P::Proximity {
+                    a: "PRICE".into(),
+                    b: "ADDRESS".into(),
+                },
+                kind: ConstraintKind::SoftNumeric { weight: -1.0 },
+            },
+        ];
+        let diags = analyze_constraints(&labels(), &cs);
+        assert_eq!(codes(&diags), ["LSD106", "LSD106"]);
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn exclusivity_with_unrequired_labels_is_fine() {
+        let cs = vec![
+            DC::hard(P::ExactlyOne {
+                label: "PRICE".into(),
+            }),
+            DC::hard(P::MutuallyExclusive {
+                a: "PRICE".into(),
+                b: "ADDRESS".into(),
+            }),
+        ];
+        assert_eq!(analyze_constraints(&labels(), &cs), Vec::new());
+    }
+}

@@ -1,0 +1,136 @@
+//! # lsd-analysis
+//!
+//! Static diagnostics for LSD inputs, run *before* any training or
+//! matching. Two families of lints share one [`Diagnostic`] type and one
+//! rustc-style renderer:
+//!
+//! - **Schema lints** (`LSD001`–`LSD005`, [`analyze_dtd`]) check a parsed
+//!   DTD: content models must be 1-unambiguous (Glushkov determinism),
+//!   referenced elements must be declared, declared elements should be
+//!   reachable, recursion needs a base case, and attributes must not be
+//!   declared twice.
+//! - **Constraint lints** (`LSD101`–`LSD106`, [`analyze_constraints`])
+//!   check a domain-constraint set against the mediated label set: label
+//!   names must exist, hard constraints must not contradict each other
+//!   (a label both required and excluded, conflicting tag feedback, a
+//!   statically unsatisfiable set), and duplicates / degenerate entries
+//!   are flagged.
+//!
+//! `Error`-severity findings make `Lsd::train` / `Lsd::set_constraints`
+//! refuse the input; `Warning`s pass through and are counted in the
+//! `lsd-obs` metrics registry. The `lsd-lint` binary (in `crates/bench`)
+//! renders the same diagnostics for DTD files on disk.
+//!
+//! ```
+//! use lsd_analysis::{analyze_dtd, render_all};
+//!
+//! let dtd = lsd_xml::parse_dtd("<!ELEMENT r ((a, b) | (a, c))>\n\
+//!                               <!ELEMENT a (#PCDATA)>\n\
+//!                               <!ELEMENT b (#PCDATA)>\n\
+//!                               <!ELEMENT c (#PCDATA)>").unwrap();
+//! let diags = analyze_dtd(&dtd);
+//! assert_eq!(diags[0].code.as_str(), "LSD001");
+//! ```
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+mod constraints;
+mod diagnostic;
+mod glushkov;
+mod render;
+mod schema;
+
+pub use constraints::analyze_constraints;
+pub use diagnostic::{has_errors, Code, Diagnostic, Severity};
+pub use glushkov::{check_one_unambiguous, Ambiguity};
+pub use render::{render, render_all};
+pub use schema::analyze_dtd;
+
+use lsd_constraints::DomainConstraint;
+use lsd_learn::LabelSet;
+use lsd_xml::Dtd;
+
+/// Analyzes a schema and a constraint set together: schema findings first,
+/// then constraint findings. This is what `Lsd::analyze` runs over the
+/// mediated schema and the configured constraints.
+pub fn analyze(dtd: &Dtd, labels: &LabelSet, constraints: &[DomainConstraint]) -> Vec<Diagnostic> {
+    let mut out = analyze_dtd(dtd);
+    out.extend(analyze_constraints(labels, constraints));
+    out
+}
+
+/// Stamps every diagnostic with an origin label (file name, "mediated
+/// schema", ...), preserving origins already set.
+pub fn with_origin(diagnostics: Vec<Diagnostic>, origin: &str) -> Vec<Diagnostic> {
+    diagnostics
+        .into_iter()
+        .map(|d| {
+            if d.origin.is_some() {
+                d
+            } else {
+                d.with_origin(origin)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsd_xml::parse_dtd;
+
+    #[test]
+    fn combined_analysis_concatenates_both_fronts() {
+        let dtd = parse_dtd("<!ELEMENT r (ghost)>").unwrap();
+        let labels = LabelSet::new(["PRICE"]);
+        let constraints = vec![lsd_constraints::DomainConstraint::hard(
+            lsd_constraints::Predicate::ExactlyOne {
+                label: "MISSING".into(),
+            },
+        )];
+        let diags = analyze(&dtd, &labels, &constraints);
+        let codes: Vec<_> = diags.iter().map(|d| d.code.as_str()).collect();
+        assert_eq!(codes, ["LSD002", "LSD101"]);
+    }
+
+    #[test]
+    fn with_origin_fills_only_missing() {
+        let d1 = Diagnostic::new(Code::UnreachableElement, "a").with_origin("explicit");
+        let d2 = Diagnostic::new(Code::UnreachableElement, "b");
+        let tagged = with_origin(vec![d1, d2], "default");
+        assert_eq!(tagged[0].origin.as_deref(), Some("explicit"));
+        assert_eq!(tagged[1].origin.as_deref(), Some("default"));
+    }
+
+    /// Every datagen domain must pass its own static analysis: the
+    /// mediated schema, each source DTD, and the domain constraint set are
+    /// all clean.
+    #[test]
+    fn datagen_domains_are_clean() {
+        for id in lsd_datagen::DomainId::ALL {
+            let spec = id.spec();
+            let mediated = spec.mediated_dtd();
+            assert_eq!(
+                analyze_dtd(&mediated),
+                Vec::new(),
+                "mediated schema of {}",
+                spec.name
+            );
+            let labels = LabelSet::new(mediated.element_names().map(str::to_string));
+            assert_eq!(
+                analyze_constraints(&labels, &spec.constraints),
+                Vec::new(),
+                "constraints of {}",
+                spec.name
+            );
+            for s in 0..spec.sources.len() {
+                assert_eq!(
+                    analyze_dtd(&spec.source_dtd(s)),
+                    Vec::new(),
+                    "source {s} of {}",
+                    spec.name
+                );
+            }
+        }
+    }
+}

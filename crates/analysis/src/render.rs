@@ -1,0 +1,166 @@
+//! Rustc-style plain-text rendering of diagnostics:
+//!
+//! ```text
+//! error[LSD001]: content model of `r` is not 1-unambiguous: ((a, b) | (a, c))
+//!  --> mediated.dtd:1:1
+//!   |
+//! 1 | <!ELEMENT r ((a, b) | (a, c))>
+//!   | ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^
+//!   = note: two different occurrences of `a` can both match the first child
+//!   = help: rewrite the model so the next child name always determines a unique position
+//! ```
+
+use crate::diagnostic::Diagnostic;
+use std::fmt::Write as _;
+
+/// Renders one diagnostic. `source` is the text the diagnostic's span
+/// indexes into (the DTD that was analyzed); without it — or without a
+/// span — the location block is omitted and only the headline, notes and
+/// help are printed.
+pub fn render(diagnostic: &Diagnostic, source: Option<&str>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{diagnostic}");
+
+    let location = diagnostic
+        .span
+        .and_then(|span| source.and_then(|text| span.locate(text).map(|loc| (span, loc))));
+    if let Some((_, loc)) = location {
+        let origin = diagnostic.origin.as_deref().unwrap_or("<dtd>");
+        let gutter = loc.line.to_string().len();
+        let _ = writeln!(
+            out,
+            "{:gutter$}--> {origin}:{}:{}",
+            "", loc.line, loc.column
+        );
+        let _ = writeln!(out, "{:gutter$} |", "");
+        let _ = writeln!(out, "{} | {}", loc.line, loc.line_text);
+        let _ = writeln!(
+            out,
+            "{:gutter$} | {:pad$}{}",
+            "",
+            "",
+            "^".repeat(loc.underline_len),
+            pad = loc.column - 1
+        );
+    } else if let Some(origin) = diagnostic.origin.as_deref() {
+        let _ = writeln!(out, " --> {origin}");
+    }
+
+    for note in &diagnostic.notes {
+        let _ = writeln!(out, "  = note: {note}");
+    }
+    if let Some(help) = &diagnostic.help {
+        let _ = writeln!(out, "  = help: {help}");
+    }
+    out
+}
+
+/// Renders a batch of diagnostics followed by a rustc-style summary line
+/// (`"error: aborting due to 2 previous errors; 1 warning emitted"`), or
+/// the empty string when there is nothing to report.
+pub fn render_all(diagnostics: &[Diagnostic], source: Option<&str>) -> String {
+    if diagnostics.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    for d in diagnostics {
+        out.push_str(&render(d, source));
+        out.push('\n');
+    }
+    let errors = diagnostics.iter().filter(|d| d.is_error()).count();
+    let warnings = diagnostics.len() - errors;
+    let plural = |n: usize, what: &str| format!("{n} {what}{}", if n == 1 { "" } else { "s" });
+    match (errors, warnings) {
+        (0, w) => {
+            let _ = writeln!(out, "warning: {} emitted", plural(w, "warning"));
+        }
+        (e, 0) => {
+            let _ = writeln!(
+                out,
+                "error: aborting due to {}",
+                plural(e, "previous error")
+            );
+        }
+        (e, w) => {
+            let _ = writeln!(
+                out,
+                "error: aborting due to {}; {} emitted",
+                plural(e, "previous error"),
+                plural(w, "warning")
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Code;
+    use lsd_xml::Span;
+
+    #[test]
+    fn renders_span_with_underline() {
+        let text = "<!ELEMENT a (#PCDATA)>\n<!ELEMENT r (ghost)>";
+        let start = text.find("<!ELEMENT r").unwrap();
+        let d = Diagnostic::new(
+            Code::UndeclaredElementRef,
+            "content model of `r` references undeclared element `ghost`",
+        )
+        .with_span(Span::new(start, text.len()))
+        .with_origin("mediated.dtd")
+        .with_help("declare `<!ELEMENT ghost ...>` or drop the reference");
+        let rendered = render(&d, Some(text));
+        let expected = "\
+error[LSD002]: content model of `r` references undeclared element `ghost`
+ --> mediated.dtd:2:1
+  |
+2 | <!ELEMENT r (ghost)>
+  | ^^^^^^^^^^^^^^^^^^^^
+  = help: declare `<!ELEMENT ghost ...>` or drop the reference
+";
+        assert_eq!(rendered, expected);
+    }
+
+    #[test]
+    fn renders_mid_line_span() {
+        let text = "<!ATTLIST r id CDATA #REQUIRED>";
+        let start = text.find("id").unwrap();
+        let d = Diagnostic::new(Code::DuplicateAttribute, "duplicate attribute `id`")
+            .with_span(Span::new(start, start + 2));
+        let rendered = render(&d, Some(text));
+        assert!(rendered.contains("1 | <!ATTLIST r id CDATA #REQUIRED>"));
+        let underline_line = rendered
+            .lines()
+            .find(|l| l.contains('^'))
+            .expect("underline rendered");
+        assert_eq!(underline_line, "  |             ^^");
+    }
+
+    #[test]
+    fn renders_without_source_or_span() {
+        let d = Diagnostic::new(
+            Code::UnknownLabel,
+            "constraint references unknown label `X`",
+        )
+        .with_note("in: [hard] exactly one element matches X");
+        let rendered = render(&d, None);
+        assert_eq!(
+            rendered,
+            "error[LSD101]: constraint references unknown label `X`\n\
+             \x20 = note: in: [hard] exactly one element matches X\n"
+        );
+    }
+
+    #[test]
+    fn summary_counts_errors_and_warnings() {
+        let e = Diagnostic::new(Code::UndeclaredElementRef, "e");
+        let w = Diagnostic::new(Code::UnreachableElement, "w");
+        let all = render_all(&[e.clone(), w.clone(), w.clone()], None);
+        assert!(all.ends_with("error: aborting due to 1 previous error; 2 warnings emitted\n"));
+        assert!(render_all(&[w], None).ends_with("warning: 1 warning emitted\n"));
+        assert!(render_all(&[e.clone(), e], None)
+            .ends_with("error: aborting due to 2 previous errors\n"));
+        assert_eq!(render_all(&[], None), "");
+    }
+}

@@ -1,0 +1,337 @@
+//! Schema lints (`LSD001`–`LSD005`): static checks over a parsed DTD.
+
+use crate::diagnostic::{Code, Diagnostic};
+use crate::glushkov::check_one_unambiguous;
+use lsd_xml::{ContentModel, Dtd, Occurrence};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Runs every schema lint over the DTD, in declaration order per rule.
+pub fn analyze_dtd(dtd: &Dtd) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    lint_ambiguous_models(dtd, &mut out);
+    lint_undeclared_refs(dtd, &mut out);
+    lint_unreachable(dtd, &mut out);
+    lint_no_finite_derivation(dtd, &mut out);
+    lint_duplicate_attributes(dtd, &mut out);
+    out
+}
+
+/// LSD001 — content models must be 1-unambiguous (deterministic).
+fn lint_ambiguous_models(dtd: &Dtd, out: &mut Vec<Diagnostic>) {
+    for decl in dtd.declarations() {
+        if let Some(witness) = check_one_unambiguous(&decl.content) {
+            out.push(
+                Diagnostic::new(
+                    Code::AmbiguousContentModel,
+                    format!(
+                        "content model of `{}` is not 1-unambiguous: {}",
+                        decl.name,
+                        decl.content.to_dtd_syntax()
+                    ),
+                )
+                .with_span(decl.span)
+                .with_note(witness.describe())
+                .with_help(
+                    "rewrite the model so the next child name always determines a unique \
+                     position, e.g. factor out the common prefix",
+                ),
+            );
+        }
+    }
+}
+
+/// LSD002 — every referenced element (content models and ATTLISTs) must be
+/// declared.
+fn lint_undeclared_refs(dtd: &Dtd, out: &mut Vec<Diagnostic>) {
+    for decl in dtd.declarations() {
+        let mut reported = BTreeSet::new();
+        for name in decl.content.referenced_names() {
+            if dtd.decl(&name).is_none() && reported.insert(name.clone()) {
+                out.push(
+                    Diagnostic::new(
+                        Code::UndeclaredElementRef,
+                        format!(
+                            "content model of `{}` references undeclared element `{name}`",
+                            decl.name
+                        ),
+                    )
+                    .with_span(decl.span)
+                    .with_help(format!(
+                        "declare `<!ELEMENT {name} ...>` or drop the reference"
+                    )),
+                );
+            }
+        }
+    }
+    for attlist in dtd.attlists() {
+        if dtd.decl(&attlist.element).is_none() {
+            out.push(
+                Diagnostic::new(
+                    Code::UndeclaredElementRef,
+                    format!(
+                        "attribute list declared for undeclared element `{}`",
+                        attlist.element
+                    ),
+                )
+                .with_span(attlist.span),
+            );
+        }
+    }
+}
+
+/// LSD003 — every declared element should be reachable from the root.
+/// `ANY` content reaches every declared element.
+fn lint_unreachable(dtd: &Dtd, out: &mut Vec<Diagnostic>) {
+    let Ok(root) = dtd.root_name() else {
+        return; // empty DTD: nothing to reach
+    };
+    let root = root.to_string();
+    let mut reachable: BTreeSet<String> = BTreeSet::new();
+    let mut queue = VecDeque::from([root]);
+    while let Some(name) = queue.pop_front() {
+        if !reachable.insert(name.clone()) {
+            continue;
+        }
+        let Some(decl) = dtd.decl(&name) else {
+            continue; // undeclared refs are LSD002's business
+        };
+        match &decl.content {
+            ContentModel::Any => {
+                queue.extend(dtd.element_names().map(str::to_string));
+            }
+            content => queue.extend(content.referenced_names()),
+        }
+    }
+    for decl in dtd.declarations() {
+        if !reachable.contains(&decl.name) {
+            out.push(
+                Diagnostic::new(
+                    Code::UnreachableElement,
+                    format!("element `{}` is unreachable from the root", decl.name),
+                )
+                .with_span(decl.span)
+                .with_note(format!(
+                    "no content model reachable from the root references `{}`",
+                    decl.name
+                )),
+            );
+        }
+    }
+}
+
+/// LSD004 — recursive elements need a base case. Computes the set of
+/// elements with at least one *finite* derivation as a fixpoint: text and
+/// empty content terminate, a name reference terminates if skippable
+/// (`?`/`*`) or if its referent terminates, a sequence terminates when all
+/// parts do, a choice when any branch does. Elements outside the fixpoint
+/// can only derive infinite trees.
+fn lint_no_finite_derivation(dtd: &Dtd, out: &mut Vec<Diagnostic>) {
+    let mut terminates: BTreeMap<&str, bool> = dtd.element_names().map(|n| (n, false)).collect();
+    loop {
+        let mut changed = false;
+        for decl in dtd.declarations() {
+            if !terminates[decl.name.as_str()] && model_terminates(&decl.content, &terminates) {
+                terminates.insert(&decl.name, true);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for decl in dtd.declarations() {
+        if !terminates[decl.name.as_str()] {
+            out.push(
+                Diagnostic::new(
+                    Code::NoFiniteDerivation,
+                    format!(
+                        "element `{}` can derive no finite document: every expansion \
+                         requires another `{}` (directly or transitively)",
+                        decl.name, decl.name
+                    ),
+                )
+                .with_span(decl.span)
+                .with_help(
+                    "give the recursion a base case, e.g. make the recursive reference \
+                     optional (`?` or `*`) or add a non-recursive choice branch",
+                ),
+            );
+        }
+    }
+}
+
+fn model_terminates(model: &ContentModel, terminates: &BTreeMap<&str, bool>) -> bool {
+    match model {
+        ContentModel::Empty | ContentModel::Any | ContentModel::Pcdata | ContentModel::Mixed(_) => {
+            true
+        }
+        ContentModel::Name(name, occ) => {
+            skippable(*occ) || terminates.get(name.as_str()).copied().unwrap_or(true)
+        }
+        ContentModel::Seq(parts, occ) => {
+            skippable(*occ) || parts.iter().all(|p| model_terminates(p, terminates))
+        }
+        ContentModel::Choice(parts, occ) => {
+            skippable(*occ) || parts.iter().any(|p| model_terminates(p, terminates))
+        }
+    }
+}
+
+/// Zero repetitions allowed: the particle can be skipped entirely.
+fn skippable(occ: Occurrence) -> bool {
+    matches!(occ, Occurrence::Optional | Occurrence::ZeroOrMore)
+}
+
+/// LSD005 — an attribute declared twice for one element. XML makes the
+/// second declaration dead (first binding wins), which usually signals a
+/// copy-paste error.
+fn lint_duplicate_attributes(dtd: &Dtd, out: &mut Vec<Diagnostic>) {
+    let mut seen: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for attlist in dtd.attlists() {
+        for attr in &attlist.attrs {
+            if !seen.insert((attlist.element.as_str(), attr.name.as_str())) {
+                out.push(
+                    Diagnostic::new(
+                        Code::DuplicateAttribute,
+                        format!(
+                            "attribute `{}` is declared more than once for element `{}`",
+                            attr.name, attlist.element
+                        ),
+                    )
+                    .with_span(attr.span)
+                    .with_note("the first declaration wins; this one is dead"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::has_errors;
+    use lsd_xml::parse_dtd;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_dtd_has_no_diagnostics() {
+        let dtd = parse_dtd(
+            "<!ELEMENT listing (address, price, agent?)>\n\
+             <!ELEMENT address (#PCDATA)>\n\
+             <!ELEMENT price (#PCDATA)>\n\
+             <!ELEMENT agent (#PCDATA)>\n\
+             <!ATTLIST listing id CDATA #REQUIRED>",
+        )
+        .unwrap();
+        assert_eq!(analyze_dtd(&dtd), Vec::new());
+    }
+
+    #[test]
+    fn ambiguous_model_is_lsd001_with_span() {
+        let text = "<!ELEMENT r ((a, b) | (a, c))>\n\
+                    <!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>\n<!ELEMENT c (#PCDATA)>";
+        let dtd = parse_dtd(text).unwrap();
+        let diags = analyze_dtd(&dtd);
+        assert_eq!(codes(&diags), ["LSD001"]);
+        assert!(diags[0].is_error());
+        let span = diags[0].span.expect("span points at the declaration");
+        assert!(text[span.start..span.end].starts_with("<!ELEMENT r"));
+    }
+
+    #[test]
+    fn undeclared_reference_is_lsd002() {
+        let dtd = parse_dtd("<!ELEMENT r (ghost)>").unwrap();
+        let diags = analyze_dtd(&dtd);
+        assert!(codes(&diags).contains(&"LSD002"), "{diags:?}");
+        assert!(has_errors(&diags));
+        let d = diags
+            .iter()
+            .find(|d| d.code == Code::UndeclaredElementRef)
+            .unwrap();
+        assert!(d.message.contains("ghost"));
+    }
+
+    #[test]
+    fn attlist_for_undeclared_element_is_lsd002() {
+        let dtd = parse_dtd("<!ELEMENT r (#PCDATA)>\n<!ATTLIST ghost id CDATA #IMPLIED>").unwrap();
+        let diags = analyze_dtd(&dtd);
+        assert_eq!(codes(&diags), ["LSD002"]);
+    }
+
+    #[test]
+    fn unreachable_element_is_lsd003_warning() {
+        let dtd =
+            parse_dtd("<!ELEMENT r (a)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT orphan (#PCDATA)>")
+                .unwrap();
+        let diags = analyze_dtd(&dtd);
+        assert_eq!(codes(&diags), ["LSD003"]);
+        assert!(!has_errors(&diags));
+        assert!(diags[0].message.contains("orphan"));
+    }
+
+    #[test]
+    fn any_content_reaches_everything() {
+        let dtd =
+            parse_dtd("<!ELEMENT r ANY>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>").unwrap();
+        assert_eq!(analyze_dtd(&dtd), Vec::new());
+    }
+
+    #[test]
+    fn baseless_recursion_is_lsd004() {
+        let dtd = parse_dtd("<!ELEMENT r (r, r)>").unwrap();
+        let diags = analyze_dtd(&dtd);
+        assert_eq!(codes(&diags), ["LSD004"]);
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn mutual_recursion_without_base_case_is_lsd004_for_both() {
+        let dtd = parse_dtd("<!ELEMENT a (b)>\n<!ELEMENT b (a)>").unwrap();
+        let diags = analyze_dtd(&dtd);
+        assert_eq!(codes(&diags), ["LSD004", "LSD004"]);
+    }
+
+    #[test]
+    fn recursion_with_base_case_is_clean() {
+        for text in [
+            "<!ELEMENT r (a, r?)>\n<!ELEMENT a (#PCDATA)>",
+            "<!ELEMENT r (r*, a)>\n<!ELEMENT a (#PCDATA)>",
+            "<!ELEMENT r (r | a)>\n<!ELEMENT a (#PCDATA)>",
+        ] {
+            let dtd = parse_dtd(text).unwrap();
+            assert_eq!(analyze_dtd(&dtd), Vec::new(), "{text}");
+        }
+    }
+
+    #[test]
+    fn duplicate_attribute_is_lsd005_with_attr_span() {
+        let text = "<!ELEMENT r (#PCDATA)>\n\
+                    <!ATTLIST r id CDATA #REQUIRED>\n\
+                    <!ATTLIST r id CDATA #IMPLIED>";
+        let dtd = parse_dtd(text).unwrap();
+        let diags = analyze_dtd(&dtd);
+        assert_eq!(codes(&diags), ["LSD005"]);
+        assert!(!has_errors(&diags));
+        let span = diags[0].span.expect("span points at the duplicate attr");
+        assert_eq!(&text[span.start..span.end], "id");
+        // The duplicate is the one in the *second* ATTLIST.
+        assert!(span.start > text.find("#REQUIRED").unwrap());
+    }
+
+    #[test]
+    fn multiple_rules_fire_together() {
+        let dtd = parse_dtd(
+            "<!ELEMENT r ((a, b) | (a, ghost))>\n\
+             <!ELEMENT a (#PCDATA)>\n<!ELEMENT b (#PCDATA)>\n\
+             <!ELEMENT dead (dead)>",
+        )
+        .unwrap();
+        let got = codes(&analyze_dtd(&dtd));
+        for expected in ["LSD001", "LSD002", "LSD003", "LSD004"] {
+            assert!(got.contains(&expected), "missing {expected} in {got:?}");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! `lsd-lint` — run the static-analysis pass from the command line.
+//!
+//! ```text
+//! lsd-lint file.dtd ...   lint DTD files (schema lints, rustc-style output)
+//! lsd-lint                lint the four built-in datagen domains: each
+//!                         mediated schema, source schema and domain
+//!                         constraint set
+//! ```
+//!
+//! Exits 1 if any error-severity diagnostic was produced, 0 otherwise
+//! (warnings alone do not fail the run) — so CI can gate on
+//! `lsd-lint examples/dtds/*.dtd`.
+
+use lsd_analysis::{analyze_constraints, analyze_dtd, render_all, with_origin, Diagnostic};
+use lsd_core::LabelSet;
+use lsd_datagen::DomainId;
+use std::process::ExitCode;
+
+/// Running totals plus the rendering sink.
+#[derive(Default)]
+struct Tally {
+    errors: usize,
+    warnings: usize,
+}
+
+impl Tally {
+    fn report(&mut self, diagnostics: Vec<Diagnostic>, origin: &str, source: Option<&str>) {
+        self.errors += diagnostics.iter().filter(|d| d.is_error()).count();
+        self.warnings += diagnostics.iter().filter(|d| !d.is_error()).count();
+        print!("{}", render_all(&with_origin(diagnostics, origin), source));
+    }
+
+    /// Lints a DTD that was built in memory (its declarations carry
+    /// synthetic spans): render it to `<!ELEMENT ...>` text, reparse to
+    /// get spans into that text, and lint the reparsed DTD so diagnostics
+    /// point into the rendered schema.
+    fn report_in_memory(&mut self, dtd: &lsd_xml::Dtd, origin: &str) {
+        let text = dtd.to_dtd_syntax();
+        match lsd_xml::parse_dtd(&text) {
+            Ok(reparsed) => self.report(analyze_dtd(&reparsed), origin, Some(&text)),
+            Err(_) => self.report(analyze_dtd(dtd), origin, None),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    let mut tally = Tally::default();
+
+    if files.is_empty() {
+        for id in DomainId::ALL {
+            let spec = id.spec();
+            let mediated = spec.mediated_dtd();
+            tally.report_in_memory(&mediated, &format!("{}: mediated schema", spec.name));
+            let labels = LabelSet::new(mediated.element_names().map(str::to_string));
+            tally.report(
+                analyze_constraints(&labels, &spec.constraints),
+                &format!("{}: constraints", spec.name),
+                None,
+            );
+            for s in 0..spec.sources.len() {
+                tally.report_in_memory(&spec.source_dtd(s), &format!("{}: source {s}", spec.name));
+            }
+        }
+    } else {
+        for path in &files {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let dtd = match lsd_xml::parse_dtd(&text) {
+                Ok(dtd) => dtd,
+                Err(e) => {
+                    eprintln!("error: {path} is not a valid DTD: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            tally.report(analyze_dtd(&dtd), path, Some(&text));
+        }
+    }
+
+    let what = if files.is_empty() {
+        "built-in datagen domains".to_string()
+    } else {
+        format!(
+            "{} file{}",
+            files.len(),
+            if files.len() == 1 { "" } else { "s" }
+        )
+    };
+    println!(
+        "lsd-lint: checked {what}: {} error(s), {} warning(s)",
+        tally.errors, tally.warnings
+    );
+    if tally.errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -192,12 +192,80 @@ impl CompiledConstraintSet {
     }
 
     /// Labels demanded by a hard `ExactlyOne` constraint (deadline
-    /// propagation in the search).
-    pub(crate) fn mandatory_labels(&self) -> Vec<usize> {
+    /// propagation in the search; also consumed by `lsd-analysis` for
+    /// satisfiability lints).
+    pub fn mandatory_labels(&self) -> Vec<usize> {
         self.entries
             .iter()
             .filter_map(|e| match (&e.kind, &e.predicate) {
                 (ConstraintKind::Hard, HalfCompiled::ExactlyOne { label }) => Some(*label),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Labels statically excluded from every mapping: a hard `AtMostK`
+    /// with `k = 0` means no tag may ever carry the label.
+    pub fn hard_excluded_labels(&self) -> Vec<usize> {
+        self.entries
+            .iter()
+            .filter_map(|e| match (&e.kind, &e.predicate) {
+                (ConstraintKind::Hard, HalfCompiled::AtMostK { label, k: 0 }) => Some(*label),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Label pairs under a hard `MutuallyExclusive` constraint.
+    pub fn hard_exclusive_pairs(&self) -> Vec<(usize, usize)> {
+        self.entries
+            .iter()
+            .filter_map(|e| match (&e.kind, &e.predicate) {
+                (ConstraintKind::Hard, HalfCompiled::MutuallyExclusive { a, b }) => Some((*a, *b)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `(tag, label)` pairs pinned by hard `TagIs` feedback.
+    pub fn forced_tag_labels(&self) -> Vec<(&str, usize)> {
+        self.entries
+            .iter()
+            .filter_map(|e| match (&e.kind, &e.predicate) {
+                (ConstraintKind::Hard, HalfCompiled::TagIs { tag, label }) => {
+                    Some((tag.as_str(), *label))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `(tag, label)` pairs vetoed by hard `TagIsNot` feedback.
+    pub fn forbidden_tag_labels(&self) -> Vec<(&str, usize)> {
+        self.entries
+            .iter()
+            .filter_map(|e| match (&e.kind, &e.predicate) {
+                (ConstraintKind::Hard, HalfCompiled::TagIsNot { tag, label }) => {
+                    Some((tag.as_str(), *label))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Hard `NestedIn { outer, inner }` pairs with `outer == inner`. Since
+    /// no tag is nested in itself, such a constraint silently excludes its
+    /// label from every mapping that assigns it twice — and combined with a
+    /// mandatory label it is a static contradiction.
+    pub fn hard_self_nested_labels(&self) -> Vec<usize> {
+        self.entries
+            .iter()
+            .filter_map(|e| match (&e.kind, &e.predicate) {
+                (ConstraintKind::Hard, HalfCompiled::NestedIn { outer, inner })
+                    if outer == inner =>
+                {
+                    Some(*outer)
+                }
                 _ => None,
             })
             .collect()

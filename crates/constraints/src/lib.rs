@@ -22,6 +22,8 @@
 //!   ablation bench, plus the constraint pre-processing extension from
 //!   Section 7 (cheap per-tag type constraints prune labels before search).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod compiled;
 mod constraint;
 mod evaluate;

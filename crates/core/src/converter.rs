@@ -62,7 +62,7 @@ pub fn convert_column_with(
                 .map(|l| {
                     let mut column: Vec<f64> =
                         instance_predictions.iter().map(|p| p.score(l)).collect();
-                    column.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+                    column.sort_by(f64::total_cmp);
                     let mid = column.len() / 2;
                     if column.len() % 2 == 1 {
                         column[mid]

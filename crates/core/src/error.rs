@@ -39,6 +39,16 @@ pub enum LsdError {
         /// The unresolvable label name.
         label: String,
     },
+    /// The static-analysis pass found error-severity diagnostics in the
+    /// mediated schema, a training source's schema, or the constraint set.
+    /// Warnings alone never produce this error — they pass through and are
+    /// counted in the metrics registry.
+    Analysis {
+        /// Every diagnostic the pass produced (warnings included, so the
+        /// caller can render the full report with
+        /// `lsd_analysis::render_all`).
+        diagnostics: Vec<lsd_analysis::Diagnostic>,
+    },
     /// Saving or loading a model failed.
     Persist(PersistError),
 }
@@ -66,6 +76,18 @@ impl fmt::Display for LsdError {
                     f,
                     "constraint references label '{label}', which is not in the mediated schema"
                 )
+            }
+            LsdError::Analysis { diagnostics } => {
+                let errors = diagnostics.iter().filter(|d| d.is_error()).count();
+                write!(
+                    f,
+                    "static analysis found {errors} error{}",
+                    if errors == 1 { "" } else { "s" }
+                )?;
+                if let Some(first) = diagnostics.iter().find(|d| d.is_error()) {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
             }
             LsdError::Persist(e) => write!(f, "{e}"),
         }

@@ -26,6 +26,8 @@
 //! [`feedback`] implements the Section 6.3 interactive-feedback protocol
 //! with a simulated oracle.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod converter;
 mod counties;
 mod error;
@@ -55,3 +57,7 @@ pub use lsd_constraints::{
     SearchConfig, SourceData,
 };
 pub use lsd_learn::{ExecPolicy, LabelSet, Prediction};
+
+// The static-analysis pass gates `train`/`set_constraints`; its vocabulary
+// is part of the pipeline's error surface ([`LsdError::Analysis`]).
+pub use lsd_analysis::{Code as DiagnosticCode, Diagnostic, Severity};

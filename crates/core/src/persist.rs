@@ -116,6 +116,12 @@ impl SavedLearner {
 pub struct SavedModel {
     /// Format version, for forward compatibility.
     pub version: u32,
+    /// The mediated schema rendered as `<!ELEMENT ...>` syntax, reparsed
+    /// on load (the DTD's name index is not serializable, and text keeps
+    /// the snapshot readable). Empty in pre-analysis snapshots, which load
+    /// an empty schema — labels still come from `labels` below.
+    #[serde(default)]
+    pub mediated_dtd: String,
     /// The label set.
     pub labels: LabelSet,
     /// The learners, in combination order.
@@ -154,6 +160,7 @@ impl Lsd {
             .collect::<Result<Vec<_>, _>>()?;
         Ok(SavedModel {
             version: SAVED_MODEL_VERSION,
+            mediated_dtd: self.mediated.to_dtd_syntax(),
             labels: self.labels.clone(),
             learners,
             xml_index: self.xml_index,
@@ -175,7 +182,9 @@ impl Lsd {
             .with_config(saved.config.search)
             .with_candidate_limit(saved.config.candidate_limit);
         let compiled = handler.compiled(&saved.labels);
+        let mediated = lsd_xml::parse_dtd(&saved.mediated_dtd).unwrap_or_default();
         Lsd {
+            mediated,
             labels: saved.labels,
             learners,
             xml_index: saved.xml_index,
@@ -304,6 +313,30 @@ mod tests {
             lsd2.match_source(&target).unwrap().labels
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_preserves_mediated_schema_for_analysis() {
+        let (lsd, _) = trained_system();
+        let saved = lsd.to_saved().expect("snapshots");
+        let json = serde_json::to_string(&saved).expect("serializes");
+        let restored: SavedModel = serde_json::from_str(&json).expect("deserializes");
+        let lsd2 = Lsd::from_saved(restored);
+        // The mediated DTD survives as rendered text, so the static-analysis
+        // pass still works on a loaded model.
+        assert!(lsd2.analyze().is_empty());
+    }
+
+    #[test]
+    fn snapshot_without_mediated_dtd_still_loads() {
+        // Pre-analysis snapshots lack the `mediated_dtd` field; `analyze`
+        // on such a model sees an empty schema rather than failing to load.
+        let (lsd, target) = trained_system();
+        let mut saved = lsd.to_saved().expect("snapshots");
+        saved.mediated_dtd = String::new();
+        let lsd2 = Lsd::from_saved(saved);
+        assert!(lsd2.is_trained());
+        assert!(lsd2.match_source(&target).is_ok());
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::instance::{build_source_data, extract_instances, Instance};
 use crate::learners::{BaseLearner, XmlLearner};
 use crate::meta::MetaLearner;
 use crate::report::{MatchReport, TrainReport};
+use lsd_analysis::Diagnostic;
 use lsd_constraints::{
     CompiledConstraintSet, ConstraintHandler, DomainConstraint, MappingResult, MatchingContext,
     SearchConfig,
@@ -96,6 +97,18 @@ fn default_true() -> bool {
     true
 }
 
+/// Counts accepted (warning-severity) analysis diagnostics in the metrics
+/// registry: one total plus one per diagnostic code.
+fn record_diagnostics(diagnostics: &[Diagnostic]) {
+    if !lsd_obs::enabled() || diagnostics.is_empty() {
+        return;
+    }
+    lsd_obs::counter_add("analysis.warnings", "", diagnostics.len() as u64);
+    for d in diagnostics {
+        lsd_obs::counter_add("analysis.diagnostics", d.code.as_str(), 1);
+    }
+}
+
 impl Default for LsdConfig {
     fn default() -> Self {
         LsdConfig {
@@ -114,6 +127,7 @@ impl Default for LsdConfig {
 
 /// Builder for an [`Lsd`] system.
 pub struct LsdBuilder {
+    mediated: Dtd,
     labels: LabelSet,
     learners: Vec<Box<dyn BaseLearner>>,
     xml_learner: Option<XmlLearner>,
@@ -123,10 +137,12 @@ pub struct LsdBuilder {
 
 impl LsdBuilder {
     /// Starts a builder for the given mediated schema: every mediated tag
-    /// becomes a label, plus the reserved `OTHER`.
+    /// becomes a label, plus the reserved `OTHER`. The schema is retained
+    /// for the static-analysis pass ([`Lsd::analyze`]).
     pub fn new(mediated: &Dtd) -> Self {
         LsdBuilder {
             labels: LabelSet::new(mediated.element_names().map(str::to_string)),
+            mediated: mediated.clone(),
             learners: Vec::new(),
             xml_learner: None,
             constraints: Vec::new(),
@@ -193,6 +209,7 @@ impl LsdBuilder {
             .with_candidate_limit(self.config.candidate_limit);
         let compiled = handler.compiled(&self.labels);
         Ok(Lsd {
+            mediated: self.mediated,
             labels: self.labels,
             learners,
             xml_index,
@@ -207,6 +224,8 @@ impl LsdBuilder {
 
 /// A trained (or trainable) LSD system.
 pub struct Lsd {
+    /// The mediated schema, retained for [`Lsd::analyze`].
+    pub(crate) mediated: Dtd,
     pub(crate) labels: LabelSet,
     pub(crate) learners: Vec<Box<dyn BaseLearner>>,
     /// Index of the XML learner within `learners`, if present.
@@ -320,6 +339,18 @@ impl Lsd {
         &self.meta
     }
 
+    /// Runs the static-analysis pass over the mediated schema and the
+    /// constraints currently in force, without touching any source. The
+    /// same diagnostics gate [`Lsd::train`] and [`Lsd::set_constraints`];
+    /// call this to inspect them (or render them with
+    /// `lsd_analysis::render_all`) before committing to a pipeline run.
+    pub fn analyze(&self) -> Vec<Diagnostic> {
+        lsd_analysis::with_origin(
+            lsd_analysis::analyze(&self.mediated, &self.labels, self.handler.constraints()),
+            "mediated schema",
+        )
+    }
+
     /// Replaces the domain constraints, re-running the two-stage
     /// compilation so every match path sees the new set immediately. This
     /// supersedes the old `handler_mut()` escape hatch, which let callers
@@ -328,7 +359,10 @@ impl Lsd {
     ///
     /// # Errors
     /// [`LsdError::UnknownLabel`] if a constraint names a label outside the
-    /// mediated schema; the previous constraints stay in force.
+    /// mediated schema, and [`LsdError::Analysis`] if the constraint lints
+    /// (`LSD102`–`LSD104`) find a contradiction among the hard constraints.
+    /// Either way the previous constraints stay in force; warnings are
+    /// accepted and counted in the metrics registry.
     pub fn set_constraints(&mut self, constraints: Vec<DomainConstraint>) -> Result<(), LsdError> {
         for c in &constraints {
             for name in c.predicate.label_names() {
@@ -337,6 +371,11 @@ impl Lsd {
                 }
             }
         }
+        let diagnostics = lsd_analysis::analyze_constraints(&self.labels, &constraints);
+        if lsd_analysis::has_errors(&diagnostics) {
+            return Err(LsdError::Analysis { diagnostics });
+        }
+        record_diagnostics(&diagnostics);
         self.handler.set_constraints(constraints);
         self.compiled = self.handler.compiled(&self.labels);
         Ok(())
@@ -363,9 +402,24 @@ impl Lsd {
     /// [`ExecPolicy`]. Results are identical to serial execution.
     ///
     /// # Errors
-    /// [`LsdError::NoTrainingData`] if the sources yield no instances.
+    /// [`LsdError::Analysis`] if the static-analysis pass finds
+    /// error-severity diagnostics in the mediated schema, the constraint
+    /// set, or any training source's schema (warnings pass and are counted
+    /// in the metrics registry); [`LsdError::NoTrainingData`] if the
+    /// sources yield no instances.
     pub fn train(&mut self, sources: &[TrainedSource]) -> Result<(), LsdError> {
         let _span = lsd_obs::span!("train");
+        let mut diagnostics = self.analyze();
+        for ts in sources {
+            diagnostics.extend(lsd_analysis::with_origin(
+                lsd_analysis::analyze_dtd(&ts.source.dtd),
+                &ts.source.name,
+            ));
+        }
+        if lsd_analysis::has_errors(&diagnostics) {
+            return Err(LsdError::Analysis { diagnostics });
+        }
+        record_diagnostics(&diagnostics);
         let (examples, groups) = self.training_examples(sources);
         if examples.is_empty() {
             return Err(LsdError::NoTrainingData);

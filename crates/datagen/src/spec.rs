@@ -132,10 +132,7 @@ impl DomainSpec {
         decls: &mut Vec<ElementDecl>,
     ) {
         match node {
-            TreeNode::Leaf(c) => decls.push(ElementDecl {
-                name: name_of(*c).to_string(),
-                content: ContentModel::Pcdata,
-            }),
+            TreeNode::Leaf(c) => decls.push(ElementDecl::new(name_of(*c), ContentModel::Pcdata)),
             TreeNode::Group(c, children) => {
                 let parts: Vec<ContentModel> = children
                     .iter()
@@ -148,10 +145,10 @@ impl DomainSpec {
                         ContentModel::Name(name_of(child.concept()).to_string(), occ)
                     })
                     .collect();
-                decls.push(ElementDecl {
-                    name: name_of(*c).to_string(),
-                    content: ContentModel::Seq(parts, Occurrence::One),
-                });
+                decls.push(ElementDecl::new(
+                    name_of(*c),
+                    ContentModel::Seq(parts, Occurrence::One),
+                ));
                 for child in children {
                     self.declare(child, name_of, decls);
                 }

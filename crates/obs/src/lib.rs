@@ -11,6 +11,13 @@
 //!   registry of counters, high-watermark gauges and `{count, sum, min, max}`
 //!   histograms keyed by `(name, label)` pairs of `&'static str`.
 //!
+//! Besides the pipeline's own probes (A\* search counters, per-learner
+//! train/predict timings, CV fold counts, batch-queue occupancy), the
+//! static-analysis gate in `lsd-core` records warning-severity diagnostics
+//! here: `analysis.warnings` counts them in total, and
+//! `analysis.diagnostics` is labelled per code (flattened to
+//! `analysis.diagnostics/LSD003`-style keys in the snapshot).
+//!
 //! # Shard-and-merge aggregation
 //!
 //! Probes write to a **thread-local shard** — no locks, no shared cache lines

@@ -9,6 +9,7 @@
 //! (the paper treats attributes like sub-elements).
 
 use crate::error::XmlError;
+use crate::span::Span;
 use crate::tree::Element;
 use crate::Result;
 use serde::{Deserialize, Serialize};
@@ -234,18 +235,96 @@ fn strip_occurrence(model: &ContentModel) -> ContentModel {
 }
 
 /// One `<!ELEMENT name spec>` declaration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ElementDecl {
     /// Declared element name.
     pub name: String,
     /// Its content specification.
     pub content: ContentModel,
+    /// Byte span of the whole `<!ELEMENT ...>` declaration in the text it
+    /// was parsed from, or [`Span::SYNTHETIC`] for DTDs built in memory.
+    #[serde(default)]
+    pub span: Span,
 }
 
+impl ElementDecl {
+    /// A declaration built in memory (no source location).
+    pub fn new(name: impl Into<String>, content: ContentModel) -> Self {
+        ElementDecl {
+            name: name.into(),
+            content,
+            span: Span::SYNTHETIC,
+        }
+    }
+
+    /// The same declaration carrying a source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
+    }
+}
+
+// Equality is structural: the span records *where* a declaration was
+// parsed from, not *what* it declares, so reformatting must not break
+// round-trip comparisons.
+impl PartialEq for ElementDecl {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.content == other.content
+    }
+}
+
+impl Eq for ElementDecl {}
+
+/// One attribute definition inside an `<!ATTLIST ...>` declaration. The
+/// type and default are accepted but not retained — the paper treats
+/// attributes like sub-elements, so only the name matters downstream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttDef {
+    /// The attribute name.
+    pub name: String,
+    /// Byte span of the attribute name in the source text.
+    #[serde(default)]
+    pub span: Span,
+}
+
+impl PartialEq for AttDef {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+
+impl Eq for AttDef {}
+
+/// One `<!ATTLIST element att type default ...>` declaration. Previously
+/// these were skipped wholesale; they are now retained (names + spans) so
+/// static analysis can flag duplicate attribute declarations and attlists
+/// for undeclared elements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttlistDecl {
+    /// The element the attributes belong to.
+    pub element: String,
+    /// The declared attributes, in source order.
+    pub attrs: Vec<AttDef>,
+    /// Byte span of the whole `<!ATTLIST ...>` declaration.
+    #[serde(default)]
+    pub span: Span,
+}
+
+impl PartialEq for AttlistDecl {
+    fn eq(&self, other: &Self) -> bool {
+        self.element == other.element && self.attrs == other.attrs
+    }
+}
+
+impl Eq for AttlistDecl {}
+
 /// A parsed DTD: the ordered list of element declarations plus an index.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct Dtd {
     decls: Vec<ElementDecl>,
+    /// Retained `<!ATTLIST ...>` declarations, in source order.
+    #[serde(default)]
+    attlists: Vec<AttlistDecl>,
     #[serde(skip)]
     index: HashMap<String, usize>,
 }
@@ -253,6 +332,12 @@ pub struct Dtd {
 impl Dtd {
     /// Builds a DTD from declarations, rejecting duplicates.
     pub fn new(decls: Vec<ElementDecl>) -> Result<Self> {
+        Dtd::with_attlists(decls, Vec::new())
+    }
+
+    /// Builds a DTD from element and attribute-list declarations,
+    /// rejecting duplicate element declarations.
+    pub fn with_attlists(decls: Vec<ElementDecl>, attlists: Vec<AttlistDecl>) -> Result<Self> {
         let mut index = HashMap::with_capacity(decls.len());
         for (i, d) in decls.iter().enumerate() {
             if index.insert(d.name.clone(), i).is_some() {
@@ -261,7 +346,16 @@ impl Dtd {
                 });
             }
         }
-        Ok(Dtd { decls, index })
+        Ok(Dtd {
+            decls,
+            attlists,
+            index,
+        })
+    }
+
+    /// The retained `<!ATTLIST ...>` declarations, in source order.
+    pub fn attlists(&self) -> &[AttlistDecl] {
+        &self.attlists
     }
 
     /// The declarations in source order.
@@ -406,8 +500,14 @@ impl Dtd {
     }
 }
 
-/// Parses a sequence of `<!ELEMENT ...>` declarations (whitespace, comments
-/// and `<!ATTLIST ...>` declarations between them are skipped).
+/// Parses a sequence of `<!ELEMENT ...>` declarations (whitespace and
+/// comments between them are skipped). `<!ATTLIST ...>` declarations are
+/// parsed tolerantly and retained — attribute names and spans survive for
+/// static analysis, while types and defaults are discarded.
+///
+/// Every produced [`ElementDecl`] and [`AttlistDecl`] carries the byte
+/// [`Span`] of its declaration in `input`, so diagnostics can point at the
+/// offending text.
 pub fn parse_dtd(input: &str) -> Result<Dtd> {
     let mut p = DtdParser {
         input,
@@ -415,16 +515,22 @@ pub fn parse_dtd(input: &str) -> Result<Dtd> {
         pos: 0,
     };
     let mut decls = Vec::new();
+    let mut attlists = Vec::new();
     loop {
         p.skip_trivia()?;
         if p.at_end() {
             break;
         }
+        let start = p.pos;
         if p.starts_with("<!ELEMENT") {
             p.pos += "<!ELEMENT".len();
-            decls.push(p.parse_element_decl()?);
+            let decl = p.parse_element_decl()?;
+            decls.push(decl.with_span(Span::new(start, p.pos)));
         } else if p.starts_with("<!ATTLIST") {
-            p.skip_to_gt()?;
+            p.pos += "<!ATTLIST".len();
+            let mut attlist = p.parse_attlist_decl()?;
+            attlist.span = Span::new(start, p.pos);
+            attlists.push(attlist);
         } else {
             return Err(XmlError::InvalidDtd {
                 message: format!(
@@ -435,7 +541,7 @@ pub fn parse_dtd(input: &str) -> Result<Dtd> {
             });
         }
     }
-    Dtd::new(decls)
+    Dtd::with_attlists(decls, attlists)
 }
 
 struct DtdParser<'a> {
@@ -481,18 +587,6 @@ impl<'a> DtdParser<'a> {
         }
     }
 
-    fn skip_to_gt(&mut self) -> Result<()> {
-        match self.input[self.pos..].find('>') {
-            Some(rel) => {
-                self.pos += rel + 1;
-                Ok(())
-            }
-            None => Err(XmlError::UnexpectedEof {
-                context: "DTD declaration",
-            }),
-        }
-    }
-
     fn parse_name(&mut self) -> Result<String> {
         self.skip_ws();
         let start = self.pos;
@@ -523,17 +617,135 @@ impl<'a> DtdParser<'a> {
             self.parse_group()?
         } else {
             return Err(XmlError::InvalidDtd {
-                message: format!("expected content spec for element {name}"),
+                message: format!(
+                    "expected content spec for element {name} at offset {}",
+                    self.pos
+                ),
             });
         };
         self.skip_ws();
         if self.peek() != Some(b'>') {
             return Err(XmlError::InvalidDtd {
-                message: format!("expected '>' closing declaration of {name}"),
+                message: format!(
+                    "expected '>' closing declaration of {name} at offset {}",
+                    self.pos
+                ),
             });
         }
         self.pos += 1;
-        Ok(ElementDecl { name, content })
+        Ok(ElementDecl::new(name, content))
+    }
+
+    /// Parses the body of an `<!ATTLIST element (att type default)*>`
+    /// declaration. Attribute names (with spans) are kept; types —
+    /// including parenthesized enumerations — and defaults — including
+    /// `#REQUIRED` / `#IMPLIED` / `#FIXED "v"` and quoted literals — are
+    /// validated for shape and discarded.
+    fn parse_attlist_decl(&mut self) -> Result<AttlistDecl> {
+        let element = self.parse_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(AttlistDecl {
+                        element,
+                        attrs,
+                        span: Span::SYNTHETIC,
+                    });
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    let name = self.parse_name()?;
+                    attrs.push(AttDef {
+                        name,
+                        span: Span::new(start, self.pos),
+                    });
+                    self.skip_attribute_type()?;
+                    self.skip_attribute_default()?;
+                }
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        context: "ATTLIST declaration",
+                    });
+                }
+            }
+        }
+    }
+
+    /// Skips an attribute type: a parenthesized enumeration or a keyword
+    /// such as `CDATA` / `ID` / `NMTOKEN`.
+    fn skip_attribute_type(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            let mut depth = 0usize;
+            while let Some(b) = self.peek() {
+                self.pos += 1;
+                match b {
+                    b'(' => depth += 1,
+                    b')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Ok(());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Err(XmlError::UnexpectedEof {
+                context: "ATTLIST enumerated type",
+            })
+        } else {
+            self.parse_name().map(drop)
+        }
+    }
+
+    /// Skips an attribute default: `#REQUIRED`, `#IMPLIED`, `#FIXED "v"`,
+    /// or a bare quoted literal.
+    fn skip_attribute_default(&mut self) -> Result<()> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'#') => {
+                self.pos += 1;
+                let keyword = self.parse_name()?;
+                if keyword == "FIXED" {
+                    self.skip_ws();
+                    self.skip_quoted()?;
+                }
+                Ok(())
+            }
+            Some(b'"') | Some(b'\'') => self.skip_quoted(),
+            other => Err(XmlError::InvalidDtd {
+                message: format!(
+                    "expected attribute default (#REQUIRED, #IMPLIED, #FIXED or a \
+                     quoted literal) at offset {}, found {other:?}",
+                    self.pos
+                ),
+            }),
+        }
+    }
+
+    /// Skips a quoted literal, honouring the opening quote character.
+    fn skip_quoted(&mut self) -> Result<()> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => {
+                return Err(XmlError::InvalidDtd {
+                    message: format!("expected a quoted literal at offset {}", self.pos),
+                });
+            }
+        };
+        self.pos += 1;
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            if b == quote {
+                return Ok(());
+            }
+        }
+        Err(XmlError::UnexpectedEof {
+            context: "quoted attribute literal",
+        })
     }
 
     /// Parses a parenthesized group: `(#PCDATA)`, `(#PCDATA | a | b)*`,
@@ -561,7 +773,7 @@ impl<'a> DtdParser<'a> {
             }
             if self.peek() != Some(b')') {
                 return Err(XmlError::InvalidDtd {
-                    message: "expected ')' closing mixed content".to_string(),
+                    message: format!("expected ')' closing mixed content at offset {}", self.pos),
                 });
             }
             self.pos += 1;
@@ -569,7 +781,10 @@ impl<'a> DtdParser<'a> {
                 self.pos += 1;
             } else if !names.is_empty() {
                 return Err(XmlError::InvalidDtd {
-                    message: "mixed content with names must end with ')*'".to_string(),
+                    message: format!(
+                        "mixed content with names must end with ')*' (offset {})",
+                        self.pos
+                    ),
                 });
             }
             return Ok(ContentModel::Mixed(names));
@@ -583,7 +798,10 @@ impl<'a> DtdParser<'a> {
             Some(b')') => None,
             other => {
                 return Err(XmlError::InvalidDtd {
-                    message: format!("expected ',', '|' or ')' in group, found {other:?}"),
+                    message: format!(
+                        "expected ',', '|' or ')' in group at offset {}, found {other:?}",
+                        self.pos
+                    ),
                 })
             }
         };
@@ -595,13 +813,16 @@ impl<'a> DtdParser<'a> {
             }
             if matches!(self.peek(), Some(b',') | Some(b'|')) {
                 return Err(XmlError::InvalidDtd {
-                    message: "cannot mix ',' and '|' at the same level".to_string(),
+                    message: format!(
+                        "cannot mix ',' and '|' at the same level (offset {})",
+                        self.pos
+                    ),
                 });
             }
         }
         if self.peek() != Some(b')') {
             return Err(XmlError::InvalidDtd {
-                message: "expected ')' closing group".to_string(),
+                message: format!("expected ')' closing group at offset {}", self.pos),
             });
         }
         self.pos += 1;
@@ -810,12 +1031,60 @@ mod tests {
     }
 
     #[test]
-    fn attlist_skipped() {
+    fn attlist_retained_with_names() {
         let dtd = parse_dtd(
             "<!ELEMENT a (#PCDATA)>\n<!ATTLIST a id CDATA #REQUIRED>\n<!ELEMENT b (#PCDATA)>",
         )
         .unwrap();
         assert_eq!(dtd.len(), 2);
+        assert_eq!(dtd.attlists().len(), 1);
+        let attlist = &dtd.attlists()[0];
+        assert_eq!(attlist.element, "a");
+        assert_eq!(attlist.attrs.len(), 1);
+        assert_eq!(attlist.attrs[0].name, "id");
+        assert!(!attlist.span.is_synthetic());
+    }
+
+    #[test]
+    fn attlist_parses_enumerations_and_defaults() {
+        let dtd = parse_dtd(
+            "<!ELEMENT a (#PCDATA)>\n\
+             <!ATTLIST a kind (big | small) \"big\"\n\
+                         id ID #IMPLIED\n\
+                         ver CDATA #FIXED \"1.0\">",
+        )
+        .unwrap();
+        let names: Vec<&str> = dtd.attlists()[0]
+            .attrs
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["kind", "id", "ver"]);
+    }
+
+    #[test]
+    fn attlist_default_may_contain_gt() {
+        // A '>' inside a quoted default must not terminate the declaration
+        // (the old skip-to-'>' fast path got this wrong).
+        let dtd = parse_dtd("<!ELEMENT a (#PCDATA)>\n<!ATTLIST a note CDATA \"x > y\">").unwrap();
+        assert_eq!(dtd.attlists()[0].attrs[0].name, "note");
+    }
+
+    #[test]
+    fn declarations_carry_source_spans() {
+        let text = "<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (a)>";
+        let dtd = parse_dtd(text).unwrap();
+        let a = &dtd.declarations()[0];
+        let b = &dtd.declarations()[1];
+        assert_eq!(&text[a.span.start..a.span.end], "<!ELEMENT a (#PCDATA)>");
+        assert_eq!(&text[b.span.start..b.span.end], "<!ELEMENT b (a)>");
+    }
+
+    #[test]
+    fn spans_do_not_affect_equality() {
+        let parsed = parse_dtd("<!ELEMENT a (#PCDATA)>").unwrap();
+        let built = Dtd::new(vec![ElementDecl::new("a", ContentModel::Pcdata)]).unwrap();
+        assert_eq!(parsed, built);
     }
 
     #[test]

@@ -37,13 +37,15 @@ mod error;
 mod parser;
 mod schema;
 mod select;
+mod span;
 mod tree;
 mod writer;
 
-pub use dtd::{parse_dtd, ContentModel, Dtd, ElementDecl, Occurrence};
+pub use dtd::{parse_dtd, AttDef, AttlistDecl, ContentModel, Dtd, ElementDecl, Occurrence};
 pub use error::XmlError;
 pub use parser::{parse_document, parse_fragment};
 pub use schema::{SchemaTree, TagInfo};
+pub use span::{Location, Span};
 pub use tree::{Document, Element, Node};
 pub use writer::{escape_text, write_element, write_element_pretty};
 

@@ -1,0 +1,124 @@
+//! Byte-span source locations.
+//!
+//! The DTD parser stamps every declaration it produces with the byte range
+//! it was parsed from, so downstream diagnostics (`lsd-analysis`) can point
+//! back into the original text rustc-style. DTDs built programmatically
+//! (e.g. by `lsd-datagen`) carry [`Span::SYNTHETIC`] instead; renderers
+//! treat a synthetic span as "no source location available".
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open byte range `[start, end)` into the source text a construct
+/// was parsed from.
+///
+/// Spans never participate in structural equality of the AST nodes that
+/// carry them: two DTDs parsed from differently formatted text still
+/// compare equal declaration-for-declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first byte of the construct.
+    pub start: usize,
+    /// Byte offset one past the last byte of the construct.
+    pub end: usize,
+}
+
+impl Span {
+    /// The span of a node that was built in memory rather than parsed.
+    pub const SYNTHETIC: Span = Span { start: 0, end: 0 };
+
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// True for nodes with no source location ([`Span::SYNTHETIC`]).
+    pub fn is_synthetic(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True if the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The 1-based line and column of `self.start` within `text`, plus the
+    /// full text of that line — everything a rustc-style renderer needs.
+    /// Returns `None` when the span does not lie inside `text`.
+    pub fn locate<'t>(&self, text: &'t str) -> Option<Location<'t>> {
+        if self.start > text.len() || self.end > text.len() || self.start > self.end {
+            return None;
+        }
+        let before = &text[..self.start];
+        let line_start = before.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line_end = text[self.start..]
+            .find('\n')
+            .map(|i| self.start + i)
+            .unwrap_or(text.len());
+        Some(Location {
+            line: before.matches('\n').count() + 1,
+            column: self.start - line_start + 1,
+            line_text: &text[line_start..line_end],
+            underline_len: self.len().min(line_end - self.start).max(1),
+        })
+    }
+}
+
+/// Where a [`Span`] falls within a source text (see [`Span::locate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location<'t> {
+    /// 1-based line number of the span start.
+    pub line: usize,
+    /// 1-based column (in bytes) of the span start within its line.
+    pub column: usize,
+    /// The full text of that line, without the trailing newline.
+    pub line_text: &'t str,
+    /// How many bytes of the line the span covers (clipped to the line,
+    /// at least 1).
+    pub underline_len: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_and_len() {
+        assert!(Span::SYNTHETIC.is_synthetic());
+        assert!(Span::SYNTHETIC.is_empty());
+        let s = Span::new(3, 8);
+        assert!(!s.is_synthetic());
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn locate_finds_line_and_column() {
+        let text = "first line\n<!ELEMENT a (b)>\nlast";
+        let start = text.find("<!ELEMENT").unwrap();
+        let span = Span::new(start, start + 16);
+        let loc = span.locate(text).unwrap();
+        assert_eq!(loc.line, 2);
+        assert_eq!(loc.column, 1);
+        assert_eq!(loc.line_text, "<!ELEMENT a (b)>");
+        assert_eq!(loc.underline_len, 16);
+    }
+
+    #[test]
+    fn locate_clips_to_line() {
+        let text = "ab\ncd";
+        let span = Span::new(1, 5);
+        let loc = span.locate(text).unwrap();
+        assert_eq!(loc.line, 1);
+        assert_eq!(loc.column, 2);
+        assert_eq!(loc.underline_len, 1);
+    }
+
+    #[test]
+    fn locate_rejects_out_of_bounds() {
+        assert!(Span::new(3, 10).locate("ab").is_none());
+    }
+}

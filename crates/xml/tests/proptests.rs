@@ -152,12 +152,9 @@ proptest! {
     /// that model.
     #[test]
     fn conforming_sequences_validate(spec in arb_model(), picks in prop::collection::vec(any::<u8>(), 0..64)) {
-        let mut decls = vec![ElementDecl {
-            name: "root".to_string(),
-            content: spec.to_model(),
-        }];
+        let mut decls = vec![ElementDecl::new("root", spec.to_model())];
         for name in ALPHABET {
-            decls.push(ElementDecl { name: name.to_string(), content: ContentModel::Pcdata });
+            decls.push(ElementDecl::new(name, ContentModel::Pcdata));
         }
         let dtd = Dtd::new(decls).expect("no duplicate names");
 
@@ -182,7 +179,7 @@ proptest! {
     /// identity.
     #[test]
     fn dtd_syntax_roundtrip(spec in arb_model()) {
-        let decls = vec![ElementDecl { name: "root".to_string(), content: spec.to_model() }];
+        let decls = vec![ElementDecl::new("root", spec.to_model())];
         let dtd = Dtd::new(decls).expect("single decl");
         let canonical = lsd_xml::parse_dtd(&dtd.to_dtd_syntax()).expect("own syntax must parse");
         let rendered = canonical.to_dtd_syntax();

@@ -7,6 +7,9 @@
 //! This facade crate re-exports the public API of the workspace crates:
 //!
 //! - [`xml`] — XML parser, DTD grammar, schema trees ([`lsd_xml`]).
+//! - [`analysis`] — static diagnostics over DTDs and constraint sets with
+//!   rustc-style rendering ([`lsd_analysis`]); `Error`-severity findings
+//!   gate [`Lsd`]'s `train`/`set_constraints`.
 //! - [`text`] — tokenizer, Porter stemmer, TF/IDF, WHIRL ([`lsd_text`]).
 //! - [`learn`] — learner traits, cross-validation, regression ([`lsd_learn`]).
 //! - [`constraints`] — domain constraints and the A\* constraint handler
@@ -22,6 +25,7 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+pub use lsd_analysis as analysis;
 pub use lsd_constraints as constraints;
 pub use lsd_core as core;
 pub use lsd_datagen as datagen;
@@ -32,6 +36,7 @@ pub use lsd_xml as xml;
 
 // The batch-matching pipeline types, re-exported at the root so callers can
 // write `lsd::Lsd` / `lsd::ExecPolicy` without spelling out the crate layout.
+pub use lsd_core::{Diagnostic, DiagnosticCode, Severity};
 pub use lsd_core::{
     ExecPolicy, LabelCandidate, Lsd, LsdBuilder, LsdConfig, LsdError, MatchOutcome, MatchReport,
     Source, TagExplanation, TrainReport, TrainedSource,

@@ -1,0 +1,189 @@
+//! The static-analysis pass gating the pipeline: `train` and
+//! `set_constraints` must reject error-severity diagnostics with
+//! [`LsdError::Analysis`], while warnings pass through and surface in the
+//! observability metrics.
+
+use lsd::constraints::{DomainConstraint, Predicate};
+use lsd::core::learners::NameMatcher;
+use lsd::{LsdBuilder, LsdError, Source, TrainedSource};
+use lsd_xml::{parse_dtd, parse_fragment};
+use std::collections::HashMap;
+
+fn training_source() -> TrainedSource {
+    let dtd = parse_dtd(
+        "<!ELEMENT h (addr, cost)>\n<!ELEMENT addr (#PCDATA)>\n<!ELEMENT cost (#PCDATA)>",
+    )
+    .unwrap();
+    let listings = vec![
+        parse_fragment("<h><addr>Miami, FL</addr><cost>$100,000</cost></h>").unwrap(),
+        parse_fragment("<h><addr>Boston, MA</addr><cost>$200,000</cost></h>").unwrap(),
+    ];
+    TrainedSource {
+        source: Source {
+            name: "web.com".into(),
+            dtd,
+            listings,
+        },
+        mapping: HashMap::from([
+            ("h".to_string(), "H".to_string()),
+            ("addr".to_string(), "ADDRESS".to_string()),
+            ("cost".to_string(), "PRICE".to_string()),
+        ]),
+    }
+}
+
+fn builder_for(mediated: &str) -> LsdBuilder {
+    let mediated = parse_dtd(mediated).unwrap();
+    let builder = LsdBuilder::new(&mediated);
+    let n = builder.labels().len();
+    builder.add_learner(Box::new(NameMatcher::new(n, HashMap::new())))
+}
+
+const CLEAN_MEDIATED: &str = "<!ELEMENT H (ADDRESS, PRICE)>\n\
+                              <!ELEMENT ADDRESS (#PCDATA)>\n\
+                              <!ELEMENT PRICE (#PCDATA)>";
+
+#[test]
+fn train_rejects_ambiguous_mediated_schema() {
+    // ((ADDRESS, PRICE) | (ADDRESS)) is not 1-unambiguous.
+    let mut lsd = builder_for(
+        "<!ELEMENT H ((ADDRESS, PRICE) | (ADDRESS))>\n\
+         <!ELEMENT ADDRESS (#PCDATA)>\n\
+         <!ELEMENT PRICE (#PCDATA)>",
+    )
+    .build()
+    .unwrap();
+    match lsd.train(&[training_source()]) {
+        Err(LsdError::Analysis { diagnostics }) => {
+            assert!(
+                diagnostics.iter().any(|d| d.code.as_str() == "LSD001"),
+                "{diagnostics:?}"
+            );
+            // The mediated schema is analyzed via its retained parse, so
+            // the diagnostic carries the origin label.
+            let d = diagnostics
+                .iter()
+                .find(|d| d.code.as_str() == "LSD001")
+                .unwrap();
+            assert_eq!(d.origin.as_deref(), Some("mediated schema"));
+        }
+        other => panic!("expected LsdError::Analysis, got {other:?}"),
+    }
+    assert!(!lsd.is_trained());
+}
+
+#[test]
+fn train_rejects_broken_training_source_schema() {
+    let mut lsd = builder_for(CLEAN_MEDIATED).build().unwrap();
+    let mut ts = training_source();
+    ts.source.dtd = parse_dtd("<!ELEMENT h (addr, ghost)>\n<!ELEMENT addr (#PCDATA)>").unwrap();
+    match lsd.train(&[ts]) {
+        Err(LsdError::Analysis { diagnostics }) => {
+            let d = diagnostics
+                .iter()
+                .find(|d| d.code.as_str() == "LSD002")
+                .expect("undeclared-element diagnostic");
+            assert_eq!(d.origin.as_deref(), Some("web.com"));
+        }
+        other => panic!("expected LsdError::Analysis, got {other:?}"),
+    }
+}
+
+#[test]
+fn set_constraints_rejects_required_and_excluded_label() {
+    let mut lsd = builder_for(CLEAN_MEDIATED).build().unwrap();
+    let contradiction = vec![
+        DomainConstraint::hard(Predicate::ExactlyOne {
+            label: "PRICE".into(),
+        }),
+        DomainConstraint::hard(Predicate::AtMostK {
+            label: "PRICE".into(),
+            k: 0,
+        }),
+    ];
+    match lsd.set_constraints(contradiction) {
+        Err(LsdError::Analysis { diagnostics }) => {
+            assert!(
+                diagnostics.iter().any(|d| d.code.as_str() == "LSD102"),
+                "{diagnostics:?}"
+            );
+        }
+        other => panic!("expected LsdError::Analysis, got {other:?}"),
+    }
+    // The previous (empty) constraint set stays in force.
+    assert!(lsd.constraints().is_empty());
+}
+
+#[test]
+fn set_constraints_rejects_statically_unsatisfiable_set() {
+    let mut lsd = builder_for(CLEAN_MEDIATED).build().unwrap();
+    let unsat = vec![
+        DomainConstraint::hard(Predicate::ExactlyOne {
+            label: "PRICE".into(),
+        }),
+        DomainConstraint::hard(Predicate::ExactlyOne {
+            label: "ADDRESS".into(),
+        }),
+        DomainConstraint::hard(Predicate::MutuallyExclusive {
+            a: "PRICE".into(),
+            b: "ADDRESS".into(),
+        }),
+    ];
+    match lsd.set_constraints(unsat) {
+        Err(LsdError::Analysis { diagnostics }) => {
+            assert!(
+                diagnostics.iter().any(|d| d.code.as_str() == "LSD104"),
+                "{diagnostics:?}"
+            );
+        }
+        other => panic!("expected LsdError::Analysis, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_label_keeps_its_dedicated_error() {
+    let mut lsd = builder_for(CLEAN_MEDIATED).build().unwrap();
+    let result = lsd.set_constraints(vec![DomainConstraint::hard(Predicate::ExactlyOne {
+        label: "PRYCE".into(),
+    })]);
+    assert!(matches!(result, Err(LsdError::UnknownLabel { label }) if label == "PRYCE"));
+}
+
+#[test]
+fn warnings_pass_training_and_are_counted_in_metrics() {
+    // `EXTRA` is declared but unreachable from the mediated root: LSD003,
+    // a warning — training proceeds and the report counts it.
+    let mut lsd = builder_for(
+        "<!ELEMENT H (ADDRESS, PRICE)>\n\
+         <!ELEMENT ADDRESS (#PCDATA)>\n\
+         <!ELEMENT PRICE (#PCDATA)>\n\
+         <!ELEMENT EXTRA (#PCDATA)>",
+    )
+    .build()
+    .unwrap();
+    let report = lsd
+        .train_with_report(&[training_source()])
+        .expect("warnings must not block training");
+    assert!(lsd.is_trained());
+    assert_eq!(report.metrics.counter("analysis.warnings"), 1);
+    let by_code = report.metrics.counters_labelled("analysis.diagnostics");
+    assert_eq!(by_code, vec![("LSD003", 1)]);
+}
+
+#[test]
+fn analyze_reports_without_gating() {
+    let lsd = builder_for(
+        "<!ELEMENT H (ADDRESS, PRICE)>\n\
+         <!ELEMENT ADDRESS (#PCDATA)>\n\
+         <!ELEMENT PRICE (#PCDATA)>\n\
+         <!ELEMENT EXTRA (#PCDATA)>",
+    )
+    .build()
+    .unwrap();
+    let diags = lsd.analyze();
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code.as_str(), "LSD003");
+    let rendered = lsd::analysis::render_all(&diags, None);
+    assert!(rendered.contains("warning[LSD003]"));
+    assert!(rendered.contains("mediated schema"));
+}
