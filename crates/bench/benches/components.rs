@@ -256,67 +256,6 @@ fn bench_batch_engine(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_obs_overhead(c: &mut Criterion) {
-    // The observability layer's cost on the hottest path: match_batch with
-    // probes disabled (the default — every probe is one Relaxed atomic
-    // load) vs enabled (thread-local shard writes + span timing). The
-    // acceptance bar is <= 3% overhead for the disabled mode relative to
-    // the pre-observability engine; compare `off` here against the
-    // `batch_engine_4x5` numbers from before the layer existed, and `on`
-    // against `off` for the cost of recording itself.
-    use lsd_learn::ExecPolicy;
-
-    let domain = DomainId::RealEstate1.generate(40, 7);
-    let sources: Vec<Source> = domain
-        .sources
-        .iter()
-        .map(|gs| Source {
-            name: gs.name.clone(),
-            dtd: gs.dtd.clone(),
-            listings: gs.listings.clone(),
-        })
-        .collect();
-    let builder = LsdBuilder::new(&domain.mediated).with_config(LsdConfig::default());
-    let n = builder.labels().len();
-    let pairs: Vec<(&str, &str)> = domain
-        .synonyms
-        .iter()
-        .map(|(a, b)| (a.as_str(), b.as_str()))
-        .collect();
-    let mut lsd = builder
-        .add_learner(Box::new(NameMatcher::with_synonym_pairs(n, pairs)))
-        .add_learner(Box::new(NaiveBayesLearner::new(n)))
-        .with_constraints(domain.constraints.clone())
-        .build()
-        .expect("bench builder has learners");
-    let training: Vec<TrainedSource> = (0..3)
-        .map(|i| TrainedSource {
-            source: sources[i].clone(),
-            mapping: domain.sources[i].mapping.clone(),
-        })
-        .collect();
-    lsd.train(&training)
-        .expect("training sources have listings");
-    let policy = ExecPolicy::with_threads(4);
-
-    let mut group = c.benchmark_group("obs_overhead_batch");
-    group.sample_size(10);
-    group.bench_function("off", |b| {
-        b.iter(|| {
-            lsd.match_batch(black_box(&sources), &policy)
-                .expect("well-formed sources")
-        })
-    });
-    group.bench_function("on", |b| {
-        b.iter(|| {
-            let (outcomes, _snapshot) =
-                lsd_obs::collect(|| lsd.match_batch(black_box(&sources), &policy));
-            outcomes.expect("well-formed sources")
-        })
-    });
-    group.finish();
-}
-
 fn bench_evaluators(c: &mut Criterion) {
     // The compiled constraint evaluator vs the reference implementation —
     // the optimization that makes A* affordable (DESIGN.md deviation 5).
@@ -384,7 +323,6 @@ criterion_group!(
     bench_meta,
     bench_search,
     bench_batch_engine,
-    bench_obs_overhead,
     bench_evaluators,
     bench_substrates
 );

@@ -1,0 +1,227 @@
+//! The `BENCH_match.json` perf-trajectory record (schema version 1).
+//!
+//! Every bench/smoke run exports one JSON document summarizing where the
+//! match pipeline spent its time — per-stage span statistics (count, total,
+//! mean, p50/p95/p99), the A\* search counters, throughput, and per-learner
+//! predict costs — under a *stable schema*, so successive runs can be
+//! diffed mechanically and CI can chart the performance trajectory over
+//! commits. [`validate_bench_match`] is the schema check CI runs against
+//! the artifact it just produced.
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "params":     { "listings", "seed", "threads" },
+//!   "stages":     { "<span name>": { "count", "total_ns", "mean_ns",
+//!                                    "p50_ns", "p95_ns", "p99_ns" }, ... },
+//!   "search":     { "runs", "nodes_expanded", "nodes_generated",
+//!                   "nodes_pruned", "evaluations" },
+//!   "throughput": { "sources", "tags", "instances", "wall_ns",
+//!                   "sources_per_sec" },
+//!   "learners":   { "<learner>": { "predict_calls", "predict_total_ns",
+//!                                  "predict_p95_ns" }, ... }
+//! }
+//! ```
+
+use crate::runner::ExperimentParams;
+use lsd_core::MatchReport;
+use serde::Value;
+
+/// Version stamp written into (and demanded from) `BENCH_match.json`.
+pub const BENCH_MATCH_SCHEMA_VERSION: i64 = 1;
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn int(v: u64) -> Value {
+    Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+/// Renders one match run as the `BENCH_match.json` document. `wall_ns` is
+/// the caller-measured wall-clock time of the whole batch match.
+pub fn bench_match_json(report: &MatchReport, params: &ExperimentParams, wall_ns: u64) -> String {
+    let m = &report.metrics;
+
+    let stages = Value::Map(
+        m.histograms_labelled("span")
+            .into_iter()
+            .map(|(name, h)| {
+                (
+                    name.to_string(),
+                    obj(vec![
+                        ("count", int(h.count)),
+                        ("total_ns", int(h.sum)),
+                        ("mean_ns", Value::Float(h.mean())),
+                        ("p50_ns", int(h.p50())),
+                        ("p95_ns", int(h.p95())),
+                        ("p99_ns", int(h.p99())),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+
+    let learners = Value::Map(
+        m.counters_labelled("learner.predict_calls")
+            .into_iter()
+            .map(|(name, calls)| {
+                let h = m.histogram(&format!("learner.predict_ns/{name}"));
+                (
+                    name.to_string(),
+                    obj(vec![
+                        ("predict_calls", int(calls)),
+                        ("predict_total_ns", int(h.map_or(0, |h| h.sum))),
+                        ("predict_p95_ns", int(h.map_or(0, |h| h.p95()))),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+
+    let sources = m.counter("match.sources");
+    let root = obj(vec![
+        ("schema_version", Value::Int(BENCH_MATCH_SCHEMA_VERSION)),
+        (
+            "params",
+            obj(vec![
+                ("listings", int(params.listings as u64)),
+                ("seed", int(params.seed)),
+                ("threads", int(params.exec.threads as u64)),
+            ]),
+        ),
+        ("stages", stages),
+        (
+            "search",
+            obj(vec![
+                ("runs", int(m.counter("search.runs"))),
+                ("nodes_expanded", int(m.counter("search.nodes_expanded"))),
+                ("nodes_generated", int(m.counter("search.nodes_generated"))),
+                ("nodes_pruned", int(m.counter("search.nodes_pruned"))),
+                ("evaluations", int(m.counter("search.evaluations"))),
+            ]),
+        ),
+        (
+            "throughput",
+            obj(vec![
+                ("sources", int(sources)),
+                ("tags", int(m.counter("match.tags"))),
+                ("instances", int(m.counter("match.instances"))),
+                ("wall_ns", int(wall_ns)),
+                (
+                    "sources_per_sec",
+                    Value::Float(if wall_ns == 0 {
+                        0.0
+                    } else {
+                        sources as f64 * 1e9 / wall_ns as f64
+                    }),
+                ),
+            ]),
+        ),
+        ("learners", learners),
+    ]);
+    serde_json::to_string_pretty(&root).expect("Value serialization cannot fail")
+}
+
+fn require<'v>(v: &'v Value, key: &str, path: &str) -> Result<&'v Value, String> {
+    v.get(key).ok_or_else(|| format!("{path}: missing `{key}`"))
+}
+
+fn require_number(v: &Value, key: &str, path: &str) -> Result<(), String> {
+    match require(v, key, path)? {
+        Value::Int(_) | Value::Float(_) => Ok(()),
+        other => Err(format!(
+            "{path}.{key}: expected number, found {}",
+            other.kind()
+        )),
+    }
+}
+
+/// Checks a `BENCH_match.json` document against schema version 1. Returns
+/// the first problem found, phrased with its JSON path.
+pub fn validate_bench_match(text: &str) -> Result<(), String> {
+    let root: Value = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    match require(&root, "schema_version", "$")? {
+        Value::Int(v) if *v == BENCH_MATCH_SCHEMA_VERSION => {}
+        other => {
+            return Err(format!(
+                "$.schema_version: expected {BENCH_MATCH_SCHEMA_VERSION}, found {other:?}"
+            ))
+        }
+    }
+
+    let params = require(&root, "params", "$")?;
+    for key in ["listings", "seed", "threads"] {
+        require_number(params, key, "$.params")?;
+    }
+
+    let stages = require(&root, "stages", "$")?;
+    let Value::Map(stage_entries) = stages else {
+        return Err(format!(
+            "$.stages: expected object, found {}",
+            stages.kind()
+        ));
+    };
+    for (name, stage) in stage_entries {
+        for key in ["count", "total_ns", "mean_ns", "p50_ns", "p95_ns", "p99_ns"] {
+            require_number(stage, key, &format!("$.stages.{name}"))?;
+        }
+    }
+
+    let search = require(&root, "search", "$")?;
+    for key in [
+        "runs",
+        "nodes_expanded",
+        "nodes_generated",
+        "nodes_pruned",
+        "evaluations",
+    ] {
+        require_number(search, key, "$.search")?;
+    }
+
+    let throughput = require(&root, "throughput", "$")?;
+    for key in ["sources", "tags", "instances", "wall_ns", "sources_per_sec"] {
+        require_number(throughput, key, "$.throughput")?;
+    }
+
+    let learners = require(&root, "learners", "$")?;
+    let Value::Map(learner_entries) = learners else {
+        return Err(format!(
+            "$.learners: expected object, found {}",
+            learners.kind()
+        ));
+    };
+    for (name, learner) in learner_entries {
+        for key in ["predict_calls", "predict_total_ns", "predict_p95_ns"] {
+            require_number(learner, key, &format!("$.learners.{name}"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_schema_valid() {
+        let report = MatchReport::default();
+        let params = ExperimentParams::default();
+        let json = bench_match_json(&report, &params, 0);
+        validate_bench_match(&json).expect("schema-valid");
+    }
+
+    #[test]
+    fn validator_rejects_missing_sections() {
+        assert!(validate_bench_match("{}").is_err());
+        assert!(validate_bench_match("not json").is_err());
+        let wrong_version = r#"{"schema_version": 2}"#;
+        let err = validate_bench_match(wrong_version).expect_err("version mismatch");
+        assert!(err.contains("schema_version"), "{err}");
+    }
+}

@@ -243,6 +243,30 @@ fn main() {
     .expect("write metrics file");
     println!("Wrote {metrics_path} ({} split records)", all_metrics.len());
 
+    // Exportable telemetry for the first split record: a Perfetto-loadable
+    // Chrome trace, the JSONL event stream, and the schema-versioned perf
+    // record. (One representative split keeps the artifacts small; the
+    // full per-split snapshots are all in metrics.json above.)
+    if let Some(record) = all_metrics.first() {
+        std::fs::write("trace.json", record.match_report.chrome_trace()).expect("write trace.json");
+        println!("Wrote trace.json");
+        std::fs::write("events.jsonl", record.match_report.events_jsonl(4096))
+            .expect("write events.jsonl");
+        println!("Wrote events.jsonl");
+        // No single wall-clock measurement spans exactly this batch match,
+        // so use the cumulative per-source match wall time (an upper bound
+        // on the batch wall: workers overlap).
+        let wall_ns = record
+            .match_report
+            .metrics
+            .histogram("span/match.source")
+            .map_or(0, |h| h.sum);
+        let bench = lsd_bench::bench_match_json(&record.match_report, &params, wall_ns);
+        lsd_bench::validate_bench_match(&bench).expect("BENCH_match.json must be schema-valid");
+        std::fs::write("BENCH_match.json", bench).expect("write BENCH_match.json");
+        println!("Wrote BENCH_match.json");
+    }
+
     report.insert(
         "elapsed_seconds".into(),
         json!(started.elapsed().as_secs_f64()),

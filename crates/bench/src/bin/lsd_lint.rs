@@ -5,29 +5,40 @@
 //! lsd-lint                lint the four built-in datagen domains: each
 //!                         mediated schema, source schema and domain
 //!                         constraint set
+//! lsd-lint --json ...     machine-readable output: one JSON document with
+//!                         every diagnostic (code, severity, message, span,
+//!                         origin, notes, help) plus error/warning totals
 //! ```
 //!
 //! Exits 1 if any error-severity diagnostic was produced, 0 otherwise
 //! (warnings alone do not fail the run) — so CI can gate on
-//! `lsd-lint examples/dtds/*.dtd`.
+//! `lsd-lint examples/dtds/*.dtd`, with or without `--json`.
 
 use lsd_analysis::{analyze_constraints, analyze_dtd, render_all, with_origin, Diagnostic};
 use lsd_core::LabelSet;
 use lsd_datagen::DomainId;
+use serde::Value;
 use std::process::ExitCode;
 
-/// Running totals plus the rendering sink.
+/// Running totals plus the rendering sink. With `collected` present
+/// (`--json`), diagnostics accumulate for one machine-readable document
+/// instead of printing as they are found.
 #[derive(Default)]
 struct Tally {
     errors: usize,
     warnings: usize,
+    collected: Option<Vec<Diagnostic>>,
 }
 
 impl Tally {
     fn report(&mut self, diagnostics: Vec<Diagnostic>, origin: &str, source: Option<&str>) {
         self.errors += diagnostics.iter().filter(|d| d.is_error()).count();
         self.warnings += diagnostics.iter().filter(|d| !d.is_error()).count();
-        print!("{}", render_all(&with_origin(diagnostics, origin), source));
+        let diagnostics = with_origin(diagnostics, origin);
+        match &mut self.collected {
+            Some(sink) => sink.extend(diagnostics),
+            None => print!("{}", render_all(&diagnostics, source)),
+        }
     }
 
     /// Lints a DTD that was built in memory (its declarations carry
@@ -43,9 +54,68 @@ impl Tally {
     }
 }
 
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// One diagnostic as a stable JSON object: the `code` is the lint name
+/// (`"LSD001"`), not the enum variant, and `severity` matches the
+/// rustc-style text output (`"error"` / `"warning"`).
+fn diagnostic_json(d: &Diagnostic) -> Value {
+    obj(vec![
+        ("code", Value::Str(d.code.as_str().to_string())),
+        ("severity", Value::Str(d.severity.to_string())),
+        ("message", Value::Str(d.message.clone())),
+        (
+            "origin",
+            d.origin
+                .as_ref()
+                .map_or(Value::Null, |o| Value::Str(o.clone())),
+        ),
+        (
+            "span",
+            d.span.map_or(Value::Null, |s| {
+                obj(vec![
+                    ("start", Value::Int(s.start as i64)),
+                    ("end", Value::Int(s.end as i64)),
+                ])
+            }),
+        ),
+        (
+            "notes",
+            Value::Seq(d.notes.iter().map(|n| Value::Str(n.clone())).collect()),
+        ),
+        (
+            "help",
+            d.help
+                .as_ref()
+                .map_or(Value::Null, |h| Value::Str(h.clone())),
+        ),
+    ])
+}
+
 fn main() -> ExitCode {
-    let files: Vec<String> = std::env::args().skip(1).collect();
-    let mut tally = Tally::default();
+    let mut json = false;
+    let files: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--json" {
+                json = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let mut tally = Tally {
+        collected: json.then(Vec::new),
+        ..Tally::default()
+    };
 
     if files.is_empty() {
         for id in DomainId::ALL {
@@ -82,19 +152,34 @@ fn main() -> ExitCode {
         }
     }
 
-    let what = if files.is_empty() {
-        "built-in datagen domains".to_string()
+    if let Some(diagnostics) = &tally.collected {
+        let doc = obj(vec![
+            (
+                "diagnostics",
+                Value::Seq(diagnostics.iter().map(diagnostic_json).collect()),
+            ),
+            ("errors", Value::Int(tally.errors as i64)),
+            ("warnings", Value::Int(tally.warnings as i64)),
+        ]);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("Value serialization cannot fail")
+        );
     } else {
-        format!(
-            "{} file{}",
-            files.len(),
-            if files.len() == 1 { "" } else { "s" }
-        )
-    };
-    println!(
-        "lsd-lint: checked {what}: {} error(s), {} warning(s)",
-        tally.errors, tally.warnings
-    );
+        let what = if files.is_empty() {
+            "built-in datagen domains".to_string()
+        } else {
+            format!(
+                "{} file{}",
+                files.len(),
+                if files.len() == 1 { "" } else { "s" }
+            )
+        };
+        println!(
+            "lsd-lint: checked {what}: {} error(s), {} warning(s)",
+            tally.errors, tally.warnings
+        );
+    }
     if tally.errors > 0 {
         ExitCode::FAILURE
     } else {

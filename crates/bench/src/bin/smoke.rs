@@ -1,14 +1,24 @@
 //! CI smoke pass: one tiny instrumented train + `match_batch` over a single
-//! generated domain, writing `metrics.json` to the current directory.
+//! generated domain, writing the full telemetry artifact set to the current
+//! directory:
 //!
-//! This is the minimal end-to-end proof that the observability layer works
-//! in a release build: the written file must contain A\* counters and
-//! per-stage span timings, which CI uploads as an artifact. Scale with
-//! `LSD_LISTINGS` / `LSD_SEED` / `LSD_THREADS` like the other binaries.
+//! - `metrics.json` — the raw train/match metric snapshots;
+//! - `trace.json` — the match run's spans as Chrome trace-event JSON
+//!   (loadable in Perfetto / `chrome://tracing`);
+//! - `events.jsonl` — the match run's metrics as JSON-Lines;
+//! - `BENCH_match.json` — the schema-versioned perf-trajectory record.
+//!
+//! Each artifact is read back and validated in-process before the binary
+//! exits, so a malformed export fails CI here rather than downstream. Scale
+//! with `LSD_LISTINGS` / `LSD_SEED` / `LSD_THREADS` like the other binaries.
 
-use lsd_bench::{accuracy_of_outcome, build_lsd, to_sources, ExperimentParams, Setup};
+use lsd_bench::{
+    accuracy_of_outcome, bench_match_json, build_lsd, to_sources, validate_bench_match,
+    ExperimentParams, Setup,
+};
 use lsd_core::TrainedSource;
 use lsd_datagen::DomainId;
+use std::time::Instant;
 
 fn main() {
     let mut params = ExperimentParams::from_env();
@@ -32,9 +42,11 @@ fn main() {
         to_sources(&domain.sources[3]),
         to_sources(&domain.sources[4]),
     ];
+    let t0 = Instant::now();
     let (outcomes, match_report) = lsd
         .match_batch_with_report(&batch, &params.exec)
         .expect("generated sources are well-formed");
+    let wall_ns = t0.elapsed().as_nanos() as u64;
 
     for (outcome, gs) in outcomes.iter().zip(&domain.sources[3..]) {
         println!(
@@ -65,10 +77,54 @@ fn main() {
         "train_report": train_report,
         "match_report": match_report,
     });
-    std::fs::write(
+    write(
         "metrics.json",
-        serde_json::to_string_pretty(&json).expect("serializable"),
-    )
-    .expect("write metrics.json");
-    println!("Wrote metrics.json");
+        &serde_json::to_string_pretty(&json).expect("serializable"),
+    );
+
+    // Chrome trace: must be well-formed JSON with one complete event per
+    // recorded span (Perfetto silently drops malformed files — validate
+    // here instead).
+    let trace = match_report.chrome_trace();
+    let parsed: serde_json::Value =
+        serde_json::from_str(&trace).expect("trace.json must be valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .expect("trace.json must carry traceEvents");
+    let serde_json::Value::Seq(events) = events else {
+        panic!("traceEvents must be an array");
+    };
+    let complete = events
+        .iter()
+        .filter(|e| {
+            e.get("ph")
+                .map(|p| p == &serde_json::Value::Str("X".into()))
+                == Some(true)
+        })
+        .count();
+    assert_eq!(
+        complete,
+        match_report.metrics.spans.len(),
+        "one complete event per span"
+    );
+    write("trace.json", &trace);
+
+    // JSONL events: every line must parse back.
+    let jsonl = match_report.events_jsonl(4096);
+    let parsed_events = lsd_obs::export::parse_jsonl(&jsonl).expect("events.jsonl must round-trip");
+    assert!(
+        !parsed_events.is_empty(),
+        "an instrumented run must export events"
+    );
+    write("events.jsonl", &jsonl);
+
+    // Perf trajectory: schema-validate before shipping.
+    let bench = bench_match_json(&match_report, &params, wall_ns);
+    validate_bench_match(&bench).expect("BENCH_match.json must be schema-valid");
+    write("BENCH_match.json", &bench);
+}
+
+fn write(path: &str, contents: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("Wrote {path}");
 }

@@ -21,8 +21,10 @@
 //! over several trials with freshly sampled data; accuracy is the
 //! percentage of matchable source tags matched correctly, averaged.
 
+pub mod bench_report;
 pub mod runner;
 
+pub use bench_report::{bench_match_json, validate_bench_match, BENCH_MATCH_SCHEMA_VERSION};
 pub use runner::{
     accuracy_of, accuracy_of_outcome, all_splits, build_lsd, collect_split_metrics,
     constraints_for, run_matrix, to_sources, Config, ConstraintMode, DomainAccuracy,

@@ -83,6 +83,10 @@ enum HalfCompiled {
 struct HalfEntry {
     predicate: HalfCompiled,
     kind: ConstraintKind,
+    /// Human-readable rendering of the source constraint (its `Display`
+    /// form), carried through compilation so rejected candidates can be
+    /// blamed on a nameable constraint.
+    description: String,
 }
 
 /// Domain constraints compiled against a [`LabelSet`]: the read-only,
@@ -165,6 +169,7 @@ impl CompiledConstraintSet {
                 Some(HalfEntry {
                     predicate,
                     kind: c.kind,
+                    description: c.to_string(),
                 })
             })
             .collect();
@@ -332,6 +337,21 @@ enum CompiledPredicate {
 struct Compiled {
     predicate: CompiledPredicate,
     kind: ConstraintKind,
+    description: String,
+}
+
+/// One constraint's verdict on an assignment, from
+/// [`Evaluator::violations`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ConstraintViolation {
+    /// The constraint's `Display` rendering, e.g.
+    /// `"[hard] at most one tag maps to ADDRESS"`.
+    pub description: String,
+    /// True for a hard constraint (a violation makes the assignment
+    /// infeasible rather than merely costly).
+    pub hard: bool,
+    /// The raw violation magnitude (0.0 when satisfied).
+    pub violation: f64,
 }
 
 /// Reusable per-thread scratch space for [`Evaluator::evaluate`].
@@ -446,6 +466,7 @@ impl<'a> Evaluator<'a> {
                 Some(Compiled {
                     predicate,
                     kind: e.kind,
+                    description: e.description.clone(),
                 })
             })
             .collect();
@@ -549,129 +570,9 @@ impl<'a> Evaluator<'a> {
         }
         let complete = assigned == assignment.len();
         let by = &scratch.tags_by_label;
-        let other = self.ctx.labels.other();
 
         for c in &self.constraints {
-            let violation: f64 = match &c.predicate {
-                CompiledPredicate::AtMostOne { label } => {
-                    let n = by[*label].len();
-                    if n > 1 {
-                        (n - 1) as f64
-                    } else {
-                        0.0
-                    }
-                }
-                CompiledPredicate::ExactlyOne { label } => {
-                    let n = by[*label].len();
-                    if n > 1 {
-                        (n - 1) as f64
-                    } else if n == 0 && complete {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                }
-                CompiledPredicate::NestedIn { outer, inner } => {
-                    pair_count(&by[*outer], &by[*inner], |a, b| !self.nested[b][a])
-                }
-                CompiledPredicate::NotNestedIn { outer, inner } => {
-                    pair_count(&by[*outer], &by[*inner], |a, b| self.nested[b][a])
-                }
-                CompiledPredicate::Contiguous { a, b } => {
-                    let mut v = 0.0;
-                    for &ta in &by[*a] {
-                        for &tb in &by[*b] {
-                            match &self.between[ta][tb] {
-                                None => v += 1.0,
-                                Some(mid) => {
-                                    for &t in mid {
-                                        if matches!(assignment[t], Some(l) if l != other) {
-                                            v += 1.0;
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    v
-                }
-                CompiledPredicate::MutuallyExclusive { a, b } => {
-                    if !by[*a].is_empty() && !by[*b].is_empty() {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                }
-                CompiledPredicate::IsKey { label } => by[*label]
-                    .iter()
-                    .filter(|&&t| self.has_duplicates[t])
-                    .count() as f64,
-                CompiledPredicate::FunctionalDependency {
-                    determinants,
-                    dependent,
-                } => {
-                    let dets: Option<Vec<usize>> = determinants
-                        .iter()
-                        .map(|&d| by[d].first().copied())
-                        .collect();
-                    match (dets, by[*dependent].first().copied()) {
-                        (Some(dets), Some(dep)) => {
-                            let key = (dets.clone(), dep);
-                            let mut cache = self.fd_cache.borrow_mut();
-                            let refuted = *cache.entry(key).or_insert_with(|| {
-                                let det_names: Vec<&str> =
-                                    dets.iter().map(|&t| self.ctx.tags[t].as_str()).collect();
-                                self.ctx.data.fd_refuted(&det_names, &self.ctx.tags[dep])
-                            });
-                            if refuted {
-                                1.0
-                            } else {
-                                0.0
-                            }
-                        }
-                        _ => 0.0,
-                    }
-                }
-                CompiledPredicate::AtMostK { label, k } => {
-                    let n = by[*label].len();
-                    if n > *k {
-                        (n - k) as f64
-                    } else {
-                        0.0
-                    }
-                }
-                CompiledPredicate::Proximity { a, b } => {
-                    let mut v = 0.0;
-                    for &ta in &by[*a] {
-                        for &tb in &by[*b] {
-                            v += self.tree_dist[ta][tb].saturating_sub(2) as f64;
-                        }
-                    }
-                    v
-                }
-                CompiledPredicate::IsNumeric { label } => by[*label]
-                    .iter()
-                    .filter(|&&t| self.numeric_fraction[t].is_some_and(|f| f < 0.5))
-                    .count() as f64,
-                CompiledPredicate::IsTextual { label } => by[*label]
-                    .iter()
-                    .filter(|&&t| self.numeric_fraction[t].is_some_and(|f| f > 0.5))
-                    .count() as f64,
-                CompiledPredicate::TagIs { tag, label } => {
-                    if matches!(assignment[*tag], Some(l) if l != *label) {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                }
-                CompiledPredicate::TagIsNot { tag, label } => {
-                    if assignment[*tag] == Some(*label) {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                }
-            };
+            let violation = self.violation_of(c, assignment, by, complete);
             if violation <= 0.0 {
                 continue;
             }
@@ -682,6 +583,169 @@ impl<'a> Evaluator<'a> {
             }
         }
         cost
+    }
+
+    /// Per-constraint verdicts for a *complete* assignment, in compiled
+    /// order — the blame report behind "why was this candidate rejected".
+    /// Unlike [`Evaluator::evaluate`], which returns at the first hard
+    /// violation, this scores every constraint.
+    pub fn violations(
+        &self,
+        assignment: &[Option<usize>],
+        scratch: &mut Scratch,
+    ) -> Vec<ConstraintViolation> {
+        for v in &mut scratch.tags_by_label {
+            v.clear();
+        }
+        let mut assigned = 0usize;
+        for (t, a) in assignment.iter().enumerate() {
+            if let Some(l) = a {
+                scratch.tags_by_label[*l].push(t);
+                assigned += 1;
+            }
+        }
+        let complete = assigned == assignment.len();
+        let by = &scratch.tags_by_label;
+        self.constraints
+            .iter()
+            .map(|c| ConstraintViolation {
+                description: c.description.clone(),
+                hard: matches!(c.kind, ConstraintKind::Hard),
+                violation: self.violation_of(c, assignment, by, complete),
+            })
+            .collect()
+    }
+
+    /// The raw violation magnitude of one compiled constraint.
+    #[inline]
+    fn violation_of(
+        &self,
+        c: &Compiled,
+        assignment: &[Option<usize>],
+        by: &[Vec<usize>],
+        complete: bool,
+    ) -> f64 {
+        let other = self.ctx.labels.other();
+        match &c.predicate {
+            CompiledPredicate::AtMostOne { label } => {
+                let n = by[*label].len();
+                if n > 1 {
+                    (n - 1) as f64
+                } else {
+                    0.0
+                }
+            }
+            CompiledPredicate::ExactlyOne { label } => {
+                let n = by[*label].len();
+                if n > 1 {
+                    (n - 1) as f64
+                } else if n == 0 && complete {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            CompiledPredicate::NestedIn { outer, inner } => {
+                pair_count(&by[*outer], &by[*inner], |a, b| !self.nested[b][a])
+            }
+            CompiledPredicate::NotNestedIn { outer, inner } => {
+                pair_count(&by[*outer], &by[*inner], |a, b| self.nested[b][a])
+            }
+            CompiledPredicate::Contiguous { a, b } => {
+                let mut v = 0.0;
+                for &ta in &by[*a] {
+                    for &tb in &by[*b] {
+                        match &self.between[ta][tb] {
+                            None => v += 1.0,
+                            Some(mid) => {
+                                for &t in mid {
+                                    if matches!(assignment[t], Some(l) if l != other) {
+                                        v += 1.0;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                v
+            }
+            CompiledPredicate::MutuallyExclusive { a, b } => {
+                if !by[*a].is_empty() && !by[*b].is_empty() {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            CompiledPredicate::IsKey { label } => by[*label]
+                .iter()
+                .filter(|&&t| self.has_duplicates[t])
+                .count() as f64,
+            CompiledPredicate::FunctionalDependency {
+                determinants,
+                dependent,
+            } => {
+                let dets: Option<Vec<usize>> = determinants
+                    .iter()
+                    .map(|&d| by[d].first().copied())
+                    .collect();
+                match (dets, by[*dependent].first().copied()) {
+                    (Some(dets), Some(dep)) => {
+                        let key = (dets.clone(), dep);
+                        let mut cache = self.fd_cache.borrow_mut();
+                        let refuted = *cache.entry(key).or_insert_with(|| {
+                            let det_names: Vec<&str> =
+                                dets.iter().map(|&t| self.ctx.tags[t].as_str()).collect();
+                            self.ctx.data.fd_refuted(&det_names, &self.ctx.tags[dep])
+                        });
+                        if refuted {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    _ => 0.0,
+                }
+            }
+            CompiledPredicate::AtMostK { label, k } => {
+                let n = by[*label].len();
+                if n > *k {
+                    (n - k) as f64
+                } else {
+                    0.0
+                }
+            }
+            CompiledPredicate::Proximity { a, b } => {
+                let mut v = 0.0;
+                for &ta in &by[*a] {
+                    for &tb in &by[*b] {
+                        v += self.tree_dist[ta][tb].saturating_sub(2) as f64;
+                    }
+                }
+                v
+            }
+            CompiledPredicate::IsNumeric { label } => by[*label]
+                .iter()
+                .filter(|&&t| self.numeric_fraction[t].is_some_and(|f| f < 0.5))
+                .count() as f64,
+            CompiledPredicate::IsTextual { label } => by[*label]
+                .iter()
+                .filter(|&&t| self.numeric_fraction[t].is_some_and(|f| f > 0.5))
+                .count() as f64,
+            CompiledPredicate::TagIs { tag, label } => {
+                if matches!(assignment[*tag], Some(l) if l != *label) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            CompiledPredicate::TagIsNot { tag, label } => {
+                if assignment[*tag] == Some(*label) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
     }
 }
 

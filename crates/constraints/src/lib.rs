@@ -31,12 +31,12 @@ mod handler;
 mod search;
 mod source_data;
 
-pub use compiled::{CompiledConstraintSet, Evaluator, Scratch};
+pub use compiled::{CompiledConstraintSet, ConstraintViolation, Evaluator, Scratch};
 pub use constraint::{ConstraintKind, DomainConstraint, Predicate};
 pub use evaluate::{evaluate_partial, MatchingContext, INFEASIBLE};
 pub use handler::ConstraintHandler;
 pub use search::{
     search_mapping, search_mapping_compiled, MappingResult, SearchAlgorithm, SearchConfig,
-    SearchStats,
+    SearchEvents, SearchStats,
 };
 pub use source_data::SourceData;

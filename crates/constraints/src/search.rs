@@ -88,6 +88,90 @@ pub struct SearchStats {
     pub optimal: bool,
 }
 
+/// Per-`(tag, label)` event counters from one search run, the provenance
+/// behind [`SearchStats`]' totals: how often each pairing entered the
+/// frontier and how often (and why) it was pruned. Flat-indexed
+/// `tag * num_labels + label`; all-zero when no search ran (a mandatory
+/// label with no candidate tag dooms the search before it starts). When
+/// the search ran but failed and the handler fell back to argmax, the
+/// counters keep the failed run's prune history.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchEvents {
+    /// Label-space width (row stride of the flattened tables).
+    pub num_labels: usize,
+    /// `generated[t * num_labels + l]` — times assigning label `l` to tag
+    /// `t` produced a frontier node.
+    pub generated: Vec<u64>,
+    /// Times the pairing was pruned for missing a mandatory-label deadline.
+    pub pruned_deadline: Vec<u64>,
+    /// Times the pairing was pruned as hard-constraint infeasible.
+    pub pruned_infeasible: Vec<u64>,
+}
+
+impl SearchEvents {
+    /// All-zero tables for `tags` tags over `labels` labels.
+    pub fn new(tags: usize, labels: usize) -> SearchEvents {
+        SearchEvents {
+            num_labels: labels,
+            generated: vec![0; tags * labels],
+            pruned_deadline: vec![0; tags * labels],
+            pruned_infeasible: vec![0; tags * labels],
+        }
+    }
+
+    fn idx(&self, tag: usize, label: usize) -> usize {
+        tag * self.num_labels + label
+    }
+
+    /// Frontier-node count for a `(tag, label)` pairing (0 out of range).
+    pub fn generated_for(&self, tag: usize, label: usize) -> u64 {
+        self.generated
+            .get(self.idx(tag, label))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Deadline-prune count for a `(tag, label)` pairing (0 out of range).
+    pub fn pruned_deadline_for(&self, tag: usize, label: usize) -> u64 {
+        self.pruned_deadline
+            .get(self.idx(tag, label))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Infeasibility-prune count for a `(tag, label)` pairing (0 out of
+    /// range).
+    pub fn pruned_infeasible_for(&self, tag: usize, label: usize) -> u64 {
+        self.pruned_infeasible
+            .get(self.idx(tag, label))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// True when no search ran (the argmax fallback) or nothing happened.
+    pub fn is_empty(&self) -> bool {
+        self.generated.is_empty()
+            || (self.generated.iter().all(|&n| n == 0)
+                && self.pruned_deadline.iter().all(|&n| n == 0)
+                && self.pruned_infeasible.iter().all(|&n| n == 0))
+    }
+
+    fn record_generated(&mut self, tag: usize, label: usize) {
+        let i = self.idx(tag, label);
+        self.generated[i] += 1;
+    }
+
+    fn record_pruned_deadline(&mut self, tag: usize, label: usize) {
+        let i = self.idx(tag, label);
+        self.pruned_deadline[i] += 1;
+    }
+
+    fn record_pruned_infeasible(&mut self, tag: usize, label: usize) {
+        let i = self.idx(tag, label);
+        self.pruned_infeasible[i] += 1;
+    }
+}
+
 /// The mapping the search produced.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MappingResult {
@@ -101,6 +185,10 @@ pub struct MappingResult {
     pub feasible: bool,
     /// Search counters.
     pub stats: SearchStats,
+    /// Per-`(tag, label)` provenance counters (empty in serialized results
+    /// from older versions).
+    #[serde(default)]
+    pub events: SearchEvents,
 }
 
 /// One A\*/beam node: a prefix assignment in `order`.
@@ -208,6 +296,7 @@ pub fn search_mapping_compiled(
     let evaluator = Evaluator::with_compiled(ctx, set);
     let deadlines = Deadlines::new(&set.mandatory_labels(), candidates, order);
     let mut scratch = evaluator.scratch();
+    let mut events = SearchEvents::new(ctx.tags.len(), ctx.labels.len());
     let result = if deadlines.unplaceable {
         None
     } else {
@@ -221,6 +310,7 @@ pub fn search_mapping_compiled(
                 order,
                 max_expansions,
                 config.heuristic_weight,
+                &mut events,
             ),
             SearchAlgorithm::Beam { width } => beam(
                 ctx,
@@ -230,14 +320,22 @@ pub fn search_mapping_compiled(
                 candidates,
                 order,
                 width,
+                &mut events,
             ),
-            SearchAlgorithm::Greedy => {
-                greedy(ctx, &evaluator, &deadlines, &mut scratch, candidates, order)
-            }
+            SearchAlgorithm::Greedy => greedy(
+                ctx,
+                &evaluator,
+                &deadlines,
+                &mut scratch,
+                candidates,
+                order,
+                &mut events,
+            ),
         }
     };
-    let result =
+    let mut result =
         result.unwrap_or_else(|| fallback_argmax(ctx, &evaluator, &mut scratch, candidates));
+    result.events = events;
     // One flush per search call: counters were accumulated in the local
     // `SearchStats` / evaluator cell, so the hot loop never touches the
     // metrics registry.
@@ -272,6 +370,7 @@ fn astar(
     order: &[usize],
     max_expansions: usize,
     heuristic_weight: f64,
+    events: &mut SearchEvents,
 ) -> Option<MappingResult> {
     let q = ctx.tags.len();
     let mut stats = SearchStats {
@@ -299,13 +398,14 @@ fn astar(
                 cost: node.g,
                 feasible: true,
                 stats,
+                events: SearchEvents::default(),
             });
         }
         if stats.expansions >= max_expansions {
             // Budget exhausted: greedily complete this (lowest-f) node.
             stats.optimal = false;
             return complete_greedily(
-                evaluator, deadlines, scratch, candidates, order, node, stats,
+                evaluator, deadlines, scratch, candidates, order, node, stats, events,
             );
         }
         stats.expansions += 1;
@@ -315,14 +415,17 @@ fn astar(
             assignment[tag] = Some(label);
             if !deadlines.satisfied(node.depth, &assignment) {
                 stats.pruned += 1;
+                events.record_pruned_deadline(tag, label);
                 continue;
             }
             let g = evaluator.evaluate(&assignment, scratch);
             if g == INFEASIBLE {
                 stats.pruned += 1;
+                events.record_pruned_infeasible(tag, label);
                 continue;
             }
             stats.generated += 1;
+            events.record_generated(tag, label);
             let f = g + heuristic_weight * heuristic(evaluator, order, node.depth + 1);
             open.push(Node {
                 assignment,
@@ -345,6 +448,7 @@ fn complete_greedily(
     order: &[usize],
     node: Node,
     mut stats: SearchStats,
+    events: &mut SearchEvents,
 ) -> Option<MappingResult> {
     let mut assignment = node.assignment;
     for (pos, &tag) in order.iter().enumerate().skip(node.depth) {
@@ -353,14 +457,17 @@ fn complete_greedily(
             assignment[tag] = Some(label);
             if !deadlines.satisfied(pos, &assignment) {
                 stats.pruned += 1;
+                events.record_pruned_deadline(tag, label);
                 continue;
             }
             let g = evaluator.evaluate(&assignment, scratch);
             if g == INFEASIBLE {
                 stats.pruned += 1;
+                events.record_pruned_infeasible(tag, label);
                 continue;
             }
             stats.generated += 1;
+            events.record_generated(tag, label);
             if g < best.map_or(INFEASIBLE, |(_, c)| c) {
                 best = Some((label, g));
             }
@@ -382,9 +489,11 @@ fn complete_greedily(
         cost,
         feasible: true,
         stats,
+        events: SearchEvents::default(),
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn beam(
     ctx: &MatchingContext<'_>,
     evaluator: &Evaluator<'_>,
@@ -393,6 +502,7 @@ fn beam(
     candidates: &[Vec<usize>],
     order: &[usize],
     width: usize,
+    events: &mut SearchEvents,
 ) -> Option<MappingResult> {
     let width = width.max(1);
     let q = ctx.tags.len();
@@ -412,14 +522,17 @@ fn beam(
                 assignment[tag] = Some(label);
                 if !deadlines.satisfied(pos, &assignment) {
                     stats.pruned += 1;
+                    events.record_pruned_deadline(tag, label);
                     continue;
                 }
                 let g = evaluator.evaluate(&assignment, scratch);
                 if g == INFEASIBLE {
                     stats.pruned += 1;
+                    events.record_pruned_infeasible(tag, label);
                     continue;
                 }
                 stats.generated += 1;
+                events.record_generated(tag, label);
                 next.push(Node {
                     assignment,
                     depth: node.depth + 1,
@@ -447,6 +560,7 @@ fn beam(
         cost: best.g,
         feasible: true,
         stats,
+        events: SearchEvents::default(),
     })
 }
 
@@ -457,6 +571,7 @@ fn greedy(
     scratch: &mut Scratch,
     candidates: &[Vec<usize>],
     order: &[usize],
+    events: &mut SearchEvents,
 ) -> Option<MappingResult> {
     let stats = SearchStats::default();
     let node = Node {
@@ -466,7 +581,7 @@ fn greedy(
         f: 0.0,
     };
     complete_greedily(
-        evaluator, deadlines, scratch, candidates, order, node, stats,
+        evaluator, deadlines, scratch, candidates, order, node, stats, events,
     )
 }
 
@@ -503,6 +618,7 @@ fn fallback_argmax(
         cost,
         feasible: false,
         stats: SearchStats::default(),
+        events: SearchEvents::default(),
     }
 }
 
@@ -713,6 +829,67 @@ mod tests {
         let beam = run(&f, &cs, SearchAlgorithm::Beam { width: 1 });
         let greedy = run(&f, &cs, SearchAlgorithm::Greedy);
         assert_eq!(beam.assignment, greedy.assignment);
+    }
+
+    #[test]
+    fn events_attribute_prunes_to_tag_label_pairs() {
+        let f = Fixture::new();
+        let cs = [DomainConstraint::hard(Predicate::AtMostOne {
+            label: "ADDRESS".into(),
+        })];
+        let r = run(
+            &f,
+            &cs,
+            SearchAlgorithm::AStar {
+                max_expansions: 10_000,
+            },
+        );
+        assert!(r.feasible);
+        let ev = &r.events;
+        assert_eq!(ev.num_labels, f.labels.len());
+        // Totals agree with the aggregate stats.
+        assert_eq!(
+            ev.generated.iter().sum::<u64>(),
+            r.stats.generated as u64,
+            "generated totals"
+        );
+        assert_eq!(
+            ev.pruned_deadline.iter().sum::<u64>() + ev.pruned_infeasible.iter().sum::<u64>(),
+            r.stats.pruned as u64,
+            "pruned totals"
+        );
+        // The AtMostOne(ADDRESS) constraint fires when `extra` (tag 2)
+        // tries ADDRESS (label 0) after `area` took it.
+        assert!(ev.pruned_infeasible_for(2, 0) > 0, "{ev:?}");
+        // The winning pairings generated frontier nodes.
+        assert!(ev.generated_for(0, 0) > 0);
+        assert!(ev.generated_for(1, 1) > 0);
+    }
+
+    #[test]
+    fn fallback_leaves_failed_search_events() {
+        let f = Fixture::new();
+        let cs = [
+            DomainConstraint::hard(Predicate::TagIs {
+                tag: "area".into(),
+                label: "PRICE".into(),
+            }),
+            DomainConstraint::hard(Predicate::TagIsNot {
+                tag: "area".into(),
+                label: "PRICE".into(),
+            }),
+        ];
+        let r = run(
+            &f,
+            &cs,
+            SearchAlgorithm::AStar {
+                max_expansions: 10_000,
+            },
+        );
+        assert!(!r.feasible);
+        // Dimensions are still right even though the search failed.
+        assert_eq!(r.events.num_labels, f.labels.len());
+        assert_eq!(r.events.generated.len(), 3 * f.labels.len());
     }
 
     #[test]

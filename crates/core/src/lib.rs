@@ -31,6 +31,7 @@
 pub mod converter;
 mod counties;
 mod error;
+pub mod explain;
 pub mod feedback;
 pub mod hierarchy;
 mod instance;
@@ -42,6 +43,9 @@ mod system;
 
 pub use converter::{convert_column, convert_column_with, CombinationRule};
 pub use error::LsdError;
+pub use explain::{
+    CandidateExplanation, Explanation, LearnerContribution, RejectionReason, TagLabelSearch,
+};
 pub use hierarchy::{most_specific_unambiguous, PartialMatch};
 pub use instance::{build_source_data, extract_instances, Instance};
 pub use meta::MetaLearner;

@@ -105,6 +105,13 @@ impl MetaLearner {
         self.weights[label][learner]
     }
 
+    /// The full `weights[label][learner]` matrix — the provenance behind
+    /// every combined score ([`crate::MatchOutcome::explain`] snapshots it
+    /// so explanations survive after the system itself is gone).
+    pub fn weight_matrix(&self) -> &[Vec<f64>] {
+        &self.weights
+    }
+
     /// Combines one prediction per base learner into a single prediction:
     /// per-label weighted sum, negative sums clamped to zero, normalized.
     pub fn combine(&self, predictions: &[Prediction]) -> Prediction {

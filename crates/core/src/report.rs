@@ -39,6 +39,20 @@ impl TrainReport {
             .map(|(name, h)| (name, h.sum))
             .collect()
     }
+
+    /// The run's spans as a Chrome trace-event JSON document (load it in
+    /// Perfetto / `chrome://tracing`). See [`lsd_obs::export::chrome_trace`].
+    pub fn chrome_trace(&self) -> String {
+        lsd_obs::export::chrome_trace(&self.metrics)
+    }
+
+    /// The run's metrics and spans as JSON-Lines, newest-first-capped by a
+    /// ring buffer of `capacity` events. See [`lsd_obs::export::EventSink`].
+    pub fn events_jsonl(&self, capacity: usize) -> String {
+        let mut sink = lsd_obs::export::EventSink::with_capacity(capacity);
+        sink.record_snapshot(&self.metrics);
+        sink.to_jsonl()
+    }
 }
 
 /// Everything one match run (single source or batch) recorded: A\* search
@@ -86,5 +100,19 @@ impl MatchReport {
     /// `(learner name, calls)` — how often each base learner predicted.
     pub fn predict_calls(&self) -> Vec<(&str, u64)> {
         self.metrics.counters_labelled("learner.predict_calls")
+    }
+
+    /// The run's spans as a Chrome trace-event JSON document (load it in
+    /// Perfetto / `chrome://tracing`). See [`lsd_obs::export::chrome_trace`].
+    pub fn chrome_trace(&self) -> String {
+        lsd_obs::export::chrome_trace(&self.metrics)
+    }
+
+    /// The run's metrics and spans as JSON-Lines, newest-first-capped by a
+    /// ring buffer of `capacity` events. See [`lsd_obs::export::EventSink`].
+    pub fn events_jsonl(&self, capacity: usize) -> String {
+        let mut sink = lsd_obs::export::EventSink::with_capacity(capacity);
+        sink.record_snapshot(&self.metrics);
+        sink.to_jsonl()
     }
 }

@@ -21,14 +21,15 @@
 
 use crate::converter::{convert_column_with, CombinationRule};
 use crate::error::LsdError;
+use crate::explain::RejectionReason;
 use crate::instance::{build_source_data, extract_instances, Instance};
 use crate::learners::{BaseLearner, XmlLearner};
 use crate::meta::MetaLearner;
 use crate::report::{MatchReport, TrainReport};
 use lsd_analysis::Diagnostic;
 use lsd_constraints::{
-    CompiledConstraintSet, ConstraintHandler, DomainConstraint, MappingResult, MatchingContext,
-    SearchConfig,
+    CompiledConstraintSet, ConstraintHandler, DomainConstraint, Evaluator, MappingResult,
+    MatchingContext, SearchConfig, INFEASIBLE,
 };
 use lsd_learn::{
     cross_validation_predictions_grouped_with, parallel_map, ExecPolicy, LabelSet, Prediction,
@@ -252,6 +253,9 @@ pub struct LabelCandidate {
     /// Per-learner tag-level scores for this label, parallel to
     /// [`MatchOutcome::learner_names`].
     pub per_learner: Vec<f64>,
+    /// The label's id in the label set (the provenance plumbing behind
+    /// [`MatchOutcome::explain`]).
+    pub(crate) label_id: usize,
 }
 
 /// The outcome of matching one source.
@@ -278,6 +282,13 @@ pub struct MatchOutcome {
     pub(crate) candidates: Vec<Vec<LabelCandidate>>,
     /// Instances examined per tag, parallel to `tags`.
     pub(crate) instances_examined: Vec<usize>,
+    /// The meta-learner's `weights[label][learner]` matrix at match time
+    /// (snapshotted so explanations outlive the system).
+    pub(crate) meta_weights: Vec<Vec<f64>>,
+    /// `rejections[t][rank]` — why candidate `rank` of tag `t` lost,
+    /// parallel to `candidates`. `None` for the chosen label, candidates
+    /// ranked below it, and throughout infeasible mappings.
+    pub(crate) rejections: Vec<Vec<Option<RejectionReason>>>,
 }
 
 impl MatchOutcome {
@@ -808,18 +819,19 @@ impl Lsd {
             }
         }
 
-        // Constraint handling.
+        // Constraint handling. The context outlives the search so the
+        // provenance pass below can re-evaluate candidate swaps against it.
+        let data = build_source_data(tags.iter().map(String::as_str), &source.listings);
+        let ctx = MatchingContext {
+            labels: &self.labels,
+            schema: &schema,
+            tags: tags.clone(),
+            predictions: tag_predictions.clone(),
+            data: &data,
+            alpha: self.config.alpha,
+        };
         let result = {
             let _search = lsd_obs::span!("match.constraints");
-            let data = build_source_data(tags.iter().map(String::as_str), &source.listings);
-            let ctx = MatchingContext {
-                labels: &self.labels,
-                schema: &schema,
-                tags: tags.clone(),
-                predictions: tag_predictions.clone(),
-                data: &data,
-                alpha: self.config.alpha,
-            };
             self.handler
                 .find_mapping_precompiled(&ctx, domain, feedback)
         };
@@ -844,10 +856,25 @@ impl Lsd {
                         label: self.labels.name(l).to_string(),
                         score: pred.score(l),
                         per_learner: per_learner[ti].iter().map(|v| v.score(l)).collect(),
+                        label_id: l,
                     })
                     .collect()
             })
             .collect();
+        // Decision provenance: classify why every candidate that outranked
+        // the chosen label lost, against the same effective constraint set
+        // the search used.
+        let rejections = {
+            let _span = lsd_obs::span!("match.provenance");
+            let extended;
+            let set = if feedback.is_empty() {
+                domain
+            } else {
+                extended = domain.with_extra(&self.labels, feedback);
+                &extended
+            };
+            compute_rejections(&ctx, set, &result, &candidates)
+        };
         Ok(MatchOutcome {
             tags,
             predictions: tag_predictions,
@@ -858,6 +885,8 @@ impl Lsd {
             per_learner,
             candidates,
             instances_examined,
+            meta_weights: self.meta.weight_matrix().to_vec(),
+            rejections,
         })
     }
 
@@ -892,6 +921,93 @@ impl Lsd {
             })
             .collect())
     }
+}
+
+/// Classifies, per tag, why each candidate ranked above the chosen label
+/// lost: swap the candidate into the final assignment (everything else
+/// fixed), re-evaluate, and read off the verdict — hard-constraint
+/// violations, a cost increase, or an early-stopped search (see
+/// [`RejectionReason`]). When the search itself fell back to an infeasible
+/// assignment, a candidate is blamed only for the hard violations it would
+/// *introduce* on top of the base assignment's own.
+fn compute_rejections(
+    ctx: &MatchingContext<'_>,
+    set: &CompiledConstraintSet,
+    result: &MappingResult,
+    candidates: &[Vec<LabelCandidate>],
+) -> Vec<Vec<Option<RejectionReason>>> {
+    let eval = Evaluator::with_compiled(ctx, set);
+    let mut scratch = eval.scratch();
+    let mut assignment: Vec<Option<usize>> = result.assignment.iter().map(|&l| Some(l)).collect();
+    let base_cost = eval.evaluate(&assignment, &mut scratch);
+    // Hard violations the final assignment already carries (empty when the
+    // mapping is feasible). A candidate is blamed only for violations it
+    // *introduces* beyond these, so explanations stay meaningful even when
+    // the search fell back to an infeasible assignment.
+    let base_violations: Vec<String> = eval
+        .violations(&assignment, &mut scratch)
+        .into_iter()
+        .filter(|v| v.hard && v.violation > 0.0)
+        .map(|v| v.description)
+        .collect();
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(ti, cands)| {
+            let chosen = result.assignment[ti];
+            let chosen_rank = cands.iter().position(|c| c.label_id == chosen);
+            cands
+                .iter()
+                .enumerate()
+                .map(|(rank, cand)| {
+                    // Only candidates strictly above the chosen label need
+                    // explaining — lower-ranked ones lost on score alone.
+                    match chosen_rank {
+                        Some(cr) if rank < cr => {}
+                        _ => return None,
+                    }
+                    assignment[ti] = Some(cand.label_id);
+                    let cost = eval.evaluate(&assignment, &mut scratch);
+                    let introduced: Vec<String> = if cost >= INFEASIBLE {
+                        let mut budget = base_violations.clone();
+                        eval.violations(&assignment, &mut scratch)
+                            .into_iter()
+                            .filter(|v| v.hard && v.violation > 0.0)
+                            .map(|v| v.description)
+                            .filter(|d| {
+                                // Multiset subtraction: keep only violations
+                                // the base assignment does not already have.
+                                match budget.iter().position(|b| b == d) {
+                                    Some(i) => {
+                                        budget.swap_remove(i);
+                                        false
+                                    }
+                                    None => true,
+                                }
+                            })
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    let reason = if !introduced.is_empty() {
+                        RejectionReason::Constraint {
+                            violated: introduced,
+                        }
+                    } else if cost > base_cost {
+                        RejectionReason::CostlierMapping {
+                            delta_cost: cost - base_cost,
+                        }
+                    } else {
+                        RejectionReason::SearchIncomplete {
+                            delta_cost: cost - base_cost,
+                        }
+                    };
+                    assignment[ti] = Some(chosen);
+                    Some(reason)
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// The per-learner view of one source tag (see [`Lsd::explain_source`]).

@@ -8,8 +8,14 @@
 //!   keyed `span.<name>`, so coarse wall-time summaries survive even when
 //!   callers only look at the metric tables.
 //! * **Metrics** — [`counter_add`], [`gauge_max`] and [`record_value`] feed a
-//!   registry of counters, high-watermark gauges and `{count, sum, min, max}`
-//!   histograms keyed by `(name, label)` pairs of `&'static str`.
+//!   registry of counters, high-watermark gauges and histogram summaries
+//!   (`{count, sum, min, max}` plus log2-bucket p50/p95/p99 estimates) keyed
+//!   by `(name, label)` pairs of `&'static str`.
+//!
+//! The [`export`] module turns a collected [`MetricsSnapshot`] into files
+//! other tools can read: Chrome trace-event JSON for Perfetto /
+//! `chrome://tracing`, and a JSONL event stream behind a bounded ring
+//! buffer.
 //!
 //! Besides the pipeline's own probes (A\* search counters, per-learner
 //! train/predict timings, CV fold counts, batch-queue occupancy), the
@@ -22,9 +28,12 @@
 //!
 //! Probes write to a **thread-local shard** — no locks, no shared cache lines
 //! in the hot loop. Shards drain into a process-wide aggregate at two points:
-//! when a thread exits (the shard's TLS destructor fires, which for
-//! `std::thread::scope` workers happens before the scope returns) and when the
-//! owning thread calls [`flush`] explicitly. [`collect`] wraps a closure with
+//! when a thread exits (the shard's TLS destructor fires) and when the
+//! owning thread calls [`flush`] explicitly. Worker threads must be joined
+//! through their `JoinHandle`s (as `parallel_map` in `lsd-learn` does) or
+//! call [`flush`] before returning: `std::thread::scope`'s *implicit* wait
+//! unblocks before TLS destructors run, so data recorded by an unjoined
+//! scope worker can miss the snapshot. [`collect`] wraps a closure with
 //! the full lifecycle: bump the epoch (invalidating any stale shard contents
 //! left over from a previous collection), enable recording, run the closure,
 //! flush the calling thread, and return a [`MetricsSnapshot`] of everything
@@ -37,12 +46,14 @@
 //! allocation, no time reads. [`span!`] yields a guard wrapping `None`, whose
 //! drop is a single branch.
 
-use serde::Serialize;
-use std::cell::RefCell;
+use serde::{Serialize, Value};
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
+
+pub mod export;
 
 /// Global on/off switch. Off by default; [`collect`] turns it on for the
 /// duration of the wrapped closure.
@@ -89,8 +100,20 @@ pub struct SpanRecord {
     pub duration_ns: u64,
 }
 
-/// `{count, sum, min, max}` summary of recorded `u64` samples.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+/// Number of log2 magnitude buckets backing the quantile estimates: bucket 0
+/// holds the value 0, bucket `i >= 1` holds values in `[2^(i-1), 2^i)`.
+const LOG2_BUCKETS: usize = 65;
+
+/// `{count, sum, min, max}` summary of recorded `u64` samples, plus a log2
+/// magnitude histogram for p50/p95/p99 estimates.
+///
+/// Quantiles are estimated by locating the target rank's bucket and
+/// interpolating linearly inside it, then clamping to `[min, max]` — exact
+/// for the extremes, within a factor of two elsewhere, which is plenty for
+/// nanosecond span durations spread over many orders of magnitude.
+///
+/// Serializes as `{count, sum, min, max, mean, p50, p95, p99}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramSummary {
     /// Number of samples.
     pub count: u64,
@@ -100,6 +123,12 @@ pub struct HistogramSummary {
     pub min: u64,
     /// Largest sample.
     pub max: u64,
+    /// Sample counts per log2 magnitude bucket.
+    buckets: [u64; LOG2_BUCKETS],
+}
+
+fn log2_bucket(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
 }
 
 impl HistogramSummary {
@@ -108,6 +137,7 @@ impl HistogramSummary {
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        self.buckets[log2_bucket(v)] += 1;
     }
 
     fn merge(&mut self, other: &HistogramSummary) {
@@ -115,14 +145,20 @@ impl HistogramSummary {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        for (slot, n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot += n;
+        }
     }
 
     fn new(v: u64) -> Self {
+        let mut buckets = [0u64; LOG2_BUCKETS];
+        buckets[log2_bucket(v)] = 1;
         HistogramSummary {
             count: 1,
             sum: v,
             min: v,
             max: v,
+            buckets,
         }
     }
 
@@ -133,6 +169,78 @@ impl HistogramSummary {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimated quantile `q` in `[0, 1]` (0 when empty). `quantile(0.0)`
+    /// is `min` and `quantile(1.0)` is `max`; in between the estimate
+    /// interpolates within the target rank's log2 bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        if rank == 0 {
+            return self.min;
+        }
+        if rank == self.count - 1 {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if rank < seen + n {
+                let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                let hi = if i == 0 {
+                    0u64
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                let within = if n <= 1 {
+                    0.0
+                } else {
+                    (rank - seen) as f64 / (n - 1) as f64
+                };
+                let est = lo as f64 + within * (hi - lo) as f64;
+                return (est as u64).clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+impl Serialize for HistogramSummary {
+    fn to_value(&self) -> Value {
+        let int = |v: u64| Value::Int(v as i64);
+        Value::Map(vec![
+            ("count".to_string(), int(self.count)),
+            ("sum".to_string(), int(self.sum)),
+            ("min".to_string(), int(self.min)),
+            ("max".to_string(), int(self.max)),
+            ("mean".to_string(), Value::Float(self.mean())),
+            ("p50".to_string(), int(self.p50())),
+            ("p95".to_string(), int(self.p95())),
+            ("p99".to_string(), int(self.p99())),
+        ])
     }
 }
 
@@ -493,15 +601,69 @@ impl MetricsSnapshot {
     }
 }
 
+thread_local! {
+    /// True while this thread is inside the closure of an active
+    /// [`collect`] / [`try_collect`] call. Used to reject same-thread
+    /// nesting before touching the collection lock (which is not
+    /// reentrant — a nested lock attempt would deadlock).
+    static IN_COLLECT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Error returned by [`try_collect`] when the caller is already inside an
+/// active collection on the same thread. The nested closure is not run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NestedCollectError;
+
+impl std::fmt::Display for NestedCollectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(
+            "lsd_obs::collect called inside an active collection on the same thread; \
+             nested collections would reset the outer run's data (record into the \
+             outer collection instead, or collect from a separate thread)",
+        )
+    }
+}
+
+impl std::error::Error for NestedCollectError {}
+
+/// Restores the enabled flag and the in-collect marker even if the wrapped
+/// closure panics, so a failed collection cannot poison later ones.
+struct CollectRestore {
+    was_enabled: bool,
+}
+
+impl Drop for CollectRestore {
+    fn drop(&mut self) {
+        ENABLED.store(self.was_enabled, Ordering::SeqCst);
+        IN_COLLECT.with(|c| c.set(false));
+    }
+}
+
 /// Records everything `f` (and the threads it spawns and joins) does, and
 /// returns `f`'s result with the snapshot.
 ///
-/// Collections are serialized process-wide: concurrent `collect` calls run
-/// one after another so their data cannot interleave. Worker threads created
-/// inside `f` with `std::thread::scope` merge their shards when they exit,
-/// i.e. before `f` returns; threads that outlive `f` contribute whatever
-/// they flushed in time.
+/// Collections are serialized process-wide: concurrent `collect` calls from
+/// *different* threads run one after another so their data cannot
+/// interleave. A nested call on the *same* thread (from inside `f`) is a
+/// programming error — it would reset the outer run's tables mid-flight —
+/// and panics; use [`try_collect`] to detect that case without panicking.
+/// Worker threads created inside `f` with `std::thread::scope` merge their
+/// shards when they exit, i.e. before `f` returns; threads that outlive `f`
+/// contribute whatever they flushed in time.
 pub fn collect<R>(f: impl FnOnce() -> R) -> (R, MetricsSnapshot) {
+    match try_collect(f) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`collect`], except same-thread nesting returns
+/// `Err(`[`NestedCollectError`]`)` (without running `f`) instead of
+/// panicking.
+pub fn try_collect<R>(f: impl FnOnce() -> R) -> Result<(R, MetricsSnapshot), NestedCollectError> {
+    if IN_COLLECT.with(Cell::get) {
+        return Err(NestedCollectError);
+    }
     static COLLECT_LOCK: Mutex<()> = Mutex::new(());
     let _guard = COLLECT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     EPOCH.fetch_add(1, Ordering::SeqCst);
@@ -509,15 +671,18 @@ pub fn collect<R>(f: impl FnOnce() -> R) -> (R, MetricsSnapshot) {
         let mut agg = global().lock().unwrap_or_else(|e| e.into_inner());
         *agg = Tables::default();
     }
-    let was_enabled = ENABLED.swap(true, Ordering::SeqCst);
+    IN_COLLECT.with(|c| c.set(true));
+    let restore = CollectRestore {
+        was_enabled: ENABLED.swap(true, Ordering::SeqCst),
+    };
     let result = f();
     flush();
-    ENABLED.store(was_enabled, Ordering::SeqCst);
+    drop(restore);
     let snapshot = {
         let agg = global().lock().unwrap_or_else(|e| e.into_inner());
         MetricsSnapshot::from_tables(&agg)
     };
-    (result, snapshot)
+    Ok((result, snapshot))
 }
 
 #[cfg(test)]
@@ -533,14 +698,25 @@ mod tests {
         assert_eq!(snap.counter("ghost"), 0, "pre-collect data must not leak");
     }
 
+    /// Spawns workers in a scope and joins each handle explicitly —
+    /// `JoinHandle::join` waits for the worker's TLS destructors (where the
+    /// shard merge happens), while the scope's implicit wait does not.
+    fn scoped_join(workers: impl IntoIterator<Item = Box<dyn Fn() + Send + Sync>>) {
+        let workers: Vec<_> = workers.into_iter().collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workers.iter().map(|w| scope.spawn(w)).collect();
+            for h in handles {
+                h.join().expect("worker");
+            }
+        });
+    }
+
     #[test]
     fn counters_sum_across_scoped_threads() {
         let (_, snap) = collect(|| {
-            std::thread::scope(|scope| {
-                for _ in 0..4 {
-                    scope.spawn(|| counter_add("work.items", "", 10));
-                }
-            });
+            scoped_join((0..4).map(|_| {
+                Box::new(|| counter_add("work.items", "", 10)) as Box<dyn Fn() + Send + Sync>
+            }));
             counter_add("work.items", "", 2);
         });
         assert_eq!(snap.counter("work.items"), 42);
@@ -551,9 +727,9 @@ mod tests {
         let (_, snap) = collect(|| {
             gauge_max("cache.size", "", 5);
             gauge_max("cache.size", "", 3);
-            std::thread::scope(|scope| {
-                scope.spawn(|| gauge_max("cache.size", "", 9));
-            });
+            scoped_join([
+                Box::new(|| gauge_max("cache.size", "", 9)) as Box<dyn Fn() + Send + Sync>
+            ]);
         });
         assert_eq!(snap.gauge("cache.size"), Some(9));
     }
@@ -566,16 +742,121 @@ mod tests {
             }
         });
         let h = snap.histogram("queue.depth").expect("recorded");
-        assert_eq!(
-            *h,
-            HistogramSummary {
-                count: 3,
-                sum: 15,
-                min: 2,
-                max: 9
-            }
-        );
+        assert_eq!((h.count, h.sum, h.min, h.max), (3, 15, 2, 9));
         assert!((h.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_exact_at_the_extremes_and_sane_in_between() {
+        let (_, snap) = collect(|| {
+            for v in 1..=100u64 {
+                record_value("lat", "", v);
+            }
+        });
+        let h = snap.histogram("lat").expect("recorded");
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 100);
+        // Log2 buckets bound the estimate within a factor of two.
+        let p50 = h.p50();
+        assert!((25..=100).contains(&p50), "p50 estimate {p50}");
+        let p99 = h.p99();
+        assert!((64..=100).contains(&p99), "p99 estimate {p99}");
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+    }
+
+    #[test]
+    fn quantiles_handle_zero_and_singleton_histograms() {
+        let (_, snap) = collect(|| {
+            record_value("zeros", "", 0);
+            record_value("zeros", "", 0);
+            record_value("one", "", 42);
+        });
+        let zeros = snap.histogram("zeros").expect("recorded");
+        assert_eq!((zeros.p50(), zeros.p99()), (0, 0));
+        let one = snap.histogram("one").expect("recorded");
+        assert_eq!((one.p50(), one.p95(), one.p99()), (42, 42, 42));
+    }
+
+    #[test]
+    fn unjoined_scope_workers_can_miss_the_snapshot() {
+        // Documents the limitation the explicit-join pattern exists for:
+        // the scope's implicit wait does not cover TLS destructors, so an
+        // unjoined worker's shard may (not must) merge too late. All we can
+        // assert deterministically is that the supported pattern below works.
+        let (_, snap) = collect(|| {
+            std::thread::scope(|scope| {
+                let h = scope.spawn(|| counter_add("joined.items", "", 10));
+                h.join().expect("worker");
+            });
+        });
+        assert_eq!(snap.counter("joined.items"), 10);
+    }
+
+    #[test]
+    fn quantile_buckets_survive_cross_thread_merges() {
+        let (_, snap) = collect(|| {
+            scoped_join([[1u64, 2, 3], [1000, 2000, 3000]].map(|chunk| {
+                Box::new(move || {
+                    for v in chunk {
+                        record_value("mixed", "", v);
+                    }
+                }) as Box<dyn Fn() + Send + Sync>
+            }));
+        });
+        let h = snap.histogram("mixed").expect("recorded");
+        assert_eq!(h.count, 6, "histogram: {h:?}");
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 3000);
+        assert!(
+            h.p99() >= 1000,
+            "p99 {} must land in the slow cluster",
+            h.p99()
+        );
+    }
+
+    #[test]
+    fn histogram_serializes_with_quantile_fields() {
+        let (_, snap) = collect(|| record_value("h", "", 7));
+        let json = serde_json::to_string(snap.histogram("h").unwrap()).expect("serializable");
+        for field in ["\"count\"", "\"p50\"", "\"p95\"", "\"p99\""] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+
+    #[test]
+    fn nested_try_collect_errors_without_running_the_closure() {
+        let ((), _snap) = collect(|| {
+            let mut ran = false;
+            let nested = try_collect(|| ran = true);
+            assert_eq!(nested.unwrap_err(), NestedCollectError);
+            assert!(!ran, "nested closure must not run");
+            assert!(enabled(), "outer collection must stay live");
+        });
+        // The outer collection finished normally; a fresh one still works.
+        let (value, snap) = try_collect(|| {
+            counter_add("after", "", 1);
+            7
+        })
+        .expect("top-level collect works after a rejected nested call");
+        assert_eq!(value, 7);
+        assert_eq!(snap.counter("after"), 1);
+    }
+
+    #[test]
+    fn nested_collect_panics_with_a_clear_message() {
+        let ((), _snap) = collect(|| {
+            let err = std::panic::catch_unwind(|| collect(|| ())).unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("nested"), "panic message was: {msg}");
+        });
+    }
+
+    #[test]
+    fn collect_recovers_after_a_panicking_closure() {
+        let caught = std::panic::catch_unwind(|| collect(|| panic!("boom")));
+        assert!(caught.is_err());
+        let (_, snap) = collect(|| counter_add("recovered", "", 3));
+        assert_eq!(snap.counter("recovered"), 3);
     }
 
     #[test]

@@ -36,11 +36,12 @@ pub use lsd_xml as xml;
 
 // The batch-matching pipeline types, re-exported at the root so callers can
 // write `lsd::Lsd` / `lsd::ExecPolicy` without spelling out the crate layout.
-pub use lsd_core::{Diagnostic, DiagnosticCode, Severity};
 pub use lsd_core::{
-    ExecPolicy, LabelCandidate, Lsd, LsdBuilder, LsdConfig, LsdError, MatchOutcome, MatchReport,
-    Source, TagExplanation, TrainReport, TrainedSource,
+    CandidateExplanation, ExecPolicy, Explanation, LabelCandidate, LearnerContribution, Lsd,
+    LsdBuilder, LsdConfig, LsdError, MatchOutcome, MatchReport, RejectionReason, Source,
+    TagExplanation, TagLabelSearch, TrainReport, TrainedSource,
 };
+pub use lsd_core::{Diagnostic, DiagnosticCode, Severity};
 
 /// The crate version, for experiment logs.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -172,6 +172,77 @@ fn span_tree_is_well_formed() {
 }
 
 #[test]
+fn chrome_trace_is_well_formed_across_thread_counts() {
+    let (lsd, targets) = build_trained();
+    for threads in [1usize, 4] {
+        let (_, report) = lsd
+            .match_batch_with_report(&targets, &ExecPolicy::with_threads(threads))
+            .unwrap();
+        let trace = report.chrome_trace();
+        let parsed: serde_json::Value =
+            serde_json::from_str(&trace).unwrap_or_else(|e| panic!("trace must parse: {e}"));
+        let Some(serde_json::Value::Seq(events)) = parsed.get("traceEvents").cloned() else {
+            panic!("traceEvents must be an array");
+        };
+        // One complete ("X") event per recorded span, each with the fields
+        // Perfetto needs, plus one thread-name metadata event per thread.
+        let complete: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph")
+                    .is_some_and(|p| *p == serde_json::Value::Str("X".into()))
+            })
+            .collect();
+        assert_eq!(
+            complete.len(),
+            report.metrics.spans.len(),
+            "one X event per span at {threads} threads"
+        );
+        for event in &complete {
+            for key in ["name", "ts", "dur", "pid", "tid", "cat"] {
+                assert!(event.get(key).is_some(), "X event missing `{key}`");
+            }
+        }
+        let threads_seen: std::collections::BTreeSet<u64> =
+            report.metrics.spans.iter().map(|s| s.thread).collect();
+        let names = events
+            .iter()
+            .filter(|e| {
+                e.get("ph")
+                    .is_some_and(|p| *p == serde_json::Value::Str("M".into()))
+            })
+            .count();
+        assert_eq!(
+            names,
+            threads_seen.len(),
+            "one thread_name event per thread"
+        );
+    }
+}
+
+#[test]
+fn report_events_round_trip_through_jsonl() {
+    let (lsd, targets) = build_trained();
+    let (_, report) = lsd
+        .match_batch_with_report(&targets, &ExecPolicy::with_threads(2))
+        .unwrap();
+    let jsonl = report.events_jsonl(10_000);
+    let events = lsd::obs::export::parse_jsonl(&jsonl).expect("round-trip");
+    assert!(!events.is_empty());
+    // Every counter in the snapshot appears as an event with its value.
+    for (key, value) in &report.metrics.counters {
+        let event = events
+            .iter()
+            .find(|e| e.kind == "counter" && e.name == *key)
+            .unwrap_or_else(|| panic!("counter {key} must be exported"));
+        assert_eq!(event.value, *value);
+    }
+    // Spans appear too, with their durations.
+    let span_events = events.iter().filter(|e| e.kind == "span").count();
+    assert_eq!(span_events, report.metrics.spans.len());
+}
+
+#[test]
 fn deterministic_metrics_agree_across_thread_counts() {
     let (lsd, targets) = build_trained();
     let (outcomes1, report1) = lsd
