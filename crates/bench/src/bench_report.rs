@@ -204,6 +204,213 @@ pub fn validate_bench_match(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Version stamp written into (and demanded from) `BENCH_serve.json`.
+pub const BENCH_SERVE_SCHEMA_VERSION: i64 = 1;
+
+/// Everything the serve load driver measured, ready to render as
+/// `BENCH_serve.json`.
+#[derive(Debug, Clone, Default)]
+pub struct ServeBenchRun {
+    /// Domain slug the served model was trained on.
+    pub domain: String,
+    /// Listings per generated source.
+    pub listings: usize,
+    /// RNG seed for the generated data.
+    pub seed: u64,
+    /// Concurrent load-driver clients.
+    pub clients: usize,
+    /// Requests each client issued in the load phase.
+    pub requests_per_client: usize,
+    /// Per-request wall latencies in nanoseconds (load phase, any status).
+    pub latencies_ns: Vec<u64>,
+    /// Wall-clock time of the whole load phase.
+    pub wall_ns: u64,
+    /// `(status, count)` across all load-phase responses.
+    pub statuses: Vec<(u16, u64)>,
+    /// Batches the server processed (from `/healthz`).
+    pub batches: u64,
+    /// Jobs the server processed (sum of batch sizes).
+    pub batched_requests: u64,
+    /// Largest batch the server coalesced.
+    pub max_batch: u64,
+    /// Every 200 body was byte-identical to a direct `match_source` call.
+    pub byte_identical: bool,
+    /// Connections that failed at the transport level (must be 0).
+    pub dropped_connections: u64,
+    /// `503 queue_full` responses observed in the backpressure phase.
+    pub backpressure_503: u64,
+}
+
+/// Exact quantile of a **sorted** latency slice (nearest-rank).
+fn sorted_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Renders a load-driver run as the `BENCH_serve.json` document (schema
+/// version 1): request latency quantiles (exact, from the full sample set,
+/// unlike the log2-bucket estimates inside the server), throughput, status
+/// counts, the server's batching counters, and the pass/fail checks the
+/// acceptance criteria gate on.
+pub fn bench_serve_json(run: &ServeBenchRun) -> String {
+    let mut sorted = run.latencies_ns.clone();
+    sorted.sort_unstable();
+    let count = sorted.len() as u64;
+    let sum: u64 = sorted.iter().sum();
+    let mean = if count == 0 {
+        0.0
+    } else {
+        sum as f64 / count as f64
+    };
+
+    let statuses = Value::Map(
+        run.statuses
+            .iter()
+            .map(|(status, n)| (status.to_string(), int(*n)))
+            .collect(),
+    );
+
+    let root = obj(vec![
+        ("schema_version", Value::Int(BENCH_SERVE_SCHEMA_VERSION)),
+        (
+            "params",
+            obj(vec![
+                ("domain", Value::Str(run.domain.clone())),
+                ("listings", int(run.listings as u64)),
+                ("seed", int(run.seed)),
+                ("clients", int(run.clients as u64)),
+                ("requests_per_client", int(run.requests_per_client as u64)),
+            ]),
+        ),
+        (
+            "latency",
+            obj(vec![
+                ("count", int(count)),
+                ("mean_ns", Value::Float(mean)),
+                ("p50_ns", int(sorted_quantile(&sorted, 0.50))),
+                ("p95_ns", int(sorted_quantile(&sorted, 0.95))),
+                ("p99_ns", int(sorted_quantile(&sorted, 0.99))),
+                ("max_ns", int(sorted.last().copied().unwrap_or(0))),
+            ]),
+        ),
+        (
+            "throughput",
+            obj(vec![
+                ("requests", int(count)),
+                ("wall_ns", int(run.wall_ns)),
+                (
+                    "requests_per_sec",
+                    Value::Float(if run.wall_ns == 0 {
+                        0.0
+                    } else {
+                        count as f64 * 1e9 / run.wall_ns as f64
+                    }),
+                ),
+            ]),
+        ),
+        ("statuses", statuses),
+        (
+            "batching",
+            obj(vec![
+                ("batches", int(run.batches)),
+                ("requests", int(run.batched_requests)),
+                ("max_batch", int(run.max_batch)),
+                (
+                    "mean_batch",
+                    Value::Float(if run.batches == 0 {
+                        0.0
+                    } else {
+                        run.batched_requests as f64 / run.batches as f64
+                    }),
+                ),
+            ]),
+        ),
+        (
+            "checks",
+            obj(vec![
+                ("byte_identical", Value::Bool(run.byte_identical)),
+                ("dropped_connections", int(run.dropped_connections)),
+                ("backpressure_503", int(run.backpressure_503)),
+            ]),
+        ),
+    ]);
+    serde_json::to_string_pretty(&root).expect("Value serialization cannot fail")
+}
+
+/// Checks a `BENCH_serve.json` document against schema version 1. Returns
+/// the first problem found, phrased with its JSON path.
+pub fn validate_bench_serve(text: &str) -> Result<(), String> {
+    let root: Value = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    match require(&root, "schema_version", "$")? {
+        Value::Int(v) if *v == BENCH_SERVE_SCHEMA_VERSION => {}
+        other => {
+            return Err(format!(
+                "$.schema_version: expected {BENCH_SERVE_SCHEMA_VERSION}, found {other:?}"
+            ))
+        }
+    }
+
+    let params = require(&root, "params", "$")?;
+    match require(params, "domain", "$.params")? {
+        Value::Str(_) => {}
+        other => {
+            return Err(format!(
+                "$.params.domain: expected string, found {}",
+                other.kind()
+            ))
+        }
+    }
+    for key in ["listings", "seed", "clients", "requests_per_client"] {
+        require_number(params, key, "$.params")?;
+    }
+
+    let latency = require(&root, "latency", "$")?;
+    for key in ["count", "mean_ns", "p50_ns", "p95_ns", "p99_ns", "max_ns"] {
+        require_number(latency, key, "$.latency")?;
+    }
+
+    let throughput = require(&root, "throughput", "$")?;
+    for key in ["requests", "wall_ns", "requests_per_sec"] {
+        require_number(throughput, key, "$.throughput")?;
+    }
+
+    let statuses = require(&root, "statuses", "$")?;
+    let Value::Map(status_entries) = statuses else {
+        return Err(format!(
+            "$.statuses: expected object, found {}",
+            statuses.kind()
+        ));
+    };
+    for (status, count) in status_entries {
+        if !matches!(count, Value::Int(_)) {
+            return Err(format!("$.statuses.{status}: expected integer count"));
+        }
+    }
+
+    let batching = require(&root, "batching", "$")?;
+    for key in ["batches", "requests", "max_batch", "mean_batch"] {
+        require_number(batching, key, "$.batching")?;
+    }
+
+    let checks = require(&root, "checks", "$")?;
+    match require(checks, "byte_identical", "$.checks")? {
+        Value::Bool(_) => {}
+        other => {
+            return Err(format!(
+                "$.checks.byte_identical: expected bool, found {}",
+                other.kind()
+            ))
+        }
+    }
+    for key in ["dropped_connections", "backpressure_503"] {
+        require_number(checks, key, "$.checks")?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +430,52 @@ mod tests {
         let wrong_version = r#"{"schema_version": 2}"#;
         let err = validate_bench_match(wrong_version).expect_err("version mismatch");
         assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn serve_report_round_trips_through_its_validator() {
+        let run = ServeBenchRun {
+            domain: "real-estate-1".to_string(),
+            listings: 30,
+            seed: 7,
+            clients: 64,
+            requests_per_client: 4,
+            latencies_ns: (1..=256).map(|i| i * 1_000).collect(),
+            wall_ns: 2_000_000,
+            statuses: vec![(200, 255), (503, 1)],
+            batches: 40,
+            batched_requests: 255,
+            max_batch: 8,
+            byte_identical: true,
+            dropped_connections: 0,
+            backpressure_503: 1,
+        };
+        let json = bench_serve_json(&run);
+        validate_bench_serve(&json).expect("schema-valid");
+        // Exact quantiles from the full sample set, not bucket estimates.
+        assert!(json.contains("\"max_ns\": 256000"), "{json}");
+        assert!(json.contains("\"statuses\""), "{json}");
+    }
+
+    #[test]
+    fn serve_validator_rejects_defects() {
+        let good = bench_serve_json(&ServeBenchRun::default());
+        validate_bench_serve(&good).expect("empty run is still schema-valid");
+        assert!(validate_bench_serve("{}").is_err());
+        assert!(validate_bench_serve("not json").is_err());
+        let err = validate_bench_serve(r#"{"schema_version": 99}"#).expect_err("version");
+        assert!(err.contains("schema_version"), "{err}");
+        let missing_checks = good.replace("\"checks\"", "\"cheques\"");
+        let err = validate_bench_serve(&missing_checks).expect_err("missing checks");
+        assert!(err.contains("checks"), "{err}");
+    }
+
+    #[test]
+    fn sorted_quantile_is_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(sorted_quantile(&v, 0.0), 1);
+        assert_eq!(sorted_quantile(&v, 0.5), 51);
+        assert_eq!(sorted_quantile(&v, 1.0), 100);
+        assert_eq!(sorted_quantile(&[], 0.5), 0);
     }
 }

@@ -21,8 +21,7 @@
 //!
 //! Scale with `LSD_LISTINGS` / `LSD_SEED` like the other binaries.
 
-use lsd_bench::{build_lsd, to_sources, ExperimentParams, Setup};
-use lsd_core::TrainedSource;
+use lsd_bench::{domain_slug, resolve_domain, to_sources, train_full_model, ExperimentParams};
 use lsd_datagen::DomainId;
 use std::process::ExitCode;
 
@@ -47,13 +46,11 @@ fn main() -> ExitCode {
             }
         }
     }
-    // Domains resolve by slug ("real-estate-1") or the paper's display
-    // name ("Real Estate I"), case-insensitively.
-    let Some(id) = DomainId::ALL
-        .into_iter()
-        .find(|d| slug(d.name()) == slug(&domain_name))
-    else {
-        let names: Vec<String> = DomainId::ALL.iter().map(|d| slug(d.name())).collect();
+    let Some(id) = resolve_domain(&domain_name) else {
+        let names: Vec<String> = DomainId::ALL
+            .iter()
+            .map(|d| domain_slug(d.name()))
+            .collect();
         eprintln!(
             "error: unknown domain `{domain_name}` (available: {})",
             names.join(", ")
@@ -65,17 +62,7 @@ fn main() -> ExitCode {
     if std::env::var("LSD_LISTINGS").is_err() {
         params.listings = 30; // explanation needs evidence, not statistics
     }
-    let domain = id.generate(params.listings, params.seed);
-
-    let training: Vec<TrainedSource> = (0..3)
-        .map(|i| TrainedSource {
-            source: to_sources(&domain.sources[i]),
-            mapping: domain.sources[i].mapping.clone(),
-        })
-        .collect();
-    let mut lsd = build_lsd(&domain, Setup::FULL, params.lsd);
-    lsd.train(&training)
-        .expect("generated sources have listings");
+    let (domain, lsd) = train_full_model(id, &params);
 
     let held_out = &domain.sources[3];
     let outcome = lsd
@@ -101,25 +88,4 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
-}
-
-/// `"Real Estate I"` → `"real-estate-1"`: lowercase, dash-separated, with
-/// the paper's trailing roman numeral turned into a digit.
-fn slug(name: &str) -> String {
-    let mut out = String::new();
-    for c in name.chars() {
-        if c.is_ascii_alphanumeric() {
-            out.push(c.to_ascii_lowercase());
-        } else if !out.ends_with('-') {
-            out.push('-');
-        }
-    }
-    let trimmed = out.trim_matches('-');
-    if let Some(base) = trimmed.strip_suffix("-ii") {
-        return format!("{base}-2");
-    }
-    if let Some(base) = trimmed.strip_suffix("-i") {
-        return format!("{base}-1");
-    }
-    trimmed.to_string()
 }

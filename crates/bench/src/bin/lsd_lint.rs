@@ -10,9 +10,17 @@
 //!                         origin, notes, help) plus error/warning totals
 //! ```
 //!
-//! Exits 1 if any error-severity diagnostic was produced, 0 otherwise
-//! (warnings alone do not fail the run) — so CI can gate on
-//! `lsd-lint examples/dtds/*.dtd`, with or without `--json`.
+//! Exit codes distinguish "lint found problems" from "lint failed to run":
+//!
+//! * `0` — clean (warnings alone do not fail the run);
+//! * `1` — diagnostics errors: an error-severity diagnostic was produced,
+//!   or an input file is not parseable as a DTD;
+//! * `2` — I/O or usage errors: an input file could not be read, or an
+//!   unknown flag was passed.
+//!
+//! CI gates on `lsd-lint examples/dtds/*.dtd` (with or without `--json`)
+//! and can treat `2` as an infrastructure failure rather than a lint
+//! finding.
 
 use lsd_analysis::{analyze_constraints, analyze_dtd, render_all, with_origin, Diagnostic};
 use lsd_core::LabelSet;
@@ -99,19 +107,24 @@ fn diagnostic_json(d: &Diagnostic) -> Value {
     ])
 }
 
+/// Exit code for I/O and usage failures — the lint did not run to
+/// completion, as opposed to running and finding problems (`1`).
+const EXIT_USAGE: u8 = 2;
+
 fn main() -> ExitCode {
     let mut json = false;
-    let files: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| {
-            if a == "--json" {
-                json = true;
-                false
-            } else {
-                true
-            }
-        })
-        .collect();
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else if arg.starts_with('-') {
+            eprintln!("error: unknown flag `{arg}`");
+            eprintln!("usage: lsd-lint [--json] [FILE.dtd ...]");
+            return ExitCode::from(EXIT_USAGE);
+        } else {
+            files.push(arg);
+        }
+    }
     let mut tally = Tally {
         collected: json.then(Vec::new),
         ..Tally::default()
@@ -137,15 +150,20 @@ fn main() -> ExitCode {
             let text = match std::fs::read_to_string(path) {
                 Ok(text) => text,
                 Err(e) => {
+                    // The input could not even be read: an infrastructure
+                    // failure, not a lint finding.
                     eprintln!("error: cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 }
             };
             let dtd = match lsd_xml::parse_dtd(&text) {
                 Ok(dtd) => dtd,
                 Err(e) => {
+                    // An unparseable DTD is a problem *with the linted
+                    // input* — count it like an error diagnostic (exit 1).
                     eprintln!("error: {path} is not a valid DTD: {e}");
-                    return ExitCode::FAILURE;
+                    tally.errors += 1;
+                    continue;
                 }
             };
             tally.report(analyze_dtd(&dtd), path, Some(&text));

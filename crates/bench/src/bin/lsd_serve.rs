@@ -1,0 +1,122 @@
+//! `lsd-serve` — boot the matching server on a datagen-trained snapshot.
+//!
+//! ```text
+//! lsd-serve                         serve real-estate-1 on 127.0.0.1:8080
+//! lsd-serve --domain NAME           pick a built-in datagen domain
+//! lsd-serve --addr HOST:PORT        bind address (port 0 picks a free port)
+//! lsd-serve --models-dir DIR        snapshot directory (default serve-models)
+//! ```
+//!
+//! Trains the FULL configuration on the domain's first three sources,
+//! writes the snapshot to `<models-dir>/<domain>.json`, opens a
+//! [`lsd_serve::ModelRegistry`] over the directory (so previously saved
+//! snapshots are served too, hot-swappable via `PUT /v1/models/{name}`),
+//! and runs the server until the process is killed. Scale the training data
+//! with `LSD_LISTINGS` / `LSD_SEED` like the other binaries.
+//!
+//! Try it:
+//!
+//! ```text
+//! curl -s localhost:8080/healthz
+//! curl -s localhost:8080/v1/models
+//! curl -s localhost:8080/metrics
+//! ```
+
+use lsd_bench::{domain_slug, resolve_domain, train_full_model, ExperimentParams};
+use lsd_datagen::DomainId;
+use lsd_serve::{ModelRegistry, ServeConfig, Server};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut domain_name = "real-estate-1".to_string();
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut models_dir = "serve-models".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |flag: &str| match args.next() {
+            Some(v) => Ok(v),
+            None => {
+                eprintln!("error: {flag} needs a value");
+                Err(())
+            }
+        };
+        match arg.as_str() {
+            "--domain" => match take("--domain") {
+                Ok(v) => domain_name = v,
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--addr" => match take("--addr") {
+                Ok(v) => addr = v,
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--models-dir" => match take("--models-dir") {
+                Ok(v) => models_dir = v,
+                Err(()) => return ExitCode::FAILURE,
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: lsd-serve [--domain NAME] [--addr HOST:PORT] [--models-dir DIR]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let Some(id) = resolve_domain(&domain_name) else {
+        let names: Vec<String> = DomainId::ALL
+            .iter()
+            .map(|d| domain_slug(d.name()))
+            .collect();
+        eprintln!(
+            "error: unknown domain `{domain_name}` (available: {})",
+            names.join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let slug = domain_slug(id.name());
+
+    let mut params = ExperimentParams::from_env();
+    if std::env::var("LSD_LISTINGS").is_err() {
+        params.listings = 30;
+    }
+    eprintln!(
+        "training {} (listings {}, seed {})...",
+        id.name(),
+        params.listings,
+        params.seed
+    );
+    let (_domain, lsd) = train_full_model(id, &params);
+
+    if let Err(e) = std::fs::create_dir_all(&models_dir) {
+        eprintln!("error: cannot create {models_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let snapshot = std::path::Path::new(&models_dir).join(format!("{slug}.json"));
+    if let Err(e) = lsd.save_json(&snapshot) {
+        eprintln!("error: cannot write {}: {e}", snapshot.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("snapshot written to {}", snapshot.display());
+
+    let registry = match ModelRegistry::open(&models_dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot open model registry: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = ServeConfig {
+        addr,
+        ..ServeConfig::default()
+    };
+    let server = match Server::bind(config, registry) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The load driver (and humans with curl) key off this line.
+    println!("listening on {}", server.local_addr());
+    server.run();
+    ExitCode::SUCCESS
+}

@@ -15,6 +15,8 @@
 //! | `feedback`  | Section 6.3 — corrections needed for perfect match  |
 //! | `experiments` | everything above, writing `experiment_results.json` |
 //! | `ablations` | design-choice ablations (meta weights, search, WHIRL, NB smoothing, XML tokens) |
+//! | `lsd-serve` | boots the `lsd-serve` matching server on a datagen-trained snapshot |
+//! | `serve-load` | load driver for the server; writes `BENCH_serve.json` (p50/p95/p99, throughput) |
 //!
 //! The methodology follows Section 6: per domain, all C(5,3) = 10
 //! train/test splits (train on 3 sources, test on the other 2), repeated
@@ -24,9 +26,12 @@
 pub mod bench_report;
 pub mod runner;
 
-pub use bench_report::{bench_match_json, validate_bench_match, BENCH_MATCH_SCHEMA_VERSION};
+pub use bench_report::{
+    bench_match_json, bench_serve_json, validate_bench_match, validate_bench_serve, ServeBenchRun,
+    BENCH_MATCH_SCHEMA_VERSION, BENCH_SERVE_SCHEMA_VERSION,
+};
 pub use runner::{
     accuracy_of, accuracy_of_outcome, all_splits, build_lsd, collect_split_metrics,
-    constraints_for, run_matrix, to_sources, Config, ConstraintMode, DomainAccuracy,
-    ExperimentParams, LearnerSet, Setup, SplitMetrics,
+    constraints_for, domain_slug, resolve_domain, run_matrix, to_sources, train_full_model, Config,
+    ConstraintMode, DomainAccuracy, ExperimentParams, LearnerSet, Setup, SplitMetrics,
 };

@@ -589,6 +589,53 @@ pub fn constraints_for(
     }
 }
 
+/// `"Real Estate I"` → `"real-estate-1"`: lowercase, dash-separated, with
+/// the paper's trailing roman numeral turned into a digit. Shared by every
+/// binary that takes `--domain`.
+pub fn domain_slug(name: &str) -> String {
+    let mut out = String::new();
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    let trimmed = out.trim_matches('-');
+    if let Some(base) = trimmed.strip_suffix("-ii") {
+        return format!("{base}-2");
+    }
+    if let Some(base) = trimmed.strip_suffix("-i") {
+        return format!("{base}-1");
+    }
+    trimmed.to_string()
+}
+
+/// Resolves a `--domain` argument by slug (`"real-estate-1"`) or the
+/// paper's display name (`"Real Estate I"`), case-insensitively.
+pub fn resolve_domain(name: &str) -> Option<DomainId> {
+    DomainId::ALL
+        .into_iter()
+        .find(|d| domain_slug(d.name()) == domain_slug(name))
+}
+
+/// Generates `id` and trains the FULL configuration on its first three
+/// sources — the model the serving binaries snapshot, load, and compare
+/// batched results against.
+pub fn train_full_model(id: DomainId, params: &ExperimentParams) -> (GeneratedDomain, Lsd) {
+    let domain = id.generate(params.listings, params.seed);
+    let training: Vec<TrainedSource> = (0..3)
+        .map(|i| TrainedSource {
+            source: to_sources(&domain.sources[i]),
+            mapping: domain.sources[i].mapping.clone(),
+        })
+        .collect();
+    let mut lsd = build_lsd(&domain, Setup::FULL, params.lsd);
+    lsd.train(&training)
+        .expect("generated sources have listings");
+    (domain, lsd)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -630,6 +677,18 @@ mod tests {
         let acc = accuracy_of(&lsd, &domain.sources[3]);
         // 14 labels + OTHER → chance ≈ 7%; the system must do far better.
         assert!(acc > 0.4, "accuracy {acc}");
+    }
+
+    #[test]
+    fn domain_names_resolve_by_slug_and_display_name() {
+        assert_eq!(domain_slug("Real Estate I"), "real-estate-1");
+        assert_eq!(domain_slug("Real Estate II"), "real-estate-2");
+        assert_eq!(
+            resolve_domain("Real Estate I"),
+            resolve_domain("real-estate-1")
+        );
+        assert!(resolve_domain("real-estate-1").is_some());
+        assert!(resolve_domain("no-such-domain").is_none());
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use explain::{
 pub use hierarchy::{most_specific_unambiguous, PartialMatch};
 pub use instance::{build_source_data, extract_instances, Instance};
 pub use meta::MetaLearner;
-pub use persist::{PersistError, SavedLearner, SavedModel};
+pub use persist::{PersistError, SavedLearner, SavedModel, SAVED_MODEL_VERSION};
 pub use report::{MatchReport, TrainReport};
 pub use system::{
     LabelCandidate, Lsd, LsdBuilder, LsdConfig, MatchOutcome, Source, TagExplanation, TrainedSource,

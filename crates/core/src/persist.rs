@@ -35,6 +35,15 @@ pub enum PersistError {
     Json(serde_json::Error),
     /// File I/O failed.
     Io(std::io::Error),
+    /// The snapshot's schema version is newer than this build understands.
+    /// Reported before field-level parsing so the caller sees "produced by
+    /// a newer lsd-core" instead of an arbitrary missing-field error.
+    UnsupportedVersion {
+        /// The version stamped into the snapshot.
+        found: u32,
+        /// The newest version this build can load.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -45,6 +54,11 @@ impl fmt::Display for PersistError {
             }
             PersistError::Json(e) => write!(f, "serialization failed: {e}"),
             PersistError::Io(e) => write!(f, "file I/O failed: {e}"),
+            PersistError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot has schema version {found}, but this build supports \
+                 at most version {supported}; load it with a newer lsd-core"
+            ),
         }
     }
 }
@@ -141,6 +155,31 @@ pub struct SavedModel {
 /// Current snapshot format version.
 pub const SAVED_MODEL_VERSION: u32 = 1;
 
+impl SavedModel {
+    /// Parses a snapshot from JSON text, rejecting snapshots stamped with a
+    /// schema version newer than [`SAVED_MODEL_VERSION`] *before* field
+    /// parsing — so a future format change surfaces as a descriptive
+    /// [`PersistError::UnsupportedVersion`] instead of an opaque
+    /// missing-field parse error.
+    ///
+    /// # Errors
+    /// [`PersistError::UnsupportedVersion`] for newer snapshots,
+    /// [`PersistError::Json`] for malformed JSON or field mismatches.
+    pub fn from_json_str(text: &str) -> Result<SavedModel, PersistError> {
+        let value: serde_json::Value = serde_json::from_str(text)?;
+        if let Some(serde::Value::Int(found)) = value.get("version") {
+            let found = u32::try_from(*found).unwrap_or(u32::MAX);
+            if found > SAVED_MODEL_VERSION {
+                return Err(PersistError::UnsupportedVersion {
+                    found,
+                    supported: SAVED_MODEL_VERSION,
+                });
+            }
+        }
+        SavedModel::from_value(&value).map_err(|e| PersistError::Json(e.into()))
+    }
+}
+
 impl Lsd {
     /// Snapshots the system (learners, meta weights, constraints, config).
     ///
@@ -204,10 +243,14 @@ impl Lsd {
     }
 
     /// Loads a system from a JSON snapshot at `path`.
+    ///
+    /// # Errors
+    /// [`PersistError::UnsupportedVersion`] if the snapshot was produced by
+    /// a newer build, [`PersistError::Json`] / [`PersistError::Io`] for
+    /// parse and file failures.
     pub fn load_json(path: impl AsRef<std::path::Path>) -> Result<Lsd, PersistError> {
         let text = std::fs::read_to_string(path)?;
-        let saved: SavedModel = serde_json::from_str(&text)?;
-        Ok(Lsd::from_saved(saved))
+        Ok(Lsd::from_saved(SavedModel::from_json_str(&text)?))
     }
 }
 
@@ -337,6 +380,44 @@ mod tests {
         let lsd2 = Lsd::from_saved(saved);
         assert!(lsd2.is_trained());
         assert!(lsd2.match_source(&target).is_ok());
+    }
+
+    #[test]
+    fn newer_snapshot_version_is_rejected_descriptively() {
+        let (lsd, _) = trained_system();
+        let mut saved = lsd.to_saved().expect("snapshots");
+        saved.version = 999;
+        let json = serde_json::to_string(&saved).expect("serializes");
+        match SavedModel::from_json_str(&json) {
+            Err(PersistError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, 999);
+                assert_eq!(supported, SAVED_MODEL_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        // The same guard protects the file-loading path.
+        let dir = std::env::temp_dir().join("lsd-persist-version-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("future.json");
+        std::fs::write(&path, &json).expect("writes");
+        let err = match Lsd::load_json(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("future snapshot must not load"),
+        };
+        assert!(err.to_string().contains("schema version 999"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn current_snapshot_version_loads_via_from_json_str() {
+        let (lsd, target) = trained_system();
+        let json = serde_json::to_string(&lsd.to_saved().expect("snapshots")).expect("serializes");
+        let restored = SavedModel::from_json_str(&json).expect("current version loads");
+        let lsd2 = Lsd::from_saved(restored);
+        assert_eq!(
+            lsd.match_source(&target).unwrap().labels,
+            lsd2.match_source(&target).unwrap().labels
+        );
     }
 
     #[test]

@@ -402,6 +402,25 @@ impl Lsd {
         self.trained
     }
 
+    /// Gate used before exposing this system to serving traffic (the
+    /// `lsd-serve` model registry calls this on every loaded snapshot
+    /// before activation): the system must be trained, and the
+    /// static-analysis pass over its mediated schema and constraints must
+    /// be free of error-severity diagnostics.
+    ///
+    /// # Errors
+    /// [`LsdError::NotTrained`] for an untrained system,
+    /// [`LsdError::Analysis`] with the full diagnostic list if the
+    /// analysis pass finds errors. Warnings pass.
+    pub fn ensure_servable(&self) -> Result<(), LsdError> {
+        self.ensure_trained("serve")?;
+        let diagnostics = self.analyze();
+        if lsd_analysis::has_errors(&diagnostics) {
+            return Err(LsdError::Analysis { diagnostics });
+        }
+        Ok(())
+    }
+
     /// Trains the base learners and the meta-learner on user-mapped sources
     /// (Section 3.1). Retrains from scratch on each call; to *add* a source
     /// incrementally (the paper's "reuse past matchings" loop), call again

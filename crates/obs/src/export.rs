@@ -205,6 +205,107 @@ impl EventSink {
     }
 }
 
+/// Mangles a metric key into a Prometheus-legal metric name: every
+/// character outside `[a-zA-Z0-9_:]` becomes `_` (so `serve.request_ns`
+/// exports as `serve_request_ns`).
+fn prometheus_name(key: &str) -> String {
+    key.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Splits a flattened snapshot key into `(metric name, optional label)` —
+/// `"learner.predict_ns/naive_bayes"` becomes
+/// `("learner_predict_ns", Some("naive_bayes"))`.
+fn split_key(key: &str) -> (String, Option<&str>) {
+    match key.split_once('/') {
+        Some((name, label)) => (prometheus_name(name), Some(label)),
+        None => (prometheus_name(key), None),
+    }
+}
+
+fn label_pair(label: Option<&str>, extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = Vec::new();
+    if let Some(l) = label {
+        let escaped = l.replace('\\', "\\\\").replace('"', "\\\"");
+        pairs.push(format!("label=\"{escaped}\""));
+    }
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Renders the snapshot's counters, gauges and histograms in the Prometheus
+/// text exposition format (version 0.0.4), the payload `lsd-serve` returns
+/// from `GET /metrics`.
+///
+/// * Counters and gauges become single samples; the `label` half of a
+///   `name/label` key is exported as a `label="..."` pair.
+/// * Histograms become summaries: `{quantile="0.5|0.95|0.99"}` samples from
+///   the log2-bucket estimates plus `_sum` and `_count`.
+/// * Spans are skipped — each span family is already aggregated into the
+///   `span/<name>` duration histograms.
+///
+/// Keys are mangled to legal metric names (`.`, `-`, `/` → `_`) and one
+/// `# TYPE` comment precedes each family. Output order follows the
+/// snapshot's deterministic key order.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_typed: Option<(String, &str)> = None;
+    let mut type_line = |out: &mut String, name: &str, kind: &'static str| {
+        if last_typed
+            .as_ref()
+            .is_none_or(|(n, k)| n != name || *k != kind)
+        {
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            last_typed = Some((name.to_string(), kind));
+        }
+    };
+
+    for (key, &v) in &snapshot.counters {
+        let (name, label) = split_key(key);
+        type_line(&mut out, &name, "counter");
+        out.push_str(&format!("{name}{} {v}\n", label_pair(label, None)));
+    }
+    for (key, &v) in &snapshot.gauges {
+        let (name, label) = split_key(key);
+        type_line(&mut out, &name, "gauge");
+        out.push_str(&format!("{name}{} {v}\n", label_pair(label, None)));
+    }
+    for (key, h) in &snapshot.histograms {
+        let (name, label) = split_key(key);
+        type_line(&mut out, &name, "summary");
+        for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+            out.push_str(&format!(
+                "{name}{} {v}\n",
+                label_pair(label, Some(("quantile", q)))
+            ));
+        }
+        out.push_str(&format!(
+            "{name}_sum{} {}\n",
+            label_pair(label, None),
+            h.sum
+        ));
+        out.push_str(&format!(
+            "{name}_count{} {}\n",
+            label_pair(label, None),
+            h.count
+        ));
+    }
+    out
+}
+
 /// Parses a JSONL stream produced by [`EventSink::to_jsonl`] (blank lines
 /// are skipped).
 pub fn parse_jsonl(text: &str) -> Result<Vec<ExportEvent>, serde_json::Error> {
@@ -273,6 +374,42 @@ mod tests {
         let parsed = parse_jsonl(&sink.to_jsonl()).expect("round trip");
         let original: Vec<ExportEvent> = sink.events().cloned().collect();
         assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_families() {
+        let snap = sample_snapshot();
+        let text = prometheus_text(&snap);
+        assert!(
+            text.contains("# TYPE work_items counter"),
+            "counter family typed in:\n{text}"
+        );
+        assert!(text.contains("work_items 3"), "counter sample in:\n{text}");
+        assert!(
+            text.contains("# TYPE span summary"),
+            "span histograms exported as summaries in:\n{text}"
+        );
+        assert!(
+            text.contains("span{label=\"outer\",quantile=\"0.5\"}"),
+            "quantile sample in:\n{text}"
+        );
+        assert!(
+            text.contains("span_count{label=\"outer\"} 1"),
+            "summary count in:\n{text}"
+        );
+        // Exactly one TYPE line per family even with several labels.
+        assert_eq!(
+            text.matches("# TYPE span summary").count(),
+            1,
+            "in:\n{text}"
+        );
+        // No raw span events: every line is a comment or a sample.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line: {line}"
+            );
+        }
     }
 
     #[test]

@@ -685,6 +685,25 @@ pub fn try_collect<R>(f: impl FnOnce() -> R) -> Result<(R, MetricsSnapshot), Nes
     Ok((result, snapshot))
 }
 
+/// Snapshots the global aggregate **without** resetting it — the companion
+/// to [`set_enabled`] for long-lived recording (a server scraping its own
+/// metrics periodically). The calling thread's shard is flushed first;
+/// counters, gauges and histograms stay in place and keep accumulating
+/// (cumulative, Prometheus-style), while spans are **drained** into the
+/// returned snapshot so an always-on process does not grow its span log
+/// without bound.
+///
+/// Inside a [`collect`] run prefer the snapshot `collect` returns; calling
+/// this mid-collection observes the partial aggregate (merged shards only).
+pub fn snapshot() -> MetricsSnapshot {
+    flush();
+    let mut agg = global().lock().unwrap_or_else(|e| e.into_inner());
+    let spans = std::mem::take(&mut agg.spans);
+    let mut snap = MetricsSnapshot::from_tables(&agg);
+    snap.spans = spans;
+    snap
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -896,6 +915,32 @@ mod tests {
         assert!(!enabled());
         let ((), _snap) = collect(|| assert!(enabled()));
         assert!(!enabled());
+    }
+
+    #[test]
+    fn snapshot_accumulates_counters_and_drains_spans() {
+        // Run inside `collect` so the global tables are owned by this test
+        // (collections are serialized process-wide); `snapshot` observes the
+        // partial aggregate without resetting it.
+        let ((), _outer) = collect(|| {
+            counter_add("live.requests", "", 2);
+            {
+                let _s = span!("live.span");
+            }
+            let first = snapshot();
+            assert_eq!(first.counter("live.requests"), 2);
+            assert_eq!(first.spans.len(), 1, "span drained into the snapshot");
+            assert!(first.histogram("span/live.span").is_some());
+
+            counter_add("live.requests", "", 3);
+            let second = snapshot();
+            assert_eq!(second.counter("live.requests"), 5, "counters accumulate");
+            assert!(second.spans.is_empty(), "first snapshot drained the spans");
+            assert!(
+                second.histogram("span/live.span").is_some(),
+                "duration histograms persist across snapshots"
+            );
+        });
     }
 
     #[test]

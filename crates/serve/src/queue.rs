@@ -1,0 +1,430 @@
+//! The bounded request queue and the micro-batching workers.
+//!
+//! Connection threads parse requests and push [`Job`]s; worker threads pop
+//! them in batches and run the matching pipeline. The queue is the server's
+//! only buffer and it is *bounded*: when full, `push` fails immediately
+//! with [`ServeError::QueueFull`] (rendered as `503` + `Retry-After`) so
+//! overload surfaces as explicit backpressure instead of latency collapse.
+//!
+//! # Micro-batching
+//!
+//! A worker that pops a job does not process it immediately: it keeps
+//! popping until it holds `max_batch` jobs or `max_batch_delay` has passed
+//! since the first pop, then runs one [`Lsd::match_batch`] call per model
+//! in the batch. Concurrent single-source requests therefore coalesce into
+//! batch calls, at a bounded latency cost for the first request in the
+//! batch. `match_batch` is deterministic (byte-identical to serial
+//! matching), so batching is invisible in response bodies.
+//!
+//! # Deadlines
+//!
+//! Every job carries an absolute deadline. Workers drop jobs whose deadline
+//! passed while queued (replying `504`), and the connection thread waits on
+//! the reply channel with a timeout — so even a stalled pipeline (or a
+//! `workers = 0` test configuration) cannot hang a client past its
+//! deadline.
+
+use crate::error::ServeError;
+use crate::json;
+use crate::registry::ModelEntry;
+use lsd_core::{ExecPolicy, Source};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What to do with a job's match outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Render the mapping + ranked candidates (`POST /v1/match`).
+    Match,
+    /// Render the full provenance report (`POST /v1/explain`).
+    Explain,
+}
+
+/// One queued request: the parsed source, the model resolved at enqueue
+/// time (so a hot-swap mid-flight cannot change it), the deadline, and the
+/// channel the rendered response body goes back on.
+pub struct Job {
+    /// Response rendering mode.
+    pub kind: JobKind,
+    /// The source to match.
+    pub source: Source,
+    /// The model this job is pinned to.
+    pub model: Arc<ModelEntry>,
+    /// Absolute queue deadline.
+    pub deadline: Instant,
+    /// The deadline as requested, for the `504` message.
+    pub deadline_ms: u64,
+    /// Set by the worker the moment processing starts. The connection
+    /// thread checks it when its deadline fires: unclaimed means the job is
+    /// still queued (reply `504` now), claimed means the result is coming
+    /// (wait out the processing grace).
+    pub claimed: Arc<AtomicBool>,
+    /// Where the rendered body (or error) is sent.
+    pub reply: mpsc::SyncSender<Result<String, ServeError>>,
+}
+
+/// Monotonic counters the server exposes in `/healthz`; all relaxed, read
+/// without locks.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Jobs accepted into the queue.
+    pub enqueued: AtomicU64,
+    /// Jobs rejected with `503 queue_full`.
+    pub rejected_full: AtomicU64,
+    /// Jobs dropped with `504` after their queue deadline passed.
+    pub expired: AtomicU64,
+    /// Batches processed.
+    pub batches: AtomicU64,
+    /// Jobs processed (sum of batch sizes).
+    pub processed: AtomicU64,
+    /// Largest batch processed so far.
+    pub max_batch: AtomicU64,
+}
+
+impl ServeStats {
+    fn note_batch(&self, size: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.processed.fetch_add(size, Ordering::Relaxed);
+        self.max_batch.fetch_max(size, Ordering::Relaxed);
+    }
+}
+
+struct Inner {
+    jobs: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+/// The bounded queue shared by connection threads and workers.
+pub struct RequestQueue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+    /// Seconds a `503 queue_full` response tells the client to back off.
+    retry_after_secs: u64,
+    /// Shared serving counters.
+    pub stats: ServeStats,
+}
+
+fn lock_err<T>(_: T) -> ServeError {
+    ServeError::Internal {
+        detail: "request queue lock poisoned".to_string(),
+    }
+}
+
+impl RequestQueue {
+    /// A queue holding at most `capacity` jobs (at least 1).
+    pub fn new(capacity: usize, retry_after_secs: u64) -> RequestQueue {
+        RequestQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            retry_after_secs,
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().map(|i| i.jobs.len()).unwrap_or(0)
+    }
+
+    /// Maximum queue depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues a job, failing fast when the queue is full or draining.
+    ///
+    /// # Errors
+    /// [`ServeError::QueueFull`] at capacity, [`ServeError::ShuttingDown`]
+    /// once shutdown began.
+    pub fn push(&self, job: Job) -> Result<(), ServeError> {
+        let mut inner = self.inner.lock().map_err(lock_err)?;
+        if inner.shutting_down {
+            return Err(ServeError::ShuttingDown);
+        }
+        if inner.jobs.len() >= self.capacity {
+            self.stats.rejected_full.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QueueFull {
+                retry_after_secs: self.retry_after_secs,
+            });
+        }
+        inner.jobs.push_back(job);
+        self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+        lsd_obs::gauge_max("serve.queue_depth", "", inner.jobs.len() as u64);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Marks the queue as draining: new pushes fail, blocked workers wake.
+    /// Already queued jobs stay and will still be processed (graceful
+    /// drain).
+    pub fn begin_shutdown(&self) {
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.shutting_down = true;
+        }
+        self.ready.notify_all();
+    }
+
+    /// Replies `503 shutting_down` to every job still queued. The safety
+    /// net for configurations without workers to drain the queue.
+    pub fn reject_remaining(&self) {
+        let drained: Vec<Job> = match self.inner.lock() {
+            Ok(mut inner) => inner.jobs.drain(..).collect(),
+            Err(_) => return,
+        };
+        for job in drained {
+            let _ = job.reply.send(Err(ServeError::ShuttingDown));
+        }
+    }
+
+    /// Pops the next batch: blocks for the first job, then keeps popping
+    /// until `max_batch` jobs are held or `max_batch_delay` has elapsed.
+    /// Returns `None` when the queue is empty *and* shutting down — the
+    /// worker's signal to exit after the queue has drained.
+    fn pop_batch(&self, max_batch: usize, max_batch_delay: Duration) -> Option<Vec<Job>> {
+        let mut inner = self.inner.lock().ok()?;
+        loop {
+            if let Some(first) = inner.jobs.pop_front() {
+                let mut batch = vec![first];
+                let batch_deadline = Instant::now() + max_batch_delay;
+                while batch.len() < max_batch {
+                    if let Some(job) = inner.jobs.pop_front() {
+                        batch.push(job);
+                        continue;
+                    }
+                    if inner.shutting_down {
+                        break; // Draining: don't linger for stragglers.
+                    }
+                    let remaining = batch_deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    let (guard, timeout) = self
+                        .ready
+                        .wait_timeout(inner, remaining)
+                        .unwrap_or_else(|e| e.into_inner());
+                    inner = guard;
+                    if timeout.timed_out() && inner.jobs.is_empty() {
+                        break;
+                    }
+                }
+                return Some(batch);
+            }
+            if inner.shutting_down {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Renders one finished outcome for its job and replies. Send failures are
+/// ignored: the client may have timed out and gone away.
+fn reply(job: &Job, result: Result<String, ServeError>) {
+    let _ = job.reply.send(result);
+}
+
+/// Processes one batch: expired jobs get `504`, the rest are grouped by
+/// model and run through one [`Lsd::match_batch`] call per group. A failed
+/// group call falls back to per-source matching so one bad source cannot
+/// poison its batch-mates.
+fn process_batch(batch: Vec<Job>, stats: &ServeStats) {
+    let started = Instant::now();
+    let now = Instant::now();
+    let (live, expired): (Vec<Job>, Vec<Job>) = batch.into_iter().partition(|j| j.deadline > now);
+    for job in &expired {
+        stats.expired.fetch_add(1, Ordering::Relaxed);
+        lsd_obs::counter_add("serve.requests_expired", "", 1);
+        reply(
+            job,
+            Err(ServeError::DeadlineExceeded {
+                deadline_ms: job.deadline_ms,
+            }),
+        );
+    }
+    if live.is_empty() {
+        return;
+    }
+    for job in &live {
+        job.claimed.store(true, Ordering::SeqCst);
+    }
+
+    stats.note_batch(live.len() as u64);
+    lsd_obs::record_value("serve.batch_size", "", live.len() as u64);
+
+    // Group batch-mates by model identity (hot swaps can interleave jobs
+    // for different generations of the same name).
+    let mut groups: Vec<(Arc<ModelEntry>, Vec<Job>)> = Vec::new();
+    for job in live {
+        match groups
+            .iter_mut()
+            .find(|(model, _)| Arc::ptr_eq(model, &job.model))
+        {
+            Some((_, jobs)) => jobs.push(job),
+            None => groups.push((Arc::clone(&job.model), vec![job])),
+        }
+    }
+
+    for (model, jobs) in groups {
+        let sources: Vec<Source> = jobs.iter().map(|j| j.source.clone()).collect();
+        // The batch engine is deterministic at any thread count; serial
+        // policy keeps each worker single-threaded so concurrency comes
+        // from the worker pool, not nested thread pools.
+        match model.lsd.match_batch(&sources, &ExecPolicy::serial()) {
+            Ok(outcomes) => {
+                for (job, outcome) in jobs.iter().zip(outcomes) {
+                    let body = match job.kind {
+                        JobKind::Match => json::match_body(&model.name, &outcome),
+                        JobKind::Explain => json::explain_body(&model.name, &outcome),
+                    };
+                    lsd_obs::counter_add("serve.requests_ok", "", 1);
+                    reply(job, Ok(body));
+                }
+            }
+            Err(_) => {
+                // One source in the batch is bad; re-run each alone so only
+                // the offender fails.
+                for job in &jobs {
+                    let result = model
+                        .lsd
+                        .match_source(&job.source)
+                        .map(|outcome| match job.kind {
+                            JobKind::Match => json::match_body(&model.name, &outcome),
+                            JobKind::Explain => json::explain_body(&model.name, &outcome),
+                        })
+                        .map_err(ServeError::from);
+                    lsd_obs::counter_add(
+                        if result.is_ok() {
+                            "serve.requests_ok"
+                        } else {
+                            "serve.requests_failed"
+                        },
+                        "",
+                        1,
+                    );
+                    reply(job, result);
+                }
+            }
+        }
+    }
+    lsd_obs::record_duration("serve.batch_ns", "", started.elapsed());
+}
+
+/// One worker's run loop: pop batches until shutdown drains the queue, then
+/// flush this thread's metric shard and exit.
+pub fn worker_loop(queue: &RequestQueue, max_batch: usize, max_batch_delay: Duration) {
+    while let Some(batch) = queue.pop_batch(max_batch.max(1), max_batch_delay) {
+        process_batch(batch, &queue.stats);
+        lsd_obs::flush();
+    }
+    lsd_obs::flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_job(reply: mpsc::SyncSender<Result<String, ServeError>>) -> Job {
+        // A job that will never be processed in these tests — queue
+        // mechanics only.
+        let dtd = lsd_xml::parse_dtd("<!ELEMENT a (#PCDATA)>").expect("dtd");
+        Job {
+            kind: JobKind::Match,
+            source: Source {
+                name: "q".into(),
+                dtd,
+                listings: Vec::new(),
+            },
+            model: Arc::new(ModelEntry {
+                name: "m".into(),
+                lsd: untrained_model(),
+                generation: 1,
+            }),
+            deadline: Instant::now() + Duration::from_secs(5),
+            deadline_ms: 5000,
+            claimed: Arc::new(AtomicBool::new(false)),
+            reply,
+        }
+    }
+
+    fn untrained_model() -> lsd_core::Lsd {
+        let mediated = lsd_xml::parse_dtd("<!ELEMENT A (#PCDATA)>").expect("dtd");
+        let builder = lsd_core::LsdBuilder::new(&mediated);
+        let n = builder.labels().len();
+        builder
+            .add_learner(Box::new(lsd_core::learners::NameMatcher::new(
+                n,
+                std::collections::HashMap::new(),
+            )))
+            .build()
+            .expect("builds")
+    }
+
+    #[test]
+    fn full_queue_rejects_with_queue_full() {
+        let queue = RequestQueue::new(2, 1);
+        let (tx, _rx) = mpsc::sync_channel(1);
+        queue.push(dummy_job(tx.clone())).expect("1 fits");
+        queue.push(dummy_job(tx.clone())).expect("2 fits");
+        match queue.push(dummy_job(tx)) {
+            Err(ServeError::QueueFull { retry_after_secs }) => {
+                assert_eq!(retry_after_secs, 1);
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(queue.depth(), 2);
+        assert_eq!(queue.stats.rejected_full.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_pushes_and_drains() {
+        let queue = RequestQueue::new(8, 1);
+        let (tx, rx) = mpsc::sync_channel(8);
+        queue.push(dummy_job(tx.clone())).expect("fits");
+        queue.begin_shutdown();
+        assert!(matches!(
+            queue.push(dummy_job(tx)),
+            Err(ServeError::ShuttingDown)
+        ));
+        queue.reject_remaining();
+        let queued_reply = rx.recv().expect("queued job got a reply");
+        assert!(matches!(queued_reply, Err(ServeError::ShuttingDown)));
+        assert_eq!(queue.depth(), 0);
+    }
+
+    #[test]
+    fn worker_exits_once_shutdown_drains_the_queue() {
+        let queue = Arc::new(RequestQueue::new(8, 1));
+        let worker = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                worker_loop(&queue, 4, Duration::from_millis(1));
+            })
+        };
+        queue.begin_shutdown();
+        worker.join().expect("worker exits");
+    }
+
+    #[test]
+    fn expired_jobs_get_deadline_exceeded() {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let mut job = dummy_job(tx);
+        job.deadline = Instant::now() - Duration::from_millis(1);
+        job.deadline_ms = 1;
+        let stats = ServeStats::default();
+        process_batch(vec![job], &stats);
+        match rx.recv().expect("reply") {
+            Err(ServeError::DeadlineExceeded { deadline_ms }) => assert_eq!(deadline_ms, 1),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(stats.expired.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.batches.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,329 @@
+//! The model registry: `SavedModel` snapshots on disk, validated and
+//! hot-swappable behind `Arc`s.
+//!
+//! Every snapshot goes through the same gate before it can serve traffic:
+//! [`Lsd::load_json`] (which rejects snapshots from newer builds) followed
+//! by [`Lsd::ensure_servable`] (trained + clean static analysis). Loading
+//! and validation happen *outside* the registry lock; the swap itself is a
+//! pointer write under a short write lock. Requests hold an
+//! `Arc<ModelEntry>` for their whole lifetime, so a swap never changes the
+//! model under an in-flight request — the old model is dropped when its
+//! last request finishes.
+
+use crate::error::ServeError;
+use lsd_core::Lsd;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+/// One loaded, validated model. Immutable once constructed; shared with
+/// every request that matched against it.
+pub struct ModelEntry {
+    /// Registry name (the snapshot's file stem).
+    pub name: String,
+    /// The loaded system. [`Lsd`] is `Send + Sync` and all serving entry
+    /// points take `&self`, so one instance serves concurrent requests.
+    pub lsd: Lsd,
+    /// Monotonic generation, bumped on every (re)load of this name —
+    /// distinguishes two loads of the same file in hot-swap tests.
+    pub generation: u64,
+}
+
+#[derive(Default)]
+struct State {
+    models: BTreeMap<String, Arc<ModelEntry>>,
+    active: Option<String>,
+    /// Snapshots that failed validation at `open` time, with the reason —
+    /// reported by `GET /v1/models` instead of silently dropped.
+    failures: BTreeMap<String, String>,
+    next_generation: u64,
+}
+
+/// Directory-backed registry of serving models. See the module docs for the
+/// swap discipline.
+pub struct ModelRegistry {
+    dir: PathBuf,
+    state: RwLock<State>,
+}
+
+fn lock_err<T>(_: T) -> ServeError {
+    ServeError::Internal {
+        detail: "registry lock poisoned".to_string(),
+    }
+}
+
+/// Registry names come from URLs; keep them to file stems so a crafted
+/// `PUT /v1/models/../x` cannot escape the model directory.
+fn validate_name(name: &str) -> Result<(), ServeError> {
+    let ok = !name.is_empty()
+        && name.len() <= 128
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        && !name.contains("..");
+    if ok {
+        Ok(())
+    } else {
+        Err(ServeError::BadRequest {
+            detail: format!(
+                "invalid model name {name:?}: use ASCII letters, digits, '-', '_', '.'"
+            ),
+        })
+    }
+}
+
+impl ModelRegistry {
+    /// Opens the registry over `dir`, loading every `*.json` snapshot in
+    /// name order. Snapshots that fail to load or validate are recorded as
+    /// failures (visible in [`ModelRegistry::list_json`]) and skipped; the
+    /// first
+    /// healthy model (alphabetically) becomes active. An empty or missing
+    /// directory yields an empty registry — the server then answers
+    /// matching requests with `503 no_active_model`.
+    ///
+    /// # Errors
+    /// [`ServeError::Internal`] only for directory-read failures on an
+    /// *existing* path.
+    pub fn open(dir: impl AsRef<Path>) -> Result<ModelRegistry, ServeError> {
+        let dir = dir.as_ref().to_path_buf();
+        let registry = ModelRegistry {
+            dir: dir.clone(),
+            state: RwLock::new(State::default()),
+        };
+        if !dir.exists() {
+            return Ok(registry);
+        }
+        let entries = std::fs::read_dir(&dir).map_err(|e| ServeError::Internal {
+            detail: format!("cannot read model directory {}: {e}", dir.display()),
+        })?;
+        let mut names: Vec<String> = entries
+            .filter_map(|entry| {
+                let path = entry.ok()?.path();
+                if path.extension().is_some_and(|ext| ext == "json") {
+                    Some(path.file_stem()?.to_str()?.to_string())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        names.sort();
+        for name in names {
+            if let Err(e) = registry.activate_if_first(&name) {
+                let mut state = registry.state.write().map_err(lock_err)?;
+                state.failures.insert(name, e.to_string());
+            }
+        }
+        Ok(registry)
+    }
+
+    /// The directory snapshots are loaded from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn snapshot_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.json"))
+    }
+
+    /// Loads and validates `name` from disk — the expensive part, done
+    /// without holding any lock.
+    fn load_validated(&self, name: &str) -> Result<Lsd, ServeError> {
+        validate_name(name)?;
+        let path = self.snapshot_path(name);
+        if !path.exists() {
+            return Err(ServeError::ModelNotFound {
+                name: name.to_string(),
+            });
+        }
+        let lsd = Lsd::load_json(&path).map_err(|e| ServeError::ModelInvalid {
+            name: name.to_string(),
+            detail: e.to_string(),
+        })?;
+        lsd.ensure_servable()
+            .map_err(|e| ServeError::ModelInvalid {
+                name: name.to_string(),
+                detail: e.to_string(),
+            })?;
+        Ok(lsd)
+    }
+
+    fn install(
+        &self,
+        name: &str,
+        lsd: Lsd,
+        make_active: bool,
+    ) -> Result<Arc<ModelEntry>, ServeError> {
+        let mut state = self.state.write().map_err(lock_err)?;
+        state.next_generation += 1;
+        let entry = Arc::new(ModelEntry {
+            name: name.to_string(),
+            lsd,
+            generation: state.next_generation,
+        });
+        state.models.insert(name.to_string(), Arc::clone(&entry));
+        state.failures.remove(name);
+        if make_active || state.active.is_none() {
+            state.active = Some(name.to_string());
+        }
+        Ok(entry)
+    }
+
+    fn activate_if_first(&self, name: &str) -> Result<(), ServeError> {
+        let lsd = self.load_validated(name)?;
+        self.install(name, lsd, false)?;
+        Ok(())
+    }
+
+    /// (Re)loads `name` from disk, validates it, atomically installs it and
+    /// makes it the active model — the `PUT /v1/models/{name}` operation.
+    /// In-flight requests keep the `Arc` of whichever model they resolved
+    /// and are unaffected.
+    ///
+    /// # Errors
+    /// [`ServeError::ModelNotFound`] when no `{name}.json` exists,
+    /// [`ServeError::ModelInvalid`] when it fails loading or validation —
+    /// in both cases the previously installed model (if any) stays in
+    /// place and active.
+    pub fn activate(&self, name: &str) -> Result<Arc<ModelEntry>, ServeError> {
+        let lsd = self.load_validated(name)?;
+        self.install(name, lsd, true)
+    }
+
+    /// Resolves the model a request should use: `Some(name)` looks up that
+    /// model, `None` takes the active one.
+    ///
+    /// # Errors
+    /// [`ServeError::ModelNotFound`] / [`ServeError::NoActiveModel`].
+    pub fn model(&self, name: Option<&str>) -> Result<Arc<ModelEntry>, ServeError> {
+        let state = self.state.read().map_err(lock_err)?;
+        match name {
+            Some(n) => state
+                .models
+                .get(n)
+                .cloned()
+                .ok_or_else(|| ServeError::ModelNotFound {
+                    name: n.to_string(),
+                }),
+            None => state
+                .active
+                .as_ref()
+                .and_then(|n| state.models.get(n))
+                .cloned()
+                .ok_or(ServeError::NoActiveModel),
+        }
+    }
+
+    /// Number of installed models.
+    pub fn len(&self) -> usize {
+        self.state.read().map(|s| s.models.len()).unwrap_or(0)
+    }
+
+    /// True when no model is installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `GET /v1/models` body: every installed model (name, label count,
+    /// generation, active flag) plus load failures with reasons.
+    pub fn list_json(&self) -> String {
+        let Ok(state) = self.state.read() else {
+            return "{}".to_string();
+        };
+        let models = state
+            .models
+            .values()
+            .map(|m| {
+                Value::Map(vec![
+                    ("name".to_string(), Value::Str(m.name.clone())),
+                    (
+                        "labels".to_string(),
+                        Value::Int(m.lsd.labels().len() as i64),
+                    ),
+                    ("generation".to_string(), Value::Int(m.generation as i64)),
+                    (
+                        "active".to_string(),
+                        Value::Bool(state.active.as_deref() == Some(m.name.as_str())),
+                    ),
+                ])
+            })
+            .collect();
+        let failures = state
+            .failures
+            .iter()
+            .map(|(name, reason)| (name.clone(), Value::Str(reason.clone())))
+            .collect();
+        let doc = Value::Map(vec![
+            ("models".to_string(), Value::Seq(models)),
+            (
+                "active".to_string(),
+                state
+                    .active
+                    .as_ref()
+                    .map_or(Value::Null, |n| Value::Str(n.clone())),
+            ),
+            ("failures".to_string(), Value::Map(failures)),
+        ]);
+        serde_json::to_string(&doc).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+impl std::fmt::Debug for ModelEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelEntry")
+            .field("name", &self.name)
+            .field("generation", &self.generation)
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("dir", &self.dir)
+            .field("models", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_with_path_tricks_are_rejected() {
+        for bad in ["", "../x", "a/b", "a\\b", "x..y"] {
+            assert!(validate_name(bad).is_err(), "{bad:?} should be rejected");
+        }
+        for good in ["m", "real-estate-1", "v1.2_final"] {
+            assert!(validate_name(good).is_ok(), "{good:?} should be accepted");
+        }
+    }
+
+    #[test]
+    fn missing_directory_yields_an_empty_registry() {
+        let registry =
+            ModelRegistry::open(std::env::temp_dir().join("lsd-serve-no-such-dir")).expect("opens");
+        assert!(registry.is_empty());
+        assert!(matches!(
+            registry.model(None),
+            Err(ServeError::NoActiveModel)
+        ));
+        assert!(matches!(
+            registry.model(Some("ghost")),
+            Err(ServeError::ModelNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_snapshots_are_reported_not_fatal() {
+        let dir = std::env::temp_dir().join("lsd-serve-registry-invalid");
+        std::fs::create_dir_all(&dir).expect("dir");
+        std::fs::write(dir.join("broken.json"), "{not json").expect("write");
+        let registry = ModelRegistry::open(&dir).expect("opens");
+        assert!(registry.is_empty());
+        let listing = registry.list_json();
+        assert!(listing.contains("broken"), "failures listed: {listing}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,394 @@
+//! The HTTP server: accept loop, routing, worker pool and graceful
+//! shutdown.
+//!
+//! Threading model: one OS thread per connection (bounded in practice by
+//! keep-alive + read timeouts), a fixed worker pool draining the bounded
+//! request queue, and the accept thread. Matching requests flow
+//! connection-thread → queue → worker → reply channel → connection-thread;
+//! registry and metrics endpoints are answered inline on the connection
+//! thread.
+//!
+//! Shutdown ([`ServerHandle::shutdown`]) is graceful: the accept loop
+//! stops, the queue rejects new work, workers drain what is already
+//! queued, and any leftover jobs (e.g. in a `workers = 0` configuration)
+//! are failed with `503` so no client is left hanging.
+
+use crate::error::ServeError;
+use crate::http::{error_response, read_request, write_response, ReadOutcome, Request, Response};
+use crate::json;
+use crate::queue::{worker_loop, Job, JobKind, RequestQueue};
+use crate::registry::ModelRegistry;
+use serde::Value;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks a free port.
+    pub addr: String,
+    /// Worker threads draining the queue. `0` is allowed — nothing drains,
+    /// which is how the backpressure tests force queue-full conditions
+    /// deterministically.
+    pub workers: usize,
+    /// Bounded queue capacity; pushes beyond it fail with `503`.
+    pub queue_capacity: usize,
+    /// Maximum jobs coalesced into one `match_batch` call.
+    pub max_batch: usize,
+    /// How long a worker holding a partial batch waits for more jobs.
+    pub max_batch_delay: Duration,
+    /// Queue deadline for requests that send no `X-Deadline-Ms` header.
+    pub default_deadline: Duration,
+    /// Ceiling on client-requested deadlines.
+    pub max_deadline: Duration,
+    /// How long a request already being processed may keep its connection
+    /// thread waiting past its queue deadline.
+    pub processing_grace: Duration,
+    /// Per-connection socket read timeout (slow-client defense).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Largest accepted request body; larger uploads get `413` unread.
+    pub max_body_bytes: usize,
+    /// `Retry-After` seconds advertised with `503 queue_full`.
+    pub retry_after_secs: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 128,
+            max_batch: 8,
+            max_batch_delay: Duration::from_millis(2),
+            default_deadline: Duration::from_secs(10),
+            max_deadline: Duration::from_secs(60),
+            processing_grace: Duration::from_secs(60),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_body_bytes: 1024 * 1024,
+            retry_after_secs: 1,
+        }
+    }
+}
+
+struct Shared {
+    config: ServeConfig,
+    registry: ModelRegistry,
+    queue: RequestQueue,
+    shutdown: AtomicBool,
+    active_connections: AtomicU64,
+}
+
+/// A bound server, ready to [`run`](Server::run).
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+/// Clonable remote control for a running server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates graceful shutdown: stop accepting, drain the queue, fail
+    /// whatever cannot be drained. Idempotent; returns immediately (the
+    /// `run` call unwinds the rest).
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.queue.begin_shutdown();
+        // The accept loop may be blocked in `accept`; a throwaway
+        // connection wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds the listener and wires the queue; does not serve yet.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind(config: ServeConfig, registry: ModelRegistry) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let queue = RequestQueue::new(config.queue_capacity, config.retry_after_secs);
+        Ok(Server {
+            shared: Arc::new(Shared {
+                config,
+                registry,
+                queue,
+                shutdown: AtomicBool::new(false),
+                active_connections: AtomicU64::new(0),
+            }),
+            listener,
+            addr,
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.addr,
+        }
+    }
+
+    /// Runs the server on a background thread, returning the handle and the
+    /// join handle for its `run` loop.
+    pub fn spawn(self) -> (ServerHandle, std::thread::JoinHandle<()>) {
+        let handle = self.handle();
+        let join = std::thread::spawn(move || self.run());
+        (handle, join)
+    }
+
+    /// Serves until [`ServerHandle::shutdown`] is called: spawns the worker
+    /// pool, accepts connections, then drains and joins everything.
+    /// Metrics recording is switched on for the server's lifetime so
+    /// `GET /metrics` sees the pipeline's own counters too.
+    pub fn run(self) {
+        lsd_obs::set_enabled(true);
+        let shared = &self.shared;
+        let workers: Vec<_> = (0..shared.config.workers)
+            .map(|_| {
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    worker_loop(
+                        &shared.queue,
+                        shared.config.max_batch,
+                        shared.config.max_batch_delay,
+                    )
+                })
+            })
+            .collect();
+
+        let mut connections = Vec::new();
+        for stream in self.listener.incoming() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = Arc::clone(shared);
+            shared.active_connections.fetch_add(1, Ordering::SeqCst);
+            connections.push(std::thread::spawn(move || {
+                handle_connection(&shared, stream);
+                shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                lsd_obs::flush();
+            }));
+        }
+
+        // Drain: the queue already rejects pushes; workers exit once it is
+        // empty. Leftovers (workers = 0) are failed explicitly.
+        for worker in workers {
+            let _ = worker.join();
+        }
+        self.shared.queue.reject_remaining();
+        for connection in connections {
+            let _ = connection.join();
+        }
+    }
+}
+
+/// Parses `X-Deadline-Ms`, clamped to the configured ceiling.
+fn request_deadline(request: &Request, config: &ServeConfig) -> Result<Duration, ServeError> {
+    match request.header("x-deadline-ms") {
+        None => Ok(config.default_deadline),
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) if ms > 0 => Ok(Duration::from_millis(ms).min(config.max_deadline)),
+            _ => Err(ServeError::BadRequest {
+                detail: format!("invalid X-Deadline-Ms {v:?}: expected a positive integer"),
+            }),
+        },
+    }
+}
+
+/// Enqueues a parsed match/explain request and waits for the reply, never
+/// longer than deadline + processing grace.
+fn run_job(shared: &Shared, kind: JobKind, request: &Request) -> Result<String, ServeError> {
+    let parsed = json::parse_match_request(&request.body)?;
+    let model = shared.registry.model(parsed.model.as_deref())?;
+    let deadline = request_deadline(request, &shared.config)?;
+    let deadline_ms = deadline.as_millis() as u64;
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let claimed = Arc::new(AtomicBool::new(false));
+    shared.queue.push(Job {
+        kind,
+        source: parsed.source,
+        model,
+        deadline: Instant::now() + deadline,
+        deadline_ms,
+        claimed: Arc::clone(&claimed),
+        reply: reply_tx,
+    })?;
+    match reply_rx.recv_timeout(deadline) {
+        Ok(result) => result,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            if claimed.load(Ordering::SeqCst) {
+                // A worker picked the job up in time; give processing room
+                // to finish rather than abandoning completed work.
+                match reply_rx.recv_timeout(shared.config.processing_grace) {
+                    Ok(result) => result,
+                    Err(_) => Err(ServeError::Internal {
+                        detail: "worker did not reply within the processing grace".to_string(),
+                    }),
+                }
+            } else {
+                Err(ServeError::DeadlineExceeded { deadline_ms })
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Internal {
+            detail: "worker dropped the reply channel".to_string(),
+        }),
+    }
+}
+
+fn healthz_body(shared: &Shared) -> String {
+    let stats = &shared.queue.stats;
+    let int = |v: u64| Value::Int(v as i64);
+    let doc = Value::Map(vec![
+        ("status".to_string(), Value::Str("ok".to_string())),
+        ("models".to_string(), int(shared.registry.len() as u64)),
+        ("queue_depth".to_string(), int(shared.queue.depth() as u64)),
+        (
+            "queue_capacity".to_string(),
+            int(shared.queue.capacity() as u64),
+        ),
+        (
+            "requests_enqueued".to_string(),
+            int(stats.enqueued.load(Ordering::Relaxed)),
+        ),
+        (
+            "requests_rejected_full".to_string(),
+            int(stats.rejected_full.load(Ordering::Relaxed)),
+        ),
+        (
+            "requests_expired".to_string(),
+            int(stats.expired.load(Ordering::Relaxed)),
+        ),
+        (
+            "batches".to_string(),
+            int(stats.batches.load(Ordering::Relaxed)),
+        ),
+        (
+            "requests_processed".to_string(),
+            int(stats.processed.load(Ordering::Relaxed)),
+        ),
+        (
+            "max_batch".to_string(),
+            int(stats.max_batch.load(Ordering::Relaxed)),
+        ),
+    ]);
+    serde_json::to_string(&doc).unwrap_or_else(|_| "{\"status\":\"ok\"}".to_string())
+}
+
+/// Routes one request. Matching endpoints go through the queue; everything
+/// else is answered inline.
+fn route(shared: &Shared, request: &Request) -> Result<Response, ServeError> {
+    let path = request.path.as_str();
+    let method = request.method.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => Ok(Response::json(healthz_body(shared))),
+        ("GET", "/metrics") => Ok(Response::text(lsd_obs::export::prometheus_text(
+            &lsd_obs::snapshot(),
+        ))),
+        ("GET", "/v1/models") => Ok(Response::json(shared.registry.list_json())),
+        ("POST", "/v1/match") => run_job(shared, JobKind::Match, request).map(Response::json),
+        ("POST", "/v1/explain") => run_job(shared, JobKind::Explain, request).map(Response::json),
+        ("PUT", path) if path.starts_with("/v1/models/") => {
+            let name = &path["/v1/models/".len()..];
+            let entry = shared.registry.activate(name)?;
+            Ok(Response::json(
+                serde_json::to_string(&Value::Map(vec![
+                    ("activated".to_string(), Value::Str(entry.name.clone())),
+                    (
+                        "generation".to_string(),
+                        Value::Int(entry.generation as i64),
+                    ),
+                ]))
+                .unwrap_or_else(|_| "{}".to_string()),
+            ))
+        }
+        (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/match" | "/v1/explain") => {
+            Err(ServeError::MethodNotAllowed {
+                method: method.to_string(),
+                path: path.to_string(),
+            })
+        }
+        _ => Err(ServeError::NotFound {
+            path: path.to_string(),
+        }),
+    }
+}
+
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/v1/match" => "match",
+        "/v1/explain" => "explain",
+        "/v1/models" => "models",
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        p if p.starts_with("/v1/models/") => "models",
+        _ => "other",
+    }
+}
+
+/// Serves one connection until close, EOF, error or server shutdown.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_side) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_side);
+    let mut stream = stream;
+    loop {
+        match read_request(&mut reader, shared.config.max_body_bytes) {
+            ReadOutcome::Closed => break,
+            ReadOutcome::Failed(error) => {
+                // The request was unreadable; answer and close — the stream
+                // position is unreliable now.
+                let _ = write_response(&mut stream, &error_response(&error), true);
+                break;
+            }
+            ReadOutcome::Request(request) => {
+                let started = Instant::now();
+                let draining = shared.shutdown.load(Ordering::SeqCst);
+                let response = if draining {
+                    error_response(&ServeError::ShuttingDown)
+                } else {
+                    match route(shared, &request) {
+                        Ok(response) => response,
+                        Err(error) => error_response(&error),
+                    }
+                };
+                let label = endpoint_label(&request.path);
+                lsd_obs::counter_add("serve.http_requests", label, 1);
+                lsd_obs::record_duration("serve.request_ns", label, started.elapsed());
+                let close = request.wants_close() || draining;
+                if write_response(&mut stream, &response, close).is_err() || close {
+                    break;
+                }
+            }
+        }
+    }
+}
