@@ -122,19 +122,19 @@ fn bench_search(c: &mut Criterion) {
     let domain = DomainId::RealEstate2.generate(60, 3);
     let training: Vec<TrainedSource> = (0..3)
         .map(|i| TrainedSource {
-            source: Source {
-                name: domain.sources[i].name.clone(),
-                dtd: domain.sources[i].dtd.clone(),
-                listings: domain.sources[i].listings.clone(),
-            },
+            source: Source::from_xml(
+                domain.sources[i].name.clone(),
+                domain.sources[i].dtd.clone(),
+                domain.sources[i].listings.clone(),
+            ),
             mapping: domain.sources[i].mapping.clone(),
         })
         .collect();
-    let target = Source {
-        name: domain.sources[3].name.clone(),
-        dtd: domain.sources[3].dtd.clone(),
-        listings: domain.sources[3].listings.clone(),
-    };
+    let target = Source::from_xml(
+        domain.sources[3].name.clone(),
+        domain.sources[3].dtd.clone(),
+        domain.sources[3].listings.clone(),
+    );
 
     let mut group = c.benchmark_group("match_real_estate2");
     group.sample_size(10);
@@ -198,11 +198,7 @@ fn bench_batch_engine(c: &mut Criterion) {
         let sources: Vec<Source> = domain
             .sources
             .iter()
-            .map(|gs| Source {
-                name: gs.name.clone(),
-                dtd: gs.dtd.clone(),
-                listings: gs.listings.clone(),
-            })
+            .map(|gs| Source::from_xml(gs.name.clone(), gs.dtd.clone(), gs.listings.clone()))
             .collect();
         (domain, sources)
     })

@@ -21,11 +21,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
     let sources: Vec<Source> = domain
         .sources
         .iter()
-        .map(|gs| Source {
-            name: gs.name.clone(),
-            dtd: gs.dtd.clone(),
-            listings: gs.listings.clone(),
-        })
+        .map(|gs| Source::from_xml(gs.name.clone(), gs.dtd.clone(), gs.listings.clone()))
         .collect();
     let builder = LsdBuilder::new(&domain.mediated).with_config(LsdConfig::default());
     let n = builder.labels().len();

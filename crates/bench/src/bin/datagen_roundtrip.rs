@@ -1,0 +1,142 @@
+//! `datagen-roundtrip` — emit every generated source in every foreign
+//! serialization, read each back through its `lsd-core` reader, and check
+//! the data survived. This is the CI gate for the emitter/reader pairing:
+//!
+//! * **XML** — DTD (canonical `<!ELEMENT ...>` syntax) and listing trees
+//!   must round-trip exactly;
+//! * **JSON** — listing trees must round-trip exactly;
+//! * **CSV / SQL** — the per-tag leaf instance columns (what the learners
+//!   consume) must round-trip exactly, and the listing count must match.
+//!
+//! Environment: `LSD_LISTINGS` (default 12) sets listings per source.
+//! Exit code 0 when every check passes, 1 with one line per failure.
+
+use lsd_core::{CsvReader, JsonReader, SourceReader, SqlReader, XmlReader};
+use lsd_datagen::{emit, DomainId, GeneratedSource};
+use lsd_xml::Element;
+use std::process::ExitCode;
+
+fn listings_per_source() -> usize {
+    std::env::var("LSD_LISTINGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12)
+}
+
+/// One emit → read → compare cycle; returns the failures it found.
+fn check_source(domain: DomainId, source: &GeneratedSource) -> Vec<String> {
+    let mut failures = Vec::new();
+    let origin = format!("{} / {}", domain.name(), source.name);
+    let root = &source.listings[0].name;
+    let fail = |failures: &mut Vec<String>, format: &str, detail: String| {
+        failures.push(format!("{origin} [{format}]: {detail}"));
+    };
+
+    // XML: exact.
+    let (dtd_text, listing_texts) = emit::emit_xml(source);
+    match XmlReader::new(dtd_text, listing_texts).read() {
+        Ok(contents) => {
+            if contents.dtd.to_dtd_syntax() != source.dtd.to_dtd_syntax() {
+                fail(&mut failures, "xml", "DTD changed across round-trip".into());
+            }
+            if contents.listings != source.listings {
+                fail(&mut failures, "xml", "listings changed".into());
+            }
+        }
+        Err(e) => fail(&mut failures, "xml", e.to_string()),
+    }
+
+    // JSON: exact listing trees.
+    match JsonReader::new(emit::emit_json(source))
+        .with_record_tag(root)
+        .read()
+    {
+        Ok(contents) => {
+            if contents.listings != source.listings {
+                fail(&mut failures, "json", "listings changed".into());
+            }
+        }
+        Err(e) => fail(&mut failures, "json", e.to_string()),
+    }
+
+    // CSV: leaf columns.
+    match emit::emit_csv(source).map(|text| CsvReader::new(text).with_record_tag(root).read()) {
+        Ok(Ok(contents)) => check_leaves(&mut failures, "csv", &origin, source, &contents.listings),
+        Ok(Err(e)) => fail(&mut failures, "csv", e.to_string()),
+        Err(e) => fail(&mut failures, "csv", e),
+    }
+
+    // SQL: leaf columns.
+    match emit::emit_sql(source).map(|text| SqlReader::new(text).read()) {
+        Ok(Ok(contents)) => check_leaves(&mut failures, "sql", &origin, source, &contents.listings),
+        Ok(Err(e)) => fail(&mut failures, "sql", e.to_string()),
+        Err(e) => fail(&mut failures, "sql", e),
+    }
+
+    failures
+}
+
+fn check_leaves(
+    failures: &mut Vec<String>,
+    format: &str,
+    origin: &str,
+    source: &GeneratedSource,
+    round_tripped: &[Element],
+) {
+    if round_tripped.len() != source.listings.len() {
+        failures.push(format!(
+            "{origin} [{format}]: {} listings came back as {}",
+            source.listings.len(),
+            round_tripped.len()
+        ));
+    }
+    let before = emit::leaf_columns(&source.listings);
+    let after = emit::leaf_columns(round_tripped);
+    if before == after {
+        return;
+    }
+    for (tag, column) in &before {
+        match after.get(tag) {
+            None => failures.push(format!("{origin} [{format}]: leaf tag \"{tag}\" lost")),
+            Some(got) if got != column => failures.push(format!(
+                "{origin} [{format}]: column \"{tag}\" changed ({} values -> {})",
+                column.len(),
+                got.len()
+            )),
+            Some(_) => {}
+        }
+    }
+    for tag in after.keys() {
+        if !before.contains_key(tag) {
+            failures.push(format!(
+                "{origin} [{format}]: spurious leaf tag \"{tag}\" appeared"
+            ));
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let listings = listings_per_source();
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    for domain in DomainId::ALL {
+        let generated = domain.generate(listings, 42);
+        for source in &generated.sources {
+            failures.extend(check_source(domain, source));
+            checked += 1;
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "datagen-roundtrip: {checked} sources x 4 formats round-tripped \
+             ({listings} listings per source)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("FAIL {failure}");
+        }
+        eprintln!("datagen-roundtrip: {} failures", failures.len());
+        ExitCode::FAILURE
+    }
+}

@@ -183,11 +183,7 @@ impl ExperimentParams {
 
 /// Converts a generated source into the core crate's source type.
 pub fn to_sources(gs: &GeneratedSource) -> Source {
-    Source {
-        name: gs.name.clone(),
-        dtd: gs.dtd.clone(),
-        listings: gs.listings.clone(),
-    }
+    Source::from_xml(gs.name.clone(), gs.dtd.clone(), gs.listings.clone())
 }
 
 /// Builds an LSD system for a configuration over a generated domain.

@@ -144,11 +144,7 @@ mod tests {
         })
         .collect();
         TrainedSource {
-            source: crate::system::Source {
-                name: "train".into(),
-                dtd,
-                listings,
-            },
+            source: crate::system::Source::from_xml("train", dtd, listings),
             mapping: HashMap::from([
                 ("house".to_string(), "HOUSE".to_string()),
                 ("location".to_string(), "ADDRESS".to_string()),
@@ -184,14 +180,7 @@ mod tests {
             ("location".to_string(), "DESCRIPTION".to_string()),
             ("contact".to_string(), "AGENT-PHONE".to_string()),
         ]);
-        (
-            Source {
-                name: "hostile".into(),
-                dtd,
-                listings,
-            },
-            truth,
-        )
+        (Source::from_xml("hostile", dtd, listings), truth)
     }
 
     fn trained_lsd() -> Lsd {

@@ -38,6 +38,7 @@ mod instance;
 pub mod learners;
 mod meta;
 pub mod persist;
+pub mod readers;
 pub mod report;
 mod system;
 
@@ -50,9 +51,14 @@ pub use hierarchy::{most_specific_unambiguous, PartialMatch};
 pub use instance::{build_source_data, extract_instances, Instance};
 pub use meta::MetaLearner;
 pub use persist::{PersistError, SavedLearner, SavedModel, SAVED_MODEL_VERSION};
+pub use readers::{
+    synthesize_dtd, CsvReader, JsonReader, ReadError, SourceContents, SourceFormat, SourceReader,
+    SqlReader, XmlReader,
+};
 pub use report::{MatchReport, TrainReport};
 pub use system::{
-    LabelCandidate, Lsd, LsdBuilder, LsdConfig, MatchOutcome, Source, TagExplanation, TrainedSource,
+    LabelCandidate, Lsd, LsdBuilder, LsdConfig, MatchOutcome, Source, SourceProvenance,
+    TagExplanation, TrainedSource,
 };
 
 // The constraint vocabulary is part of LSD's public face.

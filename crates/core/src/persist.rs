@@ -17,7 +17,7 @@ use crate::learners::{
     NameMatcher, StatsLearner, XmlLearner,
 };
 use crate::meta::MetaLearner;
-use crate::system::{Lsd, LsdConfig};
+use crate::system::{Lsd, LsdConfig, SourceProvenance};
 use lsd_constraints::{ConstraintHandler, DomainConstraint};
 use lsd_learn::LabelSet;
 use serde::{Deserialize, Serialize};
@@ -150,6 +150,10 @@ pub struct SavedModel {
     pub config: LsdConfig,
     /// Whether [`Lsd::train`] had run.
     pub trained: bool,
+    /// Per-source training provenance (name, serialization format, listing
+    /// count). Empty for snapshots saved before formats were tracked.
+    #[serde(default)]
+    pub source_provenance: Vec<SourceProvenance>,
 }
 
 /// Current snapshot format version.
@@ -207,6 +211,7 @@ impl Lsd {
             constraints: self.handler.constraints().to_vec(),
             config: self.config,
             trained: self.trained,
+            source_provenance: self.provenance.clone(),
         })
     }
 
@@ -232,6 +237,7 @@ impl Lsd {
             compiled,
             config: saved.config,
             trained: saved.trained,
+            provenance: saved.source_provenance,
         }
     }
 
@@ -287,11 +293,7 @@ mod tests {
         })
         .collect::<Vec<_>>();
         let train = TrainedSource {
-            source: Source {
-                name: "t".into(),
-                dtd: dtd.clone(),
-                listings: listings.clone(),
-            },
+            source: Source::from_xml("t", dtd.clone(), listings.clone()),
             mapping: HashMap::from([
                 ("h".to_string(), "H".to_string()),
                 ("addr".to_string(), "A".to_string()),
@@ -314,11 +316,7 @@ mod tests {
             .build()
             .unwrap();
         lsd.train(std::slice::from_ref(&train)).unwrap();
-        let target = Source {
-            name: "same".into(),
-            dtd,
-            listings,
-        };
+        let target = Source::from_xml("same", dtd, listings);
         (lsd, target)
     }
 
@@ -368,6 +366,33 @@ mod tests {
         // The mediated DTD survives as rendered text, so the static-analysis
         // pass still works on a loaded model.
         assert!(lsd2.analyze().is_empty());
+    }
+
+    #[test]
+    fn source_provenance_roundtrips_and_defaults_for_old_snapshots() {
+        let (lsd, _) = trained_system();
+        assert_eq!(
+            lsd.source_provenance(),
+            &[crate::SourceProvenance {
+                source: "t".into(),
+                format: crate::SourceFormat::Xml,
+                listings: 3,
+            }]
+        );
+        let saved = lsd.to_saved().expect("snapshots");
+        let json = serde_json::to_string(&saved).expect("serializes");
+        let lsd2 = Lsd::from_saved(SavedModel::from_json_str(&json).expect("loads"));
+        assert_eq!(lsd2.source_provenance(), lsd.source_provenance());
+        // Snapshots written before the field existed still load, with
+        // empty provenance.
+        let mut value: serde_json::Value = serde_json::from_str(&json).expect("parses");
+        if let serde_json::Value::Map(entries) = &mut value {
+            entries.retain(|(k, _)| k != "source_provenance");
+        }
+        let old_json = serde_json::to_string(&value).expect("serializes");
+        let lsd3 = Lsd::from_saved(SavedModel::from_json_str(&old_json).expect("loads"));
+        assert!(lsd3.source_provenance().is_empty());
+        assert!(lsd3.is_trained());
     }
 
     #[test]

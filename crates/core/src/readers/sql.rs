@@ -1,0 +1,834 @@
+//! The SQL reader: `CREATE TABLE` DDL is the schema — columns become leaf
+//! tags and foreign-key edges become nesting — and `INSERT` rows, joined
+//! along those edges, become the listings.
+
+use super::{sanitize_tag, ReadError, SourceContents, SourceFormat, SourceReader};
+use lsd_xml::{ContentModel, Dtd, Element, ElementDecl, Occurrence};
+use std::collections::HashMap;
+
+/// Reads a SQL source: one or more `CREATE TABLE` statements (columns,
+/// `PRIMARY KEY`, `FOREIGN KEY ... REFERENCES`) plus optional
+/// `INSERT INTO ... VALUES` rows. Foreign keys must form a tree with one
+/// root table; each root row becomes a listing, with child-table rows
+/// nested under the parent row they reference. Key columns are structure,
+/// not data: foreign-key columns and the columns they reference are
+/// dropped from the instance tags. DDL without `INSERT`s yields a valid
+/// schema with zero listings.
+pub struct SqlReader {
+    text: String,
+}
+
+impl SqlReader {
+    /// A reader over SQL DDL (and optional DML) text.
+    pub fn new(text: impl Into<String>) -> Self {
+        SqlReader { text: text.into() }
+    }
+}
+
+fn err(detail: impl Into<String>) -> ReadError {
+    ReadError::new(SourceFormat::Sql, detail)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    /// Bare word: keyword or identifier.
+    Word(String),
+    /// Quoted identifier (`"..."`, `` `...` `` or `[...]`), already unquoted.
+    Quoted(String),
+    /// String literal, `''` escapes resolved.
+    Str(String),
+    /// Numeric literal, kept as written.
+    Num(String),
+    Punct(char),
+}
+
+fn lex(text: &str) -> Result<Vec<Tok>, ReadError> {
+    let mut toks = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            _ if c.is_whitespace() => {
+                chars.next();
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                } else if chars.peek().is_some_and(char::is_ascii_digit) {
+                    let mut num = String::from("-");
+                    read_number(&mut chars, &mut num);
+                    toks.push(Tok::Num(num));
+                } else {
+                    toks.push(Tok::Punct('-'));
+                }
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'*') {
+                    chars.next();
+                    let mut prev = ' ';
+                    let mut closed = false;
+                    for c in chars.by_ref() {
+                        if prev == '*' && c == '/' {
+                            closed = true;
+                            break;
+                        }
+                        prev = c;
+                    }
+                    if !closed {
+                        return Err(err("unterminated /* comment"));
+                    }
+                } else {
+                    toks.push(Tok::Punct('/'));
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => s.push(c),
+                        None => return Err(err("unterminated string literal")),
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            '"' | '`' | '[' => {
+                let close = match c {
+                    '"' => '"',
+                    '`' => '`',
+                    _ => ']',
+                };
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some(c) if c == close => break,
+                        Some(c) => s.push(c),
+                        None => return Err(err("unterminated quoted identifier")),
+                    }
+                }
+                toks.push(Tok::Quoted(s));
+            }
+            _ if c.is_ascii_digit() => {
+                let mut num = String::new();
+                read_number(&mut chars, &mut num);
+                toks.push(Tok::Num(num));
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let mut w = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                        w.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Word(w));
+            }
+            _ => {
+                chars.next();
+                toks.push(Tok::Punct(c));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn read_number(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, out: &mut String) {
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '+' {
+            out.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Column {
+    tag: String,
+    not_null: bool,
+}
+
+#[derive(Debug, Default)]
+struct Table {
+    columns: Vec<Column>,
+    primary_key: Option<String>,
+    /// `(local column, parent table, parent column)`; parent column
+    /// defaults to the parent's primary key when `REFERENCES` omits it.
+    foreign_key: Option<(String, String, Option<String>)>,
+    rows: Vec<Vec<Option<String>>>,
+}
+
+/// Token-stream parser for the statement subset the reader understands.
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes a keyword (case-insensitive) if it is next.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Word(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_punct(&mut self, p: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(p)) {
+            self.pos += 1;
+            return true;
+        }
+        false
+    }
+
+    fn expect_punct(&mut self, p: char, context: &str) -> Result<(), ReadError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "expected '{p}' {context}, got {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    /// An identifier (bare or quoted), sanitized into tag space. Qualified
+    /// names (`schema.table`) collapse to their last component.
+    fn ident(&mut self, context: &str) -> Result<String, ReadError> {
+        let mut name = match self.next() {
+            Some(Tok::Word(w)) => w,
+            Some(Tok::Quoted(q)) => q,
+            other => return Err(err(format!("expected {context}, got {other:?}"))),
+        };
+        while self.eat_punct('.') {
+            name = match self.next() {
+                Some(Tok::Word(w)) => w,
+                Some(Tok::Quoted(q)) => q,
+                other => return Err(err(format!("expected {context}, got {other:?}"))),
+            };
+        }
+        Ok(sanitize_tag(&name))
+    }
+
+    /// Skips to just past the next `;` (or to EOF).
+    fn skip_statement(&mut self) {
+        while let Some(t) = self.next() {
+            if t == Tok::Punct(';') {
+                break;
+            }
+        }
+    }
+}
+
+fn parse_create_table(p: &mut Parser, tables: &mut Vec<(String, Table)>) -> Result<(), ReadError> {
+    // CREATE TABLE [IF NOT EXISTS] name ( ... )
+    if p.eat_kw("IF") {
+        let _ = p.eat_kw("NOT");
+        let _ = p.eat_kw("EXISTS");
+    }
+    let name = p.ident("a table name")?;
+    if tables.iter().any(|(n, _)| *n == name) {
+        return Err(err(format!("table \"{name}\" is declared twice")));
+    }
+    p.expect_punct('(', &format!("after CREATE TABLE {name}"))?;
+    let mut table = Table::default();
+    loop {
+        if p.eat_kw("PRIMARY") {
+            if !p.eat_kw("KEY") {
+                return Err(err(format!("expected KEY after PRIMARY in \"{name}\"")));
+            }
+            p.expect_punct('(', "after PRIMARY KEY")?;
+            let col = p.ident("a primary-key column")?;
+            if !p.eat_punct(')') {
+                return Err(err(format!(
+                    "composite primary keys are not supported (table \"{name}\")"
+                )));
+            }
+            table.primary_key = Some(col);
+        } else if p.eat_kw("FOREIGN") {
+            if !p.eat_kw("KEY") {
+                return Err(err(format!("expected KEY after FOREIGN in \"{name}\"")));
+            }
+            p.expect_punct('(', "after FOREIGN KEY")?;
+            let col = p.ident("a foreign-key column")?;
+            if !p.eat_punct(')') {
+                return Err(err(format!(
+                    "composite foreign keys are not supported (table \"{name}\")"
+                )));
+            }
+            if !p.eat_kw("REFERENCES") {
+                return Err(err(format!(
+                    "expected REFERENCES after FOREIGN KEY in \"{name}\""
+                )));
+            }
+            let (parent, parent_col) = parse_references(p)?;
+            set_foreign_key(&mut table, &name, col, parent, parent_col)?;
+        } else if p.eat_kw("UNIQUE") || p.eat_kw("CHECK") || p.eat_kw("CONSTRAINT") {
+            // Skip the named/auxiliary constraint body up to the next
+            // top-level comma or the closing paren.
+            skip_item(p);
+        } else {
+            // A column definition: name, type, then modifiers.
+            let col = p.ident("a column name")?;
+            let mut not_null = false;
+            let mut depth = 0usize;
+            loop {
+                match p.peek() {
+                    Some(Tok::Punct('(')) => {
+                        depth += 1;
+                        p.pos += 1;
+                    }
+                    Some(Tok::Punct(')')) if depth > 0 => {
+                        depth -= 1;
+                        p.pos += 1;
+                    }
+                    Some(Tok::Punct(')' | ',')) => break,
+                    Some(Tok::Word(w)) if w.eq_ignore_ascii_case("NOT") => {
+                        p.pos += 1;
+                        if p.eat_kw("NULL") {
+                            not_null = true;
+                        }
+                    }
+                    Some(Tok::Word(w)) if w.eq_ignore_ascii_case("PRIMARY") => {
+                        p.pos += 1;
+                        if p.eat_kw("KEY") {
+                            table.primary_key = Some(col.clone());
+                            not_null = true;
+                        }
+                    }
+                    Some(Tok::Word(w)) if w.eq_ignore_ascii_case("REFERENCES") => {
+                        p.pos += 1;
+                        let (parent, parent_col) = parse_references(p)?;
+                        set_foreign_key(&mut table, &name, col.clone(), parent, parent_col)?;
+                    }
+                    Some(_) => p.pos += 1,
+                    None => return Err(err(format!("unterminated CREATE TABLE \"{name}\""))),
+                }
+            }
+            if table.columns.iter().any(|c| c.tag == col) {
+                return Err(err(format!(
+                    "column \"{col}\" is declared twice in table \"{name}\""
+                )));
+            }
+            table.columns.push(Column { tag: col, not_null });
+        }
+        if p.eat_punct(',') {
+            continue;
+        }
+        p.expect_punct(')', &format!("to close CREATE TABLE {name}"))?;
+        break;
+    }
+    p.skip_statement();
+    tables.push((name, table));
+    Ok(())
+}
+
+/// `parent [(col)]` after a `REFERENCES` keyword.
+fn parse_references(p: &mut Parser) -> Result<(String, Option<String>), ReadError> {
+    let parent = p.ident("a referenced table")?;
+    let mut parent_col = None;
+    if p.eat_punct('(') {
+        parent_col = Some(p.ident("a referenced column")?);
+        p.expect_punct(')', "after the referenced column")?;
+    }
+    Ok((parent, parent_col))
+}
+
+fn set_foreign_key(
+    table: &mut Table,
+    name: &str,
+    col: String,
+    parent: String,
+    parent_col: Option<String>,
+) -> Result<(), ReadError> {
+    if table.foreign_key.is_some() {
+        return Err(err(format!(
+            "table \"{name}\" has multiple foreign keys; only tree-shaped schemas are supported"
+        )));
+    }
+    table.foreign_key = Some((col, parent, parent_col));
+    Ok(())
+}
+
+/// Skips a parenthesized-aware table item up to the next top-level `,`/`)`.
+fn skip_item(p: &mut Parser) {
+    let mut depth = 0usize;
+    loop {
+        match p.peek() {
+            Some(Tok::Punct('(')) => {
+                depth += 1;
+                p.pos += 1;
+            }
+            Some(Tok::Punct(')')) if depth > 0 => {
+                depth -= 1;
+                p.pos += 1;
+            }
+            Some(Tok::Punct(')' | ',')) | None => break,
+            Some(_) => p.pos += 1,
+        }
+    }
+}
+
+fn parse_insert(p: &mut Parser, tables: &mut [(String, Table)]) -> Result<(), ReadError> {
+    if !p.eat_kw("INTO") {
+        return Err(err("expected INTO after INSERT"));
+    }
+    let name = p.ident("a table name")?;
+    let ti = tables
+        .iter()
+        .position(|(n, _)| *n == name)
+        .ok_or_else(|| err(format!("INSERT INTO undeclared table \"{name}\"")))?;
+    let declared: Vec<String> = tables[ti].1.columns.iter().map(|c| c.tag.clone()).collect();
+    let cols: Vec<String> = if p.eat_punct('(') {
+        let mut cols = Vec::new();
+        loop {
+            let col = p.ident("a column name")?;
+            if !declared.contains(&col) {
+                return Err(err(format!(
+                    "INSERT INTO \"{name}\" names undeclared column \"{col}\""
+                )));
+            }
+            cols.push(col);
+            if p.eat_punct(',') {
+                continue;
+            }
+            p.expect_punct(')', "to close the column list")?;
+            break;
+        }
+        cols
+    } else {
+        declared.clone()
+    };
+    if !p.eat_kw("VALUES") {
+        return Err(err(format!("expected VALUES in INSERT INTO \"{name}\"")));
+    }
+    loop {
+        p.expect_punct('(', "to open a VALUES tuple")?;
+        let mut values: Vec<Option<String>> = Vec::new();
+        loop {
+            let value = match p.next() {
+                Some(Tok::Str(s)) => Some(s),
+                Some(Tok::Num(n)) => Some(n),
+                Some(Tok::Word(w)) if w.eq_ignore_ascii_case("NULL") => None,
+                Some(Tok::Word(w)) if w.eq_ignore_ascii_case("TRUE") => Some("true".to_string()),
+                Some(Tok::Word(w)) if w.eq_ignore_ascii_case("FALSE") => Some("false".to_string()),
+                other => return Err(err(format!("unsupported VALUES literal {other:?}"))),
+            };
+            values.push(value);
+            if p.eat_punct(',') {
+                continue;
+            }
+            p.expect_punct(')', "to close a VALUES tuple")?;
+            break;
+        }
+        if values.len() != cols.len() {
+            return Err(err(format!(
+                "INSERT INTO \"{name}\": {} values for {} columns",
+                values.len(),
+                cols.len()
+            )));
+        }
+        // Re-align onto the declared column order.
+        let mut row: Vec<Option<String>> = vec![None; declared.len()];
+        for (col, value) in cols.iter().zip(values) {
+            let ci = declared
+                .iter()
+                .position(|c| c == col)
+                .expect("column checked above");
+            row[ci] = value;
+        }
+        tables[ti].1.rows.push(row);
+        if p.eat_punct(',') {
+            continue;
+        }
+        break;
+    }
+    p.skip_statement();
+    Ok(())
+}
+
+impl SourceReader for SqlReader {
+    fn format(&self) -> SourceFormat {
+        SourceFormat::Sql
+    }
+
+    fn read(&self) -> Result<SourceContents, ReadError> {
+        let mut p = Parser {
+            toks: lex(&self.text)?,
+            pos: 0,
+        };
+        let mut tables: Vec<(String, Table)> = Vec::new();
+        while p.peek().is_some() {
+            if p.eat_punct(';') {
+                continue;
+            }
+            if p.eat_kw("CREATE") {
+                if p.eat_kw("TABLE") {
+                    parse_create_table(&mut p, &mut tables)?;
+                } else {
+                    p.skip_statement(); // CREATE INDEX / VIEW / ...
+                }
+            } else if p.eat_kw("INSERT") {
+                parse_insert(&mut p, &mut tables)?;
+            } else {
+                p.skip_statement(); // SET, BEGIN, COMMIT, DROP, ...
+            }
+        }
+        if tables.is_empty() {
+            return Err(err("no CREATE TABLE statements found"));
+        }
+        build_contents(tables)
+    }
+}
+
+fn build_contents(tables: Vec<(String, Table)>) -> Result<SourceContents, ReadError> {
+    let index: HashMap<&str, usize> = tables
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (n.as_str(), i))
+        .collect();
+
+    // Resolve foreign keys into join edges and check the tree shape.
+    // `joins[child] = (fk column index, parent index, parent join column)`.
+    let mut joins: Vec<Option<(usize, usize, String)>> = vec![None; tables.len()];
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); tables.len()];
+    for (i, (name, table)) in tables.iter().enumerate() {
+        let Some((col, parent, parent_col)) = &table.foreign_key else {
+            continue;
+        };
+        let &pi = index.get(parent.as_str()).ok_or_else(|| {
+            err(format!(
+                "table \"{name}\" references undeclared table \"{parent}\""
+            ))
+        })?;
+        let join_col = match parent_col {
+            Some(c) => c.clone(),
+            None => tables[pi].1.primary_key.clone().ok_or_else(|| {
+                err(format!(
+                    "foreign key in \"{name}\" references \"{parent}\", which has no primary key"
+                ))
+            })?,
+        };
+        let ci = table
+            .columns
+            .iter()
+            .position(|c| c.tag == *col)
+            .ok_or_else(|| {
+                err(format!(
+                    "foreign-key column \"{col}\" is not declared in table \"{name}\""
+                ))
+            })?;
+        joins[i] = Some((ci, pi, join_col));
+        children[pi].push(i);
+    }
+    let roots: Vec<usize> = (0..tables.len()).filter(|&i| joins[i].is_none()).collect();
+    let [root] = roots[..] else {
+        let names: Vec<&str> = roots.iter().map(|&i| tables[i].0.as_str()).collect();
+        return Err(err(format!(
+            "foreign keys must form a tree with one root table; found {} roots [{}]",
+            names.len(),
+            names.join(", ")
+        )));
+    };
+    // Cycle check: every table must reach the root along its parent chain.
+    for start in 0..tables.len() {
+        let mut hops = 0usize;
+        let mut i = start;
+        while let Some((_, pi, _)) = joins[i] {
+            i = pi;
+            hops += 1;
+            if hops > tables.len() {
+                return Err(err("foreign keys form a cycle"));
+            }
+        }
+    }
+
+    // Structural columns carry joins, not data: the FK column itself and
+    // the parent column it references.
+    let mut structural: Vec<Vec<bool>> = tables
+        .iter()
+        .map(|(_, t)| vec![false; t.columns.len()])
+        .collect();
+    for (i, join) in joins.iter().enumerate() {
+        let Some((ci, pi, join_col)) = join else {
+            continue;
+        };
+        structural[i][*ci] = true;
+        if let Some(pci) = tables[*pi]
+            .1
+            .columns
+            .iter()
+            .position(|c| c.tag == *join_col)
+        {
+            structural[*pi][pci] = true;
+        }
+    }
+
+    // The DDL is the schema: tables become elements, data columns leaves.
+    let mut decls: Vec<ElementDecl> = Vec::new();
+    let mut leaf_tags: Vec<String> = Vec::new();
+    for (i, (name, table)) in tables.iter().enumerate() {
+        let mut parts: Vec<ContentModel> = Vec::new();
+        for (ci, col) in table.columns.iter().enumerate() {
+            if structural[i][ci] {
+                continue;
+            }
+            if index.contains_key(col.tag.as_str()) {
+                return Err(err(format!(
+                    "column \"{}\" in table \"{name}\" collides with a table name",
+                    col.tag
+                )));
+            }
+            let occ = if col.not_null {
+                Occurrence::One
+            } else {
+                Occurrence::Optional
+            };
+            parts.push(ContentModel::Name(col.tag.clone(), occ));
+            if !leaf_tags.contains(&col.tag) {
+                leaf_tags.push(col.tag.clone());
+            }
+        }
+        for &child in &children[i] {
+            parts.push(ContentModel::Name(
+                tables[child].0.clone(),
+                Occurrence::ZeroOrMore,
+            ));
+        }
+        let content = if parts.is_empty() {
+            ContentModel::Empty
+        } else {
+            ContentModel::Seq(parts, Occurrence::One)
+        };
+        decls.push(ElementDecl::new(name.clone(), content));
+    }
+    for tag in &leaf_tags {
+        decls.push(ElementDecl::new(tag.clone(), ContentModel::Pcdata));
+    }
+    let dtd = Dtd::new(decls).map_err(|e| err(e.to_string()))?;
+
+    // Join the rows into listing trees, one per root-table row.
+    let listings = tables[root]
+        .1
+        .rows
+        .iter()
+        .map(|row| build_element(root, row, &tables, &joins, &children, &structural))
+        .collect::<Result<Vec<Element>, ReadError>>()?;
+    Ok(SourceContents { dtd, listings })
+}
+
+fn build_element(
+    ti: usize,
+    row: &[Option<String>],
+    tables: &[(String, Table)],
+    joins: &[Option<(usize, usize, String)>],
+    children: &[Vec<usize>],
+    structural: &[Vec<bool>],
+) -> Result<Element, ReadError> {
+    let (name, table) = &tables[ti];
+    let mut element = Element::new(name.clone());
+    for (ci, col) in table.columns.iter().enumerate() {
+        if structural[ti][ci] {
+            continue;
+        }
+        if let Some(Some(value)) = row.get(ci) {
+            element.push_child(Element::text_leaf(col.tag.clone(), value.clone()));
+        }
+    }
+    for &child in &children[ti] {
+        let (fk_ci, _, join_col) = joins[child]
+            .as_ref()
+            .expect("child tables joined by construction");
+        let join_ci = table
+            .columns
+            .iter()
+            .position(|c| c.tag == *join_col)
+            .ok_or_else(|| {
+                err(format!(
+                    "join column \"{join_col}\" is not declared in table \"{name}\""
+                ))
+            })?;
+        let Some(Some(key)) = row.get(join_ci) else {
+            continue; // NULL join key matches no child rows.
+        };
+        for child_row in &tables[child].1.rows {
+            if child_row.get(*fk_ci) == Some(&Some(key.clone())) {
+                element.push_child(build_element(
+                    child, child_row, tables, joins, children, structural,
+                )?);
+            }
+        }
+    }
+    Ok(element)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsd_xml::write_element;
+
+    const SCHEMA: &str = "
+        -- real-estate dump
+        CREATE TABLE house (
+            id INTEGER PRIMARY KEY,
+            area VARCHAR(80) NOT NULL,
+            price VARCHAR(20)
+        );
+        CREATE TABLE contact (
+            contact_id INTEGER PRIMARY KEY,
+            house_id INTEGER,
+            agent_name VARCHAR(80),
+            phone VARCHAR(20),
+            FOREIGN KEY (house_id) REFERENCES house (id)
+        );
+    ";
+
+    #[test]
+    fn ddl_only_yields_schema_and_zero_listings() {
+        let contents = SqlReader::new(SCHEMA).read().expect("reads");
+        assert!(contents.listings.is_empty());
+        assert_eq!(contents.dtd.root_name().expect("rooted"), "house");
+        assert_eq!(
+            contents
+                .dtd
+                .decl("house")
+                .expect("declared")
+                .content
+                .to_dtd_syntax(),
+            "(area, price?, contact*)",
+            "keys are structure, not data"
+        );
+        assert_eq!(
+            contents
+                .dtd
+                .decl("contact")
+                .expect("declared")
+                .content
+                .to_dtd_syntax(),
+            "(contact_id, agent_name?, phone?)",
+        );
+        assert!(contents.dtd.check_closed().is_ok());
+    }
+
+    #[test]
+    fn inserts_join_into_nested_listings() {
+        let sql = format!(
+            "{SCHEMA}
+            INSERT INTO house VALUES (1, 'Miami, FL', '$70,000'), (2, 'Kent, WA', NULL);
+            INSERT INTO contact (contact_id, house_id, agent_name, phone)
+                VALUES (10, 1, 'Gail Murphy', '305 1212'),
+                       (11, 2, 'Mike Smith', '206 5555');
+        "
+        );
+        let contents = SqlReader::new(&sql).read().expect("reads");
+        assert_eq!(contents.listings.len(), 2);
+        assert_eq!(
+            write_element(&contents.listings[0]),
+            "<house><area>Miami, FL</area><price>$70,000</price>\
+             <contact><contact_id>10</contact_id><agent_name>Gail Murphy</agent_name>\
+             <phone>305 1212</phone></contact></house>"
+        );
+        assert_eq!(
+            write_element(&contents.listings[1]),
+            "<house><area>Kent, WA</area>\
+             <contact><contact_id>11</contact_id><agent_name>Mike Smith</agent_name>\
+             <phone>206 5555</phone></contact></house>"
+        );
+        for listing in &contents.listings {
+            assert!(contents.dtd.validate(listing).is_ok());
+        }
+    }
+
+    #[test]
+    fn quoted_identifiers_preserve_tag_names() {
+        let sql = r#"
+            CREATE TABLE "house-listing" (
+                "id" INTEGER PRIMARY KEY,
+                "agent-phone" VARCHAR(20) NOT NULL
+            );
+            INSERT INTO "house-listing" VALUES (1, '(305) 729 0831');
+        "#;
+        let contents = SqlReader::new(sql).read().expect("reads");
+        assert_eq!(
+            write_element(&contents.listings[0]),
+            "<house-listing><id>1</id><agent-phone>(305) 729 0831</agent-phone></house-listing>"
+        );
+    }
+
+    #[test]
+    fn inline_references_and_string_escapes() {
+        let sql = "
+            CREATE TABLE a (k INTEGER PRIMARY KEY, v TEXT);
+            CREATE TABLE b (a_k INTEGER REFERENCES a, w TEXT);
+            INSERT INTO a VALUES (1, 'it''s fine');
+            INSERT INTO b VALUES (1, 'child');
+        ";
+        let contents = SqlReader::new(sql).read().expect("reads");
+        assert_eq!(
+            write_element(&contents.listings[0]),
+            "<a><v>it&apos;s fine</v><b><w>child</w></b></a>"
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_with_detail() {
+        let cases = [
+            ("SELECT 1;", "no CREATE TABLE"),
+            (
+                "CREATE TABLE t (a INT); CREATE TABLE t (b INT);",
+                "declared twice",
+            ),
+            (
+                "CREATE TABLE a (x INT); CREATE TABLE b (y INT);",
+                "one root table",
+            ),
+            ("CREATE TABLE a (x INT REFERENCES a (x));", "one root table"),
+            (
+                "CREATE TABLE a (x INT, FOREIGN KEY (x) REFERENCES ghost (y));",
+                "undeclared table",
+            ),
+            (
+                "CREATE TABLE t (a INT); INSERT INTO t VALUES (1, 2);",
+                "2 values for 1 columns",
+            ),
+            ("CREATE TABLE t (a INT, 'oops');", "expected a column name"),
+        ];
+        for (input, expected) in cases {
+            let e = SqlReader::new(input).read().expect_err(input);
+            assert_eq!(e.format, SourceFormat::Sql);
+            assert!(e.detail.contains(expected), "{input:?}: {e}");
+        }
+    }
+}

@@ -25,6 +25,7 @@ use crate::explain::RejectionReason;
 use crate::instance::{build_source_data, extract_instances, Instance};
 use crate::learners::{BaseLearner, XmlLearner};
 use crate::meta::MetaLearner;
+use crate::readers::{ReadError, SourceFormat, SourceReader};
 use crate::report::{MatchReport, TrainReport};
 use lsd_analysis::Diagnostic;
 use lsd_constraints::{
@@ -42,6 +43,11 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 /// A data source: its schema (DTD) and the listings extracted from it.
+///
+/// Construct one with [`Source::from_xml`] (the native representation) or
+/// [`Source::from_reader`] (any [`SourceReader`]: JSON, CSV, SQL DDL, or
+/// XML). Every reader normalizes into the same canonical `dtd` + `listings`
+/// pair, so the rest of the pipeline never sees the serialization format.
 #[derive(Debug, Clone)]
 pub struct Source {
     /// Display name, e.g. `realestate.com`.
@@ -50,6 +56,65 @@ pub struct Source {
     pub dtd: Dtd,
     /// Extracted listings, each conforming to the DTD.
     pub listings: Vec<Element>,
+    /// The serialization format this source was read from. Provenance
+    /// only: the pipeline treats every source identically.
+    pub format: SourceFormat,
+}
+
+impl Source {
+    /// A source from the native representation: a parsed DTD plus parsed
+    /// listing trees. Equivalent to the pre-reader struct literal.
+    pub fn from_xml(name: impl Into<String>, dtd: Dtd, listings: Vec<Element>) -> Self {
+        Source::from_parts(name, dtd, listings, SourceFormat::Xml)
+    }
+
+    /// A source from already-normalized parts with explicit format
+    /// provenance.
+    pub fn from_parts(
+        name: impl Into<String>,
+        dtd: Dtd,
+        listings: Vec<Element>,
+        format: SourceFormat,
+    ) -> Self {
+        Source {
+            name: name.into(),
+            dtd,
+            listings,
+            format,
+        }
+    }
+
+    /// The one constructor for foreign serializations: runs the reader and
+    /// wraps its normalized contents.
+    ///
+    /// # Errors
+    /// [`ReadError`] when the reader cannot parse its input; the error
+    /// names the format and the offending part.
+    pub fn from_reader(
+        name: impl Into<String>,
+        reader: &dyn SourceReader,
+    ) -> Result<Self, ReadError> {
+        let contents = reader.read()?;
+        Ok(Source::from_parts(
+            name,
+            contents.dtd,
+            contents.listings,
+            reader.format(),
+        ))
+    }
+}
+
+/// Where one trained source came from: recorded by [`Lsd::train`] and
+/// persisted with the model, so a snapshot remembers which serializations
+/// taught it.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SourceProvenance {
+    /// The source's display name.
+    pub source: String,
+    /// The serialization format the source was read from.
+    pub format: SourceFormat,
+    /// How many listings the source contributed.
+    pub listings: usize,
 }
 
 /// A training source: a source plus the user-specified 1-1 mappings from
@@ -219,6 +284,7 @@ impl LsdBuilder {
             compiled,
             config: self.config,
             trained: false,
+            provenance: Vec::new(),
         })
     }
 }
@@ -239,6 +305,8 @@ pub struct Lsd {
     pub(crate) compiled: CompiledConstraintSet,
     pub(crate) config: LsdConfig,
     pub(crate) trained: bool,
+    /// One entry per training source, recorded by [`Lsd::train`].
+    pub(crate) provenance: Vec<SourceProvenance>,
 }
 
 /// One ranked mediated-schema label for a source tag (see
@@ -491,6 +559,7 @@ impl Lsd {
 
         if !self.config.train_meta {
             self.meta = MetaLearner::uniform(self.labels.len(), self.learners.len());
+            self.record_provenance(sources);
             self.trained = true;
             return Ok(());
         }
@@ -523,8 +592,30 @@ impl Lsd {
                 )
             });
         self.meta = MetaLearner::train(&cv_sets, &truths, self.labels.len());
+        self.record_provenance(sources);
         self.trained = true;
         Ok(())
+    }
+
+    /// Snapshots per-source provenance after a successful training pass.
+    /// Retraining replaces the whole list, mirroring `train`'s
+    /// from-scratch semantics.
+    fn record_provenance(&mut self, sources: &[TrainedSource]) {
+        self.provenance = sources
+            .iter()
+            .map(|ts| SourceProvenance {
+                source: ts.source.name.clone(),
+                format: ts.source.format,
+                listings: ts.source.listings.len(),
+            })
+            .collect();
+    }
+
+    /// Where the trained sources came from: name, serialization format,
+    /// and listing count per source, in training order. Empty before
+    /// [`Lsd::train`] (and for snapshots saved before provenance existed).
+    pub fn source_provenance(&self) -> &[SourceProvenance] {
+        &self.provenance
     }
 
     /// Creates the labelled training instances for all sources: one example
@@ -1109,11 +1200,7 @@ mod tests {
             })
             .collect();
         TrainedSource {
-            source: Source {
-                name: "realestate.com".into(),
-                dtd,
-                listings,
-            },
+            source: Source::from_xml("realestate.com", dtd, listings),
             mapping: HashMap::from([
                 ("location".to_string(), "ADDRESS".to_string()),
                 ("comments".to_string(), "DESCRIPTION".to_string()),
@@ -1163,11 +1250,7 @@ mod tests {
             })
             .collect();
         TrainedSource {
-            source: Source {
-                name: "homeseekers.com".into(),
-                dtd,
-                listings,
-            },
+            source: Source::from_xml("homeseekers.com", dtd, listings),
             mapping: HashMap::from([
                 ("house-addr".to_string(), "ADDRESS".to_string()),
                 ("detailed-desc".to_string(), "DESCRIPTION".to_string()),
@@ -1207,11 +1290,7 @@ mod tests {
                 .unwrap()
             })
             .collect();
-        Source {
-            name: "greathomes.com".into(),
-            dtd,
-            listings,
-        }
+        Source::from_xml("greathomes.com", dtd, listings)
     }
 
     fn build_system() -> Lsd {

@@ -1,0 +1,513 @@
+//! Foreign-format emitters: serialize a [`GeneratedSource`] as XML, JSON,
+//! CSV or SQL, matching what the corresponding `lsd-core` reader accepts.
+//!
+//! The generator produces element trees; real sources arrive as files.
+//! These emitters close that gap so the multi-format ingestion path can be
+//! exercised end to end: emit a generated source in each serialization,
+//! read it back through the matching [`SourceReader`], and compare the
+//! instance columns. XML and JSON preserve the listing trees exactly; CSV
+//! and SQL are lossy only in the documented ways (CSV flattens nesting,
+//! SQL re-orders leaf children before nested tables), so per-tag *leaf*
+//! columns — what the learners actually consume — survive all four.
+//!
+//! | Emitter | Pairs with | Fidelity |
+//! |---|---|---|
+//! | [`emit_xml`] | `XmlReader::new` | exact: DTD + listings round-trip |
+//! | [`emit_json`] | `JsonReader` | exact listing trees (schema is re-synthesized) |
+//! | [`emit_csv`] | `CsvReader` | leaf columns; nesting flattened |
+//! | [`emit_sql`] | `SqlReader` | leaf columns; leaves sort before subtables |
+//!
+//! [`SourceReader`]: ../lsd_core/trait.SourceReader.html
+
+use crate::GeneratedSource;
+use lsd_xml::{write_element, Element, Node};
+use serde::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write;
+
+/// Serializes as native XML: the DTD in `<!ELEMENT ...>` syntax plus one
+/// compact document per listing. Feed both to `XmlReader::new` for an
+/// exact round-trip.
+pub fn emit_xml(source: &GeneratedSource) -> (String, Vec<String>) {
+    let dtd = source.dtd.to_dtd_syntax();
+    let listings = source.listings.iter().map(write_element).collect();
+    (dtd, listings)
+}
+
+/// Serializes as a JSON array with one object per listing. Nesting is
+/// preserved (groups become objects, leaves become string values) and keys
+/// keep document order, so `JsonReader` with the listing root as its
+/// record tag reconstructs the exact listing trees.
+pub fn emit_json(source: &GeneratedSource) -> String {
+    let listings: Vec<Value> = source.listings.iter().map(element_to_value).collect();
+    serde_json::to_string(&Value::Seq(listings)).unwrap_or_else(|_| "[]".to_string())
+}
+
+fn element_to_value(element: &Element) -> Value {
+    // An empty group must stay an (empty) object: a `""` leaf would read
+    // back with a text node the original never had.
+    if element.is_leaf() && !element.children.is_empty() {
+        return Value::Str(raw_text(element));
+    }
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    for child in element.child_elements() {
+        let value = element_to_value(child);
+        match entries.iter_mut().find(|(k, _)| *k == child.name) {
+            // A repeated tag becomes an array (the reader maps arrays back
+            // to repeated elements). Datagen emits each tag at most once
+            // per parent, so this is purely defensive.
+            Some((_, Value::Seq(items))) => items.push(value),
+            Some((_, existing)) => {
+                let first = std::mem::replace(existing, Value::Null);
+                *existing = Value::Seq(vec![first, value]);
+            }
+            None => entries.push((child.name.clone(), value)),
+        }
+    }
+    Value::Map(entries)
+}
+
+/// The concatenated raw text runs of an element, without the whitespace
+/// normalization of [`Element::direct_text`] — emitters must not alter the
+/// generated values.
+fn raw_text(element: &Element) -> String {
+    element
+        .children
+        .iter()
+        .filter_map(Node::as_text)
+        .collect::<Vec<_>>()
+        .concat()
+}
+
+/// Tags that never contain child elements anywhere in the listings — the
+/// value-bearing columns that flat formats can represent.
+fn leaf_tags(listings: &[Element]) -> BTreeSet<String> {
+    let mut groups: BTreeSet<String> = BTreeSet::new();
+    let mut all: BTreeSet<String> = BTreeSet::new();
+    for listing in listings {
+        listing.visit(&mut |e| {
+            all.insert(e.name.clone());
+            if !e.is_leaf() {
+                groups.insert(e.name.clone());
+            }
+        });
+    }
+    all.difference(&groups).cloned().collect()
+}
+
+/// Per-tag leaf columns: for every leaf tag, its text occurrences in
+/// listing order. This is the invariant the lossy emitters preserve — the
+/// round-trip harness compares these across serializations.
+pub fn leaf_columns(listings: &[Element]) -> BTreeMap<String, Vec<String>> {
+    let leaves = leaf_tags(listings);
+    let mut columns: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for listing in listings {
+        listing.visit(&mut |e| {
+            if leaves.contains(&e.name) {
+                columns.entry(e.name.clone()).or_default().push(raw_text(e));
+            }
+        });
+    }
+    columns
+}
+
+/// Serializes as CSV with a header row: one column per leaf tag in
+/// first-occurrence document order, one row per listing. Nesting is
+/// flattened; absent optional leaves become empty cells.
+///
+/// # Errors
+/// If a listing contains a leaf tag twice (one cell cannot hold two
+/// values) or a generated value is empty (an empty cell reads back as
+/// *absent*, which would corrupt the round-trip).
+pub fn emit_csv(source: &GeneratedSource) -> Result<String, String> {
+    let leaves = leaf_tags(&source.listings);
+    // Header order: first occurrence across listings in document order.
+    let mut header: Vec<String> = Vec::new();
+    for listing in &source.listings {
+        listing.visit(&mut |e| {
+            if leaves.contains(&e.name) && !header.contains(&e.name) {
+                header.push(e.name.clone());
+            }
+        });
+    }
+    let mut out = String::new();
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| csv_field(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for listing in &source.listings {
+        let mut cells: BTreeMap<&str, String> = BTreeMap::new();
+        let mut problem: Option<String> = None;
+        listing.visit(&mut |e| {
+            if leaves.contains(&e.name) {
+                let text = raw_text(e);
+                if text.is_empty() {
+                    problem.get_or_insert(format!("leaf \"{}\" has empty text", e.name));
+                } else if cells.insert(e.name.as_str(), text).is_some() {
+                    problem.get_or_insert(format!("leaf \"{}\" repeats in one listing", e.name));
+                }
+            }
+        });
+        if let Some(problem) = problem {
+            return Err(format!("cannot emit CSV: {problem}"));
+        }
+        let row: Vec<String> = header
+            .iter()
+            .map(|h| csv_field(cells.get(h.as_str()).map_or("", String::as_str)))
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote or line break.
+fn csv_field(text: &str) -> String {
+    if text.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", text.replace('"', "\"\""))
+    } else {
+        text.to_string()
+    }
+}
+
+/// One table per non-leaf tag during SQL emission.
+struct SqlTable {
+    /// Parent table name; `None` for the listing root.
+    parent: Option<String>,
+    /// Leaf-child column tags in first-occurrence order.
+    columns: Vec<String>,
+    /// Whether any other table references this one (needs a primary key).
+    referenced: bool,
+    /// Synthetic primary-key column name (chosen to avoid data columns).
+    pk: String,
+    /// Synthetic foreign-key column name.
+    fk: String,
+    /// `(id, parent id, cells)` per occurrence, in listing order.
+    rows: Vec<(usize, Option<usize>, BTreeMap<String, String>)>,
+}
+
+/// Serializes as SQL DDL + DML: one `CREATE TABLE` per non-leaf tag (leaf
+/// children become `TEXT` columns, nested groups become child tables with
+/// a `REFERENCES` edge) and `INSERT`s carrying the listings. Synthetic
+/// key columns are chosen to avoid the data columns; `SqlReader` drops
+/// them again as structural.
+///
+/// # Errors
+/// If a tag nests under two different parents (tables would collide), a
+/// group repeats within its parent, or a leaf tag doubles as a group tag
+/// elsewhere — shapes relational DDL cannot express as one tree.
+pub fn emit_sql(source: &GeneratedSource) -> Result<String, String> {
+    let leaves = leaf_tags(&source.listings);
+    // Discover tables and rows in one traversal per listing.
+    let mut order: Vec<String> = Vec::new();
+    let mut tables: BTreeMap<String, SqlTable> = BTreeMap::new();
+    let mut next_id: BTreeMap<String, usize> = BTreeMap::new();
+    for listing in &source.listings {
+        collect_sql_rows(
+            listing,
+            None,
+            None,
+            &leaves,
+            &mut order,
+            &mut tables,
+            &mut next_id,
+        )?;
+    }
+
+    // Pick synthetic key names that no data column uses.
+    let names: Vec<String> = order.clone();
+    for name in &names {
+        let parent = tables[name].parent.clone();
+        let taken: BTreeSet<String> = tables[name].columns.iter().cloned().collect();
+        let pk = free_name("id", &taken);
+        let fk = parent
+            .as_ref()
+            .map(|p| free_name(&format!("{p}_id"), &taken))
+            .unwrap_or_default();
+        if let Some(t) = tables.get_mut(name) {
+            t.pk = pk;
+            t.fk = fk;
+        }
+    }
+    for name in &names {
+        if let Some(parent) = tables[name].parent.clone() {
+            if let Some(t) = tables.get_mut(&parent) {
+                t.referenced = true;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for name in &order {
+        let t = &tables[name];
+        let mut defs: Vec<String> = Vec::new();
+        if t.referenced {
+            defs.push(format!("{} INTEGER PRIMARY KEY", sql_ident(&t.pk)));
+        }
+        if let Some(parent) = &t.parent {
+            let p = &tables[parent];
+            defs.push(format!(
+                "{} INTEGER REFERENCES {}({})",
+                sql_ident(&t.fk),
+                sql_ident(parent),
+                sql_ident(&p.pk)
+            ));
+        }
+        for col in &t.columns {
+            defs.push(format!("{} TEXT", sql_ident(col)));
+        }
+        let _ = writeln!(out, "CREATE TABLE {} (", sql_ident(name));
+        let _ = writeln!(out, "  {}", defs.join(",\n  "));
+        out.push_str(");\n");
+    }
+    for name in &order {
+        let t = &tables[name];
+        if t.rows.is_empty() {
+            continue;
+        }
+        let mut cols: Vec<String> = Vec::new();
+        if t.referenced {
+            cols.push(t.pk.clone());
+        }
+        if t.parent.is_some() {
+            cols.push(t.fk.clone());
+        }
+        cols.extend(t.columns.iter().cloned());
+        let col_list: Vec<String> = cols.iter().map(|c| sql_ident(c)).collect();
+        let _ = writeln!(
+            out,
+            "INSERT INTO {} ({}) VALUES",
+            sql_ident(name),
+            col_list.join(", ")
+        );
+        let tuples: Vec<String> = t
+            .rows
+            .iter()
+            .map(|(id, parent_id, cells)| {
+                let mut values: Vec<String> = Vec::new();
+                if t.referenced {
+                    values.push(id.to_string());
+                }
+                if t.parent.is_some() {
+                    values.push(parent_id.map_or_else(|| "NULL".to_string(), |p| p.to_string()));
+                }
+                for col in &t.columns {
+                    values.push(cells.get(col).map_or_else(
+                        || "NULL".to_string(),
+                        |v| format!("'{}'", v.replace('\'', "''")),
+                    ));
+                }
+                format!("  ({})", values.join(", "))
+            })
+            .collect();
+        out.push_str(&tuples.join(",\n"));
+        out.push_str(";\n");
+    }
+    Ok(out)
+}
+
+/// Walks one group occurrence: registers its table, claims a row id, and
+/// recurses into nested groups.
+fn collect_sql_rows(
+    element: &Element,
+    parent: Option<&str>,
+    parent_id: Option<usize>,
+    leaves: &BTreeSet<String>,
+    order: &mut Vec<String>,
+    tables: &mut BTreeMap<String, SqlTable>,
+    next_id: &mut BTreeMap<String, usize>,
+) -> Result<(), String> {
+    if leaves.contains(&element.name) {
+        return Err(format!(
+            "cannot emit SQL: tag \"{}\" is both a leaf and a group",
+            element.name
+        ));
+    }
+    let table = tables.entry(element.name.clone()).or_insert_with(|| {
+        order.push(element.name.clone());
+        SqlTable {
+            parent: parent.map(str::to_string),
+            columns: Vec::new(),
+            referenced: false,
+            pk: String::new(),
+            fk: String::new(),
+            rows: Vec::new(),
+        }
+    });
+    if table.parent.as_deref() != parent {
+        return Err(format!(
+            "cannot emit SQL: tag \"{}\" nests under both {:?} and {:?}",
+            element.name, table.parent, parent
+        ));
+    }
+    let id = {
+        let counter = next_id.entry(element.name.clone()).or_insert(0);
+        *counter += 1;
+        *counter
+    };
+    let mut cells: BTreeMap<String, String> = BTreeMap::new();
+    let mut groups: Vec<&Element> = Vec::new();
+    for child in element.child_elements() {
+        if leaves.contains(&child.name) {
+            if cells.insert(child.name.clone(), raw_text(child)).is_some() {
+                return Err(format!(
+                    "cannot emit SQL: leaf \"{}\" repeats under \"{}\"",
+                    child.name, element.name
+                ));
+            }
+            let table = tables.get_mut(&element.name).expect("just inserted");
+            if !table.columns.contains(&child.name) {
+                table.columns.push(child.name.clone());
+            }
+        } else {
+            groups.push(child);
+        }
+    }
+    let table = tables.get_mut(&element.name).expect("just inserted");
+    table.rows.push((id, parent_id, cells));
+    for child in groups {
+        collect_sql_rows(
+            child,
+            Some(&element.name),
+            Some(id),
+            leaves,
+            order,
+            tables,
+            next_id,
+        )?;
+    }
+    Ok(())
+}
+
+/// `base`, or `base` with underscores appended until it avoids `taken`.
+fn free_name(base: &str, taken: &BTreeSet<String>) -> String {
+    let mut name = base.to_string();
+    while taken.contains(&name) {
+        name.push('_');
+    }
+    name
+}
+
+/// Double-quotes an identifier so exotic tag names survive the SQL lexer.
+fn sql_ident(name: &str) -> String {
+    format!("\"{}\"", name.replace('"', ""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_domain, DomainId};
+    use lsd_core::{CsvReader, JsonReader, SourceReader, SqlReader, XmlReader};
+
+    /// A small generated source per domain, plus its listing root tag.
+    fn sources() -> Vec<(GeneratedSource, String)> {
+        DomainId::ALL
+            .iter()
+            .map(|&id| {
+                let source = generate_domain(id, 6, 11).sources.swap_remove(0);
+                let root = source.listings[0].name.clone();
+                (source, root)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn xml_round_trips_dtd_and_listings_exactly() {
+        for (source, _) in sources() {
+            let (dtd, listings) = emit_xml(&source);
+            let contents = XmlReader::new(dtd, listings).read().expect("xml reads");
+            // A one-part `Seq` reparses as a bare `Name`; the rendered
+            // syntax is the canonical form, so compare that.
+            assert_eq!(
+                contents.dtd.to_dtd_syntax(),
+                source.dtd.to_dtd_syntax(),
+                "{}",
+                source.name
+            );
+            assert_eq!(contents.listings, source.listings, "{}", source.name);
+        }
+    }
+
+    #[test]
+    fn json_round_trips_listing_trees_exactly() {
+        for (source, root) in sources() {
+            let json = emit_json(&source);
+            let contents = JsonReader::new(json)
+                .with_record_tag(&root)
+                .read()
+                .expect("json reads");
+            assert_eq!(contents.listings, source.listings, "{}", source.name);
+        }
+    }
+
+    #[test]
+    fn csv_preserves_leaf_columns() {
+        for (source, root) in sources() {
+            let csv = emit_csv(&source).expect("csv emits");
+            let contents = CsvReader::new(csv)
+                .with_record_tag(&root)
+                .read()
+                .expect("csv reads");
+            assert_eq!(
+                leaf_columns(&contents.listings),
+                leaf_columns(&source.listings),
+                "{}",
+                source.name
+            );
+            assert_eq!(contents.listings.len(), source.listings.len());
+        }
+    }
+
+    #[test]
+    fn sql_preserves_leaf_columns_and_root_tag() {
+        for (source, root) in sources() {
+            let sql = emit_sql(&source).expect("sql emits");
+            let contents = SqlReader::new(sql).read().expect("sql reads");
+            assert_eq!(contents.listings.len(), source.listings.len());
+            assert_eq!(contents.listings[0].name, root, "{}", source.name);
+            assert_eq!(
+                leaf_columns(&contents.listings),
+                leaf_columns(&source.listings),
+                "{}",
+                source.name
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_json_keys_become_arrays() {
+        let mut listing = Element::new("r");
+        listing.push_child(Element::text_leaf("x", "a"));
+        listing.push_child(Element::text_leaf("x", "b"));
+        let value = element_to_value(&listing);
+        let Value::Map(entries) = value else {
+            panic!("expected a map");
+        };
+        assert_eq!(
+            entries,
+            vec![(
+                "x".to_string(),
+                Value::Seq(vec![
+                    Value::Str("a".to_string()),
+                    Value::Str("b".to_string())
+                ])
+            )]
+        );
+    }
+
+    #[test]
+    fn csv_rejects_repeated_leaves() {
+        let mut source = generate_domain(DomainId::RealEstate1, 2, 3)
+            .sources
+            .swap_remove(0);
+        let repeat = Element::text_leaf("twice", "a");
+        source.listings[0].push_child(repeat.clone());
+        source.listings[0].push_child(repeat);
+        let e = emit_csv(&source).expect_err("rejects");
+        assert!(e.contains("repeats"), "{e}");
+    }
+}

@@ -28,11 +28,13 @@
 //! Entry point: [`generate_domain`] (or [`DomainId::generate`]).
 
 mod domains;
+pub mod emit;
 mod engine;
 mod spec;
 mod values;
 mod vocab;
 
+pub use emit::{emit_csv, emit_json, emit_sql, emit_xml, leaf_columns};
 pub use engine::{GeneratedDomain, GeneratedSource};
 pub use spec::{ConceptDef, ConceptId, DomainSpec, SourceStructure, TreeNode};
 pub use values::ValueKind;

@@ -37,6 +37,13 @@ pub enum ServeError {
         /// Configured maximum.
         limit: usize,
     },
+    /// The request's `Content-Type` names no serialization the server can
+    /// read (`415`). The supported types are `application/json`,
+    /// `application/xml`, `text/csv` and `application/sql`.
+    UnsupportedMediaType {
+        /// The declared content type.
+        content_type: String,
+    },
     /// The request names a model the registry does not hold (`404`).
     ModelNotFound {
         /// The requested model name.
@@ -86,6 +93,7 @@ impl ServeError {
             ServeError::NotFound { .. } | ServeError::ModelNotFound { .. } => 404,
             ServeError::MethodNotAllowed { .. } => 405,
             ServeError::PayloadTooLarge { .. } => 413,
+            ServeError::UnsupportedMediaType { .. } => 415,
             ServeError::ModelInvalid { .. } => 422,
             ServeError::QueueFull { .. } | ServeError::ShuttingDown | ServeError::NoActiveModel => {
                 503
@@ -106,6 +114,7 @@ impl ServeError {
             ServeError::NotFound { .. } => "not_found",
             ServeError::MethodNotAllowed { .. } => "method_not_allowed",
             ServeError::PayloadTooLarge { .. } => "payload_too_large",
+            ServeError::UnsupportedMediaType { .. } => "unsupported_media_type",
             ServeError::ModelNotFound { .. } => "model_not_found",
             ServeError::ModelInvalid { .. } => "model_invalid",
             ServeError::QueueFull { .. } => "queue_full",
@@ -137,6 +146,13 @@ impl fmt::Display for ServeError {
             }
             ServeError::PayloadTooLarge { length, limit } => {
                 write!(f, "body of {length} bytes exceeds the {limit}-byte limit")
+            }
+            ServeError::UnsupportedMediaType { content_type } => {
+                write!(
+                    f,
+                    "unsupported Content-Type {content_type:?}; use application/json, \
+                     application/xml, text/csv or application/sql"
+                )
             }
             ServeError::ModelNotFound { name } => write!(f, "no model named '{name}'"),
             ServeError::ModelInvalid { name, detail } => {
@@ -196,6 +212,12 @@ mod tests {
                     limit: 5,
                 },
                 413,
+            ),
+            (
+                ServeError::UnsupportedMediaType {
+                    content_type: "image/png".into(),
+                },
+                415,
             ),
             (ServeError::ModelNotFound { name: "m".into() }, 404),
             (

@@ -101,11 +101,7 @@ pub fn parse_match_request(body: &[u8]) -> Result<MatchRequest, ServeError> {
 
     Ok(MatchRequest {
         model,
-        source: Source {
-            name,
-            dtd,
-            listings,
-        },
+        source: Source::from_xml(name, dtd, listings),
     })
 }
 

@@ -40,6 +40,7 @@
 mod error;
 pub mod http;
 pub mod json;
+pub mod media;
 mod queue;
 mod registry;
 mod server;

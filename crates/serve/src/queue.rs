@@ -337,11 +337,7 @@ mod tests {
         let dtd = lsd_xml::parse_dtd("<!ELEMENT a (#PCDATA)>").expect("dtd");
         Job {
             kind: JobKind::Match,
-            source: Source {
-                name: "q".into(),
-                dtd,
-                listings: Vec::new(),
-            },
+            source: Source::from_xml("q", dtd, Vec::new()),
             model: Arc::new(ModelEntry {
                 name: "m".into(),
                 lsd: untrained_model(),

@@ -15,7 +15,7 @@
 
 use crate::error::ServeError;
 use crate::http::{error_response, read_request, write_response, ReadOutcome, Request, Response};
-use crate::json;
+use crate::media;
 use crate::queue::{worker_loop, Job, JobKind, RequestQueue};
 use crate::registry::ModelRegistry;
 use serde::Value;
@@ -224,7 +224,7 @@ fn request_deadline(request: &Request, config: &ServeConfig) -> Result<Duration,
 /// Enqueues a parsed match/explain request and waits for the reply, never
 /// longer than deadline + processing grace.
 fn run_job(shared: &Shared, kind: JobKind, request: &Request) -> Result<String, ServeError> {
-    let parsed = json::parse_match_request(&request.body)?;
+    let parsed = media::parse_request(request)?;
     let model = shared.registry.model(parsed.model.as_deref())?;
     let deadline = request_deadline(request, &shared.config)?;
     let deadline_ms = deadline.as_millis() as u64;
@@ -367,6 +367,8 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             ReadOutcome::Failed(error) => {
                 // The request was unreadable; answer and close — the stream
                 // position is unreliable now.
+                lsd_obs::counter_add("serve.http_errors", error.code(), 1);
+                lsd_obs::flush();
                 let _ = write_response(&mut stream, &error_response(&error), true);
                 break;
             }
@@ -378,12 +380,20 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                 } else {
                     match route(shared, &request) {
                         Ok(response) => response,
-                        Err(error) => error_response(&error),
+                        Err(error) => {
+                            lsd_obs::counter_add("serve.http_errors", error.code(), 1);
+                            error_response(&error)
+                        }
                     }
                 };
                 let label = endpoint_label(&request.path);
                 lsd_obs::counter_add("serve.http_requests", label, 1);
                 lsd_obs::record_duration("serve.request_ns", label, started.elapsed());
+                // Merge this thread's shard before answering: once the
+                // client has the response, a follow-up `/metrics` scrape
+                // (on a different connection thread) must see the request
+                // counted.
+                lsd_obs::flush();
                 let close = request.wants_close() || draining;
                 if write_response(&mut stream, &response, close).is_err() || close {
                     break;

@@ -41,11 +41,7 @@ fn train_model(rows: &[(&str, &str, &str)]) -> Lsd {
     let mediated = parse_dtd(MEDIATED).expect("mediated DTD");
     let dtd = parse_dtd(SOURCE_DTD).expect("source DTD");
     let train = TrainedSource {
-        source: Source {
-            name: "train".into(),
-            dtd,
-            listings: listings(rows),
-        },
+        source: Source::from_xml("train", dtd, listings(rows)),
         mapping: HashMap::from([
             ("home".to_string(), "HOUSE".to_string()),
             ("location".to_string(), "ADDRESS".to_string()),
@@ -90,14 +86,14 @@ fn model_b() -> Lsd {
 
 /// The query every test sends: a small unseen source.
 fn query_source() -> Source {
-    Source {
-        name: "query".into(),
-        dtd: parse_dtd(SOURCE_DTD).expect("query DTD"),
-        listings: listings(&[
+    Source::from_xml(
+        "query",
+        parse_dtd(SOURCE_DTD).expect("query DTD"),
+        listings(&[
             ("Raleigh, NC", "Corner lot with big trees", "(919) 222 3333"),
             ("Tampa, FL", "Walkable and sunny", "(813) 444 5555"),
         ]),
-    }
+    )
 }
 
 fn match_request_body() -> String {
@@ -471,6 +467,90 @@ fn concurrent_hot_swap_serves_every_request_from_exactly_one_model() {
     // After the swap settles, only B answers.
     let settled = post_match(addr);
     assert_eq!(settled.text(), expected_b);
+
+    handle.shutdown();
+    join.join().expect("server exits");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn match_negotiates_json_csv_sql_and_xml_bodies() {
+    let dir = model_dir("formats");
+    model_a().save_json(dir.join("m.json")).expect("saves");
+    let (handle, join) = boot(&dir, ServeConfig::default());
+    let addr = handle.addr();
+
+    // The same two listings in each serialization; leaf tags match the
+    // trained source, so every format should map them identically.
+    let json_body = r#"[
+        {"location": "Raleigh, NC", "comments": "Corner lot with big trees", "contact": "(919) 222 3333"},
+        {"location": "Tampa, FL", "comments": "Walkable and sunny", "contact": "(813) 444 5555"}
+    ]"#;
+    let csv_body = "location,comments,contact\n\
+                    \"Raleigh, NC\",Corner lot with big trees,(919) 222 3333\n\
+                    \"Tampa, FL\",Walkable and sunny,(813) 444 5555\n";
+    let sql_body = "CREATE TABLE home (location TEXT NOT NULL, comments TEXT, contact TEXT);\n\
+                    INSERT INTO home VALUES\n\
+                      ('Raleigh, NC', 'Corner lot with big trees', '(919) 222 3333'),\n\
+                      ('Tampa, FL', 'Walkable and sunny', '(813) 444 5555');";
+    let xml_body = "<homes>\
+        <home><location>Raleigh, NC</location>\
+        <comments>Corner lot with big trees</comments>\
+        <contact>(919) 222 3333</contact></home>\
+        <home><location>Tampa, FL</location>\
+        <comments>Walkable and sunny</comments>\
+        <contact>(813) 444 5555</contact></home></homes>";
+    for (content_type, body) in [
+        ("application/json", json_body),
+        ("text/csv", csv_body),
+        ("application/sql", sql_body),
+        ("application/xml", xml_body),
+    ] {
+        let response = http(
+            addr,
+            "POST",
+            "/v1/match",
+            &[("Content-Type", content_type), ("X-Lsd-Source", "multi")],
+            body.as_bytes(),
+        );
+        assert_eq!(
+            response.status,
+            200,
+            "{content_type} body: {}",
+            response.text()
+        );
+        let text = response.text();
+        for pair in [
+            "\"location\":\"ADDRESS\"",
+            "\"comments\":\"DESCRIPTION\"",
+            "\"contact\":\"PHONE\"",
+        ] {
+            assert!(
+                text.contains(pair),
+                "{content_type}: missing {pair}: {text}"
+            );
+        }
+    }
+
+    // An unknown serialization is a 415, counted in /metrics.
+    let unsupported = http(
+        addr,
+        "POST",
+        "/v1/match",
+        &[("Content-Type", "image/png")],
+        b"bytes",
+    );
+    assert_eq!(unsupported.status, 415, "body: {}", unsupported.text());
+    assert!(
+        unsupported.text().contains("unsupported_media_type"),
+        "{}",
+        unsupported.text()
+    );
+    let metrics = http(addr, "GET", "/metrics", &[], b"").text();
+    assert!(
+        metrics.contains("serve_http_errors{label=\"unsupported_media_type\"}"),
+        "{metrics}"
+    );
 
     handle.shutdown();
     join.join().expect("server exits");

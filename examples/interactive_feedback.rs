@@ -35,11 +35,7 @@ fn main() {
     let training: Vec<TrainedSource> = domain.sources[..3]
         .iter()
         .map(|gs| TrainedSource {
-            source: Source {
-                name: gs.name.clone(),
-                dtd: gs.dtd.clone(),
-                listings: gs.listings.clone(),
-            },
+            source: Source::from_xml(gs.name.clone(), gs.dtd.clone(), gs.listings.clone()),
             mapping: gs.mapping.clone(),
         })
         .collect();
@@ -47,11 +43,7 @@ fn main() {
         .expect("training sources have listings");
 
     let gs = &domain.sources[4];
-    let source = Source {
-        name: gs.name.clone(),
-        dtd: gs.dtd.clone(),
-        listings: gs.listings.clone(),
-    };
+    let source = Source::from_xml(gs.name.clone(), gs.dtd.clone(), gs.listings.clone());
 
     // One manual round first, to show the mechanics of a single feedback
     // constraint.

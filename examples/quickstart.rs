@@ -60,15 +60,15 @@ fn main() {
 
     // Training phase (Section 3.1): the user maps two sources by hand.
     let realestate = TrainedSource {
-        source: Source {
-            name: "realestate.com".into(),
-            dtd: parse_dtd(
+        source: Source::from_xml(
+            "realestate.com",
+            parse_dtd(
                 "<!ELEMENT house (location, comments, contact)>\n\
                  <!ELEMENT location (#PCDATA)>\n<!ELEMENT comments (#PCDATA)>\n\
                  <!ELEMENT contact (#PCDATA)>",
             )
             .expect("valid DTD"),
-            listings: listings(
+            listings(
                 &[
                     ("Miami, FL", "Fantastic house, nice area", "(305) 729 0831"),
                     (
@@ -84,7 +84,7 @@ fn main() {
                 ],
                 ["house", "location", "comments", "contact"],
             ),
-        },
+        ),
         mapping: HashMap::from([
             ("house".to_string(), "HOUSE".to_string()),
             ("location".to_string(), "ADDRESS".to_string()),
@@ -93,15 +93,15 @@ fn main() {
         ]),
     };
     let homeseekers = TrainedSource {
-        source: Source {
-            name: "homeseekers.com".into(),
-            dtd: parse_dtd(
+        source: Source::from_xml(
+            "homeseekers.com",
+            parse_dtd(
                 "<!ELEMENT listing (house-addr, detailed-desc, phone)>\n\
                  <!ELEMENT house-addr (#PCDATA)>\n<!ELEMENT detailed-desc (#PCDATA)>\n\
                  <!ELEMENT phone (#PCDATA)>",
             )
             .expect("valid DTD"),
-            listings: listings(
+            listings(
                 &[
                     (
                         "Seattle, WA",
@@ -121,7 +121,7 @@ fn main() {
                 ],
                 ["listing", "house-addr", "detailed-desc", "phone"],
             ),
-        },
+        ),
         mapping: HashMap::from([
             ("listing".to_string(), "HOUSE".to_string()),
             ("house-addr".to_string(), "ADDRESS".to_string()),
@@ -134,15 +134,15 @@ fn main() {
     println!("trained on 2 sources; learners: {:?}", lsd.learner_names());
 
     // Matching phase (Section 3.2): an unseen source.
-    let greathomes = Source {
-        name: "greathomes.com".into(),
-        dtd: parse_dtd(
+    let greathomes = Source::from_xml(
+        "greathomes.com",
+        parse_dtd(
             "<!ELEMENT home (area, extra-info, contact-phone)>\n\
              <!ELEMENT area (#PCDATA)>\n<!ELEMENT extra-info (#PCDATA)>\n\
              <!ELEMENT contact-phone (#PCDATA)>",
         )
         .expect("valid DTD"),
-        listings: listings(
+        listings(
             &[
                 (
                     "Orlando, FL",
@@ -162,7 +162,7 @@ fn main() {
             ],
             ["home", "area", "extra-info", "contact-phone"],
         ),
-    };
+    );
     let outcome = lsd.match_source(&greathomes).expect("well-formed source");
 
     println!("\nproposed 1-1 mappings for greathomes.com:");

@@ -43,11 +43,11 @@ fn main() {
     let training: Vec<TrainedSource> = domain.sources[..3]
         .iter()
         .map(|gs| TrainedSource {
-            source: lsd::core::Source {
-                name: gs.name.clone(),
-                dtd: gs.dtd.clone(),
-                listings: gs.listings.clone(),
-            },
+            source: lsd::core::Source::from_xml(
+                gs.name.clone(),
+                gs.dtd.clone(),
+                gs.listings.clone(),
+            ),
             mapping: gs.mapping.clone(),
         })
         .collect();
@@ -63,11 +63,8 @@ fn main() {
 
     // Match the two held-out sources.
     for gs in &domain.sources[3..] {
-        let source = lsd::core::Source {
-            name: gs.name.clone(),
-            dtd: gs.dtd.clone(),
-            listings: gs.listings.clone(),
-        };
+        let source =
+            lsd::core::Source::from_xml(gs.name.clone(), gs.dtd.clone(), gs.listings.clone());
         let outcome = lsd.match_source(&source).expect("well-formed source");
         let mut correct = 0;
         let mut wrong = Vec::new();

@@ -386,11 +386,7 @@ fn read_source(dir: &Path) -> Result<Source, String> {
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_else(|| dir.display().to_string());
-    Ok(Source {
-        name,
-        dtd,
-        listings,
-    })
+    Ok(Source::from_xml(name, dtd, listings))
 }
 
 /// Reads a training source: [`read_source`] plus `mapping.tsv`.

@@ -43,5 +43,13 @@ pub use lsd_core::{
 };
 pub use lsd_core::{Diagnostic, DiagnosticCode, Severity};
 
+// The source-reader surface: every serialization funnels through
+// `Source::from_reader`, so `lsd::CsvReader` and friends sit beside
+// `lsd::Source` at the root.
+pub use lsd_core::{
+    synthesize_dtd, CsvReader, JsonReader, ReadError, SourceContents, SourceFormat,
+    SourceProvenance, SourceReader, SqlReader, XmlReader,
+};
+
 /// The crate version, for experiment logs.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -19,11 +19,7 @@ fn training_source() -> TrainedSource {
         parse_fragment("<h><addr>Boston, MA</addr><cost>$200,000</cost></h>").unwrap(),
     ];
     TrainedSource {
-        source: Source {
-            name: "web.com".into(),
-            dtd,
-            listings,
-        },
+        source: Source::from_xml("web.com", dtd, listings),
         mapping: HashMap::from([
             ("h".to_string(), "H".to_string()),
             ("addr".to_string(), "ADDRESS".to_string()),

@@ -37,16 +37,16 @@ fn fixture() -> Fixture {
         .expect("well-formed")
     };
     let train = TrainedSource {
-        source: Source {
-            name: "train".into(),
-            dtd: train_dtd,
-            listings: vec![
+        source: Source::from_xml(
+            "train",
+            train_dtd,
+            vec![
                 mk("$250,000", "$3,400", "great deal"),
                 mk("$310,000", "$4,100", "nice terms"),
                 mk("$180,000", "$2,200", "fantastic offer"),
                 mk("$420,000", "$5,800", "great location"),
             ],
-        },
+        ),
         mapping: HashMap::from([
             ("sale".to_string(), "SALE".to_string()),
             ("price".to_string(), "PRICE".to_string()),
@@ -68,15 +68,15 @@ fn fixture() -> Fixture {
         ))
         .expect("well-formed")
     };
-    let target = Source {
-        name: "target".into(),
-        dtd: target_dtd,
-        listings: vec![
+    let target = Source::from_xml(
+        "target",
+        target_dtd,
+        vec![
             mkt("$275,000", "$275,000", "great schools"),
             mkt("$330,000", "$330,000", "nice yard"),
             mkt("$190,000", "$190,000", "fantastic view"),
         ],
-    };
+    );
     Fixture {
         mediated,
         train,
@@ -165,11 +165,11 @@ fn key_constraint_rejects_duplicate_column() {
         parse_fragment(&format!("<r><ident>{i}</ident><cnt>{c}</cnt></r>")).expect("ok")
     };
     let train = TrainedSource {
-        source: Source {
-            name: "t".into(),
-            dtd: train_dtd,
-            listings: vec![mk("1001", "3"), mk("1002", "3"), mk("1003", "2")],
-        },
+        source: Source::from_xml(
+            "t",
+            train_dtd,
+            vec![mk("1001", "3"), mk("1002", "3"), mk("1003", "2")],
+        ),
         mapping: HashMap::from([
             ("r".to_string(), "R".to_string()),
             ("ident".to_string(), "ID".to_string()),
@@ -184,11 +184,11 @@ fn key_constraint_rejects_duplicate_column() {
     let mkt = |c: &str, s: &str| {
         parse_fragment(&format!("<x><code>{c}</code><serial>{s}</serial></x>")).expect("ok")
     };
-    let target = Source {
-        name: "x".into(),
-        dtd: target_dtd,
-        listings: vec![mkt("7", "9001"), mkt("7", "9002"), mkt("4", "9003")],
-    };
+    let target = Source::from_xml(
+        "x",
+        target_dtd,
+        vec![mkt("7", "9001"), mkt("7", "9002"), mkt("4", "9003")],
+    );
     let mut lsd = build(
         &mediated,
         vec![DomainConstraint::hard(Predicate::IsKey {

@@ -8,11 +8,7 @@ use lsd::obs::SpanRecord;
 use lsd::{ExecPolicy, Lsd, LsdBuilder, LsdConfig, Source, TrainedSource};
 
 fn to_source(gs: &lsd::datagen::GeneratedSource) -> Source {
-    Source {
-        name: gs.name.clone(),
-        dtd: gs.dtd.clone(),
-        listings: gs.listings.clone(),
-    }
+    Source::from_xml(gs.name.clone(), gs.dtd.clone(), gs.listings.clone())
 }
 
 fn build_trained() -> (Lsd, Vec<Source>) {

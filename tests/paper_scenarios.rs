@@ -131,11 +131,7 @@ fn figure7_xml_learner_pipeline() {
         })
         .collect();
     let train = TrainedSource {
-        source: Source {
-            name: "train".into(),
-            dtd: train_dtd,
-            listings,
-        },
+        source: Source::from_xml("train", train_dtd, listings),
         mapping: HashMap::from([
             ("entry".to_string(), "LISTING".to_string()),
             ("contact".to_string(), "CONTACT-INFO".to_string()),
@@ -163,11 +159,7 @@ fn figure7_xml_learner_pipeline() {
             .expect("well-formed")
         })
         .collect();
-    let target = Source {
-        name: "target".into(),
-        dtd: target_dtd,
-        listings: target_listings,
-    };
+    let target = Source::from_xml("target", target_dtd, target_listings);
 
     let builder = LsdBuilder::new(&mediated);
     let n = builder.labels().len();
@@ -258,4 +250,177 @@ fn figure7_xml_beats_flat_naive_bayes() {
 
 fn _assert_prediction_shape(p: &Prediction) {
     assert!((p.scores().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+}
+
+/// The headline promise of the reader redesign: one mediated real-estate
+/// schema reconciles sources however they arrive. Train on an XML source
+/// and a raw-JSON source, then match a CSV source and a SQL dump against
+/// the same mediated schema. Mappings must land, provenance must record
+/// each source's serialization, and batch matching must stay byte-identical
+/// across thread counts.
+#[test]
+fn multi_format_sources_reconcile_to_one_mediated_schema() {
+    use lsd::core::learners::{ContentMatcher as Cm, NaiveBayesLearner as Nb, NameMatcher as Nm};
+    use lsd::{CsvReader, ExecPolicy, JsonReader, MatchOutcome, SourceFormat, SqlReader};
+
+    let mediated = parse_dtd(
+        "<!ELEMENT HOUSE (ADDRESS, DESCRIPTION, PHONE)>\n\
+         <!ELEMENT ADDRESS (#PCDATA)>\n\
+         <!ELEMENT DESCRIPTION (#PCDATA)>\n\
+         <!ELEMENT PHONE (#PCDATA)>",
+    )
+    .expect("mediated DTD");
+
+    // Training source 1 arrives as XML (the native path).
+    let xml_rows = [
+        ("Miami, FL", "Great view of the bay", "(305) 111 2222"),
+        ("Boston, MA", "Fantastic yard and porch", "(617) 333 4444"),
+        ("Austin, TX", "Nice area near downtown", "(512) 555 6666"),
+        ("Omaha, NE", "Quiet street and big garage", "(402) 777 8888"),
+    ];
+    let xml_dtd = parse_dtd(
+        "<!ELEMENT home (location, comments, contact)>\n\
+         <!ELEMENT location (#PCDATA)>\n\
+         <!ELEMENT comments (#PCDATA)>\n\
+         <!ELEMENT contact (#PCDATA)>",
+    )
+    .expect("source DTD");
+    let xml_listings: Vec<_> = xml_rows
+        .iter()
+        .map(|(a, d, p)| {
+            parse_fragment(&format!(
+                "<home><location>{a}</location><comments>{d}</comments>\
+                 <contact>{p}</contact></home>"
+            ))
+            .expect("well-formed")
+        })
+        .collect();
+    let xml_train = TrainedSource {
+        source: Source::from_xml("realestate.com", xml_dtd, xml_listings),
+        mapping: HashMap::from([
+            ("home".to_string(), "HOUSE".to_string()),
+            ("location".to_string(), "ADDRESS".to_string()),
+            ("comments".to_string(), "DESCRIPTION".to_string()),
+            ("contact".to_string(), "PHONE".to_string()),
+        ]),
+    };
+
+    // Training source 2 arrives as raw JSON documents.
+    let json_body = r#"[
+        {"addr": "Seattle, WA", "desc": "Quiet street with garden", "tel": "(206) 123 9999"},
+        {"addr": "Denver, CO", "desc": "Mountain views all around", "tel": "(303) 987 0000"},
+        {"addr": "Portland, OR", "desc": "Close to parks and cafes", "tel": "(503) 321 4567"},
+        {"addr": "Chicago, IL", "desc": "Renovated kitchen and bath", "tel": "(312) 765 4321"}
+    ]"#;
+    let json_train = TrainedSource {
+        source: Source::from_reader("homeseekers.com", &JsonReader::new(json_body))
+            .expect("json source"),
+        mapping: HashMap::from([
+            ("record".to_string(), "HOUSE".to_string()),
+            ("addr".to_string(), "ADDRESS".to_string()),
+            ("desc".to_string(), "DESCRIPTION".to_string()),
+            ("tel".to_string(), "PHONE".to_string()),
+        ]),
+    };
+
+    let builder = LsdBuilder::new(&mediated);
+    let n = builder.labels().len();
+    let mut lsd = builder
+        .add_learner(Box::new(Nm::new(n, HashMap::new())))
+        .add_learner(Box::new(Cm::new(n)))
+        .add_learner(Box::new(Nb::new(n)))
+        .with_xml_learner(None)
+        .build()
+        .expect("builds");
+    lsd.train(&[xml_train, json_train]).expect("trains");
+
+    // Provenance records how each training source arrived.
+    let formats: Vec<(String, SourceFormat, usize)> = lsd
+        .source_provenance()
+        .iter()
+        .map(|p| (p.source.clone(), p.format, p.listings))
+        .collect();
+    assert_eq!(
+        formats,
+        vec![
+            ("realestate.com".to_string(), SourceFormat::Xml, 4),
+            ("homeseekers.com".to_string(), SourceFormat::Json, 4),
+        ]
+    );
+
+    // Target 1 arrives as CSV with a header row.
+    let csv_body = "street,remarks,phone\n\
+                    \"Raleigh, NC\",Corner lot with big trees,(919) 222 3333\n\
+                    \"Tampa, FL\",Walkable and sunny near cafes,(813) 444 5555\n";
+    let csv_source =
+        Source::from_reader("csv-site", &CsvReader::new(csv_body)).expect("csv source");
+    assert_eq!(csv_source.format, SourceFormat::Csv);
+
+    // Target 2 arrives as a SQL dump.
+    let sql_body = "CREATE TABLE listing (\n\
+                      \"where\" TEXT,\n\
+                      note TEXT,\n\
+                      callnum TEXT\n\
+                    );\n\
+                    INSERT INTO listing VALUES\n\
+                      ('Madison, WI', 'Sunny porch and a nice yard', '(608) 555 1234'),\n\
+                      ('Reno, NV', 'Close to downtown and parks', '(775) 666 7788');";
+    let sql_source =
+        Source::from_reader("sql-site", &SqlReader::new(sql_body)).expect("sql source");
+    assert_eq!(sql_source.format, SourceFormat::Sql);
+
+    // Both reconcile onto the one mediated schema.
+    let expectations: [(&Source, [(&str, &str); 3]); 2] = [
+        (
+            &csv_source,
+            [
+                ("street", "ADDRESS"),
+                ("remarks", "DESCRIPTION"),
+                ("phone", "PHONE"),
+            ],
+        ),
+        (
+            &sql_source,
+            [
+                ("where", "ADDRESS"),
+                ("note", "DESCRIPTION"),
+                ("callnum", "PHONE"),
+            ],
+        ),
+    ];
+    let mut serial: Vec<MatchOutcome> = Vec::new();
+    for (source, wanted) in &expectations {
+        let outcome = lsd.match_source(source).expect("matches");
+        for (tag, label) in wanted {
+            assert_eq!(
+                outcome.label_of(tag),
+                Some(*label),
+                "{}: tag {tag}",
+                source.name
+            );
+        }
+        serial.push(outcome);
+    }
+
+    // The non-XML paths go through the same batch engine: byte-identical
+    // at every thread count.
+    let targets = [csv_source.clone(), sql_source.clone()];
+    for threads in [1, 2, 8] {
+        let batch = lsd
+            .match_batch(&targets, &ExecPolicy::with_threads(threads))
+            .expect("batch matches");
+        for (b, s) in batch.iter().zip(&serial) {
+            assert_eq!(b.tags, s.tags, "{threads} threads: tags differ");
+            assert_eq!(b.labels, s.labels, "{threads} threads: labels differ");
+            assert_eq!(
+                b.result.assignment, s.result.assignment,
+                "{threads} threads: assignment differs"
+            );
+            assert_eq!(
+                b.result.cost.to_bits(),
+                s.result.cost.to_bits(),
+                "{threads} threads: cost differs"
+            );
+        }
+    }
 }

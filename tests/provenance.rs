@@ -10,11 +10,7 @@ use lsd::datagen::DomainId;
 use lsd::{ExecPolicy, Lsd, LsdBuilder, LsdConfig, RejectionReason, Source, TrainedSource};
 
 fn to_source(gs: &lsd::datagen::GeneratedSource) -> Source {
-    Source {
-        name: gs.name.clone(),
-        dtd: gs.dtd.clone(),
-        listings: gs.listings.clone(),
-    }
+    Source::from_xml(gs.name.clone(), gs.dtd.clone(), gs.listings.clone())
 }
 
 fn build_trained() -> (Lsd, Vec<Source>) {
