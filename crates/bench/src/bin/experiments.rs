@@ -191,7 +191,7 @@ fn main() {
             let gs = &domain.sources[test];
             let outcome = simulate_feedback_session(&lsd, &lsd_bench::to_sources(gs), &gs.mapping)
                 .expect("bench sources are well-formed");
-            corrections.push(outcome.corrections as f64);
+            corrections.push(outcome.corrections.len() as f64);
             tags.push(gs.dtd.len() as f64);
         }
         let avg_c = corrections.iter().sum::<f64>() / 3.0;

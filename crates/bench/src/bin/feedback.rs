@@ -60,10 +60,10 @@ fn main() {
                 id.name(),
                 run + 1,
                 gs.dtd.len(),
-                outcome.corrections,
+                outcome.corrections.len(),
                 outcome.converged
             );
-            corrections.push(outcome.corrections as f64);
+            corrections.push(outcome.corrections.len() as f64);
             tag_counts.push(gs.dtd.len() as f64);
         }
         let avg_corr = corrections.iter().sum::<f64>() / corrections.len() as f64;

@@ -5,6 +5,8 @@
 //! lsd-serve --domain NAME           pick a built-in datagen domain
 //! lsd-serve --addr HOST:PORT        bind address (port 0 picks a free port)
 //! lsd-serve --models-dir DIR        snapshot directory (default serve-models)
+//! lsd-serve --feedback-dir DIR      feedback WAL directory (default: models dir)
+//! lsd-serve --no-feedback           disable POST /v1/feedback + retraining
 //! ```
 //!
 //! Trains the FULL configuration on the domain's first three sources,
@@ -31,6 +33,8 @@ fn main() -> ExitCode {
     let mut domain_name = "real-estate-1".to_string();
     let mut addr = "127.0.0.1:8080".to_string();
     let mut models_dir = "serve-models".to_string();
+    let mut feedback_dir: Option<String> = None;
+    let mut feedback = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |flag: &str| match args.next() {
@@ -53,9 +57,17 @@ fn main() -> ExitCode {
                 Ok(v) => models_dir = v,
                 Err(()) => return ExitCode::FAILURE,
             },
+            "--feedback-dir" => match take("--feedback-dir") {
+                Ok(v) => feedback_dir = Some(v),
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--no-feedback" => feedback = false,
             other => {
                 eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: lsd-serve [--domain NAME] [--addr HOST:PORT] [--models-dir DIR]");
+                eprintln!(
+                    "usage: lsd-serve [--domain NAME] [--addr HOST:PORT] [--models-dir DIR] \
+                     [--feedback-dir DIR] [--no-feedback]"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -106,6 +118,9 @@ fn main() -> ExitCode {
     };
     let config = ServeConfig {
         addr,
+        feedback_dir: feedback
+            .then(|| feedback_dir.unwrap_or_else(|| models_dir.clone()))
+            .map(std::path::PathBuf::from),
         ..ServeConfig::default()
     };
     let server = match Server::bind(config, registry) {

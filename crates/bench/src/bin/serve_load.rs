@@ -15,7 +15,10 @@
 //!    the two held-out sources plus one `POST /v1/explain` per client.
 //!    Every `200` body must be **byte-identical** to the response rendered
 //!    from a direct [`Lsd::match_source`] call on the same reloaded
-//!    snapshot, and no connection may fail at the transport level.
+//!    snapshot, and no connection may fail at the transport level. Once
+//!    the load threads drain, a feedback probe posts one correction to
+//!    `POST /v1/feedback` and requires the retrain worker to produce a
+//!    new model generation (visible in `/v1/models` and `/metrics`).
 //! 2. **Backpressure** — a deliberately starved server (zero workers,
 //!    queue capacity 1, 300 ms deadline) must answer every request with
 //!    `503 queue_full` or `504 deadline_exceeded`, never hang.
@@ -87,25 +90,64 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> Result<HttpR
     })
 }
 
-/// Renders a generated source as the `/v1/match` request body — DTD and
-/// listings back to text, exactly what a remote client would send.
-fn request_body(source: &GeneratedSource) -> Vec<u8> {
+/// The `"source"` object shared by `/v1/match` and `/v1/feedback` bodies —
+/// DTD and listings back to text, exactly what a remote client would send.
+fn source_value(source: &GeneratedSource) -> Value {
     let listings: Vec<Value> = source
         .listings
         .iter()
         .map(|e| Value::Str(write_element(e)))
         .collect();
-    let doc = Value::Map(vec![(
-        "source".to_string(),
-        Value::Map(vec![
-            ("name".to_string(), Value::Str(source.name.clone())),
-            ("dtd".to_string(), Value::Str(source.dtd.to_dtd_syntax())),
-            ("listings".to_string(), Value::Seq(listings)),
-        ]),
-    )]);
+    Value::Map(vec![
+        ("name".to_string(), Value::Str(source.name.clone())),
+        ("dtd".to_string(), Value::Str(source.dtd.to_dtd_syntax())),
+        ("listings".to_string(), Value::Seq(listings)),
+    ])
+}
+
+/// Renders a generated source as the `/v1/match` request body.
+fn request_body(source: &GeneratedSource) -> Vec<u8> {
+    let doc = Value::Map(vec![("source".to_string(), source_value(source))]);
     serde_json::to_string(&doc)
         .expect("Value serialization cannot fail")
         .into_bytes()
+}
+
+/// Renders a `/v1/feedback` request pinning `tag` to `label` on `source`.
+fn feedback_body(source: &GeneratedSource, tag: &str, label: &str) -> Vec<u8> {
+    let correction = Value::Map(vec![
+        ("tag".to_string(), Value::Str(tag.to_string())),
+        (
+            "kind".to_string(),
+            Value::Map(vec![(
+                "TagIs".to_string(),
+                Value::Map(vec![("label".to_string(), Value::Str(label.to_string()))]),
+            )]),
+        ),
+    ]);
+    let doc = Value::Map(vec![
+        ("source".to_string(), source_value(source)),
+        ("corrections".to_string(), Value::Seq(vec![correction])),
+    ]);
+    serde_json::to_string(&doc)
+        .expect("Value serialization cannot fail")
+        .into_bytes()
+}
+
+/// Polls `GET path` until the body contains `needle`, or times out.
+fn poll_for(addr: SocketAddr, path: &str, needle: &str, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok(response) = http(addr, "GET", path, b"") {
+            if response.status == 200 && String::from_utf8_lossy(&response.body).contains(needle) {
+                return true;
+            }
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
 }
 
 /// What one client thread observed.
@@ -238,6 +280,7 @@ fn main() -> ExitCode {
         addr: "127.0.0.1:0".to_string(),
         workers: 4,
         queue_capacity: 1024,
+        feedback_dir: Some(models_dir.clone()),
         ..ServeConfig::default()
     };
     let server = match Server::bind(config, registry) {
@@ -323,13 +366,62 @@ fn main() -> ExitCode {
     // Probe the operational endpoints while the server is still up.
     let health = http(addr, "GET", "/healthz", b"");
     let metrics = http(addr, "GET", "/metrics", b"");
+
+    // Feedback probe: post one durable correction and require the whole
+    // serve → WAL → retrain → hot-swap loop to complete — the generation
+    // visible in `/v1/models` bumps and `/metrics` exports it. Runs after
+    // the load threads joined so the byte-identical check never races a
+    // model swap.
+    let mut probe_failures: Vec<String> = Vec::new();
+    eprintln!("feedback probe: correcting one tag and waiting for the retrain worker");
+    match held_out[0]
+        .mapping
+        .iter()
+        .filter(|(_, label)| label.as_str() != "OTHER")
+        .min()
+    {
+        Some((tag, label)) => match http(
+            addr,
+            "POST",
+            "/v1/feedback",
+            &feedback_body(held_out[0], tag, label),
+        ) {
+            Ok(response) if response.status == 200 => {
+                let ack = String::from_utf8_lossy(&response.body).to_string();
+                if !ack.contains("\"accepted\":1") {
+                    probe_failures.push(format!("feedback ack looks wrong: {ack}"));
+                } else if !poll_for(
+                    addr,
+                    "/v1/models",
+                    "\"generation\":2",
+                    Duration::from_secs(120),
+                ) {
+                    probe_failures
+                        .push("retrain worker never bumped the model generation".to_string());
+                } else if !poll_for(
+                    addr,
+                    "/metrics",
+                    "serve_model_generation",
+                    Duration::from_secs(10),
+                ) {
+                    probe_failures.push("/metrics is missing serve_model_generation".to_string());
+                }
+            }
+            Ok(response) => probe_failures.push(format!(
+                "/v1/feedback returned {}: {}",
+                response.status,
+                String::from_utf8_lossy(&response.body)
+            )),
+            Err(e) => probe_failures.push(format!("/v1/feedback failed: {e}")),
+        },
+        None => probe_failures.push("held-out source has no non-OTHER mapping".to_string()),
+    }
     handle.shutdown();
     join.join().ok();
 
     let mut batches = 0u64;
     let mut batched_requests = 0u64;
     let mut max_batch = 0u64;
-    let mut probe_failures: Vec<String> = Vec::new();
     match health {
         Ok(response) if response.status == 200 => {
             let text = String::from_utf8_lossy(&response.body).to_string();

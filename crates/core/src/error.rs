@@ -49,6 +49,14 @@ pub enum LsdError {
         /// `lsd_analysis::render_all`).
         diagnostics: Vec<lsd_analysis::Diagnostic>,
     },
+    /// [`crate::Lsd::train_incremental`] was called while at least one
+    /// base learner cannot extend its trained state (e.g. it was restored
+    /// from a snapshot without its raw training documents). Incremental
+    /// training is all-or-nothing: no learner is modified.
+    WarmStartUnsupported {
+        /// Display name of the first learner that refused.
+        learner: String,
+    },
     /// Saving or loading a model failed.
     Persist(PersistError),
 }
@@ -88,6 +96,13 @@ impl fmt::Display for LsdError {
                     write!(f, "; first: {first}")?;
                 }
                 Ok(())
+            }
+            LsdError::WarmStartUnsupported { learner } => {
+                write!(
+                    f,
+                    "learner '{learner}' cannot warm-start from its current state; \
+                     retrain from scratch instead"
+                )
             }
             LsdError::Persist(e) => write!(f, "{e}"),
         }

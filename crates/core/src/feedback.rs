@@ -1,5 +1,5 @@
-//! The interactive user-feedback protocol (paper Section 6.3), with a
-//! simulated oracle.
+//! The interactive user-feedback protocol (paper Section 6.3): a
+//! first-class correction model, plus a simulated oracle.
 //!
 //! "We enter the following loop until every tag has been matched correctly:
 //! (1) we apply LSD to the testing source, (2) LSD shows the predicted
@@ -7,6 +7,15 @@
 //! see an incorrect label, we provide LSD with the correct one, then ask
 //! LSD to redo the matching process, taking the correct labels into
 //! consideration."
+//!
+//! The unit of that loop is a [`Correction`]: a typed assertion about one
+//! source tag ([`CorrectionKind`]), carrying provenance (which source, when,
+//! from whom). A [`Feedback`] value is an ordered batch of corrections; it
+//! compiles to hard domain constraints via [`Feedback::to_constraints`] and
+//! drives [`crate::Lsd::match_source_with`]. Because corrections are plain
+//! serializable records, a session — simulated or live — can be replayed
+//! straight into the feedback WAL (see [`crate::wal`]) and folded into the
+//! model by incremental retraining.
 //!
 //! The paper measures *how many correct labels the user must provide* until
 //! the matching is perfect (3 for Time Schedule, 6.3 for Real Estate II, on
@@ -17,27 +26,232 @@ use crate::system::{Lsd, Source};
 use lsd_constraints::{DomainConstraint, Predicate};
 use lsd_learn::LabelSet;
 use lsd_xml::SchemaTree;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// What one correction asserts about a source tag.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorrectionKind {
+    /// The tag maps to exactly this mediated-schema label.
+    TagIs {
+        /// The asserted mediated label.
+        label: String,
+    },
+    /// The tag does *not* map to this mediated-schema label (the user
+    /// rejected a prediction without knowing the right answer).
+    TagIsNot {
+        /// The rejected mediated label.
+        label: String,
+    },
+    /// The tag maps to no mediated label at all (the `OTHER` slot).
+    TagIsOther,
+}
+
+/// One user correction about one source tag, with provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Correction {
+    /// The source tag being corrected.
+    pub tag: String,
+    /// What is asserted about it.
+    pub kind: CorrectionKind,
+    /// Name of the source the correction is about (provenance; may be
+    /// empty when unknown).
+    #[serde(default)]
+    pub source: String,
+    /// Milliseconds since the Unix epoch when the correction was made
+    /// (provenance; 0 when unknown).
+    #[serde(default)]
+    pub timestamp_ms: u64,
+    /// Who or what produced the correction, e.g. `"simulator"`, an API
+    /// client identifier (provenance; may be empty).
+    #[serde(default)]
+    pub origin: String,
+}
+
+impl Correction {
+    /// A `tag ↦ label` correction without provenance.
+    pub fn tag_is(tag: impl Into<String>, label: impl Into<String>) -> Self {
+        Correction {
+            tag: tag.into(),
+            kind: CorrectionKind::TagIs {
+                label: label.into(),
+            },
+            source: String::new(),
+            timestamp_ms: 0,
+            origin: String::new(),
+        }
+    }
+
+    /// A `tag ↦̸ label` rejection without provenance.
+    pub fn tag_is_not(tag: impl Into<String>, label: impl Into<String>) -> Self {
+        Correction {
+            kind: CorrectionKind::TagIsNot {
+                label: label.into(),
+            },
+            ..Correction::tag_is(tag, "")
+        }
+    }
+
+    /// A `tag ↦ OTHER` correction without provenance.
+    pub fn tag_is_other(tag: impl Into<String>) -> Self {
+        Correction {
+            kind: CorrectionKind::TagIsOther,
+            ..Correction::tag_is(tag, "")
+        }
+    }
+
+    /// Attaches provenance fields.
+    #[must_use]
+    pub fn with_provenance(
+        mut self,
+        source: impl Into<String>,
+        timestamp_ms: u64,
+        origin: impl Into<String>,
+    ) -> Self {
+        self.source = source.into();
+        self.timestamp_ms = timestamp_ms;
+        self.origin = origin.into();
+        self
+    }
+
+    /// The hard domain constraint this correction compiles to.
+    fn to_constraint(&self) -> DomainConstraint {
+        match &self.kind {
+            CorrectionKind::TagIs { label } => DomainConstraint::hard(Predicate::TagIs {
+                tag: self.tag.clone(),
+                label: label.clone(),
+            }),
+            CorrectionKind::TagIsNot { label } => DomainConstraint::hard(Predicate::TagIsNot {
+                tag: self.tag.clone(),
+                label: label.clone(),
+            }),
+            CorrectionKind::TagIsOther => DomainConstraint::hard(Predicate::TagIs {
+                tag: self.tag.clone(),
+                label: LabelSet::OTHER.to_string(),
+            }),
+        }
+    }
+
+    /// The mediated label this correction references, if any.
+    fn label(&self) -> Option<&str> {
+        match &self.kind {
+            CorrectionKind::TagIs { label } | CorrectionKind::TagIsNot { label } => Some(label),
+            CorrectionKind::TagIsOther => None,
+        }
+    }
+}
+
+/// An ordered batch of corrections — the feedback argument of
+/// [`crate::Lsd::match_source_with`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Feedback {
+    corrections: Vec<Correction>,
+}
+
+impl Feedback {
+    /// An empty feedback batch (equivalent to matching without feedback).
+    pub fn new() -> Self {
+        Feedback::default()
+    }
+
+    /// Wraps an existing list of corrections.
+    pub fn from_corrections(corrections: Vec<Correction>) -> Self {
+        Feedback { corrections }
+    }
+
+    /// Appends one correction.
+    pub fn push(&mut self, correction: Correction) {
+        self.corrections.push(correction);
+    }
+
+    /// The corrections, in insertion order.
+    pub fn corrections(&self) -> &[Correction] {
+        &self.corrections
+    }
+
+    /// Number of corrections.
+    pub fn len(&self) -> usize {
+        self.corrections.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.corrections.is_empty()
+    }
+
+    /// Compiles the batch into hard domain constraints against `labels`,
+    /// validating every referenced label first.
+    ///
+    /// # Errors
+    /// [`LsdError::UnknownLabel`] when a correction references a label that
+    /// is not part of the mediated schema.
+    pub fn to_constraints(&self, labels: &LabelSet) -> Result<Vec<DomainConstraint>, LsdError> {
+        for c in &self.corrections {
+            if let Some(label) = c.label() {
+                if labels.get(label).is_none() {
+                    return Err(LsdError::UnknownLabel {
+                        label: label.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(self
+            .corrections
+            .iter()
+            .map(Correction::to_constraint)
+            .collect())
+    }
+}
+
+impl From<Vec<Correction>> for Feedback {
+    fn from(corrections: Vec<Correction>) -> Self {
+        Feedback::from_corrections(corrections)
+    }
+}
+
+impl FromIterator<Correction> for Feedback {
+    fn from_iter<I: IntoIterator<Item = Correction>>(iter: I) -> Self {
+        Feedback::from_corrections(iter.into_iter().collect())
+    }
+}
+
+/// Why a feedback session stopped without a perfect matching.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StallReason {
+    /// Every tag was corrected once and the matching is still imperfect.
+    RoundLimitReached,
+    /// The constraint handler failed to honour an already-given correction
+    /// (feasibility collapse): the same tag came back wrong after being
+    /// corrected, so repeating the correction cannot help.
+    IgnoredCorrection {
+        /// The tag whose correction was not honoured.
+        tag: String,
+    },
+}
 
 /// The result of a simulated feedback session.
 #[derive(Debug, Clone)]
 pub struct FeedbackOutcome {
-    /// Number of correct labels the oracle had to provide.
-    pub corrections: usize,
+    /// The corrections the oracle had to provide, in order — replayable
+    /// into a [`Feedback`] batch or a [`crate::FeedbackWal`].
+    pub corrections: Vec<Correction>,
     /// Number of match/redo rounds run (corrections + the final verifying
     /// round).
     pub rounds: usize,
     /// True if the session reached a perfect matching.
     pub converged: bool,
+    /// Why the session stalled; `None` exactly when `converged`.
+    pub stall_reason: Option<StallReason>,
     /// The corrected tags in the order they were corrected.
     pub corrected_tags: Vec<String>,
 }
 
 /// Runs the Section 6.3 loop: repeatedly match `source`, walk the tags in
 /// decreasing structure-score order, and on the first wrong label inject a
-/// `TagIs` feedback constraint with the true label from `truth` (source tag
-/// → mediated tag; missing entries mean `OTHER`). Stops when the matching
-/// is perfect or every tag has been corrected.
+/// [`Correction`] with the true label from `truth` (source tag → mediated
+/// tag; missing entries mean `OTHER`). Stops when the matching is perfect
+/// or every tag has been corrected; [`FeedbackOutcome::stall_reason`] says
+/// which way a non-converged session stopped.
 ///
 /// # Errors
 /// As for [`Lsd::match_source`] (untrained system, malformed source DTD).
@@ -63,13 +277,14 @@ pub fn simulate_feedback_session(
             .unwrap_or(LabelSet::OTHER)
     };
 
-    let mut feedback: Vec<DomainConstraint> = Vec::new();
+    let mut feedback = Feedback::new();
     let mut corrected_tags: Vec<String> = Vec::new();
     let mut rounds = 0;
+    let mut stall_reason = StallReason::RoundLimitReached;
     // Each round corrects at most one tag, so tags+1 rounds always suffice.
     for _ in 0..=order.len() {
         rounds += 1;
-        let outcome = lsd.match_source_with_feedback(source, &feedback)?;
+        let outcome = lsd.match_source_with(source, &feedback)?;
         let first_wrong = order.iter().find(|tag| {
             outcome
                 .label_of(tag)
@@ -78,32 +293,44 @@ pub fn simulate_feedback_session(
         match first_wrong {
             None => {
                 return Ok(FeedbackOutcome {
-                    corrections: corrected_tags.len(),
+                    corrections: feedback.corrections,
                     rounds,
                     converged: true,
+                    stall_reason: None,
                     corrected_tags,
                 })
             }
             Some(tag) if corrected_tags.contains(tag) => {
-                // The handler failed to honour an existing correction
-                // (feasibility collapse): repeating it cannot help.
+                stall_reason = StallReason::IgnoredCorrection { tag: tag.clone() };
                 break;
             }
             Some(tag) => {
-                feedback.push(DomainConstraint::hard(Predicate::TagIs {
-                    tag: tag.clone(),
-                    label: truth_label(tag).to_string(),
-                }));
+                let truth = truth_label(tag);
+                let correction = if truth == LabelSet::OTHER {
+                    Correction::tag_is_other(tag)
+                } else {
+                    Correction::tag_is(tag, truth)
+                };
+                feedback.push(correction.with_provenance(&source.name, now_ms(), "simulator"));
                 corrected_tags.push(tag.clone());
             }
         }
     }
     Ok(FeedbackOutcome {
-        corrections: corrected_tags.len(),
+        corrections: feedback.corrections,
         rounds,
         converged: false,
+        stall_reason: Some(stall_reason),
         corrected_tags,
     })
+}
+
+/// Wall-clock milliseconds since the Unix epoch, for correction provenance.
+pub(crate) fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -204,7 +431,8 @@ mod tests {
         let truth = ts.mapping.clone();
         let outcome = simulate_feedback_session(&lsd, &ts.source, &truth).unwrap();
         assert!(outcome.converged);
-        assert_eq!(outcome.corrections, 0);
+        assert!(outcome.corrections.is_empty());
+        assert_eq!(outcome.stall_reason, None);
         assert_eq!(outcome.rounds, 1);
     }
 
@@ -214,21 +442,26 @@ mod tests {
         let (source, truth) = hostile_source();
         let outcome = simulate_feedback_session(&lsd, &source, &truth).unwrap();
         assert!(outcome.converged, "session must converge: {outcome:?}");
-        assert!(outcome.corrections <= 3, "{outcome:?}");
-        // Verify the final feedback set really yields a perfect matching.
-        let feedback: Vec<DomainConstraint> = outcome
-            .corrected_tags
-            .iter()
-            .map(|t| {
-                DomainConstraint::hard(Predicate::TagIs {
-                    tag: t.clone(),
-                    label: truth[t].clone(),
-                })
-            })
-            .collect();
-        let m = lsd.match_source_with_feedback(&source, &feedback).unwrap();
+        assert!(outcome.corrections.len() <= 3, "{outcome:?}");
+        // The emitted corrections are replayable: feeding them back as one
+        // batch really yields a perfect matching.
+        let feedback = Feedback::from_corrections(outcome.corrections.clone());
+        let m = lsd.match_source_with(&source, &feedback).unwrap();
         for (tag, label) in &truth {
             assert_eq!(m.label_of(tag), Some(label.as_str()));
+        }
+    }
+
+    #[test]
+    fn corrections_carry_provenance() {
+        let lsd = trained_lsd();
+        let (source, truth) = hostile_source();
+        let outcome = simulate_feedback_session(&lsd, &source, &truth).unwrap();
+        assert!(!outcome.corrections.is_empty(), "{outcome:?}");
+        for c in &outcome.corrections {
+            assert_eq!(c.source, "hostile");
+            assert_eq!(c.origin, "simulator");
+            assert!(matches!(c.kind, CorrectionKind::TagIs { .. }));
         }
     }
 
@@ -237,7 +470,53 @@ mod tests {
         let lsd = trained_lsd();
         let (source, truth) = hostile_source();
         let outcome = simulate_feedback_session(&lsd, &source, &truth).unwrap();
-        assert!(outcome.corrections <= 4);
-        assert_eq!(outcome.corrected_tags.len(), outcome.corrections);
+        assert!(outcome.corrections.len() <= 4);
+        assert_eq!(outcome.corrected_tags.len(), outcome.corrections.len());
+    }
+
+    #[test]
+    fn to_constraints_compiles_every_kind() {
+        let labels = LabelSet::new(["ADDRESS", "PRICE"]);
+        let feedback: Feedback = vec![
+            Correction::tag_is("a", "ADDRESS"),
+            Correction::tag_is_not("b", "PRICE"),
+            Correction::tag_is_other("c"),
+        ]
+        .into();
+        let constraints = feedback.to_constraints(&labels).unwrap();
+        assert_eq!(constraints.len(), 3);
+        assert!(matches!(
+            &constraints[0].predicate,
+            Predicate::TagIs { tag, label } if tag == "a" && label == "ADDRESS"
+        ));
+        assert!(matches!(
+            &constraints[1].predicate,
+            Predicate::TagIsNot { tag, label } if tag == "b" && label == "PRICE"
+        ));
+        assert!(matches!(
+            &constraints[2].predicate,
+            Predicate::TagIs { tag, label } if tag == "c" && label == LabelSet::OTHER
+        ));
+    }
+
+    #[test]
+    fn to_constraints_rejects_unknown_labels() {
+        let labels = LabelSet::new(["ADDRESS"]);
+        let feedback = Feedback::from_corrections(vec![Correction::tag_is("a", "PIRCE")]);
+        let err = feedback.to_constraints(&labels).unwrap_err();
+        assert!(matches!(err, LsdError::UnknownLabel { label } if label == "PIRCE"));
+    }
+
+    #[test]
+    fn corrections_roundtrip_through_json() {
+        let c = Correction::tag_is("price", "PRICE").with_provenance("realestate.com", 17, "api");
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Correction = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        // Provenance fields are defaulted, so bare records parse too.
+        let bare: Correction =
+            serde_json::from_str(r#"{"tag": "t", "kind": "TagIsOther"}"#).unwrap();
+        assert_eq!(bare.kind, CorrectionKind::TagIsOther);
+        assert_eq!(bare.timestamp_ms, 0);
     }
 }

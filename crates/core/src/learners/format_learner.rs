@@ -111,6 +111,17 @@ impl BaseLearner for FormatLearner {
         self.model = model;
     }
 
+    fn supports_warm_start(&self) -> bool {
+        true
+    }
+
+    fn warm_train(&mut self, examples: &[(&Instance, usize)]) -> bool {
+        for (instance, label) in examples {
+            self.model.add_example(&Self::tokens(instance), *label);
+        }
+        true
+    }
+
     fn predict(&self, instance: &Instance) -> Prediction {
         self.model.predict_tokens(&Self::tokens(instance))
     }

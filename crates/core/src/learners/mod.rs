@@ -54,6 +54,28 @@ pub trait BaseLearner: Send + Sync {
     fn snapshot(&self) -> Option<SavedLearner> {
         None
     }
+
+    /// Whether [`Self::warm_train`] can fold additional examples into this
+    /// learner's *current* trained state. All built-in learners support it;
+    /// the default is `false` so custom learners opt in explicitly.
+    ///
+    /// May depend on runtime state, not just the type: a learner restored
+    /// from a snapshot that lacks the data needed to extend its statistics
+    /// soundly should return `false` here.
+    fn supports_warm_start(&self) -> bool {
+        false
+    }
+
+    /// Folds additional examples into the current trained state, so that
+    /// the result is equivalent to [`Self::train`] on the concatenation of
+    /// all examples seen so far. Returns `false` (leaving the learner
+    /// unchanged) when warm-starting is unsupported — callers should check
+    /// [`Self::supports_warm_start`] on every learner *before* mutating any
+    /// of them, to keep incremental training all-or-nothing.
+    fn warm_train(&mut self, examples: &[(&Instance, usize)]) -> bool {
+        let _ = examples;
+        false
+    }
 }
 
 /// Adapter so boxed base learners plug into `lsd-learn`'s generic

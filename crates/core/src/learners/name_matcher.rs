@@ -125,6 +125,23 @@ impl BaseLearner for NameMatcher {
         self.whirl = whirl;
     }
 
+    fn supports_warm_start(&self) -> bool {
+        self.whirl.retains_documents()
+    }
+
+    fn warm_train(&mut self, examples: &[(&Instance, usize)]) -> bool {
+        if !self.whirl.retains_documents() {
+            return false;
+        }
+        for (instance, label) in examples {
+            let toks = self.tokens(instance);
+            self.whirl
+                .add_example(toks.iter().map(String::as_str), *label);
+        }
+        self.whirl.finalize();
+        true
+    }
+
     fn predict(&self, instance: &Instance) -> Prediction {
         let toks = self.tokens(instance);
         Prediction::from_scores(self.whirl.classify(toks.iter().map(String::as_str)))

@@ -71,6 +71,16 @@ impl BaseLearner for Recognizer {
     /// Recognizers are knowledge-based, not trained.
     fn train(&mut self, _examples: &[(&Instance, usize)]) {}
 
+    fn supports_warm_start(&self) -> bool {
+        true
+    }
+
+    /// Knowledge-based: additional examples change nothing, trivially
+    /// satisfying the warm-start contract.
+    fn warm_train(&mut self, _examples: &[(&Instance, usize)]) -> bool {
+        true
+    }
+
     fn predict(&self, instance: &Instance) -> Prediction {
         let n = self.num_labels;
         let hit = (self.test)(&instance.text());

@@ -149,6 +149,22 @@ impl BaseLearner for StatsLearner {
         }
     }
 
+    fn supports_warm_start(&self) -> bool {
+        true
+    }
+
+    fn warm_train(&mut self, examples: &[(&Instance, usize)]) -> bool {
+        for (instance, label) in examples {
+            let f = Self::features(instance);
+            for (m, x) in self.moments[*label].iter_mut().zip(f) {
+                m.push(x);
+            }
+            self.class_counts[*label] += 1.0;
+            self.total += 1.0;
+        }
+        true
+    }
+
     fn predict(&self, instance: &Instance) -> Prediction {
         if self.total == 0.0 {
             return Prediction::uniform(self.num_labels);

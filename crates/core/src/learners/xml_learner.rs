@@ -136,6 +136,17 @@ impl BaseLearner for XmlLearner {
         self.model = model;
     }
 
+    fn supports_warm_start(&self) -> bool {
+        true
+    }
+
+    fn warm_train(&mut self, examples: &[(&Instance, usize)]) -> bool {
+        for (instance, label) in examples {
+            self.model.add_example(&self.tokens(instance), *label);
+        }
+        true
+    }
+
     fn predict(&self, instance: &Instance) -> Prediction {
         self.model.predict_tokens(&self.tokens(instance))
     }

@@ -41,11 +41,15 @@ pub mod persist;
 pub mod readers;
 pub mod report;
 mod system;
+pub mod wal;
 
 pub use converter::{convert_column, convert_column_with, CombinationRule};
 pub use error::LsdError;
 pub use explain::{
     CandidateExplanation, Explanation, LearnerContribution, RejectionReason, TagLabelSearch,
+};
+pub use feedback::{
+    simulate_feedback_session, Correction, CorrectionKind, Feedback, FeedbackOutcome, StallReason,
 };
 pub use hierarchy::{most_specific_unambiguous, PartialMatch};
 pub use instance::{build_source_data, extract_instances, Instance};
@@ -60,6 +64,7 @@ pub use system::{
     LabelCandidate, Lsd, LsdBuilder, LsdConfig, MatchOutcome, Source, SourceProvenance,
     TagExplanation, TrainedSource,
 };
+pub use wal::{FeedbackRecord, FeedbackWal, WAL_MAGIC};
 
 // The constraint vocabulary is part of LSD's public face.
 pub use lsd_constraints::{

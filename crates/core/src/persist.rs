@@ -154,6 +154,11 @@ pub struct SavedModel {
     /// count). Empty for snapshots saved before formats were tracked.
     #[serde(default)]
     pub source_provenance: Vec<SourceProvenance>,
+    /// Number of feedback-WAL records folded into this model by incremental
+    /// retraining (see [`Lsd::feedback_applied`]). 0 for snapshots saved
+    /// before the feedback loop existed.
+    #[serde(default)]
+    pub feedback_applied: u64,
 }
 
 /// Current snapshot format version.
@@ -212,6 +217,7 @@ impl Lsd {
             config: self.config,
             trained: self.trained,
             source_provenance: self.provenance.clone(),
+            feedback_applied: self.feedback_applied,
         })
     }
 
@@ -238,6 +244,7 @@ impl Lsd {
             config: saved.config,
             trained: saved.trained,
             provenance: saved.source_provenance,
+            feedback_applied: saved.feedback_applied,
         }
     }
 

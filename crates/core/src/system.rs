@@ -22,6 +22,7 @@
 use crate::converter::{convert_column_with, CombinationRule};
 use crate::error::LsdError;
 use crate::explain::RejectionReason;
+use crate::feedback::Feedback;
 use crate::instance::{build_source_data, extract_instances, Instance};
 use crate::learners::{BaseLearner, XmlLearner};
 use crate::meta::MetaLearner;
@@ -285,6 +286,7 @@ impl LsdBuilder {
             config: self.config,
             trained: false,
             provenance: Vec::new(),
+            feedback_applied: 0,
         })
     }
 }
@@ -307,6 +309,9 @@ pub struct Lsd {
     pub(crate) trained: bool,
     /// One entry per training source, recorded by [`Lsd::train`].
     pub(crate) provenance: Vec<SourceProvenance>,
+    /// Number of feedback-WAL records already folded into this model by
+    /// incremental retraining (see [`Lsd::feedback_applied`]).
+    pub(crate) feedback_applied: u64,
 }
 
 /// One ranked mediated-schema label for a source tag (see
@@ -618,6 +623,103 @@ impl Lsd {
         &self.provenance
     }
 
+    /// Extends a trained system with additional mapped sources by
+    /// warm-starting every base learner from its current state — the
+    /// retrain step of the online feedback loop, where a correction batch
+    /// becomes one small [`TrainedSource`] and a full retrain would be
+    /// wasteful. Meta-learner weights are kept (re-fitting them needs the
+    /// original example set, which a warm-started system no longer holds);
+    /// provenance entries are appended rather than replaced.
+    ///
+    /// As long as no tag's training data exceeds
+    /// [`LsdConfig::max_train_instances_per_tag`], the resulting base
+    /// learners are identical to a full [`Self::train`] over the
+    /// concatenated source list: warm-start is exact, not approximate.
+    /// Above the cap, subsampling draws differ between the two paths.
+    ///
+    /// # Errors
+    /// [`LsdError::NotTrained`] before [`Self::train`];
+    /// [`LsdError::WarmStartUnsupported`] if any base learner cannot extend
+    /// its trained state (checked for *all* learners before any is
+    /// modified, so the system is never left half-updated);
+    /// [`LsdError::Analysis`] / [`LsdError::NoTrainingData`] as for
+    /// [`Self::train`].
+    pub fn train_incremental(&mut self, additional: &[TrainedSource]) -> Result<(), LsdError> {
+        let _span = lsd_obs::span!("train.incremental");
+        self.ensure_trained("train_incremental")?;
+        let mut diagnostics = Vec::new();
+        for ts in additional {
+            diagnostics.extend(lsd_analysis::with_origin(
+                lsd_analysis::analyze_dtd(&ts.source.dtd),
+                &ts.source.name,
+            ));
+        }
+        if lsd_analysis::has_errors(&diagnostics) {
+            return Err(LsdError::Analysis { diagnostics });
+        }
+        record_diagnostics(&diagnostics);
+        if let Some(learner) = self.learners.iter().find(|l| !l.supports_warm_start()) {
+            return Err(LsdError::WarmStartUnsupported {
+                learner: learner.name().to_string(),
+            });
+        }
+        let (examples, _groups) = self.training_examples(additional);
+        if examples.is_empty() {
+            return Err(LsdError::NoTrainingData);
+        }
+        if lsd_obs::enabled() {
+            lsd_obs::counter_add("train.incremental_sources", "", additional.len() as u64);
+            lsd_obs::counter_add("train.incremental_examples", "", examples.len() as u64);
+        }
+        let refs: Vec<(&Instance, usize)> = examples.iter().map(|(i, l)| (i, *l)).collect();
+        let warm_timed = |learner: &mut Box<dyn BaseLearner>, refs: &[(&Instance, usize)]| {
+            let name = learner.name();
+            let _span = lsd_obs::span!("learner.warm_train", name);
+            let t0 = lsd_obs::enabled().then(Instant::now);
+            let ok = learner.warm_train(refs);
+            debug_assert!(ok, "supports_warm_start was checked for every learner");
+            if let Some(t0) = t0 {
+                lsd_obs::record_duration("learner.warm_train_ns", name, t0.elapsed());
+            }
+        };
+        let _stage = lsd_obs::span!("train.incremental_learners");
+        if self.learners.len() > 1 {
+            let refs = &refs;
+            std::thread::scope(|scope| {
+                for learner in &mut self.learners {
+                    scope.spawn(move || warm_timed(learner, refs));
+                }
+            });
+        } else {
+            for learner in &mut self.learners {
+                warm_timed(learner, &refs);
+            }
+        }
+        self.provenance
+            .extend(additional.iter().map(|ts| SourceProvenance {
+                source: ts.source.name.clone(),
+                format: ts.source.format,
+                listings: ts.source.listings.len(),
+            }));
+        Ok(())
+    }
+
+    /// How many feedback-WAL records have been folded into this model by
+    /// incremental retraining. The retrain worker persists this with the
+    /// snapshot, so a restarted server replays only the WAL suffix that
+    /// postdates the model generation it loaded. 0 for a freshly trained
+    /// system.
+    pub fn feedback_applied(&self) -> u64 {
+        self.feedback_applied
+    }
+
+    /// Records that the first `applied` feedback-WAL records are folded
+    /// into this model (called by the retrain worker after
+    /// [`Self::train_incremental`]).
+    pub fn set_feedback_applied(&mut self, applied: u64) {
+        self.feedback_applied = applied;
+    }
+
     /// Creates the labelled training instances for all sources: one example
     /// per extracted element occurrence, labelled via the user mapping
     /// (`OTHER` when unmapped), with true structure labels attached for the
@@ -679,14 +781,36 @@ impl Lsd {
     /// [`LsdError::NotTrained`] before [`Self::train`];
     /// [`LsdError::InvalidSchema`] if the source DTD is malformed.
     pub fn match_source(&self, source: &Source) -> Result<MatchOutcome, LsdError> {
-        self.match_source_with_feedback(source, &[])
+        self.ensure_trained("match_source")?;
+        self.match_one(source, &[], &self.compiled)
     }
 
-    /// Matches a source under additional per-source feedback constraints
-    /// (Section 4.3).
+    /// Matches a source under user feedback (Section 4.3): the corrections
+    /// compile to hard per-source constraints, validated against this
+    /// system's label set first.
+    ///
+    /// # Errors
+    /// As for [`Self::match_source`], plus [`LsdError::UnknownLabel`] when
+    /// a correction references a label outside the mediated schema.
+    pub fn match_source_with(
+        &self,
+        source: &Source,
+        feedback: &Feedback,
+    ) -> Result<MatchOutcome, LsdError> {
+        self.ensure_trained("match_source")?;
+        let constraints = feedback.to_constraints(&self.labels)?;
+        self.match_one(source, &constraints, &self.compiled)
+    }
+
+    /// Matches a source under additional raw per-source feedback
+    /// constraints.
     ///
     /// # Errors
     /// As for [`Self::match_source`].
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `match_source_with` with a typed `Feedback` batch instead"
+    )]
     pub fn match_source_with_feedback(
         &self,
         source: &Source,
@@ -1147,6 +1271,7 @@ fn subsample(instances: &mut Vec<Instance>, cap: usize, rng: &mut ChaCha8Rng) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::feedback::Correction;
     use crate::learners::{ContentMatcher, NaiveBayesLearner, NameMatcher};
     use lsd_constraints::Predicate;
     use lsd_xml::{parse_dtd, parse_fragment};
@@ -1343,15 +1468,29 @@ mod tests {
     fn feedback_constrains_current_source_only() {
         let mut lsd = build_system();
         lsd.train(&[realestate(), homeseekers()]).unwrap();
-        let fb = [DomainConstraint::hard(Predicate::TagIs {
-            tag: "extra-info".into(),
-            label: "ADDRESS".into(),
-        })];
-        let outcome = lsd.match_source_with_feedback(&greathomes(), &fb).unwrap();
+        let fb = Feedback::from_corrections(vec![Correction::tag_is("extra-info", "ADDRESS")]);
+        let outcome = lsd.match_source_with(&greathomes(), &fb).unwrap();
         assert_eq!(outcome.label_of("extra-info"), Some("ADDRESS"));
         // A later call without feedback is unaffected.
         let outcome2 = lsd.match_source(&greathomes()).unwrap();
         assert_eq!(outcome2.label_of("extra-info"), Some("DESCRIPTION"));
+    }
+
+    /// The deprecated raw-constraint entry point stays a thin shim over the
+    /// typed path for one release — same inputs, same mapping.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_feedback_shim_matches_typed_path() {
+        let mut lsd = build_system();
+        lsd.train(&[realestate(), homeseekers()]).unwrap();
+        let raw = [DomainConstraint::hard(Predicate::TagIs {
+            tag: "extra-info".into(),
+            label: "ADDRESS".into(),
+        })];
+        let via_shim = lsd.match_source_with_feedback(&greathomes(), &raw).unwrap();
+        let typed = Feedback::from_corrections(vec![Correction::tag_is("extra-info", "ADDRESS")]);
+        let via_typed = lsd.match_source_with(&greathomes(), &typed).unwrap();
+        assert_eq!(via_shim.labels, via_typed.labels);
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! The durable feedback write-ahead log.
+//!
+//! Corrections accepted by the serving layer are appended here *before*
+//! they are acknowledged, so an accepted correction survives a crash of
+//! the server or of the retrain worker. The retrain worker folds records
+//! into new model generations asynchronously; on restart, the WAL is
+//! replayed minus the prefix the loaded snapshot already absorbed
+//! ([`crate::Lsd::feedback_applied`]).
+//!
+//! # File format
+//!
+//! ```text
+//! magic: 8 bytes  b"LSDWAL01"
+//! record*:
+//!   len:     u32 little-endian  (payload byte count)
+//!   crc32:   u32 little-endian  (IEEE CRC-32 of the payload)
+//!   payload: len bytes          (one FeedbackRecord as JSON)
+//! ```
+//!
+//! Appends are flushed with `fsync` before [`FeedbackWal::append`]
+//! returns. Recovery reads the longest valid record prefix: a torn or
+//! corrupt record (short header, short payload, or checksum mismatch —
+//! what a crash mid-append leaves behind) ends the replay, and the file is
+//! truncated back to the valid prefix so the next append starts clean.
+//! Recovery never panics; only a foreign file (bad magic) is an error.
+
+use crate::feedback::Correction;
+use crate::system::Source;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// The 8-byte file magic, versioned with the format.
+pub const WAL_MAGIC: &[u8; 8] = b"LSDWAL01";
+
+/// One WAL record: a batch of corrections about one source, with enough of
+/// the source itself (schema + listings) to re-derive training examples at
+/// retrain time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeedbackRecord {
+    /// The corrected source's display name.
+    pub source_name: String,
+    /// The source schema in `<!ELEMENT ...>` syntax.
+    pub dtd: String,
+    /// The source listings, each rendered as one XML document.
+    pub listings: Vec<String>,
+    /// The corrections, in the order the user gave them.
+    pub corrections: Vec<Correction>,
+}
+
+impl FeedbackRecord {
+    /// Captures a source and its corrections as one durable record.
+    pub fn from_source(source: &Source, corrections: Vec<Correction>) -> Self {
+        FeedbackRecord {
+            source_name: source.name.clone(),
+            dtd: source.dtd.to_dtd_syntax(),
+            listings: source.listings.iter().map(lsd_xml::write_element).collect(),
+            corrections,
+        }
+    }
+
+    /// Reconstructs the source this record captured.
+    ///
+    /// # Errors
+    /// An [`io::ErrorKind::InvalidData`] error when the stored DTD or a
+    /// listing does not parse (possible only if the record was produced by
+    /// an incompatible build).
+    pub fn to_source(&self) -> io::Result<Source> {
+        let dtd = lsd_xml::parse_dtd(&self.dtd)
+            .map_err(|e| invalid_data(format!("WAL record DTD does not parse: {e}")))?;
+        let listings = self
+            .listings
+            .iter()
+            .map(|text| {
+                lsd_xml::parse_fragment(text)
+                    .map_err(|e| invalid_data(format!("WAL record listing does not parse: {e}")))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Source::from_xml(self.source_name.as_str(), dtd, listings))
+    }
+}
+
+/// An append-only, checksummed, fsync-on-append feedback log.
+#[derive(Debug)]
+pub struct FeedbackWal {
+    file: File,
+    path: PathBuf,
+    records: u64,
+}
+
+impl FeedbackWal {
+    /// Opens (or creates) the WAL at `path` and replays every valid record.
+    ///
+    /// A torn or corrupt tail — the residue of a crash mid-append — is
+    /// truncated away, and replay returns the records before it. The
+    /// returned vector holds *all* valid records since the file was
+    /// created; callers that already absorbed a prefix (a snapshot with
+    /// nonzero [`crate::Lsd::feedback_applied`]) skip it themselves.
+    ///
+    /// # Errors
+    /// I/O failures, or [`io::ErrorKind::InvalidData`] when the file exists
+    /// but does not start with [`WAL_MAGIC`] (it is not a feedback WAL —
+    /// truncating it could destroy someone else's data).
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<(FeedbackWal, Vec<FeedbackRecord>)> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            file.write_all(WAL_MAGIC)?;
+            file.sync_all()?;
+            return Ok((
+                FeedbackWal {
+                    file,
+                    path,
+                    records: 0,
+                },
+                Vec::new(),
+            ));
+        }
+        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(invalid_data(format!(
+                "{} is not a feedback WAL (bad magic)",
+                path.display()
+            )));
+        }
+        let (records, valid_len) = replay(&bytes[WAL_MAGIC.len()..]);
+        let valid_len = (WAL_MAGIC.len() + valid_len) as u64;
+        if valid_len < bytes.len() as u64 {
+            file.set_len(valid_len)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(valid_len))?;
+        let count = records.len() as u64;
+        Ok((
+            FeedbackWal {
+                file,
+                path,
+                records: count,
+            },
+            records,
+        ))
+    }
+
+    /// Durably appends one record (length + CRC-32 + JSON payload, then
+    /// `fsync`) and returns its zero-based index in the log.
+    ///
+    /// # Errors
+    /// I/O failures; the record is not acknowledged durable unless this
+    /// returns `Ok`.
+    pub fn append(&mut self, record: &FeedbackRecord) -> io::Result<u64> {
+        let payload = serde_json::to_string(record)
+            .map_err(|e| invalid_data(format!("feedback record does not serialize: {e}")))?;
+        let payload = payload.as_bytes();
+        let len = u32::try_from(payload.len())
+            .map_err(|_| invalid_data("feedback record exceeds 4 GiB".to_string()))?;
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_all()?;
+        let index = self.records;
+        self.records += 1;
+        if lsd_obs::enabled() {
+            lsd_obs::counter_add("wal.appends", "", 1);
+        }
+        Ok(index)
+    }
+
+    /// Total number of records in the log (replayed + appended).
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Decodes the longest valid record prefix of `bytes` (the file contents
+/// after the magic). Returns the records and the byte length of the valid
+/// prefix; anything after it is a torn or corrupt tail.
+fn replay(bytes: &[u8]) -> (Vec<FeedbackRecord>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while let Some(header) = bytes.get(pos..pos + 8) {
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+            break; // torn payload
+        };
+        if crc32(payload) != crc {
+            break; // corrupt payload (or a torn header misread as a length)
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            break;
+        };
+        let Ok(record) = serde_json::from_str::<FeedbackRecord>(text) else {
+            break;
+        };
+        records.push(record);
+        pos += 8 + len;
+    }
+    (records, pos)
+}
+
+/// IEEE CRC-32 (the zlib/PNG polynomial), bytewise table-driven.
+fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+fn invalid_data(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feedback::Correction;
+    use lsd_xml::{parse_dtd, parse_fragment};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_wal_path(label: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join("lsd-wal-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(format!(
+            "{label}-{}-{}.wal",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn source() -> Source {
+        let dtd = parse_dtd(
+            "<!ELEMENT house (location, contact)>\n\
+             <!ELEMENT location (#PCDATA)>\n<!ELEMENT contact (#PCDATA)>",
+        )
+        .expect("valid DTD");
+        let listings = vec![parse_fragment(
+            "<house><location>Kent, WA</location><contact>(206) 111 2222</contact></house>",
+        )
+        .expect("valid listing")];
+        Source::from_xml("wal-test", dtd, listings)
+    }
+
+    fn record(i: u64) -> FeedbackRecord {
+        FeedbackRecord::from_source(
+            &source(),
+            vec![Correction::tag_is("location", "ADDRESS").with_provenance("wal-test", i, "test")],
+        )
+    }
+
+    #[test]
+    fn roundtrips_records_across_reopen() {
+        let path = temp_wal_path("roundtrip");
+        {
+            let (mut wal, replayed) = FeedbackWal::open(&path).expect("creates");
+            assert!(replayed.is_empty());
+            assert_eq!(wal.append(&record(0)).expect("appends"), 0);
+            assert_eq!(wal.append(&record(1)).expect("appends"), 1);
+            assert_eq!(wal.record_count(), 2);
+        }
+        let (wal, replayed) = FeedbackWal::open(&path).expect("reopens");
+        assert_eq!(wal.record_count(), 2);
+        assert_eq!(replayed, vec![record(0), record(1)]);
+        // The reconstructed source matches the original byte-for-byte.
+        let restored = replayed[0].to_source().expect("parses");
+        assert_eq!(restored.name, "wal-test");
+        assert_eq!(restored.dtd.to_dtd_syntax(), source().dtd.to_dtd_syntax());
+        assert_eq!(
+            lsd_xml::write_element(&restored.listings[0]),
+            lsd_xml::write_element(&source().listings[0])
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn appending_after_recovery_continues_the_log() {
+        let path = temp_wal_path("continue");
+        {
+            let (mut wal, _) = FeedbackWal::open(&path).expect("creates");
+            wal.append(&record(0)).expect("appends");
+        }
+        {
+            let (mut wal, replayed) = FeedbackWal::open(&path).expect("reopens");
+            assert_eq!(replayed.len(), 1);
+            assert_eq!(wal.append(&record(1)).expect("appends"), 1);
+        }
+        let (_, replayed) = FeedbackWal::open(&path).expect("reopens");
+        assert_eq!(replayed, vec![record(0), record(1)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_of_the_last_record_recovers_n_minus_one() {
+        let path = temp_wal_path("torn");
+        let full_len;
+        let intact_len;
+        {
+            let (mut wal, _) = FeedbackWal::open(&path).expect("creates");
+            wal.append(&record(0)).expect("appends");
+            wal.append(&record(1)).expect("appends");
+            intact_len = std::fs::metadata(&path).expect("stats").len();
+            wal.append(&record(2)).expect("appends");
+            full_len = std::fs::metadata(&path).expect("stats").len();
+        }
+        let full = std::fs::read(&path).expect("reads");
+        for cut in intact_len..full_len {
+            std::fs::write(&path, &full[..cut as usize]).expect("writes torn file");
+            let (wal, replayed) =
+                FeedbackWal::open(&path).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+            assert_eq!(replayed.len(), 2, "cut at {cut}");
+            assert_eq!(replayed, vec![record(0), record(1)], "cut at {cut}");
+            assert_eq!(wal.record_count(), 2);
+            // The torn tail was truncated away.
+            assert_eq!(std::fs::metadata(&path).expect("stats").len(), intact_len);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_payload_byte_ends_the_replay() {
+        let path = temp_wal_path("corrupt");
+        {
+            let (mut wal, _) = FeedbackWal::open(&path).expect("creates");
+            wal.append(&record(0)).expect("appends");
+            wal.append(&record(1)).expect("appends");
+        }
+        let mut bytes = std::fs::read(&path).expect("reads");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // flip one byte inside record 1's payload
+        std::fs::write(&path, &bytes).expect("writes");
+        let (_, replayed) = FeedbackWal::open(&path).expect("recovers");
+        assert_eq!(replayed, vec![record(0)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_file_is_rejected_not_truncated() {
+        let path = temp_wal_path("foreign");
+        std::fs::write(&path, b"definitely not a WAL file").expect("writes");
+        let err = FeedbackWal::open(&path).expect_err("rejects");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // The file is untouched.
+        assert_eq!(
+            std::fs::read(&path).expect("reads"),
+            b"definitely not a WAL file"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -66,6 +66,9 @@ pub enum ServeError {
     },
     /// The server is draining for shutdown and accepts no new work (`503`).
     ShuttingDown,
+    /// `POST /v1/feedback` was called but the server was started without a
+    /// feedback directory, so corrections cannot be persisted (`503`).
+    FeedbackDisabled,
     /// The registry holds no active model to match against (`503`).
     NoActiveModel,
     /// The request spent longer than its deadline in the queue (`504`).
@@ -95,9 +98,10 @@ impl ServeError {
             ServeError::PayloadTooLarge { .. } => 413,
             ServeError::UnsupportedMediaType { .. } => 415,
             ServeError::ModelInvalid { .. } => 422,
-            ServeError::QueueFull { .. } | ServeError::ShuttingDown | ServeError::NoActiveModel => {
-                503
-            }
+            ServeError::QueueFull { .. }
+            | ServeError::ShuttingDown
+            | ServeError::NoActiveModel
+            | ServeError::FeedbackDisabled => 503,
             ServeError::DeadlineExceeded { .. } => 504,
             ServeError::Match(e) => match e {
                 LsdError::InvalidSchema { .. } => 400,
@@ -119,6 +123,7 @@ impl ServeError {
             ServeError::ModelInvalid { .. } => "model_invalid",
             ServeError::QueueFull { .. } => "queue_full",
             ServeError::ShuttingDown => "shutting_down",
+            ServeError::FeedbackDisabled => "feedback_disabled",
             ServeError::NoActiveModel => "no_active_model",
             ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
             ServeError::Match(_) => "match_failed",
@@ -162,6 +167,12 @@ impl fmt::Display for ServeError {
                 write!(f, "request queue is full; retry after {retry_after_secs}s")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::FeedbackDisabled => {
+                write!(
+                    f,
+                    "feedback is disabled; start the server with a feedback directory"
+                )
+            }
             ServeError::NoActiveModel => write!(f, "no active model in the registry"),
             ServeError::DeadlineExceeded { deadline_ms } => {
                 write!(
@@ -234,6 +245,7 @@ mod tests {
                 503,
             ),
             (ServeError::ShuttingDown, 503),
+            (ServeError::FeedbackDisabled, 503),
             (ServeError::NoActiveModel, 503),
             (ServeError::DeadlineExceeded { deadline_ms: 10 }, 504),
             (ServeError::Internal { detail: "x".into() }, 500),

@@ -6,8 +6,8 @@
 //! batching tests and the load driver's byte-identical check rely on.
 
 use crate::error::ServeError;
-use lsd_core::{Explanation, MatchOutcome, Source};
-use serde::{Serialize, Value};
+use lsd_core::{Correction, Explanation, MatchOutcome, Source};
+use serde::{Deserialize, Serialize, Value};
 
 fn bad(detail: impl Into<String>) -> ServeError {
     ServeError::BadRequest {
@@ -69,6 +69,15 @@ pub fn parse_match_request(body: &[u8]) -> Result<MatchRequest, ServeError> {
     let source_value = value
         .get("source")
         .ok_or_else(|| bad("missing \"source\" object"))?;
+    Ok(MatchRequest {
+        model,
+        source: parse_source(source_value)?,
+    })
+}
+
+/// Parses a `{"name": ..., "dtd": ..., "listings": [...]}` source object —
+/// shared by the match and feedback bodies.
+fn parse_source(source_value: &Value) -> Result<Source, ServeError> {
     let name = match source_value.get("name") {
         None | Some(Value::Null) => "request".to_string(),
         Some(v) => as_str(v, "\"source.name\"")?.to_string(),
@@ -99,10 +108,108 @@ pub fn parse_match_request(body: &[u8]) -> Result<MatchRequest, ServeError> {
         listings.push(element);
     }
 
-    Ok(MatchRequest {
+    Ok(Source::from_xml(name, dtd, listings))
+}
+
+/// A parsed `POST /v1/feedback` body: the optional model name, the source
+/// the corrections are about, and the corrections themselves with
+/// provenance stamped in.
+#[derive(Debug)]
+pub struct FeedbackRequest {
+    /// Explicit model name; `None` targets the active model.
+    pub model: Option<String>,
+    /// The source the corrections describe.
+    pub source: Source,
+    /// The typed corrections, provenance filled from the request.
+    pub corrections: Vec<Correction>,
+}
+
+/// Parses the feedback body:
+///
+/// ```json
+/// {
+///   "model": "real-estate-1",             // optional; default: active
+///   "origin": "review-ui",                // optional provenance
+///   "source": {
+///     "name": "listings.com",
+///     "dtd": "<!ELEMENT house (...)>",
+///     "listings": ["<house>...</house>", ...]
+///   },
+///   "corrections": [
+///     {"tag": "phone", "kind": {"TagIs": {"label": "AGENT_PHONE"}}},
+///     {"tag": "extra", "kind": "TagIsOther"}
+///   ]
+/// }
+/// ```
+///
+/// Corrections arrive without provenance; the source name, the server's
+/// clock and the request's `origin` (default `"api"`) are stamped onto
+/// each one. An empty corrections array is a `400` — an ack would promise
+/// durability for nothing.
+pub fn parse_feedback_request(body: &[u8]) -> Result<FeedbackRequest, ServeError> {
+    let text = std::str::from_utf8(body).map_err(|_| bad("body is not valid UTF-8"))?;
+    let value: Value =
+        serde_json::from_str(text).map_err(|e| bad(format!("body is not valid JSON: {e}")))?;
+
+    let model = match value.get("model") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(as_str(v, "\"model\"")?.to_string()),
+    };
+    let origin = match value.get("origin") {
+        None | Some(Value::Null) => "api".to_string(),
+        Some(v) => as_str(v, "\"origin\"")?.to_string(),
+    };
+    let source = parse_source(
+        value
+            .get("source")
+            .ok_or_else(|| bad("missing \"source\" object"))?,
+    )?;
+
+    let corrections_value = value
+        .get("corrections")
+        .ok_or_else(|| bad("missing \"corrections\" array"))?;
+    let Value::Seq(items) = corrections_value else {
+        return Err(bad(
+            "\"corrections\" must be an array of correction objects",
+        ));
+    };
+    if items.is_empty() {
+        return Err(bad("\"corrections\" must not be empty"));
+    }
+    let timestamp_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut corrections = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let correction = Correction::from_value(item)
+            .map_err(|e| bad(format!("\"corrections[{i}]\" is invalid: {e}")))?;
+        corrections.push(correction.with_provenance(
+            source.name.as_str(),
+            timestamp_ms,
+            origin.as_str(),
+        ));
+    }
+
+    Ok(FeedbackRequest {
         model,
-        source: Source::from_xml(name, dtd, listings),
+        source,
+        corrections,
     })
+}
+
+/// Renders the `POST /v1/feedback` ack: which model the corrections were
+/// logged against, the generation that served the ack (retraining bumps
+/// it), how many corrections were accepted and the WAL index of the record
+/// that durably holds them.
+pub fn feedback_ack_body(model: &str, generation: u64, record: u64, accepted: usize) -> String {
+    let doc = obj(vec![
+        ("model", Value::Str(model.to_string())),
+        ("generation", Value::Int(generation as i64)),
+        ("record", Value::Int(record as i64)),
+        ("accepted", Value::Int(accepted as i64)),
+    ]);
+    serde_json::to_string(&doc).unwrap_or_else(|_| "{}".to_string())
 }
 
 /// How many ranked candidates per tag the match response carries.

@@ -38,6 +38,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod error;
+mod feedback;
 pub mod http;
 pub mod json;
 pub mod media;
@@ -46,6 +47,7 @@ mod registry;
 mod server;
 
 pub use error::ServeError;
+pub use feedback::FeedbackHub;
 pub use queue::{Job, JobKind, RequestQueue, ServeStats};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -122,7 +122,7 @@ impl ModelRegistry {
         &self.dir
     }
 
-    fn snapshot_path(&self, name: &str) -> PathBuf {
+    pub(crate) fn snapshot_path(&self, name: &str) -> PathBuf {
         self.dir.join(format!("{name}.json"))
     }
 
@@ -173,6 +173,44 @@ impl ModelRegistry {
         let lsd = self.load_validated(name)?;
         self.install(name, lsd, false)?;
         Ok(())
+    }
+
+    /// Installs an already-validated, retrained instance of `name` — the
+    /// retrain worker's hot-swap. Bumps the generation and replaces the
+    /// entry atomically; the active selection is untouched, so a retrained
+    /// non-active model stays non-active while a retrained active model
+    /// keeps serving (new requests resolve the new `Arc`, in-flight
+    /// requests finish on the generation they started with).
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] for invalid names,
+    /// [`ServeError::ModelInvalid`] when `lsd` fails
+    /// [`Lsd::ensure_servable`], [`ServeError::Internal`] on lock poison.
+    pub fn install_retrained(&self, name: &str, lsd: Lsd) -> Result<Arc<ModelEntry>, ServeError> {
+        validate_name(name)?;
+        lsd.ensure_servable()
+            .map_err(|e| ServeError::ModelInvalid {
+                name: name.to_string(),
+                detail: e.to_string(),
+            })?;
+        self.install(name, lsd, false)
+    }
+
+    /// Names of all installed models, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.state
+            .read()
+            .map(|s| s.models.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// The installed entry's generation, if `name` is installed — the
+    /// cheap probe the retrain tests and `/metrics` poller rely on.
+    pub fn generation(&self, name: &str) -> Option<u64> {
+        self.state
+            .read()
+            .ok()
+            .and_then(|s| s.models.get(name).map(|m| m.generation))
     }
 
     /// (Re)loads `name` from disk, validates it, atomically installs it and

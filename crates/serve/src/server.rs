@@ -14,10 +14,13 @@
 //! are failed with `503` so no client is left hanging.
 
 use crate::error::ServeError;
+use crate::feedback::{retrain_worker, FeedbackHub};
 use crate::http::{error_response, read_request, write_response, ReadOutcome, Request, Response};
+use crate::json;
 use crate::media;
 use crate::queue::{worker_loop, Job, JobKind, RequestQueue};
 use crate::registry::ModelRegistry;
+use lsd_core::{Feedback, FeedbackRecord};
 use serde::Value;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -55,6 +58,10 @@ pub struct ServeConfig {
     pub max_body_bytes: usize,
     /// `Retry-After` seconds advertised with `503 queue_full`.
     pub retry_after_secs: u64,
+    /// Directory for per-model feedback WALs. `None` disables
+    /// `POST /v1/feedback` (it answers `503 feedback_disabled`) and the
+    /// retrain worker.
+    pub feedback_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +79,7 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(5),
             max_body_bytes: 1024 * 1024,
             retry_after_secs: 1,
+            feedback_dir: None,
         }
     }
 }
@@ -80,6 +88,7 @@ struct Shared {
     config: ServeConfig,
     registry: ModelRegistry,
     queue: RequestQueue,
+    feedback: Option<FeedbackHub>,
     shutdown: AtomicBool,
     active_connections: AtomicU64,
 }
@@ -127,11 +136,19 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let queue = RequestQueue::new(config.queue_capacity, config.retry_after_secs);
+        let feedback = match &config.feedback_dir {
+            Some(dir) => Some(
+                FeedbackHub::open(dir, &registry)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?,
+            ),
+            None => None,
+        };
         Ok(Server {
             shared: Arc::new(Shared {
                 config,
                 registry,
                 queue,
+                feedback,
                 shutdown: AtomicBool::new(false),
                 active_connections: AtomicU64::new(0),
             }),
@@ -180,6 +197,14 @@ impl Server {
                 })
             })
             .collect();
+        let retrainer = shared.feedback.as_ref().map(|_| {
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || {
+                if let Some(hub) = shared.feedback.as_ref() {
+                    retrain_worker(&shared.registry, hub);
+                }
+            })
+        });
 
         let mut connections = Vec::new();
         for stream in self.listener.incoming() {
@@ -197,9 +222,16 @@ impl Server {
         }
 
         // Drain: the queue already rejects pushes; workers exit once it is
-        // empty. Leftovers (workers = 0) are failed explicitly.
+        // empty. Leftovers (workers = 0) are failed explicitly. The retrain
+        // worker abandons its in-memory queue — the WAL keeps the records.
+        if let Some(hub) = shared.feedback.as_ref() {
+            hub.begin_shutdown();
+        }
         for worker in workers {
             let _ = worker.join();
+        }
+        if let Some(retrainer) = retrainer {
+            let _ = retrainer.join();
         }
         self.shared.queue.reject_remaining();
         for connection in connections {
@@ -261,6 +293,34 @@ fn run_job(shared: &Shared, kind: JobKind, request: &Request) -> Result<String, 
     }
 }
 
+/// Validates, durably logs and acks one feedback request. The corrections
+/// are checked against the target model's label set *before* the WAL
+/// append, so a `200` always means "these corrections will be folded into
+/// a future generation (or replayed after a crash)".
+fn handle_feedback(shared: &Shared, request: &Request) -> Result<String, ServeError> {
+    let hub = shared
+        .feedback
+        .as_ref()
+        .ok_or(ServeError::FeedbackDisabled)?;
+    let parsed = json::parse_feedback_request(&request.body)?;
+    let entry = shared.registry.model(parsed.model.as_deref())?;
+    Feedback::from_corrections(parsed.corrections.clone())
+        .to_constraints(entry.lsd.labels())
+        .map_err(|e| ServeError::BadRequest {
+            detail: e.to_string(),
+        })?;
+    let accepted = parsed.corrections.len();
+    let record = FeedbackRecord::from_source(&parsed.source, parsed.corrections);
+    let index = hub.submit(&entry.name, entry.lsd.feedback_applied(), record)?;
+    lsd_obs::counter_add("serve.feedback_records", "accepted", 1);
+    Ok(json::feedback_ack_body(
+        &entry.name,
+        entry.generation,
+        index,
+        accepted,
+    ))
+}
+
 fn healthz_body(shared: &Shared) -> String {
     let stats = &shared.queue.stats;
     let int = |v: u64| Value::Int(v as i64);
@@ -313,6 +373,7 @@ fn route(shared: &Shared, request: &Request) -> Result<Response, ServeError> {
         ("GET", "/v1/models") => Ok(Response::json(shared.registry.list_json())),
         ("POST", "/v1/match") => run_job(shared, JobKind::Match, request).map(Response::json),
         ("POST", "/v1/explain") => run_job(shared, JobKind::Explain, request).map(Response::json),
+        ("POST", "/v1/feedback") => handle_feedback(shared, request).map(Response::json),
         ("PUT", path) if path.starts_with("/v1/models/") => {
             let name = &path["/v1/models/".len()..];
             let entry = shared.registry.activate(name)?;
@@ -327,12 +388,13 @@ fn route(shared: &Shared, request: &Request) -> Result<Response, ServeError> {
                 .unwrap_or_else(|_| "{}".to_string()),
             ))
         }
-        (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/match" | "/v1/explain") => {
-            Err(ServeError::MethodNotAllowed {
-                method: method.to_string(),
-                path: path.to_string(),
-            })
-        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/models" | "/v1/match" | "/v1/explain" | "/v1/feedback",
+        ) => Err(ServeError::MethodNotAllowed {
+            method: method.to_string(),
+            path: path.to_string(),
+        }),
         _ => Err(ServeError::NotFound {
             path: path.to_string(),
         }),
@@ -343,6 +405,7 @@ fn endpoint_label(path: &str) -> &'static str {
     match path {
         "/v1/match" => "match",
         "/v1/explain" => "explain",
+        "/v1/feedback" => "feedback",
         "/v1/models" => "models",
         "/healthz" => "healthz",
         "/metrics" => "metrics",

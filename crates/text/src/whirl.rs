@@ -83,9 +83,17 @@ struct Example {
 pub struct Whirl {
     config: WhirlConfig,
     model: TfIdfModel,
-    /// Raw token lists, kept until [`Self::finalize`] recomputes vectors
-    /// under the final corpus statistics.
-    pending: Vec<(Vec<String>, usize)>,
+    /// The permanent raw document store: every example's token list, in
+    /// insertion order. Serialized, so a snapshot can *warm-start*: adding
+    /// examples after deserialization re-vectorizes the whole store under
+    /// the updated corpus statistics, making incremental training
+    /// byte-equal to training from scratch on the concatenated sequence.
+    /// Empty in snapshots from builds that stored only frozen vectors —
+    /// those still classify but cannot warm-start
+    /// (see [`Self::retains_documents`]).
+    #[serde(default)]
+    docs: Vec<(Vec<String>, usize)>,
+    /// Frozen TF/IDF vectors, rebuilt from `docs` by [`Self::finalize`].
     examples: Vec<Example>,
     /// Inverted index: `postings[dim]` lists `(example, weight)` pairs, so
     /// a query only touches examples it shares at least one token with.
@@ -100,7 +108,7 @@ impl Whirl {
         Whirl {
             config,
             model: TfIdfModel::new(),
-            pending: Vec::new(),
+            docs: Vec::new(),
             examples: Vec::new(),
             postings: std::collections::HashMap::new(),
             num_labels,
@@ -108,19 +116,46 @@ impl Whirl {
     }
 
     /// Adds one training example. Call [`Self::finalize`] after the last
-    /// example and before classifying.
+    /// example and before classifying. Examples may be added again after a
+    /// finalize; the next finalize folds them in under the updated corpus
+    /// statistics.
     pub fn add_example<'a>(&mut self, tokens: impl IntoIterator<Item = &'a str>, label: usize) {
         debug_assert!(label < self.num_labels, "label out of range");
         let toks: Vec<String> = tokens.into_iter().map(str::to_string).collect();
         self.model.add_document(toks.iter().map(String::as_str));
-        self.pending.push((toks, label));
+        self.docs.push((toks, label));
     }
 
     /// Freezes corpus statistics, computes the stored vectors, and builds
     /// the inverted index. Idempotent. Also call after deserializing a
     /// trained classifier: the index is not serialized and is rebuilt here.
+    ///
+    /// When new documents were added since the last finalize, *every*
+    /// stored vector is recomputed — IDF weights shift with each new
+    /// document, so refreezing the whole store is what keeps incremental
+    /// training identical to a from-scratch train on the same sequence.
     pub fn finalize(&mut self) {
-        if self.postings.is_empty() && !self.examples.is_empty() {
+        let stale = !self.docs.is_empty()
+            && (self.examples.len() != self.docs.len() || self.postings.is_empty());
+        if stale {
+            self.examples.clear();
+            self.postings.clear();
+            for (tokens, label) in &self.docs {
+                let vector = self
+                    .model
+                    .vector_for_tokens(tokens.iter().map(String::as_str));
+                let id = self.examples.len() as u32;
+                for &(dim, weight) in vector.entries() {
+                    self.postings.entry(dim).or_default().push((id, weight));
+                }
+                self.examples.push(Example {
+                    vector,
+                    label: *label,
+                });
+            }
+        } else if self.postings.is_empty() && !self.examples.is_empty() {
+            // Vectors-only snapshot (no document store): rebuild the index
+            // from the frozen vectors.
             for (id, ex) in self.examples.iter().enumerate() {
                 for &(dim, weight) in ex.vector.entries() {
                     self.postings
@@ -130,16 +165,6 @@ impl Whirl {
                 }
             }
         }
-        for (tokens, label) in self.pending.drain(..) {
-            let vector = self
-                .model
-                .vector_for_tokens(tokens.iter().map(String::as_str));
-            let id = self.examples.len() as u32;
-            for &(dim, weight) in vector.entries() {
-                self.postings.entry(dim).or_default().push((id, weight));
-            }
-            self.examples.push(Example { vector, label });
-        }
         if lsd_obs::enabled() {
             lsd_obs::gauge_max("tfidf.vocab_size", "", self.model.vocabulary().len() as u64);
             lsd_obs::gauge_max("tfidf.index_dims", "", self.postings.len() as u64);
@@ -147,9 +172,18 @@ impl Whirl {
         }
     }
 
-    /// Number of stored examples (after finalize).
+    /// Whether the raw document store is available, i.e. whether this
+    /// classifier can accept further examples after being trained (or
+    /// deserialized) without corrupting its statistics. False only for
+    /// non-empty snapshots from builds that serialized frozen vectors
+    /// without the document store.
+    pub fn retains_documents(&self) -> bool {
+        self.examples.is_empty() || !self.docs.is_empty()
+    }
+
+    /// Number of stored examples (including ones not yet finalized).
     pub fn num_examples(&self) -> usize {
-        self.examples.len() + self.pending.len()
+        self.docs.len().max(self.examples.len())
     }
 
     /// Number of labels.
@@ -161,7 +195,10 @@ impl Whirl {
     /// over labels that sums to 1 (uniform if no neighbour qualifies, e.g.
     /// for an empty store or fully out-of-vocabulary query).
     pub fn classify<'a>(&self, tokens: impl IntoIterator<Item = &'a str>) -> Vec<f64> {
-        debug_assert!(self.pending.is_empty(), "classify called before finalize");
+        debug_assert!(
+            self.docs.is_empty() || self.examples.len() == self.docs.len(),
+            "classify called before finalize"
+        );
         let query = self.model.vector_for_tokens(tokens);
         let mut scores = self.label_scores(&query);
         let total: f64 = scores.iter().sum();

@@ -7,10 +7,9 @@
 //!
 //! Run with: `cargo run --release --example interactive_feedback`
 
-use lsd::constraints::{DomainConstraint, Predicate};
 use lsd::core::feedback::simulate_feedback_session;
 use lsd::core::learners::{ContentMatcher, NaiveBayesLearner, NameMatcher};
-use lsd::core::{LsdBuilder, Source, TrainedSource};
+use lsd::core::{Correction, Feedback, LsdBuilder, Source, TrainedSource};
 use lsd::datagen::DomainId;
 use lsd::xml::SchemaTree;
 
@@ -63,12 +62,10 @@ fn main() {
 
     if let Some((tag, truth)) = first_wrong {
         println!("\nuser says: '{tag}' matches {truth}; re-running the constraint handler…");
-        let fb = [DomainConstraint::hard(Predicate::TagIs {
-            tag: tag.clone(),
-            label: truth.clone(),
-        })];
+        let fb = Feedback::from_corrections(vec![Correction::tag_is(tag.as_str(), truth.as_str())
+            .with_provenance(source.name.as_str(), 0, "example")]);
         let after = lsd
-            .match_source_with_feedback(&source, &fb)
+            .match_source_with(&source, &fb)
             .expect("well-formed source");
         println!(
             "  {tag} now => {}",
@@ -83,7 +80,7 @@ fn main() {
         simulate_feedback_session(&lsd, &source, &gs.mapping).expect("well-formed source");
     println!(
         "\nfull feedback session: {} corrections over {} tags, {} rounds, converged={}",
-        outcome.corrections,
+        outcome.corrections.len(),
         schema.len(),
         outcome.rounds,
         outcome.converged

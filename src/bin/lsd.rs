@@ -28,11 +28,11 @@
 //! lines; constraints are the JSON serialization of
 //! `Vec<DomainConstraint>`.
 
-use lsd::constraints::{DomainConstraint, Predicate};
+use lsd::constraints::DomainConstraint;
 use lsd::core::learners::{
     ContentMatcher, FormatLearner, NaiveBayesLearner, NameMatcher, StatsLearner,
 };
-use lsd::core::{Lsd, LsdBuilder, Source, TrainedSource};
+use lsd::core::{Correction, Feedback, Lsd, LsdBuilder, Source, TrainedSource};
 use lsd::datagen::DomainId;
 use lsd::xml::{parse_document, parse_dtd, write_element_pretty, Dtd, Element};
 use std::collections::HashMap;
@@ -274,29 +274,23 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
     let lsd = Lsd::load_json(model_path).map_err(|e| format!("{model_path}: {e}"))?;
     let source = read_source(Path::new(flags.one("source")?))?;
 
-    let mut feedback: Vec<DomainConstraint> = Vec::new();
+    let mut feedback = Feedback::new();
     for (flag, positive) in [("assert", true), ("deny", false)] {
         for spec in flags.many(flag) {
             let (tag, label) = spec
                 .split_once('=')
                 .ok_or_else(|| format!("--{flag} wants tag=LABEL, got '{spec}'"))?;
-            let predicate = if positive {
-                Predicate::TagIs {
-                    tag: tag.to_string(),
-                    label: label.to_string(),
-                }
+            let correction = if positive {
+                Correction::tag_is(tag, label)
             } else {
-                Predicate::TagIsNot {
-                    tag: tag.to_string(),
-                    label: label.to_string(),
-                }
+                Correction::tag_is_not(tag, label)
             };
-            feedback.push(DomainConstraint::hard(predicate));
+            feedback.push(correction.with_provenance(source.name.as_str(), 0, "cli"));
         }
     }
 
     let outcome = lsd
-        .match_source_with_feedback(&source, &feedback)
+        .match_source_with(&source, &feedback)
         .map_err(|e| e.to_string())?;
     out!(
         "match of {} ({} tags, search {}):",

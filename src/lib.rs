@@ -43,6 +43,12 @@ pub use lsd_core::{
 };
 pub use lsd_core::{Diagnostic, DiagnosticCode, Severity};
 
+// The feedback-loop vocabulary: typed corrections, durable WAL, simulator.
+pub use lsd_core::{
+    simulate_feedback_session, Correction, CorrectionKind, Feedback, FeedbackOutcome,
+    FeedbackRecord, FeedbackWal, StallReason, WAL_MAGIC,
+};
+
 // The source-reader surface: every serialization funnels through
 // `Source::from_reader`, so `lsd::CsvReader` and friends sit beside
 // `lsd::Source` at the root.

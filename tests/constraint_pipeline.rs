@@ -3,7 +3,7 @@
 
 use lsd::constraints::{DomainConstraint, Predicate, SearchAlgorithm, SearchConfig};
 use lsd::core::learners::NaiveBayesLearner;
-use lsd::core::{Lsd, LsdBuilder, LsdConfig, Source, TrainedSource};
+use lsd::core::{Correction, Feedback, Lsd, LsdBuilder, LsdConfig, Source, TrainedSource};
 use lsd::xml::{parse_dtd, parse_fragment, Dtd, Element};
 use std::collections::HashMap;
 
@@ -141,11 +141,8 @@ fn combined_frequency_and_feedback() {
         })],
     );
     lsd.train(std::slice::from_ref(&f.train)).unwrap();
-    let fb = [DomainConstraint::hard(Predicate::TagIs {
-        tag: "amount-b".into(),
-        label: "PRICE".into(),
-    })];
-    let o = lsd.match_source_with_feedback(&f.target, &fb).unwrap();
+    let fb = Feedback::from_corrections(vec![Correction::tag_is("amount-b", "PRICE")]);
+    let o = lsd.match_source_with(&f.target, &fb).unwrap();
     assert_eq!(o.label_of("amount-b"), Some("PRICE"));
     assert_ne!(o.label_of("amount-a"), Some("PRICE"));
 }

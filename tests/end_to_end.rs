@@ -1,9 +1,8 @@
 //! Cross-crate integration tests: the full pipeline from generated domains
 //! through training, matching, constraints and feedback.
 
-use lsd::constraints::{DomainConstraint, Predicate};
 use lsd::core::learners::{ContentMatcher, NaiveBayesLearner, NameMatcher};
-use lsd::core::{Lsd, LsdBuilder, LsdConfig, Source, TrainedSource};
+use lsd::core::{Correction, Feedback, Lsd, LsdBuilder, LsdConfig, Source, TrainedSource};
 use lsd::datagen::DomainId;
 use std::collections::HashMap;
 
@@ -109,11 +108,8 @@ fn feedback_is_honored_and_scoped() {
         .expect("a tag")
         .to_string();
 
-    let fb = [DomainConstraint::hard(Predicate::TagIs {
-        tag: tag.clone(),
-        label: "NOTES".to_string(),
-    })];
-    let with_fb = lsd.match_source_with_feedback(&source, &fb).unwrap();
+    let fb = Feedback::from_corrections(vec![Correction::tag_is(tag.as_str(), "NOTES")]);
+    let with_fb = lsd.match_source_with(&source, &fb).unwrap();
     assert_eq!(
         with_fb.label_of(&tag),
         Some("NOTES"),
@@ -147,11 +143,8 @@ fn negative_feedback_excludes_label() {
         .find(|(_, l)| *l != "OTHER")
         .map(|(t, l)| (t.clone(), l.clone()))
         .expect("some tag matched");
-    let fb = [DomainConstraint::hard(Predicate::TagIsNot {
-        tag: tag.clone(),
-        label: label.clone(),
-    })];
-    let after = lsd.match_source_with_feedback(&source, &fb).unwrap();
+    let fb = Feedback::from_corrections(vec![Correction::tag_is_not(tag.as_str(), label.as_str())]);
+    let after = lsd.match_source_with(&source, &fb).unwrap();
     assert_ne!(after.label_of(&tag), Some(label.as_str()));
 }
 

@@ -4,10 +4,12 @@
 //! one rejects a higher-ranked candidate, and render byte-identically
 //! across thread counts.
 
-use lsd::constraints::{DomainConstraint, Predicate};
 use lsd::core::learners::{ContentMatcher, NaiveBayesLearner, NameMatcher};
 use lsd::datagen::DomainId;
-use lsd::{ExecPolicy, Lsd, LsdBuilder, LsdConfig, RejectionReason, Source, TrainedSource};
+use lsd::{
+    Correction, ExecPolicy, Feedback, Lsd, LsdBuilder, LsdConfig, RejectionReason, Source,
+    TrainedSource,
+};
 
 fn to_source(gs: &lsd::datagen::GeneratedSource) -> Source {
     Source::from_xml(gs.name.clone(), gs.dtd.clone(), gs.listings.clone())
@@ -129,13 +131,11 @@ fn feedback_pin_shows_up_as_constraint_rejection() {
         })
         .expect("some tag is mapped to its top candidate");
 
-    let feedback = [DomainConstraint::hard(Predicate::TagIsNot {
-        tag: tag.clone(),
-        label: top_label.clone(),
-    })];
-    let outcome = lsd
-        .match_source_with_feedback(&targets[0], &feedback)
-        .unwrap();
+    let feedback = Feedback::from_corrections(vec![Correction::tag_is_not(
+        tag.as_str(),
+        top_label.as_str(),
+    )]);
+    let outcome = lsd.match_source_with(&targets[0], &feedback).unwrap();
     assert_ne!(outcome.label_of(&tag), Some(top_label.as_str()));
 
     let explanation = outcome.explain(&tag).expect("tag was matched");
