@@ -1,0 +1,623 @@
+//! Static audit of `SavedModel` snapshots (the `LSD20x` family).
+//!
+//! A snapshot is the serving side's unit of deployment: the trained state
+//! of every learner, the stacking weights, the label set and the mediated
+//! schema, serialized as one JSON document (`lsd_core::persist`). Between
+//! training and serving it crosses process and machine boundaries, and a
+//! silently corrupted snapshot — a NaN weight written as `null`, a learner
+//! whose vocabulary never made it to disk, a label set that drifted away
+//! from the mediated schema — only surfaces as wrong *answers*, not as a
+//! load failure. [`audit_snapshot`] finds those defects statically, before
+//! the artifact is allowed anywhere near traffic.
+//!
+//! The auditor works on the artifact *text*, not on a deserialized
+//! `SavedModel` (`lsd-core` depends on this crate, not the other way
+//! around), which is also what lets diagnostics carry byte spans into the
+//! file for rustc-style caret rendering.
+
+use crate::diagnostic::{Code, Diagnostic};
+use lsd_xml::Span;
+use serde::Value;
+
+/// What a snapshot audit could extract, whether or not the audit was
+/// clean — the cross-artifact context [`crate::audit_registry`] and the
+/// WAL auditor need (label set, fold point, version, mediated DTD).
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotSummary {
+    /// The `version` field, when present and integral.
+    pub version: Option<u32>,
+    /// The stored label names, in order (empty when unreadable).
+    pub labels: Vec<String>,
+    /// The mediated DTD text (empty for pre-analysis snapshots).
+    pub mediated_dtd: String,
+    /// The `feedback_applied` fold point (0 when absent).
+    pub feedback_applied: u64,
+    /// The `trained` flag (false when unreadable).
+    pub trained: bool,
+}
+
+/// Audits one `SavedModel` JSON document. See the module docs for what is
+/// checked; [`audit_snapshot_with_summary`] additionally returns the
+/// fields later cross-checks need.
+pub fn audit_snapshot(text: &str) -> Vec<Diagnostic> {
+    audit_snapshot_with_summary(text).0
+}
+
+/// [`audit_snapshot`] plus the extracted [`SnapshotSummary`].
+pub fn audit_snapshot_with_summary(text: &str) -> (Vec<Diagnostic>, SnapshotSummary) {
+    let mut out = Vec::new();
+    let mut summary = SnapshotSummary::default();
+    let value: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => {
+            out.push(
+                Diagnostic::new(
+                    Code::MalformedSnapshot,
+                    format!("snapshot is not valid JSON: {e}"),
+                )
+                .with_span(parse_error_span(&e.to_string(), text))
+                .with_help("regenerate the snapshot with `Lsd::save_json`"),
+            );
+            return (out, summary);
+        }
+    };
+    let Value::Map(fields) = &value else {
+        out.push(Diagnostic::new(
+            Code::MalformedSnapshot,
+            "snapshot root is not a JSON object",
+        ));
+        return (out, summary);
+    };
+
+    summary.version = match get(fields, "version") {
+        Some(Value::Int(v)) if *v >= 0 => Some(*v as u32),
+        _ => None,
+    };
+    if summary.version.is_none() {
+        out.push(
+            Diagnostic::new(
+                Code::MalformedSnapshot,
+                "snapshot has no integral `version` field",
+            )
+            .with_span(key_span(text, "version")),
+        );
+    }
+
+    summary.trained = matches!(get(fields, "trained"), Some(Value::Bool(true)));
+    if !summary.trained {
+        out.push(
+            Diagnostic::new(
+                Code::SnapshotUntrained,
+                "snapshot is untrained (`trained` is not `true`); it can never serve",
+            )
+            .with_span(key_span(text, "trained"))
+            .with_help("run `Lsd::train` before saving a serving snapshot"),
+        );
+    }
+
+    summary.labels = match get(fields, "labels") {
+        Some(Value::Seq(items)) => items
+            .iter()
+            .filter_map(|v| match v {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect(),
+        _ => {
+            out.push(
+                Diagnostic::new(Code::MalformedSnapshot, "snapshot has no `labels` array")
+                    .with_span(key_span(text, "labels")),
+            );
+            Vec::new()
+        }
+    };
+
+    let learners: &[Value] = match get(fields, "learners") {
+        Some(Value::Seq(items)) => items,
+        _ => &[],
+    };
+    let learner_names: Vec<String> = learners
+        .iter()
+        .enumerate()
+        .map(|(j, l)| learner_kind(l).unwrap_or_else(|| format!("learner {j}")))
+        .collect();
+
+    audit_meta_weights(text, fields, &summary, &learner_names, &mut out);
+
+    if summary.trained {
+        for (j, learner) in learners.iter().enumerate() {
+            if let Some(why) = degenerate_learner(learner) {
+                out.push(
+                    Diagnostic::new(
+                        Code::EmptyLearnerState,
+                        format!(
+                            "learner `{}` has no training state: {why}",
+                            learner_names[j]
+                        ),
+                    )
+                    .with_span(key_span(text, "learners"))
+                    .with_note("a trained snapshot should carry every learner's fitted state")
+                    .with_help("retrain and re-save, or drop the learner from the configuration"),
+                );
+            }
+        }
+    }
+
+    summary.mediated_dtd = match get(fields, "mediated_dtd") {
+        Some(Value::Str(s)) => s.clone(),
+        _ => String::new(),
+    };
+    audit_mediated_dtd(text, &summary, &mut out);
+
+    summary.feedback_applied = match get(fields, "feedback_applied") {
+        Some(Value::Int(v)) if *v >= 0 => *v as u64,
+        Some(Value::Int(v)) => {
+            out.push(
+                Diagnostic::new(
+                    Code::MalformedSnapshot,
+                    format!("`feedback_applied` fold point is negative ({v})"),
+                )
+                .with_span(key_span(text, "feedback_applied")),
+            );
+            0
+        }
+        _ => 0,
+    };
+
+    (out, summary)
+}
+
+/// Checks the meta-weight matrix: every entry a finite number, the row
+/// count equal to the label count, the column count equal to the learner
+/// count, and no all-zero learner column.
+fn audit_meta_weights(
+    text: &str,
+    fields: &[(String, Value)],
+    summary: &SnapshotSummary,
+    learner_names: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    let weights = match get(fields, "meta") {
+        Some(Value::Map(meta)) => match get(meta, "weights") {
+            Some(Value::Seq(rows)) => rows,
+            _ => {
+                out.push(
+                    Diagnostic::new(
+                        Code::MalformedSnapshot,
+                        "snapshot has no `meta.weights` matrix",
+                    )
+                    .with_span(key_span(text, "meta")),
+                );
+                return;
+            }
+        },
+        _ => {
+            out.push(
+                Diagnostic::new(Code::MalformedSnapshot, "snapshot has no `meta` object")
+                    .with_span(key_span(text, "meta")),
+            );
+            return;
+        }
+    };
+    let span = key_span(text, "weights");
+
+    // An untrained snapshot legitimately carries `MetaLearner::uniform(0, n)`
+    // (an empty matrix); shape checks only make sense on trained models.
+    if summary.trained {
+        if weights.len() != summary.labels.len() {
+            out.push(
+                Diagnostic::new(
+                    Code::MetaLabelSkew,
+                    format!(
+                        "meta-weight matrix has {} label row(s) but the label set has {} label(s)",
+                        weights.len(),
+                        summary.labels.len()
+                    ),
+                )
+                .with_span(span)
+                .with_note("every label must have exactly one stacking-weight row")
+                .with_help("the snapshot mixes state from two different models; retrain"),
+            );
+        }
+        for (i, row) in weights.iter().enumerate() {
+            let Value::Seq(row) = row else { continue };
+            if row.len() != learner_names.len() {
+                out.push(
+                    Diagnostic::new(
+                        Code::MetaLabelSkew,
+                        format!(
+                            "meta-weight row {i} has {} column(s) but the snapshot holds {} \
+                             learner(s)",
+                            row.len(),
+                            learner_names.len()
+                        ),
+                    )
+                    .with_span(span),
+                );
+                break;
+            }
+        }
+    }
+
+    let mut nonfinite = 0usize;
+    for (i, row) in weights.iter().enumerate() {
+        let Value::Seq(row) = row else { continue };
+        for (j, w) in row.iter().enumerate() {
+            if !is_finite_number(w) {
+                nonfinite += 1;
+                if nonfinite <= 3 {
+                    let label = summary
+                        .labels
+                        .get(i)
+                        .map_or_else(|| format!("row {i}"), |l| format!("`{l}`"));
+                    let learner = learner_names
+                        .get(j)
+                        .map_or_else(|| format!("column {j}"), |n| format!("`{n}`"));
+                    out.push(
+                        Diagnostic::new(
+                            Code::NonFiniteMetaWeight,
+                            format!(
+                                "stacking weight of {learner} for {label} is not a finite \
+                                 number ({})",
+                                render_scalar(w)
+                            ),
+                        )
+                        .with_span(span)
+                        .with_note("JSON has no NaN/Infinity; serializers write them as `null`")
+                        .with_help("the regression produced a non-finite weight; retrain"),
+                    );
+                }
+            }
+        }
+    }
+    if nonfinite > 3 {
+        out.push(
+            Diagnostic::new(
+                Code::NonFiniteMetaWeight,
+                format!(
+                    "...and {} more non-finite stacking weight(s)",
+                    nonfinite - 3
+                ),
+            )
+            .with_span(span),
+        );
+    }
+
+    if summary.trained && nonfinite == 0 && !weights.is_empty() {
+        for (j, name) in learner_names.iter().enumerate() {
+            let all_zero = weights.iter().all(|row| match row {
+                Value::Seq(row) => num_is_zero(row.get(j)),
+                _ => false,
+            });
+            if all_zero {
+                out.push(
+                    Diagnostic::new(
+                        Code::ZeroWeightLearner,
+                        format!(
+                            "learner `{name}` has an all-zero stacking-weight column: it is \
+                             loaded and run but contributes nothing to any label"
+                        ),
+                    )
+                    .with_span(span)
+                    .with_help("drop the learner from the configuration or retrain the stack"),
+                );
+            }
+        }
+    }
+}
+
+/// Cross-checks the stored mediated DTD against the stored label set.
+fn audit_mediated_dtd(text: &str, summary: &SnapshotSummary, out: &mut Vec<Diagnostic>) {
+    // Pre-analysis snapshots carry no mediated DTD; the label set alone is
+    // authoritative for them, so there is nothing to cross-check.
+    if summary.mediated_dtd.is_empty() {
+        return;
+    }
+    let span = key_span(text, "mediated_dtd");
+    let dtd = match lsd_xml::parse_dtd(&summary.mediated_dtd) {
+        Ok(dtd) => dtd,
+        Err(e) => {
+            out.push(
+                Diagnostic::new(
+                    Code::MediatedDtdMismatch,
+                    format!("snapshot's mediated DTD does not parse: {e}"),
+                )
+                .with_span(span),
+            );
+            return;
+        }
+    };
+    if summary.labels.is_empty() {
+        return; // already reported as MalformedSnapshot
+    }
+    let mut expected: Vec<String> = dtd.element_names().map(str::to_string).collect();
+    expected.push("OTHER".to_string());
+    expected.sort();
+    let mut stored = summary.labels.clone();
+    stored.sort();
+    if expected != stored {
+        let missing: Vec<&String> = expected.iter().filter(|l| !stored.contains(l)).collect();
+        let extra: Vec<&String> = stored.iter().filter(|l| !expected.contains(l)).collect();
+        let mut d = Diagnostic::new(
+            Code::MediatedDtdMismatch,
+            "snapshot's label set disagrees with its mediated DTD",
+        )
+        .with_span(span)
+        .with_help("the schema or label set was edited after training; retrain");
+        if !missing.is_empty() {
+            d = d.with_note(format!(
+                "declared in the DTD but absent from the label set: {}",
+                join(&missing)
+            ));
+        }
+        if !extra.is_empty() {
+            d = d.with_note(format!(
+                "in the label set but not declared in the DTD: {}",
+                join(&extra)
+            ));
+        }
+        out.push(d);
+    }
+}
+
+/// True when a trained learner's serialized state shows it never saw a
+/// training example. Returns a human-readable reason.
+fn degenerate_learner(learner: &Value) -> Option<String> {
+    let Value::Map(entries) = learner else {
+        return None;
+    };
+    let (kind, body) = entries.first()?;
+    let Value::Map(body) = body else { return None };
+    match kind.as_str() {
+        // WHIRL learners: the example store and the raw-document store are
+        // both empty, so the vocabulary is empty and every query scores
+        // uniform.
+        "Name" | "Content" => {
+            let whirl = match get(body, "whirl") {
+                Some(Value::Map(w)) => w,
+                _ => return None,
+            };
+            let empty = |key: &str| match get(whirl, key) {
+                Some(Value::Seq(items)) => items.is_empty(),
+                _ => true,
+            };
+            (empty("examples") && empty("docs"))
+                .then(|| "its WHIRL vocabulary is empty (no stored examples)".to_string())
+        }
+        // Naive-Bayes-backed learners: zero observed documents.
+        "NaiveBayes" | "Xml" | "Format" => match get(body, "model") {
+            Some(Value::Map(model)) => num_is_zero(get(model, "total_docs"))
+                .then(|| "its Naive Bayes model observed zero documents".to_string()),
+            _ => None,
+        },
+        // Gaussian stats learner: zero accumulated mass.
+        "Stats" => num_is_zero(get(body, "total"))
+            .then(|| "its value-statistics model observed zero values".to_string()),
+        // Parameter-only learners (e.g. the county recognizer) have no
+        // trained state to lose.
+        _ => None,
+    }
+}
+
+fn is_finite_number(v: &Value) -> bool {
+    match v {
+        Value::Int(_) => true,
+        Value::Float(f) => f.is_finite(),
+        _ => false,
+    }
+}
+
+fn num_is_zero(v: Option<&Value>) -> bool {
+    match v {
+        Some(Value::Int(i)) => *i == 0,
+        Some(Value::Float(f)) => *f == 0.0,
+        _ => false,
+    }
+}
+
+/// The externally-tagged variant name of one serialized learner.
+fn learner_kind(learner: &Value) -> Option<String> {
+    match learner {
+        Value::Map(entries) => entries.first().map(|(k, _)| k.clone()),
+        Value::Str(unit) => Some(unit.clone()),
+        _ => None,
+    }
+}
+
+pub(crate) fn get<'v>(fields: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Byte span of the first `"key"` occurrence in the artifact text — enough
+/// for the caret renderer to point at the offending field.
+fn key_span(text: &str, key: &str) -> Span {
+    let needle = format!("\"{key}\"");
+    match text.find(&needle) {
+        Some(start) => Span::new(start, start + needle.len()),
+        None => Span::SYNTHETIC,
+    }
+}
+
+/// Extracts the `at byte N` offset our JSON parser embeds in its messages,
+/// so even an unparseable artifact gets a caret.
+fn parse_error_span(message: &str, text: &str) -> Span {
+    let offset = message
+        .rsplit("at byte ")
+        .next()
+        .and_then(|tail| tail.trim().parse::<usize>().ok())
+        .unwrap_or(0)
+        .min(text.len());
+    Span::new(offset, (offset + 1).min(text.len()))
+}
+
+fn render_scalar(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => f.to_string(),
+        Value::Str(s) => format!("{s:?}"),
+        Value::Seq(_) => "an array".to_string(),
+        Value::Map(_) => "an object".to_string(),
+    }
+}
+
+fn join(items: &[&String]) -> String {
+    items
+        .iter()
+        .map(|s| format!("`{s}`"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Severity;
+
+    fn minimal(trained: bool, weights: &str) -> String {
+        format!(
+            r#"{{
+  "version": 1,
+  "mediated_dtd": "",
+  "labels": ["A", "B", "OTHER"],
+  "learners": [{{"Stats": {{"num_labels": 3, "moments": [], "class_counts": [1.0], "total": 3.0}}}}],
+  "xml_index": null,
+  "meta": {{"weights": {weights}}},
+  "constraints": [],
+  "trained": {trained},
+  "feedback_applied": 0
+}}"#
+        )
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_snapshot_is_clean() {
+        let text = minimal(true, "[[0.5], [0.5], [0.2]]");
+        assert_eq!(audit_snapshot(&text), Vec::new());
+    }
+
+    #[test]
+    fn unparseable_json_is_lsd207_with_offset_span() {
+        let diags = audit_snapshot("{\"version\": 1, !}");
+        assert_eq!(codes(&diags), ["LSD207"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        let span = diags[0].span.expect("parse errors carry the byte offset");
+        assert_eq!(span.start, 15);
+    }
+
+    #[test]
+    fn untrained_snapshot_is_lsd201() {
+        let text = minimal(false, "[]");
+        let diags = audit_snapshot(&text);
+        assert_eq!(codes(&diags), ["LSD201"]);
+        let span = diags[0].span.expect("span points at the trained field");
+        assert_eq!(&text[span.start..span.end], "\"trained\"");
+    }
+
+    #[test]
+    fn null_weight_is_lsd202() {
+        // `null` is exactly what the JSON serializer writes for a NaN
+        // weight, so a NaN-poisoned regression is detectable on disk.
+        let diags = audit_snapshot(&minimal(true, "[[null], [0.5], [0.2]]"));
+        assert_eq!(codes(&diags), ["LSD202"]);
+        assert!(diags[0].message.contains("`Stats`"));
+        assert!(diags[0].message.contains("`A`"));
+    }
+
+    #[test]
+    fn many_nonfinite_weights_are_summarized() {
+        let diags = audit_snapshot(&minimal(true, "[[null], [null], [null]]"));
+        assert_eq!(codes(&diags), ["LSD202", "LSD202", "LSD202"]);
+    }
+
+    #[test]
+    fn zero_column_is_lsd203_warning() {
+        let diags = audit_snapshot(&minimal(true, "[[0.0], [0], [0.0]]"));
+        assert_eq!(codes(&diags), ["LSD203"]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn label_row_skew_is_lsd205() {
+        let diags = audit_snapshot(&minimal(true, "[[0.5], [0.5]]"));
+        assert_eq!(codes(&diags), ["LSD205"]);
+        assert!(diags[0].message.contains("2 label row(s)"));
+        assert!(diags[0].message.contains("3 label(s)"));
+    }
+
+    #[test]
+    fn learner_column_skew_is_lsd205() {
+        let diags = audit_snapshot(&minimal(true, "[[0.5, 0.1], [0.5, 0.1], [0.2, 0.1]]"));
+        assert_eq!(codes(&diags), ["LSD205"]);
+        assert!(diags[0].message.contains("2 column(s)"));
+    }
+
+    #[test]
+    fn degenerate_stats_learner_is_lsd204() {
+        let text = minimal(true, "[[0.5], [0.5], [0.2]]").replace("\"total\": 3.0", "\"total\": 0");
+        let diags = audit_snapshot(&text);
+        assert_eq!(codes(&diags), ["LSD204"]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn untrained_learners_are_not_flagged_on_untrained_snapshots() {
+        let text = minimal(false, "[]").replace("\"total\": 3.0", "\"total\": 0");
+        assert_eq!(codes(&audit_snapshot(&text)), ["LSD201"]);
+    }
+
+    #[test]
+    fn empty_whirl_vocabulary_is_lsd204() {
+        let text = minimal(true, "[[0.5], [0.5], [0.2]]").replace(
+            r#"{"Stats": {"num_labels": 3, "moments": [], "class_counts": [1.0], "total": 3.0}}"#,
+            r#"{"Content": {"num_labels": 3, "config": {}, "whirl": {"docs": [], "examples": [], "num_labels": 3}}}"#,
+        );
+        let diags = audit_snapshot(&text);
+        assert_eq!(codes(&diags), ["LSD204"]);
+        assert!(diags[0].message.contains("WHIRL vocabulary"));
+    }
+
+    #[test]
+    fn mediated_dtd_label_disagreement_is_lsd206() {
+        let text = minimal(true, "[[0.5], [0.5], [0.2]]").replace(
+            "\"mediated_dtd\": \"\"",
+            "\"mediated_dtd\": \"<!ELEMENT A (#PCDATA)>\\n<!ELEMENT C (#PCDATA)>\"",
+        );
+        let diags = audit_snapshot(&text);
+        assert_eq!(codes(&diags), ["LSD206"]);
+        assert!(
+            diags[0].notes.iter().any(|n| n.contains("`C`")),
+            "{diags:?}"
+        );
+        assert!(
+            diags[0].notes.iter().any(|n| n.contains("`B`")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unparseable_mediated_dtd_is_lsd206() {
+        let text = minimal(true, "[[0.5], [0.5], [0.2]]").replace(
+            "\"mediated_dtd\": \"\"",
+            "\"mediated_dtd\": \"<!ELEMENT broken\"",
+        );
+        assert_eq!(codes(&audit_snapshot(&text)), ["LSD206"]);
+    }
+
+    #[test]
+    fn summary_extracts_cross_check_context() {
+        let text = minimal(true, "[[0.5], [0.5], [0.2]]")
+            .replace("\"feedback_applied\": 0", "\"feedback_applied\": 7");
+        let (diags, summary) = audit_snapshot_with_summary(&text);
+        assert!(diags.is_empty());
+        assert_eq!(summary.version, Some(1));
+        assert_eq!(summary.labels, ["A", "B", "OTHER"]);
+        assert_eq!(summary.feedback_applied, 7);
+        assert!(summary.trained);
+    }
+}

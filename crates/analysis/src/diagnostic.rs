@@ -26,7 +26,9 @@ impl fmt::Display for Severity {
 
 /// The stable diagnostic codes. `LSD0xx` codes are schema lints over a
 /// parsed DTD; `LSD1xx` codes are constraint lints over a compiled
-/// domain-constraint set. Each code has exactly one default [`Severity`],
+/// domain-constraint set; `LSD2xx` codes are artifact audits over serving
+/// artifacts on disk (`LSD20x` snapshots, `LSD21x` feedback WALs, `LSD22x`
+/// registry directories). Each code has exactly one default [`Severity`],
 /// listed in the table in `DESIGN.md`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Code {
@@ -65,6 +67,53 @@ pub enum Code {
     /// non-positive cost or weight, or a pair predicate relating a label
     /// to itself.
     DegenerateConstraint,
+    /// LSD201 — a snapshot claims `trained: false`; it can never serve.
+    SnapshotUntrained,
+    /// LSD202 — a meta-learner stacking weight is not a finite number
+    /// (`null` is how a JSON serializer writes NaN/Infinity).
+    NonFiniteMetaWeight,
+    /// LSD203 — a base learner's stacking-weight column is all zero: the
+    /// learner is carried in the snapshot but contributes nothing.
+    ZeroWeightLearner,
+    /// LSD204 — a trained snapshot carries a learner with no training
+    /// state (empty WHIRL vocabulary / zero observed documents).
+    EmptyLearnerState,
+    /// LSD205 — the meta-weight matrix shape disagrees with the label set
+    /// or learner list (a label present in the matrix but absent from the
+    /// label set, or vice versa).
+    MetaLabelSkew,
+    /// LSD206 — the snapshot's mediated DTD does not parse, or its element
+    /// names disagree with the stored label set.
+    MediatedDtdMismatch,
+    /// LSD207 — the snapshot is not a well-formed `SavedModel` document
+    /// (unparseable JSON, missing or mistyped required fields).
+    MalformedSnapshot,
+    /// LSD211 — a feedback WAL does not start with the `LSDWAL01` magic.
+    WalBadMagic,
+    /// LSD212 — a feedback WAL ends in a torn record (crash residue; the
+    /// valid prefix is still replayable).
+    WalTornTail,
+    /// LSD213 — a WAL record's payload fails its CRC-32 mid-file: silent
+    /// corruption, not a torn append.
+    WalCorruptRecord,
+    /// LSD214 — a snapshot's `feedback_applied` fold point lies beyond the
+    /// end of its companion WAL (the fold point regressed, or the WAL was
+    /// rewritten underneath the model).
+    WalFoldPointBeyondLength,
+    /// LSD215 — a WAL correction names a label absent from the companion
+    /// model's label set.
+    WalUnknownLabel,
+    /// LSD216 — correction timestamps go backwards across the WAL.
+    WalNonMonotoneTimestamps,
+    /// LSD221 — two registry snapshots normalize to the same model slug.
+    RegistryDuplicateSlug,
+    /// LSD222 — registry snapshots carry different format versions.
+    RegistryVersionSkew,
+    /// LSD223 — two models with identical label sets (the same domain)
+    /// disagree on the mediated DTD.
+    RegistryDtdDrift,
+    /// LSD224 — a feedback WAL has no companion model snapshot.
+    RegistryOrphanWal,
 }
 
 impl Code {
@@ -82,6 +131,23 @@ impl Code {
             Code::UnsatisfiableConstraintSet => "LSD104",
             Code::DuplicateConstraint => "LSD105",
             Code::DegenerateConstraint => "LSD106",
+            Code::SnapshotUntrained => "LSD201",
+            Code::NonFiniteMetaWeight => "LSD202",
+            Code::ZeroWeightLearner => "LSD203",
+            Code::EmptyLearnerState => "LSD204",
+            Code::MetaLabelSkew => "LSD205",
+            Code::MediatedDtdMismatch => "LSD206",
+            Code::MalformedSnapshot => "LSD207",
+            Code::WalBadMagic => "LSD211",
+            Code::WalTornTail => "LSD212",
+            Code::WalCorruptRecord => "LSD213",
+            Code::WalFoldPointBeyondLength => "LSD214",
+            Code::WalUnknownLabel => "LSD215",
+            Code::WalNonMonotoneTimestamps => "LSD216",
+            Code::RegistryDuplicateSlug => "LSD221",
+            Code::RegistryVersionSkew => "LSD222",
+            Code::RegistryDtdDrift => "LSD223",
+            Code::RegistryOrphanWal => "LSD224",
         }
     }
 
@@ -94,11 +160,28 @@ impl Code {
             | Code::UnknownLabel
             | Code::LabelRequiredAndExcluded
             | Code::ConflictingTagFeedback
-            | Code::UnsatisfiableConstraintSet => Severity::Error,
+            | Code::UnsatisfiableConstraintSet
+            | Code::SnapshotUntrained
+            | Code::NonFiniteMetaWeight
+            | Code::MetaLabelSkew
+            | Code::MediatedDtdMismatch
+            | Code::MalformedSnapshot
+            | Code::WalBadMagic
+            | Code::WalCorruptRecord
+            | Code::WalFoldPointBeyondLength
+            | Code::WalUnknownLabel
+            | Code::RegistryDuplicateSlug => Severity::Error,
             Code::UnreachableElement
             | Code::DuplicateAttribute
             | Code::DuplicateConstraint
-            | Code::DegenerateConstraint => Severity::Warning,
+            | Code::DegenerateConstraint
+            | Code::ZeroWeightLearner
+            | Code::EmptyLearnerState
+            | Code::WalTornTail
+            | Code::WalNonMonotoneTimestamps
+            | Code::RegistryVersionSkew
+            | Code::RegistryDtdDrift
+            | Code::RegistryOrphanWal => Severity::Warning,
         }
     }
 }
@@ -208,6 +291,23 @@ mod tests {
             Code::UnsatisfiableConstraintSet,
             Code::DuplicateConstraint,
             Code::DegenerateConstraint,
+            Code::SnapshotUntrained,
+            Code::NonFiniteMetaWeight,
+            Code::ZeroWeightLearner,
+            Code::EmptyLearnerState,
+            Code::MetaLabelSkew,
+            Code::MediatedDtdMismatch,
+            Code::MalformedSnapshot,
+            Code::WalBadMagic,
+            Code::WalTornTail,
+            Code::WalCorruptRecord,
+            Code::WalFoldPointBeyondLength,
+            Code::WalUnknownLabel,
+            Code::WalNonMonotoneTimestamps,
+            Code::RegistryDuplicateSlug,
+            Code::RegistryVersionSkew,
+            Code::RegistryDtdDrift,
+            Code::RegistryOrphanWal,
         ];
         let mut seen = std::collections::BTreeSet::new();
         for c in all {

@@ -16,10 +16,20 @@
 //!   statically unsatisfiable set), and duplicates / degenerate entries
 //!   are flagged.
 //!
+//! - **Artifact audits** (`LSD2xx`, [`audit_snapshot`] / [`audit_wal`] /
+//!   [`audit_registry`]) statically check the *serving* artifacts on disk:
+//!   `SavedModel` snapshots (`LSD20x` — untrained or degenerate learners,
+//!   non-finite stacking weights, label-set skew, mediated-DTD
+//!   disagreement), feedback WALs (`LSD21x` — torn tails, mid-file CRC
+//!   corruption, fold points beyond the log, corrections naming unknown
+//!   labels), and whole registry directories (`LSD22x` — duplicate slugs,
+//!   version skew, mediated-DTD drift, orphaned WALs).
+//!
 //! `Error`-severity findings make `Lsd::train` / `Lsd::set_constraints`
 //! refuse the input; `Warning`s pass through and are counted in the
-//! `lsd-obs` metrics registry. The `lsd-lint` binary (in `crates/bench`)
-//! renders the same diagnostics for DTD files on disk.
+//! `lsd-obs` metrics registry. The `lsd-lint` and `lsd-audit` binaries
+//! (in `crates/bench`) render the same diagnostics for artifacts on disk,
+//! and `lsd-serve --strict-audit` gates registry loads on a clean audit.
 //!
 //! ```
 //! use lsd_analysis::{analyze_dtd, render_all};
@@ -34,17 +44,23 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+mod artifact;
 mod constraints;
 mod diagnostic;
 mod glushkov;
+mod registry_audit;
 mod render;
 mod schema;
+mod wal_audit;
 
+pub use artifact::{audit_snapshot, audit_snapshot_with_summary, SnapshotSummary};
 pub use constraints::analyze_constraints;
 pub use diagnostic::{has_errors, Code, Diagnostic, Severity};
 pub use glushkov::{check_one_unambiguous, Ambiguity};
+pub use registry_audit::audit_registry;
 pub use render::{render, render_all};
 pub use schema::analyze_dtd;
+pub use wal_audit::{audit_wal, WalAuditContext};
 
 use lsd_constraints::DomainConstraint;
 use lsd_learn::LabelSet;

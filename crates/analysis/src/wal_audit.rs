@@ -1,0 +1,475 @@
+//! Static audit of feedback write-ahead logs (the `LSD21x` family).
+//!
+//! The serving layer acknowledges a correction only after appending it to
+//! a per-model WAL (`crates/core/src/wal.rs`), and the retrain worker
+//! folds WAL suffixes into new model generations. The WAL recovery path is
+//! deliberately forgiving — it silently truncates a torn tail — which is
+//! the right behaviour for a server coming back from a crash and the wrong
+//! behaviour for an operator asking "is this artifact healthy?". The
+//! auditor walks the same frame format *without* repairing anything and
+//! reports what recovery would silently discard, plus cross-checks against
+//! the companion snapshot (fold point, label set) that recovery never
+//! performs.
+//!
+//! Frame format (mirrors `crates/core/src/wal.rs`, which owns it):
+//!
+//! ```text
+//! magic: 8 bytes  b"LSDWAL01"
+//! record*:
+//!   len:     u32 little-endian  (payload byte count)
+//!   crc32:   u32 little-endian  (IEEE CRC-32 of the payload)
+//!   payload: len bytes          (one FeedbackRecord as JSON)
+//! ```
+
+use crate::artifact::get;
+use crate::diagnostic::{Code, Diagnostic};
+use lsd_xml::Span;
+use serde::Value;
+
+/// The 8-byte WAL file magic. Kept in sync with
+/// `lsd_core::wal::WAL_MAGIC` by a cross-crate test in `tests/audit.rs`.
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"LSDWAL01";
+
+/// Companion-snapshot context for cross-checks the WAL alone cannot do:
+/// whether the snapshot's fold point actually exists in the log, and
+/// whether corrections name labels the model knows.
+#[derive(Debug, Clone, Default)]
+pub struct WalAuditContext {
+    /// The companion model's label names (from its snapshot).
+    pub labels: Vec<String>,
+    /// The companion snapshot's `feedback_applied` fold point.
+    pub feedback_applied: u64,
+}
+
+/// Audits raw WAL bytes. Pass `ctx` when the companion snapshot is known;
+/// without it only the self-contained checks (magic, framing, CRC,
+/// timestamps) run. Spans are byte offsets into the file — meaningful for
+/// tooling even though the binary artifact gets no caret rendering.
+pub fn audit_wal(bytes: &[u8], ctx: Option<&WalAuditContext>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        out.push(
+            Diagnostic::new(
+                Code::WalBadMagic,
+                if bytes.is_empty() {
+                    "file is empty — a feedback WAL always starts with its 8-byte magic".to_string()
+                } else {
+                    format!(
+                        "file does not start with the feedback-WAL magic `{}`",
+                        String::from_utf8_lossy(WAL_MAGIC)
+                    )
+                },
+            )
+            .with_span(Span::new(0, bytes.len().min(WAL_MAGIC.len())))
+            .with_help("this file is not a feedback WAL; recovery would refuse to touch it"),
+        );
+        return out;
+    }
+
+    let mut pos = WAL_MAGIC.len();
+    let mut records = 0u64;
+    let mut last_timestamp = 0u64;
+    let mut monotone = true;
+    let mut unknown_labels = 0usize;
+    while pos < bytes.len() {
+        let Some(header) = bytes.get(pos..pos + 8) else {
+            out.push(torn_tail(pos, bytes.len(), records, "record header"));
+            break;
+        };
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+            out.push(torn_tail(pos, bytes.len(), records, "record payload"));
+            break;
+        };
+        if crc32(payload) != crc {
+            out.push(
+                Diagnostic::new(
+                    Code::WalCorruptRecord,
+                    format!(
+                        "record {records} (at byte {pos}) fails its CRC-32 check: the payload \
+                         was corrupted in place"
+                    ),
+                )
+                .with_span(Span::new(pos, pos + 8 + len))
+                .with_note(format!(
+                    "recovery would silently truncate this and the following {} byte(s)",
+                    bytes.len() - pos
+                ))
+                .with_help(
+                    "unlike a torn tail, mid-file corruption means the storage or a \
+                            writer misbehaved; investigate before trusting earlier records",
+                ),
+            );
+            break; // framing is untrustworthy beyond a corrupt record
+        }
+        match std::str::from_utf8(payload)
+            .ok()
+            .and_then(|text| serde_json::from_str::<Value>(text).ok())
+        {
+            Some(record) => audit_record(
+                &record,
+                records,
+                pos,
+                len,
+                ctx,
+                &mut last_timestamp,
+                &mut monotone,
+                &mut unknown_labels,
+                &mut out,
+            ),
+            None => {
+                out.push(
+                    Diagnostic::new(
+                        Code::WalCorruptRecord,
+                        format!(
+                            "record {records} (at byte {pos}) passes its CRC but is not a JSON \
+                             feedback record"
+                        ),
+                    )
+                    .with_span(Span::new(pos, pos + 8 + len)),
+                );
+                break;
+            }
+        }
+        records += 1;
+        pos += 8 + len;
+    }
+
+    if let Some(ctx) = ctx {
+        if ctx.feedback_applied > records {
+            out.push(
+                Diagnostic::new(
+                    Code::WalFoldPointBeyondLength,
+                    format!(
+                        "companion snapshot claims {} folded record(s) but the WAL holds only \
+                         {records}",
+                        ctx.feedback_applied
+                    ),
+                )
+                .with_note(
+                    "the snapshot and the WAL are from different histories — the WAL \
+                            was truncated or replaced after the snapshot was written",
+                )
+                .with_help(
+                    "restart-time replay would mis-skip records; restore the matching \
+                            WAL or reset the snapshot's fold point",
+                ),
+            );
+        }
+    }
+    out
+}
+
+fn torn_tail(pos: usize, file_len: usize, records: u64, what: &str) -> Diagnostic {
+    Diagnostic::new(
+        Code::WalTornTail,
+        format!(
+            "WAL ends mid-{what}: {} trailing byte(s) after record {records} are torn",
+            file_len - pos
+        ),
+    )
+    .with_span(Span::new(pos, file_len))
+    .with_note("this is the residue of a crash mid-append; recovery truncates it safely")
+    .with_help("no action needed — the next `FeedbackWal::open` repairs the file")
+}
+
+/// Per-record content checks: correction labels against the companion
+/// label set, and timestamp monotonicity across the whole log.
+#[allow(clippy::too_many_arguments)]
+fn audit_record(
+    record: &Value,
+    index: u64,
+    pos: usize,
+    len: usize,
+    ctx: Option<&WalAuditContext>,
+    last_timestamp: &mut u64,
+    monotone: &mut bool,
+    unknown_labels: &mut usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Value::Map(fields) = record else { return };
+    let Some(Value::Seq(corrections)) = get(fields, "corrections") else {
+        return;
+    };
+    let span = Span::new(pos, pos + 8 + len);
+    for correction in corrections {
+        let Value::Map(correction) = correction else {
+            continue;
+        };
+        if let Some(label) = correction_label(correction) {
+            if let Some(ctx) = ctx {
+                if !ctx.labels.iter().any(|l| l == label) {
+                    *unknown_labels += 1;
+                    if *unknown_labels <= 3 {
+                        out.push(
+                            Diagnostic::new(
+                                Code::WalUnknownLabel,
+                                format!(
+                                    "record {index} corrects a tag to label `{label}`, which the \
+                                     companion model does not have"
+                                ),
+                            )
+                            .with_span(span)
+                            .with_note(format!(
+                                "the model's labels are: {}",
+                                ctx.labels
+                                    .iter()
+                                    .map(|l| format!("`{l}`"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            ))
+                            .with_help(
+                                "replaying this WAL against this snapshot would fail at \
+                                        retrain time; the WAL belongs to a different model",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        if let Some(Value::Int(ts)) = get(correction, "timestamp_ms") {
+            let ts = u64::try_from(*ts).unwrap_or(0);
+            // Zero means "no timestamp recorded" and carries no ordering.
+            if ts != 0 {
+                if ts < *last_timestamp && *monotone {
+                    *monotone = false;
+                    out.push(
+                        Diagnostic::new(
+                            Code::WalNonMonotoneTimestamps,
+                            format!(
+                                "record {index} carries timestamp {ts} ms, earlier than a \
+                                 preceding record's {} ms",
+                                last_timestamp
+                            ),
+                        )
+                        .with_span(span)
+                        .with_note(
+                            "an append-only log should never time-travel; this usually \
+                                    means clock skew between submitters or a hand-edited WAL",
+                        ),
+                    );
+                }
+                *last_timestamp = (*last_timestamp).max(ts);
+            }
+        }
+    }
+}
+
+/// The label a correction kind refers to, when it refers to one.
+/// Kinds serialize externally tagged: `{"TagIs": {"label": ..}}`,
+/// `{"TagIsNot": {"label": ..}}`, or the unit `"TagIsOther"`.
+fn correction_label(correction: &[(String, Value)]) -> Option<&str> {
+    match get(correction, "kind")? {
+        Value::Map(kind) => {
+            let (tag, body) = kind.first()?;
+            if tag != "TagIs" && tag != "TagIsNot" {
+                return None;
+            }
+            match body {
+                Value::Map(body) => match get(body, "label") {
+                    Some(Value::Str(label)) => Some(label),
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        _ => None, // "TagIsOther" needs no label to exist
+    }
+}
+
+/// IEEE CRC-32 (the zlib/PNG polynomial). Duplicated from
+/// `crates/core/src/wal.rs` — `lsd-core` depends on this crate, so the
+/// auditor cannot call the original; a test vector below and the
+/// cross-crate round-trip tests in `tests/audit.rs` keep them in lockstep.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Severity;
+
+    /// Builds a syntactically valid WAL from record payloads.
+    fn wal(payloads: &[&str]) -> Vec<u8> {
+        let mut bytes = WAL_MAGIC.to_vec();
+        for p in payloads {
+            let p = p.as_bytes();
+            bytes.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&crc32(p).to_le_bytes());
+            bytes.extend_from_slice(p);
+        }
+        bytes
+    }
+
+    fn record(corrections: &str) -> String {
+        format!(r#"{{"source_name":"s","dtd":"","listings":[],"corrections":{corrections}}}"#)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // Same vector as crates/core/src/wal.rs — the two copies must agree.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn clean_wal_is_clean() {
+        let bytes = wal(&[&record("[]"), &record("[]")]);
+        assert_eq!(audit_wal(&bytes, None), Vec::new());
+    }
+
+    #[test]
+    fn empty_file_is_lsd211() {
+        let diags = audit_wal(b"", None);
+        assert_eq!(codes(&diags), ["LSD211"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn foreign_magic_is_lsd211() {
+        assert_eq!(codes(&audit_wal(b"NOTAWAL!rest", None)), ["LSD211"]);
+    }
+
+    #[test]
+    fn torn_tail_is_lsd212_warning_with_span() {
+        let mut bytes = wal(&[&record("[]")]);
+        let intact = bytes.len();
+        bytes.extend_from_slice(&[0x21, 0x00, 0x00]); // 3 bytes of a header
+        let diags = audit_wal(&bytes, None);
+        assert_eq!(codes(&diags), ["LSD212"]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        let span = diags[0].span.expect("span covers the torn bytes");
+        assert_eq!((span.start, span.end), (intact, intact + 3));
+    }
+
+    #[test]
+    fn short_payload_is_lsd212() {
+        let full = wal(&[&record("[]"), &record("[]")]);
+        // Cut inside the second record's payload.
+        let diags = audit_wal(&full[..full.len() - 4], None);
+        assert_eq!(codes(&diags), ["LSD212"]);
+    }
+
+    #[test]
+    fn mid_file_crc_corruption_is_lsd213_error_and_stops() {
+        let mut bytes = wal(&[&record("[]"), &record("[]")]);
+        // Flip one byte inside the FIRST record's payload: the damage is
+        // mid-file, not a tail.
+        bytes[WAL_MAGIC.len() + 8] ^= 0xFF;
+        let diags = audit_wal(&bytes, None);
+        assert_eq!(codes(&diags), ["LSD213"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("record 0"));
+    }
+
+    #[test]
+    fn valid_crc_but_non_json_payload_is_lsd213() {
+        let bytes = wal(&["this is not json"]);
+        assert_eq!(codes(&audit_wal(&bytes, None)), ["LSD213"]);
+    }
+
+    #[test]
+    fn fold_point_beyond_length_is_lsd214() {
+        let bytes = wal(&[&record("[]")]);
+        let ctx = WalAuditContext {
+            labels: vec!["OTHER".into()],
+            feedback_applied: 5,
+        };
+        let diags = audit_wal(&bytes, Some(&ctx));
+        assert_eq!(codes(&diags), ["LSD214"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn fold_point_at_length_is_fine() {
+        let bytes = wal(&[&record("[]")]);
+        let ctx = WalAuditContext {
+            labels: vec!["OTHER".into()],
+            feedback_applied: 1,
+        };
+        assert_eq!(audit_wal(&bytes, Some(&ctx)), Vec::new());
+    }
+
+    #[test]
+    fn unknown_correction_label_is_lsd215() {
+        let bytes = wal(&[&record(
+            r#"[{"tag":"t","kind":{"TagIs":{"label":"GHOST"}},"source":"s","timestamp_ms":0,"origin":"o"}]"#,
+        )]);
+        let ctx = WalAuditContext {
+            labels: vec!["PRICE".into(), "OTHER".into()],
+            feedback_applied: 0,
+        };
+        let diags = audit_wal(&bytes, Some(&ctx));
+        assert_eq!(codes(&diags), ["LSD215"]);
+        assert!(diags[0].message.contains("`GHOST`"));
+        assert!(diags[0].notes[0].contains("`PRICE`"));
+    }
+
+    #[test]
+    fn known_labels_and_tag_is_other_pass() {
+        let bytes = wal(&[&record(
+            r#"[{"tag":"t","kind":{"TagIs":{"label":"PRICE"}},"source":"s","timestamp_ms":1,"origin":"o"},
+                {"tag":"u","kind":"TagIsOther","source":"s","timestamp_ms":2,"origin":"o"}]"#,
+        )]);
+        let ctx = WalAuditContext {
+            labels: vec!["PRICE".into(), "OTHER".into()],
+            feedback_applied: 0,
+        };
+        assert_eq!(audit_wal(&bytes, Some(&ctx)), Vec::new());
+    }
+
+    #[test]
+    fn decreasing_timestamps_are_lsd216_once() {
+        let c = |ts: u64| {
+            format!(
+                r#"[{{"tag":"t","kind":"TagIsOther","source":"s","timestamp_ms":{ts},"origin":"o"}}]"#
+            )
+        };
+        let bytes = wal(&[&record(&c(100)), &record(&c(50)), &record(&c(25))]);
+        let diags = audit_wal(&bytes, None);
+        assert_eq!(codes(&diags), ["LSD216"], "reported once per file");
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn zero_timestamps_do_not_trip_monotonicity() {
+        let c = |ts: u64| {
+            format!(
+                r#"[{{"tag":"t","kind":"TagIsOther","source":"s","timestamp_ms":{ts},"origin":"o"}}]"#
+            )
+        };
+        let bytes = wal(&[&record(&c(100)), &record(&c(0)), &record(&c(200))]);
+        assert_eq!(audit_wal(&bytes, None), Vec::new());
+    }
+}

@@ -1,0 +1,205 @@
+//! `lsd-audit` — static analysis for serving artifacts on disk.
+//!
+//! ```text
+//! lsd-audit DIR ...          audit registry directories: every *.json
+//!                            snapshot, every *.wal feedback log (cross-
+//!                            checked against its companion snapshot), plus
+//!                            the directory-level checks (duplicate slugs,
+//!                            version skew, mediated-DTD drift, orphan WALs)
+//! lsd-audit model.json ...   audit individual snapshots (caret rendering
+//!                            into the JSON text)
+//! lsd-audit model.wal ...    audit individual WALs; a .json beside the
+//!                            .wal supplies the label-set / fold-point
+//!                            cross-check context
+//! lsd-audit --json ...       machine-readable output, same document shape
+//!                            as `lsd-lint --json`
+//! ```
+//!
+//! Exit codes match `lsd-lint`:
+//!
+//! * `0` — clean (warnings alone do not fail the run);
+//! * `1` — an error-severity `LSD2xx` diagnostic was produced;
+//! * `2` — I/O or usage errors: a path could not be read, no paths were
+//!   given, or an unknown flag was passed.
+//!
+//! This is the deploy-time twin of `lsd-serve --strict-audit`: the server
+//! refuses at load what this tool reports at `1`.
+
+use lsd_analysis::{
+    audit_registry, audit_snapshot, audit_snapshot_with_summary, audit_wal, render_all,
+    with_origin, Diagnostic, WalAuditContext,
+};
+use serde::Value;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Running totals plus the rendering sink. With `collected` present
+/// (`--json`), diagnostics accumulate for one machine-readable document
+/// instead of printing as they are found.
+#[derive(Default)]
+struct Tally {
+    errors: usize,
+    warnings: usize,
+    collected: Option<Vec<Diagnostic>>,
+}
+
+impl Tally {
+    fn report(&mut self, diagnostics: Vec<Diagnostic>, origin: &str, source: Option<&str>) {
+        self.errors += diagnostics.iter().filter(|d| d.is_error()).count();
+        self.warnings += diagnostics.iter().filter(|d| !d.is_error()).count();
+        let diagnostics = with_origin(diagnostics, origin);
+        match &mut self.collected {
+            Some(sink) => sink.extend(diagnostics),
+            None => print!("{}", render_all(&diagnostics, source)),
+        }
+    }
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// One diagnostic as a stable JSON object — the same shape `lsd-lint
+/// --json` emits, so tooling can consume both.
+fn diagnostic_json(d: &Diagnostic) -> Value {
+    obj(vec![
+        ("code", Value::Str(d.code.as_str().to_string())),
+        ("severity", Value::Str(d.severity.to_string())),
+        ("message", Value::Str(d.message.clone())),
+        (
+            "origin",
+            d.origin
+                .as_ref()
+                .map_or(Value::Null, |o| Value::Str(o.clone())),
+        ),
+        (
+            "span",
+            d.span.map_or(Value::Null, |s| {
+                obj(vec![
+                    ("start", Value::Int(s.start as i64)),
+                    ("end", Value::Int(s.end as i64)),
+                ])
+            }),
+        ),
+        (
+            "notes",
+            Value::Seq(d.notes.iter().map(|n| Value::Str(n.clone())).collect()),
+        ),
+        (
+            "help",
+            d.help
+                .as_ref()
+                .map_or(Value::Null, |h| Value::Str(h.clone())),
+        ),
+    ])
+}
+
+/// Exit code for I/O and usage failures — the audit did not run to
+/// completion, as opposed to running and finding problems (`1`).
+const EXIT_USAGE: u8 = 2;
+
+/// Audits one `.wal` file; a `.json` snapshot beside it supplies the
+/// cross-check context (labels, fold point).
+fn audit_wal_file(path: &Path, tally: &mut Tally) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let snapshot_path = path.with_extension("json");
+    let ctx = match std::fs::read_to_string(&snapshot_path) {
+        Ok(text) => {
+            // Only the summary is wanted here; the snapshot's own
+            // diagnostics are reported when IT is audited.
+            let (_, summary) = audit_snapshot_with_summary(&text);
+            Some(WalAuditContext {
+                labels: summary.labels,
+                feedback_applied: summary.feedback_applied,
+            })
+        }
+        Err(_) => None,
+    };
+    tally.report(
+        audit_wal(&bytes, ctx.as_ref()),
+        &path.display().to_string(),
+        None,
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else if arg.starts_with('-') {
+            eprintln!("error: unknown flag `{arg}`");
+            eprintln!("usage: lsd-audit [--json] PATH ...  (registry dirs, *.json, *.wal)");
+            return ExitCode::from(EXIT_USAGE);
+        } else {
+            paths.push(arg);
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: lsd-audit [--json] PATH ...  (registry dirs, *.json, *.wal)");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let mut tally = Tally {
+        collected: json.then(Vec::new),
+        ..Tally::default()
+    };
+
+    for arg in &paths {
+        let path = Path::new(arg);
+        let outcome = if path.is_dir() {
+            audit_registry(path)
+                .map(|diags| tally.report(diags, arg, None))
+                .map_err(|e| format!("cannot audit registry {arg}: {e}"))
+        } else if path.extension().is_some_and(|e| e == "wal") {
+            audit_wal_file(path, &mut tally)
+        } else {
+            std::fs::read_to_string(path)
+                .map(|text| tally.report(audit_snapshot(&text), arg, Some(&text)))
+                .map_err(|e| format!("cannot read {arg}: {e}"))
+        };
+        if let Err(message) = outcome {
+            // The input could not even be read: an infrastructure failure,
+            // not an audit finding.
+            eprintln!("error: {message}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    }
+
+    if let Some(diagnostics) = &tally.collected {
+        let doc = obj(vec![
+            (
+                "diagnostics",
+                Value::Seq(diagnostics.iter().map(diagnostic_json).collect()),
+            ),
+            ("errors", Value::Int(tally.errors as i64)),
+            ("warnings", Value::Int(tally.warnings as i64)),
+        ]);
+        match serde_json::to_string_pretty(&doc) {
+            Ok(rendered) => println!("{rendered}"),
+            Err(e) => {
+                eprintln!("error: cannot render JSON output: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    } else {
+        println!(
+            "lsd-audit: checked {} path{}: {} error(s), {} warning(s)",
+            paths.len(),
+            if paths.len() == 1 { "" } else { "s" },
+            tally.errors,
+            tally.warnings
+        );
+    }
+    if tally.errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -7,6 +7,10 @@
 //! lsd-serve --models-dir DIR        snapshot directory (default serve-models)
 //! lsd-serve --feedback-dir DIR      feedback WAL directory (default: models dir)
 //! lsd-serve --no-feedback           disable POST /v1/feedback + retraining
+//! lsd-serve --strict-audit          reject snapshots whose artifact audit
+//!                                   finds LSD2xx errors (the default)
+//! lsd-serve --no-strict-audit       load despite audit errors; findings
+//!                                   are still counted in /metrics
 //! ```
 //!
 //! Trains the FULL configuration on the domain's first three sources,
@@ -26,7 +30,7 @@
 
 use lsd_bench::{domain_slug, resolve_domain, train_full_model, ExperimentParams};
 use lsd_datagen::DomainId;
-use lsd_serve::{ModelRegistry, ServeConfig, Server};
+use lsd_serve::{AuditMode, ModelRegistry, ServeConfig, Server};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -35,6 +39,9 @@ fn main() -> ExitCode {
     let mut models_dir = "serve-models".to_string();
     let mut feedback_dir: Option<String> = None;
     let mut feedback = true;
+    // The server defaults to strict: a snapshot with error-severity audit
+    // findings is refused at load. `--no-strict-audit` opts out.
+    let mut audit = AuditMode::Strict;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |flag: &str| match args.next() {
@@ -62,11 +69,13 @@ fn main() -> ExitCode {
                 Err(()) => return ExitCode::FAILURE,
             },
             "--no-feedback" => feedback = false,
+            "--strict-audit" => audit = AuditMode::Strict,
+            "--no-strict-audit" => audit = AuditMode::Warn,
             other => {
                 eprintln!("error: unknown argument `{other}`");
                 eprintln!(
                     "usage: lsd-serve [--domain NAME] [--addr HOST:PORT] [--models-dir DIR] \
-                     [--feedback-dir DIR] [--no-feedback]"
+                     [--feedback-dir DIR] [--no-feedback] [--strict-audit | --no-strict-audit]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -109,7 +118,11 @@ fn main() -> ExitCode {
     }
     eprintln!("snapshot written to {}", snapshot.display());
 
-    let registry = match ModelRegistry::open(&models_dir) {
+    // Server::run() enables metrics for the serving lifetime, but the
+    // registry open below already runs the artifact audit — switch
+    // recording on first so boot-time findings reach /metrics too.
+    lsd_obs::set_enabled(true);
+    let registry = match ModelRegistry::open_with(&models_dir, audit) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: cannot open model registry: {e}");

@@ -23,6 +23,8 @@
 //! over several trials with freshly sampled data; accuracy is the
 //! percentage of matchable source tags matched correctly, averaged.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod bench_report;
 pub mod runner;
 

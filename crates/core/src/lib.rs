@@ -64,7 +64,7 @@ pub use system::{
     LabelCandidate, Lsd, LsdBuilder, LsdConfig, MatchOutcome, Source, SourceProvenance,
     TagExplanation, TrainedSource,
 };
-pub use wal::{FeedbackRecord, FeedbackWal, WAL_MAGIC};
+pub use wal::{FeedbackRecord, FeedbackWal, WalScan, WAL_MAGIC};
 
 // The constraint vocabulary is part of LSD's public face.
 pub use lsd_constraints::{

@@ -103,6 +103,20 @@ pub enum SavedLearner {
 }
 
 impl SavedLearner {
+    /// The variant name, as it appears as the externally-tagged key in the
+    /// snapshot JSON — what audit tooling reports a learner as.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SavedLearner::Name(_) => "Name",
+            SavedLearner::Content(_) => "Content",
+            SavedLearner::NaiveBayes(_) => "NaiveBayes",
+            SavedLearner::Xml(_) => "Xml",
+            SavedLearner::Format(_) => "Format",
+            SavedLearner::Stats(_) => "Stats",
+            SavedLearner::CountyRecognizer { .. } => "CountyRecognizer",
+        }
+    }
+
     /// Restores the boxed learner, rebuilding any in-memory indexes.
     pub fn restore(self) -> Box<dyn BaseLearner> {
         match self {

@@ -802,24 +802,6 @@ impl Lsd {
         self.match_one(source, &constraints, &self.compiled)
     }
 
-    /// Matches a source under additional raw per-source feedback
-    /// constraints.
-    ///
-    /// # Errors
-    /// As for [`Self::match_source`].
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `match_source_with` with a typed `Feedback` batch instead"
-    )]
-    pub fn match_source_with_feedback(
-        &self,
-        source: &Source,
-        feedback: &[DomainConstraint],
-    ) -> Result<MatchOutcome, LsdError> {
-        self.ensure_trained("match_source")?;
-        self.match_one(source, feedback, &self.compiled)
-    }
-
     /// Matches many sources concurrently under `policy`, sharing this
     /// trained system (read-only) and one pre-compiled constraint set
     /// across scoped worker threads. Outcomes are returned in input order
@@ -1474,23 +1456,6 @@ mod tests {
         // A later call without feedback is unaffected.
         let outcome2 = lsd.match_source(&greathomes()).unwrap();
         assert_eq!(outcome2.label_of("extra-info"), Some("DESCRIPTION"));
-    }
-
-    /// The deprecated raw-constraint entry point stays a thin shim over the
-    /// typed path for one release — same inputs, same mapping.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_feedback_shim_matches_typed_path() {
-        let mut lsd = build_system();
-        lsd.train(&[realestate(), homeseekers()]).unwrap();
-        let raw = [DomainConstraint::hard(Predicate::TagIs {
-            tag: "extra-info".into(),
-            label: "ADDRESS".into(),
-        })];
-        let via_shim = lsd.match_source_with_feedback(&greathomes(), &raw).unwrap();
-        let typed = Feedback::from_corrections(vec![Correction::tag_is("extra-info", "ADDRESS")]);
-        let via_typed = lsd.match_source_with(&greathomes(), &typed).unwrap();
-        assert_eq!(via_shim.labels, via_typed.labels);
     }
 
     #[test]

@@ -183,6 +183,63 @@ impl FeedbackWal {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// Structurally scans WAL bytes **without repairing anything** — the
+    /// introspection twin of [`FeedbackWal::open`], for audit tooling that
+    /// must report a torn tail rather than silently truncate it. Accepts
+    /// any bytes; a missing magic yields a scan with `has_magic == false`
+    /// and no records.
+    pub fn scan_bytes(bytes: &[u8]) -> WalScan {
+        let has_magic = bytes.len() >= WAL_MAGIC.len() && &bytes[..WAL_MAGIC.len()] == WAL_MAGIC;
+        let (records, valid_len) = if has_magic {
+            let (records, body_len) = replay(&bytes[WAL_MAGIC.len()..]);
+            (records, (WAL_MAGIC.len() + body_len) as u64)
+        } else {
+            (Vec::new(), 0)
+        };
+        WalScan {
+            records,
+            valid_len,
+            file_len: bytes.len() as u64,
+            has_magic,
+        }
+    }
+
+    /// Reads and [scans](FeedbackWal::scan_bytes) the file at `path`. The
+    /// file is opened read-only and never modified.
+    ///
+    /// # Errors
+    /// I/O failures reading the file.
+    pub fn scan_file(path: impl AsRef<Path>) -> io::Result<WalScan> {
+        Ok(FeedbackWal::scan_bytes(&std::fs::read(path)?))
+    }
+}
+
+/// The result of a non-mutating WAL scan: what [`FeedbackWal::open`] would
+/// recover, plus how many trailing bytes it would have to discard to get
+/// there.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every record in the valid prefix.
+    pub records: Vec<FeedbackRecord>,
+    /// Byte length of the valid prefix (magic + whole records).
+    pub valid_len: u64,
+    /// Total byte length of the scanned input.
+    pub file_len: u64,
+    /// Whether the input starts with [`WAL_MAGIC`].
+    pub has_magic: bool,
+}
+
+impl WalScan {
+    /// Number of valid records.
+    pub fn record_count(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Trailing bytes recovery would truncate (0 for a clean log).
+    pub fn torn_bytes(&self) -> u64 {
+        self.file_len.saturating_sub(self.valid_len)
+    }
 }
 
 /// Decodes the longest valid record prefix of `bytes` (the file contents
@@ -381,6 +438,53 @@ mod tests {
             b"definitely not a WAL file"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scan_reports_a_torn_tail_without_repairing_it() {
+        let path = temp_wal_path("scan-torn");
+        {
+            let (mut wal, _) = FeedbackWal::open(&path).expect("creates");
+            wal.append(&record(0)).expect("appends");
+        }
+        let intact = std::fs::metadata(&path).expect("stats").len();
+        let mut bytes = std::fs::read(&path).expect("reads");
+        bytes.extend_from_slice(&[0x10, 0x00]); // 2 bytes of a torn header
+        std::fs::write(&path, &bytes).expect("writes");
+
+        let scan = FeedbackWal::scan_file(&path).expect("scans");
+        assert!(scan.has_magic);
+        assert_eq!(scan.record_count(), 1);
+        assert_eq!(scan.records, vec![record(0)]);
+        assert_eq!(scan.valid_len, intact);
+        assert_eq!(scan.torn_bytes(), 2);
+        // Unlike open(), the scan left the file untouched.
+        assert_eq!(std::fs::metadata(&path).expect("stats").len(), intact + 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scan_of_a_clean_log_has_no_torn_bytes() {
+        let path = temp_wal_path("scan-clean");
+        {
+            let (mut wal, _) = FeedbackWal::open(&path).expect("creates");
+            wal.append(&record(0)).expect("appends");
+            wal.append(&record(1)).expect("appends");
+        }
+        let scan = FeedbackWal::scan_file(&path).expect("scans");
+        assert_eq!(scan.record_count(), 2);
+        assert_eq!(scan.torn_bytes(), 0);
+        assert_eq!(scan.valid_len, scan.file_len);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scan_of_foreign_bytes_reports_missing_magic() {
+        let scan = FeedbackWal::scan_bytes(b"not a wal");
+        assert!(!scan.has_magic);
+        assert_eq!(scan.record_count(), 0);
+        assert_eq!(scan.valid_len, 0);
+        assert_eq!(scan.torn_bytes(), 9);
     }
 
     #[test]

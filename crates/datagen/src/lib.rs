@@ -27,6 +27,8 @@
 //!
 //! Entry point: [`generate_domain`] (or [`DomainId::generate`]).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod domains;
 pub mod emit;
 mod engine;

@@ -19,6 +19,8 @@
 //!   the per-label learner weights (Section 3.1, step 5c).
 //! - [`metrics`] — matching accuracy and summary statistics for Section 6.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod crossval;
 mod labelset;
 pub mod metrics;

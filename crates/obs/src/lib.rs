@@ -46,6 +46,8 @@
 //! allocation, no time reads. [`span!`] yields a guard wrapping `None`, whose
 //! drop is a single branch.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use serde::{Serialize, Value};
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};

@@ -58,6 +58,16 @@ pub enum ServeError {
         /// Why activation was refused.
         detail: String,
     },
+    /// The artifact audit (`lsd_analysis::audit_*`) found error-severity
+    /// diagnostics in a model's snapshot or feedback WAL and the registry
+    /// is running in strict mode (`422`). `detail` lists the `LSD2xx`
+    /// codes.
+    AuditFailed {
+        /// The model name.
+        name: String,
+        /// The error diagnostics, one per line (`CODE: message`).
+        detail: String,
+    },
     /// The bounded request queue is full (`503` + `Retry-After`): explicit
     /// backpressure instead of unbounded buffering.
     QueueFull {
@@ -97,7 +107,7 @@ impl ServeError {
             ServeError::MethodNotAllowed { .. } => 405,
             ServeError::PayloadTooLarge { .. } => 413,
             ServeError::UnsupportedMediaType { .. } => 415,
-            ServeError::ModelInvalid { .. } => 422,
+            ServeError::ModelInvalid { .. } | ServeError::AuditFailed { .. } => 422,
             ServeError::QueueFull { .. }
             | ServeError::ShuttingDown
             | ServeError::NoActiveModel
@@ -121,6 +131,7 @@ impl ServeError {
             ServeError::UnsupportedMediaType { .. } => "unsupported_media_type",
             ServeError::ModelNotFound { .. } => "model_not_found",
             ServeError::ModelInvalid { .. } => "model_invalid",
+            ServeError::AuditFailed { .. } => "audit_failed",
             ServeError::QueueFull { .. } => "queue_full",
             ServeError::ShuttingDown => "shutting_down",
             ServeError::FeedbackDisabled => "feedback_disabled",
@@ -162,6 +173,9 @@ impl fmt::Display for ServeError {
             ServeError::ModelNotFound { name } => write!(f, "no model named '{name}'"),
             ServeError::ModelInvalid { name, detail } => {
                 write!(f, "model '{name}' failed validation: {detail}")
+            }
+            ServeError::AuditFailed { name, detail } => {
+                write!(f, "model '{name}' failed its artifact audit: {detail}")
             }
             ServeError::QueueFull { retry_after_secs } => {
                 write!(f, "request queue is full; retry after {retry_after_secs}s")
@@ -235,6 +249,13 @@ mod tests {
                 ServeError::ModelInvalid {
                     name: "m".into(),
                     detail: "untrained".into(),
+                },
+                422,
+            ),
+            (
+                ServeError::AuditFailed {
+                    name: "m".into(),
+                    detail: "LSD202: non-finite weight".into(),
                 },
                 422,
             ),

@@ -140,6 +140,12 @@ impl FeedbackHub {
         Ok(index)
     }
 
+    /// Where `model`'s WAL lives — for the retrain worker's pre-hot-swap
+    /// fold-point sanity check.
+    pub(crate) fn wal_path(&self, model: &str) -> PathBuf {
+        self.dir.join(format!("{model}.wal"))
+    }
+
     /// Wakes the worker and makes further submits fail with `503`. Pending
     /// batches are abandoned (the WAL keeps them for the next start) so
     /// shutdown is never blocked behind a retrain.
@@ -190,7 +196,7 @@ impl std::fmt::Debug for FeedbackHub {
 /// counted and logged, never fatal — the WAL retains the records.
 pub(crate) fn retrain_worker(registry: &ModelRegistry, hub: &FeedbackHub) {
     while let Some((name, batch, folded)) = hub.next_batch() {
-        match retrain_one(registry, &name, &batch, folded) {
+        match retrain_one(registry, hub, &name, &batch, folded) {
             Ok(generation) => {
                 lsd_obs::counter_add("serve.retrain_runs", "ok", 1);
                 lsd_obs::gauge_max("serve.model_generation", "max", generation);
@@ -207,9 +213,10 @@ pub(crate) fn retrain_worker(registry: &ModelRegistry, hub: &FeedbackHub) {
 /// Folds one batch into a fresh generation of `name`:
 /// clone the served model, re-match each recorded source under its
 /// corrections (the constrained mapping is the new ground truth),
-/// warm-train, snapshot, install.
+/// warm-train, snapshot, audit, install.
 fn retrain_one(
     registry: &ModelRegistry,
+    hub: &FeedbackHub,
     name: &str,
     batch: &[FeedbackRecord],
     folded: u64,
@@ -243,9 +250,62 @@ fn retrain_one(
     let tmp = path.with_extension("json.tmp");
     lsd.save_json(&tmp)
         .map_err(|e| internal(format!("cannot write retrained snapshot: {e}")))?;
+
+    // Pre-hot-swap audit, always strict regardless of the registry's mode:
+    // a corrupted warm-start (non-finite weights, label skew, a fold point
+    // the WAL cannot back) must never replace the on-disk snapshot, let
+    // alone be promoted to a live generation. On failure the temp file is
+    // removed and the served model keeps running on its old generation; the
+    // WAL retains the batch for the next restart.
+    if let Err(e) = audit_before_swap(hub, name, &tmp) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+
     std::fs::rename(&tmp, &path)
         .map_err(|e| internal(format!("cannot install retrained snapshot: {e}")))?;
 
     let entry = registry.install_retrained(name, lsd)?;
     Ok(entry.generation)
+}
+
+/// Audits the candidate snapshot at `tmp` plus `name`'s WAL before the
+/// rename that would make it the model's on-disk truth.
+fn audit_before_swap(
+    hub: &FeedbackHub,
+    name: &str,
+    tmp: &std::path::Path,
+) -> Result<(), ServeError> {
+    let text = std::fs::read_to_string(tmp)
+        .map_err(|e| internal(format!("cannot read back retrained snapshot: {e}")))?;
+    let (mut diags, summary) = lsd_analysis::audit_snapshot_with_summary(&text);
+    // The WAL's own framing health is scanned non-destructively; its record
+    // count must back the fold point this snapshot claims.
+    match FeedbackWal::scan_file(hub.wal_path(name)) {
+        Ok(scan) => {
+            let ctx = lsd_analysis::WalAuditContext {
+                labels: summary.labels.clone(),
+                feedback_applied: summary.feedback_applied.min(scan.record_count()),
+            };
+            if summary.feedback_applied > scan.record_count() {
+                return Err(ServeError::AuditFailed {
+                    name: name.to_string(),
+                    detail: format!(
+                        "LSD214: retrained snapshot claims {} folded record(s) but the WAL \
+                         holds only {}",
+                        summary.feedback_applied,
+                        scan.record_count()
+                    ),
+                });
+            }
+            // Another submit may be appending concurrently, so a torn tail
+            // (a warning) is possible and tolerated; error-severity WAL
+            // damage is not.
+            let wal_bytes = std::fs::read(hub.wal_path(name)).unwrap_or_default();
+            diags.extend(lsd_analysis::audit_wal(&wal_bytes, Some(&ctx)));
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(internal(format!("cannot scan WAL for audit: {e}"))),
+    }
+    crate::registry::record_audit(name, &diags, crate::registry::AuditMode::Strict)
 }

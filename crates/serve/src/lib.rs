@@ -49,5 +49,5 @@ mod server;
 pub use error::ServeError;
 pub use feedback::FeedbackHub;
 pub use queue::{Job, JobKind, RequestQueue, ServeStats};
-pub use registry::{ModelEntry, ModelRegistry};
+pub use registry::{AuditMode, ModelEntry, ModelRegistry};
 pub use server::{ServeConfig, Server, ServerHandle};

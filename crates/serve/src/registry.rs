@@ -3,12 +3,17 @@
 //!
 //! Every snapshot goes through the same gate before it can serve traffic:
 //! [`Lsd::load_json`] (which rejects snapshots from newer builds) followed
-//! by [`Lsd::ensure_servable`] (trained + clean static analysis). Loading
-//! and validation happen *outside* the registry lock; the swap itself is a
-//! pointer write under a short write lock. Requests hold an
-//! `Arc<ModelEntry>` for their whole lifetime, so a swap never changes the
-//! model under an in-flight request — the old model is dropped when its
-//! last request finishes.
+//! by [`Lsd::ensure_servable`] (trained + clean static analysis), followed
+//! by the artifact audit (`lsd_analysis::audit_snapshot` over the snapshot
+//! text and, when a `<name>.wal` sits beside it, `audit_wal` over the
+//! feedback log). Audit findings are always counted as
+//! `audit.diagnostics/<code>` obs metrics; under [`AuditMode::Strict`],
+//! error-severity findings additionally reject the model with
+//! [`ServeError::AuditFailed`]. Loading and validation happen *outside*
+//! the registry lock; the swap itself is a pointer write under a short
+//! write lock. Requests hold an `Arc<ModelEntry>` for their whole
+//! lifetime, so a swap never changes the model under an in-flight request
+//! — the old model is dropped when its last request finishes.
 
 use crate::error::ServeError;
 use lsd_core::Lsd;
@@ -40,10 +45,25 @@ struct State {
     next_generation: u64,
 }
 
+/// How the registry treats artifact-audit findings when loading a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AuditMode {
+    /// Findings of any severity are counted as `audit.diagnostics/<code>`
+    /// obs metrics; nothing is rejected. The library default — embedding
+    /// callers opt into gating explicitly.
+    #[default]
+    Warn,
+    /// Error-severity findings reject the model with
+    /// [`ServeError::AuditFailed`]; warnings are counted. What
+    /// `lsd-serve` runs with unless started with `--no-strict-audit`.
+    Strict,
+}
+
 /// Directory-backed registry of serving models. See the module docs for the
 /// swap discipline.
 pub struct ModelRegistry {
     dir: PathBuf,
+    audit: AuditMode,
     state: RwLock<State>,
 }
 
@@ -86,9 +106,21 @@ impl ModelRegistry {
     /// [`ServeError::Internal`] only for directory-read failures on an
     /// *existing* path.
     pub fn open(dir: impl AsRef<Path>) -> Result<ModelRegistry, ServeError> {
+        ModelRegistry::open_with(dir, AuditMode::default())
+    }
+
+    /// [`ModelRegistry::open`] with an explicit [`AuditMode`]. Under
+    /// [`AuditMode::Strict`], snapshots whose artifact audit finds
+    /// error-severity diagnostics are recorded as failures and skipped,
+    /// exactly like snapshots that fail to load.
+    ///
+    /// # Errors
+    /// As for [`ModelRegistry::open`].
+    pub fn open_with(dir: impl AsRef<Path>, audit: AuditMode) -> Result<ModelRegistry, ServeError> {
         let dir = dir.as_ref().to_path_buf();
         let registry = ModelRegistry {
             dir: dir.clone(),
+            audit,
             state: RwLock::new(State::default()),
         };
         if !dir.exists() {
@@ -122,6 +154,11 @@ impl ModelRegistry {
         &self.dir
     }
 
+    /// The audit mode every load goes through.
+    pub fn audit_mode(&self) -> AuditMode {
+        self.audit
+    }
+
     pub(crate) fn snapshot_path(&self, name: &str) -> PathBuf {
         self.dir.join(format!("{name}.json"))
     }
@@ -145,7 +182,31 @@ impl ModelRegistry {
                 name: name.to_string(),
                 detail: e.to_string(),
             })?;
+        self.audit_gate(name)?;
         Ok(lsd)
+    }
+
+    /// Runs the artifact audit over `name`'s on-disk snapshot and — when a
+    /// `<name>.wal` feedback log sits beside it (the default feedback-dir
+    /// layout) — the WAL, cross-checked against the snapshot. Every
+    /// finding is counted as an `audit.diagnostics/<code>` obs metric;
+    /// under [`AuditMode::Strict`], error-severity findings reject the
+    /// model.
+    fn audit_gate(&self, name: &str) -> Result<(), ServeError> {
+        let path = self.snapshot_path(name);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Ok(()); // vanished between load and audit; the load already succeeded
+        };
+        let (mut diags, summary) = lsd_analysis::audit_snapshot_with_summary(&text);
+        let wal_path = self.dir.join(format!("{name}.wal"));
+        if let Ok(bytes) = std::fs::read(&wal_path) {
+            let ctx = lsd_analysis::WalAuditContext {
+                labels: summary.labels.clone(),
+                feedback_applied: summary.feedback_applied,
+            };
+            diags.extend(lsd_analysis::audit_wal(&bytes, Some(&ctx)));
+        }
+        record_audit(name, &diags, self.audit)
     }
 
     fn install(
@@ -193,6 +254,7 @@ impl ModelRegistry {
                 name: name.to_string(),
                 detail: e.to_string(),
             })?;
+        self.audit_gate(name)?;
         self.install(name, lsd, false)
     }
 
@@ -304,6 +366,40 @@ impl ModelRegistry {
         ]);
         serde_json::to_string(&doc).unwrap_or_else(|_| "{}".to_string())
     }
+}
+
+/// Counts every audit finding as an `audit.diagnostics/<code>` obs metric
+/// and, under [`AuditMode::Strict`], rejects error-severity findings with
+/// [`ServeError::AuditFailed`]. Shared with the retrain worker's
+/// pre-hot-swap audit.
+pub(crate) fn record_audit(
+    name: &str,
+    diags: &[lsd_analysis::Diagnostic],
+    mode: AuditMode,
+) -> Result<(), ServeError> {
+    for d in diags {
+        lsd_obs::counter_add("audit.diagnostics", d.code.as_str(), 1);
+    }
+    if !diags.is_empty() {
+        // Audits run at boot and on hot-swaps — on threads that may never
+        // exit (and so never merge their metric shard). Flush eagerly so
+        // `GET /metrics` sees the findings; audits are rare enough that
+        // the extra lock is irrelevant.
+        lsd_obs::flush();
+    }
+    if mode == AuditMode::Strict && lsd_analysis::has_errors(diags) {
+        let detail = diags
+            .iter()
+            .filter(|d| d.severity == lsd_analysis::Severity::Error)
+            .map(|d| format!("{}: {}", d.code.as_str(), d.message))
+            .collect::<Vec<_>>()
+            .join("; ");
+        return Err(ServeError::AuditFailed {
+            name: name.to_string(),
+            detail,
+        });
+    }
+    Ok(())
 }
 
 impl std::fmt::Debug for ModelEntry {

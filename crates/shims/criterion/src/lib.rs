@@ -8,6 +8,8 @@
 //! `name  median ±spread  (n samples)` to stdout. Good enough to compare
 //! orders of magnitude, which is what the in-repo benches are for.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

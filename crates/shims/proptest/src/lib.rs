@@ -13,6 +13,8 @@
 //!   with a hard-coded seed, so runs are fully deterministic and
 //!   `.proptest-regressions` files are ignored.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 /// The RNG driving all generation.
 pub type TestRng = rand_chacha::ChaCha8Rng;
 

@@ -8,6 +8,8 @@
 //! real `rand` crate — every consumer in this workspace only relies on
 //! determinism, not on a particular stream.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 /// A source of random 32/64-bit words.
 pub trait RngCore {
     /// The next 32 random bits.

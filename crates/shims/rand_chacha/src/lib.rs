@@ -5,6 +5,8 @@
 //! this workspace relies on) but is not bit-compatible with the real
 //! `rand_chacha` crate, whose seeding and word-consumption order differ.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use rand::{RngCore, SeedableRng};
 
 /// ChaCha with 8 rounds, keyed from a 64-bit seed.

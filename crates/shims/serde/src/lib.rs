@@ -12,6 +12,8 @@
 //! variants), container `#[serde(from = "T", into = "T")]`, and field
 //! `#[serde(skip)]`, `#[serde(default)]`, `#[serde(default = "path")]`.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::{BTreeMap, HashMap};

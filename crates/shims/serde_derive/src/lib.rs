@@ -17,6 +17,8 @@
 //! any type implementing the traits works. Unsupported shapes produce a
 //! `compile_error!` rather than silently wrong code.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize, attributes(serde))]

@@ -6,6 +6,8 @@
 //! finite `f64` bit-for-bit (integral floats print without a fraction and
 //! come back as `Value::Int`, which numeric deserializers accept).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub use serde::Value;
 use serde::{Deserialize, Serialize};
 use std::fmt;

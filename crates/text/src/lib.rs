@@ -14,6 +14,8 @@
 //!   finds the TF/IDF-nearest stored examples for a query, and combines
 //!   neighbour similarities into per-label confidence scores.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod stem;
 mod tfidf;
 mod tokenize;

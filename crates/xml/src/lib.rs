@@ -32,6 +32,8 @@
 //! assert!(dtd.validate(&doc.root).is_ok());
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod dtd;
 mod error;
 mod parser;

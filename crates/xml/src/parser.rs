@@ -262,16 +262,15 @@ impl<'a> Parser<'a> {
             });
         }
         let name = &self.input[start..self.pos];
-        if !name
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
-        {
-            return Err(XmlError::UnexpectedChar {
-                offset: start,
-                found: name.chars().next().unwrap(),
-                expected: "a letter or '_' starting a name",
-            });
+        match name.chars().next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+            first => {
+                return Err(XmlError::UnexpectedChar {
+                    offset: start,
+                    found: first.unwrap_or('\0'),
+                    expected: "a letter or '_' starting a name",
+                });
+            }
         }
         Ok(name.to_string())
     }

@@ -46,7 +46,7 @@ pub use lsd_core::{Diagnostic, DiagnosticCode, Severity};
 // The feedback-loop vocabulary: typed corrections, durable WAL, simulator.
 pub use lsd_core::{
     simulate_feedback_session, Correction, CorrectionKind, Feedback, FeedbackOutcome,
-    FeedbackRecord, FeedbackWal, StallReason, WAL_MAGIC,
+    FeedbackRecord, FeedbackWal, StallReason, WalScan, WAL_MAGIC,
 };
 
 // The source-reader surface: every serialization funnels through
