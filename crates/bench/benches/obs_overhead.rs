@@ -8,6 +8,15 @@
 //! relative to the pre-observability engine; compare `off` here against the
 //! `batch_engine_4x5` numbers from before the layer existed, and `on`
 //! against `off` for the cost of recording itself.
+//!
+//! Two more cases isolate the request-tracing layer added on top:
+//! * `on` runs with recording enabled but **no** active trace context —
+//!   the tracing-disabled fast path every span takes outside a request
+//!   (one thread-local `Cell` read). It must be indistinguishable from
+//!   the pre-tracing `on` cost.
+//! * `on_traced` enters a begun [`lsd_obs::TraceContext`] around each
+//!   batch, so every span also registers with the trace collector — the
+//!   worst-case per-request tracing cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lsd_core::learners::{NaiveBayesLearner, NameMatcher};
@@ -58,6 +67,21 @@ fn bench_obs_overhead(c: &mut Criterion) {
         b.iter(|| {
             let (outcomes, _snapshot) =
                 lsd_obs::collect(|| lsd.match_batch(black_box(&sources), &policy));
+            outcomes.expect("well-formed sources")
+        })
+    });
+    group.bench_function("on_traced", |b| {
+        b.iter(|| {
+            let (outcomes, _snapshot) = lsd_obs::collect(|| {
+                let ctx = lsd_obs::TraceContext::generate();
+                lsd_obs::trace::begin(&ctx);
+                let result = {
+                    let _scope = lsd_obs::TraceScope::enter(ctx);
+                    lsd.match_batch(black_box(&sources), &policy)
+                };
+                lsd_obs::trace::finish(ctx.trace_id);
+                result
+            });
             outcomes.expect("well-formed sources")
         })
     });

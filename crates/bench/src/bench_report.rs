@@ -205,7 +205,10 @@ pub fn validate_bench_match(text: &str) -> Result<(), String> {
 }
 
 /// Version stamp written into (and demanded from) `BENCH_serve.json`.
-pub const BENCH_SERVE_SCHEMA_VERSION: i64 = 1;
+/// Version 2 added the `tracing` section: traceparent-echo checks, the
+/// flight-recorder retrieval check, and the rolling-window quantiles
+/// scraped from `/metrics`.
+pub const BENCH_SERVE_SCHEMA_VERSION: i64 = 2;
 
 /// Everything the serve load driver measured, ready to render as
 /// `BENCH_serve.json`.
@@ -239,6 +242,21 @@ pub struct ServeBenchRun {
     pub dropped_connections: u64,
     /// `503 queue_full` responses observed in the backpressure phase.
     pub backpressure_503: u64,
+    /// Every load-phase response carried a well-formed `traceparent` echo.
+    pub traceparent_echoed: bool,
+    /// A client-supplied trace id was continued verbatim (same trace id,
+    /// fresh server span id).
+    pub trace_continuity: bool,
+    /// The forced-slow request was retrievable from
+    /// `GET /debug/traces?trace_id=...` with a non-empty span tree.
+    pub sampled_trace_found: bool,
+    /// Rolling-window `serve_request_ns_window_p50{label="match"}` scraped
+    /// from `/metrics` after the load phase (ns; 0 when absent).
+    pub window_p50_ns: f64,
+    /// Rolling-window p95 for the same series.
+    pub window_p95_ns: f64,
+    /// Rolling-window p99 for the same series.
+    pub window_p99_ns: f64,
 }
 
 /// Exact quantile of a **sorted** latency slice (nearest-rank).
@@ -251,10 +269,11 @@ fn sorted_quantile(sorted: &[u64], q: f64) -> u64 {
 }
 
 /// Renders a load-driver run as the `BENCH_serve.json` document (schema
-/// version 1): request latency quantiles (exact, from the full sample set,
+/// version 2): request latency quantiles (exact, from the full sample set,
 /// unlike the log2-bucket estimates inside the server), throughput, status
-/// counts, the server's batching counters, and the pass/fail checks the
-/// acceptance criteria gate on.
+/// counts, the server's batching counters, the pass/fail checks the
+/// acceptance criteria gate on, and the tracing checks plus rolling-window
+/// quantiles scraped from the live server.
 pub fn bench_serve_json(run: &ServeBenchRun) -> String {
     let mut sorted = run.latencies_ns.clone();
     sorted.sort_unstable();
@@ -336,11 +355,22 @@ pub fn bench_serve_json(run: &ServeBenchRun) -> String {
                 ("backpressure_503", int(run.backpressure_503)),
             ]),
         ),
+        (
+            "tracing",
+            obj(vec![
+                ("traceparent_echoed", Value::Bool(run.traceparent_echoed)),
+                ("trace_continuity", Value::Bool(run.trace_continuity)),
+                ("sampled_trace_found", Value::Bool(run.sampled_trace_found)),
+                ("window_p50_ns", Value::Float(run.window_p50_ns)),
+                ("window_p95_ns", Value::Float(run.window_p95_ns)),
+                ("window_p99_ns", Value::Float(run.window_p99_ns)),
+            ]),
+        ),
     ]);
     serde_json::to_string_pretty(&root).expect("Value serialization cannot fail")
 }
 
-/// Checks a `BENCH_serve.json` document against schema version 1. Returns
+/// Checks a `BENCH_serve.json` document against schema version 2. Returns
 /// the first problem found, phrased with its JSON path.
 pub fn validate_bench_serve(text: &str) -> Result<(), String> {
     let root: Value = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
@@ -408,6 +438,26 @@ pub fn validate_bench_serve(text: &str) -> Result<(), String> {
     for key in ["dropped_connections", "backpressure_503"] {
         require_number(checks, key, "$.checks")?;
     }
+
+    let tracing = require(&root, "tracing", "$")?;
+    for key in [
+        "traceparent_echoed",
+        "trace_continuity",
+        "sampled_trace_found",
+    ] {
+        match require(tracing, key, "$.tracing")? {
+            Value::Bool(_) => {}
+            other => {
+                return Err(format!(
+                    "$.tracing.{key}: expected bool, found {}",
+                    other.kind()
+                ))
+            }
+        }
+    }
+    for key in ["window_p50_ns", "window_p95_ns", "window_p99_ns"] {
+        require_number(tracing, key, "$.tracing")?;
+    }
     Ok(())
 }
 
@@ -449,12 +499,21 @@ mod tests {
             byte_identical: true,
             dropped_connections: 0,
             backpressure_503: 1,
+            traceparent_echoed: true,
+            trace_continuity: true,
+            sampled_trace_found: true,
+            window_p50_ns: 120_000.0,
+            window_p95_ns: 480_000.0,
+            window_p99_ns: 900_000.0,
         };
         let json = bench_serve_json(&run);
         validate_bench_serve(&json).expect("schema-valid");
         // Exact quantiles from the full sample set, not bucket estimates.
         assert!(json.contains("\"max_ns\": 256000"), "{json}");
         assert!(json.contains("\"statuses\""), "{json}");
+        assert!(json.contains("\"tracing\""), "{json}");
+        assert!(json.contains("\"traceparent_echoed\": true"), "{json}");
+        assert!(json.contains("\"window_p99_ns\""), "{json}");
     }
 
     #[test]
@@ -468,6 +527,9 @@ mod tests {
         let missing_checks = good.replace("\"checks\"", "\"cheques\"");
         let err = validate_bench_serve(&missing_checks).expect_err("missing checks");
         assert!(err.contains("checks"), "{err}");
+        let missing_tracing = good.replace("\"tracing\"", "\"trancing\"");
+        let err = validate_bench_serve(&missing_tracing).expect_err("missing tracing");
+        assert!(err.contains("tracing"), "{err}");
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!                                   finds LSD2xx errors (the default)
 //! lsd-serve --no-strict-audit       load despite audit errors; findings
 //!                                   are still counted in /metrics
+//! lsd-serve --access-log PATH       append one JSONL line per request
+//! lsd-serve --slow-ms N             flight-recorder sampling threshold in
+//!                                   milliseconds (0 samples everything;
+//!                                   default 500, env LSD_SLOW_MS)
 //! ```
 //!
 //! Trains the FULL configuration on the domain's first three sources,
@@ -26,6 +30,8 @@
 //! curl -s localhost:8080/healthz
 //! curl -s localhost:8080/v1/models
 //! curl -s localhost:8080/metrics
+//! curl -si localhost:8080/healthz | grep traceparent
+//! curl -s localhost:8080/debug/traces
 //! ```
 
 use lsd_bench::{domain_slug, resolve_domain, train_full_model, ExperimentParams};
@@ -42,6 +48,18 @@ fn main() -> ExitCode {
     // The server defaults to strict: a snapshot with error-severity audit
     // findings is refused at load. `--no-strict-audit` opts out.
     let mut audit = AuditMode::Strict;
+    let mut access_log: Option<String> = None;
+    // CLI beats env beats the ServeConfig default (500 ms).
+    let mut slow_ms: Option<u64> = match std::env::var("LSD_SLOW_MS") {
+        Ok(v) => match v.parse() {
+            Ok(n) => Some(n),
+            Err(e) => {
+                eprintln!("error: LSD_SLOW_MS={v:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |flag: &str| match args.next() {
@@ -71,11 +89,24 @@ fn main() -> ExitCode {
             "--no-feedback" => feedback = false,
             "--strict-audit" => audit = AuditMode::Strict,
             "--no-strict-audit" => audit = AuditMode::Warn,
+            "--access-log" => match take("--access-log") {
+                Ok(v) => access_log = Some(v),
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--slow-ms" => match take("--slow-ms").map(|v| v.parse::<u64>()) {
+                Ok(Ok(n)) => slow_ms = Some(n),
+                Ok(Err(e)) => {
+                    eprintln!("error: --slow-ms: {e}");
+                    return ExitCode::FAILURE;
+                }
+                Err(()) => return ExitCode::FAILURE,
+            },
             other => {
                 eprintln!("error: unknown argument `{other}`");
                 eprintln!(
                     "usage: lsd-serve [--domain NAME] [--addr HOST:PORT] [--models-dir DIR] \
-                     [--feedback-dir DIR] [--no-feedback] [--strict-audit | --no-strict-audit]"
+                     [--feedback-dir DIR] [--no-feedback] [--strict-audit | --no-strict-audit] \
+                     [--access-log PATH] [--slow-ms N]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -129,13 +160,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let config = ServeConfig {
+    let mut config = ServeConfig {
         addr,
         feedback_dir: feedback
             .then(|| feedback_dir.unwrap_or_else(|| models_dir.clone()))
             .map(std::path::PathBuf::from),
+        access_log: access_log.map(std::path::PathBuf::from),
         ..ServeConfig::default()
     };
+    if let Some(ms) = slow_ms {
+        config.slow_threshold = std::time::Duration::from_millis(ms);
+    }
     let server = match Server::bind(config, registry) {
         Ok(s) => s,
         Err(e) => {

@@ -23,10 +23,17 @@
 //!    queue capacity 1, 300 ms deadline) must answer every request with
 //!    `503 queue_full` or `504 deadline_exceeded`, never hang.
 //!
-//! The run is written as `BENCH_serve.json` (schema version 1: exact
+//! Phase 1 also runs a **tracing probe**: every response must echo a
+//! well-formed `traceparent`; a request carrying a client traceparent must
+//! have its trace id continued verbatim; and (the server samples every
+//! request, `slow_threshold` zero) the probe's span tree must be
+//! retrievable from `GET /debug/traces?trace_id=...`. The rolling-window
+//! p50/p95/p99 are scraped from `/metrics` into the report.
+//!
+//! The run is written as `BENCH_serve.json` (schema version 2: exact
 //! p50/p95/p99 latency, throughput, status counts, batching counters,
-//! check outcomes), validated in-process before the driver exits. Any
-//! failed check exits nonzero.
+//! check outcomes, tracing checks and window quantiles), validated
+//! in-process before the driver exits. Any failed check exits nonzero.
 //!
 //! [`Lsd::match_source`]: lsd_core::Lsd::match_source
 
@@ -49,12 +56,34 @@ use std::time::{Duration, Instant};
 /// One parsed HTTP response.
 struct HttpResponse {
     status: u16,
+    headers: Vec<(String, String)>,
     body: Vec<u8>,
+}
+
+impl HttpResponse {
+    fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == want)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Minimal one-shot HTTP/1.1 client: `Connection: close`, read to EOF.
 /// Transport failures come back as `Err` and count as dropped connections.
 fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> Result<HttpResponse, String> {
+    http_with_headers(addr, method, path, &[], body)
+}
+
+/// Like [`http`], with extra request headers (e.g. a client `traceparent`).
+fn http_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) -> Result<HttpResponse, String> {
     let mut stream =
         TcpStream::connect_timeout(&addr, Duration::from_secs(10)).map_err(|e| e.to_string())?;
     stream
@@ -63,11 +92,15 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> Result<HttpR
     stream
         .set_write_timeout(Some(Duration::from_secs(10)))
         .map_err(|e| e.to_string())?;
-    let head = format!(
+    let mut head = format!(
         "{method} {path} HTTP/1.1\r\nHost: lsd\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream
         .write_all(head.as_bytes())
         .map_err(|e| e.to_string())?;
@@ -84,10 +117,45 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> Result<HttpR
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("unparseable status line: {head:?}"))?;
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| {
+            line.split_once(':')
+                .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
     Ok(HttpResponse {
         status,
+        headers,
         body: raw[text_end + 4..].to_vec(),
     })
+}
+
+/// True when `header` is a well-formed `00-{32 hex}-{16 hex}-{2 hex}`
+/// traceparent with a nonzero trace id.
+fn well_formed_traceparent(header: &str) -> bool {
+    let parts: Vec<&str> = header.split('-').collect();
+    parts.len() == 4
+        && parts[0] == "00"
+        && parts[1].len() == 32
+        && parts[2].len() == 16
+        && parts[3].len() == 2
+        && parts[1].chars().all(|c| c.is_ascii_hexdigit())
+        && parts[2].chars().all(|c| c.is_ascii_hexdigit())
+        && parts[1].chars().any(|c| c != '0')
+}
+
+/// Reads the value of one Prometheus gauge sample line (exact series match,
+/// labels included), e.g. `serve_request_ns_window_p50{label="match"}`.
+fn scrape_gauge(metrics: &str, series: &str) -> f64 {
+    metrics
+        .lines()
+        .find_map(|line| {
+            let rest = line.strip_prefix(series)?;
+            rest.trim().parse::<f64>().ok()
+        })
+        .unwrap_or(0.0)
 }
 
 /// The `"source"` object shared by `/v1/match` and `/v1/feedback` bodies —
@@ -157,6 +225,19 @@ struct ClientReport {
     statuses: Vec<u16>,
     mismatches: u64,
     dropped: u64,
+    /// Responses whose `traceparent` echo was missing or malformed.
+    bad_traceparent: u64,
+}
+
+impl ClientReport {
+    fn check_traceparent(&mut self, response: &HttpResponse) {
+        let ok = response
+            .header("traceparent")
+            .is_some_and(well_formed_traceparent);
+        if !ok {
+            self.bad_traceparent += 1;
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -281,6 +362,9 @@ fn main() -> ExitCode {
         workers: 4,
         queue_capacity: 1024,
         feedback_dir: Some(models_dir.clone()),
+        // Sample every completed request into the flight recorder, so the
+        // tracing probe below can retrieve its span tree deterministically.
+        slow_threshold: Duration::ZERO,
         ..ServeConfig::default()
     };
     let server = match Server::bind(config, registry) {
@@ -314,6 +398,7 @@ fn main() -> ExitCode {
                                 .latencies_ns
                                 .push(started.elapsed().as_nanos() as u64);
                             report.statuses.push(response.status);
+                            report.check_traceparent(&response);
                             if response.status == 200
                                 && response.body != expected_match[which].as_bytes()
                             {
@@ -331,6 +416,7 @@ fn main() -> ExitCode {
                             .latencies_ns
                             .push(started.elapsed().as_nanos() as u64);
                         report.statuses.push(response.status);
+                        report.check_traceparent(&response);
                         if response.status == 200
                             && response.body != expected_explain[which].as_bytes()
                         {
@@ -348,6 +434,7 @@ fn main() -> ExitCode {
     let mut status_counts: BTreeMap<u16, u64> = BTreeMap::new();
     let mut mismatches = 0u64;
     let mut dropped = 0u64;
+    let mut bad_traceparent = 0u64;
     for thread in threads {
         match thread.join() {
             Ok(report) => {
@@ -357,11 +444,50 @@ fn main() -> ExitCode {
                 }
                 mismatches += report.mismatches;
                 dropped += report.dropped;
+                bad_traceparent += report.bad_traceparent;
             }
             Err(_) => dropped += 1,
         }
     }
     let wall_ns = load_start.elapsed().as_nanos() as u64;
+
+    // Tracing probe: a request carrying a client traceparent must have its
+    // trace id continued verbatim (with a fresh server span id), and —
+    // because `slow_threshold` is zero — be retrievable afterwards from
+    // the flight recorder with its span tree intact.
+    eprintln!("tracing probe: continuity + flight-recorder retrieval");
+    let probe_trace = "deadbeefcafef00d0123456789abcdef";
+    let probe_parent = format!("00-{probe_trace}-0011223344556677-01");
+    let mut trace_continuity = false;
+    let mut sampled_trace_found = false;
+    match http_with_headers(
+        addr,
+        "POST",
+        "/v1/match",
+        &[("traceparent", probe_parent.as_str())],
+        &bodies[0],
+    ) {
+        Ok(response) => {
+            trace_continuity = response.header("traceparent").is_some_and(|echo| {
+                well_formed_traceparent(echo)
+                    && echo.split('-').nth(1) == Some(probe_trace)
+                    && echo.split('-').nth(2) != Some("0011223344556677")
+            });
+            let lookup = http(
+                addr,
+                "GET",
+                &format!("/debug/traces?trace_id={probe_trace}"),
+                b"",
+            );
+            sampled_trace_found = lookup.is_ok_and(|r| {
+                r.status == 200 && {
+                    let text = String::from_utf8_lossy(&r.body).to_string();
+                    text.contains(probe_trace) && text.contains("serve.request")
+                }
+            });
+        }
+        Err(e) => eprintln!("tracing probe request failed: {e}"),
+    }
 
     // Probe the operational endpoints while the server is still up.
     let health = http(addr, "GET", "/healthz", b"");
@@ -441,11 +567,22 @@ fn main() -> ExitCode {
         Ok(response) => probe_failures.push(format!("/healthz returned {}", response.status)),
         Err(e) => probe_failures.push(format!("/healthz failed: {e}")),
     }
+    let mut window_p50_ns = 0.0;
+    let mut window_p95_ns = 0.0;
+    let mut window_p99_ns = 0.0;
     match metrics {
         Ok(response) if response.status == 200 => {
             let text = String::from_utf8_lossy(&response.body).to_string();
             if !text.contains("serve_http_requests") {
                 probe_failures.push("/metrics is missing serve_http_requests".to_string());
+            }
+            window_p50_ns = scrape_gauge(&text, "serve_request_ns_window_p50{label=\"match\"}");
+            window_p95_ns = scrape_gauge(&text, "serve_request_ns_window_p95{label=\"match\"}");
+            window_p99_ns = scrape_gauge(&text, "serve_request_ns_window_p99{label=\"match\"}");
+            if window_p50_ns <= 0.0 {
+                probe_failures.push(
+                    "/metrics is missing rolling-window quantiles for serve_request_ns".to_string(),
+                );
             }
         }
         Ok(response) => probe_failures.push(format!("/metrics returned {}", response.status)),
@@ -513,6 +650,7 @@ fn main() -> ExitCode {
     // ---- Report ----
     let dropped_connections = dropped;
     let byte_identical = mismatches == 0;
+    let traceparent_echoed = bad_traceparent == 0;
     let run = ServeBenchRun {
         domain: slug.clone(),
         listings: params.listings,
@@ -528,6 +666,12 @@ fn main() -> ExitCode {
         byte_identical,
         dropped_connections,
         backpressure_503,
+        traceparent_echoed,
+        trace_continuity,
+        sampled_trace_found,
+        window_p50_ns,
+        window_p95_ns,
+        window_p99_ns,
     };
     let report = bench_serve_json(&run);
     if let Err(e) = validate_bench_serve(&report) {
@@ -553,6 +697,18 @@ fn main() -> ExitCode {
     }
     if !byte_identical {
         eprintln!("FAIL: {mismatches} responses differ from direct match_source output");
+        failed = true;
+    }
+    if !traceparent_echoed {
+        eprintln!("FAIL: {bad_traceparent} responses had a missing or malformed traceparent echo");
+        failed = true;
+    }
+    if !trace_continuity {
+        eprintln!("FAIL: client-supplied trace id was not continued in the echo");
+        failed = true;
+    }
+    if !sampled_trace_found {
+        eprintln!("FAIL: probe trace was not retrievable from /debug/traces");
         failed = true;
     }
     for problem in probe_failures.iter().chain(&backpressure_failures) {

@@ -230,14 +230,21 @@ fn split_key(key: &str) -> (String, Option<&str>) {
     }
 }
 
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline must be backslash-escaped inside `label="..."`.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
 fn label_pair(label: Option<&str>, extra: Option<(&str, &str)>) -> String {
     let mut pairs: Vec<String> = Vec::new();
     if let Some(l) = label {
-        let escaped = l.replace('\\', "\\\\").replace('"', "\\\"");
-        pairs.push(format!("label=\"{escaped}\""));
+        pairs.push(format!("label=\"{}\"", escape_label(l)));
     }
     if let Some((k, v)) = extra {
-        pairs.push(format!("{k}=\"{v}\""));
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
     }
     if pairs.is_empty() {
         String::new()
@@ -246,50 +253,82 @@ fn label_pair(label: Option<&str>, extra: Option<(&str, &str)>) -> String {
     }
 }
 
-/// Renders the snapshot's counters, gauges and histograms in the Prometheus
-/// text exposition format (version 0.0.4), the payload `lsd-serve` returns
-/// from `GET /metrics`.
+/// Renders the snapshot's counters, gauges, histograms and rolling windows
+/// in the Prometheus text exposition format (version 0.0.4), the payload
+/// `lsd-serve` returns from `GET /metrics`.
 ///
+/// * Every family is announced once with `# HELP` and `# TYPE` metadata.
 /// * Counters and gauges become single samples; the `label` half of a
-///   `name/label` key is exported as a `label="..."` pair.
-/// * Histograms become summaries: `{quantile="0.5|0.95|0.99"}` samples from
-///   the log2-bucket estimates plus `_sum` and `_count`.
+///   `name/label` key is exported as an escaped `label="..."` pair.
+/// * Histograms export as real `histogram` families: cumulative
+///   `_bucket{le="..."}` samples taken from the log2 buckets (one per
+///   non-empty bucket, with the exposition-mandated `le="+Inf"` terminal
+///   equal to `_count`), plus `_sum` and `_count`.
+/// * Rolling windows ([`MetricsSnapshot::windows`]) export as gauge
+///   families `<name>_window_p50|p95|p99` next to the cumulative series,
+///   so "p99 right now" and "p99 since boot" sit side by side.
 /// * Spans are skipped — each span family is already aggregated into the
 ///   `span/<name>` duration histograms.
 ///
-/// Keys are mangled to legal metric names (`.`, `-`, `/` → `_`) and one
-/// `# TYPE` comment precedes each family. Output order follows the
-/// snapshot's deterministic key order.
+/// Keys are mangled to legal metric names (`.`, `-`, `/` → `_`). Output
+/// order follows the snapshot's deterministic key order, so series of one
+/// family stay contiguous after their metadata lines.
 pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
-    let mut last_typed: Option<(String, &str)> = None;
-    let mut type_line = |out: &mut String, name: &str, kind: &'static str| {
-        if last_typed
-            .as_ref()
-            .is_none_or(|(n, k)| n != name || *k != kind)
-        {
-            out.push_str(&format!("# TYPE {name} {kind}\n"));
-            last_typed = Some((name.to_string(), kind));
+    let mut announced: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut header = |out: &mut String, name: &str, kind: &str, help: &str| {
+        if announced.insert(name.to_string()) {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
         }
     };
 
     for (key, &v) in &snapshot.counters {
         let (name, label) = split_key(key);
-        type_line(&mut out, &name, "counter");
+        header(&mut out, &name, "counter", "Monotonic event count.");
         out.push_str(&format!("{name}{} {v}\n", label_pair(label, None)));
     }
     for (key, &v) in &snapshot.gauges {
         let (name, label) = split_key(key);
-        type_line(&mut out, &name, "gauge");
+        header(
+            &mut out,
+            &name,
+            "gauge",
+            "High-watermark gauge (max across threads).",
+        );
         out.push_str(&format!("{name}{} {v}\n", label_pair(label, None)));
     }
     for (key, h) in &snapshot.histograms {
         let (name, label) = split_key(key);
-        type_line(&mut out, &name, "summary");
-        for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+        header(
+            &mut out,
+            &name,
+            "histogram",
+            "Log2-bucket sample histogram (nanoseconds for durations).",
+        );
+        let mut cumulative = 0u64;
+        let mut saw_inf = false;
+        for (i, &n) in h.bucket_counts().iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            let bound = crate::HistogramSummary::bucket_bound(i);
+            let le = if bound == u64::MAX {
+                saw_inf = true;
+                "+Inf".to_string()
+            } else {
+                bound.to_string()
+            };
             out.push_str(&format!(
-                "{name}{} {v}\n",
-                label_pair(label, Some(("quantile", q)))
+                "{name}_bucket{} {cumulative}\n",
+                label_pair(label, Some(("le", &le)))
+            ));
+        }
+        if !saw_inf {
+            out.push_str(&format!(
+                "{name}_bucket{} {}\n",
+                label_pair(label, Some(("le", "+Inf"))),
+                h.count
             ));
         }
         out.push_str(&format!(
@@ -302,6 +341,29 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
             label_pair(label, None),
             h.count
         ));
+    }
+    // One pass per quantile so each `<name>_window_pXX` family stays one
+    // contiguous group even when several labels share the family.
+    for (suffix, q) in [
+        ("window_p50", 0.50),
+        ("window_p95", 0.95),
+        ("window_p99", 0.99),
+    ] {
+        for (key, h) in &snapshot.windows {
+            let (name, label) = split_key(key);
+            let family = format!("{name}_{suffix}");
+            header(
+                &mut out,
+                &family,
+                "gauge",
+                "Rolling 60s-window quantile (nanoseconds for durations).",
+            );
+            out.push_str(&format!(
+                "{family}{} {}\n",
+                label_pair(label, None),
+                h.quantile(q)
+            ));
+        }
     }
     out
 }
@@ -384,30 +446,98 @@ mod tests {
             text.contains("# TYPE work_items counter"),
             "counter family typed in:\n{text}"
         );
+        assert!(
+            text.contains("# HELP work_items "),
+            "counter family has HELP metadata in:\n{text}"
+        );
         assert!(text.contains("work_items 3"), "counter sample in:\n{text}");
         assert!(
-            text.contains("# TYPE span summary"),
-            "span histograms exported as summaries in:\n{text}"
+            text.contains("# TYPE span histogram"),
+            "span histograms exported as histograms in:\n{text}"
         );
         assert!(
-            text.contains("span{label=\"outer\",quantile=\"0.5\"}"),
-            "quantile sample in:\n{text}"
+            text.contains("span_bucket{label=\"outer\",le=\"+Inf\"} 1"),
+            "terminal +Inf bucket in:\n{text}"
         );
         assert!(
             text.contains("span_count{label=\"outer\"} 1"),
-            "summary count in:\n{text}"
+            "histogram count in:\n{text}"
         );
-        // Exactly one TYPE line per family even with several labels.
+        // Exactly one HELP/TYPE pair per family even with several labels.
         assert_eq!(
-            text.matches("# TYPE span summary").count(),
+            text.matches("# TYPE span histogram").count(),
             1,
             "in:\n{text}"
         );
+        assert_eq!(text.matches("# HELP span ").count(), 1, "in:\n{text}");
         // No raw span events: every line is a comment or a sample.
         for line in text.lines() {
             assert!(
                 line.starts_with('#') || line.split_whitespace().count() == 2,
                 "malformed line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_at_count() {
+        let (_, snap) = collect(|| {
+            // Buckets: 3 → le 3; 300 → le 511; 300_000 → le 524287.
+            for v in [3u64, 3, 300, 300_000] {
+                crate::record_value("lat.ns", "", v);
+            }
+        });
+        let text = prometheus_text(&snap);
+        assert!(text.contains("lat_ns_bucket{le=\"3\"} 2"), "in:\n{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"511\"} 3"), "in:\n{text}");
+        assert!(
+            text.contains("lat_ns_bucket{le=\"524287\"} 4"),
+            "in:\n{text}"
+        );
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 4"), "in:\n{text}");
+        assert!(text.contains("lat_ns_sum 300306"), "in:\n{text}");
+        assert!(text.contains("lat_ns_count 4"), "in:\n{text}");
+        // Cumulative bucket values never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("lat_ns_bucket")) {
+            let v: u64 = line
+                .split_whitespace()
+                .nth(1)
+                .and_then(|v| v.parse().ok())
+                .expect("sample value");
+            assert!(v >= last, "non-monotone bucket line: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        assert_eq!(
+            label_pair(Some("a\"b\\c\nd"), None),
+            "{label=\"a\\\"b\\\\c\\nd\"}"
+        );
+    }
+
+    #[test]
+    fn prometheus_exports_window_quantiles_as_gauges() {
+        let mut snap = sample_snapshot();
+        snap.windows.insert(
+            "serve.request_ns/match".to_string(),
+            crate::HistogramSummary::from_samples([100u64, 200, 400]),
+        );
+        let text = prometheus_text(&snap);
+        for family in [
+            "serve_request_ns_window_p50",
+            "serve_request_ns_window_p95",
+            "serve_request_ns_window_p99",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} gauge")),
+                "{family} typed in:\n{text}"
+            );
+            assert!(
+                text.contains(&format!("{family}{{label=\"match\"}}")),
+                "{family} sample in:\n{text}"
             );
         }
     }

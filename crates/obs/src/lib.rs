@@ -56,6 +56,13 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 pub mod export;
+pub mod recorder;
+pub mod trace;
+pub mod window;
+
+pub use recorder::{flight_recorder, FlightRecorder, TraceSample};
+pub use trace::{TraceContext, TraceId, TraceScope};
+pub use window::{window_record, window_record_duration, window_snapshot, RollingWindow};
 
 /// Global on/off switch. Off by default; [`collect`] turns it on for the
 /// duration of the wrapped closure.
@@ -76,6 +83,29 @@ static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
 fn process_epoch() -> Instant {
     static T: OnceLock<Instant> = OnceLock::new();
     *T.get_or_init(Instant::now)
+}
+
+/// Nanoseconds elapsed since the process-wide timing epoch — the clock all
+/// span `start_ns` offsets are measured on, exposed so callers can build
+/// synthetic spans (see [`trace::synthetic_span`]) on the same timeline.
+pub fn now_ns() -> u64 {
+    process_epoch().elapsed().as_nanos() as u64
+}
+
+/// Allocates a fresh globally unique span id (for synthetic spans).
+pub(crate) fn alloc_span_id() -> u64 {
+    NEXT_SPAN.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Whole seconds elapsed since the process timing epoch (the clock the
+/// rolling windows stamp their one-second slots with).
+pub(crate) fn process_epoch_secs() -> u64 {
+    process_epoch().elapsed().as_secs()
+}
+
+/// This thread's dense ordinal (`u64::MAX` during TLS teardown).
+pub(crate) fn current_thread_ordinal() -> u64 {
+    with_shard(|s| s.thread).unwrap_or(u64::MAX)
 }
 
 type Key = (&'static str, &'static str);
@@ -100,6 +130,9 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Wall-clock duration in nanoseconds.
     pub duration_ns: u64,
+    /// The request trace this span belongs to, when it closed under an
+    /// active [`TraceScope`] (or was attached explicitly).
+    pub trace: Option<TraceId>,
 }
 
 /// Number of log2 magnitude buckets backing the quantile estimates: bucket 0
@@ -134,7 +167,21 @@ fn log2_bucket(v: u64) -> usize {
 }
 
 impl HistogramSummary {
-    fn record(&mut self, v: u64) {
+    /// A summary with no samples. `min` holds `u64::MAX` until the first
+    /// [`observe`](HistogramSummary::observe); all accessors treat the
+    /// empty summary as zeros.
+    pub fn empty() -> Self {
+        HistogramSummary {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0u64; LOG2_BUCKETS],
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);
@@ -142,7 +189,11 @@ impl HistogramSummary {
         self.buckets[log2_bucket(v)] += 1;
     }
 
-    fn merge(&mut self, other: &HistogramSummary) {
+    /// Folds another summary into this one. Merging is **exact** (not an
+    /// approximation): log2 buckets, count, sum, min and max all combine
+    /// losslessly, so merging per-shard summaries equals summarizing the
+    /// concatenated stream.
+    pub fn merge_from(&mut self, other: &HistogramSummary) {
         self.count += other.count;
         self.sum += other.sum;
         self.min = self.min.min(other.min);
@@ -152,16 +203,45 @@ impl HistogramSummary {
         }
     }
 
-    fn new(v: u64) -> Self {
-        let mut buckets = [0u64; LOG2_BUCKETS];
-        buckets[log2_bucket(v)] = 1;
-        HistogramSummary {
-            count: 1,
-            sum: v,
-            min: v,
-            max: v,
-            buckets,
+    /// Summarizes a full sample stream.
+    pub fn from_samples(samples: impl IntoIterator<Item = u64>) -> Self {
+        let mut h = HistogramSummary::empty();
+        for v in samples {
+            h.observe(v);
         }
+        h
+    }
+
+    /// Merges a set of per-shard summaries into one.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a HistogramSummary>) -> Self {
+        let mut h = HistogramSummary::empty();
+        for part in parts {
+            h.merge_from(part);
+        }
+        h
+    }
+
+    /// Per-bucket sample counts. Bucket 0 holds the value 0; bucket
+    /// `i >= 1` holds values in `[2^(i-1), 2^i)`.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Inclusive upper bound of log2 bucket `i` (`u64::MAX` for the last).
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    fn new(v: u64) -> Self {
+        let mut h = HistogramSummary::empty();
+        h.observe(v);
+        h
     }
 
     /// Mean sample value (0.0 when empty).
@@ -236,7 +316,10 @@ impl Serialize for HistogramSummary {
         Value::Map(vec![
             ("count".to_string(), int(self.count)),
             ("sum".to_string(), int(self.sum)),
-            ("min".to_string(), int(self.min)),
+            (
+                "min".to_string(),
+                int(if self.count == 0 { 0 } else { self.min }),
+            ),
             ("max".to_string(), int(self.max)),
             ("mean".to_string(), Value::Float(self.mean())),
             ("p50".to_string(), int(self.p50())),
@@ -320,7 +403,7 @@ fn merge_into_global(shard: &mut Shard) {
     for (k, v) in tables.histograms {
         agg.histograms
             .entry(k)
-            .and_modify(|h| h.merge(&v))
+            .and_modify(|h| h.merge_from(&v))
             .or_insert(v);
     }
     agg.spans.extend(tables.spans);
@@ -388,7 +471,7 @@ pub fn record_value(name: &'static str, label: &'static str, v: u64) {
         s.tables
             .histograms
             .entry((name, label))
-            .and_modify(|h| h.record(v))
+            .and_modify(|h| h.observe(v))
             .or_insert_with(|| HistogramSummary::new(v));
     });
 }
@@ -416,6 +499,7 @@ struct OpenSpan {
     epoch: u64,
     start: Instant,
     start_ns: u64,
+    trace: Option<TraceId>,
 }
 
 impl SpanGuard {
@@ -444,6 +528,7 @@ impl SpanGuard {
                 epoch,
                 start,
                 start_ns,
+                trace: trace::current().map(|ctx| ctx.trace_id),
             }),
         }
     }
@@ -465,7 +550,7 @@ impl Drop for SpanGuard {
             if let Some(pos) = s.open_spans.iter().rposition(|&id| id == open.id) {
                 s.open_spans.truncate(pos);
             }
-            s.tables.spans.push(SpanRecord {
+            let record = SpanRecord {
                 name: open.name,
                 label: open.label,
                 id: open.id,
@@ -473,11 +558,14 @@ impl Drop for SpanGuard {
                 thread: s.thread,
                 start_ns: open.start_ns,
                 duration_ns,
-            });
+                trace: open.trace,
+            };
+            trace::note_closed_span(&record);
+            s.tables.spans.push(record);
             s.tables
                 .histograms
                 .entry(("span", open.name))
-                .and_modify(|h| h.record(duration_ns))
+                .and_modify(|h| h.observe(duration_ns))
                 .or_insert_with(|| HistogramSummary::new(duration_ns));
         });
     }
@@ -521,11 +609,16 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, u64>,
     /// Sample summaries (durations in nanoseconds unless noted).
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Rolling 60-second window summaries (see [`window`]) for the series
+    /// fed through [`window_record`]. Only filled by [`snapshot`] — the
+    /// windows are wall-clock-based and meaningless for a batch
+    /// [`collect`] run.
+    pub windows: BTreeMap<String, HistogramSummary>,
     /// Closed spans in merge order. Ids and timings vary run to run.
     pub spans: Vec<SpanRecord>,
 }
 
-fn flat_key(key: &Key) -> String {
+pub(crate) fn flat_key(key: &Key) -> String {
     if key.1.is_empty() {
         key.0.to_string()
     } else {
@@ -598,6 +691,7 @@ impl MetricsSnapshot {
                 .iter()
                 .map(|(k, &v)| (flat_key(k), v))
                 .collect(),
+            windows: BTreeMap::new(),
             spans: tables.spans.clone(),
         }
     }
@@ -699,10 +793,14 @@ pub fn try_collect<R>(f: impl FnOnce() -> R) -> Result<(R, MetricsSnapshot), Nes
 /// this mid-collection observes the partial aggregate (merged shards only).
 pub fn snapshot() -> MetricsSnapshot {
     flush();
-    let mut agg = global().lock().unwrap_or_else(|e| e.into_inner());
-    let spans = std::mem::take(&mut agg.spans);
-    let mut snap = MetricsSnapshot::from_tables(&agg);
-    snap.spans = spans;
+    let mut snap = {
+        let mut agg = global().lock().unwrap_or_else(|e| e.into_inner());
+        let spans = std::mem::take(&mut agg.spans);
+        let mut snap = MetricsSnapshot::from_tables(&agg);
+        snap.spans = spans;
+        snap
+    };
+    snap.windows = window::window_snapshot();
     snap
 }
 

@@ -21,6 +21,8 @@ pub struct Request {
     pub method: String,
     /// Path with any query string stripped, e.g. `"/v1/match"`.
     pub path: String,
+    /// The raw query string (without the `?`), empty when absent.
+    pub query: String,
     /// Lowercased header names with trimmed values, in arrival order.
     pub headers: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` said otherwise).
@@ -42,6 +44,41 @@ impl Request {
         self.header("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"))
     }
+
+    /// First value of a `key=value` query parameter, unescaped only for
+    /// `%XX` triplets and `+` (enough for hex trace ids and simple slugs).
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then(|| percent_decode(v))
+        })
+    }
+}
+
+/// Minimal percent-decoding (`%XX` and `+`); invalid escapes pass through.
+fn percent_decode(v: &str) -> String {
+    let bytes = v.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => match bytes
+                .get(i + 1..i + 3)
+                .and_then(|h| std::str::from_utf8(h).ok())
+                .and_then(|h| u8::from_str_radix(h, 16).ok())
+            {
+                Some(b) => {
+                    out.push(b);
+                    i += 2;
+                }
+                None => out.push(b'%'),
+            },
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// Outcome of reading from an open connection.
@@ -112,7 +149,10 @@ pub fn read_request(reader: &mut BufReader<TcpStream>, max_body_bytes: usize) ->
     if !version.starts_with("HTTP/1.") {
         return ReadOutcome::Failed(bad(format!("unsupported protocol {version}")));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut headers = Vec::new();
     for line in lines {
@@ -125,6 +165,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>, max_body_bytes: usize) ->
     let request = Request {
         method: method.to_ascii_uppercase(),
         path,
+        query,
         headers,
         body: Vec::new(),
     };
@@ -289,8 +330,22 @@ mod tests {
         };
         assert_eq!(r.method, "POST");
         assert_eq!(r.path, "/v1/match");
+        assert_eq!(r.query, "x=1");
+        assert_eq!(r.query_param("x").as_deref(), Some("1"));
+        assert_eq!(r.query_param("y"), None);
         assert_eq!(r.header("host"), Some("h"));
         assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn query_params_percent_decode() {
+        let outcome = parse(b"GET /debug/traces?trace_id=0af7%2B1&b=x+y HTTP/1.1\r\n\r\n");
+        let ReadOutcome::Request(r) = outcome else {
+            panic!("expected a request");
+        };
+        assert_eq!(r.path, "/debug/traces");
+        assert_eq!(r.query_param("trace_id").as_deref(), Some("0af7+1"));
+        assert_eq!(r.query_param("b").as_deref(), Some("x y"));
     }
 
     #[test]

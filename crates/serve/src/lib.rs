@@ -37,6 +37,7 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod access_log;
 mod error;
 mod feedback;
 pub mod http;
@@ -46,8 +47,9 @@ mod queue;
 mod registry;
 mod server;
 
+pub use access_log::{AccessEntry, AccessLog};
 pub use error::ServeError;
 pub use feedback::FeedbackHub;
-pub use queue::{Job, JobKind, RequestQueue, ServeStats};
+pub use queue::{Job, JobKind, JobTimings, RequestQueue, ServeStats};
 pub use registry::{AuditMode, ModelEntry, ModelRegistry};
 pub use server::{ServeConfig, Server, ServerHandle};

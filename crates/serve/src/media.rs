@@ -100,6 +100,7 @@ mod tests {
         Request {
             method: "POST".to_string(),
             path: "/v1/match".to_string(),
+            query: String::new(),
             headers,
             body: body.as_bytes().to_vec(),
         }

@@ -28,10 +28,25 @@ use crate::error::ServeError;
 use crate::json;
 use crate::registry::ModelEntry;
 use lsd_core::{ExecPolicy, Source};
+use lsd_obs::{trace, TraceContext, TraceScope};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Per-job micro-timings, written by the worker *before* it replies (the
+/// reply-channel send/recv pair orders the writes before the connection
+/// thread's reads) and read by the connection thread for the access log.
+#[derive(Debug, Default)]
+pub struct JobTimings {
+    /// Nanoseconds the job waited in the queue before a worker claimed it.
+    pub queue_ns: AtomicU64,
+    /// Nanoseconds from batch claim to this job's reply.
+    pub batch_ns: AtomicU64,
+    /// Nanoseconds inside the `match_batch` (or fallback `match_source`)
+    /// call that served this job.
+    pub match_ns: AtomicU64,
+}
 
 /// What to do with a job's match outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +76,14 @@ pub struct Job {
     /// still queued (reply `504` now), claimed means the result is coming
     /// (wait out the processing grace).
     pub claimed: Arc<AtomicBool>,
+    /// The request's trace context; batch-level spans are attached to it
+    /// even though one `match_batch` call covers many traces.
+    pub trace: TraceContext,
+    /// When the job entered the queue, on the span timeline
+    /// ([`lsd_obs::now_ns`]) — the start of the synthetic queue-wait span.
+    pub enqueued_ns: u64,
+    /// Where the worker publishes queue/batch/match micro-timings.
+    pub timings: Arc<JobTimings>,
     /// Where the rendered body (or error) is sent.
     pub reply: mpsc::SyncSender<Result<String, ServeError>>,
 }
@@ -237,11 +260,17 @@ fn reply(job: &Job, result: Result<String, ServeError>) {
 /// poison its batch-mates.
 fn process_batch(batch: Vec<Job>, stats: &ServeStats) {
     let started = Instant::now();
+    let claim_ns = lsd_obs::now_ns();
     let now = Instant::now();
     let (live, expired): (Vec<Job>, Vec<Job>) = batch.into_iter().partition(|j| j.deadline > now);
     for job in &expired {
         stats.expired.fetch_add(1, Ordering::Relaxed);
         lsd_obs::counter_add("serve.requests_expired", "", 1);
+        // Publish the queue wait before replying so the 504's access-log
+        // line shows where the deadline went.
+        let wait = claim_ns.saturating_sub(job.enqueued_ns);
+        job.timings.queue_ns.store(wait, Ordering::Relaxed);
+        note_queue_wait(job, wait);
         reply(
             job,
             Err(ServeError::DeadlineExceeded {
@@ -254,6 +283,9 @@ fn process_batch(batch: Vec<Job>, stats: &ServeStats) {
     }
     for job in &live {
         job.claimed.store(true, Ordering::SeqCst);
+        let wait = claim_ns.saturating_sub(job.enqueued_ns);
+        job.timings.queue_ns.store(wait, Ordering::Relaxed);
+        note_queue_wait(job, wait);
     }
 
     stats.note_batch(live.len() as u64);
@@ -274,24 +306,57 @@ fn process_batch(batch: Vec<Job>, stats: &ServeStats) {
 
     for (model, jobs) in groups {
         let sources: Vec<Source> = jobs.iter().map(|j| j.source.clone()).collect();
+        let match_start = Instant::now();
+        let match_start_ns = lsd_obs::now_ns();
         // The batch engine is deterministic at any thread count; serial
         // policy keeps each worker single-threaded so concurrency comes
         // from the worker pool, not nested thread pools.
-        match model.lsd.match_batch(&sources, &ExecPolicy::serial()) {
+        let outcome = model.lsd.match_batch(&sources, &ExecPolicy::serial());
+        let match_ns = match_start.elapsed().as_nanos() as u64;
+        // One `match_batch` call served every trace in the group: a single
+        // thread-local scope cannot cover them, so the micro-batch span is
+        // attached to each member trace explicitly (with the group size as
+        // a label so the tree shows the coalescing).
+        for job in &jobs {
+            let batch_label: &'static str = if jobs.len() == 1 {
+                "single"
+            } else {
+                "coalesced"
+            };
+            trace::attach(
+                job.trace.trace_id,
+                trace::synthetic_span(
+                    "serve.match_batch",
+                    batch_label,
+                    match_start_ns,
+                    match_ns,
+                    job.trace.trace_id,
+                    None,
+                ),
+            );
+        }
+        match outcome {
             Ok(outcomes) => {
                 for (job, outcome) in jobs.iter().zip(outcomes) {
+                    // Render under the job's scope so any span the renderer
+                    // opens lands in the right trace.
+                    let _scope = TraceScope::enter(job.trace);
                     let body = match job.kind {
                         JobKind::Match => json::match_body(&model.name, &outcome),
                         JobKind::Explain => json::explain_body(&model.name, &outcome),
                     };
+                    finish_timings(job, match_ns, started);
                     lsd_obs::counter_add("serve.requests_ok", "", 1);
                     reply(job, Ok(body));
                 }
             }
             Err(_) => {
                 // One source in the batch is bad; re-run each alone so only
-                // the offender fails.
+                // the offender fails. Single-trace calls can use a real
+                // scope, so the pipeline's own spans get trace-tagged.
                 for job in &jobs {
+                    let _scope = TraceScope::enter(job.trace);
+                    let single_start = Instant::now();
                     let result = model
                         .lsd
                         .match_source(&job.source)
@@ -300,6 +365,7 @@ fn process_batch(batch: Vec<Job>, stats: &ServeStats) {
                             JobKind::Explain => json::explain_body(&model.name, &outcome),
                         })
                         .map_err(ServeError::from);
+                    finish_timings(job, single_start.elapsed().as_nanos() as u64, started);
                     lsd_obs::counter_add(
                         if result.is_ok() {
                             "serve.requests_ok"
@@ -314,7 +380,37 @@ fn process_batch(batch: Vec<Job>, stats: &ServeStats) {
             }
         }
     }
-    lsd_obs::record_duration("serve.batch_ns", "", started.elapsed());
+    let batch_elapsed = started.elapsed();
+    lsd_obs::record_duration("serve.batch_ns", "", batch_elapsed);
+    lsd_obs::window_record_duration("serve.batch_ns", "", batch_elapsed);
+}
+
+/// Attaches the synthetic queue-wait span to the job's trace and feeds the
+/// wait into the cumulative + rolling registries.
+fn note_queue_wait(job: &Job, wait_ns: u64) {
+    trace::attach(
+        job.trace.trace_id,
+        trace::synthetic_span(
+            "serve.queue_wait",
+            "",
+            job.enqueued_ns,
+            wait_ns,
+            job.trace.trace_id,
+            None,
+        ),
+    );
+    lsd_obs::record_value("serve.queue_wait_ns", "", wait_ns);
+    lsd_obs::window_record("serve.queue_wait_ns", "", wait_ns);
+}
+
+/// Publishes the worker-side micro-timings. Must run before [`reply`]: the
+/// sync-channel send/recv pair is the fence that makes these relaxed
+/// stores visible to the connection thread.
+fn finish_timings(job: &Job, match_ns: u64, batch_started: Instant) {
+    job.timings.match_ns.store(match_ns, Ordering::Relaxed);
+    job.timings
+        .batch_ns
+        .store(batch_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
 }
 
 /// One worker's run loop: pop batches until shutdown drains the queue, then
@@ -346,6 +442,9 @@ mod tests {
             deadline: Instant::now() + Duration::from_secs(5),
             deadline_ms: 5000,
             claimed: Arc::new(AtomicBool::new(false)),
+            trace: TraceContext::generate(),
+            enqueued_ns: lsd_obs::now_ns(),
+            timings: Arc::new(JobTimings::default()),
             reply,
         }
     }

@@ -13,15 +13,18 @@
 //! queued, and any leftover jobs (e.g. in a `workers = 0` configuration)
 //! are failed with `503` so no client is left hanging.
 
+use crate::access_log::{unix_ms, AccessEntry, AccessLog};
 use crate::error::ServeError;
 use crate::feedback::{retrain_worker, FeedbackHub};
 use crate::http::{error_response, read_request, write_response, ReadOutcome, Request, Response};
 use crate::json;
 use crate::media;
-use crate::queue::{worker_loop, Job, JobKind, RequestQueue};
+use crate::queue::{worker_loop, Job, JobKind, JobTimings, RequestQueue};
 use crate::registry::ModelRegistry;
 use lsd_core::{Feedback, FeedbackRecord};
+use lsd_obs::{trace, TraceContext, TraceId, TraceSample, TraceScope};
 use serde::Value;
+use std::cell::RefCell;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -62,6 +65,12 @@ pub struct ServeConfig {
     /// `POST /v1/feedback` (it answers `503 feedback_disabled`) and the
     /// retrain worker.
     pub feedback_dir: Option<std::path::PathBuf>,
+    /// Latency at or above which a completed request is tail-sampled into
+    /// the flight recorder (4xx/5xx responses are sampled regardless).
+    /// `Duration::ZERO` samples everything — the test/CI setting.
+    pub slow_threshold: Duration,
+    /// JSONL access-log path; `None` disables access logging.
+    pub access_log: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +89,8 @@ impl Default for ServeConfig {
             max_body_bytes: 1024 * 1024,
             retry_after_secs: 1,
             feedback_dir: None,
+            slow_threshold: Duration::from_millis(500),
+            access_log: None,
         }
     }
 }
@@ -89,8 +100,20 @@ struct Shared {
     registry: ModelRegistry,
     queue: RequestQueue,
     feedback: Option<FeedbackHub>,
+    access_log: Option<AccessLog>,
     shutdown: AtomicBool,
     active_connections: AtomicU64,
+}
+
+/// Per-request observability state, threaded from accept to response:
+/// the trace context stamped at accept time, the worker-filled
+/// micro-timings, and the model the request resolved to (for the access
+/// log and flight-recorder samples). Lives on one connection thread;
+/// only `timings` crosses into the worker pool.
+struct RequestObs {
+    trace: TraceContext,
+    timings: Arc<JobTimings>,
+    model: RefCell<String>,
 }
 
 /// A bound server, ready to [`run`](Server::run).
@@ -143,12 +166,17 @@ impl Server {
             ),
             None => None,
         };
+        let access_log = match &config.access_log {
+            Some(path) => Some(AccessLog::open(path)?),
+            None => None,
+        };
         Ok(Server {
             shared: Arc::new(Shared {
                 config,
                 registry,
                 queue,
                 feedback,
+                access_log,
                 shutdown: AtomicBool::new(false),
                 active_connections: AtomicU64::new(0),
             }),
@@ -255,9 +283,15 @@ fn request_deadline(request: &Request, config: &ServeConfig) -> Result<Duration,
 
 /// Enqueues a parsed match/explain request and waits for the reply, never
 /// longer than deadline + processing grace.
-fn run_job(shared: &Shared, kind: JobKind, request: &Request) -> Result<String, ServeError> {
+fn run_job(
+    shared: &Shared,
+    kind: JobKind,
+    request: &Request,
+    obs: &RequestObs,
+) -> Result<String, ServeError> {
     let parsed = media::parse_request(request)?;
     let model = shared.registry.model(parsed.model.as_deref())?;
+    obs.model.replace(model.name.clone());
     let deadline = request_deadline(request, &shared.config)?;
     let deadline_ms = deadline.as_millis() as u64;
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
@@ -269,6 +303,9 @@ fn run_job(shared: &Shared, kind: JobKind, request: &Request) -> Result<String, 
         deadline: Instant::now() + deadline,
         deadline_ms,
         claimed: Arc::clone(&claimed),
+        trace: obs.trace,
+        enqueued_ns: lsd_obs::now_ns(),
+        timings: Arc::clone(&obs.timings),
         reply: reply_tx,
     })?;
     match reply_rx.recv_timeout(deadline) {
@@ -297,13 +334,18 @@ fn run_job(shared: &Shared, kind: JobKind, request: &Request) -> Result<String, 
 /// are checked against the target model's label set *before* the WAL
 /// append, so a `200` always means "these corrections will be folded into
 /// a future generation (or replayed after a crash)".
-fn handle_feedback(shared: &Shared, request: &Request) -> Result<String, ServeError> {
+fn handle_feedback(
+    shared: &Shared,
+    request: &Request,
+    obs: &RequestObs,
+) -> Result<String, ServeError> {
     let hub = shared
         .feedback
         .as_ref()
         .ok_or(ServeError::FeedbackDisabled)?;
     let parsed = json::parse_feedback_request(&request.body)?;
     let entry = shared.registry.model(parsed.model.as_deref())?;
+    obs.model.replace(entry.name.clone());
     Feedback::from_corrections(parsed.corrections.clone())
         .to_constraints(entry.lsd.labels())
         .map_err(|e| ServeError::BadRequest {
@@ -360,9 +402,52 @@ fn healthz_body(shared: &Shared) -> String {
     serde_json::to_string(&doc).unwrap_or_else(|_| "{\"status\":\"ok\"}".to_string())
 }
 
+/// Renders `GET /debug/traces`: with `?trace_id=` a single sampled trace
+/// (404 when it was not sampled or has been evicted), otherwise the most
+/// recent sampled traces plus the recorder's accounting.
+fn debug_traces_body(request: &Request) -> Result<String, ServeError> {
+    let recorder = lsd_obs::flight_recorder();
+    let render = |v: &Value| {
+        serde_json::to_string(v).map_err(|e| ServeError::Internal {
+            detail: format!("cannot render trace sample: {e}"),
+        })
+    };
+    match request.query_param("trace_id") {
+        Some(id) => {
+            let trace_id: TraceId = id.parse().map_err(|()| ServeError::BadRequest {
+                detail: format!("invalid trace_id {id:?}: expected 32 hex digits"),
+            })?;
+            let sample = recorder
+                .find(trace_id)
+                .ok_or_else(|| ServeError::NotFound {
+                    path: format!("/debug/traces?trace_id={id}"),
+                })?;
+            render(&serde::Serialize::to_value(&sample))
+        }
+        None => {
+            // Newest first; bounded so the response stays scrapeable even
+            // with the ring full.
+            let samples: Vec<TraceSample> = recorder.samples().into_iter().rev().take(32).collect();
+            let doc = Value::Map(vec![
+                (
+                    "recorded".to_string(),
+                    Value::Int(recorder.recorded() as i64),
+                ),
+                ("evicted".to_string(), Value::Int(recorder.evicted() as i64)),
+                (
+                    "capacity".to_string(),
+                    Value::Int(recorder.capacity() as i64),
+                ),
+                ("traces".to_string(), serde::Serialize::to_value(&samples)),
+            ]);
+            render(&doc)
+        }
+    }
+}
+
 /// Routes one request. Matching endpoints go through the queue; everything
 /// else is answered inline.
-fn route(shared: &Shared, request: &Request) -> Result<Response, ServeError> {
+fn route(shared: &Shared, request: &Request, obs: &RequestObs) -> Result<Response, ServeError> {
     let path = request.path.as_str();
     let method = request.method.as_str();
     match (method, path) {
@@ -370,10 +455,13 @@ fn route(shared: &Shared, request: &Request) -> Result<Response, ServeError> {
         ("GET", "/metrics") => Ok(Response::text(lsd_obs::export::prometheus_text(
             &lsd_obs::snapshot(),
         ))),
+        ("GET", "/debug/traces") => debug_traces_body(request).map(Response::json),
         ("GET", "/v1/models") => Ok(Response::json(shared.registry.list_json())),
-        ("POST", "/v1/match") => run_job(shared, JobKind::Match, request).map(Response::json),
-        ("POST", "/v1/explain") => run_job(shared, JobKind::Explain, request).map(Response::json),
-        ("POST", "/v1/feedback") => handle_feedback(shared, request).map(Response::json),
+        ("POST", "/v1/match") => run_job(shared, JobKind::Match, request, obs).map(Response::json),
+        ("POST", "/v1/explain") => {
+            run_job(shared, JobKind::Explain, request, obs).map(Response::json)
+        }
+        ("POST", "/v1/feedback") => handle_feedback(shared, request, obs).map(Response::json),
         ("PUT", path) if path.starts_with("/v1/models/") => {
             let name = &path["/v1/models/".len()..];
             let entry = shared.registry.activate(name)?;
@@ -390,7 +478,8 @@ fn route(shared: &Shared, request: &Request) -> Result<Response, ServeError> {
         }
         (
             _,
-            "/healthz" | "/metrics" | "/v1/models" | "/v1/match" | "/v1/explain" | "/v1/feedback",
+            "/healthz" | "/metrics" | "/debug/traces" | "/v1/models" | "/v1/match" | "/v1/explain"
+            | "/v1/feedback",
         ) => Err(ServeError::MethodNotAllowed {
             method: method.to_string(),
             path: path.to_string(),
@@ -409,8 +498,64 @@ fn endpoint_label(path: &str) -> &'static str {
         "/v1/models" => "models",
         "/healthz" => "healthz",
         "/metrics" => "metrics",
+        "/debug/traces" => "traces",
         p if p.starts_with("/v1/models/") => "models",
         _ => "other",
+    }
+}
+
+/// Closes out one request's observability: ends the trace, tail-samples it
+/// into the flight recorder when it was slow (>= `slow_threshold`) or
+/// failed (4xx/5xx), and appends the access-log line.
+fn finish_request_trace(
+    shared: &Shared,
+    request: &Request,
+    obs: &RequestObs,
+    tracked: bool,
+    status: u16,
+    total: Duration,
+) {
+    let total_ns = total.as_nanos() as u64;
+    let (spans, truncated_spans) = if tracked {
+        trace::finish(obs.trace.trace_id)
+    } else {
+        (Vec::new(), 0)
+    };
+    let slow = total >= shared.config.slow_threshold;
+    let failed = status >= 400;
+    if tracked && (slow || failed) {
+        let reason = match (slow, failed) {
+            (true, true) => "slow+error",
+            (true, false) => "slow",
+            _ => "error",
+        };
+        lsd_obs::counter_add("serve.traces_sampled", reason, 1);
+        lsd_obs::flight_recorder().record(TraceSample {
+            trace_id: obs.trace.trace_id,
+            route: endpoint_label(&request.path).to_string(),
+            model: obs.model.borrow().clone(),
+            status,
+            total_ns,
+            reason: reason.to_string(),
+            unix_ms: unix_ms(),
+            spans,
+            truncated_spans,
+        });
+    }
+    if let Some(log) = &shared.access_log {
+        log.log(&AccessEntry {
+            unix_ms: unix_ms(),
+            trace_id: obs.trace.trace_id,
+            route: endpoint_label(&request.path).to_string(),
+            method: request.method.clone(),
+            path: request.path.clone(),
+            status,
+            model: obs.model.borrow().clone(),
+            queue_ns: obs.timings.queue_ns.load(Ordering::Relaxed),
+            batch_ns: obs.timings.batch_ns.load(Ordering::Relaxed),
+            match_ns: obs.timings.match_ns.load(Ordering::Relaxed),
+            total_ns,
+        });
     }
 }
 
@@ -437,11 +582,32 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             }
             ReadOutcome::Request(request) => {
                 let started = Instant::now();
+                // Stamp the request: ingest the client's W3C traceparent
+                // (continuing its trace with a fresh span id) or mint a
+                // fresh context. `begin` only tracks spans while recording
+                // is on, so a disabled server pays one atomic load here.
+                let ctx = request
+                    .header("traceparent")
+                    .and_then(TraceContext::from_traceparent)
+                    .map(|upstream| upstream.child())
+                    .unwrap_or_else(TraceContext::generate);
+                let tracked = lsd_obs::enabled() && trace::begin(&ctx);
+                let label = endpoint_label(&request.path);
+                let obs = RequestObs {
+                    trace: ctx,
+                    timings: Arc::new(JobTimings::default()),
+                    model: RefCell::new(String::new()),
+                };
                 let draining = shared.shutdown.load(Ordering::SeqCst);
-                let response = if draining {
+                let mut response = if draining {
                     error_response(&ServeError::ShuttingDown)
                 } else {
-                    match route(shared, &request) {
+                    // The scope tags every span this thread opens (and the
+                    // root span below) with the request's trace; batch
+                    // workers re-enter it per job on their side.
+                    let _scope = TraceScope::enter(ctx);
+                    let _root = lsd_obs::span!("serve.request", label);
+                    match route(shared, &request, &obs) {
                         Ok(response) => response,
                         Err(error) => {
                             lsd_obs::counter_add("serve.http_errors", error.code(), 1);
@@ -449,9 +615,16 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                         }
                     }
                 };
-                let label = endpoint_label(&request.path);
+                // Every response echoes the (possibly server-minted)
+                // context so clients can correlate and propagate.
+                response
+                    .extra_headers
+                    .push(("traceparent", ctx.to_traceparent()));
+                let total = started.elapsed();
                 lsd_obs::counter_add("serve.http_requests", label, 1);
-                lsd_obs::record_duration("serve.request_ns", label, started.elapsed());
+                lsd_obs::record_duration("serve.request_ns", label, total);
+                lsd_obs::window_record_duration("serve.request_ns", label, total);
+                finish_request_trace(shared, &request, &obs, tracked, response.status, total);
                 // Merge this thread's shard before answering: once the
                 // client has the response, a follow-up `/metrics` scrape
                 // (on a different connection thread) must see the request

@@ -557,6 +557,245 @@ fn match_negotiates_json_csv_sql_and_xml_bodies() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Pulls the trace id out of a `00-{trace}-{span}-{flags}` traceparent.
+fn traceparent_parts(header: &str) -> (String, String) {
+    let parts: Vec<&str> = header.split('-').collect();
+    assert_eq!(parts.len(), 4, "traceparent has 4 segments: {header}");
+    assert_eq!(parts[0], "00", "version 00: {header}");
+    assert_eq!(parts[1].len(), 32, "128-bit trace id: {header}");
+    assert_eq!(parts[2].len(), 16, "64-bit span id: {header}");
+    assert!(
+        parts[1].chars().all(|c| c.is_ascii_hexdigit()),
+        "hex trace id: {header}"
+    );
+    (parts[1].to_string(), parts[2].to_string())
+}
+
+#[test]
+fn every_response_echoes_a_traceparent_and_continues_client_traces() {
+    let dir = model_dir("traceparent");
+    model_a().save_json(dir.join("m.json")).expect("saves");
+    let (handle, join) = boot(&dir, ServeConfig::default());
+    let addr = handle.addr();
+
+    // Server-minted context: every route echoes a well-formed traceparent
+    // with a nonzero trace id, including inline-answered and error routes.
+    for (method, path, body) in [
+        ("POST", "/v1/match", match_request_body()),
+        ("GET", "/healthz", String::new()),
+        ("GET", "/nope", String::new()),
+    ] {
+        let response = http(addr, method, path, &[], body.as_bytes());
+        let echoed = response
+            .header("traceparent")
+            .unwrap_or_else(|| panic!("{method} {path} must echo traceparent"))
+            .to_string();
+        let (trace, _) = traceparent_parts(&echoed);
+        assert_ne!(trace, "0".repeat(32), "{method} {path}: nonzero trace id");
+    }
+
+    // Client-provided context: the trace id is continued verbatim but the
+    // span id is the server's own (a child span, not a replay).
+    let upstream = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+    let response = http(
+        addr,
+        "POST",
+        "/v1/match",
+        &[("traceparent", upstream)],
+        match_request_body().as_bytes(),
+    );
+    assert_eq!(response.status, 200, "body: {}", response.text());
+    let echoed = response.header("traceparent").expect("echoed").to_string();
+    let (trace, span) = traceparent_parts(&echoed);
+    assert_eq!(trace, "4bf92f3577b34da6a3ce929d0e0e4736", "trace continued");
+    assert_ne!(span, "00f067aa0ba902b7", "span id is the server's own");
+
+    // A malformed traceparent is ignored, not propagated: the server mints
+    // a fresh context instead of echoing garbage back.
+    let response = http(
+        addr,
+        "GET",
+        "/healthz",
+        &[("traceparent", "00-zzzz-bad-ff")],
+        b"",
+    );
+    let echoed = response.header("traceparent").expect("echoed").to_string();
+    traceparent_parts(&echoed);
+
+    handle.shutdown();
+    join.join().expect("server exits");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sampled_traces_are_retrievable_from_debug_traces_with_span_tree() {
+    let dir = model_dir("flightrec");
+    model_a().save_json(dir.join("m.json")).expect("saves");
+    // Threshold zero: every completed request counts as slow, so the test
+    // does not depend on wall-clock behaviour of the match itself.
+    let config = ServeConfig {
+        slow_threshold: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let (handle, join) = boot(&dir, config);
+    let addr = handle.addr();
+
+    let upstream = "00-feedfacecafebeef0123456789abcdef-0123456789abcdef-01";
+    let matched = http(
+        addr,
+        "POST",
+        "/v1/match",
+        &[("traceparent", upstream)],
+        match_request_body().as_bytes(),
+    );
+    assert_eq!(matched.status, 200, "body: {}", matched.text());
+
+    // Single-trace lookup: the full span tree, including the queue wait
+    // and the micro-batch execution recorded by the worker pool.
+    let lookup = http(
+        addr,
+        "GET",
+        "/debug/traces?trace_id=feedfacecafebeef0123456789abcdef",
+        &[],
+        b"",
+    );
+    assert_eq!(lookup.status, 200, "body: {}", lookup.text());
+    let body = lookup.text();
+    assert!(
+        body.contains("\"feedfacecafebeef0123456789abcdef\""),
+        "{body}"
+    );
+    assert!(body.contains("\"reason\":\"slow\""), "{body}");
+    for span in ["serve.request", "serve.queue_wait", "serve.match_batch"] {
+        assert!(body.contains(span), "span {span} in tree: {body}");
+    }
+
+    // The listing endpoint reports the recorder's accounting and the most
+    // recent samples, newest first.
+    let listing = http(addr, "GET", "/debug/traces", &[], b"");
+    assert_eq!(listing.status, 200);
+    let listing_text = listing.text();
+    for key in ["\"recorded\"", "\"evicted\"", "\"capacity\"", "\"traces\""] {
+        assert!(listing_text.contains(key), "{key} in: {listing_text}");
+    }
+
+    // A malformed id is the caller's error; an unknown-but-valid id is a
+    // clean miss, not a 500.
+    assert_eq!(
+        http(addr, "GET", "/debug/traces?trace_id=xyz", &[], b"").status,
+        400
+    );
+    assert_eq!(
+        http(
+            addr,
+            "GET",
+            "/debug/traces?trace_id=11111111111111111111111111111111",
+            &[],
+            b""
+        )
+        .status,
+        404
+    );
+
+    handle.shutdown();
+    join.join().expect("server exits");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn access_log_is_valid_jsonl_with_per_request_timings() {
+    let dir = model_dir("accesslog");
+    model_a().save_json(dir.join("m.json")).expect("saves");
+    let log_path = dir.join("access.jsonl");
+    let config = ServeConfig {
+        access_log: Some(log_path.clone()),
+        ..ServeConfig::default()
+    };
+    let (handle, join) = boot(&dir, config);
+    let addr = handle.addr();
+
+    let matched = post_match(addr);
+    assert_eq!(matched.status, 200);
+    let match_trace = traceparent_parts(matched.header("traceparent").expect("echoed")).0;
+    assert_eq!(http(addr, "GET", "/healthz", &[], b"").status, 200);
+    assert_eq!(http(addr, "GET", "/nope", &[], b"").status, 404);
+
+    handle.shutdown();
+    join.join().expect("server exits");
+
+    let text = std::fs::read_to_string(&log_path).expect("access log exists");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "one line per request:\n{text}");
+    for line in &lines {
+        let value: serde::Value = serde_json::from_str(line).expect("valid JSON line");
+        let serde::Value::Map(fields) = value else {
+            panic!("line is an object: {line}");
+        };
+        for want in [
+            "unix_ms", "trace_id", "route", "method", "path", "status", "model", "queue_ns",
+            "batch_ns", "match_ns", "total_ns",
+        ] {
+            assert!(fields.iter().any(|(k, _)| k == want), "missing {want}");
+        }
+    }
+    // The match line carries the echoed trace id, the resolved model and
+    // real pipeline timings; the inline healthz line has no queue time.
+    let match_line = lines[0];
+    assert!(
+        match_line.contains(&format!("\"{match_trace}\"")),
+        "{match_line}"
+    );
+    assert!(match_line.contains("\"route\":\"match\""), "{match_line}");
+    assert!(match_line.contains("\"model\":\"m\""), "{match_line}");
+    assert!(!match_line.contains("\"match_ns\":0"), "{match_line}");
+    assert!(lines[1].contains("\"route\":\"healthz\""), "{}", lines[1]);
+    assert!(lines[1].contains("\"queue_ns\":0"), "{}", lines[1]);
+    assert!(lines[2].contains("\"status\":404"), "{}", lines[2]);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_expose_rolling_window_quantiles_and_real_histograms() {
+    let dir = model_dir("windows");
+    model_a().save_json(dir.join("m.json")).expect("saves");
+    let (handle, join) = boot(&dir, ServeConfig::default());
+    let addr = handle.addr();
+
+    assert_eq!(post_match(addr).status, 200);
+    let metrics = http(addr, "GET", "/metrics", &[], b"").text();
+    // Rolling-window gauges sit next to the cumulative series.
+    for family in [
+        "serve_request_ns_window_p50",
+        "serve_request_ns_window_p95",
+        "serve_request_ns_window_p99",
+    ] {
+        assert!(
+            metrics.contains(&format!("# TYPE {family} gauge")),
+            "{family} in:\n{metrics}"
+        );
+        assert!(
+            metrics.contains(&format!("{family}{{label=\"match\"}}")),
+            "{family} sample in:\n{metrics}"
+        );
+    }
+    // The cumulative duration series is a real Prometheus histogram.
+    assert!(
+        metrics.contains("# TYPE serve_request_ns histogram"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("serve_request_ns_bucket{label=\"match\",le=\"+Inf\"}"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("serve_request_ns_sum"), "{metrics}");
+    assert!(metrics.contains("serve_request_ns_count"), "{metrics}");
+
+    handle.shutdown();
+    join.join().expect("server exits");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn untrained_snapshot_is_rejected_at_activation() {
     let dir = model_dir("unservable");
