@@ -164,7 +164,74 @@ pub fn audit_snapshot_with_summary(text: &str) -> (Vec<Diagnostic>, SnapshotSumm
         _ => 0,
     };
 
+    audit_inferred_provenance(text, fields, &mut out);
+
     (out, summary)
+}
+
+/// Minimum per-element observation count below which an inferred content
+/// model is considered weakly supported (LSD231). With fewer than this
+/// many instances, `?`/`*` occurrence decisions rest on one or two
+/// observations and are as likely memorization as structure.
+pub const MIN_INFERRED_SUPPORT: i64 = 3;
+
+/// The `LSD23x` family: snapshots trained on *inferred* schemas. Each
+/// provenance entry carrying inference evidence is checked for elements
+/// whose content model rests on fewer than [`MIN_INFERRED_SUPPORT`]
+/// observations. A Warning, not an Error: the model serves, but the audit
+/// surfaces which parts of its training schema were guessed from thin
+/// evidence.
+fn audit_inferred_provenance(text: &str, fields: &[(String, Value)], out: &mut Vec<Diagnostic>) {
+    let Some(Value::Seq(entries)) = get(fields, "source_provenance") else {
+        return; // pre-provenance snapshots have nothing to check
+    };
+    let span = key_span(text, "source_provenance");
+    for (i, entry) in entries.iter().enumerate() {
+        let Value::Map(entry) = entry else { continue };
+        let Some(Value::Map(stats)) = get(entry, "inferred") else {
+            continue; // native or DDL-derived schema
+        };
+        let source = match get(entry, "source") {
+            Some(Value::Str(s)) => format!("`{s}`"),
+            _ => format!("source {i}"),
+        };
+        let corpus_size = match get(stats, "corpus_size") {
+            Some(Value::Int(n)) => *n,
+            _ => 0,
+        };
+        let weak: Vec<String> = match get(stats, "element_support") {
+            Some(Value::Map(support)) => support
+                .iter()
+                .filter_map(|(name, count)| match count {
+                    Value::Int(n) if *n < MIN_INFERRED_SUPPORT => {
+                        Some(format!("`{name}` (seen {n}x)"))
+                    }
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        if weak.is_empty() {
+            continue;
+        }
+        out.push(
+            Diagnostic::new(
+                Code::InferredSchemaLowSupport,
+                format!(
+                    "snapshot was trained on {source}, whose schema was inferred from \
+                     {corpus_size} instance(s); {} element(s) have fewer than \
+                     {MIN_INFERRED_SUPPORT} observations",
+                    weak.len()
+                ),
+            )
+            .with_span(span)
+            .with_note(format!("weakly supported: {}", weak.join(", ")))
+            .with_help(
+                "supply a hand-written DTD for the source, or retrain with more instances \
+                 so the inferred occurrence decisions rest on real evidence",
+            ),
+        );
+    }
 }
 
 /// Checks the meta-weight matrix: every entry a finite number, the row
@@ -607,6 +674,53 @@ mod tests {
             "\"mediated_dtd\": \"<!ELEMENT broken\"",
         );
         assert_eq!(codes(&audit_snapshot(&text)), ["LSD206"]);
+    }
+
+    /// A clean trained snapshot plus one provenance entry with the given
+    /// `inferred` JSON value.
+    fn with_provenance(inferred: &str) -> String {
+        minimal(true, "[[0.5], [0.5], [0.2]]").replace(
+            "\"feedback_applied\": 0",
+            &format!(
+                "\"feedback_applied\": 0,\n  \"source_provenance\": [{{\"source\": \"bare.xml\", \
+                 \"format\": \"Xml\", \"listings\": 2, \"inferred\": {inferred}}}]"
+            ),
+        )
+    }
+
+    #[test]
+    fn weakly_supported_inferred_schema_is_lsd231_warning() {
+        let text = with_provenance(
+            r#"{"corpus_size": 2, "elements": 3, "edges": 4, "generalizations": 1,
+                "fallbacks": 0, "element_support": {"home": 2, "area": 2, "pool": 1}}"#,
+        );
+        let diags = audit_snapshot(&text);
+        assert_eq!(codes(&diags), ["LSD231"]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("`bare.xml`"), "{diags:?}");
+        assert!(diags[0].message.contains("3 element(s)"), "{diags:?}");
+        assert!(
+            diags[0]
+                .notes
+                .iter()
+                .any(|n| n.contains("`pool` (seen 1x)")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn well_supported_inferred_schema_is_clean() {
+        let text = with_provenance(
+            r#"{"corpus_size": 40, "elements": 2, "edges": 3, "generalizations": 0,
+                "fallbacks": 0, "element_support": {"home": 40, "area": 38}}"#,
+        );
+        assert_eq!(audit_snapshot(&text), Vec::new());
+    }
+
+    #[test]
+    fn native_schema_provenance_is_not_flagged() {
+        let text = with_provenance("null");
+        assert_eq!(audit_snapshot(&text), Vec::new());
     }
 
     #[test]

@@ -28,8 +28,9 @@ impl fmt::Display for Severity {
 /// parsed DTD; `LSD1xx` codes are constraint lints over a compiled
 /// domain-constraint set; `LSD2xx` codes are artifact audits over serving
 /// artifacts on disk (`LSD20x` snapshots, `LSD21x` feedback WALs, `LSD22x`
-/// registry directories). Each code has exactly one default [`Severity`],
-/// listed in the table in `DESIGN.md`.
+/// registry directories, `LSD23x` inferred-schema provenance). Each code
+/// has exactly one default [`Severity`], listed in the table in
+/// `DESIGN.md`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Code {
     /// LSD001 — a content model is not 1-unambiguous (its Glushkov
@@ -114,6 +115,10 @@ pub enum Code {
     RegistryDtdDrift,
     /// LSD224 — a feedback WAL has no companion model snapshot.
     RegistryOrphanWal,
+    /// LSD231 — a snapshot was trained on a source whose schema was
+    /// *inferred* from the instances, and some inferred element rests on
+    /// too few observations to trust its content model.
+    InferredSchemaLowSupport,
 }
 
 impl Code {
@@ -148,6 +153,7 @@ impl Code {
             Code::RegistryVersionSkew => "LSD222",
             Code::RegistryDtdDrift => "LSD223",
             Code::RegistryOrphanWal => "LSD224",
+            Code::InferredSchemaLowSupport => "LSD231",
         }
     }
 
@@ -181,7 +187,8 @@ impl Code {
             | Code::WalNonMonotoneTimestamps
             | Code::RegistryVersionSkew
             | Code::RegistryDtdDrift
-            | Code::RegistryOrphanWal => Severity::Warning,
+            | Code::RegistryOrphanWal
+            | Code::InferredSchemaLowSupport => Severity::Warning,
         }
     }
 }
@@ -308,6 +315,7 @@ mod tests {
             Code::RegistryVersionSkew,
             Code::RegistryDtdDrift,
             Code::RegistryOrphanWal,
+            Code::InferredSchemaLowSupport,
         ];
         let mut seen = std::collections::BTreeSet::new();
         for c in all {

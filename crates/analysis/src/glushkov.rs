@@ -12,6 +12,11 @@
 //! sets, and flag the model if two **distinct** positions carrying the
 //! **same** name appear together in `first` or in any `follow(p)` — exactly
 //! the condition under which the Glushkov automaton is nondeterministic.
+//!
+//! The construction itself is exposed as [`GlushkovAutomaton`] so that
+//! other crates (notably `lsd-infer`, which runs the construction "in
+//! reverse" to learn content models from instance data) can reuse the
+//! position/first/follow machinery instead of duplicating it.
 
 use lsd_xml::{ContentModel, Occurrence};
 use std::collections::BTreeSet;
@@ -45,6 +50,115 @@ impl Ambiguity {
     }
 }
 
+/// The Glushkov (position) automaton of a content model.
+///
+/// Every element-name occurrence in the model is a *position*; the
+/// automaton records, for each position, which positions may follow it,
+/// which positions may start the content, which may end it, and whether
+/// the empty child sequence is accepted. This is both the substrate of the
+/// 1-unambiguity lint ([`check_one_unambiguous`]) and a reusable sequence
+/// acceptor ([`GlushkovAutomaton::accepts`]) for schema inference.
+#[derive(Debug, Clone)]
+pub struct GlushkovAutomaton {
+    /// `symbols[p]` — the element name at position `p`.
+    pub symbols: Vec<String>,
+    /// `follow[p]` — positions that may come immediately after `p`.
+    pub follow: Vec<BTreeSet<usize>>,
+    /// Positions that may match the first child.
+    pub first: BTreeSet<usize>,
+    /// Positions that may match the last child.
+    pub last: BTreeSet<usize>,
+    /// Whether the model accepts an empty child sequence.
+    pub nullable: bool,
+}
+
+impl GlushkovAutomaton {
+    /// Builds the position automaton of `model`.
+    pub fn from_model(model: &ContentModel) -> GlushkovAutomaton {
+        let mut b = Builder {
+            symbols: Vec::new(),
+            follow: Vec::new(),
+        };
+        let term = b.build(model);
+        GlushkovAutomaton {
+            symbols: b.symbols,
+            follow: b.follow,
+            first: term.first.iter().copied().collect(),
+            last: term.last.iter().copied().collect(),
+            nullable: term.nullable,
+        }
+    }
+
+    /// Returns a witness if the underlying model is not 1-unambiguous:
+    /// two distinct positions with the same name in `first` or in some
+    /// `follow(p)`. `None` means the model is deterministic.
+    pub fn ambiguity(&self) -> Option<Ambiguity> {
+        if let Some(symbol) = self.collision(self.first.iter().copied()) {
+            return Some(Ambiguity {
+                symbol,
+                after: None,
+            });
+        }
+        for p in 0..self.symbols.len() {
+            if let Some(symbol) = self.collision(self.follow[p].iter().copied()) {
+                return Some(Ambiguity {
+                    symbol,
+                    after: Some(self.symbols[p].clone()),
+                });
+            }
+        }
+        None
+    }
+
+    /// Whether the model accepts the child-name sequence `names`, by
+    /// position-set simulation (correct whether or not the model is
+    /// deterministic).
+    pub fn accepts(&self, names: &[&str]) -> bool {
+        let mut current: BTreeSet<usize> = match names.first() {
+            None => return self.nullable,
+            Some(&name) => self
+                .first
+                .iter()
+                .copied()
+                .filter(|&p| self.symbols[p] == name)
+                .collect(),
+        };
+        for &name in &names[1..] {
+            let mut next = BTreeSet::new();
+            for &p in &current {
+                next.extend(
+                    self.follow[p]
+                        .iter()
+                        .copied()
+                        .filter(|&q| self.symbols[q] == name),
+                );
+            }
+            current = next;
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|p| self.last.contains(p))
+    }
+
+    /// Two distinct positions with the same symbol in `set`?
+    fn collision(&self, set: impl IntoIterator<Item = usize>) -> Option<String> {
+        let mut seen: Vec<usize> = Vec::new();
+        for p in set {
+            if seen
+                .iter()
+                .any(|&q| q != p && self.symbols[q] == self.symbols[p])
+            {
+                return Some(self.symbols[p].clone());
+            }
+            if !seen.contains(&p) {
+                seen.push(p);
+            }
+        }
+        None
+    }
+}
+
 /// The nullable/first/last summary of a subexpression, over position ids.
 struct Term {
     nullable: bool,
@@ -54,9 +168,7 @@ struct Term {
 
 /// Accumulates positions (one per name occurrence) and their follow sets.
 struct Builder {
-    /// `symbols[p]` — the element name at position `p`.
     symbols: Vec<String>,
-    /// `follow[p]` — positions that may come immediately after `p`.
     follow: Vec<BTreeSet<usize>>,
 }
 
@@ -158,48 +270,12 @@ impl Builder {
             }
         }
     }
-
-    /// Two distinct positions with the same symbol in `set`?
-    fn collision(&self, set: impl IntoIterator<Item = usize>) -> Option<String> {
-        let mut seen: Vec<usize> = Vec::new();
-        for p in set {
-            if seen
-                .iter()
-                .any(|&q| q != p && self.symbols[q] == self.symbols[p])
-            {
-                return Some(self.symbols[p].clone());
-            }
-            if !seen.contains(&p) {
-                seen.push(p);
-            }
-        }
-        None
-    }
 }
 
 /// Checks one content model for 1-unambiguity. Returns `None` when the
 /// model is deterministic, or a witness [`Ambiguity`] otherwise.
 pub fn check_one_unambiguous(model: &ContentModel) -> Option<Ambiguity> {
-    let mut b = Builder {
-        symbols: Vec::new(),
-        follow: Vec::new(),
-    };
-    let term = b.build(model);
-    if let Some(symbol) = b.collision(term.first.iter().copied()) {
-        return Some(Ambiguity {
-            symbol,
-            after: None,
-        });
-    }
-    for p in 0..b.symbols.len() {
-        if let Some(symbol) = b.collision(b.follow[p].iter().copied()) {
-            return Some(Ambiguity {
-                symbol,
-                after: Some(b.symbols[p].clone()),
-            });
-        }
-    }
-    None
+    GlushkovAutomaton::from_model(model).ambiguity()
 }
 
 #[cfg(test)]
@@ -281,5 +357,32 @@ mod tests {
         // with `a` (position 2): ((a)*, a) is ambiguous.
         let a = check_one_unambiguous(&parse_model("(a*, a)")).expect("ambiguous");
         assert_eq!(a.symbol, "a");
+    }
+
+    #[test]
+    fn automaton_accepts_matches_model_semantics() {
+        let auto = GlushkovAutomaton::from_model(&parse_model("(a, b*, (c | d))"));
+        assert!(auto.accepts(&["a", "c"]));
+        assert!(auto.accepts(&["a", "b", "b", "d"]));
+        assert!(!auto.accepts(&["a"]));
+        assert!(!auto.accepts(&["b", "c"]));
+        assert!(!auto.accepts(&[]));
+        assert!(!auto.accepts(&["a", "c", "c"]));
+
+        let nullable = GlushkovAutomaton::from_model(&parse_model("(a | b)*"));
+        assert!(nullable.nullable);
+        assert!(nullable.accepts(&[]));
+        assert!(nullable.accepts(&["b", "a", "b"]));
+        assert!(!nullable.accepts(&["b", "x"]));
+    }
+
+    #[test]
+    fn accepts_is_correct_on_nondeterministic_models() {
+        // Position-set simulation does not require 1-unambiguity.
+        let auto = GlushkovAutomaton::from_model(&parse_model("((a, b) | (a, c))"));
+        assert!(auto.ambiguity().is_some());
+        assert!(auto.accepts(&["a", "b"]));
+        assert!(auto.accepts(&["a", "c"]));
+        assert!(!auto.accepts(&["a"]));
     }
 }

@@ -53,10 +53,12 @@ mod render;
 mod schema;
 mod wal_audit;
 
-pub use artifact::{audit_snapshot, audit_snapshot_with_summary, SnapshotSummary};
+pub use artifact::{
+    audit_snapshot, audit_snapshot_with_summary, SnapshotSummary, MIN_INFERRED_SUPPORT,
+};
 pub use constraints::analyze_constraints;
 pub use diagnostic::{has_errors, Code, Diagnostic, Severity};
-pub use glushkov::{check_one_unambiguous, Ambiguity};
+pub use glushkov::{check_one_unambiguous, Ambiguity, GlushkovAutomaton};
 pub use registry_audit::audit_registry;
 pub use render::{render, render_all};
 pub use schema::analyze_dtd;

@@ -461,6 +461,129 @@ pub fn validate_bench_serve(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Version stamp written into (and demanded from) `BENCH_infer.json`.
+pub const BENCH_INFER_SCHEMA_VERSION: i64 = 1;
+
+/// One DTD-less corpus the `lsd-infer` binary learned a schema from,
+/// ready to render into `BENCH_infer.json`.
+#[derive(Debug, Clone, Default)]
+pub struct InferBenchCorpus {
+    /// Corpus identifier, e.g. `real-estate-1/source-0`.
+    pub corpus: String,
+    /// Training instances (listings) in the corpus.
+    pub listings: usize,
+    /// Total element nodes across all instances (sum of per-element
+    /// support).
+    pub instances: usize,
+    /// Wall-clock time of the inference call.
+    pub wall_ns: u64,
+    /// Elements the learned DTD declares.
+    pub elements: usize,
+    /// Single-occurrence-automaton edges summed over all elements — the
+    /// structural size inference had to rewrite.
+    pub edges: usize,
+    /// Elements whose model generalizes beyond the literal corpus
+    /// (`?`/`*`/`+` factoring, k-ORE escalation).
+    pub generalizations: usize,
+    /// Elements that fell back to CHARE or the catch-all expression.
+    pub fallbacks: usize,
+}
+
+impl InferBenchCorpus {
+    /// Share of elements that needed a fallback model (0 when the corpus
+    /// declared no elements).
+    pub fn fallback_rate(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            self.fallbacks as f64 / self.elements as f64
+        }
+    }
+}
+
+/// Renders an `lsd-infer` run as the `BENCH_infer.json` document (schema
+/// version 1): per-corpus inference wall time, element/edge counts, and
+/// the generalization/fallback rates CI tracks across commits.
+pub fn bench_infer_json(listings: usize, seed: u64, corpora: &[InferBenchCorpus]) -> String {
+    let corpora_value = Value::Map(
+        corpora
+            .iter()
+            .map(|c| {
+                (
+                    c.corpus.clone(),
+                    obj(vec![
+                        ("listings", int(c.listings as u64)),
+                        ("instances", int(c.instances as u64)),
+                        ("wall_ns", int(c.wall_ns)),
+                        ("wall_ms", Value::Float(c.wall_ns as f64 / 1e6)),
+                        ("elements", int(c.elements as u64)),
+                        ("edges", int(c.edges as u64)),
+                        ("generalizations", int(c.generalizations as u64)),
+                        ("fallbacks", int(c.fallbacks as u64)),
+                        ("fallback_rate", Value::Float(c.fallback_rate())),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let root = obj(vec![
+        ("schema_version", Value::Int(BENCH_INFER_SCHEMA_VERSION)),
+        (
+            "params",
+            obj(vec![
+                ("listings", int(listings as u64)),
+                ("seed", int(seed)),
+            ]),
+        ),
+        ("corpora", corpora_value),
+    ]);
+    serde_json::to_string_pretty(&root).expect("Value serialization cannot fail")
+}
+
+/// Checks a `BENCH_infer.json` document against schema version 1. Returns
+/// the first problem found, phrased with its JSON path.
+pub fn validate_bench_infer(text: &str) -> Result<(), String> {
+    let root: Value = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    match require(&root, "schema_version", "$")? {
+        Value::Int(v) if *v == BENCH_INFER_SCHEMA_VERSION => {}
+        other => {
+            return Err(format!(
+                "$.schema_version: expected {BENCH_INFER_SCHEMA_VERSION}, found {other:?}"
+            ))
+        }
+    }
+    let params = require(&root, "params", "$")?;
+    for key in ["listings", "seed"] {
+        require_number(params, key, "$.params")?;
+    }
+    let corpora = require(&root, "corpora", "$")?;
+    let Value::Map(corpus_entries) = corpora else {
+        return Err(format!(
+            "$.corpora: expected object, found {}",
+            corpora.kind()
+        ));
+    };
+    if corpus_entries.is_empty() {
+        return Err("$.corpora: expected at least one corpus".to_string());
+    }
+    for (name, corpus) in corpus_entries {
+        for key in [
+            "listings",
+            "instances",
+            "wall_ns",
+            "wall_ms",
+            "elements",
+            "edges",
+            "generalizations",
+            "fallbacks",
+            "fallback_rate",
+        ] {
+            require_number(corpus, key, &format!("$.corpora.{name}"))?;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,6 +653,70 @@ mod tests {
         let missing_tracing = good.replace("\"tracing\"", "\"trancing\"");
         let err = validate_bench_serve(&missing_tracing).expect_err("missing tracing");
         assert!(err.contains("tracing"), "{err}");
+    }
+
+    #[test]
+    fn infer_report_round_trips_through_its_validator() {
+        let corpora = [
+            InferBenchCorpus {
+                corpus: "real-estate-1/source-0".to_string(),
+                listings: 12,
+                instances: 180,
+                wall_ns: 2_500_000,
+                elements: 15,
+                edges: 48,
+                generalizations: 4,
+                fallbacks: 1,
+            },
+            InferBenchCorpus {
+                corpus: "faculty/source-2".to_string(),
+                listings: 12,
+                instances: 96,
+                wall_ns: 900_000,
+                elements: 9,
+                edges: 20,
+                generalizations: 2,
+                fallbacks: 0,
+            },
+        ];
+        let json = bench_infer_json(12, 42, &corpora);
+        validate_bench_infer(&json).expect("schema-valid");
+        assert!(json.contains("\"real-estate-1/source-0\""), "{json}");
+        assert!(json.contains("\"fallback_rate\""), "{json}");
+        assert!(json.contains("\"wall_ms\""), "{json}");
+    }
+
+    #[test]
+    fn infer_validator_rejects_defects() {
+        assert!(validate_bench_infer("{}").is_err());
+        assert!(validate_bench_infer("not json").is_err());
+        let err = validate_bench_infer(r#"{"schema_version": 9}"#).expect_err("version");
+        assert!(err.contains("schema_version"), "{err}");
+        let empty = bench_infer_json(12, 42, &[]);
+        let err = validate_bench_infer(&empty).expect_err("no corpora");
+        assert!(err.contains("at least one corpus"), "{err}");
+        let good = bench_infer_json(
+            12,
+            42,
+            &[InferBenchCorpus {
+                corpus: "c".to_string(),
+                ..InferBenchCorpus::default()
+            }],
+        );
+        let missing = good.replace("\"edges\"", "\"hedges\"");
+        let err = validate_bench_infer(&missing).expect_err("missing edges");
+        assert!(err.contains("edges"), "{err}");
+    }
+
+    #[test]
+    fn fallback_rate_guards_division_by_zero() {
+        assert_eq!(InferBenchCorpus::default().fallback_rate(), 0.0);
+        let c = InferBenchCorpus {
+            elements: 4,
+            fallbacks: 1,
+            ..InferBenchCorpus::default()
+        };
+        assert!((c.fallback_rate() - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | `ablations` | design-choice ablations (meta weights, search, WHIRL, NB smoothing, XML tokens) |
 //! | `lsd-serve` | boots the `lsd-serve` matching server on a datagen-trained snapshot |
 //! | `serve-load` | load driver for the server; writes `BENCH_serve.json` (p50/p95/p99, throughput) |
+//! | `lsd-infer` | learns DTDs from DTD-less corpora; writes `BENCH_infer.json` (wall time, element/edge counts, fallback rate) |
 //!
 //! The methodology follows Section 6: per domain, all C(5,3) = 10
 //! train/test splits (train on 3 sources, test on the other 2), repeated
@@ -29,8 +30,9 @@ pub mod bench_report;
 pub mod runner;
 
 pub use bench_report::{
-    bench_match_json, bench_serve_json, validate_bench_match, validate_bench_serve, ServeBenchRun,
-    BENCH_MATCH_SCHEMA_VERSION, BENCH_SERVE_SCHEMA_VERSION,
+    bench_infer_json, bench_match_json, bench_serve_json, validate_bench_infer,
+    validate_bench_match, validate_bench_serve, InferBenchCorpus, ServeBenchRun,
+    BENCH_INFER_SCHEMA_VERSION, BENCH_MATCH_SCHEMA_VERSION, BENCH_SERVE_SCHEMA_VERSION,
 };
 pub use runner::{
     accuracy_of, accuracy_of_outcome, all_splits, build_lsd, collect_split_metrics,

@@ -56,8 +56,8 @@ pub use instance::{build_source_data, extract_instances, Instance};
 pub use meta::MetaLearner;
 pub use persist::{PersistError, SavedLearner, SavedModel, SAVED_MODEL_VERSION};
 pub use readers::{
-    synthesize_dtd, CsvReader, JsonReader, ReadError, SourceContents, SourceFormat, SourceReader,
-    SqlReader, XmlReader,
+    synthesize_dtd, synthesize_dtd_with_stats, CsvReader, JsonReader, ReadError, SourceContents,
+    SourceFormat, SourceReader, SqlReader, XmlReader,
 };
 pub use report::{MatchReport, TrainReport};
 pub use system::{
@@ -65,6 +65,10 @@ pub use system::{
     TagExplanation, TrainedSource,
 };
 pub use wal::{FeedbackRecord, FeedbackWal, WalScan, WAL_MAGIC};
+
+// Schema inference over DTD-less instances (`Lsd::infer_dtd` delegates
+// here); the stats type also rides on [`SourceProvenance`].
+pub use lsd_infer::{InferError, Inference, InferenceStats};
 
 // The constraint vocabulary is part of LSD's public face.
 pub use lsd_constraints::{

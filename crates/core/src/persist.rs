@@ -398,6 +398,7 @@ mod tests {
                 source: "t".into(),
                 format: crate::SourceFormat::Xml,
                 listings: 3,
+                inferred: None,
             }]
         );
         let saved = lsd.to_saved().expect("snapshots");
@@ -414,6 +415,42 @@ mod tests {
         let lsd3 = Lsd::from_saved(SavedModel::from_json_str(&old_json).expect("loads"));
         assert!(lsd3.source_provenance().is_empty());
         assert!(lsd3.is_trained());
+    }
+
+    #[test]
+    fn inferred_schema_provenance_survives_snapshot_roundtrip() {
+        use crate::readers::XmlReader;
+        let mediated = parse_dtd("<!ELEMENT H (A)>\n<!ELEMENT A (#PCDATA)>").expect("valid DTD");
+        let reader = XmlReader::from_document(
+            "<corpus><h><addr>Miami, FL</addr></h>\
+             <h><addr>Boston, MA</addr></h>\
+             <h><addr>Austin, TX</addr></h></corpus>",
+        );
+        let source = Source::from_reader("bare", &reader).expect("reads");
+        assert!(source.inferred.is_some(), "container schema is inferred");
+        let train = TrainedSource {
+            source,
+            mapping: HashMap::from([
+                ("h".to_string(), "H".to_string()),
+                ("addr".to_string(), "A".to_string()),
+            ]),
+        };
+        let builder = LsdBuilder::new(&mediated);
+        let n = builder.labels().len();
+        let mut lsd = builder
+            .add_learner(Box::new(NameMatcher::new(n, HashMap::new())))
+            .build()
+            .unwrap();
+        lsd.train(std::slice::from_ref(&train)).unwrap();
+
+        let saved = lsd.to_saved().expect("snapshots");
+        let json = serde_json::to_string(&saved).expect("serializes");
+        let lsd2 = Lsd::from_saved(SavedModel::from_json_str(&json).expect("loads"));
+        let prov = &lsd2.source_provenance()[0];
+        let stats = prov.inferred.as_ref().expect("marker persists");
+        assert_eq!(stats.corpus_size, 3);
+        assert_eq!(stats.element_support["h"], 3);
+        assert_eq!(stats.element_support["addr"], 3);
     }
 
     #[test]

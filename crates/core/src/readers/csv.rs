@@ -180,7 +180,11 @@ impl SourceReader for CsvReader {
             decls.push(ElementDecl::new(col.clone(), ContentModel::Pcdata));
         }
         let dtd = Dtd::new(decls).map_err(|e| err(e.to_string()))?;
-        Ok(SourceContents { dtd, listings })
+        Ok(SourceContents {
+            dtd,
+            listings,
+            inferred: None,
+        })
     }
 }
 

@@ -18,10 +18,12 @@
 //! | [`CsvReader`] | CSV with a header row; columns → flat tags | synthesized |
 //! | [`SqlReader`] | SQL `CREATE TABLE` DDL (+ optional `INSERT`s) | from the DDL: columns + FK edges |
 //!
-//! Non-XML sources get a *synthesized grammar* ([`synthesize_dtd`]): a
-//! closed, 1-unambiguous DTD inferred from the listing trees, so the
+//! Sources that do not ship a schema (bare XML containers, JSON, CSV) get
+//! a *synthesized grammar* ([`synthesize_dtd`]): a closed, 1-unambiguous
+//! DTD learned from the listing trees by `lsd-infer`, so the
 //! static-analysis pass behind [`crate::Lsd::analyze`] and
-//! [`crate::Lsd::train`] gates them exactly like native XML sources.
+//! [`crate::Lsd::train`] gates them exactly like native XML sources. The
+//! inference evidence rides along on [`SourceContents::inferred`].
 
 mod csv;
 mod json;
@@ -33,9 +35,9 @@ pub use json::JsonReader;
 pub use sql::SqlReader;
 pub use xml::XmlReader;
 
-use lsd_xml::{ContentModel, Dtd, Element, ElementDecl, Occurrence};
+use lsd_infer::InferenceStats;
+use lsd_xml::{Dtd, Element};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// The serialization a [`crate::Source`] was ingested from. Recorded on the
@@ -112,6 +114,11 @@ pub struct SourceContents {
     pub dtd: Dtd,
     /// The listing trees the instance extractor runs over.
     pub listings: Vec<Element>,
+    /// When the schema was *inferred* from the listings rather than
+    /// supplied (bare XML containers, JSON documents): the inference
+    /// evidence, carried into [`crate::SourceProvenance`] so audits can
+    /// flag weakly-supported schemas. `None` for native/DDL schemas.
+    pub inferred: Option<InferenceStats>,
 }
 
 /// One instance model for every serialization: a reader normalizes its
@@ -152,35 +159,32 @@ pub(crate) fn sanitize_tag(raw: &str) -> String {
     }
 }
 
-/// Per-parent statistics gathered while walking the listing trees, from
-/// which [`synthesize_dtd`] derives one element declaration.
-#[derive(Default)]
-struct TagStats {
-    /// Child tags in first-seen document order.
-    child_order: Vec<String>,
-    /// Fewest occurrences of each child across all occurrences of the parent.
-    child_min: HashMap<String, usize>,
-    /// Most occurrences of each child across all occurrences of the parent.
-    child_max: HashMap<String, usize>,
-    /// Whether any occurrence carried non-whitespace direct text.
-    has_text: bool,
-    /// How many times the parent tag occurred.
-    occurrences: usize,
-}
-
 /// Infers a closed, 1-unambiguous DTD from listing trees: the schema
-/// skeleton for sources that do not ship one. Leaves become `(#PCDATA)`;
-/// elements mixing text and children become `(#PCDATA | a | b)*`; pure
-/// containers become an ordered sequence of their child tags (first-seen
-/// order) with occurrence suffixes derived from the observed min/max
-/// counts. Every tag gets exactly one declaration, so the grammar passes
-/// the static-analysis gate (`LSD001`/`LSD002`/`LSD105`) that
-/// [`crate::Lsd::train`] runs over training-source schemas.
+/// skeleton for sources that do not ship one. This delegates to
+/// [`lsd_infer::infer_dtd`] — per element, the observed child sequences
+/// are folded into a single-occurrence automaton and rewritten into a
+/// deterministic expression (with k-ORE escalation and a CHARE fallback),
+/// so repeating groups, optional runs, and choices survive instead of
+/// flattening into a one-level sequence. The result passes the
+/// static-analysis gate (`LSD001`/`LSD002`/`LSD105`) that
+/// [`crate::Lsd::train`] runs over training-source schemas and accepts
+/// every listing it was derived from.
 ///
 /// # Errors
 /// A description of the problem when `listings` is empty or the listings
 /// do not share one root tag (the DTD's root would be ill-defined).
 pub fn synthesize_dtd(listings: &[Element]) -> Result<Dtd, String> {
+    synthesize_dtd_with_stats(listings).map(|(dtd, _)| dtd)
+}
+
+/// [`synthesize_dtd`] plus the inference evidence: corpus size,
+/// per-element support, generalization and fallback counts. Readers store
+/// the stats on [`SourceContents::inferred`] so they travel into trained
+/// snapshots as provenance.
+///
+/// # Errors
+/// Same conditions as [`synthesize_dtd`].
+pub fn synthesize_dtd_with_stats(listings: &[Element]) -> Result<(Dtd, InferenceStats), String> {
     let Some(first) = listings.first() else {
         return Err("cannot synthesize a grammar from zero listings".to_string());
     };
@@ -190,92 +194,8 @@ pub fn synthesize_dtd(listings: &[Element]) -> Result<Dtd, String> {
             first.name, odd.name
         ));
     }
-
-    let mut stats: HashMap<String, TagStats> = HashMap::new();
-    let mut decl_order: Vec<String> = Vec::new();
-    for listing in listings {
-        collect_stats(listing, &mut stats, &mut decl_order);
-    }
-
-    let decls = decl_order
-        .iter()
-        .map(|tag| {
-            let stat = &stats[tag];
-            let content = if stat.child_order.is_empty() {
-                ContentModel::Pcdata
-            } else if stat.has_text {
-                ContentModel::Mixed(stat.child_order.clone())
-            } else {
-                let parts = stat
-                    .child_order
-                    .iter()
-                    .map(|child| {
-                        let min = stat.child_min.get(child).copied().unwrap_or(0);
-                        let max = stat.child_max.get(child).copied().unwrap_or(0);
-                        let occ = match (min, max) {
-                            (0, max) if max > 1 => Occurrence::ZeroOrMore,
-                            (_, max) if max > 1 => Occurrence::OneOrMore,
-                            (0, _) => Occurrence::Optional,
-                            _ => Occurrence::One,
-                        };
-                        ContentModel::Name(child.clone(), occ)
-                    })
-                    .collect();
-                ContentModel::Seq(parts, Occurrence::One)
-            };
-            ElementDecl::new(tag.clone(), content)
-        })
-        .collect();
-    Dtd::new(decls).map_err(|e| e.to_string())
-}
-
-fn collect_stats(e: &Element, stats: &mut HashMap<String, TagStats>, decl_order: &mut Vec<String>) {
-    if !stats.contains_key(&e.name) {
-        decl_order.push(e.name.clone());
-    }
-    let previously_seen = stats
-        .get(&e.name)
-        .map(|s| s.occurrences)
-        .unwrap_or_default();
-    // Count this occurrence's children per tag, in first-seen order.
-    let mut counts: Vec<(String, usize)> = Vec::new();
-    for child in e.child_elements() {
-        match counts.iter_mut().find(|(name, _)| *name == child.name) {
-            Some((_, n)) => *n += 1,
-            None => counts.push((child.name.clone(), 1)),
-        }
-    }
-    let stat = stats.entry(e.name.clone()).or_default();
-    stat.has_text |= !e.direct_text().is_empty();
-    for (child, n) in &counts {
-        if !stat.child_order.contains(child) {
-            stat.child_order.push(child.clone());
-            // A child first seen now was absent from every earlier
-            // occurrence of this parent.
-            let min = if previously_seen > 0 { 0 } else { *n };
-            stat.child_min.insert(child.clone(), min);
-            stat.child_max.insert(child.clone(), *n);
-        } else {
-            let min = stat.child_min.entry(child.clone()).or_insert(*n);
-            *min = (*min).min(*n);
-            let max = stat.child_max.entry(child.clone()).or_insert(*n);
-            *max = (*max).max(*n);
-        }
-    }
-    // Known children absent from this occurrence drop to min 0.
-    let absent: Vec<String> = stat
-        .child_order
-        .iter()
-        .filter(|known| !counts.iter().any(|(name, _)| name == *known))
-        .cloned()
-        .collect();
-    for child in absent {
-        stat.child_min.insert(child, 0);
-    }
-    stat.occurrences += 1;
-    for child in e.child_elements() {
-        collect_stats(child, stats, decl_order);
-    }
+    let inference = lsd_infer::infer_dtd(listings).map_err(|e| e.to_string())?;
+    Ok((inference.dtd, inference.stats))
 }
 
 #[cfg(test)]

@@ -646,7 +646,11 @@ fn build_contents(tables: Vec<(String, Table)>) -> Result<SourceContents, ReadEr
         .iter()
         .map(|row| build_element(root, row, &tables, &joins, &children, &structural))
         .collect::<Result<Vec<Element>, ReadError>>()?;
-    Ok(SourceContents { dtd, listings })
+    Ok(SourceContents {
+        dtd,
+        listings,
+        inferred: None,
+    })
 }
 
 fn build_element(

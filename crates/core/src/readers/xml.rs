@@ -1,7 +1,7 @@
 //! The XML reader: the paper's native representation behind the common
 //! [`SourceReader`] trait.
 
-use super::{synthesize_dtd, ReadError, SourceContents, SourceFormat, SourceReader};
+use super::{synthesize_dtd_with_stats, ReadError, SourceContents, SourceFormat, SourceReader};
 use lsd_xml::{parse_dtd, parse_fragment, Element};
 
 enum Input {
@@ -69,7 +69,11 @@ impl SourceReader for XmlReader {
                             .map_err(|e| err(format!("listing {i} is not well-formed: {e}")))
                     })
                     .collect::<Result<Vec<Element>, ReadError>>()?;
-                Ok(SourceContents { dtd, listings })
+                Ok(SourceContents {
+                    dtd,
+                    listings,
+                    inferred: None,
+                })
             }
             Input::Container { document } => {
                 let root = parse_fragment(document)
@@ -81,8 +85,12 @@ impl SourceReader for XmlReader {
                         root.name
                     )));
                 }
-                let dtd = synthesize_dtd(&listings).map_err(err)?;
-                Ok(SourceContents { dtd, listings })
+                let (dtd, stats) = synthesize_dtd_with_stats(&listings).map_err(err)?;
+                Ok(SourceContents {
+                    dtd,
+                    listings,
+                    inferred: Some(stats),
+                })
             }
         }
     }
@@ -125,6 +133,18 @@ mod tests {
         for listing in &contents.listings {
             assert!(contents.dtd.validate(listing).is_ok());
         }
+        let stats = contents.inferred.expect("container schema is inferred");
+        assert_eq!(stats.corpus_size, 2);
+        assert_eq!(stats.element_support["home"], 2);
+    }
+
+    #[test]
+    fn native_dtd_input_is_not_marked_inferred() {
+        let reader = XmlReader::new(
+            DTD,
+            ["<home><area>Miami, FL</area><price>$70,000</price></home>"],
+        );
+        assert!(reader.read().expect("reads").inferred.is_none());
     }
 
     #[test]

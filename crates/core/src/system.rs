@@ -33,6 +33,7 @@ use lsd_constraints::{
     CompiledConstraintSet, ConstraintHandler, DomainConstraint, Evaluator, MappingResult,
     MatchingContext, SearchConfig, INFEASIBLE,
 };
+use lsd_infer::InferenceStats;
 use lsd_learn::{
     cross_validation_predictions_grouped_with, parallel_map, ExecPolicy, LabelSet, Prediction,
 };
@@ -60,6 +61,10 @@ pub struct Source {
     /// The serialization format this source was read from. Provenance
     /// only: the pipeline treats every source identically.
     pub format: SourceFormat,
+    /// Inference evidence when the schema was learned from the listings
+    /// rather than supplied (bare XML containers, JSON documents). `None`
+    /// for native DTDs and DDL-derived schemas. Provenance only.
+    pub inferred: Option<InferenceStats>,
 }
 
 impl Source {
@@ -82,11 +87,13 @@ impl Source {
             dtd,
             listings,
             format,
+            inferred: None,
         }
     }
 
     /// The one constructor for foreign serializations: runs the reader and
-    /// wraps its normalized contents.
+    /// wraps its normalized contents, carrying any schema-inference
+    /// evidence along as provenance.
     ///
     /// # Errors
     /// [`ReadError`] when the reader cannot parse its input; the error
@@ -96,12 +103,9 @@ impl Source {
         reader: &dyn SourceReader,
     ) -> Result<Self, ReadError> {
         let contents = reader.read()?;
-        Ok(Source::from_parts(
-            name,
-            contents.dtd,
-            contents.listings,
-            reader.format(),
-        ))
+        let mut source = Source::from_parts(name, contents.dtd, contents.listings, reader.format());
+        source.inferred = contents.inferred;
+        Ok(source)
     }
 }
 
@@ -116,6 +120,13 @@ pub struct SourceProvenance {
     pub format: SourceFormat,
     /// How many listings the source contributed.
     pub listings: usize,
+    /// Inference evidence when the source's schema was learned from its
+    /// listings instead of supplied: corpus size, per-element support,
+    /// generalization and fallback counts. `None` for native schemas and
+    /// for snapshots saved before this field existed. Audits use it to
+    /// flag models trained on weakly-supported inferred schemas.
+    #[serde(default)]
+    pub inferred: Option<InferenceStats>,
 }
 
 /// A training source: a source plus the user-specified 1-1 mappings from
@@ -612,6 +623,7 @@ impl Lsd {
                 source: ts.source.name.clone(),
                 format: ts.source.format,
                 listings: ts.source.listings.len(),
+                inferred: ts.source.inferred.clone(),
             })
             .collect();
     }
@@ -621,6 +633,20 @@ impl Lsd {
     /// [`Lsd::train`] (and for snapshots saved before provenance existed).
     pub fn source_provenance(&self) -> &[SourceProvenance] {
         &self.provenance
+    }
+
+    /// Learns a deterministic, 1-unambiguous DTD from raw XML instances —
+    /// the schema-inference entry point for DTD-less sources, exposed on
+    /// the facade so callers need not depend on `lsd-infer` directly.
+    /// Every returned model passes the Glushkov one-unambiguity check and
+    /// accepts every training instance; the returned
+    /// [`lsd_infer::InferenceStats`] reports corpus size, per-element
+    /// support, and how often inference generalized or fell back.
+    ///
+    /// # Errors
+    /// [`lsd_infer::InferError::EmptyCorpus`] when `instances` is empty.
+    pub fn infer_dtd(instances: &[Element]) -> Result<lsd_infer::Inference, lsd_infer::InferError> {
+        lsd_infer::infer_dtd(instances)
     }
 
     /// Extends a trained system with additional mapped sources by
@@ -700,6 +726,7 @@ impl Lsd {
                 source: ts.source.name.clone(),
                 format: ts.source.format,
                 listings: ts.source.listings.len(),
+                inferred: ts.source.inferred.clone(),
             }));
         Ok(())
     }

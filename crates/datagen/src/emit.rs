@@ -34,6 +34,20 @@ pub fn emit_xml(source: &GeneratedSource) -> (String, Vec<String>) {
     (dtd, listings)
 }
 
+/// Serializes as a *DTD-less* XML container document: one `<corpus>` root
+/// wrapping every listing, with no DOCTYPE and no schema. This is what a
+/// scraped source looks like — feed it to `XmlReader::from_document` (or
+/// `POST /v1/match` with `Content-Type: application/xml`) to exercise the
+/// `lsd-infer` schema-inference path end to end.
+pub fn emit_bare_xml(source: &GeneratedSource) -> String {
+    let mut out = String::from("<corpus>");
+    for listing in &source.listings {
+        out.push_str(&write_element(listing));
+    }
+    out.push_str("</corpus>");
+    out
+}
+
 /// Serializes as a JSON array with one object per listing. Nesting is
 /// preserved (groups become objects, leaves become string values) and keys
 /// keep document order, so `JsonReader` with the listing root as its

@@ -36,7 +36,7 @@ mod spec;
 mod values;
 mod vocab;
 
-pub use emit::{emit_csv, emit_json, emit_sql, emit_xml, leaf_columns};
+pub use emit::{emit_bare_xml, emit_csv, emit_json, emit_sql, emit_xml, leaf_columns};
 pub use engine::{GeneratedDomain, GeneratedSource};
 pub use spec::{ConceptDef, ConceptId, DomainSpec, SourceStructure, TreeNode};
 pub use values::ValueKind;

@@ -1,0 +1,156 @@
+//! CHARE-style fallback: a chain of single names with occurrence factors.
+//!
+//! When rewriting the single-occurrence automaton gets stuck (and the
+//! k-ORE escalation does not help), we try the simplest expression family
+//! that still captures most real-world content models: a sequence
+//! `a₁ᵒ¹, a₂ᵒ², …` of distinct names, each with an occurrence factor
+//! derived from observed per-sequence counts. Such a chain exists exactly
+//! when the corpus orders the names consistently: for every pair of names
+//! the relative order is the same in every sequence that contains both.
+//! Pairwise consistency also forces the occurrences of each name to be
+//! contiguous within a sequence (anything between two runs of `a` would
+//! have to be both before and after `a`), so the chain accepts every
+//! training sequence by construction — and being single-occurrence it is
+//! 1-unambiguous for free.
+
+use lsd_xml::{ContentModel, Occurrence};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Attempts the chain expression. `None` when the corpus orders names
+/// inconsistently (including interleaved repeats) — the caller then uses
+/// the catch-all `(a | b | …)*`.
+pub(crate) fn chare(seqs: &BTreeSet<Vec<String>>) -> Option<ContentModel> {
+    let names: BTreeSet<&str> = seqs.iter().flatten().map(String::as_str).collect();
+    if names.is_empty() {
+        return None;
+    }
+
+    // Per-name occurrence bounds over all sequences (0 when absent).
+    let mut min_count: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut max_count: BTreeMap<&str, usize> = BTreeMap::new();
+    // `a` observed (somewhere) before `b`.
+    let mut before: BTreeSet<(&str, &str)> = BTreeSet::new();
+
+    for seq in seqs {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for name in seq {
+            *counts.entry(name.as_str()).or_insert(0) += 1;
+        }
+        for &name in &names {
+            let c = counts.get(name).copied().unwrap_or(0);
+            let min = min_count.entry(name).or_insert(usize::MAX);
+            *min = (*min).min(c);
+            let max = max_count.entry(name).or_insert(0);
+            *max = (*max).max(c);
+        }
+        for (i, a) in seq.iter().enumerate() {
+            for b in &seq[i + 1..] {
+                if a != b {
+                    before.insert((a.as_str(), b.as_str()));
+                }
+            }
+        }
+    }
+
+    // A 2-cycle means two names appear in both orders; a longer cycle is
+    // caught by the topological sort below. Either way: no chain.
+    if before.iter().any(|&(a, b)| before.contains(&(b, a))) {
+        return None;
+    }
+
+    let order = topo_sort(&names, &before)?;
+    let mut parts: Vec<ContentModel> = order
+        .into_iter()
+        .map(|name| {
+            let occ = occurrence(min_count[name], max_count[name]);
+            ContentModel::Name(name.to_string(), occ)
+        })
+        .collect();
+    Some(if parts.len() == 1 {
+        parts.remove(0)
+    } else {
+        ContentModel::Seq(parts, Occurrence::One)
+    })
+}
+
+/// Kahn's algorithm with a lexicographic frontier, so ties between names
+/// that never co-occur are broken deterministically. `None` on a cycle.
+fn topo_sort<'a>(
+    names: &BTreeSet<&'a str>,
+    before: &BTreeSet<(&'a str, &'a str)>,
+) -> Option<Vec<&'a str>> {
+    let mut indegree: BTreeMap<&str, usize> = names.iter().map(|&n| (n, 0)).collect();
+    for &(_, b) in before {
+        *indegree.entry(b).or_insert(0) += 1;
+    }
+    let mut frontier: BTreeSet<&str> = indegree
+        .iter()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    let mut order = Vec::with_capacity(names.len());
+    while let Some(&next) = frontier.iter().next() {
+        frontier.remove(next);
+        order.push(next);
+        for &(a, b) in before {
+            if a == next {
+                let d = indegree.entry(b).or_insert(0);
+                *d -= 1;
+                if *d == 0 {
+                    frontier.insert(b);
+                }
+            }
+        }
+    }
+    (order.len() == names.len()).then_some(order)
+}
+
+/// Maps observed per-sequence bounds to a DTD occurrence factor.
+fn occurrence(min: usize, max: usize) -> Occurrence {
+    match (min, max) {
+        (0, 1) => Occurrence::Optional,
+        (0, _) => Occurrence::ZeroOrMore,
+        (_, 1) => Occurrence::One,
+        _ => Occurrence::OneOrMore,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(rows: &[&[&str]]) -> BTreeSet<Vec<String>> {
+        rows.iter()
+            .map(|row| row.iter().map(|s| s.to_string()).collect())
+            .collect()
+    }
+
+    fn render(rows: &[&[&str]]) -> Option<String> {
+        chare(&seqs(rows)).map(|m| m.to_dtd_syntax())
+    }
+
+    #[test]
+    fn consistent_order_yields_a_chain() {
+        assert_eq!(
+            render(&[&["a", "b", "b", "c"], &["a", "c"], &["a", "b", "c"]]).as_deref(),
+            Some("(a, b*, c)")
+        );
+    }
+
+    #[test]
+    fn names_that_never_cooccur_are_ordered_lexicographically() {
+        assert_eq!(render(&[&["b"], &["a"]]).as_deref(), Some("(a?, b?)"));
+    }
+
+    #[test]
+    fn inconsistent_order_is_rejected() {
+        assert_eq!(render(&[&["a", "b"], &["b", "a"]]), None);
+        // Interleaved repeats imply a 2-cycle through the interleaver.
+        assert_eq!(render(&[&["a", "b", "a"]]), None);
+    }
+
+    #[test]
+    fn single_name_is_not_wrapped_in_a_sequence() {
+        assert_eq!(render(&[&["a", "a"], &["a"]]).as_deref(), Some("a+"));
+    }
+}

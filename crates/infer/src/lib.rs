@@ -1,0 +1,457 @@
+//! # lsd-infer
+//!
+//! Deterministic DTD inference from raw, DTD-less XML instances.
+//!
+//! The paper's pipeline assumes every source ships a DTD; scraped data
+//! almost never does. This crate learns one from positive examples alone,
+//! following the program of Bex–Gelade–Neven–Vansummeren ("Learning
+//! Deterministic Regular Expressions for the Inference of Schemas from
+//! XML Data"): per element name, the observed child sequences are
+//! aggregated into a **single-occurrence automaton** (2T-INF style), which
+//! rewrite rules reduce to a **SORE** — a single-occurrence regular
+//! expression, 1-unambiguous by construction. Elements whose children
+//! interleave repeats (no SORE exists) escalate to **k-occurrence
+//! marking** (k = 2): occurrences are distinguished, the marked automaton
+//! is rewritten, and the marks are stripped — the result is kept only if
+//! it passes the Glushkov 1-unambiguity check and accepts the corpus.
+//! When that fails too, a **CHARE-style chain** of names with occurrence
+//! factors is tried, and finally the catch-all `(a | b | …)*`, both of
+//! which are deterministic and accept the corpus trivially.
+//!
+//! Two invariants hold for every inferred model, enforced by
+//! verification against [`lsd_analysis::GlushkovAutomaton`]:
+//!
+//! 1. it is 1-unambiguous (zero `LSD001` findings), and
+//! 2. it accepts every training instance.
+//!
+//! Inference is **deterministic**: all intermediate state is kept in
+//! ordered containers keyed by element name, sequences are deduplicated
+//! into sets, and nothing depends on instance order or thread count — the
+//! same corpus always yields a byte-identical DTD.
+//!
+//! ```
+//! use lsd_infer::infer_dtd;
+//! use lsd_xml::parse_document;
+//!
+//! let docs = [
+//!     "<house><area>Miami</area><price>$70,000</price></house>",
+//!     "<house><area>Kent</area></house>",
+//! ];
+//! let instances: Vec<_> = docs
+//!     .iter()
+//!     .map(|d| parse_document(d).unwrap().root)
+//!     .collect();
+//! let inferred = infer_dtd(&instances).unwrap();
+//! assert!(inferred.dtd.to_dtd_syntax().contains("(area, price?)"));
+//! assert_eq!(inferred.stats.corpus_size, 2);
+//! ```
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+mod chare;
+mod soa;
+
+use lsd_analysis::GlushkovAutomaton;
+use lsd_xml::{AttDef, AttlistDecl, ContentModel, Dtd, Element, ElementDecl, Occurrence, Span};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Separator between a name and its occurrence index during k-ORE
+/// marking; cannot appear in a parsed XML name.
+const MARK: char = '\u{1}';
+
+/// How a content model was obtained, from strongest to weakest evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Method {
+    /// Single-occurrence rewriting succeeded directly.
+    Sore,
+    /// Needed k-occurrence marking (children repeat).
+    KOre,
+    /// Rewriting failed; CHARE chain or catch-all.
+    Fallback,
+}
+
+/// Aggregate statistics of one inference run. Recorded as provenance on
+/// trained models (`SourceProvenance::inferred`) so `lsd-audit` can flag
+/// snapshots built on weakly-evidenced schemas.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InferenceStats {
+    /// Number of training instances.
+    pub corpus_size: usize,
+    /// Declared elements in the inferred DTD.
+    pub elements: usize,
+    /// Total single-occurrence-automaton edges across all elements
+    /// (including the virtual source/sink edges).
+    pub edges: usize,
+    /// Rewrite steps that introduced a generalizing operator
+    /// (`?`/`*`/`+`), plus one per k-ORE escalation.
+    pub generalizations: usize,
+    /// Elements whose content model came from the CHARE chain or the
+    /// catch-all rather than (k-)SORE rewriting.
+    pub fallbacks: usize,
+    /// Observed occurrences per element name — the evidence behind each
+    /// declaration.
+    pub element_support: BTreeMap<String, usize>,
+}
+
+/// A successful inference: the learned DTD and how it was earned.
+#[derive(Debug, Clone)]
+pub struct Inference {
+    /// The inferred schema: 1-unambiguous, accepting every training
+    /// instance.
+    pub dtd: Dtd,
+    /// Corpus and per-element evidence.
+    pub stats: InferenceStats,
+}
+
+/// Why inference could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferError {
+    /// No instances were supplied — there is nothing to learn from.
+    EmptyCorpus,
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::EmptyCorpus => write!(f, "cannot infer a DTD from an empty corpus"),
+        }
+    }
+}
+
+impl std::error::Error for InferError {}
+
+/// Per-element evidence aggregated over the corpus.
+#[derive(Default)]
+struct Facts {
+    support: usize,
+    /// Distinct observed child-name sequences. A *set*, so inference is
+    /// independent of instance order and multiplicity.
+    seqs: BTreeSet<Vec<String>>,
+    has_text: bool,
+    attrs: BTreeSet<String>,
+}
+
+/// Learns a deterministic DTD from raw XML instances.
+///
+/// Every instance contributes evidence for each element it contains:
+/// child sequences, text presence, attribute names. Instances may use
+/// different root elements; roots are declared first (so
+/// [`Dtd::root_name`] resolves to them), remaining elements follow in
+/// lexicographic order.
+///
+/// # Errors
+/// [`InferError::EmptyCorpus`] when `instances` is empty.
+pub fn infer_dtd(instances: &[Element]) -> Result<Inference, InferError> {
+    let _span = lsd_obs::span!("infer.dtd");
+    if instances.is_empty() {
+        return Err(InferError::EmptyCorpus);
+    }
+
+    let mut roots: BTreeSet<String> = BTreeSet::new();
+    let mut facts: BTreeMap<String, Facts> = BTreeMap::new();
+    for instance in instances {
+        roots.insert(instance.name.clone());
+        instance.visit(&mut |e| {
+            let f = facts.entry(e.name.clone()).or_default();
+            f.support += 1;
+            f.seqs
+                .insert(e.child_elements().map(|c| c.name.clone()).collect());
+            f.has_text |= !e.direct_text().is_empty();
+            f.attrs.extend(e.attributes.iter().map(|(k, _)| k.clone()));
+        });
+    }
+
+    let ordered: Vec<String> = roots
+        .iter()
+        .cloned()
+        .chain(facts.keys().filter(|k| !roots.contains(*k)).cloned())
+        .collect();
+
+    let mut stats = InferenceStats {
+        corpus_size: instances.len(),
+        ..InferenceStats::default()
+    };
+    let mut decls = Vec::with_capacity(ordered.len());
+    let mut attlists = Vec::new();
+    for name in &ordered {
+        let f = &facts[name];
+        let model = infer_content(f, &mut stats);
+        decls.push(ElementDecl::new(name.clone(), model));
+        if !f.attrs.is_empty() {
+            attlists.push(AttlistDecl {
+                element: name.clone(),
+                attrs: f
+                    .attrs
+                    .iter()
+                    .map(|a| AttDef {
+                        name: a.clone(),
+                        span: Span::SYNTHETIC,
+                    })
+                    .collect(),
+                span: Span::SYNTHETIC,
+            });
+        }
+        stats.element_support.insert(name.clone(), f.support);
+    }
+    stats.elements = decls.len();
+
+    lsd_obs::counter_add("infer.elements", "", stats.elements as u64);
+    lsd_obs::counter_add("infer.generalizations", "", stats.generalizations as u64);
+    lsd_obs::counter_add("infer.fallbacks", "", stats.fallbacks as u64);
+
+    let dtd = Dtd::with_attlists(decls, attlists)
+        .expect("inferred declarations are unique by construction");
+    Ok(Inference { dtd, stats })
+}
+
+/// Infers one element's content model from its aggregated evidence.
+fn infer_content(f: &Facts, stats: &mut InferenceStats) -> ContentModel {
+    let all_empty = f.seqs.iter().all(Vec::is_empty);
+    if all_empty {
+        // Leaf element: text content (or nothing — `(#PCDATA)` accepts
+        // the empty string too).
+        return ContentModel::Pcdata;
+    }
+    let names: BTreeSet<&str> = f.seqs.iter().flatten().map(String::as_str).collect();
+    if f.has_text {
+        // Text alongside child elements: the only DTD shape is mixed
+        // content, `(#PCDATA | a | b)*`.
+        return ContentModel::Mixed(names.iter().map(|n| n.to_string()).collect());
+    }
+
+    stats.edges += soa::Soa::build(&f.seqs).edge_count();
+    let (model, method) = infer_element_only(&f.seqs, stats);
+    if method == Method::Fallback {
+        stats.fallbacks += 1;
+    }
+    model
+}
+
+/// The element-only pipeline: SORE → k-ORE (k = 2) → CHARE → catch-all.
+fn infer_element_only(
+    seqs: &BTreeSet<Vec<String>>,
+    stats: &mut InferenceStats,
+) -> (ContentModel, Method) {
+    if let Some(out) = soa::rewrite(soa::Soa::build(seqs)) {
+        if verified(&out.model, seqs) {
+            stats.generalizations += out.generalizations;
+            return (out.model, Method::Sore);
+        }
+    }
+
+    let has_repeats = seqs.iter().any(|seq| {
+        let mut seen = BTreeSet::new();
+        seq.iter().any(|name| !seen.insert(name))
+    });
+    if has_repeats {
+        if let Some(out) = soa::rewrite(soa::Soa::build(&mark_sequences(seqs, 2))) {
+            let model = unmark(out.model);
+            // Stripping marks can reintroduce ambiguity, so the escaped
+            // result only stands if it verifies against the *unmarked*
+            // corpus.
+            if verified(&model, seqs) {
+                stats.generalizations += out.generalizations + 1;
+                return (model, Method::KOre);
+            }
+        }
+    }
+
+    if let Some(model) = chare::chare(seqs) {
+        if verified(&model, seqs) {
+            return (model, Method::Fallback);
+        }
+    }
+    (catch_all(seqs), Method::Fallback)
+}
+
+/// `(a | b | …)*` over the distinct observed names: deterministic (every
+/// name occurs once) and accepting any child sequence over the alphabet.
+fn catch_all(seqs: &BTreeSet<Vec<String>>) -> ContentModel {
+    let names: BTreeSet<&str> = seqs.iter().flatten().map(String::as_str).collect();
+    if let [name] = names.iter().copied().collect::<Vec<_>>()[..] {
+        return ContentModel::Name(name.to_string(), Occurrence::ZeroOrMore);
+    }
+    let parts: Vec<ContentModel> = names
+        .iter()
+        .map(|n| ContentModel::Name(n.to_string(), Occurrence::One))
+        .collect();
+    ContentModel::Choice(parts, Occurrence::ZeroOrMore)
+}
+
+/// Both inference invariants at once: 1-unambiguous and accepting every
+/// training sequence.
+fn verified(model: &ContentModel, seqs: &BTreeSet<Vec<String>>) -> bool {
+    let auto = GlushkovAutomaton::from_model(model);
+    if auto.ambiguity().is_some() {
+        return false;
+    }
+    seqs.iter().all(|seq| {
+        let names: Vec<&str> = seq.iter().map(String::as_str).collect();
+        auto.accepts(&names)
+    })
+}
+
+/// k-ORE occurrence marking: the i-th occurrence of a name within a
+/// sequence is renamed `name␁min(i, k)`, so repeats up to `k` get their
+/// own automaton states while further repeats share the k-th (adjacent
+/// extras become a self-loop, i.e. a `+`).
+fn mark_sequences(seqs: &BTreeSet<Vec<String>>, k: usize) -> BTreeSet<Vec<String>> {
+    seqs.iter()
+        .map(|seq| {
+            let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+            seq.iter()
+                .map(|name| {
+                    let c = counts.entry(name.as_str()).or_insert(0);
+                    *c += 1;
+                    format!("{name}{MARK}{}", (*c).min(k))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Strips k-ORE marks from an extracted expression.
+fn unmark(model: ContentModel) -> ContentModel {
+    match model {
+        ContentModel::Name(n, occ) => {
+            let base = match n.find(MARK) {
+                Some(i) => n[..i].to_string(),
+                None => n,
+            };
+            ContentModel::Name(base, occ)
+        }
+        ContentModel::Seq(parts, occ) => {
+            ContentModel::Seq(parts.into_iter().map(unmark).collect(), occ)
+        }
+        ContentModel::Choice(parts, occ) => {
+            ContentModel::Choice(parts.into_iter().map(unmark).collect(), occ)
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsd_xml::parse_document;
+
+    fn instances(docs: &[&str]) -> Vec<Element> {
+        docs.iter()
+            .map(|d| parse_document(d).expect("test doc parses").root)
+            .collect()
+    }
+
+    fn infer(docs: &[&str]) -> Inference {
+        infer_dtd(&instances(docs)).expect("inference succeeds")
+    }
+
+    #[test]
+    fn empty_corpus_is_an_error() {
+        assert_eq!(infer_dtd(&[]).unwrap_err(), InferError::EmptyCorpus);
+    }
+
+    #[test]
+    fn learns_nested_structure_with_occurrences() {
+        let inferred = infer(&[
+            "<l><addr>x</addr><ph>1</ph><ph>2</ph><agent><name>n</name></agent></l>",
+            "<l><addr>y</addr><agent><name>m</name></agent></l>",
+        ]);
+        let text = inferred.dtd.to_dtd_syntax();
+        assert!(text.contains("<!ELEMENT l (addr, ph*, agent)>"), "{text}");
+        assert!(text.contains("<!ELEMENT agent (name)>"), "{text}");
+        assert!(text.contains("<!ELEMENT addr (#PCDATA)>"), "{text}");
+        for instance in instances(&[
+            "<l><addr>x</addr><ph>1</ph><ph>2</ph><agent><name>n</name></agent></l>",
+            "<l><addr>y</addr><agent><name>m</name></agent></l>",
+        ]) {
+            inferred.dtd.validate(&instance).expect("training accepted");
+        }
+    }
+
+    #[test]
+    fn interleaved_repeats_escalate_to_k_ore() {
+        // a b a has no SORE; the 2-ORE pipeline learns (a, b, a) — still
+        // deterministic, still accepting the corpus.
+        let inferred = infer(&["<r><a/><b/><a/></r>"]);
+        let decl = inferred.dtd.decl("r").expect("r declared");
+        assert_eq!(decl.content.to_dtd_syntax(), "(a, b, a)");
+        assert_eq!(inferred.stats.fallbacks, 0);
+        inferred
+            .dtd
+            .validate(&instances(&["<r><a/><b/><a/></r>"])[0])
+            .expect("training accepted");
+    }
+
+    #[test]
+    fn inconsistent_orders_fall_back_to_catch_all() {
+        let docs = ["<r><a/><b/></r>", "<r><b/><a/></r>"];
+        let inferred = infer(&docs);
+        let decl = inferred.dtd.decl("r").expect("r declared");
+        assert_eq!(decl.content.to_dtd_syntax(), "(a | b)*");
+        assert_eq!(inferred.stats.fallbacks, 1);
+        for instance in instances(&docs) {
+            inferred.dtd.validate(&instance).expect("training accepted");
+        }
+    }
+
+    #[test]
+    fn mixed_content_and_attributes_are_detected() {
+        let inferred = infer(&["<p lang=\"en\">hello <b>world</b></p>"]);
+        let text = inferred.dtd.to_dtd_syntax();
+        assert!(text.contains("<!ELEMENT p (#PCDATA | b)*>"), "{text}");
+        let attlist = &inferred.dtd.attlists()[0];
+        assert_eq!(attlist.element, "p");
+        assert_eq!(attlist.attrs[0].name, "lang");
+    }
+
+    #[test]
+    fn stats_record_support_and_corpus_size() {
+        let inferred = infer(&["<r><a/></r>", "<r><a/><a/></r>"]);
+        assert_eq!(inferred.stats.corpus_size, 2);
+        assert_eq!(inferred.stats.element_support["r"], 2);
+        assert_eq!(inferred.stats.element_support["a"], 3);
+        assert_eq!(inferred.stats.elements, 2);
+        assert!(inferred.stats.edges > 0);
+    }
+
+    #[test]
+    fn inference_is_independent_of_instance_order() {
+        let docs = [
+            "<r><a/><b/><b/></r>",
+            "<r><a/></r>",
+            "<r><a/><c/></r>",
+            "<r><b/></r>",
+        ];
+        let forward = infer(&docs).dtd.to_dtd_syntax();
+        let mut reversed: Vec<&str> = docs.to_vec();
+        reversed.reverse();
+        let backward = infer(&reversed).dtd.to_dtd_syntax();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn every_inferred_model_is_one_unambiguous() {
+        let inferred = infer(&[
+            "<r><a/><b/><a/><c/></r>",
+            "<r><c/><a/></r>",
+            "<r><a/><a/><a/></r>",
+        ]);
+        for decl in inferred.dtd.declarations() {
+            assert_eq!(
+                lsd_analysis::check_one_unambiguous(&decl.content),
+                None,
+                "{}",
+                decl.name
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_roots_are_all_declared_first() {
+        let inferred = infer(&["<x><k/></x>", "<y><k/></y>"]);
+        let names: Vec<&str> = inferred.dtd.element_names().collect();
+        assert_eq!(names, ["x", "y", "k"]);
+    }
+}

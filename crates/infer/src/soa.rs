@@ -1,0 +1,363 @@
+//! Single-occurrence automata and the rewrite rules that turn them into
+//! deterministic regular expressions.
+//!
+//! The construction is 2T-INF style (Garcia & Vidal, as used by
+//! Bex–Gelade–Neven–Vansummeren for XML schema inference): the automaton
+//! has one node per distinct child name plus virtual source and sink
+//! nodes, and an edge `a → b` whenever `b` immediately follows `a` in some
+//! observed child sequence. By construction the automaton accepts every
+//! training sequence; every rewrite rule below is an *exact* rewriting of
+//! the automaton's language, so the extracted expression accepts the
+//! automaton's language — a superset of the corpus — and, being
+//! single-occurrence, is 1-unambiguous for free.
+
+use lsd_xml::{ContentModel, Occurrence};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Virtual source node id (start of every sequence).
+const SRC: usize = 0;
+/// Virtual sink node id (end of every sequence).
+const SNK: usize = 1;
+
+/// A single-occurrence automaton whose non-virtual nodes carry regular
+/// expressions (initially single names; rewriting folds them together).
+pub(crate) struct Soa {
+    /// `terms[n]` — the expression at node `n`; `None` for src/snk.
+    terms: Vec<Option<ContentModel>>,
+    succ: Vec<BTreeSet<usize>>,
+    pred: Vec<BTreeSet<usize>>,
+    alive: Vec<bool>,
+}
+
+/// A successful rewrite: the extracted expression and how many
+/// generalizing operators (`?`, `*`, `+`) the rules introduced.
+pub(crate) struct RewriteOutcome {
+    pub model: ContentModel,
+    pub generalizations: usize,
+}
+
+impl Soa {
+    /// Builds the automaton for a set of observed child sequences. Node
+    /// ids are assigned in lexicographic name order, so the automaton —
+    /// and everything extracted from it — is independent of instance
+    /// order.
+    pub fn build(seqs: &BTreeSet<Vec<String>>) -> Soa {
+        let names: BTreeSet<&str> = seqs.iter().flatten().map(String::as_str).collect();
+        let ids: BTreeMap<&str, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, &name)| (name, i + 2))
+            .collect();
+        let n = ids.len() + 2;
+        let mut soa = Soa {
+            terms: vec![None; n],
+            succ: vec![BTreeSet::new(); n],
+            pred: vec![BTreeSet::new(); n],
+            alive: vec![true; n],
+        };
+        for (&name, &id) in &ids {
+            soa.terms[id] = Some(ContentModel::Name(name.to_string(), Occurrence::One));
+        }
+        for seq in seqs {
+            match seq.first() {
+                None => soa.add_edge(SRC, SNK),
+                Some(first) => {
+                    soa.add_edge(SRC, ids[first.as_str()]);
+                    for pair in seq.windows(2) {
+                        soa.add_edge(ids[pair[0].as_str()], ids[pair[1].as_str()]);
+                    }
+                    if let Some(last) = seq.last() {
+                        soa.add_edge(ids[last.as_str()], SNK);
+                    }
+                }
+            }
+        }
+        soa
+    }
+
+    /// Total number of edges (including the virtual src/snk edges).
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(BTreeSet::len).sum()
+    }
+
+    fn add_edge(&mut self, a: usize, b: usize) {
+        self.succ[a].insert(b);
+        self.pred[b].insert(a);
+    }
+
+    fn remove_edge(&mut self, a: usize, b: usize) {
+        self.succ[a].remove(&b);
+        self.pred[b].remove(&a);
+    }
+
+    fn remove_node(&mut self, n: usize) {
+        for s in self.succ[n].clone() {
+            self.pred[s].remove(&n);
+        }
+        for p in self.pred[n].clone() {
+            self.succ[p].remove(&n);
+        }
+        self.succ[n].clear();
+        self.pred[n].clear();
+        self.alive[n] = false;
+    }
+
+    /// Alive expression-carrying nodes, in ascending id order.
+    fn expr_nodes(&self) -> Vec<usize> {
+        (2..self.terms.len()).filter(|&n| self.alive[n]).collect()
+    }
+
+    /// The automaton is fully reduced when exactly one expression node
+    /// remains and the only edges are `src → r → snk`.
+    fn finished(&self) -> Option<ContentModel> {
+        let nodes = self.expr_nodes();
+        if let [r] = nodes[..] {
+            let src_ok = self.succ[SRC].len() == 1 && self.succ[SRC].contains(&r);
+            let snk_ok = self.succ[r].len() == 1 && self.succ[r].contains(&SNK);
+            if src_ok && snk_ok && self.pred[r].len() == 1 {
+                return self.terms[r].clone();
+            }
+        }
+        None
+    }
+
+    /// `r → r` becomes `r+`.
+    fn rule_self_loop(&mut self, generalizations: &mut usize) -> bool {
+        for r in self.expr_nodes() {
+            if self.succ[r].contains(&r) {
+                self.remove_edge(r, r);
+                self.terms[r] = self.terms[r].take().map(plus);
+                *generalizations += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Nodes with identical predecessor and successor sets become one
+    /// choice node. Identical signatures rule out edges among the merged
+    /// nodes (an internal edge would put one member in the other's
+    /// predecessor set but not in its own, since self-loops are gone).
+    fn rule_disjunction(&mut self) -> bool {
+        let mut groups: BTreeMap<(Vec<usize>, Vec<usize>), Vec<usize>> = BTreeMap::new();
+        for r in self.expr_nodes() {
+            let key = (
+                self.pred[r].iter().copied().collect(),
+                self.succ[r].iter().copied().collect(),
+            );
+            groups.entry(key).or_default().push(r);
+        }
+        for members in groups.into_values() {
+            if members.len() < 2 {
+                continue;
+            }
+            let keep = members[0];
+            let parts: Vec<ContentModel> = members
+                .iter()
+                .filter_map(|&m| self.terms[m].clone())
+                .collect();
+            self.terms[keep] = Some(choice(parts));
+            for &m in &members[1..] {
+                self.remove_node(m);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// `r1 → r2` where `r2` is `r1`'s only successor and `r1` is `r2`'s
+    /// only predecessor becomes one sequence node.
+    fn rule_concatenation(&mut self) -> bool {
+        for r1 in self.expr_nodes() {
+            let Some(&r2) = self.succ[r1].iter().next() else {
+                continue;
+            };
+            if self.succ[r1].len() != 1 || r2 == SNK || r2 == r1 {
+                continue;
+            }
+            if self.pred[r2].len() != 1 {
+                continue;
+            }
+            let followers: Vec<usize> = self.succ[r2].iter().copied().collect();
+            let (left, right) = (self.terms[r1].take(), self.terms[r2].take());
+            self.terms[r1] = match (left, right) {
+                (Some(l), Some(r)) => Some(seq(l, r)),
+                _ => None,
+            };
+            self.remove_node(r2);
+            for s in followers {
+                self.add_edge(r1, s);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// When every predecessor of `r` also connects directly to every
+    /// successor of `r`, those bypass edges encode exactly "skip `r`":
+    /// delete them and make `r` optional.
+    fn rule_optional(&mut self, generalizations: &mut usize) -> bool {
+        for r in self.expr_nodes() {
+            let preds: Vec<usize> = self.pred[r].iter().copied().collect();
+            let succs: Vec<usize> = self.succ[r].iter().copied().collect();
+            if preds.is_empty() || succs.is_empty() {
+                continue;
+            }
+            let bypassed = preds
+                .iter()
+                .all(|&p| succs.iter().all(|&s| self.succ[p].contains(&s)));
+            if !bypassed {
+                continue;
+            }
+            for &p in &preds {
+                for &s in &succs {
+                    self.remove_edge(p, s);
+                }
+            }
+            self.terms[r] = self.terms[r].take().map(optional);
+            *generalizations += 1;
+            return true;
+        }
+        false
+    }
+}
+
+/// Exhaustively applies the rewrite rules in a fixed priority order
+/// (self-loop, disjunction, concatenation, optional — restarting after
+/// every application). Returns `None` when the automaton has no
+/// single-occurrence expression, i.e. no rule applies before full
+/// reduction; callers then escalate to occurrence marking or fall back.
+pub(crate) fn rewrite(mut soa: Soa) -> Option<RewriteOutcome> {
+    let mut generalizations = 0;
+    loop {
+        if let Some(model) = soa.finished() {
+            return Some(RewriteOutcome {
+                model,
+                generalizations,
+            });
+        }
+        if soa.rule_self_loop(&mut generalizations) {
+            continue;
+        }
+        if soa.rule_disjunction() {
+            continue;
+        }
+        if soa.rule_concatenation() {
+            continue;
+        }
+        if soa.rule_optional(&mut generalizations) {
+            continue;
+        }
+        return None;
+    }
+}
+
+/// `r+`, folding the occurrence algebra (`(r?)+` = `r*`, `(r*)+` = `r*`).
+fn plus(model: ContentModel) -> ContentModel {
+    with_occurrence(model, |occ| match occ {
+        Occurrence::One | Occurrence::OneOrMore => Occurrence::OneOrMore,
+        Occurrence::Optional | Occurrence::ZeroOrMore => Occurrence::ZeroOrMore,
+    })
+}
+
+/// `r?`, folding the occurrence algebra (`(r+)?` = `r*`).
+fn optional(model: ContentModel) -> ContentModel {
+    with_occurrence(model, |occ| match occ {
+        Occurrence::One | Occurrence::Optional => Occurrence::Optional,
+        Occurrence::ZeroOrMore | Occurrence::OneOrMore => Occurrence::ZeroOrMore,
+    })
+}
+
+fn with_occurrence(model: ContentModel, f: impl Fn(Occurrence) -> Occurrence) -> ContentModel {
+    match model {
+        ContentModel::Name(n, occ) => ContentModel::Name(n, f(occ)),
+        ContentModel::Seq(parts, occ) => ContentModel::Seq(parts, f(occ)),
+        ContentModel::Choice(parts, occ) => ContentModel::Choice(parts, f(occ)),
+        // Src/snk never carry these and rewriting never produces them.
+        other => other,
+    }
+}
+
+/// `l, r` — flattening nested once-occurring sequences so extracted models
+/// render as `(a, b, c)` rather than `(a, (b, c))`.
+fn seq(l: ContentModel, r: ContentModel) -> ContentModel {
+    let mut parts = Vec::new();
+    for m in [l, r] {
+        match m {
+            ContentModel::Seq(inner, Occurrence::One) => parts.extend(inner),
+            other => parts.push(other),
+        }
+    }
+    ContentModel::Seq(parts, Occurrence::One)
+}
+
+/// `a | b | ...` — flattening nested once-occurring choices.
+fn choice(members: Vec<ContentModel>) -> ContentModel {
+    let mut parts = Vec::new();
+    for m in members {
+        match m {
+            ContentModel::Choice(inner, Occurrence::One) => parts.extend(inner),
+            other => parts.push(other),
+        }
+    }
+    ContentModel::Choice(parts, Occurrence::One)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(rows: &[&[&str]]) -> BTreeSet<Vec<String>> {
+        rows.iter()
+            .map(|row| row.iter().map(|s| s.to_string()).collect())
+            .collect()
+    }
+
+    fn extract(rows: &[&[&str]]) -> Option<String> {
+        rewrite(Soa::build(&seqs(rows))).map(|out| out.model.to_dtd_syntax())
+    }
+
+    #[test]
+    fn chain_reduces_to_sequence() {
+        assert_eq!(extract(&[&["a", "b", "c"]]).as_deref(), Some("(a, b, c)"));
+    }
+
+    #[test]
+    fn missing_middle_becomes_optional() {
+        assert_eq!(
+            extract(&[&["a", "b", "c"], &["a", "c"]]).as_deref(),
+            Some("(a, b?, c)")
+        );
+    }
+
+    #[test]
+    fn repeats_become_plus_and_star() {
+        assert_eq!(
+            extract(&[&["a", "b", "b"], &["a"]]).as_deref(),
+            Some("(a, b*)")
+        );
+        assert_eq!(extract(&[&["a", "a"], &["a"]]).as_deref(), Some("a+"));
+    }
+
+    #[test]
+    fn alternatives_become_choice() {
+        assert_eq!(
+            extract(&[&["a", "b"], &["a", "c"]]).as_deref(),
+            Some("(a, (b | c))")
+        );
+        assert_eq!(extract(&[&["a"], &["b"], &[]]).as_deref(), Some("(a | b)?"));
+    }
+
+    #[test]
+    fn interleaved_repeat_is_not_single_occurrence() {
+        // `a b a` needs two `a` positions: no SORE exists, rewrite reports
+        // failure instead of guessing.
+        assert_eq!(extract(&[&["a", "b", "a"]]), None);
+    }
+
+    #[test]
+    fn edge_count_counts_virtual_edges() {
+        // src→a, a→b, b→snk
+        assert_eq!(Soa::build(&seqs(&[&["a", "b"]])).edge_count(), 3);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the inference invariants: for arbitrary datagen
+//! corpora the inferred DTD (a) accepts every training instance, (b)
+//! passes the static schema lints with zero errors, and (c) is stable —
+//! byte-identical regardless of instance order and `LSD_THREADS`.
+
+use lsd_datagen::DomainId;
+use lsd_infer::infer_dtd;
+use lsd_xml::Element;
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_domain() -> impl Strategy<Value = DomainId> {
+    prop_oneof![
+        Just(DomainId::RealEstate1),
+        Just(DomainId::TimeSchedule),
+        Just(DomainId::FacultyListings),
+        Just(DomainId::RealEstate2),
+    ]
+}
+
+/// The DTD-less corpora of one generated domain: each source's listings,
+/// with the source DTD deliberately thrown away.
+fn corpora(id: DomainId, listings: usize, seed: u64) -> Vec<Vec<Element>> {
+    id.generate(listings, seed)
+        .sources
+        .into_iter()
+        .map(|s| s.listings)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Invariant (a): the inferred DTD accepts 100% of its training
+    /// instances, and (b): it is clean under the static schema lints —
+    /// in particular every content model passes the Glushkov
+    /// 1-unambiguity check.
+    #[test]
+    fn inferred_dtds_accept_their_corpus_and_lint_clean(
+        id in arb_domain(),
+        listings in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        for corpus in corpora(id, listings, seed) {
+            let inferred = infer_dtd(&corpus).expect("non-empty corpus infers");
+            for instance in &corpus {
+                inferred.dtd.validate(instance).map_err(|e| {
+                    TestCaseError::fail(format!("training instance rejected: {e}"))
+                })?;
+            }
+            let diagnostics = lsd_analysis::analyze_dtd(&inferred.dtd);
+            prop_assert!(
+                !lsd_analysis::has_errors(&diagnostics),
+                "inferred DTD has lint errors: {:?}",
+                diagnostics
+            );
+            prop_assert_eq!(inferred.stats.corpus_size, corpus.len());
+            prop_assert!(inferred.stats.elements > 0);
+        }
+    }
+
+    /// Invariant (c): inference is a pure function of the corpus *set* —
+    /// shuffling instance order yields a byte-identical DTD.
+    #[test]
+    fn inference_is_stable_under_instance_order(
+        id in arb_domain(),
+        seed in any::<u64>(),
+        shuffle_seed in any::<u64>(),
+    ) {
+        for corpus in corpora(id, 4, seed) {
+            let reference = infer_dtd(&corpus).expect("infers").dtd.to_dtd_syntax();
+            let mut shuffled = corpus.clone();
+            shuffled.shuffle(&mut ChaCha8Rng::seed_from_u64(shuffle_seed));
+            let reshuffled = infer_dtd(&shuffled).expect("infers").dtd.to_dtd_syntax();
+            prop_assert_eq!(&reference, &reshuffled);
+        }
+    }
+}
+
+/// Invariant (c), thread axis: `LSD_THREADS` (the knob that fans out the
+/// matching engine) must not leak into inference. Inference is
+/// single-threaded by construction; this pins that contract. Runs as one
+/// sequential test because it mutates process environment.
+#[test]
+fn inference_is_stable_under_lsd_threads() {
+    let corpus = &corpora(DomainId::RealEstate1, 5, 7)[0];
+    let mut renderings = Vec::new();
+    for threads in ["1", "4", "0"] {
+        std::env::set_var("LSD_THREADS", threads);
+        renderings.push(infer_dtd(corpus).expect("infers").dtd.to_dtd_syntax());
+    }
+    std::env::remove_var("LSD_THREADS");
+    assert_eq!(renderings[0], renderings[1]);
+    assert_eq!(renderings[1], renderings[2]);
+}

@@ -557,6 +557,51 @@ fn match_negotiates_json_csv_sql_and_xml_bodies() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn bare_dtd_less_xml_infers_a_schema_and_returns_a_mapping() {
+    let dir = model_dir("bareinfer");
+    model_a().save_json(dir.join("m.json")).expect("saves");
+    let (handle, join) = boot(&dir, ServeConfig::default());
+    let addr = handle.addr();
+
+    // No DOCTYPE, no DTD anywhere: the schema must be inferred from the
+    // instances. The second listing drops <comments> so inference has to
+    // generalize (comments becomes optional) rather than memorize.
+    let body = "<homes>\
+        <home><location>Raleigh, NC</location>\
+        <comments>Corner lot with big trees</comments>\
+        <contact>(919) 222 3333</contact></home>\
+        <home><location>Tampa, FL</location>\
+        <contact>(813) 444 5555</contact></home></homes>";
+    let response = http(
+        addr,
+        "POST",
+        "/v1/match",
+        &[
+            ("Content-Type", "application/xml"),
+            ("X-Lsd-Source", "bare"),
+        ],
+        body.as_bytes(),
+    );
+    assert_eq!(response.status, 200, "body: {}", response.text());
+    let text = response.text();
+    assert!(text.contains("\"mapping\""), "{text}");
+    for pair in ["\"location\":\"ADDRESS\"", "\"contact\":\"PHONE\""] {
+        assert!(text.contains(pair), "missing {pair}: {text}");
+    }
+
+    // The inference pass shows up in /metrics: elements were learned for
+    // this request, and the optional <comments> counts as a
+    // generalization.
+    let metrics = http(addr, "GET", "/metrics", &[], b"").text();
+    assert!(metrics.contains("infer_elements"), "{metrics}");
+    assert!(metrics.contains("infer_generalizations"), "{metrics}");
+
+    handle.shutdown();
+    join.join().expect("server exits");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Pulls the trace id out of a `00-{trace}-{span}-{flags}` traceparent.
 fn traceparent_parts(header: &str) -> (String, String) {
     let parts: Vec<&str> = header.split('-').collect();

@@ -190,6 +190,60 @@ fn warning_only_findings_do_not_reject_under_strict() {
 }
 
 #[test]
+fn low_support_inferred_schema_warns_but_still_serves_under_strict() {
+    use lsd_core::XmlReader;
+    let dir = temp_dir("inferred");
+    // A DTD-less training source with two instances, one of which carries
+    // a tag seen only once: the inferred schema's occurrence decisions for
+    // that tag rest on a single observation (LSD231 territory).
+    let mediated = parse_dtd(MEDIATED).expect("mediated DTD");
+    let reader = XmlReader::from_document(
+        "<corpus><home><location>Miami, FL</location>\
+         <comments>Great view of the bay</comments>\
+         <contact>(305) 111 2222</contact></home>\
+         <home><location>Boston, MA</location>\
+         <contact>(617) 333 4444</contact></home></corpus>",
+    );
+    let source = Source::from_reader("bare", &reader).expect("reads");
+    let train = TrainedSource {
+        source,
+        mapping: HashMap::from([
+            ("home".to_string(), "HOUSE".to_string()),
+            ("location".to_string(), "ADDRESS".to_string()),
+            ("comments".to_string(), "DESCRIPTION".to_string()),
+            ("contact".to_string(), "PHONE".to_string()),
+        ]),
+    };
+    let builder = LsdBuilder::new(&mediated);
+    let n = builder.labels().len();
+    let mut lsd = builder
+        .add_learner(Box::new(NameMatcher::new(n, HashMap::new())))
+        .add_learner(Box::new(ContentMatcher::new(n)))
+        .build()
+        .expect("builds");
+    lsd.train(std::slice::from_ref(&train)).expect("trains");
+    let snapshot = dir.join("model.json");
+    lsd.save_json(&snapshot).expect("saves");
+
+    // The audit surfaces the weakly-supported inferred schema...
+    let text = std::fs::read_to_string(&snapshot).expect("reads");
+    let diags = lsd_analysis::audit_snapshot(&text);
+    let lsd231: Vec<_> = diags
+        .iter()
+        .filter(|d| d.code.as_str() == "LSD231")
+        .collect();
+    assert_eq!(lsd231.len(), 1, "{diags:?}");
+    assert!(!lsd231[0].is_error(), "LSD231 is a warning");
+    assert!(lsd231[0].message.contains("`bare`"), "{:?}", lsd231[0]);
+
+    // ...but as a warning: the strict gate still activates the model.
+    let registry = ModelRegistry::open_with(&dir, AuditMode::Strict).expect("opens");
+    assert_eq!(registry.names(), ["model"]);
+    assert!(registry.model(Some("model")).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn wal_from_a_different_model_rejects_under_strict() {
     let dir = temp_dir("foreign-wal");
     let snapshot = dir.join("model.json");
